@@ -1,0 +1,113 @@
+//! Criterion microbenches of the event-translation pipeline — the
+//! wall-clock cost of INDISS's own machinery (parse → events → compose),
+//! isolated from simulated network time.
+//!
+//! This quantifies the paper's lightweightness claim: the event layer
+//! must be cheap next to protocol processing. The `raw_forward` baseline
+//! (decode + re-encode without the event layer) is the ablation for the
+//! event-based architecture's overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use indiss_core::{ParsedMessage, SlpUnit, SlpUnitConfig, Unit, UpnpUnit, UpnpUnitConfig};
+use indiss_net::{Datagram, World};
+use indiss_slp::{Body, Header, Message, SrvRqst};
+use indiss_ssdp::{MSearch, SearchTarget};
+
+fn slp_request_datagram() -> Datagram {
+    let msg = Message::new(
+        Header::new(indiss_slp::FunctionId::SrvRqst, 7, "en"),
+        Body::SrvRqst(SrvRqst {
+            prlist: String::new(),
+            service_type: "service:clock".into(),
+            scopes: "DEFAULT".into(),
+            predicate: "(location=home)".into(),
+            spi: String::new(),
+        }),
+    );
+    Datagram {
+        src: "10.0.0.9:40000".parse().unwrap(),
+        dst: "239.255.255.253:427".parse().unwrap(),
+        payload: msg.encode().unwrap(),
+    }
+}
+
+fn msearch_datagram() -> Datagram {
+    Datagram {
+        src: "10.0.0.9:40001".parse().unwrap(),
+        dst: "239.255.255.250:1900".parse().unwrap(),
+        payload: MSearch::new(SearchTarget::device_urn("clock", 1), 0).to_bytes(),
+    }
+}
+
+fn bench_parse_to_events(c: &mut Criterion) {
+    let world = World::new(1);
+    let node = world.add_node("indiss");
+    let slp_unit = SlpUnit::new(&node, SlpUnitConfig::default()).unwrap();
+    let upnp_unit = UpnpUnit::new(&node, UpnpUnitConfig::default()).unwrap();
+    let slp_dgram = slp_request_datagram();
+    let ssdp_dgram = msearch_datagram();
+
+    c.bench_function("slp_parse_to_events", |b| {
+        b.iter(|| {
+            let parsed = slp_unit.parse(&world, black_box(&slp_dgram));
+            assert!(matches!(parsed, ParsedMessage::Request(_)));
+            parsed
+        })
+    });
+    c.bench_function("ssdp_parse_to_events", |b| {
+        b.iter(|| {
+            let parsed = upnp_unit.parse(&world, black_box(&ssdp_dgram));
+            assert!(matches!(parsed, ParsedMessage::Request(_)));
+            parsed
+        })
+    });
+}
+
+fn bench_raw_forward_baseline(c: &mut Criterion) {
+    // Ablation: what decoding + re-encoding costs *without* the event
+    // layer. The event layer's overhead is the difference from above.
+    let slp_dgram = slp_request_datagram();
+    c.bench_function("slp_raw_decode_encode", |b| {
+        b.iter(|| {
+            let msg = Message::decode(black_box(&slp_dgram.payload)).unwrap();
+            black_box(msg.encode().unwrap())
+        })
+    });
+}
+
+fn bench_compose_msearch(c: &mut Criterion) {
+    // The composer half of Fig. 4 step 1: events → M-SEARCH bytes.
+    c.bench_function("compose_msearch_from_target", |b| {
+        b.iter(|| {
+            let m = MSearch::new(SearchTarget::device_urn(black_box("clock"), 1), 0);
+            black_box(m.to_bytes())
+        })
+    });
+}
+
+fn bench_full_bridge_simulation(c: &mut Criterion) {
+    // Wall-clock cost of one complete simulated SLP→UPnP bridge round —
+    // measures the harness itself (all virtual time, no sleeping).
+    use indiss_bench::scenarios::{bridged, Deployment, Direction};
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("simulate_full_bridge_round", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            bridged(black_box(seed), Deployment::ServiceSide, Direction::SlpToUpnp, false)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse_to_events,
+    bench_raw_forward_baseline,
+    bench_compose_msearch,
+    bench_full_bridge_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Reproduces Fig. 7: native client ↔ native service response times.
+//!
+//! Paper reference values (median of 30): SLP→SLP 0.7 ms, UPnP→UPnP 40 ms.
+
+use indiss_bench::scenarios::{native_slp, native_upnp};
+use indiss_bench::{print_row, stats, TRIAL_SEEDS};
+
+fn main() {
+    println!("Fig. 7 — native clients & services (median of 30 seeded trials)");
+    let slp = stats::summarize(TRIAL_SEEDS, native_slp);
+    print_row("SLP -> SLP", &slp, "0.7 ms");
+    let upnp = stats::summarize(TRIAL_SEEDS, native_upnp);
+    print_row("UPnP -> UPnP", &upnp, "40 ms");
+    println!();
+    println!("shape check: UPnP/SLP ratio = {:.0}x (paper: ~57x)",
+        upnp.median.as_secs_f64() / slp.median.as_secs_f64());
+}

@@ -1,0 +1,23 @@
+//! Reproduces Fig. 8: INDISS located on the service side.
+//!
+//! Paper reference values: SLP→[SLP-UPnP] 65 ms; UPnP→[UPnP-SLP] 40 ms.
+
+use indiss_bench::scenarios::{bridged, Deployment, Direction};
+use indiss_bench::{print_row, stats, TRIAL_SEEDS};
+
+fn main() {
+    println!("Fig. 8 — INDISS on the service side (median of 30 seeded trials)");
+    let slp_to_upnp = stats::summarize(TRIAL_SEEDS, |s| {
+        bridged(s, Deployment::ServiceSide, Direction::SlpToUpnp, false)
+    });
+    print_row("SLP client -> [SLP-UPnP] UPnP service", &slp_to_upnp, "65 ms");
+    let upnp_to_slp = stats::summarize(TRIAL_SEEDS, |s| {
+        bridged(s, Deployment::ServiceSide, Direction::UpnpToSlp, false)
+    });
+    print_row("UPnP client -> [UPnP-SLP] SLP service", &upnp_to_slp, "40 ms (*)");
+    println!();
+    println!("(*) the paper's 40 ms was dominated by the Cyberlink stack answering");
+    println!("    the M-SEARCH; INDISS itself answers here, so our bridged UPnP-client");
+    println!("    case is *faster* than their native stack. Ordering is preserved:");
+    println!("    bridged-UPnP-client <= native-UPnP in both studies.");
+}

@@ -1,0 +1,27 @@
+//! Reproduces Fig. 9: INDISS located on the client side.
+//!
+//! Paper reference values: [SLP-UPnP]→UPnP 80 ms; [UPnP-SLP]→SLP 0.12 ms
+//! (the best case: only the tiny SLP exchange crosses the network).
+
+use indiss_bench::scenarios::{bridged, Deployment, Direction};
+use indiss_bench::{print_row, stats, TRIAL_SEEDS};
+
+fn main() {
+    println!("Fig. 9 — INDISS on the client side (median of 30 seeded trials)");
+    let slp_to_upnp = stats::summarize(TRIAL_SEEDS, |s| {
+        bridged(s, Deployment::ClientSide, Direction::SlpToUpnp, false)
+    });
+    print_row("[SLP-UPnP] SLP client -> UPnP service", &slp_to_upnp, "80 ms");
+    let cold = stats::summarize(TRIAL_SEEDS, |s| {
+        bridged(s, Deployment::ClientSide, Direction::UpnpToSlp, false)
+    });
+    print_row("[UPnP-SLP] UPnP client -> SLP service (cold)", &cold, "—");
+    let warm = stats::summarize(TRIAL_SEEDS, |s| {
+        bridged(s, Deployment::ClientSide, Direction::UpnpToSlp, true)
+    });
+    print_row("[UPnP-SLP] UPnP client -> SLP service (warm)", &warm, "0.12 ms");
+    println!();
+    println!("'warm' answers the M-SEARCH from INDISS's cache of the prior SLP");
+    println!("round — the paper's best case, where only loopback UPnP messaging");
+    println!("plus a composed response separates request from answer.");
+}

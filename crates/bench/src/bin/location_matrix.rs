@@ -1,0 +1,19 @@
+//! Ablation: response time for every INDISS location × direction pair
+//! (the §4.2 discussion, beyond the two figures the paper prints).
+
+use indiss_bench::scenarios::location_matrix;
+use indiss_bench::{fmt_ms, TRIAL_SEEDS};
+
+fn main() {
+    println!("Location × direction sweep (cold cache, median of 30)");
+    println!("{:<14} {:<12} {:>10}", "deployment", "direction", "median");
+    println!("{}", "-".repeat(40));
+    for (deployment, direction, summary) in location_matrix(TRIAL_SEEDS) {
+        println!(
+            "{:<14} {:<12} {:>10}",
+            format!("{deployment:?}"),
+            format!("{direction:?}"),
+            fmt_ms(summary.median)
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Reproduces Table 2: size requirements of INDISS vs. the native stacks.
+//!
+//! Paper values (KB / classes / NCSS): core 44/15/789, UPnP unit
+//! 125/18/1515, SLP unit 49/6/606; OpenSLP 126/21/1361, Cyberlink
+//! 372/107/5887; dual-stack interop 514 KB, UPnP+INDISS 598 KB (+14%),
+//! SLP+INDISS 352 KB (−31.5%).
+
+use indiss_bench::size;
+
+fn main() {
+    println!("Table 2 — size requirements (implementation source, tests stripped)");
+    println!("{:<52} {:>10} {:>8} {:>8}", "component", "KB", "types", "NCSS");
+    println!("{}", "-".repeat(82));
+    let rows = size::table2().expect("workspace sources readable");
+    for row in &rows {
+        println!(
+            "{:<52} {:>10.1} {:>8} {:>8}",
+            row.name,
+            row.metrics.kb(),
+            row.metrics.types,
+            row.metrics.ncss
+        );
+    }
+    let get = |name: &str| {
+        rows.iter().find(|r| r.name.starts_with(name)).expect(name).metrics
+    };
+    let dual = get("interop without INDISS");
+    let upnp_side = get("UPnP stack + INDISS");
+    let slp_side = get("SLP stack + INDISS");
+    println!("{}", "-".repeat(82));
+    println!(
+        "UPnP host + INDISS vs dual stack: {:+.1}%   (paper: +14%)",
+        (upnp_side.bytes as f64 / dual.bytes as f64 - 1.0) * 100.0
+    );
+    println!(
+        "SLP host + INDISS vs dual stack:  {:+.1}%   (paper: -31.5%)",
+        (slp_side.bytes as f64 / dual.bytes as f64 - 1.0) * 100.0
+    );
+}

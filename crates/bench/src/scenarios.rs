@@ -1,0 +1,331 @@
+//! The measurement scenarios of the paper's §4.3 (Figs. 7, 8, 9) and
+//! §4.2 (Fig. 6), parameterized by seed for the median-of-30 methodology.
+//!
+//! Every scenario builds a fresh two-node world (client host + service
+//! host, 10 Mb/s LAN), deploys the pieces, and returns the *client's
+//! waiting time to get an answer* in virtual time — the paper's metric.
+
+use std::net::SocketAddrV4;
+use std::time::Duration;
+
+use indiss_core::{AdaptationPolicy, DiscoveryMode, Indiss, IndissConfig};
+use indiss_net::{Collector, Completion, SimTime, World};
+use indiss_slp::{
+    AttributeList, Registration, ServiceAgent, SlpConfig, UserAgent, SLP_MULTICAST_GROUP,
+    SLP_PORT,
+};
+use indiss_ssdp::SearchTarget;
+use indiss_upnp::{ClockDevice, ControlPoint, ControlPointConfig, UpnpConfig};
+
+/// Where INDISS is deployed, per the paper's §4.2/§4.3 use cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deployment {
+    /// Co-located with the client.
+    ClientSide,
+    /// Co-located with the service.
+    ServiceSide,
+    /// On a third, dedicated node.
+    Gateway,
+}
+
+/// Which translation direction is measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// SLP client searching a UPnP service.
+    SlpToUpnp,
+    /// UPnP client searching an SLP service.
+    UpnpToSlp,
+}
+
+/// Fig. 7 left: native SLP→SLP response time.
+pub fn native_slp(seed: u64) -> Option<Duration> {
+    let world = World::new(seed);
+    let service_node = world.add_node("slp-service");
+    let client_node = world.add_node("slp-client");
+    let sa = ServiceAgent::start(&service_node, SlpConfig::default()).ok()?;
+    sa.register(
+        Registration::new(
+            "service:clock://10.0.0.1:4005",
+            AttributeList::parse("(friendlyName=SLP Clock)").ok()?,
+        )
+        .ok()?,
+    );
+    let ua = UserAgent::start(&client_node, SlpConfig::default()).ok()?;
+    let (_first, done) = ua.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(5));
+    done.take()?.response_time()
+}
+
+/// Fig. 7 right: native UPnP→UPnP response time (first SSDP answer).
+pub fn native_upnp(seed: u64) -> Option<Duration> {
+    let world = World::new(seed);
+    let service_node = world.add_node("upnp-device");
+    let client_node = world.add_node("upnp-cp");
+    let _clock = ClockDevice::start(&service_node, UpnpConfig::default()).ok()?;
+    let cp = ControlPoint::start(&client_node, ControlPointConfig::default()).ok()?;
+    world.run_for(Duration::from_millis(10)); // initial announcements
+    let t0 = world.now();
+    let (first, _all) = cp.search(&world, SearchTarget::device_urn("clock", 1));
+    world.run_for(Duration::from_secs(5));
+    let hit_at: Completion<SimTime> = Completion::new();
+    if let Some(d) = first.take() {
+        hit_at.complete(d.last_seen);
+    }
+    Some(hit_at.take()? - t0)
+}
+
+/// Figs. 8/9: response time through INDISS, parameterized by deployment,
+/// direction and cache warmth. Returns the client's waiting time.
+pub fn bridged(
+    seed: u64,
+    deployment: Deployment,
+    direction: Direction,
+    warm: bool,
+) -> Option<Duration> {
+    let world = World::new(seed);
+    let service_node = world.add_node("service-host");
+    let client_node = world.add_node("client-host");
+    let indiss_node = match deployment {
+        Deployment::ServiceSide => service_node.clone(),
+        Deployment::ClientSide => client_node.clone(),
+        Deployment::Gateway => world.add_node("gateway"),
+    };
+    let _indiss = Indiss::deploy(&indiss_node, IndissConfig::slp_upnp()).ok()?;
+
+    match direction {
+        Direction::SlpToUpnp => {
+            let _clock = ClockDevice::start(&service_node, UpnpConfig::default()).ok()?;
+            let ua = UserAgent::start(&client_node, SlpConfig::default()).ok()?;
+            world.run_for(Duration::from_millis(10));
+            if warm {
+                let (_f, d) = ua.find_services(&world, "service:clock", "");
+                world.run_for(Duration::from_secs(2));
+                d.take()?;
+            }
+            let (_first, done) = ua.find_services(&world, "service:clock", "");
+            world.run_for(Duration::from_secs(5));
+            done.take()?.response_time()
+        }
+        Direction::UpnpToSlp => {
+            let sa = ServiceAgent::start(&service_node, SlpConfig::default()).ok()?;
+            sa.register(
+                Registration::new(
+                    "service:clock://10.0.0.1:4005/service/timer",
+                    AttributeList::parse("(friendlyName=SLP Clock)").ok()?,
+                )
+                .ok()?,
+            );
+            let cp = ControlPoint::start(&client_node, ControlPointConfig::default()).ok()?;
+            world.run_for(Duration::from_millis(10));
+            if warm {
+                let (_f, all) = cp.search(&world, SearchTarget::device_urn("clock", 1));
+                world.run_for(Duration::from_secs(2));
+                all.take()?;
+            }
+            let t0 = world.now();
+            let (first, _all) = cp.search(&world, SearchTarget::device_urn("clock", 1));
+            world.run_for(Duration::from_secs(5));
+            Some(first.take()?.last_seen - t0)
+        }
+    }
+}
+
+/// The dual-stack baseline (Table 2's no-INDISS alternative): the client
+/// hosts *both* native stacks and uses the service's own protocol — so
+/// response time equals the native path, at twice the footprint.
+pub fn dual_stack_upnp(seed: u64) -> Option<Duration> {
+    // Identical wire behaviour to native UPnP; the cost difference is
+    // footprint (see the table2 binary), not latency.
+    native_upnp(seed)
+}
+
+/// Result of the Fig. 6 adaptation scenario.
+#[derive(Debug, Clone)]
+pub struct AdaptationOutcome {
+    /// Virtual time at which INDISS switched to the active mode, if ever.
+    pub went_active_at: Option<SimTime>,
+    /// Virtual time at which the passive SLP listener first heard the
+    /// (translated) advertisement of the UPnP service, if ever.
+    pub discovered_at: Option<SimTime>,
+    /// Mode transition log.
+    pub mode_log: Vec<(SimTime, DiscoveryMode)>,
+}
+
+/// Fig. 6: passive SLP client + passive UPnP service (announcements only)
+/// + INDISS on the service side. Without the traffic-threshold switch the
+/// client can never discover the service; with it, INDISS re-advertises.
+///
+/// `background_traffic_bps` injects chatter between two extra nodes to
+/// keep the network busy (above-threshold ⇒ INDISS stays passive).
+pub fn adaptation(seed: u64, background_traffic_bps: u64) -> AdaptationOutcome {
+    let world = World::new(seed);
+    let service_node = world.add_node("upnp-device");
+    let client_node = world.add_node("passive-slp-client");
+    let _clock = ClockDevice::start(&service_node, UpnpConfig::default()).expect("clock");
+    let indiss = Indiss::deploy(
+        &service_node,
+        IndissConfig::slp_upnp().with_adaptation(AdaptationPolicy {
+            threshold_bytes_per_sec: 400.0,
+            window: Duration::from_secs(2),
+            check_interval: Duration::from_secs(2),
+        }),
+    )
+    .expect("indiss");
+
+    // The passive SLP client: listens on the SLP group, never sends.
+    let listener = client_node.udp_bind(SLP_PORT).expect("bind");
+    listener.join_multicast(SLP_MULTICAST_GROUP).expect("join");
+    let heard: Completion<SimTime> = Completion::new();
+    let heard2 = heard.clone();
+    listener.on_receive(move |w, dgram| {
+        if let Ok(msg) = indiss_slp::Message::decode(&dgram.payload) {
+            if let indiss_slp::Body::SaAdvert(sa) = &msg.body {
+                if sa.attrs.contains("clock") {
+                    heard2.complete(w.now());
+                }
+            }
+        }
+    });
+
+    // Optional background chatter to hold traffic above the threshold.
+    if background_traffic_bps > 0 {
+        let a = world.add_node("chatter-a");
+        let b = world.add_node("chatter-b");
+        let tx = a.udp_bind_ephemeral().expect("bind");
+        let _rx = b.udp_bind(9000).expect("bind");
+        let dst = SocketAddrV4::new(b.addr(), 9000);
+        let payload = vec![0u8; 200];
+        let interval =
+            Duration::from_secs_f64(payload.len() as f64 / background_traffic_bps as f64);
+        fn tick(
+            world: &World,
+            tx: indiss_net::UdpSocket,
+            dst: SocketAddrV4,
+            payload: Vec<u8>,
+            interval: Duration,
+        ) {
+            let _ = tx.send_to(&payload, dst);
+            let w2 = world.clone();
+            world.schedule_in(interval, move |w| {
+                let _ = &w2;
+                tick(w, tx, dst, payload, interval);
+            });
+        }
+        tick(&world, tx, dst, payload, interval);
+    }
+
+    world.run_for(Duration::from_secs(30));
+    let mode_log = indiss.mode_log();
+    let went_active_at = mode_log
+        .iter()
+        .find(|(_, m)| *m == DiscoveryMode::Active)
+        .map(|(t, _)| *t);
+    AdaptationOutcome { went_active_at, discovered_at: heard.take(), mode_log }
+}
+
+/// Collected traffic counters for the "no additional traffic" claim
+/// (§4.3): bytes on the wire with and without INDISS for one discovery.
+pub fn traffic_overhead(seed: u64) -> (u64, u64) {
+    // Without INDISS: native SLP discovery.
+    let without = {
+        let world = World::new(seed);
+        let service_node = world.add_node("svc");
+        let client_node = world.add_node("cli");
+        let sa = ServiceAgent::start(&service_node, SlpConfig::default()).expect("sa");
+        sa.register(
+            Registration::new("service:clock://10.0.0.1:4005", AttributeList::new())
+                .expect("reg"),
+        );
+        let ua = UserAgent::start(&client_node, SlpConfig::default()).expect("ua");
+        let (_f, d) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(2));
+        let _ = d.take();
+        world.meter_snapshot().total_bytes()
+    };
+    // With INDISS on the service side: the SLP leg is identical; the UPnP
+    // leg is local to the service host (loopback is unmetered).
+    let with = {
+        let world = World::new(seed);
+        let service_node = world.add_node("svc");
+        let client_node = world.add_node("cli");
+        let _clock = ClockDevice::start(&service_node, UpnpConfig::default()).expect("clock");
+        let _indiss = Indiss::deploy(&service_node, IndissConfig::slp_upnp()).expect("indiss");
+        let ua = UserAgent::start(&client_node, SlpConfig::default()).expect("ua");
+        let (_f, d) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(2));
+        let _ = d.take();
+        world.meter_snapshot().total_bytes()
+    };
+    (without, with)
+}
+
+/// Event-count trace of the Fig. 4 clock scenario, for the per-step
+/// narrative (returns the SLP request's parsed event names).
+pub fn fig4_event_names() -> Vec<&'static str> {
+    use indiss_core::{ParsedMessage, SlpUnit, SlpUnitConfig, Unit};
+    let world = World::new(1);
+    let node = world.add_node("indiss");
+    let unit = SlpUnit::new(&node, SlpUnitConfig::default()).expect("unit");
+    let msg = indiss_slp::Message::new(
+        indiss_slp::Header::new(indiss_slp::FunctionId::SrvRqst, 1, "en"),
+        indiss_slp::Body::SrvRqst(indiss_slp::SrvRqst {
+            prlist: String::new(),
+            service_type: "service:clock".into(),
+            scopes: "DEFAULT".into(),
+            predicate: String::new(),
+            spi: String::new(),
+        }),
+    );
+    let dgram = indiss_net::Datagram {
+        src: "10.0.0.9:40000".parse().expect("addr"),
+        dst: SocketAddrV4::new(SLP_MULTICAST_GROUP, SLP_PORT),
+        payload: msg.encode().expect("encode"),
+    };
+    match unit.parse(&world, &dgram) {
+        ParsedMessage::Request(stream) => stream.names(),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// Convenience used by several binaries: collect every deployment ×
+/// direction combination's cold median.
+pub fn location_matrix(seeds: std::ops::Range<u64>) -> Vec<(Deployment, Direction, crate::stats::Summary)> {
+    let mut out = Vec::new();
+    for deployment in [Deployment::ClientSide, Deployment::ServiceSide, Deployment::Gateway] {
+        for direction in [Direction::SlpToUpnp, Direction::UpnpToSlp] {
+            let summary = crate::stats::summarize(seeds.clone(), |seed| {
+                bridged(seed, deployment, direction, false)
+            });
+            out.push((deployment, direction, summary));
+        }
+    }
+    out
+}
+
+/// Counts how many SLP multicast requests it takes to saturate a
+/// `Collector` with responses — used as a smoke workload generator for
+/// the Criterion benches.
+pub fn smoke_workload(seed: u64, services: usize) -> usize {
+    let world = World::new(seed);
+    let client = world.add_node("client");
+    let ua = UserAgent::start(&client, SlpConfig::default()).expect("ua");
+    let found: Collector<String> = Collector::new();
+    for i in 0..services {
+        let node = world.add_node(&format!("svc{i}"));
+        let sa = ServiceAgent::start(&node, SlpConfig::default()).expect("sa");
+        sa.register(
+            Registration::new(
+                &format!("service:printer://10.0.9.{}:515", i + 1),
+                AttributeList::new(),
+            )
+            .expect("reg"),
+        );
+    }
+    let (_f, done) = ua.find_services(&world, "service:printer", "");
+    world.run_for(Duration::from_secs(2));
+    let urls = done.take().map(|o| o.urls).unwrap_or_default();
+    for u in urls {
+        found.push(u.url);
+    }
+    found.len()
+}

@@ -1,0 +1,245 @@
+//! Table 2 reproduction: size requirements of INDISS vs. native stacks.
+//!
+//! The paper counts, per component, the artifact size in KB, the number
+//! of Java classes, and NCSS (non-commented source statements). Our
+//! equivalents over the Rust sources: bytes of implementation source
+//! (tests stripped), number of type definitions (`struct`/`enum`/`trait`,
+//! the closest analogue of "classes"), and non-comment non-blank source
+//! lines. What must reproduce is the *relative* claim: a unit is an order
+//! of magnitude smaller than the native stack it replaces, and
+//! `native + INDISS` beats `both natives + a second client` as services
+//! accumulate.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Size metrics of one component.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SizeMetrics {
+    /// Bytes of implementation source (test modules stripped).
+    pub bytes: u64,
+    /// Number of type definitions (struct + enum + trait).
+    pub types: u64,
+    /// Non-comment, non-blank source lines.
+    pub ncss: u64,
+}
+
+impl SizeMetrics {
+    /// Kilobytes, as Table 2 prints.
+    pub fn kb(&self) -> f64 {
+        self.bytes as f64 / 1024.0
+    }
+}
+
+impl std::ops::Add for SizeMetrics {
+    type Output = SizeMetrics;
+
+    fn add(self, rhs: SizeMetrics) -> SizeMetrics {
+        SizeMetrics {
+            bytes: self.bytes + rhs.bytes,
+            types: self.types + rhs.types,
+            ncss: self.ncss + rhs.ncss,
+        }
+    }
+}
+
+impl fmt::Display for SizeMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:7.1} KB {:5} types {:6} NCSS", self.kb(), self.types, self.ncss)
+    }
+}
+
+/// Strips `#[cfg(test)]`-gated module bodies (everything from the marker
+/// to end of file, since this codebase puts tests last in each file).
+fn strip_tests(source: &str) -> &str {
+    match source.find("#[cfg(test)]") {
+        Some(i) => &source[..i],
+        None => source,
+    }
+}
+
+/// Measures one `.rs` source string.
+pub fn measure_source(source: &str) -> SizeMetrics {
+    let code = strip_tests(source);
+    let mut metrics = SizeMetrics { bytes: code.len() as u64, ..SizeMetrics::default() };
+    for line in code.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with("//") {
+            continue;
+        }
+        metrics.ncss += 1;
+        // Count type definitions; `pub struct X`, `struct X`, etc.
+        let mut tokens = trimmed.split_whitespace().peekable();
+        while let Some(tok) = tokens.next() {
+            if matches!(tok, "struct" | "enum" | "trait")
+                && tokens.peek().map(|n| n.chars().next().map(char::is_alphabetic))
+                    == Some(Some(true))
+            {
+                metrics.types += 1;
+                break;
+            }
+            if !matches!(tok, "pub" | "pub(crate)" | "pub(super)") {
+                break;
+            }
+        }
+    }
+    metrics
+}
+
+/// Measures every `.rs` file under a directory (recursive), or a single
+/// file if the path is one.
+pub fn measure_path(path: &Path) -> std::io::Result<SizeMetrics> {
+    let mut total = SizeMetrics::default();
+    if path.is_file() {
+        let source = std::fs::read_to_string(path)?;
+        return Ok(measure_source(&source));
+    }
+    for entry in std::fs::read_dir(path)? {
+        let entry = entry?;
+        let p = entry.path();
+        if p.is_dir() {
+            total = total + measure_path(&p)?;
+        } else if p.extension().map(|e| e == "rs").unwrap_or(false) {
+            let source = std::fs::read_to_string(&p)?;
+            total = total + measure_source(&source);
+        }
+    }
+    Ok(total)
+}
+
+/// Locates the workspace root from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("bench crate lives at <root>/crates/bench")
+        .to_path_buf()
+}
+
+/// One row of the reproduced Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Component name (paper terminology).
+    pub name: String,
+    /// Measured metrics.
+    pub metrics: SizeMetrics,
+}
+
+/// Computes the full Table 2 equivalent from the workspace sources.
+///
+/// # Errors
+///
+/// I/O errors reading the source tree.
+pub fn table2() -> std::io::Result<Vec<Table2Row>> {
+    let root = workspace_root();
+    let core_src = root.join("crates/core/src");
+    let units = core_src.join("units");
+
+    let slp_unit = measure_path(&units.join("slp.rs"))?;
+    let upnp_unit = measure_path(&units.join("upnp.rs"))?;
+    let jini_unit = measure_path(&units.join("jini.rs"))?;
+    let units_total = measure_path(&units)?;
+    let core_total = measure_path(&core_src)?;
+    let core_framework = SizeMetrics {
+        bytes: core_total.bytes - units_total.bytes,
+        types: core_total.types - units_total.types,
+        ncss: core_total.ncss - units_total.ncss,
+    };
+
+    let slp_stack = measure_path(&root.join("crates/slp/src"))?;
+    // Cyberlink for Java shipped its own HTTP server and XML parser; our
+    // UPnP stack gets those from substrate crates, so the "Cyberlink
+    // role" aggregate includes them for a like-for-like comparison.
+    let upnp_stack = measure_path(&root.join("crates/upnp/src"))?
+        + measure_path(&root.join("crates/ssdp/src"))?
+        + measure_path(&root.join("crates/http/src"))?
+        + measure_path(&root.join("crates/xml/src"))?;
+    let indiss_total = core_framework + slp_unit + upnp_unit;
+
+    let mut rows = vec![
+        Table2Row { name: "Core framework".into(), metrics: core_framework },
+        Table2Row { name: "UPnP Unit".into(), metrics: upnp_unit },
+        Table2Row { name: "SLP Unit".into(), metrics: slp_unit },
+        Table2Row { name: "Jini Unit (extension)".into(), metrics: jini_unit },
+        Table2Row { name: "INDISS total (core + SLP&UPnP units)".into(), metrics: indiss_total },
+        Table2Row { name: "SLP stack (OpenSLP role)".into(), metrics: slp_stack },
+        Table2Row {
+            name: "UPnP stack (Cyberlink role: upnp+ssdp+http+xml)".into(),
+            metrics: upnp_stack,
+        },
+    ];
+    // The comparisons the paper draws.
+    let dual = slp_stack + upnp_stack;
+    rows.push(Table2Row {
+        name: "interop without INDISS (both stacks + 2nd client)".into(),
+        metrics: dual,
+    });
+    rows.push(Table2Row {
+        name: "UPnP stack + INDISS".into(),
+        metrics: upnp_stack + indiss_total,
+    });
+    rows.push(Table2Row {
+        name: "SLP stack + INDISS".into(),
+        metrics: slp_stack + indiss_total,
+    });
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_code_not_comments() {
+        let src = "// comment\n\npub struct A;\nstruct B { x: u8 }\nenum C { D }\n// more\nfn f() {}\n";
+        let m = measure_source(src);
+        assert_eq!(m.types, 3);
+        assert_eq!(m.ncss, 4);
+    }
+
+    #[test]
+    fn tests_are_stripped() {
+        let src = "struct A;\n#[cfg(test)]\nmod tests { struct Fake; }\n";
+        let m = measure_source(src);
+        assert_eq!(m.types, 1);
+    }
+
+    #[test]
+    fn keywords_in_other_positions_do_not_count() {
+        let src = "fn f(x: MyStruct) {}\nlet trait_object = 1;\nimpl Foo for Bar {}\n";
+        assert_eq!(measure_source(src).types, 0);
+    }
+
+    #[test]
+    fn table2_has_the_papers_shape() {
+        let rows = table2().expect("source tree readable");
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.name.starts_with(name))
+                .unwrap_or_else(|| panic!("{name} row"))
+                .metrics
+        };
+        let upnp_unit = get("UPnP Unit");
+        let slp_unit = get("SLP Unit");
+        let upnp_stack = get("UPnP stack");
+        let slp_stack = get("SLP stack");
+        // Paper: each unit is much smaller than the native stack it fronts
+        // (UPnP unit 125 KB vs Cyberlink 372 KB; SLP unit 49 KB vs
+        // OpenSLP 126 KB) and the UPnP artifacts dominate the SLP ones.
+        assert!(upnp_unit.ncss < upnp_stack.ncss / 2, "unit ≪ stack");
+        assert!(slp_unit.ncss < slp_stack.ncss / 2, "unit ≪ stack");
+        // (compared in bytes, the paper's KB column; NCSS is within noise)
+        assert!(upnp_stack.bytes > slp_stack.bytes, "UPnP stack is the bigger one");
+        assert!(upnp_unit.ncss > slp_unit.ncss, "UPnP unit is the bigger unit");
+        // The headline comparison: the whole of INDISS is smaller than
+        // carrying a second native stack. (The paper's −31.5 % for the
+        // SLP host does not reproduce in sign here — see EXPERIMENTS.md:
+        // our Rust SLP stack is far heavier relative to its UPnP stack
+        // than OpenSLP-in-C was relative to Cyberlink-in-Java.)
+        assert!(
+            get("INDISS total").ncss < get("interop without INDISS").ncss,
+            "INDISS ≪ dual stack"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Context-aware self-adaptation (paper §4.2, Fig. 6).
+//!
+//! When both clients and services are *passive* (clients listen, services
+//! on the other side of INDISS advertise in a protocol the clients do not
+//! speak), nobody INDISS can hear initiates anything it could translate
+//! on demand — the "blocked situation" at the top-right of Fig. 6. The
+//! fix: "define a network traffic threshold below which INDISS, hosted on
+//! the service host, must become active", re-advertising the local
+//! services into every other SDP's multicast group.
+//!
+//! The trade-off the paper calls out is explicit here: the active mode
+//! costs bandwidth, so it only engages while measured traffic is low.
+
+use std::time::Duration;
+
+/// INDISS's current interception mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscoveryMode {
+    /// Translate on demand only (default).
+    Passive,
+    /// Additionally re-advertise known local services into other SDPs.
+    Active,
+}
+
+/// The traffic-threshold policy.
+#[derive(Debug, Clone)]
+pub struct AdaptationPolicy {
+    /// Become active when measured traffic falls below this rate.
+    pub threshold_bytes_per_sec: f64,
+    /// Length of the measurement window.
+    pub window: Duration,
+    /// How often to evaluate (also the active re-advertisement period).
+    pub check_interval: Duration,
+}
+
+impl Default for AdaptationPolicy {
+    fn default() -> Self {
+        AdaptationPolicy {
+            threshold_bytes_per_sec: 500.0,
+            window: Duration::from_secs(2),
+            check_interval: Duration::from_secs(2),
+        }
+    }
+}
+
+impl AdaptationPolicy {
+    /// Decides the mode for a measured rate (`None` = empty window, which
+    /// counts as zero traffic).
+    pub fn decide(&self, rate: Option<f64>) -> DiscoveryMode {
+        match rate {
+            Some(r) if r >= self.threshold_bytes_per_sec => DiscoveryMode::Passive,
+            _ => DiscoveryMode::Active,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_traffic_activates() {
+        let p = AdaptationPolicy::default();
+        assert_eq!(p.decide(Some(10.0)), DiscoveryMode::Active);
+        assert_eq!(p.decide(None), DiscoveryMode::Active);
+    }
+
+    #[test]
+    fn high_traffic_stays_passive() {
+        let p = AdaptationPolicy::default();
+        assert_eq!(p.decide(Some(10_000.0)), DiscoveryMode::Passive);
+        assert_eq!(p.decide(Some(500.0)), DiscoveryMode::Passive, "threshold inclusive");
+    }
+}

@@ -1,0 +1,181 @@
+//! INDISS system configuration (paper §3).
+//!
+//! The paper specifies an instance as a set of units plus the monitor's
+//! scan ports:
+//!
+//! ```text
+//! System SDP = {
+//!   Component Monitor = { ScanPort = { 1900; 4160; 427 } }
+//!   Component Unit SLP(port=427);
+//!   Component Unit UPnP(port=1900);
+//!   Component Unit JINI(port=4160); }
+//! ```
+//!
+//! [`IndissConfig`] is the Rust equivalent: declaring a unit implies
+//! monitoring its IANA port. Composition happens dynamically at run time
+//! (Fig. 5) — the config only says what *can* be instantiated.
+
+use std::time::Duration;
+
+use crate::adapt::AdaptationPolicy;
+use crate::event::SdpProtocol;
+use crate::units::{JiniUnitConfig, SlpUnitConfig, UpnpUnitConfig};
+
+/// Specification of one unit to embed.
+#[derive(Debug, Clone)]
+pub enum UnitSpec {
+    /// An SLP unit.
+    Slp(SlpUnitConfig),
+    /// A UPnP unit.
+    Upnp(UpnpUnitConfig),
+    /// A Jini unit.
+    Jini(JiniUnitConfig),
+}
+
+impl UnitSpec {
+    /// The protocol this spec instantiates.
+    pub fn protocol(&self) -> SdpProtocol {
+        match self {
+            UnitSpec::Slp(_) => SdpProtocol::Slp,
+            UnitSpec::Upnp(_) => SdpProtocol::Upnp,
+            UnitSpec::Jini(_) => SdpProtocol::Jini,
+        }
+    }
+}
+
+/// Configuration of an INDISS instance.
+#[derive(Debug, Clone)]
+pub struct IndissConfig {
+    /// Units to embed (each implies monitoring its protocol).
+    pub units: Vec<UnitSpec>,
+    /// Whether bridged responses are cached. Caching yields the paper's
+    /// §4.3 best case (a UPnP client answered in ~0.1 ms from knowledge
+    /// INDISS already holds).
+    pub enable_cache: bool,
+    /// How long cached responses stay valid.
+    pub cache_ttl: Duration,
+    /// Traffic-threshold adaptation (§4.2, Fig. 6); `None` disables the
+    /// active mode.
+    pub adaptation: Option<AdaptationPolicy>,
+    /// Whether units are instantiated only once the monitor detects their
+    /// protocol (the paper's dynamic composition, Fig. 5) or eagerly at
+    /// deploy time.
+    pub lazy_units: bool,
+    /// After bridging a request for a service type, further requests for
+    /// the same type are ignored for this long (unless served from
+    /// cache). This breaks translation ping-pong between multiple INDISS
+    /// instances on one network: each instance refuses to re-bridge the
+    /// storm of requests the others synthesize.
+    pub suppress_window: Duration,
+}
+
+impl IndissConfig {
+    /// An empty configuration (add units with the builder methods).
+    pub fn new() -> Self {
+        IndissConfig {
+            units: Vec::new(),
+            enable_cache: true,
+            cache_ttl: Duration::from_secs(60),
+            adaptation: None,
+            lazy_units: false,
+            suppress_window: Duration::from_millis(600),
+        }
+    }
+
+    /// Adds an SLP unit with defaults.
+    pub fn with_slp(mut self) -> Self {
+        self.units.push(UnitSpec::Slp(SlpUnitConfig::default()));
+        self
+    }
+
+    /// Adds a UPnP unit with defaults.
+    pub fn with_upnp(mut self) -> Self {
+        self.units.push(UnitSpec::Upnp(UpnpUnitConfig::default()));
+        self
+    }
+
+    /// Adds a Jini unit with defaults.
+    pub fn with_jini(mut self) -> Self {
+        self.units.push(UnitSpec::Jini(JiniUnitConfig::default()));
+        self
+    }
+
+    /// Adds a unit from an explicit spec.
+    pub fn with_unit(mut self, spec: UnitSpec) -> Self {
+        self.units.push(spec);
+        self
+    }
+
+    /// Disables the response cache.
+    pub fn without_cache(mut self) -> Self {
+        self.enable_cache = false;
+        self
+    }
+
+    /// Enables traffic-threshold adaptation.
+    pub fn with_adaptation(mut self, policy: AdaptationPolicy) -> Self {
+        self.adaptation = Some(policy);
+        self
+    }
+
+    /// Instantiates units lazily, on first detection of their protocol.
+    pub fn with_lazy_units(mut self) -> Self {
+        self.lazy_units = true;
+        self
+    }
+
+    /// The paper's prototype configuration: a UPnP unit and an SLP unit.
+    pub fn slp_upnp() -> Self {
+        IndissConfig::new().with_slp().with_upnp()
+    }
+
+    /// The Fig. 5 configuration: SLP + UPnP + Jini.
+    pub fn all_protocols() -> Self {
+        IndissConfig::new().with_slp().with_upnp().with_jini()
+    }
+
+    /// Protocols covered by the configured units.
+    pub fn protocols(&self) -> Vec<SdpProtocol> {
+        self.units.iter().map(UnitSpec::protocol).collect()
+    }
+}
+
+impl Default for IndissConfig {
+    /// Defaults to the paper's prototype (SLP + UPnP).
+    fn default() -> Self {
+        IndissConfig::slp_upnp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_units() {
+        let cfg = IndissConfig::new().with_slp().with_upnp().with_jini();
+        assert_eq!(
+            cfg.protocols(),
+            vec![SdpProtocol::Slp, SdpProtocol::Upnp, SdpProtocol::Jini]
+        );
+    }
+
+    #[test]
+    fn paper_prototype_is_slp_upnp() {
+        let cfg = IndissConfig::default();
+        assert_eq!(cfg.protocols(), vec![SdpProtocol::Slp, SdpProtocol::Upnp]);
+        assert!(cfg.enable_cache);
+        assert!(cfg.adaptation.is_none());
+    }
+
+    #[test]
+    fn toggles_work() {
+        let cfg = IndissConfig::slp_upnp()
+            .without_cache()
+            .with_adaptation(AdaptationPolicy::default())
+            .with_lazy_units();
+        assert!(!cfg.enable_cache);
+        assert!(cfg.adaptation.is_some());
+        assert!(cfg.lazy_units);
+    }
+}

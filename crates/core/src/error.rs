@@ -1,0 +1,81 @@
+//! INDISS core errors.
+
+use std::fmt;
+
+/// Errors from the INDISS runtime and units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A unit was asked to parse a message that is not its protocol.
+    NotMyProtocol,
+    /// A message was syntactically valid but not translatable (e.g. a
+    /// fragment the unit's FSM has no transition for).
+    NotTranslatable(&'static str),
+    /// The event stream violated framing (missing `SDP_C_START`/`STOP`).
+    BadEventFraming,
+    /// A composer was missing events it cannot default (e.g. no
+    /// `SDP_SERVICE_TYPE` in a request stream).
+    MissingEvent(&'static str),
+    /// Underlying network failure.
+    Net(indiss_net::NetError),
+    /// The configuration is invalid (e.g. no units).
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotMyProtocol => write!(f, "message does not belong to this unit's protocol"),
+            CoreError::NotTranslatable(why) => write!(f, "message not translatable: {why}"),
+            CoreError::BadEventFraming => {
+                write!(f, "event stream not framed by SDP_C_START/SDP_C_STOP")
+            }
+            CoreError::MissingEvent(which) => write!(f, "required event missing: {which}"),
+            CoreError::Net(e) => write!(f, "network error: {e}"),
+            CoreError::BadConfig(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<indiss_net::NetError> for CoreError {
+    fn from(e: indiss_net::NetError) -> Self {
+        CoreError::Net(e)
+    }
+}
+
+/// Convenience alias for INDISS results.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        for e in [
+            CoreError::NotMyProtocol,
+            CoreError::NotTranslatable("x"),
+            CoreError::BadEventFraming,
+            CoreError::MissingEvent("SDP_SERVICE_TYPE"),
+            CoreError::BadConfig("no units"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn net_error_chains_source() {
+        use std::error::Error;
+        let e = CoreError::from(indiss_net::NetError::SocketClosed);
+        assert!(e.source().is_some());
+    }
+}

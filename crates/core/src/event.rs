@@ -1,0 +1,558 @@
+//! The INDISS event vocabulary (paper §2.3, Table 1).
+//!
+//! Parsers translate native SDP messages *to* these events; composers
+//! translate *from* them. The **mandatory** set — control, network,
+//! service, request and response events — is the greatest common
+//! denominator of all SDPs: every parser must emit it and every composer
+//! must understand it. Protocol-specific events (the `Slp*`, `Upnp*`,
+//! `Jini*` variants) carry the richer features of one SDP; composers
+//! "are free to handle or ignore them" (§2.3) — in Rust terms, a match
+//! arm or the `_ => {}` fallthrough.
+
+use std::fmt;
+use std::net::SocketAddrV4;
+
+/// The discovery protocols INDISS knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SdpProtocol {
+    /// Service Location Protocol (RFC 2608).
+    Slp,
+    /// UPnP (SSDP + description + SOAP).
+    Upnp,
+    /// Jini (simplified; see `indiss-jini`).
+    Jini,
+}
+
+impl SdpProtocol {
+    /// All protocols, in display order.
+    pub const ALL: [SdpProtocol; 3] = [SdpProtocol::Slp, SdpProtocol::Upnp, SdpProtocol::Jini];
+
+    /// The protocol's IANA UDP port (the monitor's detection key, §2.1).
+    pub fn port(self) -> u16 {
+        match self {
+            SdpProtocol::Slp => indiss_slp::SLP_PORT,
+            SdpProtocol::Upnp => indiss_ssdp::SSDP_PORT,
+            SdpProtocol::Jini => indiss_jini::JINI_PORT,
+        }
+    }
+
+    /// The protocol's multicast groups.
+    pub fn multicast_groups(self) -> Vec<std::net::Ipv4Addr> {
+        match self {
+            SdpProtocol::Slp => vec![indiss_slp::SLP_MULTICAST_GROUP],
+            SdpProtocol::Upnp => vec![indiss_ssdp::SSDP_MULTICAST_GROUP],
+            SdpProtocol::Jini => {
+                vec![indiss_jini::JINI_REQUEST_GROUP, indiss_jini::JINI_ANNOUNCEMENT_GROUP]
+            }
+        }
+    }
+}
+
+impl fmt::Display for SdpProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SdpProtocol::Slp => "SLP",
+            SdpProtocol::Upnp => "UPnP",
+            SdpProtocol::Jini => "Jini",
+        })
+    }
+}
+
+/// Which parser a unit should switch to (`SDP_C_PARSER_SWITCH` payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParserKind {
+    /// The unit's native discovery-message parser (SSDP, SLP wire, …).
+    Native,
+    /// HTTP message parser.
+    Http,
+    /// XML document parser.
+    Xml,
+}
+
+/// One semantic event. Variants group exactly as Table 1 does; the
+/// protocol-specific variants are the paper's "specialized sets".
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    // --- SDP Control Events -------------------------------------------
+    /// `SDP_C_START`: opens an event stream (one native message or one
+    /// translation step).
+    Start,
+    /// `SDP_C_STOP`: closes the stream.
+    Stop,
+    /// `SDP_C_PARSER_SWITCH`: the current parser cannot continue (e.g.
+    /// SSDP parser hitting an XML body, §2.4) and asks its unit to switch.
+    ParserSwitch(ParserKind),
+    /// `SDP_C_SOCKET_SWITCH`: the unit must continue on another transport
+    /// (UDP → TCP for a description fetch).
+    SocketSwitch,
+
+    // --- SDP Network Events --------------------------------------------
+    /// `SDP_NET_UNICAST`: the message was unicast.
+    NetUnicast,
+    /// `SDP_NET_MULTICAST`: the message was multicast.
+    NetMulticast,
+    /// `SDP_NET_SOURCE_ADDR`: sender address (recorded for the reply path).
+    NetSourceAddr(SocketAddrV4),
+    /// `SDP_NET_DEST_ADDR`: destination address.
+    NetDestAddr(SocketAddrV4),
+    /// `SDP_NET_TYPE`: which SDP the message belongs to.
+    NetType(SdpProtocol),
+
+    // --- SDP Service Events --------------------------------------------
+    /// `SDP_SERVICE_REQUEST`: a service search request.
+    ServiceRequest,
+    /// `SDP_SERVICE_RESPONSE`: a response to a search.
+    ServiceResponse,
+    /// `SDP_SERVICE_ALIVE`: an advertisement that a service exists.
+    ServiceAlive,
+    /// `SDP_SERVICE_BYEBYE`: an advertisement that a service is leaving.
+    ServiceByeBye,
+    /// `SDP_SERVICE_TYPE`: the *canonical* service type name (`clock`,
+    /// `printer`) — each parser maps its native form to this.
+    ServiceType(String),
+    /// `SDP_SERVICE_ATTR`: one attribute constraint or descriptor.
+    ServiceAttr {
+        /// Attribute tag.
+        tag: String,
+        /// Attribute values (may be empty for keyword attributes).
+        values: Vec<String>,
+    },
+
+    // --- SDP Request Events --------------------------------------------
+    /// `SDP_REQ_LANG`: requested language.
+    ReqLang(String),
+
+    // --- SDP Response Events -------------------------------------------
+    /// `SDP_RES_OK`: success.
+    ResOk,
+    /// `SDP_RES_ERR`: failure, with a protocol-agnostic code.
+    ResErr(u16),
+    /// `SDP_RES_TTL`: validity of the answer, seconds.
+    ResTtl(u32),
+    /// `SDP_RES_SERV_URL`: the service endpoint URL — the event the whole
+    /// §2.4 translation works towards.
+    ResServUrl(String),
+    /// `SDP_RES_ATTR`: one attribute of the discovered service.
+    ResAttr {
+        /// Attribute tag.
+        tag: String,
+        /// Attribute value.
+        value: String,
+    },
+
+    // --- SLP-specific (discarded by non-SLP composers) ------------------
+    /// `SDP_REQ_VERSION` (Fig. 4): SLP protocol version.
+    SlpReqVersion(u8),
+    /// `SDP_REQ_SCOPE` (Fig. 4): SLP scope list.
+    SlpReqScope(String),
+    /// `SDP_REQ_PREDICATE` (Fig. 4): SLP LDAP predicate.
+    SlpReqPredicate(String),
+    /// `SDP_REQ_ID` (Fig. 4): SLP transaction id.
+    SlpReqId(u16),
+
+    // --- UPnP-specific ---------------------------------------------------
+    /// `SDP_DEVICE_URL_DESC` (Fig. 4): the description-document URL from a
+    /// discovery response; consumed internally by the UPnP unit to fetch
+    /// the description.
+    UpnpDeviceUrlDesc(String),
+    /// UPnP unique service name.
+    UpnpUsn(String),
+    /// UPnP server banner.
+    UpnpServer(String),
+    /// UPnP search MX (response jitter bound).
+    UpnpMx(u8),
+    /// The raw `ST:` search-target text, preserved so a UPnP composer can
+    /// echo it exactly in the search response.
+    UpnpSt(String),
+
+    // --- Jini-specific ---------------------------------------------------
+    /// Jini discovery groups.
+    JiniGroups(Vec<String>),
+    /// Jini service id.
+    JiniServiceId(u64),
+    /// Jini lease duration, seconds.
+    JiniLease(u32),
+}
+
+/// Discriminant of an [`Event`], used as FSM trigger (the paper's Σ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // names mirror Event variants one-to-one
+pub enum EventKind {
+    Start,
+    Stop,
+    ParserSwitch,
+    SocketSwitch,
+    NetUnicast,
+    NetMulticast,
+    NetSourceAddr,
+    NetDestAddr,
+    NetType,
+    ServiceRequest,
+    ServiceResponse,
+    ServiceAlive,
+    ServiceByeBye,
+    ServiceType,
+    ServiceAttr,
+    ReqLang,
+    ResOk,
+    ResErr,
+    ResTtl,
+    ResServUrl,
+    ResAttr,
+    SlpReqVersion,
+    SlpReqScope,
+    SlpReqPredicate,
+    SlpReqId,
+    UpnpDeviceUrlDesc,
+    UpnpUsn,
+    UpnpServer,
+    UpnpMx,
+    UpnpSt,
+    JiniGroups,
+    JiniServiceId,
+    JiniLease,
+}
+
+impl Event {
+    /// The event's discriminant.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::Start => EventKind::Start,
+            Event::Stop => EventKind::Stop,
+            Event::ParserSwitch(_) => EventKind::ParserSwitch,
+            Event::SocketSwitch => EventKind::SocketSwitch,
+            Event::NetUnicast => EventKind::NetUnicast,
+            Event::NetMulticast => EventKind::NetMulticast,
+            Event::NetSourceAddr(_) => EventKind::NetSourceAddr,
+            Event::NetDestAddr(_) => EventKind::NetDestAddr,
+            Event::NetType(_) => EventKind::NetType,
+            Event::ServiceRequest => EventKind::ServiceRequest,
+            Event::ServiceResponse => EventKind::ServiceResponse,
+            Event::ServiceAlive => EventKind::ServiceAlive,
+            Event::ServiceByeBye => EventKind::ServiceByeBye,
+            Event::ServiceType(_) => EventKind::ServiceType,
+            Event::ServiceAttr { .. } => EventKind::ServiceAttr,
+            Event::ReqLang(_) => EventKind::ReqLang,
+            Event::ResOk => EventKind::ResOk,
+            Event::ResErr(_) => EventKind::ResErr,
+            Event::ResTtl(_) => EventKind::ResTtl,
+            Event::ResServUrl(_) => EventKind::ResServUrl,
+            Event::ResAttr { .. } => EventKind::ResAttr,
+            Event::SlpReqVersion(_) => EventKind::SlpReqVersion,
+            Event::SlpReqScope(_) => EventKind::SlpReqScope,
+            Event::SlpReqPredicate(_) => EventKind::SlpReqPredicate,
+            Event::SlpReqId(_) => EventKind::SlpReqId,
+            Event::UpnpDeviceUrlDesc(_) => EventKind::UpnpDeviceUrlDesc,
+            Event::UpnpUsn(_) => EventKind::UpnpUsn,
+            Event::UpnpServer(_) => EventKind::UpnpServer,
+            Event::UpnpMx(_) => EventKind::UpnpMx,
+            Event::UpnpSt(_) => EventKind::UpnpSt,
+            Event::JiniGroups(_) => EventKind::JiniGroups,
+            Event::JiniServiceId(_) => EventKind::JiniServiceId,
+            Event::JiniLease(_) => EventKind::JiniLease,
+        }
+    }
+
+    /// True for the mandatory (Table 1) events every composer must
+    /// understand; false for the protocol-specific extensions.
+    pub fn is_mandatory(&self) -> bool {
+        self.kind().table1_name().is_some()
+    }
+}
+
+impl EventKind {
+    /// The paper's Table 1 name, for mandatory events.
+    pub fn table1_name(self) -> Option<&'static str> {
+        Some(match self {
+            EventKind::Start => "SDP_C_START",
+            EventKind::Stop => "SDP_C_STOP",
+            EventKind::ParserSwitch => "SDP_C_PARSER_SWITCH",
+            EventKind::SocketSwitch => "SDP_C_SOCKET_SWITCH",
+            EventKind::NetUnicast => "SDP_NET_UNICAST",
+            EventKind::NetMulticast => "SDP_NET_MULTICAST",
+            EventKind::NetSourceAddr => "SDP_NET_SOURCE_ADDR",
+            EventKind::NetDestAddr => "SDP_NET_DEST_ADDR",
+            EventKind::NetType => "SDP_NET_TYPE",
+            EventKind::ServiceRequest => "SDP_SERVICE_REQUEST",
+            EventKind::ServiceResponse => "SDP_SERVICE_RESPONSE",
+            EventKind::ServiceAlive => "SDP_SERVICE_ALIVE",
+            EventKind::ServiceByeBye => "SDP_SERVICE_BYEBYE",
+            EventKind::ServiceType => "SDP_SERVICE_TYPE",
+            EventKind::ServiceAttr => "SDP_SERVICE_ATTR",
+            EventKind::ReqLang => "SDP_REQ_LANG",
+            EventKind::ResOk => "SDP_RES_OK",
+            EventKind::ResErr => "SDP_RES_ERR",
+            EventKind::ResTtl => "SDP_RES_TTL",
+            EventKind::ResServUrl => "SDP_RES_SERV_URL",
+            EventKind::ResAttr => "SDP_RES_ATTR",
+            _ => return None,
+        })
+    }
+
+    /// A wire-style name for any event kind (Table 1 name when mandatory,
+    /// a specific-set name otherwise) — used in traces and tests.
+    pub fn name(self) -> &'static str {
+        if let Some(n) = self.table1_name() {
+            return n;
+        }
+        match self {
+            EventKind::SlpReqVersion => "SDP_REQ_VERSION",
+            EventKind::SlpReqScope => "SDP_REQ_SCOPE",
+            EventKind::SlpReqPredicate => "SDP_REQ_PREDICATE",
+            EventKind::SlpReqId => "SDP_REQ_ID",
+            EventKind::UpnpDeviceUrlDesc => "SDP_DEVICE_URL_DESC",
+            EventKind::UpnpUsn => "SDP_UPNP_USN",
+            EventKind::UpnpServer => "SDP_UPNP_SERVER",
+            EventKind::UpnpMx => "SDP_UPNP_MX",
+            EventKind::UpnpSt => "SDP_UPNP_ST",
+            EventKind::JiniGroups => "SDP_JINI_GROUPS",
+            EventKind::JiniServiceId => "SDP_JINI_SERVICE_ID",
+            EventKind::JiniLease => "SDP_JINI_LEASE",
+            _ => unreachable!("mandatory kinds answered above"),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.kind().name())
+    }
+}
+
+/// A framed event stream: `SDP_C_START … SDP_C_STOP`, representing one
+/// native message (or one internal translation step).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventStream {
+    events: Vec<Event>,
+}
+
+impl EventStream {
+    /// Creates a stream already framed with `Start`/`Stop` around `body`.
+    pub fn framed(body: Vec<Event>) -> EventStream {
+        let mut events = Vec::with_capacity(body.len() + 2);
+        events.push(Event::Start);
+        events.extend(body);
+        events.push(Event::Stop);
+        EventStream { events }
+    }
+
+    /// Wraps raw events, validating framing.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CoreError::BadEventFraming`] if the stream does not start
+    /// with `Start` and end with `Stop`.
+    pub fn from_events(events: Vec<Event>) -> crate::CoreResult<EventStream> {
+        let ok = matches!(events.first(), Some(Event::Start))
+            && matches!(events.last(), Some(Event::Stop))
+            && events.len() >= 2;
+        if !ok {
+            return Err(crate::CoreError::BadEventFraming);
+        }
+        Ok(EventStream { events })
+    }
+
+    /// All events including the frame.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events between `Start` and `Stop`.
+    pub fn body(&self) -> &[Event] {
+        &self.events[1..self.events.len() - 1]
+    }
+
+    /// The names of all events, for trace assertions (Fig. 4 style).
+    pub fn names(&self) -> Vec<&'static str> {
+        self.events.iter().map(|e| e.kind().name()).collect()
+    }
+
+    /// First `ServiceType` payload, if any.
+    pub fn service_type(&self) -> Option<&str> {
+        self.events.iter().find_map(|e| match e {
+            Event::ServiceType(t) => Some(t.as_str()),
+            _ => None,
+        })
+    }
+
+    /// First `NetSourceAddr` payload, if any.
+    pub fn source_addr(&self) -> Option<SocketAddrV4> {
+        self.events.iter().find_map(|e| match e {
+            Event::NetSourceAddr(a) => Some(*a),
+            _ => None,
+        })
+    }
+
+    /// First `ResServUrl` payload, if any.
+    pub fn service_url(&self) -> Option<&str> {
+        self.events.iter().find_map(|e| match e {
+            Event::ResServUrl(u) => Some(u.as_str()),
+            _ => None,
+        })
+    }
+
+    /// All `ResAttr` pairs.
+    pub fn response_attrs(&self) -> Vec<(&str, &str)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::ResAttr { tag, value } => Some((tag.as_str(), value.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True when the stream describes a search request.
+    pub fn is_request(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, Event::ServiceRequest))
+    }
+
+    /// True when the stream describes a response.
+    pub fn is_response(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, Event::ServiceResponse))
+    }
+
+    /// True when the stream describes an (alive) advertisement.
+    pub fn is_alive(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, Event::ServiceAlive))
+    }
+
+    /// True when the stream describes a byebye advertisement.
+    pub fn is_byebye(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, Event::ServiceByeBye))
+    }
+
+    /// Which protocol produced the stream, from `NetType`.
+    pub fn net_type(&self) -> Option<SdpProtocol> {
+        self.events.iter().find_map(|e| match e {
+            Event::NetType(p) => Some(*p),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every event type listed in the paper's Table 1 must exist with its
+    /// exact name.
+    #[test]
+    fn table1_is_complete() {
+        let expected = [
+            "SDP_C_START",
+            "SDP_C_STOP",
+            "SDP_C_PARSER_SWITCH",
+            "SDP_C_SOCKET_SWITCH",
+            "SDP_NET_UNICAST",
+            "SDP_NET_MULTICAST",
+            "SDP_NET_SOURCE_ADDR",
+            "SDP_NET_DEST_ADDR",
+            "SDP_NET_TYPE",
+            "SDP_SERVICE_REQUEST",
+            "SDP_SERVICE_RESPONSE",
+            "SDP_SERVICE_ALIVE",
+            "SDP_SERVICE_BYEBYE",
+            "SDP_SERVICE_TYPE",
+            "SDP_SERVICE_ATTR",
+            "SDP_REQ_LANG",
+            "SDP_RES_OK",
+            "SDP_RES_ERR",
+            "SDP_RES_TTL",
+            "SDP_RES_SERV_URL",
+        ];
+        let kinds = [
+            EventKind::Start,
+            EventKind::Stop,
+            EventKind::ParserSwitch,
+            EventKind::SocketSwitch,
+            EventKind::NetUnicast,
+            EventKind::NetMulticast,
+            EventKind::NetSourceAddr,
+            EventKind::NetDestAddr,
+            EventKind::NetType,
+            EventKind::ServiceRequest,
+            EventKind::ServiceResponse,
+            EventKind::ServiceAlive,
+            EventKind::ServiceByeBye,
+            EventKind::ServiceType,
+            EventKind::ServiceAttr,
+            EventKind::ReqLang,
+            EventKind::ResOk,
+            EventKind::ResErr,
+            EventKind::ResTtl,
+            EventKind::ResServUrl,
+        ];
+        for (kind, name) in kinds.iter().zip(expected.iter()) {
+            assert_eq!(kind.table1_name(), Some(*name));
+        }
+    }
+
+    #[test]
+    fn specific_events_are_not_mandatory() {
+        assert!(!Event::SlpReqVersion(2).is_mandatory());
+        assert!(!Event::UpnpDeviceUrlDesc("http://x".into()).is_mandatory());
+        assert!(!Event::JiniLease(60).is_mandatory());
+        assert!(Event::ServiceRequest.is_mandatory());
+        assert!(Event::ResAttr { tag: "a".into(), value: "b".into() }.is_mandatory());
+    }
+
+    #[test]
+    fn framing_validates() {
+        assert!(EventStream::from_events(vec![Event::Start, Event::Stop]).is_ok());
+        assert!(EventStream::from_events(vec![Event::Start]).is_err());
+        assert!(EventStream::from_events(vec![Event::ServiceRequest]).is_err());
+        assert!(EventStream::from_events(vec![]).is_err());
+    }
+
+    #[test]
+    fn framed_constructor_brackets() {
+        let s = EventStream::framed(vec![Event::ServiceRequest]);
+        assert_eq!(s.names(), vec!["SDP_C_START", "SDP_SERVICE_REQUEST", "SDP_C_STOP"]);
+        assert_eq!(s.body().len(), 1);
+    }
+
+    #[test]
+    fn accessors_find_payloads() {
+        let addr = "10.0.0.1:40000".parse().unwrap();
+        let s = EventStream::framed(vec![
+            Event::NetType(SdpProtocol::Slp),
+            Event::NetMulticast,
+            Event::NetSourceAddr(addr),
+            Event::ServiceRequest,
+            Event::ServiceType("clock".into()),
+        ]);
+        assert!(s.is_request());
+        assert!(!s.is_response());
+        assert_eq!(s.service_type(), Some("clock"));
+        assert_eq!(s.source_addr(), Some(addr));
+        assert_eq!(s.net_type(), Some(SdpProtocol::Slp));
+    }
+
+    #[test]
+    fn response_accessors() {
+        let s = EventStream::framed(vec![
+            Event::ServiceResponse,
+            Event::ResOk,
+            Event::ResServUrl("service:clock://10.0.0.2".into()),
+            Event::ResAttr { tag: "friendlyName".into(), value: "Clock".into() },
+        ]);
+        assert!(s.is_response());
+        assert_eq!(s.service_url(), Some("service:clock://10.0.0.2"));
+        assert_eq!(s.response_attrs(), vec![("friendlyName", "Clock")]);
+    }
+
+    #[test]
+    fn protocol_ports_match_iana() {
+        assert_eq!(SdpProtocol::Slp.port(), 427);
+        assert_eq!(SdpProtocol::Upnp.port(), 1900);
+        assert_eq!(SdpProtocol::Jini.port(), 4160);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        assert_eq!(Event::Start.to_string(), "SDP_C_START");
+        assert_eq!(Event::UpnpMx(0).to_string(), "SDP_UPNP_MX");
+        assert_eq!(SdpProtocol::Upnp.to_string(), "UPnP");
+    }
+}

@@ -1,0 +1,329 @@
+//! The unit coordination engine: a deterministic finite automaton over
+//! events (paper §2.3).
+//!
+//! A SDP state machine is the 5-tuple *(Q, Σ, C, T, q0, F)*: states,
+//! input events, conditions, the transition function, a start state and
+//! accepting states. Transitions are declared exactly as the paper's
+//! `AddTuple(CurrentState, triggers, condition-guards, NewState, actions)`
+//! operator — see [`FsmBuilder::tuple`].
+//!
+//! The engine is generic over `S`, the unit's *state variables* ("events
+//! data from previous states are recorded using state variables"), and
+//! `C`, the command type produced by actions for the unit to execute
+//! (dispatch, send, reconfigure, …).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::event::{Event, EventKind};
+
+/// A condition guard: a boolean expression over the incoming event and
+/// the recorded state variables.
+pub type Guard<S> = Rc<dyn Fn(&Event, &S) -> bool>;
+
+/// An action: may mutate the state variables and emit commands.
+pub type Action<S, C> = Rc<dyn Fn(&mut S, &Event) -> Vec<C>>;
+
+/// What causes a transition to be considered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// A specific event kind.
+    Kind(EventKind),
+    /// Any event (useful for logging or catch-all recording transitions).
+    Any,
+}
+
+struct Tuple<S, C> {
+    from: &'static str,
+    trigger: Trigger,
+    guard: Option<Guard<S>>,
+    to: &'static str,
+    action: Option<Action<S, C>>,
+}
+
+/// Builder mirroring the paper's `Component UPnP-FSM = { AddTuple(...) }`.
+pub struct FsmBuilder<S, C> {
+    start: &'static str,
+    accepting: Vec<&'static str>,
+    tuples: Vec<Tuple<S, C>>,
+}
+
+impl<S, C> FsmBuilder<S, C> {
+    /// Starts a machine at `start`.
+    pub fn new(start: &'static str) -> Self {
+        FsmBuilder { start, accepting: Vec::new(), tuples: Vec::new() }
+    }
+
+    /// Declares accepting (final) states — the paper's `F ⊂ Q`.
+    pub fn accepting(mut self, states: &[&'static str]) -> Self {
+        self.accepting.extend_from_slice(states);
+        self
+    }
+
+    /// The paper's `AddTuple(CurrentState, trigger, condition-guard,
+    /// NewState, action)`. Tuples are tried in declaration order; the
+    /// first whose trigger and guard match wins (determinism by
+    /// priority).
+    pub fn tuple(
+        mut self,
+        from: &'static str,
+        trigger: Trigger,
+        guard: Option<Guard<S>>,
+        to: &'static str,
+        action: Option<Action<S, C>>,
+    ) -> Self {
+        self.tuples.push(Tuple { from, trigger, guard, to, action });
+        self
+    }
+
+    /// Convenience for the common guard-less case.
+    pub fn on(
+        self,
+        from: &'static str,
+        kind: EventKind,
+        to: &'static str,
+        action: Action<S, C>,
+    ) -> Self {
+        self.tuple(from, Trigger::Kind(kind), None, to, Some(action))
+    }
+
+    /// Finalizes the machine.
+    pub fn build(self) -> Fsm<S, C> {
+        let mut by_state: HashMap<&'static str, Vec<usize>> = HashMap::new();
+        for (i, t) in self.tuples.iter().enumerate() {
+            by_state.entry(t.from).or_default().push(i);
+        }
+        Fsm {
+            current: self.start,
+            start: self.start,
+            accepting: self.accepting,
+            tuples: self.tuples,
+            by_state,
+            transitions_taken: 0,
+        }
+    }
+}
+
+/// A running DFA instance.
+pub struct Fsm<S, C> {
+    current: &'static str,
+    start: &'static str,
+    accepting: Vec<&'static str>,
+    tuples: Vec<Tuple<S, C>>,
+    by_state: HashMap<&'static str, Vec<usize>>,
+    transitions_taken: usize,
+}
+
+impl<S, C> Fsm<S, C> {
+    /// The current state's label.
+    pub fn state(&self) -> &'static str {
+        self.current
+    }
+
+    /// True when the machine is in an accepting state.
+    pub fn is_accepting(&self) -> bool {
+        self.accepting.contains(&self.current)
+    }
+
+    /// Number of transitions taken so far.
+    pub fn transitions_taken(&self) -> usize {
+        self.transitions_taken
+    }
+
+    /// Resets to the start state (used when a unit begins a new session).
+    pub fn reset(&mut self) {
+        self.current = self.start;
+    }
+
+    /// Feeds one event. If a transition matches (trigger + guard), the
+    /// machine moves and the action's commands are returned; otherwise
+    /// the event is *filtered* — dropped without a state change, which is
+    /// how units discard events they do not understand (§2.3).
+    pub fn feed(&mut self, event: &Event, vars: &mut S) -> Vec<C> {
+        let Some(candidates) = self.by_state.get(self.current) else {
+            return Vec::new();
+        };
+        for &i in candidates {
+            let tuple = &self.tuples[i];
+            let trigger_hit = match tuple.trigger {
+                Trigger::Any => true,
+                Trigger::Kind(k) => k == event.kind(),
+            };
+            if !trigger_hit {
+                continue;
+            }
+            if let Some(guard) = &tuple.guard {
+                if !guard(event, vars) {
+                    continue;
+                }
+            }
+            self.current = tuple.to;
+            self.transitions_taken += 1;
+            let action = tuple.action.clone();
+            return match action {
+                Some(a) => a(vars, event),
+                None => Vec::new(),
+            };
+        }
+        Vec::new()
+    }
+
+    /// Feeds a whole event sequence, concatenating emitted commands.
+    pub fn feed_all<'a, I: IntoIterator<Item = &'a Event>>(
+        &mut self,
+        events: I,
+        vars: &mut S,
+    ) -> Vec<C> {
+        let mut out = Vec::new();
+        for e in events {
+            out.extend(self.feed(e, vars));
+        }
+        out
+    }
+}
+
+impl<S, C> std::fmt::Debug for Fsm<S, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fsm")
+            .field("current", &self.current)
+            .field("tuples", &self.tuples.len())
+            .field("accepting", &self.accepting)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    /// State variables for the test machine: counts and a recorded type.
+    #[derive(Default)]
+    struct Vars {
+        service_type: Option<String>,
+        attrs_seen: usize,
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum Cmd {
+        Remember(String),
+        Finish(usize),
+    }
+
+    fn request_machine() -> Fsm<Vars, Cmd> {
+        FsmBuilder::new("idle")
+            .accepting(&["done"])
+            .on("idle", EventKind::Start, "open", Rc::new(|_, _| vec![]))
+            .on(
+                "open",
+                EventKind::ServiceType,
+                "typed",
+                Rc::new(|vars: &mut Vars, e: &Event| {
+                    if let Event::ServiceType(t) = e {
+                        vars.service_type = Some(t.clone());
+                        vec![Cmd::Remember(t.clone())]
+                    } else {
+                        vec![]
+                    }
+                }),
+            )
+            .tuple(
+                "typed",
+                Trigger::Kind(EventKind::ServiceAttr),
+                None,
+                "typed",
+                Some(Rc::new(|vars: &mut Vars, _| {
+                    vars.attrs_seen += 1;
+                    vec![]
+                })),
+            )
+            .on(
+                "typed",
+                EventKind::Stop,
+                "done",
+                Rc::new(|vars: &mut Vars, _| vec![Cmd::Finish(vars.attrs_seen)]),
+            )
+            .build()
+    }
+
+    #[test]
+    fn transitions_follow_tuples() {
+        let mut fsm = request_machine();
+        let mut vars = Vars::default();
+        assert_eq!(fsm.state(), "idle");
+        fsm.feed(&Event::Start, &mut vars);
+        assert_eq!(fsm.state(), "open");
+        let cmds = fsm.feed(&Event::ServiceType("clock".into()), &mut vars);
+        assert_eq!(cmds, vec![Cmd::Remember("clock".into())]);
+        fsm.feed(&Event::ServiceAttr { tag: "a".into(), values: vec![] }, &mut vars);
+        fsm.feed(&Event::ServiceAttr { tag: "b".into(), values: vec![] }, &mut vars);
+        let cmds = fsm.feed(&Event::Stop, &mut vars);
+        assert_eq!(cmds, vec![Cmd::Finish(2)]);
+        assert!(fsm.is_accepting());
+        assert_eq!(fsm.transitions_taken(), 5);
+    }
+
+    #[test]
+    fn unknown_events_are_filtered_without_state_change() {
+        let mut fsm = request_machine();
+        let mut vars = Vars::default();
+        fsm.feed(&Event::Start, &mut vars);
+        // An SLP-specific event this machine has no tuple for: discarded.
+        let cmds = fsm.feed(&Event::SlpReqVersion(2), &mut vars);
+        assert!(cmds.is_empty());
+        assert_eq!(fsm.state(), "open");
+    }
+
+    #[test]
+    fn guards_select_among_tuples() {
+        let mut fsm: Fsm<(), &'static str> = FsmBuilder::new("s")
+            .tuple(
+                "s",
+                Trigger::Kind(EventKind::ResTtl),
+                Some(Rc::new(|e: &Event, _| matches!(e, Event::ResTtl(t) if *t > 100))),
+                "long",
+                Some(Rc::new(|_, _| vec!["long-lived"])),
+            )
+            .tuple(
+                "s",
+                Trigger::Kind(EventKind::ResTtl),
+                None,
+                "short",
+                Some(Rc::new(|_, _| vec!["short-lived"])),
+            )
+            .build();
+        let mut unit = ();
+        assert_eq!(fsm.feed(&Event::ResTtl(50), &mut unit), vec!["short-lived"]);
+        fsm.reset();
+        assert_eq!(fsm.feed(&Event::ResTtl(5000), &mut unit), vec!["long-lived"]);
+    }
+
+    #[test]
+    fn any_trigger_catches_everything() {
+        let mut fsm: Fsm<usize, ()> = FsmBuilder::new("s")
+            .tuple(
+                "s",
+                Trigger::Any,
+                None,
+                "s",
+                Some(Rc::new(|count: &mut usize, _| {
+                    *count += 1;
+                    vec![]
+                })),
+            )
+            .build();
+        let mut n = 0;
+        fsm.feed_all([Event::Start, Event::ResOk, Event::Stop].iter(), &mut n);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn reset_returns_to_start() {
+        let mut fsm = request_machine();
+        let mut vars = Vars::default();
+        fsm.feed(&Event::Start, &mut vars);
+        assert_ne!(fsm.state(), "idle");
+        fsm.reset();
+        assert_eq!(fsm.state(), "idle");
+    }
+}

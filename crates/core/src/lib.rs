@@ -1,0 +1,67 @@
+//! # indiss-core — the INDISS interoperability system
+//!
+//! The primary contribution of *Bromberg & Issarny, "INDISS: Interoperable
+//! Discovery System for Networked Services" (Middleware 2005)*,
+//! implemented in full:
+//!
+//! * [`Monitor`] — passive SDP **detection** from IANA group/port
+//!   activity alone (§2.1);
+//! * [`Event`] / [`EventStream`] — the semantic event vocabulary of
+//!   Table 1, mandatory sets plus protocol-specific extensions (§2.3);
+//! * [`Fsm`] — the DFA coordination engine with the paper's
+//!   `AddTuple(state, trigger, guard, state', actions)` declaration style;
+//! * [`SlpUnit`] / [`UpnpUnit`] / [`JiniUnit`] — parser+composer pairs
+//!   that translate whole discovery *processes*, including the UPnP
+//!   unit's recursive description fetch with parser switching (§2.4);
+//! * [`Indiss`] — the deployable runtime: dynamic unit composition
+//!   (Fig. 5), response caching, and traffic-threshold self-adaptation
+//!   between passive and active modes (§4.2, Fig. 6).
+//!
+//! Interoperability is transparent: native clients and services from
+//! `indiss-slp`, `indiss-upnp` and `indiss-jini` are *unmodified* — they
+//! simply start seeing services from other middleware.
+//!
+//! ```
+//! use indiss_core::{Indiss, IndissConfig};
+//! use indiss_net::World;
+//! use indiss_slp::{SlpConfig, UserAgent};
+//! use indiss_upnp::{ClockDevice, UpnpConfig};
+//! use std::time::Duration;
+//!
+//! let world = World::new(7);
+//! let service_node = world.add_node("clock-host");
+//! let client_node = world.add_node("slp-client");
+//!
+//! let _clock = ClockDevice::start(&service_node, UpnpConfig::default())?;
+//! let _indiss = Indiss::deploy(&service_node, IndissConfig::slp_upnp())?;
+//! let ua = UserAgent::start(&client_node, SlpConfig::default())?;
+//!
+//! let (_first, done) = ua.find_services(&world, "service:clock", "");
+//! world.run_for(Duration::from_secs(2));
+//! assert_eq!(done.take().unwrap().urls.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adapt;
+mod config;
+mod error;
+mod event;
+mod fsm;
+mod monitor;
+mod runtime;
+mod units;
+
+pub use adapt::{AdaptationPolicy, DiscoveryMode};
+pub use config::{IndissConfig, UnitSpec};
+pub use error::{CoreError, CoreResult};
+pub use event::{Event, EventKind, EventStream, ParserKind, SdpProtocol};
+pub use fsm::{Action, Fsm, FsmBuilder, Guard, Trigger};
+pub use monitor::{DetectionRecord, Monitor};
+pub use runtime::{BridgeStats, Indiss};
+pub use units::{
+    BridgeRequestFn, JiniUnit, JiniUnitConfig, ParsedMessage, SlpUnit, SlpUnitConfig, Unit,
+    UpnpUnit, UpnpUnitConfig,
+};

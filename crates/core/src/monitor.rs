@@ -1,0 +1,294 @@
+//! The monitor component (paper §2.1): passive, port-based SDP detection.
+//!
+//! Every SDP has an IANA-assigned multicast group and port — a "permanent
+//! identification tag". The monitor joins all of them and detects which
+//! protocols are active purely from *data arrival at the monitored
+//! ports*: no payload inspection, no computation ("the detection is not
+//! based on the data content but on the data existence at the specified
+//! UDP/TCP ports inside the corresponding groups"). Raw datagrams are
+//! then forwarded to the appropriate unit's parser (§2.2 step 2).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::net::SocketAddrV4;
+use std::rc::Rc;
+
+use indiss_net::{Datagram, NetResult, Node, SimTime, UdpSocket, World};
+
+use crate::event::SdpProtocol;
+
+/// Detection statistics for one protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionRecord {
+    /// When the first message was observed.
+    pub first_seen: SimTime,
+    /// When the most recent message was observed.
+    pub last_seen: SimTime,
+    /// How many messages have been observed.
+    pub message_count: u64,
+}
+
+type MessageSubscriber = Box<dyn Fn(&World, SdpProtocol, &Datagram)>;
+type DetectSubscriber = Box<dyn Fn(&World, SdpProtocol)>;
+
+struct MonitorInner {
+    sockets: Vec<(SdpProtocol, UdpSocket)>,
+    detections: HashMap<SdpProtocol, DetectionRecord>,
+    message_subscribers: Vec<Rc<MessageSubscriber>>,
+    detect_subscribers: Vec<Rc<DetectSubscriber>>,
+    /// Source addresses whose traffic is ignored (this INDISS instance's
+    /// own sockets, to prevent translation loops).
+    own_sources: HashSet<SocketAddrV4>,
+}
+
+/// The monitor component: one shared socket per monitored protocol.
+///
+/// # Examples
+///
+/// ```
+/// use indiss_core::{Monitor, SdpProtocol};
+/// use indiss_net::World;
+///
+/// let world = World::new(1);
+/// let node = world.add_node("gateway");
+/// let monitor = Monitor::start(&node, &[SdpProtocol::Slp, SdpProtocol::Upnp])?;
+/// assert!(monitor.detected().is_empty(), "nothing heard yet");
+/// # Ok::<(), indiss_net::NetError>(())
+/// ```
+#[derive(Clone)]
+pub struct Monitor {
+    inner: Rc<RefCell<MonitorInner>>,
+}
+
+impl Monitor {
+    /// Starts monitoring the given protocols on `node`: subscribes to each
+    /// protocol's multicast groups and listens on its registered port.
+    ///
+    /// # Errors
+    ///
+    /// Network errors from binding (exclusive holders of an SDP port on
+    /// this node conflict; native stacks built on `indiss-*` crates bind
+    /// shared, as real stacks use `SO_REUSEADDR`).
+    pub fn start(node: &Node, protocols: &[SdpProtocol]) -> NetResult<Monitor> {
+        let monitor = Monitor {
+            inner: Rc::new(RefCell::new(MonitorInner {
+                sockets: Vec::new(),
+                detections: HashMap::new(),
+                message_subscribers: Vec::new(),
+                detect_subscribers: Vec::new(),
+                own_sources: HashSet::new(),
+            })),
+        };
+        for &protocol in protocols {
+            let socket = node.udp_bind_shared(protocol.port())?;
+            for group in protocol.multicast_groups() {
+                socket.join_multicast(group)?;
+            }
+            let this = monitor.clone();
+            socket.on_receive(move |world, dgram| this.observe(world, protocol, dgram));
+            monitor.inner.borrow_mut().sockets.push((protocol, socket));
+        }
+        Ok(monitor)
+    }
+
+    /// Registers a source address whose packets the monitor must ignore —
+    /// the runtime adds every socket INDISS itself sends from, so the
+    /// system never tries to translate its own traffic.
+    pub fn ignore_source(&self, addr: SocketAddrV4) {
+        self.inner.borrow_mut().own_sources.insert(addr);
+    }
+
+    /// Protocols seen so far, in first-detection order.
+    pub fn detected(&self) -> Vec<SdpProtocol> {
+        let inner = self.inner.borrow();
+        let mut seen: Vec<(SimTime, SdpProtocol)> = inner
+            .detections
+            .iter()
+            .map(|(p, r)| (r.first_seen, *p))
+            .collect();
+        seen.sort();
+        seen.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Detection statistics for one protocol.
+    pub fn detection(&self, protocol: SdpProtocol) -> Option<DetectionRecord> {
+        self.inner.borrow().detections.get(&protocol).copied()
+    }
+
+    /// Subscribes to every observed datagram (after loop filtering),
+    /// tagged with the detected protocol. This is the §2.2 step-2 hookup:
+    /// "forwards the input data to the appropriate parser".
+    pub fn on_message<F>(&self, f: F)
+    where
+        F: Fn(&World, SdpProtocol, &Datagram) + 'static,
+    {
+        self.inner.borrow_mut().message_subscribers.push(Rc::new(Box::new(f)));
+    }
+
+    /// Subscribes to first-detection of each protocol (used for dynamic
+    /// unit instantiation, §3).
+    pub fn on_detect<F>(&self, f: F)
+    where
+        F: Fn(&World, SdpProtocol) + 'static,
+    {
+        self.inner.borrow_mut().detect_subscribers.push(Rc::new(Box::new(f)));
+    }
+
+    /// Stops monitoring and closes all sockets.
+    pub fn stop(&self) {
+        let inner = self.inner.borrow();
+        for (_, socket) in &inner.sockets {
+            socket.close();
+        }
+    }
+
+    fn observe(&self, world: &World, protocol: SdpProtocol, dgram: Datagram) {
+        let (message_subs, detect_subs, newly_detected) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.own_sources.contains(&dgram.src) {
+                return; // our own traffic: never re-translate (loop guard)
+            }
+            let now = world.now();
+            let newly = !inner.detections.contains_key(&protocol);
+            let record = inner.detections.entry(protocol).or_insert(DetectionRecord {
+                first_seen: now,
+                last_seen: now,
+                message_count: 0,
+            });
+            record.last_seen = now;
+            record.message_count += 1;
+            (
+                inner.message_subscribers.clone(),
+                if newly { inner.detect_subscribers.clone() } else { Vec::new() },
+                newly,
+            )
+        };
+        let _ = newly_detected;
+        for sub in detect_subs {
+            sub(world, protocol);
+        }
+        for sub in message_subs {
+            sub(world, protocol, &dgram);
+        }
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Monitor")
+            .field("protocols", &inner.sockets.iter().map(|(p, _)| *p).collect::<Vec<_>>())
+            .field("detections", &inner.detections)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indiss_net::Collector;
+    use indiss_slp::{Registration, ServiceAgent, SlpConfig, UserAgent};
+    use std::time::Duration;
+
+    #[test]
+    fn detects_slp_from_client_requests_without_parsing() {
+        // Mirrors Fig. 1: an *active* SDP (SLP client multicasting
+        // requests) is detected from data arrival alone.
+        let world = World::new(3);
+        let gw = world.add_node("gateway");
+        let client = world.add_node("client");
+        let monitor = Monitor::start(&gw, &[SdpProtocol::Slp, SdpProtocol::Upnp]).unwrap();
+        let ua = UserAgent::start(&client, SlpConfig::default()).unwrap();
+        ua.find_services(&world, "service:anything", "");
+        world.run_for(Duration::from_secs(1));
+        assert_eq!(monitor.detected(), vec![SdpProtocol::Slp]);
+        let rec = monitor.detection(SdpProtocol::Slp).unwrap();
+        assert_eq!(rec.message_count, 1);
+    }
+
+    #[test]
+    fn detects_upnp_from_service_advertisements() {
+        // Mirrors Fig. 1's passive SDP: a service advertising itself.
+        let world = World::new(3);
+        let gw = world.add_node("gateway");
+        let dev = world.add_node("device");
+        let monitor = Monitor::start(&gw, &[SdpProtocol::Slp, SdpProtocol::Upnp]).unwrap();
+        let _clock =
+            indiss_upnp::ClockDevice::start(&dev, indiss_upnp::UpnpConfig::default()).unwrap();
+        world.run_for(Duration::from_secs(1));
+        assert_eq!(monitor.detected(), vec![SdpProtocol::Upnp]);
+        // One alive burst = 4 NOTIFYs (root, uuid, device, service).
+        assert_eq!(monitor.detection(SdpProtocol::Upnp).unwrap().message_count, 4);
+    }
+
+    #[test]
+    fn detection_order_is_first_seen() {
+        let world = World::new(3);
+        let gw = world.add_node("gateway");
+        let a = world.add_node("a");
+        let monitor = Monitor::start(&gw, &[SdpProtocol::Slp, SdpProtocol::Upnp]).unwrap();
+        // SLP traffic at t≈0, UPnP later.
+        let ua = UserAgent::start(&a, SlpConfig::default()).unwrap();
+        ua.find_services(&world, "service:x", "");
+        world.run_for(Duration::from_millis(100));
+        let _clock =
+            indiss_upnp::ClockDevice::start(&a, indiss_upnp::UpnpConfig::default()).unwrap();
+        world.run_for(Duration::from_secs(1));
+        assert_eq!(monitor.detected(), vec![SdpProtocol::Slp, SdpProtocol::Upnp]);
+    }
+
+    #[test]
+    fn own_sources_are_ignored() {
+        let world = World::new(3);
+        let gw = world.add_node("gateway");
+        let client = world.add_node("client");
+        let monitor = Monitor::start(&gw, &[SdpProtocol::Slp]).unwrap();
+        let ua = UserAgent::start(&client, SlpConfig::default()).unwrap();
+        // Tell the monitor that this client's traffic is "its own".
+        // We can't see the UA's ephemeral port directly; ignore all
+        // plausible ones by probing after the fact instead:
+        let seen: Collector<SocketAddrV4> = Collector::new();
+        let seen2 = seen.clone();
+        monitor.on_message(move |_, _, d| seen2.push(d.src));
+        ua.find_services(&world, "service:x", "");
+        world.run_for(Duration::from_secs(1));
+        let src = *seen.snapshot().first().expect("first request observed");
+        monitor.ignore_source(src);
+        let before = monitor.detection(SdpProtocol::Slp).unwrap().message_count;
+        ua.find_services(&world, "service:x", "");
+        world.run_for(Duration::from_secs(1));
+        let after = monitor.detection(SdpProtocol::Slp).unwrap().message_count;
+        assert_eq!(before, after, "ignored source not counted");
+    }
+
+    #[test]
+    fn on_detect_fires_once_per_protocol() {
+        let world = World::new(3);
+        let gw = world.add_node("gateway");
+        let svc = world.add_node("svc");
+        let monitor = Monitor::start(&gw, &[SdpProtocol::Slp]).unwrap();
+        let detections: Collector<SdpProtocol> = Collector::new();
+        let d2 = detections.clone();
+        monitor.on_detect(move |_, p| d2.push(p));
+        let sa = ServiceAgent::start(&svc, SlpConfig::default()).unwrap();
+        sa.register(
+            Registration::new("service:clock://10.0.0.9", indiss_slp::AttributeList::new())
+                .unwrap(),
+        );
+        sa.advertise().unwrap();
+        sa.advertise().unwrap();
+        world.run_for(Duration::from_secs(1));
+        assert_eq!(detections.snapshot(), vec![SdpProtocol::Slp], "detected exactly once");
+    }
+
+    #[test]
+    fn monitor_coexists_with_native_stack_on_same_node() {
+        // The monitor must share port 1900 with a native device on the
+        // same host (service-side deployment).
+        let world = World::new(3);
+        let host = world.add_node("host");
+        let _clock =
+            indiss_upnp::ClockDevice::start(&host, indiss_upnp::UpnpConfig::default()).unwrap();
+        assert!(Monitor::start(&host, &[SdpProtocol::Upnp, SdpProtocol::Slp]).is_ok());
+    }
+}

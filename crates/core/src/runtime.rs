@@ -1,0 +1,672 @@
+//! The INDISS runtime: monitor + units + session routing (paper §2.2,
+//! Fig. 2/3) plus dynamic composition (§3) and adaptation (§4.2).
+//!
+//! One [`Indiss`] instance deploys on a node — client, service or gateway
+//! side, the mechanics are identical — and from then on:
+//!
+//! 1. the monitor detects SDPs and hands raw messages to the right unit's
+//!    parser;
+//! 2. request event streams are bridged: every *other* unit executes its
+//!    native query process, the first successful response-event stream
+//!    wins and the origin unit composes the native reply;
+//! 3. advertisement streams are recorded (and re-advertised in the active
+//!    mode);
+//! 4. response streams warm a cache, which yields the paper's §4.3 best
+//!    case (~0.1 ms answers from already-held knowledge).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use indiss_net::{Completion, Datagram, Node, SimTime, World};
+
+use crate::adapt::DiscoveryMode;
+use crate::config::{IndissConfig, UnitSpec};
+use crate::error::{CoreError, CoreResult};
+use crate::event::{EventStream, SdpProtocol};
+use crate::monitor::Monitor;
+use crate::units::{JiniUnit, ParsedMessage, SlpUnit, Unit, UpnpUnit};
+
+/// Counters exposed for tests and the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BridgeStats {
+    /// Requests parsed and dispatched to foreign units.
+    pub requests_bridged: u64,
+    /// Native responses composed back to requesters.
+    pub responses_composed: u64,
+    /// Requests answered from the response cache.
+    pub cache_hits: u64,
+    /// Advertisements recorded from the environment.
+    pub adverts_recorded: u64,
+    /// Advertisements re-composed into other SDPs (active mode).
+    pub adverts_translated: u64,
+    /// Requests dropped by the suppression window (multi-bridge loop
+    /// protection).
+    pub requests_suppressed: u64,
+}
+
+struct CachedResponse {
+    response: EventStream,
+    expires: SimTime,
+}
+
+struct IndissInner {
+    node: Node,
+    config: IndissConfig,
+    units: HashMap<SdpProtocol, Rc<dyn Unit>>,
+    cache: HashMap<String, CachedResponse>,
+    /// Known alive services: (origin protocol, key) → advert stream.
+    adverts: HashMap<(SdpProtocol, String), EventStream>,
+    stats: BridgeStats,
+    /// Per-canonical-type suppression deadline (loop protection).
+    recently_bridged: HashMap<String, SimTime>,
+    mode: DiscoveryMode,
+    mode_log: Vec<(SimTime, DiscoveryMode)>,
+}
+
+/// A deployed INDISS instance.
+///
+/// See the crate-level docs for a full example; the one-liner is
+/// `Indiss::deploy(&node, IndissConfig::slp_upnp())`.
+#[derive(Clone)]
+pub struct Indiss {
+    inner: Rc<RefCell<IndissInner>>,
+    monitor: Monitor,
+}
+
+impl Indiss {
+    /// Deploys INDISS on `node` with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] when no units are configured; network
+    /// errors when the monitor or unit sockets cannot bind.
+    pub fn deploy(node: &Node, config: IndissConfig) -> CoreResult<Indiss> {
+        if config.units.is_empty() {
+            return Err(CoreError::BadConfig("at least one unit is required"));
+        }
+        let protocols = config.protocols();
+        let monitor = Monitor::start(node, &protocols)?;
+        let instance = Indiss {
+            inner: Rc::new(RefCell::new(IndissInner {
+                node: node.clone(),
+                config: config.clone(),
+                units: HashMap::new(),
+                cache: HashMap::new(),
+                adverts: HashMap::new(),
+                stats: BridgeStats::default(),
+                recently_bridged: HashMap::new(),
+                mode: DiscoveryMode::Passive,
+                mode_log: vec![(node.world().now(), DiscoveryMode::Passive)],
+            })),
+            monitor: monitor.clone(),
+        };
+
+        if config.lazy_units {
+            // Dynamic composition (Fig. 5): instantiate a unit when its
+            // protocol is first detected.
+            let this = instance.clone();
+            monitor.on_detect(move |_, protocol| {
+                let _ = this.ensure_unit(protocol);
+            });
+        } else {
+            for spec in &config.units {
+                instance.instantiate(spec)?;
+            }
+        }
+
+        // Wire the message path: monitor → parser → bridge.
+        let this = instance.clone();
+        monitor.on_message(move |world, protocol, dgram| this.handle(world, protocol, dgram));
+
+        // Adaptation loop.
+        if let Some(policy) = config.adaptation.clone() {
+            let this = instance.clone();
+            node.world().schedule_in(policy.check_interval, move |w| {
+                this.adaptation_tick(w, policy.clone());
+            });
+        }
+        Ok(instance)
+    }
+
+    /// The monitor (for detection queries).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Bridge statistics so far.
+    pub fn stats(&self) -> BridgeStats {
+        self.inner.borrow().stats
+    }
+
+    /// Current interception mode.
+    pub fn mode(&self) -> DiscoveryMode {
+        self.inner.borrow().mode
+    }
+
+    /// Mode transitions with their timestamps (Fig. 6 evidence).
+    pub fn mode_log(&self) -> Vec<(SimTime, DiscoveryMode)> {
+        self.inner.borrow().mode_log.clone()
+    }
+
+    /// Protocols with an instantiated unit.
+    pub fn active_units(&self) -> Vec<SdpProtocol> {
+        let mut ps: Vec<SdpProtocol> =
+            self.inner.borrow().units.keys().copied().collect();
+        ps.sort_by_key(|p| p.port());
+        ps
+    }
+
+    /// Pre-warms the response cache (used by the evaluation harness to
+    /// reproduce the paper's warm best case explicitly).
+    pub fn warm_cache(&self, canonical_type: &str, response: EventStream) {
+        let mut inner = self.inner.borrow_mut();
+        let expires = inner.node.world().now() + inner.config.cache_ttl;
+        inner
+            .cache
+            .insert(canonical_type.to_owned(), CachedResponse { response, expires });
+    }
+
+    fn ensure_unit(&self, protocol: SdpProtocol) -> CoreResult<()> {
+        let spec = {
+            let inner = self.inner.borrow();
+            if inner.units.contains_key(&protocol) {
+                return Ok(());
+            }
+            inner
+                .config
+                .units
+                .iter()
+                .find(|s| s.protocol() == protocol)
+                .cloned()
+        };
+        match spec {
+            Some(spec) => self.instantiate(&spec),
+            None => Ok(()),
+        }
+    }
+
+    fn instantiate(&self, spec: &UnitSpec) -> CoreResult<()> {
+        let node = self.inner.borrow().node.clone();
+        let monitor = self.monitor.clone();
+        let unit: Rc<dyn Unit> = match spec {
+            UnitSpec::Slp(cfg) => {
+                let u = SlpUnit::new(&node, cfg.clone())?;
+                Rc::new(u)
+            }
+            UnitSpec::Upnp(cfg) => {
+                let u = UpnpUnit::new(&node, cfg.clone())?;
+                // Session sockets open dynamically; have each report to
+                // the monitor's loop filter.
+                let m = monitor.clone();
+                u.set_loop_filter(Rc::new(move |addr| m.ignore_source(addr)));
+                Rc::new(u)
+            }
+            UnitSpec::Jini(cfg) => {
+                let u = JiniUnit::new(&node, cfg.clone())?;
+                // Lookups arriving at the unit's registrar endpoint feed
+                // back into the runtime.
+                let weak = Rc::downgrade(&self.inner);
+                let monitor2 = monitor.clone();
+                u.set_bridge(Rc::new(move |world, stream, reply| {
+                    if let Some(inner) = weak.upgrade() {
+                        let instance = Indiss {
+                            inner,
+                            monitor: monitor2.clone(),
+                        };
+                        if stream.is_request() {
+                            instance.bridge_request(world, SdpProtocol::Jini, stream, Some(reply));
+                        } else if stream.is_alive() || stream.is_byebye() {
+                            instance.record_advert(world, SdpProtocol::Jini, stream);
+                        }
+                    }
+                }));
+                Rc::new(u)
+            }
+        };
+        for addr in unit.own_sources() {
+            monitor.ignore_source(addr);
+        }
+        self.inner.borrow_mut().units.insert(spec.protocol(), unit);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Message path
+    // ------------------------------------------------------------------
+
+    fn handle(&self, world: &World, protocol: SdpProtocol, dgram: &Datagram) {
+        if self.inner.borrow().config.lazy_units {
+            let _ = self.ensure_unit(protocol);
+        }
+        let Some(unit) = self.inner.borrow().units.get(&protocol).cloned() else {
+            return;
+        };
+        match unit.parse(world, dgram) {
+            ParsedMessage::Request(stream) => {
+                self.bridge_request(world, protocol, stream, None);
+            }
+            ParsedMessage::Advert(stream) => {
+                self.record_advert(world, protocol, stream);
+            }
+            ParsedMessage::Response(stream) => {
+                self.warm_from_response(world, &stream);
+            }
+            ParsedMessage::Handled | ParsedMessage::NotRelevant => {}
+        }
+    }
+
+    /// Bridges a request: cache first, then fan out to all other units;
+    /// the first successful response wins. When `custom_reply` is given
+    /// (Jini registrar path), the response events are handed back instead
+    /// of composed by the origin unit.
+    fn bridge_request(
+        &self,
+        world: &World,
+        origin: SdpProtocol,
+        request: EventStream,
+        custom_reply: Option<Completion<EventStream>>,
+    ) {
+        let (units, cached, enable_cache, suppressed) = {
+            let mut inner = self.inner.borrow_mut();
+            let now = world.now();
+            let cached = if inner.config.enable_cache {
+                request.service_type().and_then(|t| {
+                    inner
+                        .cache
+                        .get(t)
+                        .filter(|c| c.expires > now)
+                        .map(|c| c.response.clone())
+                })
+            } else {
+                None
+            };
+            // Loop protection: a request for a type we just bridged is a
+            // likely echo of our own (or a sibling bridge's) synthesized
+            // traffic; do not re-bridge it unless the cache can answer.
+            let suppressed = cached.is_none()
+                && request
+                    .service_type()
+                    .and_then(|t| inner.recently_bridged.get(t))
+                    .map(|until| *until > now)
+                    .unwrap_or(false);
+            if suppressed {
+                inner.stats.requests_suppressed += 1;
+            } else {
+                inner.stats.requests_bridged += 1;
+                if let Some(t) = request.service_type() {
+                    let until = now + inner.config.suppress_window;
+                    inner.recently_bridged.insert(t.to_owned(), until);
+                }
+            }
+            let units: Vec<(SdpProtocol, Rc<dyn Unit>)> = inner
+                .units
+                .iter()
+                .filter(|(p, _)| **p != origin)
+                .map(|(p, u)| (*p, Rc::clone(u)))
+                .collect();
+            (units, cached, inner.config.enable_cache, suppressed)
+        };
+
+        if let Some(response) = cached {
+            self.inner.borrow_mut().stats.cache_hits += 1;
+            self.deliver(world, origin, &request, &response, custom_reply);
+            return;
+        }
+        if suppressed || units.is_empty() {
+            return;
+        }
+
+        // The winner: first response stream carrying a service URL.
+        let winner: Completion<EventStream> = Completion::new();
+        let expected = units.len();
+        let failures = Rc::new(RefCell::new(0usize));
+        for (_, unit) in units {
+            let reply: Completion<EventStream> = Completion::new();
+            unit.execute_query(world, &request, reply.clone());
+            let winner2 = winner.clone();
+            let failures2 = Rc::clone(&failures);
+            reply.subscribe(move |response| {
+                if response.service_url().is_some() {
+                    winner2.complete(response);
+                } else {
+                    let mut f = failures2.borrow_mut();
+                    *f += 1;
+                    if *f == expected {
+                        // All units failed: deliver the error stream so
+                        // custom repliers (Jini) can answer "nothing".
+                        winner2.complete(response);
+                    }
+                }
+            });
+        }
+
+        let this = self.clone();
+        let world2 = world.clone();
+        winner.subscribe(move |response| {
+            if enable_cache && response.service_url().is_some() {
+                if let Some(t) = response.service_type().or(request.service_type()) {
+                    let expires =
+                        world2.now() + this.inner.borrow().config.cache_ttl;
+                    this.inner.borrow_mut().cache.insert(
+                        t.to_owned(),
+                        CachedResponse { response: response.clone(), expires },
+                    );
+                }
+            }
+            this.deliver(&world2, origin, &request, &response, custom_reply);
+        });
+    }
+
+    /// Delivers a response stream to the requester, via the origin unit's
+    /// composer or the custom reply channel.
+    fn deliver(
+        &self,
+        world: &World,
+        origin: SdpProtocol,
+        request: &EventStream,
+        response: &EventStream,
+        custom_reply: Option<Completion<EventStream>>,
+    ) {
+        if response.service_url().is_some() {
+            self.inner.borrow_mut().stats.responses_composed += 1;
+        }
+        match custom_reply {
+            Some(reply) => reply.complete(response.clone()),
+            None => {
+                let unit = self.inner.borrow().units.get(&origin).cloned();
+                if let Some(unit) = unit {
+                    unit.compose_response(world, request, response);
+                }
+            }
+        }
+    }
+
+    /// Records an advertisement; in the active mode, immediately
+    /// re-advertises it into the other SDPs.
+    fn record_advert(&self, world: &World, origin: SdpProtocol, stream: EventStream) {
+        let key = stream
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                crate::event::Event::UpnpUsn(u) => Some(u.clone()),
+                _ => None,
+            })
+            .or_else(|| stream.service_url().map(str::to_owned))
+            .or_else(|| stream.service_type().map(str::to_owned));
+        let Some(key) = key else {
+            return;
+        };
+        let active = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.adverts_recorded += 1;
+            if stream.is_byebye() {
+                inner.adverts.remove(&(origin, key.clone()));
+            } else {
+                inner.adverts.insert((origin, key.clone()), stream.clone());
+            }
+            // A full advert (with endpoint) warms the cache too.
+            if inner.config.enable_cache && stream.is_alive() && stream.service_url().is_some() {
+                if let Some(t) = stream.service_type() {
+                    let expires = world.now() + inner.config.cache_ttl;
+                    inner.cache.insert(
+                        t.to_owned(),
+                        CachedResponse { response: stream.clone(), expires },
+                    );
+                }
+            }
+            inner.mode == DiscoveryMode::Active
+        };
+        if active {
+            self.translate_advert(world, origin, &stream);
+        }
+    }
+
+    fn warm_from_response(&self, world: &World, stream: &EventStream) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.config.enable_cache || stream.service_url().is_none() {
+            return;
+        }
+        if let Some(t) = stream.service_type() {
+            let expires = world.now() + inner.config.cache_ttl;
+            inner
+                .cache
+                .insert(t.to_owned(), CachedResponse { response: stream.clone(), expires });
+        }
+    }
+
+    /// Re-composes one advert into every other SDP, enriching it through
+    /// the origin unit first (a UPnP advert must have its description
+    /// fetched before it carries an endpoint).
+    fn translate_advert(&self, world: &World, origin: SdpProtocol, stream: &EventStream) {
+        let (origin_unit, units): (Option<Rc<dyn Unit>>, Vec<Rc<dyn Unit>>) = {
+            let inner = self.inner.borrow();
+            (
+                inner.units.get(&origin).cloned(),
+                inner
+                    .units
+                    .iter()
+                    .filter(|(p, _)| **p != origin)
+                    .map(|(_, u)| Rc::clone(u))
+                    .collect(),
+            )
+        };
+        if units.is_empty() {
+            return;
+        }
+        self.inner.borrow_mut().stats.adverts_translated += 1;
+        let enriched: Completion<EventStream> = Completion::new();
+        match origin_unit {
+            Some(u) => u.enrich_advert(world, stream, enriched.clone()),
+            None => enriched.complete(stream.clone()),
+        }
+        let world2 = world.clone();
+        enriched.subscribe(move |advert| {
+            for unit in units {
+                unit.compose_advert(&world2, &advert);
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptation (§4.2)
+    // ------------------------------------------------------------------
+
+    fn adaptation_tick(&self, world: &World, policy: crate::adapt::AdaptationPolicy) {
+        let now = world.now();
+        let window_start = now.saturating_duration_since(SimTime::ZERO);
+        let from = if window_start > policy.window {
+            SimTime::from_nanos((now.as_nanos()).saturating_sub(
+                u64::try_from(policy.window.as_nanos()).unwrap_or(u64::MAX),
+            ))
+        } else {
+            SimTime::ZERO
+        };
+        let rate = world.meter_snapshot().rate_between(from, now);
+        let new_mode = policy.decide(rate);
+        let (changed, go_active) = {
+            let mut inner = self.inner.borrow_mut();
+            let changed = new_mode != inner.mode;
+            if changed {
+                inner.mode = new_mode;
+                inner.mode_log.push((now, new_mode));
+            }
+            (changed, new_mode == DiscoveryMode::Active)
+        };
+        let _ = changed;
+        if go_active {
+            // Re-advertise everything we know (periodic while active).
+            let adverts: Vec<(SdpProtocol, EventStream)> = {
+                let inner = self.inner.borrow();
+                inner
+                    .adverts
+                    .iter()
+                    .map(|((p, _), s)| (*p, s.clone()))
+                    .collect()
+            };
+            for (origin, stream) in adverts {
+                self.translate_advert(world, origin, &stream);
+            }
+        }
+        let this = self.clone();
+        world.schedule_in(policy.check_interval, move |w| {
+            this.adaptation_tick(w, policy.clone());
+        });
+    }
+}
+
+impl std::fmt::Debug for Indiss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Indiss")
+            .field("node", &inner.node.name())
+            .field("units", &self.active_units())
+            .field("mode", &inner.mode)
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapt::AdaptationPolicy;
+    use std::time::Duration;
+    use indiss_slp::{SlpConfig, UserAgent};
+    use indiss_upnp::{ClockDevice, UpnpConfig};
+
+    /// The paper's flagship scenario (§2.4 / Fig. 8a): an SLP client
+    /// discovers a UPnP clock through INDISS on the service host.
+    #[test]
+    fn slp_client_discovers_upnp_clock_service_side() {
+        let world = World::new(71);
+        let service_node = world.add_node("clock-host");
+        let client_node = world.add_node("slp-client");
+        let _clock = ClockDevice::start(&service_node, UpnpConfig::default()).unwrap();
+        let indiss = Indiss::deploy(&service_node, IndissConfig::slp_upnp()).unwrap();
+        let ua = UserAgent::start(&client_node, SlpConfig::default()).unwrap();
+
+        let (_first, done) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(2));
+        let outcome = done.take().expect("round finished");
+        assert_eq!(outcome.urls.len(), 1, "clock visible through INDISS");
+        let url = &outcome.urls[0].url;
+        assert!(
+            url.starts_with("service:clock:soap://"),
+            "Fig. 4 URL mapping, got {url}"
+        );
+        assert!(url.ends_with("/service/timer/control"));
+        let stats = indiss.stats();
+        assert_eq!(stats.requests_bridged, 1);
+        assert_eq!(stats.responses_composed, 1);
+        assert!(outcome.response_time().unwrap() > Duration::from_millis(30));
+    }
+
+    #[test]
+    fn client_side_deployment_works_too() {
+        // Fig. 9a: INDISS co-located with the SLP client.
+        let world = World::new(72);
+        let service_node = world.add_node("clock-host");
+        let client_node = world.add_node("slp-client");
+        let _clock = ClockDevice::start(&service_node, UpnpConfig::default()).unwrap();
+        let _indiss = Indiss::deploy(&client_node, IndissConfig::slp_upnp()).unwrap();
+        let ua = UserAgent::start(&client_node, SlpConfig::default()).unwrap();
+        let (_first, done) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(2));
+        assert_eq!(done.take().unwrap().urls.len(), 1);
+    }
+
+    #[test]
+    fn gateway_deployment_bridges_two_foreign_nodes() {
+        let world = World::new(73);
+        let service_node = world.add_node("clock-host");
+        let client_node = world.add_node("slp-client");
+        let gateway_node = world.add_node("gateway");
+        let _clock = ClockDevice::start(&service_node, UpnpConfig::default()).unwrap();
+        let _indiss = Indiss::deploy(&gateway_node, IndissConfig::slp_upnp()).unwrap();
+        let ua = UserAgent::start(&client_node, SlpConfig::default()).unwrap();
+        let (_first, done) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(2));
+        assert_eq!(done.take().unwrap().urls.len(), 1);
+    }
+
+    #[test]
+    fn cache_answers_second_request_fast() {
+        let world = World::new(74);
+        let service_node = world.add_node("clock-host");
+        let client_node = world.add_node("slp-client");
+        let _clock = ClockDevice::start(&service_node, UpnpConfig::default()).unwrap();
+        let indiss = Indiss::deploy(&service_node, IndissConfig::slp_upnp()).unwrap();
+        let ua = UserAgent::start(&client_node, SlpConfig::default()).unwrap();
+
+        let (_f1, d1) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(2));
+        let cold = d1.take().unwrap().response_time().unwrap();
+
+        let (_f2, d2) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(2));
+        let warm = d2.take().unwrap().response_time().unwrap();
+
+        assert_eq!(indiss.stats().cache_hits, 1);
+        assert!(
+            warm < cold / 10,
+            "cached answer should be ≫ faster: cold={cold:?} warm={warm:?}"
+        );
+    }
+
+    #[test]
+    fn no_answer_means_silence_not_error() {
+        let world = World::new(75);
+        let client_node = world.add_node("slp-client");
+        let bridge_node = world.add_node("gateway");
+        let _indiss = Indiss::deploy(&bridge_node, IndissConfig::slp_upnp()).unwrap();
+        let ua = UserAgent::start(&client_node, SlpConfig::default()).unwrap();
+        let (first, done) = ua.find_services(&world, "service:toaster", "");
+        world.run_for(Duration::from_secs(2));
+        assert!(!first.is_complete());
+        assert!(done.take().unwrap().urls.is_empty());
+    }
+
+    #[test]
+    fn lazy_units_instantiate_on_detection() {
+        let world = World::new(76);
+        let gw = world.add_node("gateway");
+        let client_node = world.add_node("client");
+        let indiss =
+            Indiss::deploy(&gw, IndissConfig::slp_upnp().with_lazy_units()).unwrap();
+        assert!(indiss.active_units().is_empty(), "nothing instantiated yet");
+        let ua = UserAgent::start(&client_node, SlpConfig::default()).unwrap();
+        ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(1));
+        assert_eq!(indiss.active_units(), vec![SdpProtocol::Slp]);
+    }
+
+    #[test]
+    fn adaptation_goes_active_when_quiet() {
+        let world = World::new(77);
+        let host = world.add_node("service-host");
+        let indiss = Indiss::deploy(
+            &host,
+            IndissConfig::slp_upnp().with_adaptation(AdaptationPolicy {
+                threshold_bytes_per_sec: 100.0,
+                window: Duration::from_secs(1),
+                check_interval: Duration::from_secs(1),
+            }),
+        )
+        .unwrap();
+        assert_eq!(indiss.mode(), DiscoveryMode::Passive);
+        world.run_for(Duration::from_secs(5));
+        assert_eq!(indiss.mode(), DiscoveryMode::Active, "quiet network → active");
+        assert!(indiss.mode_log().len() >= 2);
+    }
+
+    #[test]
+    fn deploy_requires_units() {
+        let world = World::new(78);
+        let node = world.add_node("x");
+        assert!(matches!(
+            Indiss::deploy(&node, IndissConfig::new()),
+            Err(CoreError::BadConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,555 @@
+//! The Jini unit: bridges Jini's repository-based discovery.
+//!
+//! Jini has no repository-less mode — clients *must* find a lookup
+//! service first. The unit therefore plays both sides:
+//!
+//! * towards Jini **clients**, it answers multicast discovery requests by
+//!   announcing *itself* as a lookup service; lookups that arrive are
+//!   bridged to the other SDPs through the runtime;
+//! * towards Jini **services**, it behaves as a client of any real
+//!   lookup service it hears (queries it for foreign requests, forwards
+//!   foreign advertisements as registrations).
+
+use std::cell::RefCell;
+use std::net::SocketAddrV4;
+use std::rc::Rc;
+use std::time::Duration;
+
+use indiss_jini::{JiniPacket, ServiceItem, JINI_PORT, JINI_REQUEST_GROUP};
+use indiss_net::{Completion, Datagram, NetResult, Node, UdpSocket, World};
+
+use crate::event::{Event, EventStream, SdpProtocol};
+use crate::units::{ParsedMessage, Unit};
+
+/// Callback the runtime installs so lookups arriving at the unit's own
+/// socket can be bridged: `(world, request-events, reply)`.
+pub type BridgeRequestFn = Rc<dyn Fn(&World, EventStream, Completion<EventStream>)>;
+
+/// Jini unit tuning.
+#[derive(Debug, Clone)]
+pub struct JiniUnitConfig {
+    /// Discovery groups announced/requested.
+    pub groups: Vec<String>,
+    /// Deadline for a bridged native query.
+    pub query_window: Duration,
+    /// Event-layer translation cost.
+    pub translation_delay: Duration,
+    /// Lease granted on bridged registrations, seconds.
+    pub lease_secs: u32,
+}
+
+impl Default for JiniUnitConfig {
+    fn default() -> Self {
+        JiniUnitConfig {
+            groups: vec!["public".to_owned()],
+            query_window: Duration::from_millis(50),
+            translation_delay: Duration::from_micros(150),
+            lease_secs: 300,
+        }
+    }
+}
+
+struct JiniUnitInner {
+    socket: UdpSocket,
+    config: JiniUnitConfig,
+    /// A real lookup service, if one has been heard.
+    real_registrar: Option<SocketAddrV4>,
+    pending_lookups: Vec<Completion<Vec<ServiceItem>>>,
+    pending_discoveries: Vec<Completion<SocketAddrV4>>,
+    bridge: Option<BridgeRequestFn>,
+    next_service_id: u64,
+}
+
+/// The Jini unit.
+#[derive(Clone)]
+pub struct JiniUnit {
+    inner: Rc<RefCell<JiniUnitInner>>,
+}
+
+impl JiniUnit {
+    /// Creates the unit on `node` with its own socket (which doubles as
+    /// the bridging-registrar endpoint announced to Jini clients).
+    ///
+    /// # Errors
+    ///
+    /// Network errors from the socket bind.
+    pub fn new(node: &Node, config: JiniUnitConfig) -> NetResult<JiniUnit> {
+        let socket = node.udp_bind_ephemeral()?;
+        let unit = JiniUnit {
+            inner: Rc::new(RefCell::new(JiniUnitInner {
+                socket: socket.clone(),
+                config,
+                real_registrar: None,
+                pending_lookups: Vec::new(),
+                pending_discoveries: Vec::new(),
+                bridge: None,
+                next_service_id: 0x1000,
+            })),
+        };
+        let this = unit.clone();
+        socket.on_receive(move |world, dgram| this.handle_own_socket(world, dgram));
+        Ok(unit)
+    }
+
+    /// Installs the runtime's bridge callback for lookups that arrive at
+    /// the unit's registrar endpoint.
+    pub fn set_bridge(&self, bridge: BridgeRequestFn) {
+        self.inner.borrow_mut().bridge = Some(bridge);
+    }
+
+    /// The real registrar heard so far, if any (exposed for tests).
+    pub fn real_registrar(&self) -> Option<SocketAddrV4> {
+        self.inner.borrow().real_registrar
+    }
+
+    fn send(&self, packet: &JiniPacket, to: SocketAddrV4) {
+        let socket = self.inner.borrow().socket.clone();
+        let _ = socket.send_to(&packet.encode(), to);
+    }
+
+    fn own_announcement(&self) -> JiniPacket {
+        let inner = self.inner.borrow();
+        let addr = inner.socket.local_addr().expect("socket open");
+        JiniPacket::Announcement {
+            host: addr.ip().to_string(),
+            port: addr.port(),
+            groups: inner.config.groups.clone(),
+        }
+    }
+
+    /// Traffic at the unit's own socket: replies to queries it issued,
+    /// plus lookups/registrations from Jini clients that discovered the
+    /// unit as their registrar.
+    fn handle_own_socket(&self, world: &World, dgram: Datagram) {
+        let Ok(packet) = JiniPacket::decode(&dgram.payload) else {
+            return;
+        };
+        match packet {
+            JiniPacket::Announcement { host, port, .. } => {
+                let mut fire = Vec::new();
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    if let Ok(ip) = host.parse() {
+                        let addr = SocketAddrV4::new(ip, port);
+                        inner.real_registrar = Some(addr);
+                        for c in inner.pending_discoveries.drain(..) {
+                            fire.push((c, addr));
+                        }
+                    }
+                }
+                for (c, v) in fire {
+                    c.complete(v);
+                }
+            }
+            JiniPacket::LookupReply { items } => {
+                let pending: Vec<_> =
+                    self.inner.borrow_mut().pending_lookups.drain(..).collect();
+                for c in pending {
+                    c.complete(items.clone());
+                }
+            }
+            JiniPacket::Lookup { service_type } => {
+                // A Jini client using us as its registrar: bridge it.
+                self.bridge_lookup(world, &service_type, dgram.src);
+            }
+            JiniPacket::Register { item, lease_secs } => {
+                // A Jini service registering with us: acknowledge and let
+                // the runtime re-advertise it in other SDPs.
+                let (ack_lease, delay) = {
+                    let inner = self.inner.borrow();
+                    (lease_secs.min(inner.config.lease_secs), inner.config.translation_delay)
+                };
+                let ack =
+                    JiniPacket::RegisterAck { service_id: item.service_id, lease_secs: ack_lease };
+                let this = self.clone();
+                world.schedule_in(delay, move |_| this.send(&ack, dgram.src));
+                // Surface as an advert through the bridge (if installed):
+                // the runtime treats it exactly like a parsed advert.
+                let advert = advert_events_from_item(&item, dgram.src, ack_lease);
+                if let Some(bridge) = self.inner.borrow().bridge.clone() {
+                    // Adverts need no reply; the completion is dropped.
+                    bridge(world, advert, Completion::new());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Bridges a native Jini lookup into a foreign request via the
+    /// runtime, answering with a composed `LookupReply`.
+    fn bridge_lookup(&self, world: &World, service_type: &str, requester: SocketAddrV4) {
+        let Some(bridge) = self.inner.borrow().bridge.clone() else {
+            // No bridge: answer honestly with nothing.
+            self.send(&JiniPacket::LookupReply { items: Vec::new() }, requester);
+            return;
+        };
+        let canonical = service_type.to_ascii_lowercase();
+        let request = EventStream::framed(vec![
+            Event::NetType(SdpProtocol::Jini),
+            Event::NetUnicast,
+            Event::NetSourceAddr(requester),
+            Event::ServiceRequest,
+            Event::JiniGroups(self.inner.borrow().config.groups.clone()),
+            Event::ServiceType(canonical),
+        ]);
+        let reply: Completion<EventStream> = Completion::new();
+        bridge(world, request.clone(), reply.clone());
+        let this = self.clone();
+        let request2 = request.clone();
+        let world2 = world.clone();
+        reply.subscribe(move |response| {
+            this.compose_response(&world2, &request2, &response);
+        });
+    }
+}
+
+/// Builds advert events for a registered Jini service item.
+fn advert_events_from_item(
+    item: &ServiceItem,
+    src: SocketAddrV4,
+    lease: u32,
+) -> EventStream {
+    let mut body = vec![
+        Event::NetType(SdpProtocol::Jini),
+        Event::NetUnicast,
+        Event::NetSourceAddr(src),
+        Event::ServiceAlive,
+        Event::ServiceType(item.service_type.to_ascii_lowercase()),
+        Event::JiniServiceId(item.service_id),
+        Event::JiniLease(lease),
+        Event::ResTtl(lease),
+        Event::ResServUrl(endpoint_to_url(&item.endpoint)),
+    ];
+    for (tag, value) in &item.attributes {
+        body.push(Event::ResAttr { tag: tag.clone(), value: value.clone() });
+    }
+    EventStream::framed(body)
+}
+
+/// `10.0.0.9:5000` → `jini://10.0.0.9:5000` (idempotent for URLs).
+fn endpoint_to_url(endpoint: &str) -> String {
+    if endpoint.contains("://") || endpoint.starts_with("service:") {
+        endpoint.to_owned()
+    } else {
+        format!("jini://{endpoint}")
+    }
+}
+
+/// Reverse of [`endpoint_to_url`] for composing `ServiceItem`s.
+fn url_to_endpoint(url: &str) -> String {
+    url.strip_prefix("jini://").map(str::to_owned).unwrap_or_else(|| url.to_owned())
+}
+
+impl Unit for JiniUnit {
+    fn protocol(&self) -> SdpProtocol {
+        SdpProtocol::Jini
+    }
+
+    fn parse(&self, world: &World, dgram: &Datagram) -> ParsedMessage {
+        let Ok(packet) = JiniPacket::decode(&dgram.payload) else {
+            return ParsedMessage::NotRelevant;
+        };
+        match packet {
+            JiniPacket::DiscoveryRequest { groups } => {
+                // Announce ourselves as a lookup service so the client's
+                // lookups reach the bridge (delayed by translation cost).
+                let serves = {
+                    let inner = self.inner.borrow();
+                    inner.bridge.is_some()
+                        && (groups.is_empty()
+                            || groups.iter().any(|g| inner.config.groups.contains(g)))
+                };
+                if serves {
+                    let announcement = self.own_announcement();
+                    let delay = self.inner.borrow().config.translation_delay;
+                    let this = self.clone();
+                    let requester = dgram.src;
+                    world.schedule_in(delay, move |_| this.send(&announcement, requester));
+                }
+                ParsedMessage::Handled
+            }
+            JiniPacket::Announcement { host, port, .. } => {
+                // A real lookup service on the network: remember it.
+                if let Ok(ip) = host.parse::<std::net::Ipv4Addr>() {
+                    let addr = SocketAddrV4::new(ip, port);
+                    let own = self.inner.borrow().socket.local_addr().ok();
+                    if own != Some(addr) {
+                        self.inner.borrow_mut().real_registrar = Some(addr);
+                    }
+                }
+                ParsedMessage::Handled
+            }
+            _ => ParsedMessage::NotRelevant,
+        }
+    }
+
+    fn execute_query(
+        &self,
+        world: &World,
+        request: &EventStream,
+        reply: Completion<EventStream>,
+    ) {
+        let Some(canonical) = request.service_type().map(str::to_owned) else {
+            reply.complete(EventStream::framed(vec![
+                Event::ServiceResponse,
+                Event::ResErr(2),
+            ]));
+            return;
+        };
+        let window = self.inner.borrow().config.query_window;
+        // Step 1: make sure we know a real registrar (Jini's mandatory
+        // repository step).
+        let registrar_known: Completion<SocketAddrV4> = Completion::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            match inner.real_registrar {
+                Some(addr) => registrar_known.complete(addr),
+                None => inner.pending_discoveries.push(registrar_known.clone()),
+            }
+        }
+        if !registrar_known.is_complete() {
+            let packet =
+                JiniPacket::DiscoveryRequest { groups: self.inner.borrow().config.groups.clone() };
+            self.send(&packet, SocketAddrV4::new(JINI_REQUEST_GROUP, JINI_PORT));
+        }
+        // Step 2: on discovery, issue the lookup.
+        let this = self.clone();
+        let lookup_done: Completion<Vec<ServiceItem>> = Completion::new();
+        let lookup_done2 = lookup_done.clone();
+        let canonical2 = canonical.clone();
+        registrar_known.subscribe(move |registrar| {
+            this.inner.borrow_mut().pending_lookups.push(lookup_done2.clone());
+            this.send(&JiniPacket::Lookup { service_type: canonical2.clone() }, registrar);
+        });
+        // Step 3: translate items to response events.
+        let reply2 = reply.clone();
+        let canonical3 = canonical.clone();
+        lookup_done.subscribe(move |items| {
+            let mut body = vec![
+                Event::NetType(SdpProtocol::Jini),
+                Event::ServiceResponse,
+            ];
+            match items.first() {
+                Some(item) => {
+                    body.push(Event::ResOk);
+                    body.push(Event::ServiceType(canonical3.clone()));
+                    body.push(Event::JiniServiceId(item.service_id));
+                    body.push(Event::ResTtl(300));
+                    for (tag, value) in &item.attributes {
+                        body.push(Event::ResAttr { tag: tag.clone(), value: value.clone() });
+                    }
+                    body.push(Event::ResServUrl(endpoint_to_url(&item.endpoint)));
+                }
+                None => body.push(Event::ResErr(404)),
+            }
+            reply2.complete(EventStream::framed(body));
+        });
+        // Deadline.
+        world.schedule_in(window + Duration::from_millis(10), move |_| {
+            reply.complete(EventStream::framed(vec![
+                Event::NetType(SdpProtocol::Jini),
+                Event::ServiceResponse,
+                Event::ResErr(404),
+            ]));
+        });
+    }
+
+    fn compose_response(&self, world: &World, request: &EventStream, response: &EventStream) {
+        let Some(requester) = request.source_addr() else {
+            return;
+        };
+        let items = match response.service_url() {
+            Some(url) => {
+                let service_id = {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.next_service_id += 1;
+                    inner.next_service_id
+                };
+                vec![ServiceItem {
+                    service_id,
+                    service_type: response
+                        .service_type()
+                        .or(request.service_type())
+                        .unwrap_or_default()
+                        .to_owned(),
+                    endpoint: url_to_endpoint(url),
+                    attributes: response
+                        .response_attrs()
+                        .into_iter()
+                        .map(|(t, v)| (t.to_owned(), v.to_owned()))
+                        .collect(),
+                }]
+            }
+            None => Vec::new(),
+        };
+        let delay = self.inner.borrow().config.translation_delay;
+        let this = self.clone();
+        world.schedule_in(delay, move |_| {
+            this.send(&JiniPacket::LookupReply { items }, requester);
+        });
+    }
+
+    fn compose_advert(&self, world: &World, advert: &EventStream) {
+        // Jini has no multicast service advertisement: translate the
+        // foreign advert into a registration with the real registrar.
+        let Some(registrar) = self.inner.borrow().real_registrar else {
+            return;
+        };
+        if advert.is_byebye() {
+            return; // leases expire on their own
+        }
+        let Some(url) = advert.service_url() else {
+            return;
+        };
+        let (service_id, lease) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_service_id += 1;
+            (inner.next_service_id, inner.config.lease_secs)
+        };
+        let item = ServiceItem {
+            service_id,
+            service_type: advert.service_type().unwrap_or_default().to_owned(),
+            endpoint: url_to_endpoint(url),
+            attributes: advert
+                .response_attrs()
+                .into_iter()
+                .map(|(t, v)| (t.to_owned(), v.to_owned()))
+                .collect(),
+        };
+        let delay = self.inner.borrow().config.translation_delay;
+        let this = self.clone();
+        world.schedule_in(delay, move |_| {
+            this.send(&JiniPacket::Register { item, lease_secs: lease }, registrar);
+        });
+    }
+
+    fn own_sources(&self) -> Vec<SocketAddrV4> {
+        self.inner
+            .borrow()
+            .socket
+            .local_addr()
+            .map(|a| vec![a])
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indiss_jini::{JiniAgent, JiniConfig, LookupService, JINI_ANNOUNCEMENT_GROUP};
+    use indiss_net::World;
+
+    #[test]
+    fn announcement_records_real_registrar() {
+        let world = World::new(61);
+        let indiss_node = world.add_node("indiss");
+        let reggie_node = world.add_node("reggie");
+        let unit = JiniUnit::new(&indiss_node, JiniUnitConfig::default()).unwrap();
+        let _ls = LookupService::start(&reggie_node, JiniConfig::default()).unwrap();
+        // The monitor would feed announcements; simulate that feed.
+        let dgram = Datagram {
+            src: SocketAddrV4::new(reggie_node.addr(), JINI_PORT),
+            dst: SocketAddrV4::new(JINI_ANNOUNCEMENT_GROUP, JINI_PORT),
+            payload: JiniPacket::Announcement {
+                host: reggie_node.addr().to_string(),
+                port: JINI_PORT,
+                groups: vec!["public".into()],
+            }
+            .encode(),
+        };
+        assert_eq!(unit.parse(&world, &dgram), ParsedMessage::Handled);
+        assert_eq!(unit.real_registrar(), Some(SocketAddrV4::new(reggie_node.addr(), JINI_PORT)));
+    }
+
+    #[test]
+    fn execute_query_discovers_and_looks_up() {
+        let world = World::new(61);
+        let indiss_node = world.add_node("indiss");
+        let reggie_node = world.add_node("reggie");
+        let provider_node = world.add_node("provider");
+        let unit = JiniUnit::new(&indiss_node, JiniUnitConfig::default()).unwrap();
+        let ls = LookupService::start(&reggie_node, JiniConfig::default()).unwrap();
+        let provider = JiniAgent::start(&provider_node, JiniConfig::default()).unwrap();
+        provider.register(ServiceItem {
+            service_id: 7,
+            service_type: "clock".into(),
+            endpoint: "10.0.0.9:4005".into(),
+            attributes: vec![("name".into(), "Jini Clock".into())],
+        });
+        world.run_for(Duration::from_secs(1));
+        assert_eq!(ls.registration_count(), 1);
+
+        let request = EventStream::framed(vec![
+            Event::ServiceRequest,
+            Event::ServiceType("clock".into()),
+        ]);
+        let reply: Completion<EventStream> = Completion::new();
+        unit.execute_query(&world, &request, reply.clone());
+        world.run_for(Duration::from_secs(1));
+        let response = reply.take().expect("query done");
+        assert_eq!(response.service_url(), Some("jini://10.0.0.9:4005"));
+        assert!(response.response_attrs().contains(&("name", "Jini Clock")));
+    }
+
+    #[test]
+    fn execute_query_without_registrar_fails_cleanly() {
+        let world = World::new(61);
+        let indiss_node = world.add_node("indiss");
+        let unit = JiniUnit::new(&indiss_node, JiniUnitConfig::default()).unwrap();
+        let request = EventStream::framed(vec![
+            Event::ServiceRequest,
+            Event::ServiceType("clock".into()),
+        ]);
+        let reply: Completion<EventStream> = Completion::new();
+        unit.execute_query(&world, &request, reply.clone());
+        world.run_for(Duration::from_secs(1));
+        let response = reply.take().expect("deadline fired");
+        assert!(response.events().iter().any(|e| matches!(e, Event::ResErr(_))));
+    }
+
+    #[test]
+    fn jini_client_lookup_is_bridged() {
+        let world = World::new(61);
+        let indiss_node = world.add_node("indiss");
+        let client_node = world.add_node("jini-client");
+        let unit = JiniUnit::new(&indiss_node, JiniUnitConfig::default()).unwrap();
+        // Install a bridge that answers every request with one service.
+        unit.set_bridge(Rc::new(|_world, request, reply| {
+            assert_eq!(request.service_type(), Some("clock"));
+            reply.complete(EventStream::framed(vec![
+                Event::ServiceResponse,
+                Event::ResOk,
+                Event::ServiceType("clock".into()),
+                Event::ResServUrl("soap://10.0.0.2:4005/ctl".into()),
+                Event::ResAttr { tag: "friendlyName".into(), value: "Clock".into() },
+            ]));
+        }));
+
+        let client = JiniAgent::start(&client_node, JiniConfig::default()).unwrap();
+        // The client's multicast discovery request reaches the monitor in
+        // a full deployment; simulate the monitor feed here.
+        let found = client.lookup("clock");
+        // Client sent a DiscoveryRequest; feed it to the unit as the
+        // monitor would (src = client's ephemeral socket).
+        world.run_for(Duration::from_millis(5));
+        let trace_src = SocketAddrV4::new(client_node.addr(), 40000);
+        let dgram = Datagram {
+            src: trace_src,
+            dst: SocketAddrV4::new(JINI_REQUEST_GROUP, JINI_PORT),
+            payload: JiniPacket::DiscoveryRequest { groups: vec!["public".into()] }.encode(),
+        };
+        assert_eq!(unit.parse(&world, &dgram), ParsedMessage::Handled);
+        world.run_for(Duration::from_secs(2));
+        let items = found.take().expect("lookup bridged");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].endpoint, "soap://10.0.0.2:4005/ctl");
+    }
+
+    #[test]
+    fn endpoint_url_mapping_roundtrips() {
+        assert_eq!(endpoint_to_url("10.0.0.9:5000"), "jini://10.0.0.9:5000");
+        assert_eq!(endpoint_to_url("soap://h:1/x"), "soap://h:1/x");
+        assert_eq!(url_to_endpoint("jini://10.0.0.9:5000"), "10.0.0.9:5000");
+        assert_eq!(url_to_endpoint("soap://h:1/x"), "soap://h:1/x");
+    }
+}

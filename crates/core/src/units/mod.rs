@@ -1,0 +1,140 @@
+//! SDP units: coupled parser/composer pairs coordinated by an FSM
+//! (paper §2.2–§2.3).
+//!
+//! A unit owns everything INDISS needs to speak one SDP: parsing native
+//! messages into event streams, composing native messages from event
+//! streams, and — because "the translation of SDP functions … is actually
+//! achieved in terms of translation of *processes* and not simply of
+//! exchanged messages" — driving multi-step native interactions (the UPnP
+//! unit's recursive description fetch of §2.4 being the canonical case).
+
+pub mod jini;
+pub mod slp;
+mod upnp;
+
+pub use jini::{BridgeRequestFn, JiniUnit, JiniUnitConfig};
+pub use slp::{SlpUnit, SlpUnitConfig};
+pub use upnp::{UpnpUnit, UpnpUnitConfig};
+
+use std::net::SocketAddrV4;
+
+use indiss_net::{Completion, Datagram, World};
+
+use crate::event::{EventStream, SdpProtocol};
+
+/// Result of feeding a raw native message to a unit's parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedMessage {
+    /// A service search request that may be bridged to other SDPs.
+    Request(EventStream),
+    /// A service advertisement (alive or byebye).
+    Advert(EventStream),
+    /// A response observed on the wire (useful for cache warming).
+    Response(EventStream),
+    /// The unit consumed the message internally (e.g. answered an
+    /// attribute request for a bridged service) — nothing to bridge.
+    Handled,
+    /// Not this unit's business.
+    NotRelevant,
+}
+
+/// A deployable SDP unit.
+///
+/// Object-safe: the runtime stores `Rc<dyn Unit>` and dispatches by
+/// protocol. Implementations are [`SlpUnit`], [`UpnpUnit`], [`JiniUnit`].
+pub trait Unit {
+    /// The protocol this unit translates.
+    fn protocol(&self) -> SdpProtocol;
+
+    /// Parses one raw datagram (handed over by the monitor) into semantic
+    /// events, per the unit's parser and FSM.
+    fn parse(&self, world: &World, dgram: &Datagram) -> ParsedMessage;
+
+    /// Executes this unit's *native* discovery process on behalf of a
+    /// foreign request: composes native request(s), coordinates however
+    /// many rounds the protocol needs, and completes `reply` with the
+    /// response event stream (or an error stream on timeout).
+    fn execute_query(
+        &self,
+        world: &World,
+        request: &EventStream,
+        reply: Completion<EventStream>,
+    );
+
+    /// Composes and sends the native response to the original requester
+    /// described by `request`, carrying the results in `response`.
+    fn compose_response(&self, world: &World, request: &EventStream, response: &EventStream);
+
+    /// Composes and multicasts a native advertisement equivalent to the
+    /// foreign advertisement `advert` (used by the §4.2 active mode).
+    fn compose_advert(&self, world: &World, advert: &EventStream);
+
+    /// Completes `done` with an advert stream enriched to carry a service
+    /// endpoint (`SDP_RES_SERV_URL`). The default passes the stream
+    /// through; the UPnP unit overrides it to fetch the description
+    /// document its `NOTIFY` advertisements merely point at — the same
+    /// recursive process §2.4 uses on the query path.
+    fn enrich_advert(&self, world: &World, advert: &EventStream, done: Completion<EventStream>) {
+        let _ = world;
+        done.complete(advert.clone());
+    }
+
+    /// Source addresses this unit sends from; the runtime registers them
+    /// with the monitor's loop filter.
+    fn own_sources(&self) -> Vec<SocketAddrV4>;
+}
+
+/// Extracts the canonical short type name (`clock`, `printer`) from a
+/// protocol-specific service type string.
+pub(crate) fn canonical_type_from_slp(service_type: &str) -> String {
+    // "service:clock:soap" → "clock"; "service:clock" → "clock"; "clock" → "clock"
+    let stripped = service_type.strip_prefix("service:").unwrap_or(service_type);
+    stripped.split(':').next().unwrap_or(stripped).to_ascii_lowercase()
+}
+
+/// Extracts the canonical short type from an SSDP search target.
+pub(crate) fn canonical_type_from_target(st: &indiss_ssdp::SearchTarget) -> Option<String> {
+    use indiss_ssdp::SearchTarget;
+    match st {
+        SearchTarget::DeviceType { name, .. } | SearchTarget::ServiceType { name, .. } => {
+            Some(name.to_ascii_lowercase())
+        }
+        // The paper's own trace uses the vendor target `upnp:clock`.
+        SearchTarget::Custom(s) => {
+            Some(s.strip_prefix("upnp:").unwrap_or(s).to_ascii_lowercase())
+        }
+        SearchTarget::All | SearchTarget::RootDevice | SearchTarget::Uuid(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indiss_ssdp::SearchTarget;
+
+    #[test]
+    fn slp_type_canonicalization() {
+        assert_eq!(canonical_type_from_slp("service:clock"), "clock");
+        assert_eq!(canonical_type_from_slp("service:clock:soap"), "clock");
+        assert_eq!(canonical_type_from_slp("service:Printer:LPR"), "printer");
+        assert_eq!(canonical_type_from_slp("clock"), "clock");
+    }
+
+    #[test]
+    fn upnp_target_canonicalization() {
+        assert_eq!(
+            canonical_type_from_target(&SearchTarget::device_urn("Clock", 1)),
+            Some("clock".into())
+        );
+        assert_eq!(
+            canonical_type_from_target(&SearchTarget::service_urn("timer", 1)),
+            Some("timer".into())
+        );
+        assert_eq!(
+            canonical_type_from_target(&SearchTarget::Custom("upnp:clock".into())),
+            Some("clock".into())
+        );
+        assert_eq!(canonical_type_from_target(&SearchTarget::All), None);
+        assert_eq!(canonical_type_from_target(&SearchTarget::RootDevice), None);
+    }
+}

@@ -1,0 +1,716 @@
+//! The SLP unit: SLP parser + SLP composer + coordination FSM.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::SocketAddrV4;
+use std::rc::Rc;
+use std::time::Duration;
+
+use indiss_net::{Completion, Datagram, NetResult, Node, UdpSocket, World};
+use indiss_slp::{
+    AttributeList, Body, Header, Message, SlpError, UrlEntry, DEFAULT_LANG, FLAG_MCAST,
+    SLP_MULTICAST_GROUP, SLP_PORT,
+};
+
+use crate::event::{Event, EventStream, SdpProtocol};
+use crate::units::{canonical_type_from_slp, ParsedMessage, Unit};
+
+/// SLP unit tuning.
+#[derive(Debug, Clone)]
+pub struct SlpUnitConfig {
+    /// Scopes used for composed requests.
+    pub scopes: String,
+    /// How long a native query waits for SrvRply convergence.
+    pub query_window: Duration,
+    /// Lifetime advertised for bridged services.
+    pub bridged_lifetime: u16,
+    /// Parse/compose processing cost (the event layer's own overhead; the
+    /// paper's event translation is deliberately cheap).
+    pub translation_delay: Duration,
+}
+
+impl Default for SlpUnitConfig {
+    fn default() -> Self {
+        SlpUnitConfig {
+            scopes: "DEFAULT".to_owned(),
+            query_window: Duration::from_millis(15),
+            bridged_lifetime: 1800,
+            translation_delay: Duration::from_micros(150),
+        }
+    }
+}
+
+/// A pending native SLP query the unit is driving for a foreign request.
+struct PendingQuery {
+    reply: Completion<EventStream>,
+    urls: Vec<UrlEntry>,
+    canonical_type: String,
+    /// Set once we issued the follow-up AttrRqst (process translation:
+    /// a complete bridged answer needs attributes too).
+    awaiting_attrs: Option<String>,
+}
+
+struct SlpUnitInner {
+    node: Node,
+    socket: UdpSocket,
+    config: SlpUnitConfig,
+    next_xid: u16,
+    pending: HashMap<u16, PendingQuery>,
+    /// Attributes of services this unit bridged *into* SLP, so follow-up
+    /// `AttrRqst`s from native SLP clients can be answered locally.
+    bridged_attrs: HashMap<String, AttributeList>,
+}
+
+/// The SLP unit.
+#[derive(Clone)]
+pub struct SlpUnit {
+    inner: Rc<RefCell<SlpUnitInner>>,
+}
+
+impl SlpUnit {
+    /// Creates the unit on `node` with its own ephemeral socket.
+    ///
+    /// # Errors
+    ///
+    /// Network errors from the socket bind.
+    pub fn new(node: &Node, config: SlpUnitConfig) -> NetResult<SlpUnit> {
+        let socket = node.udp_bind_ephemeral()?;
+        let unit = SlpUnit {
+            inner: Rc::new(RefCell::new(SlpUnitInner {
+                node: node.clone(),
+                socket: socket.clone(),
+                config,
+                next_xid: 0x4000,
+                pending: HashMap::new(),
+                bridged_attrs: HashMap::new(),
+            })),
+        };
+        let this = unit.clone();
+        socket.on_receive(move |world, dgram| this.handle_own_socket(world, dgram));
+        Ok(unit)
+    }
+
+    /// Attributes recorded for a bridged URL (exposed for tests).
+    pub fn bridged_attributes(&self, url: &str) -> Option<AttributeList> {
+        self.inner.borrow().bridged_attrs.get(url).cloned()
+    }
+
+    // -------------------------------------------------------------------
+    // Parser side: native SLP message → events
+    // -------------------------------------------------------------------
+
+    /// Parses a SrvRqst into the exact event sequence of the paper's
+    /// Fig. 4 step 1.
+    fn parse_srv_rqst(
+        &self,
+        header: &Header,
+        req: &indiss_slp::SrvRqst,
+        dgram: &Datagram,
+    ) -> ParsedMessage {
+        let canonical = canonical_type_from_slp(&req.service_type);
+        if canonical == "directory-agent" || canonical == "service-agent" {
+            return ParsedMessage::NotRelevant; // infrastructure discovery
+        }
+        let mut body = vec![Event::NetType(SdpProtocol::Slp)];
+        body.push(if dgram.is_multicast() { Event::NetMulticast } else { Event::NetUnicast });
+        body.push(Event::NetSourceAddr(dgram.src));
+        body.push(Event::ServiceRequest);
+        body.push(Event::SlpReqVersion(indiss_slp::SLP_VERSION));
+        body.push(Event::SlpReqScope(req.scopes.clone()));
+        body.push(Event::SlpReqPredicate(req.predicate.clone()));
+        body.push(Event::SlpReqId(header.xid));
+        body.push(Event::ReqLang(header.lang.clone()));
+        body.push(Event::ServiceType(canonical));
+        ParsedMessage::Request(EventStream::framed(body))
+    }
+
+    fn parse_advert_events(
+        &self,
+        alive: bool,
+        url: &str,
+        attrs: &str,
+        ttl: u16,
+        dgram: &Datagram,
+    ) -> ParsedMessage {
+        let canonical = canonical_type_from_slp(url);
+        let mut body = vec![
+            Event::NetType(SdpProtocol::Slp),
+            Event::NetMulticast,
+            Event::NetSourceAddr(dgram.src),
+            if alive { Event::ServiceAlive } else { Event::ServiceByeBye },
+            Event::ServiceType(canonical),
+            Event::ResServUrl(url.to_owned()),
+            Event::ResTtl(u32::from(ttl)),
+        ];
+        if let Ok(list) = AttributeList::parse(attrs) {
+            for attr in list.iter() {
+                for value in &attr.values {
+                    body.push(Event::ResAttr { tag: attr.tag.clone(), value: value.clone() });
+                }
+            }
+        }
+        ParsedMessage::Advert(EventStream::framed(body))
+    }
+
+    // -------------------------------------------------------------------
+    // Composer side: events → native SLP messages
+    // -------------------------------------------------------------------
+
+    /// Builds the SrvRply answering `request` with the contents of
+    /// `response` (Fig. 4's final step, including the
+    /// `service:<type>:soap://…` URL mapping).
+    fn build_srv_rply(request: &EventStream, response: &EventStream) -> Option<(Message, String)> {
+        let xid = request.events().iter().find_map(|e| match e {
+            Event::SlpReqId(x) => Some(*x),
+            _ => None,
+        });
+        let lang = request
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                Event::ReqLang(l) => Some(l.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| DEFAULT_LANG.to_owned());
+        let canonical = request.service_type()?.to_owned();
+        let url = response.service_url()?;
+        let slp_url = to_slp_url(&canonical, url);
+        let ttl = response
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                Event::ResTtl(t) => Some(*t),
+                _ => None,
+            })
+            .unwrap_or(1800);
+        let lifetime = u16::try_from(ttl).unwrap_or(u16::MAX);
+        let msg = Message::new(
+            Header::new(indiss_slp::FunctionId::SrvRply, xid.unwrap_or(0), &lang),
+            Body::SrvRply(indiss_slp::SrvRply {
+                error: 0,
+                urls: vec![UrlEntry::new(slp_url.clone(), lifetime)],
+            }),
+        );
+        Some((msg, slp_url))
+    }
+}
+
+/// Maps a protocol-neutral endpoint URL to an SLP service URL, exactly as
+/// the paper's Fig. 4 shows: `soap://h:p/path` + type `clock` →
+/// `service:clock:soap://h:p/path`.
+fn to_slp_url(canonical_type: &str, endpoint: &str) -> String {
+    if endpoint.starts_with("service:") {
+        return endpoint.to_owned(); // already native SLP
+    }
+    match endpoint.split_once("://") {
+        Some((scheme, rest)) => format!("service:{canonical_type}:{scheme}://{rest}"),
+        None => format!("service:{canonical_type}://{endpoint}"),
+    }
+}
+
+impl SlpUnit {
+    /// Handles traffic on the unit's own socket: replies to queries this
+    /// unit initiated (SrvRply / AttrRply correlated by XID).
+    fn handle_own_socket(&self, world: &World, dgram: Datagram) {
+        let Ok(msg) = Message::decode(&dgram.payload) else {
+            return;
+        };
+        let xid = msg.header.xid;
+        match msg.body {
+            Body::SrvRply(rply) if rply.error == 0 && !rply.urls.is_empty() => {
+                // First reply wins; ask for its attributes next (process
+                // translation: the bridged answer must carry attributes).
+                let next = {
+                    let mut inner = self.inner.borrow_mut();
+                    let Some(pending) = inner.pending.get_mut(&xid) else {
+                        return;
+                    };
+                    if pending.awaiting_attrs.is_some() || !pending.urls.is_empty() {
+                        pending.urls.extend(rply.urls);
+                        return;
+                    }
+                    pending.urls.extend(rply.urls);
+                    let url = pending.urls[0].url.clone();
+                    pending.awaiting_attrs = Some(url.clone());
+                    let scopes = inner.config.scopes.clone();
+                    Some((url, scopes))
+                };
+                if let Some((url, scopes)) = next {
+                    let attr_rqst = Message::new(
+                        Header::new(indiss_slp::FunctionId::AttrRqst, xid, DEFAULT_LANG),
+                        Body::AttrRqst(indiss_slp::AttrRqst {
+                            prlist: String::new(),
+                            url,
+                            scopes,
+                            tags: String::new(),
+                            spi: String::new(),
+                        }),
+                    );
+                    let socket = self.inner.borrow().socket.clone();
+                    if let Ok(wire) = attr_rqst.encode() {
+                        let _ = socket.send_to(&wire, dgram.src);
+                    }
+                }
+                let _ = world;
+            }
+            Body::AttrRply(rply) => {
+                let finished = {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.pending.remove(&xid)
+                };
+                let Some(pending) = finished else {
+                    return;
+                };
+                let attrs = AttributeList::parse(&rply.attrs).unwrap_or_default();
+                let mut body = vec![
+                    Event::NetType(SdpProtocol::Slp),
+                    Event::ServiceResponse,
+                    Event::ResOk,
+                    Event::ServiceType(pending.canonical_type.clone()),
+                ];
+                let entry = &pending.urls[0];
+                body.push(Event::ResTtl(u32::from(entry.lifetime)));
+                body.push(Event::ResServUrl(entry.url.clone()));
+                for attr in attrs.iter() {
+                    for value in &attr.values {
+                        body.push(Event::ResAttr { tag: attr.tag.clone(), value: value.clone() });
+                    }
+                }
+                pending.reply.complete(EventStream::framed(body));
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Unit for SlpUnit {
+    fn protocol(&self) -> SdpProtocol {
+        SdpProtocol::Slp
+    }
+
+    fn parse(&self, _world: &World, dgram: &Datagram) -> ParsedMessage {
+        let msg = match Message::decode(&dgram.payload) {
+            Ok(m) => m,
+            Err(SlpError::BadVersion(_)) | Err(_) => return ParsedMessage::NotRelevant,
+        };
+        match &msg.body {
+            Body::SrvRqst(req) => self.parse_srv_rqst(&msg.header, req, dgram),
+            Body::SaAdvert(advert) => {
+                // SAAdverts announce an agent, not a concrete service; use
+                // the embedded attributes when they carry a service URL.
+                if let Some(url) = AttributeList::parse(&advert.attrs)
+                    .ok()
+                    .and_then(|a| a.get("service-url").map(str::to_owned))
+                {
+                    self.parse_advert_events(true, &url, &advert.attrs, 1800, dgram)
+                } else {
+                    ParsedMessage::Handled
+                }
+            }
+            Body::SrvReg(reg) => {
+                self.parse_advert_events(true, &reg.entry.url, &reg.attrs, reg.entry.lifetime, dgram)
+            }
+            Body::SrvDeReg(dereg) => {
+                self.parse_advert_events(false, &dereg.entry.url, "", 0, dgram)
+            }
+            Body::AttrRqst(req) => {
+                // Answer attribute requests for services we bridged.
+                let answer = self.inner.borrow().bridged_attrs.get(&req.url).cloned();
+                if let Some(attrs) = answer {
+                    let reply = Message::new(
+                        Header::new(indiss_slp::FunctionId::AttrRply, msg.header.xid, &msg.header.lang),
+                        Body::AttrRply(indiss_slp::AttrRply { error: 0, attrs: attrs.to_string() }),
+                    );
+                    let socket = self.inner.borrow().socket.clone();
+                    if let Ok(wire) = reply.encode() {
+                        let _ = socket.send_to(&wire, dgram.src);
+                    }
+                    ParsedMessage::Handled
+                } else {
+                    ParsedMessage::NotRelevant
+                }
+            }
+            Body::SrvRply(rply) if rply.error == 0 => {
+                // Observed on the wire (warm the runtime cache).
+                let mut body = vec![
+                    Event::NetType(SdpProtocol::Slp),
+                    Event::ServiceResponse,
+                    Event::ResOk,
+                ];
+                if let Some(entry) = rply.urls.first() {
+                    body.push(Event::ServiceType(canonical_type_from_slp(&entry.url)));
+                    body.push(Event::ResTtl(u32::from(entry.lifetime)));
+                    body.push(Event::ResServUrl(entry.url.clone()));
+                }
+                ParsedMessage::Response(EventStream::framed(body))
+            }
+            _ => ParsedMessage::NotRelevant,
+        }
+    }
+
+    fn execute_query(
+        &self,
+        world: &World,
+        request: &EventStream,
+        reply: Completion<EventStream>,
+    ) {
+        let Some(canonical) = request.service_type().map(str::to_owned) else {
+            reply.complete(EventStream::framed(vec![
+                Event::ServiceResponse,
+                Event::ResErr(2),
+            ]));
+            return;
+        };
+        let (xid, wire, window) = {
+            let mut inner = self.inner.borrow_mut();
+            let xid = inner.next_xid;
+            inner.next_xid = inner.next_xid.wrapping_add(1).max(0x4000);
+            let mut header = Header::new(indiss_slp::FunctionId::SrvRqst, xid, DEFAULT_LANG);
+            header.flags = FLAG_MCAST;
+            let msg = Message::new(
+                header,
+                Body::SrvRqst(indiss_slp::SrvRqst {
+                    prlist: String::new(),
+                    service_type: format!("service:{canonical}"),
+                    scopes: inner.config.scopes.clone(),
+                    predicate: String::new(),
+                    spi: String::new(),
+                }),
+            );
+            inner.pending.insert(
+                xid,
+                PendingQuery {
+                    reply: reply.clone(),
+                    urls: Vec::new(),
+                    canonical_type: canonical,
+                    awaiting_attrs: None,
+                },
+            );
+            (xid, msg.encode().expect("request encodable"), inner.config.query_window)
+        };
+        let socket = self.inner.borrow().socket.clone();
+        let _ = socket.send_to(&wire, SocketAddrV4::new(SLP_MULTICAST_GROUP, SLP_PORT));
+        // Deadline: if the full process did not finish, fail the bridge.
+        let this = self.clone();
+        world.schedule_in(window + Duration::from_millis(5), move |_| {
+            if let Some(pending) = this.inner.borrow_mut().pending.remove(&xid) {
+                pending.reply.complete(EventStream::framed(vec![
+                    Event::NetType(SdpProtocol::Slp),
+                    Event::ServiceResponse,
+                    Event::ResErr(404),
+                ]));
+            }
+        });
+    }
+
+    fn compose_response(&self, world: &World, request: &EventStream, response: &EventStream) {
+        if response.service_url().is_none() {
+            return; // nothing found: multicast etiquette is silence
+        }
+        let Some(requester) = request.source_addr() else {
+            return;
+        };
+        let Some((msg, slp_url)) = Self::build_srv_rply(request, response) else {
+            return;
+        };
+        // Record attributes so follow-up AttrRqsts can be answered.
+        {
+            let mut inner = self.inner.borrow_mut();
+            let mut attrs = AttributeList::new();
+            for (tag, value) in response.response_attrs() {
+                attrs.push(indiss_slp::Attribute::single(tag, value));
+            }
+            inner.bridged_attrs.insert(slp_url, attrs);
+        }
+        let delay = self.inner.borrow().config.translation_delay;
+        let socket = self.inner.borrow().socket.clone();
+        world.schedule_in(delay, move |_| {
+            if let Ok(wire) = msg.encode() {
+                let _ = socket.send_to(&wire, requester);
+            }
+        });
+    }
+
+    fn compose_advert(&self, world: &World, advert: &EventStream) {
+        // Translate a foreign alive-advertisement into an SLP SAAdvert
+        // carrying the service URL + attributes (the passive-SLP listener
+        // path of Fig. 6).
+        let Some(url) = advert.service_url() else {
+            return;
+        };
+        let Some(canonical) = advert.service_type() else {
+            return;
+        };
+        if advert.is_byebye() {
+            return; // SLP has no multicast byebye; registrations just expire
+        }
+        let slp_url = to_slp_url(canonical, url);
+        let mut attrs = AttributeList::new().with("service-url", &slp_url);
+        for (tag, value) in advert.response_attrs() {
+            attrs.push(indiss_slp::Attribute::single(tag, value));
+        }
+        let (own_url, scopes, xid) = {
+            let mut inner = self.inner.borrow_mut();
+            let xid = inner.next_xid;
+            inner.next_xid = inner.next_xid.wrapping_add(1).max(0x4000);
+            (
+                format!("service:service-agent://{}", inner.node.addr()),
+                inner.config.scopes.clone(),
+                xid,
+            )
+        };
+        let msg = Message::new(
+            Header::new(indiss_slp::FunctionId::SaAdvert, xid, DEFAULT_LANG),
+            Body::SaAdvert(indiss_slp::SaAdvert {
+                url: own_url,
+                scopes,
+                attrs: attrs.to_string(),
+            }),
+        );
+        let socket = self.inner.borrow().socket.clone();
+        let delay = self.inner.borrow().config.translation_delay;
+        world.schedule_in(delay, move |_| {
+            if let Ok(wire) = msg.encode() {
+                let _ = socket.send_to(&wire, SocketAddrV4::new(SLP_MULTICAST_GROUP, SLP_PORT));
+            }
+        });
+    }
+
+    fn own_sources(&self) -> Vec<SocketAddrV4> {
+        self.inner
+            .borrow()
+            .socket
+            .local_addr()
+            .map(|a| vec![a])
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indiss_net::World;
+    use indiss_slp::{Registration, ServiceAgent, SlpConfig};
+
+    fn unit_world() -> (World, Node, SlpUnit) {
+        let world = World::new(41);
+        let node = world.add_node("indiss");
+        let unit = SlpUnit::new(&node, SlpUnitConfig::default()).unwrap();
+        (world, node, unit)
+    }
+
+    fn srv_rqst_datagram(service_type: &str, multicast: bool) -> Datagram {
+        let mut header = Header::new(indiss_slp::FunctionId::SrvRqst, 0xBEEF, "en");
+        if multicast {
+            header.flags = FLAG_MCAST;
+        }
+        let msg = Message::new(
+            header,
+            Body::SrvRqst(indiss_slp::SrvRqst {
+                prlist: String::new(),
+                service_type: service_type.to_owned(),
+                scopes: "DEFAULT".into(),
+                predicate: "(location=home)".into(),
+                spi: String::new(),
+            }),
+        );
+        Datagram {
+            src: "10.0.0.7:40001".parse().unwrap(),
+            dst: if multicast {
+                SocketAddrV4::new(SLP_MULTICAST_GROUP, SLP_PORT)
+            } else {
+                "10.0.0.1:427".parse().unwrap()
+            },
+            payload: msg.encode().unwrap(),
+        }
+    }
+
+    /// The parser must produce the Fig. 4 step-1 event sequence.
+    #[test]
+    fn srv_rqst_parses_to_fig4_events() {
+        let (world, _node, unit) = unit_world();
+        let parsed = unit.parse(&world, &srv_rqst_datagram("service:clock", true));
+        let ParsedMessage::Request(stream) = parsed else {
+            panic!("expected request, got {parsed:?}");
+        };
+        assert_eq!(
+            stream.names(),
+            vec![
+                "SDP_C_START",
+                "SDP_NET_TYPE",
+                "SDP_NET_MULTICAST",
+                "SDP_NET_SOURCE_ADDR",
+                "SDP_SERVICE_REQUEST",
+                "SDP_REQ_VERSION",
+                "SDP_REQ_SCOPE",
+                "SDP_REQ_PREDICATE",
+                "SDP_REQ_ID",
+                "SDP_REQ_LANG",
+                "SDP_SERVICE_TYPE",
+                "SDP_C_STOP",
+            ]
+        );
+        assert_eq!(stream.service_type(), Some("clock"));
+    }
+
+    #[test]
+    fn infrastructure_requests_are_not_bridged() {
+        let (world, _node, unit) = unit_world();
+        let parsed = unit.parse(&world, &srv_rqst_datagram("service:directory-agent", true));
+        assert_eq!(parsed, ParsedMessage::NotRelevant);
+    }
+
+    #[test]
+    fn garbage_is_not_relevant() {
+        let (world, _node, unit) = unit_world();
+        let dgram = Datagram {
+            src: "10.0.0.7:40001".parse().unwrap(),
+            dst: "10.0.0.1:427".parse().unwrap(),
+            payload: b"NOTIFY * HTTP/1.1\r\n\r\n".to_vec(),
+        };
+        assert_eq!(unit.parse(&world, &dgram), ParsedMessage::NotRelevant);
+    }
+
+    #[test]
+    fn execute_query_drives_request_and_attr_fetch() {
+        let (world, _node, unit) = unit_world();
+        let service_node = world.add_node("printer");
+        let sa = ServiceAgent::start(&service_node, SlpConfig::default()).unwrap();
+        sa.register(
+            Registration::new(
+                "service:printer:lpr://10.0.0.9:515",
+                AttributeList::parse("(ppm=12),(location=office)").unwrap(),
+            )
+            .unwrap(),
+        );
+        let request = EventStream::framed(vec![
+            Event::ServiceRequest,
+            Event::ServiceType("printer".into()),
+        ]);
+        let reply: Completion<EventStream> = Completion::new();
+        unit.execute_query(&world, &request, reply.clone());
+        world.run_for(Duration::from_secs(1));
+        let response = reply.take().expect("query completed");
+        assert!(response.is_response());
+        assert_eq!(response.service_url(), Some("service:printer:lpr://10.0.0.9:515"));
+        let attrs = response.response_attrs();
+        assert!(attrs.contains(&("ppm", "12")), "attrs fetched via AttrRqst: {attrs:?}");
+    }
+
+    #[test]
+    fn execute_query_times_out_to_error_stream() {
+        let (world, _node, unit) = unit_world();
+        let request = EventStream::framed(vec![
+            Event::ServiceRequest,
+            Event::ServiceType("nonexistent".into()),
+        ]);
+        let reply: Completion<EventStream> = Completion::new();
+        unit.execute_query(&world, &request, reply.clone());
+        world.run_for(Duration::from_secs(1));
+        let response = reply.take().expect("deadline fired");
+        assert!(response.events().iter().any(|e| matches!(e, Event::ResErr(_))));
+    }
+
+    #[test]
+    fn compose_response_builds_fig4_srv_rply() {
+        let (world, node, unit) = unit_world();
+        let client_node = world.add_node("client");
+        let listen = client_node.udp_bind(40001).unwrap();
+        let got: Completion<Vec<u8>> = Completion::new();
+        let got2 = got.clone();
+        listen.on_receive(move |_, d| got2.complete(d.payload));
+
+        let request = EventStream::framed(vec![
+            Event::NetSourceAddr(SocketAddrV4::new(client_node.addr(), 40001)),
+            Event::ServiceRequest,
+            Event::SlpReqId(0xBEEF),
+            Event::ReqLang("en".into()),
+            Event::ServiceType("clock".into()),
+        ]);
+        let response = EventStream::framed(vec![
+            Event::ServiceResponse,
+            Event::ResOk,
+            Event::ResTtl(1800),
+            Event::ResServUrl("soap://10.0.0.2:4005/service/timer/control".into()),
+            Event::ResAttr { tag: "friendlyName".into(), value: "CyberGarage Clock Device".into() },
+        ]);
+        unit.compose_response(&world, &request, &response);
+        world.run_for(Duration::from_secs(1));
+        let wire = got.take().expect("SrvRply delivered");
+        let msg = Message::decode(&wire).unwrap();
+        assert_eq!(msg.header.xid, 0xBEEF);
+        match msg.body {
+            Body::SrvRply(rply) => {
+                assert_eq!(
+                    rply.urls[0].url,
+                    "service:clock:soap://10.0.0.2:4005/service/timer/control"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Attributes recorded for follow-up AttrRqst answering.
+        let attrs = unit
+            .bridged_attributes("service:clock:soap://10.0.0.2:4005/service/timer/control")
+            .unwrap();
+        assert_eq!(attrs.get("friendlyName"), Some("CyberGarage Clock Device"));
+        let _ = node;
+    }
+
+    #[test]
+    fn empty_response_is_silent() {
+        let (world, _node, unit) = unit_world();
+        let client_node = world.add_node("client");
+        let listen = client_node.udp_bind(40001).unwrap();
+        let got: Completion<()> = Completion::new();
+        let got2 = got.clone();
+        listen.on_receive(move |_, _| got2.complete(()));
+        let request = EventStream::framed(vec![
+            Event::NetSourceAddr(SocketAddrV4::new(client_node.addr(), 40001)),
+            Event::ServiceRequest,
+            Event::ServiceType("clock".into()),
+        ]);
+        let response =
+            EventStream::framed(vec![Event::ServiceResponse, Event::ResErr(404)]);
+        unit.compose_response(&world, &request, &response);
+        world.run_for(Duration::from_secs(1));
+        assert!(!got.is_complete(), "no SrvRply for an empty result");
+    }
+
+    #[test]
+    fn compose_advert_emits_sa_advert() {
+        let (world, _node, unit) = unit_world();
+        let listener_node = world.add_node("listener");
+        let sock = listener_node.udp_bind(SLP_PORT).unwrap();
+        sock.join_multicast(SLP_MULTICAST_GROUP).unwrap();
+        let got: Completion<Vec<u8>> = Completion::new();
+        let got2 = got.clone();
+        sock.on_receive(move |_, d| got2.complete(d.payload));
+        let advert = EventStream::framed(vec![
+            Event::ServiceAlive,
+            Event::ServiceType("clock".into()),
+            Event::ResServUrl("soap://10.0.0.2:4005/ctl".into()),
+            Event::ResAttr { tag: "friendlyName".into(), value: "Clock".into() },
+        ]);
+        unit.compose_advert(&world, &advert);
+        world.run_for(Duration::from_secs(1));
+        let msg = Message::decode(&got.take().expect("SAAdvert heard")).unwrap();
+        match msg.body {
+            Body::SaAdvert(sa) => {
+                let attrs = AttributeList::parse(&sa.attrs).unwrap();
+                assert_eq!(attrs.get("service-url"), Some("service:clock:soap://10.0.0.2:4005/ctl"));
+                assert_eq!(attrs.get("friendlyName"), Some("Clock"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slp_url_mapping() {
+        assert_eq!(
+            to_slp_url("clock", "soap://1.2.3.4:5/ctl"),
+            "service:clock:soap://1.2.3.4:5/ctl"
+        );
+        assert_eq!(to_slp_url("clock", "1.2.3.4:5"), "service:clock://1.2.3.4:5");
+        assert_eq!(to_slp_url("x", "service:x://h"), "service:x://h");
+    }
+}

@@ -1,0 +1,63 @@
+//! HTTP parse errors.
+
+use std::fmt;
+
+/// Error produced while parsing an HTTP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HttpError {
+    /// The start line is not a valid request or status line.
+    InvalidStartLine(String),
+    /// A header line has no `:` separator.
+    InvalidHeaderLine(String),
+    /// The HTTP version token is not `HTTP/1.0` or `HTTP/1.1`.
+    UnsupportedVersion(String),
+    /// The status code is not a three-digit number.
+    InvalidStatusCode(String),
+    /// Input ended before the blank line terminating the header block.
+    UnterminatedHeaders,
+    /// `Content-Length` is present but not a valid number.
+    InvalidContentLength(String),
+    /// The body is shorter than the declared `Content-Length`.
+    BodyTooShort {
+        /// Bytes promised by `Content-Length`.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The message is not valid UTF-8 in its head section.
+    NotUtf8,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::InvalidStartLine(l) => write!(f, "invalid start line {l:?}"),
+            HttpError::InvalidHeaderLine(l) => write!(f, "invalid header line {l:?}"),
+            HttpError::UnsupportedVersion(v) => write!(f, "unsupported http version {v:?}"),
+            HttpError::InvalidStatusCode(c) => write!(f, "invalid status code {c:?}"),
+            HttpError::UnterminatedHeaders => write!(f, "headers not terminated by blank line"),
+            HttpError::InvalidContentLength(v) => write!(f, "invalid content-length {v:?}"),
+            HttpError::BodyTooShort { expected, found } => {
+                write!(f, "body too short: expected {expected} bytes, found {found}")
+            }
+            HttpError::NotUtf8 => write!(f, "message head is not valid utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Convenience alias for HTTP parse results.
+pub type HttpResult<T> = Result<T, HttpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(HttpError::InvalidStartLine("x".into()).to_string().contains("x"));
+        assert!(HttpError::BodyTooShort { expected: 5, found: 2 }.to_string().contains('5'));
+    }
+}

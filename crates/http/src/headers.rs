@@ -1,0 +1,195 @@
+//! Case-insensitive header map preserving insertion order.
+
+use std::fmt;
+
+/// An ordered multimap of HTTP headers with case-insensitive names.
+///
+/// SSDP relies on specific headers (`ST`, `USN`, `LOCATION`, `MX`, `NTS`)
+/// whose capitalization varies between stacks; lookups here ignore case
+/// while serialization preserves the names as inserted.
+///
+/// # Examples
+///
+/// ```
+/// use indiss_http::Headers;
+///
+/// let mut h = Headers::new();
+/// h.insert("LOCATION", "http://10.0.0.2:4004/description.xml");
+/// assert_eq!(h.get("location"), Some("http://10.0.0.2:4004/description.xml"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Creates an empty header map.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Appends a header, keeping any existing ones with the same name.
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Sets a header, replacing all existing values of the same name.
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(&name));
+        self.entries.push((name, value.into()));
+    }
+
+    /// First value of the header, case-insensitive.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of the header, case-insensitive.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the header is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Removes all values of the header; returns whether any were removed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.len() != before
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Parses `Content-Length` if present.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::HttpError::InvalidContentLength`] when present but not a
+    /// valid decimal number.
+    pub fn content_length(&self) -> crate::HttpResult<Option<usize>> {
+        match self.get("content-length") {
+            None => Ok(None),
+            Some(v) => v
+                .trim()
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| crate::HttpError::InvalidContentLength(v.to_owned())),
+        }
+    }
+
+    /// Serializes the header block, each line `Name: value\r\n`.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        for (name, value) in &self.entries {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+    }
+}
+
+impl fmt::Display for Headers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in &self.entries {
+            writeln!(f, "{name}: {value}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(String, String)> for Headers {
+    fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
+        Headers { entries: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, String)> for Headers {
+    fn extend<I: IntoIterator<Item = (String, String)>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let mut h = Headers::new();
+        h.append("Cache-Control", "max-age=1800");
+        assert_eq!(h.get("CACHE-CONTROL"), Some("max-age=1800"));
+        assert!(h.contains("cache-control"));
+    }
+
+    #[test]
+    fn insert_replaces_append_accumulates() {
+        let mut h = Headers::new();
+        h.append("ST", "a");
+        h.append("st", "b");
+        assert_eq!(h.get_all("ST").count(), 2);
+        h.insert("St", "c");
+        assert_eq!(h.get_all("ST").collect::<Vec<_>>(), vec!["c"]);
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut h = Headers::new();
+        h.append("X", "1");
+        assert!(h.remove("x"));
+        assert!(!h.remove("x"));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = Headers::new();
+        assert_eq!(h.content_length().unwrap(), None);
+        h.insert("Content-Length", " 42 ");
+        assert_eq!(h.content_length().unwrap(), Some(42));
+        h.insert("Content-Length", "nan");
+        assert!(h.content_length().is_err());
+    }
+
+    #[test]
+    fn serialization_preserves_case_and_order() {
+        let mut h = Headers::new();
+        h.append("HOST", "239.255.255.250:1900");
+        h.append("Man", "\"ssdp:discover\"");
+        let mut out = Vec::new();
+        h.serialize_into(&mut out);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "HOST: 239.255.255.250:1900\r\nMan: \"ssdp:discover\"\r\n"
+        );
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let h: Headers =
+            vec![("A".to_string(), "1".to_string())].into_iter().collect();
+        assert_eq!(h.len(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # indiss-http — HTTP/1.1 subset and HTTPU
+//!
+//! SSDP — the discovery half of UPnP — is "HTTP over UDP" (HTTPU): request
+//! and response messages with the familiar start-line + headers syntax but
+//! carried in single datagrams. The UPnP description fetch the INDISS paper
+//! walks through in §2.4 (`GET /description.xml HTTP/1.1`) is plain HTTP
+//! over TCP. This crate provides the shared message model for both.
+//!
+//! ```
+//! use indiss_http::{Method, Request, Response};
+//!
+//! let mut req = Request::new(Method::Get, "/description.xml");
+//! req.headers.insert("HOST", "10.0.0.2:4004");
+//! let parsed = Request::parse(&req.serialize())?;
+//! assert_eq!(parsed.target, "/description.xml");
+//! # Ok::<(), indiss_http::HttpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod headers;
+mod message;
+
+pub use error::{HttpError, HttpResult};
+pub use headers::Headers;
+pub use message::{message_len, standard_reason, Method, Request, Response};

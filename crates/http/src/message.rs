@@ -1,0 +1,412 @@
+//! Request and response types with parsing and serialization.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::{HttpError, HttpResult};
+use crate::headers::Headers;
+
+/// HTTP methods used by SSDP and UPnP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Method {
+    /// Description / presentation fetch.
+    Get,
+    /// SOAP control invocation.
+    Post,
+    /// SSDP advertisement (HTTPU).
+    Notify,
+    /// SSDP search (HTTPU).
+    MSearch,
+    /// GENA event subscription (accepted for completeness).
+    Subscribe,
+    /// GENA unsubscription.
+    Unsubscribe,
+    /// HEAD, for completeness.
+    Head,
+}
+
+impl Method {
+    /// The canonical wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Notify => "NOTIFY",
+            Method::MSearch => "M-SEARCH",
+            Method::Subscribe => "SUBSCRIBE",
+            Method::Unsubscribe => "UNSUBSCRIBE",
+            Method::Head => "HEAD",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Method {
+    type Err = HttpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            "NOTIFY" => Ok(Method::Notify),
+            "M-SEARCH" => Ok(Method::MSearch),
+            "SUBSCRIBE" => Ok(Method::Subscribe),
+            "UNSUBSCRIBE" => Ok(Method::Unsubscribe),
+            "HEAD" => Ok(Method::Head),
+            other => Err(HttpError::InvalidStartLine(other.to_owned())),
+        }
+    }
+}
+
+/// An HTTP/HTTPU request.
+///
+/// # Examples
+///
+/// ```
+/// use indiss_http::{Method, Request};
+///
+/// let mut req = Request::new(Method::MSearch, "*");
+/// req.headers.insert("MAN", "\"ssdp:discover\"");
+/// let bytes = req.serialize();
+/// let back = Request::parse(&bytes)?;
+/// assert_eq!(back.method, Method::MSearch);
+/// assert_eq!(back.headers.get("man"), Some("\"ssdp:discover\""));
+/// # Ok::<(), indiss_http::HttpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request target (`*` for SSDP, a path for description fetches).
+    pub target: String,
+    /// Header block.
+    pub headers: Headers,
+    /// Message body (empty for HTTPU).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Creates a bodyless request.
+    pub fn new(method: Method, target: impl Into<String>) -> Self {
+        Request { method, target: target.into(), headers: Headers::new(), body: Vec::new() }
+    }
+
+    /// Serializes to wire bytes, adding `Content-Length` when a body is
+    /// present and none was set.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(self.method.as_str().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.target.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        self.headers.serialize_into(&mut out);
+        if !self.body.is_empty() && !self.headers.contains("content-length") {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a request from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`HttpError`] for malformed input; a body shorter than
+    /// `Content-Length` yields [`HttpError::BodyTooShort`] (the caller
+    /// should accumulate more TCP segments and retry).
+    pub fn parse(input: &[u8]) -> HttpResult<Request> {
+        let (head, body) = split_head(input)?;
+        let mut lines = head.lines();
+        let start = lines.next().ok_or(HttpError::UnterminatedHeaders)?;
+        let mut parts = start.split_whitespace();
+        let method: Method = parts
+            .next()
+            .ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?
+            .parse()?;
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?
+            .to_owned();
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?;
+        check_version(version)?;
+        let headers = parse_headers(lines)?;
+        let body = take_body(&headers, body)?;
+        Ok(Request { method, target, headers, body })
+    }
+}
+
+/// An HTTP/HTTPU response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Three-digit status code.
+    pub status: u16,
+    /// Reason phrase (informational only).
+    pub reason: String,
+    /// Header block.
+    pub headers: Headers,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Creates a bodyless response with the standard reason phrase.
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            reason: standard_reason(status).to_owned(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Creates a `200 OK` response.
+    pub fn ok() -> Self {
+        Response::new(200)
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Serializes to wire bytes, adding `Content-Length` when a body is
+    /// present and none was set.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).as_bytes());
+        self.headers.serialize_into(&mut out);
+        if !self.body.is_empty() && !self.headers.contains("content-length") {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a response from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Request::parse`].
+    pub fn parse(input: &[u8]) -> HttpResult<Response> {
+        let (head, body) = split_head(input)?;
+        let mut lines = head.lines();
+        let start = lines.next().ok_or(HttpError::UnterminatedHeaders)?;
+        let mut parts = start.splitn(3, ' ');
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?;
+        check_version(version)?;
+        let code_str = parts
+            .next()
+            .ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?;
+        let status: u16 = code_str
+            .parse()
+            .map_err(|_| HttpError::InvalidStatusCode(code_str.to_owned()))?;
+        if !(100..=599).contains(&status) {
+            return Err(HttpError::InvalidStatusCode(code_str.to_owned()));
+        }
+        let reason = parts.next().unwrap_or("").to_owned();
+        let headers = parse_headers(lines)?;
+        let body = take_body(&headers, body)?;
+        Ok(Response { status, reason, headers, body })
+    }
+}
+
+/// Standard reason phrase for the status codes this stack emits.
+pub fn standard_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        412 => "Precondition Failed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn check_version(v: &str) -> HttpResult<()> {
+    if v == "HTTP/1.1" || v == "HTTP/1.0" {
+        Ok(())
+    } else {
+        Err(HttpError::UnsupportedVersion(v.to_owned()))
+    }
+}
+
+/// Splits raw bytes at the blank line; returns (head as str, body bytes).
+fn split_head(input: &[u8]) -> HttpResult<(&str, &[u8])> {
+    let pos = find_blank_line(input).ok_or(HttpError::UnterminatedHeaders)?;
+    let head = std::str::from_utf8(&input[..pos]).map_err(|_| HttpError::NotUtf8)?;
+    Ok((head, &input[pos + 4..]))
+}
+
+fn find_blank_line(input: &[u8]) -> Option<usize> {
+    input.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_headers<'a, I: Iterator<Item = &'a str>>(lines: I) -> HttpResult<Headers> {
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::InvalidHeaderLine(line.to_owned()))?;
+        headers.append(name.trim(), value.trim());
+    }
+    Ok(headers)
+}
+
+fn take_body(headers: &Headers, body: &[u8]) -> HttpResult<Vec<u8>> {
+    match headers.content_length()? {
+        Some(len) if body.len() < len => {
+            Err(HttpError::BodyTooShort { expected: len, found: body.len() })
+        }
+        Some(len) => Ok(body[..len].to_vec()),
+        None => Ok(body.to_vec()),
+    }
+}
+
+/// Returns how many bytes from the start of `input` form one complete HTTP
+/// message, or `None` if more data is needed. Used by stream readers to
+/// delimit pipelined messages.
+pub fn message_len(input: &[u8]) -> Option<usize> {
+    let head_end = find_blank_line(input)? + 4;
+    let head = std::str::from_utf8(&input[..head_end]).ok()?;
+    let mut content_length = 0usize;
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    let total = head_end + content_length;
+    (input.len() >= total).then_some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_with_body() {
+        let mut req = Request::new(Method::Post, "/control");
+        req.headers.insert("SOAPACTION", "\"GetTime\"");
+        req.body = b"<xml/>".to_vec();
+        let bytes = req.serialize();
+        let back = Request::parse(&bytes).unwrap();
+        assert_eq!(back.method, req.method);
+        assert_eq!(back.target, req.target);
+        assert_eq!(back.body, req.body);
+        assert_eq!(back.headers.get("soapaction"), Some("\"GetTime\""));
+        // Serialization added the Content-Length the request lacked.
+        assert_eq!(back.headers.content_length().unwrap(), Some(6));
+    }
+
+    #[test]
+    fn response_roundtrip_with_body() {
+        let mut resp = Response::ok();
+        resp.headers.insert("Content-Type", "text/xml");
+        resp.body = b"<root/>".to_vec();
+        let back = Response::parse(&resp.serialize()).unwrap();
+        assert_eq!(back.status, 200);
+        assert!(back.is_success());
+        assert_eq!(back.body, b"<root/>");
+    }
+
+    #[test]
+    fn msearch_wire_format_matches_paper() {
+        // The paper's Fig. 4 shows this exact request shape.
+        let mut req = Request::new(Method::MSearch, "*");
+        req.headers.append("HOST", "239.255.255.250:1900");
+        req.headers.append("ST", "urn:schemas-upnp-org:device:clock:1");
+        req.headers.append("MAN", "\"ssdp:discover\"");
+        req.headers.append("MX", "0");
+        let text = String::from_utf8(req.serialize()).unwrap();
+        assert!(text.starts_with("M-SEARCH * HTTP/1.1\r\n"));
+        assert!(text.contains("MAN: \"ssdp:discover\"\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn body_too_short_is_reported() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        match Response::parse(raw) {
+            Err(HttpError::BodyTooShort { expected: 10, found: 5 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extra_bytes_after_content_length_are_dropped() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhiEXTRA";
+        let resp = Response::parse(raw).unwrap();
+        assert_eq!(resp.body, b"hi");
+    }
+
+    #[test]
+    fn invalid_method_rejected() {
+        assert!(Request::parse(b"BREW / HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn invalid_version_rejected() {
+        assert!(Request::parse(b"GET / HTTP/2\r\n\r\n").is_err());
+        assert!(Response::parse(b"SPDY/3 200 OK\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn missing_blank_line_rejected() {
+        assert!(Request::parse(b"GET / HTTP/1.1\r\nHost: x\r\n").is_err());
+    }
+
+    #[test]
+    fn status_code_bounds_checked() {
+        assert!(Response::parse(b"HTTP/1.1 99 Low\r\n\r\n").is_err());
+        assert!(Response::parse(b"HTTP/1.1 abc Bad\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn header_whitespace_trimmed() {
+        let req = Request::parse(b"GET / HTTP/1.1\r\nHost:   spaced.example   \r\n\r\n").unwrap();
+        assert_eq!(req.headers.get("host"), Some("spaced.example"));
+    }
+
+    #[test]
+    fn message_len_delimits_pipelined_messages() {
+        let mut resp = Response::ok();
+        resp.body = b"abc".to_vec();
+        let mut wire = resp.serialize();
+        let first_len = wire.len();
+        wire.extend_from_slice(b"HTTP/1.1 200 OK\r\n\r\n");
+        assert_eq!(message_len(&wire), Some(first_len));
+        assert_eq!(message_len(&wire[..first_len - 1]), None);
+    }
+
+    #[test]
+    fn all_methods_roundtrip() {
+        for m in [
+            Method::Get,
+            Method::Post,
+            Method::Notify,
+            Method::MSearch,
+            Method::Subscribe,
+            Method::Unsubscribe,
+            Method::Head,
+        ] {
+            assert_eq!(m.as_str().parse::<Method>().unwrap(), m);
+        }
+    }
+}

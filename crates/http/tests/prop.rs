@@ -1,0 +1,97 @@
+//! Property-based tests of the HTTP/HTTPU codec.
+
+use proptest::prelude::*;
+
+use indiss_http::{message_len, Headers, Method, Request, Response};
+
+fn header_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,16}"
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    // No CR/LF or leading/trailing whitespace (trimmed on parse).
+    "[ -~]{0,24}".prop_map(|s| s.trim().to_owned())
+}
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    prop_oneof![
+        Just(Method::Get),
+        Just(Method::Post),
+        Just(Method::Notify),
+        Just(Method::MSearch),
+        Just(Method::Subscribe),
+        Just(Method::Unsubscribe),
+        Just(Method::Head),
+    ]
+}
+
+proptest! {
+    /// Requests round-trip: start line, headers (case preserved), body.
+    #[test]
+    fn requests_roundtrip(
+        method in arb_method(),
+        target in "[!-~]{1,24}",
+        headers in proptest::collection::vec((header_name(), header_value()), 0..6),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut req = Request::new(method, target.clone());
+        let mut expected = Vec::new();
+        for (n, v) in &headers {
+            // Skip a user-specified content-length: serialization manages it.
+            if n.eq_ignore_ascii_case("content-length") {
+                continue;
+            }
+            req.headers.append(n.clone(), v.clone());
+            expected.push((n.clone(), v.clone()));
+        }
+        req.body = body.clone();
+        let back = Request::parse(&req.serialize()).unwrap();
+        prop_assert_eq!(back.method, method);
+        prop_assert_eq!(back.target, target);
+        prop_assert_eq!(back.body, body);
+        for (n, v) in expected {
+            prop_assert!(back.headers.get_all(&n).any(|got| got == v), "{n}: {v}");
+        }
+    }
+
+    /// Responses round-trip.
+    #[test]
+    fn responses_roundtrip(
+        status in 100u16..=599,
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut resp = Response::new(status);
+        resp.body = body.clone();
+        let back = Response::parse(&resp.serialize()).unwrap();
+        prop_assert_eq!(back.status, status);
+        prop_assert_eq!(back.body, body);
+    }
+
+    /// The parsers are total on arbitrary bytes.
+    #[test]
+    fn parsers_are_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Request::parse(&bytes);
+        let _ = Response::parse(&bytes);
+        let _ = message_len(&bytes);
+    }
+
+    /// `message_len` of a serialized message equals its length, for any
+    /// body size — and any strict prefix is "incomplete".
+    #[test]
+    fn message_len_is_exact(body in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let mut resp = Response::new(200);
+        resp.body = body;
+        let wire = resp.serialize();
+        prop_assert_eq!(message_len(&wire), Some(wire.len()));
+        prop_assert_eq!(message_len(&wire[..wire.len() - 1]), None);
+    }
+
+    /// Header lookup ignores case for any name.
+    #[test]
+    fn header_lookup_case_insensitive(name in header_name(), value in header_value()) {
+        let mut h = Headers::new();
+        h.insert(name.clone(), value.clone());
+        prop_assert_eq!(h.get(&name.to_ascii_uppercase()), Some(value.as_str()));
+        prop_assert_eq!(h.get(&name.to_ascii_lowercase()), Some(value.as_str()));
+    }
+}

@@ -1,0 +1,46 @@
+//! # indiss-jini — simplified Jini discovery
+//!
+//! Jini is the third discovery protocol of the INDISS paper's Fig. 5
+//! configuration (`Component Unit JINI(port=4160)`). Its architecture is
+//! repository-mandatory: clients and providers first discover a *lookup
+//! service* (multicast request on `224.0.1.85:4160`, unsolicited
+//! announcements on `224.0.1.84:4160`), then register/query it unicast.
+//!
+//! Java object serialization (how real Jini moves `ServiceRegistrar`
+//! proxies) is substituted by a compact binary record codec — see
+//! `DESIGN.md` §5; the discovery *process* is preserved.
+//!
+//! ```
+//! use indiss_net::World;
+//! use indiss_jini::{JiniAgent, JiniConfig, LookupService, ServiceItem};
+//! use std::time::Duration;
+//!
+//! let world = World::new(1);
+//! let reggie = world.add_node("reggie");
+//! let provider = world.add_node("provider");
+//! let _ls = LookupService::start(&reggie, JiniConfig::default())?;
+//! let agent = JiniAgent::start(&provider, JiniConfig::default())?;
+//! agent.register(ServiceItem {
+//!     service_id: 1,
+//!     service_type: "clock".into(),
+//!     endpoint: "10.0.0.2:4005".into(),
+//!     attributes: vec![],
+//! });
+//! world.run_for(Duration::from_secs(1));
+//! let found = agent.lookup("clock");
+//! world.run_for(Duration::from_secs(1));
+//! assert_eq!(found.take().unwrap().len(), 1);
+//! # Ok::<(), indiss_net::NetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod wire;
+
+pub use agent::{
+    JiniAgent, JiniConfig, LookupService, JINI_ANNOUNCEMENT_GROUP, JINI_PORT,
+    JINI_REQUEST_GROUP,
+};
+pub use wire::{JiniError, JiniPacket, JiniResult, PacketType, ServiceItem, JINI_WIRE_VERSION};

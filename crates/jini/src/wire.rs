@@ -1,0 +1,377 @@
+//! Compact binary codec for the simplified Jini discovery protocol.
+//!
+//! Real Jini moves Java-serialized `ServiceRegistrar` proxies over JRMP;
+//! that is not reproducible (or desirable) outside a JVM. As documented in
+//! `DESIGN.md` §5, we substitute a compact binary record format that
+//! preserves the protocol *shape*: multicast request / announcement
+//! packets on port 4160 and unicast registrar traffic.
+
+use std::fmt;
+
+/// Protocol version tag.
+pub const JINI_WIRE_VERSION: u8 = 1;
+
+/// Packet type discriminants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PacketType {
+    /// Multicast request: "any lookup services out there?"
+    DiscoveryRequest = 1,
+    /// Multicast announcement / unicast reply: "lookup service here".
+    Announcement = 2,
+    /// Unicast: register a service item with the registrar.
+    Register = 3,
+    /// Unicast: acknowledgement of a registration.
+    RegisterAck = 4,
+    /// Unicast: query the registrar by service type.
+    Lookup = 5,
+    /// Unicast: query results.
+    LookupReply = 6,
+}
+
+impl PacketType {
+    fn from_u8(v: u8) -> Option<PacketType> {
+        Some(match v {
+            1 => PacketType::DiscoveryRequest,
+            2 => PacketType::Announcement,
+            3 => PacketType::Register,
+            4 => PacketType::RegisterAck,
+            5 => PacketType::Lookup,
+            6 => PacketType::LookupReply,
+            _ => return None,
+        })
+    }
+}
+
+/// One registered Jini service: the stand-in for a serialized proxy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ServiceItem {
+    /// Unique service id.
+    pub service_id: u64,
+    /// Service type name, e.g. `clock`.
+    pub service_type: String,
+    /// Endpoint the proxy would connect to, e.g. `10.0.0.2:4005`.
+    pub endpoint: String,
+    /// Attribute pairs (Jini's `Entry` attributes, flattened).
+    pub attributes: Vec<(String, String)>,
+}
+
+/// A parsed Jini packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JiniPacket {
+    /// Multicast lookup-service discovery request; `groups` filters which
+    /// lookup services should answer (empty = all).
+    DiscoveryRequest {
+        /// Discovery groups of interest.
+        groups: Vec<String>,
+    },
+    /// Lookup service announcement (multicast, or unicast reply to a
+    /// discovery request).
+    Announcement {
+        /// Registrar host string.
+        host: String,
+        /// Registrar port.
+        port: u16,
+        /// Groups served.
+        groups: Vec<String>,
+    },
+    /// Register a service item.
+    Register {
+        /// The item to store.
+        item: ServiceItem,
+        /// Requested lease duration, seconds.
+        lease_secs: u32,
+    },
+    /// Registration acknowledgement with granted lease.
+    RegisterAck {
+        /// Echoed service id.
+        service_id: u64,
+        /// Granted lease, seconds.
+        lease_secs: u32,
+    },
+    /// Query by service type (empty = all).
+    Lookup {
+        /// Service type filter.
+        service_type: String,
+    },
+    /// Query results.
+    LookupReply {
+        /// Matching items.
+        items: Vec<ServiceItem>,
+    },
+}
+
+/// Errors decoding a Jini packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JiniError {
+    /// Buffer too short.
+    Truncated,
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Unknown packet type.
+    BadPacketType(u8),
+    /// String field is not UTF-8.
+    BadString,
+}
+
+impl fmt::Display for JiniError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JiniError::Truncated => write!(f, "truncated jini packet"),
+            JiniError::BadVersion(v) => write!(f, "unknown jini wire version {v}"),
+            JiniError::BadPacketType(t) => write!(f, "unknown jini packet type {t}"),
+            JiniError::BadString => write!(f, "jini string field is not utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for JiniError {}
+
+/// Convenience alias for Jini codec results.
+pub type JiniResult<T> = Result<T, JiniError>;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(ptype: PacketType) -> Self {
+        Writer { buf: vec![JINI_WIRE_VERSION, ptype as u8] }
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn string(&mut self, s: &str) {
+        let len = s.len().min(u16::MAX as usize) as u16;
+        self.u16(len);
+        self.buf.extend_from_slice(&s.as_bytes()[..len as usize]);
+    }
+
+    fn strings(&mut self, items: &[String]) {
+        self.u16(items.len().min(u16::MAX as usize) as u16);
+        for s in items {
+            self.string(s);
+        }
+    }
+
+    fn item(&mut self, item: &ServiceItem) {
+        self.u64(item.service_id);
+        self.string(&item.service_type);
+        self.string(&item.endpoint);
+        self.u16(item.attributes.len().min(u16::MAX as usize) as u16);
+        for (k, v) in &item.attributes {
+            self.string(k);
+            self.string(v);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> JiniResult<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(JiniError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> JiniResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> JiniResult<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> JiniResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> JiniResult<u64> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_be_bytes(arr))
+    }
+
+    fn string(&mut self) -> JiniResult<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| JiniError::BadString)
+    }
+
+    fn strings(&mut self) -> JiniResult<Vec<String>> {
+        let n = self.u16()? as usize;
+        let mut out = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            out.push(self.string()?);
+        }
+        Ok(out)
+    }
+
+    fn item(&mut self) -> JiniResult<ServiceItem> {
+        let service_id = self.u64()?;
+        let service_type = self.string()?;
+        let endpoint = self.string()?;
+        let n = self.u16()? as usize;
+        let mut attributes = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let k = self.string()?;
+            let v = self.string()?;
+            attributes.push((k, v));
+        }
+        Ok(ServiceItem { service_id, service_type, endpoint, attributes })
+    }
+}
+
+impl JiniPacket {
+    /// Encodes the packet to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            JiniPacket::DiscoveryRequest { groups } => {
+                let mut w = Writer::new(PacketType::DiscoveryRequest);
+                w.strings(groups);
+                w.buf
+            }
+            JiniPacket::Announcement { host, port, groups } => {
+                let mut w = Writer::new(PacketType::Announcement);
+                w.string(host);
+                w.u16(*port);
+                w.strings(groups);
+                w.buf
+            }
+            JiniPacket::Register { item, lease_secs } => {
+                let mut w = Writer::new(PacketType::Register);
+                w.item(item);
+                w.u32(*lease_secs);
+                w.buf
+            }
+            JiniPacket::RegisterAck { service_id, lease_secs } => {
+                let mut w = Writer::new(PacketType::RegisterAck);
+                w.u64(*service_id);
+                w.u32(*lease_secs);
+                w.buf
+            }
+            JiniPacket::Lookup { service_type } => {
+                let mut w = Writer::new(PacketType::Lookup);
+                w.string(service_type);
+                w.buf
+            }
+            JiniPacket::LookupReply { items } => {
+                let mut w = Writer::new(PacketType::LookupReply);
+                w.u16(items.len().min(u16::MAX as usize) as u16);
+                for item in items {
+                    w.item(item);
+                }
+                w.buf
+            }
+        }
+    }
+
+    /// Decodes a packet from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`JiniError`] for malformed input.
+    pub fn decode(buf: &[u8]) -> JiniResult<JiniPacket> {
+        let mut r = Reader { buf, pos: 0 };
+        let version = r.u8()?;
+        if version != JINI_WIRE_VERSION {
+            return Err(JiniError::BadVersion(version));
+        }
+        let ptype_byte = r.u8()?;
+        let ptype = PacketType::from_u8(ptype_byte).ok_or(JiniError::BadPacketType(ptype_byte))?;
+        Ok(match ptype {
+            PacketType::DiscoveryRequest => {
+                JiniPacket::DiscoveryRequest { groups: r.strings()? }
+            }
+            PacketType::Announcement => JiniPacket::Announcement {
+                host: r.string()?,
+                port: r.u16()?,
+                groups: r.strings()?,
+            },
+            PacketType::Register => {
+                JiniPacket::Register { item: r.item()?, lease_secs: r.u32()? }
+            }
+            PacketType::RegisterAck => {
+                JiniPacket::RegisterAck { service_id: r.u64()?, lease_secs: r.u32()? }
+            }
+            PacketType::Lookup => JiniPacket::Lookup { service_type: r.string()? },
+            PacketType::LookupReply => {
+                let n = r.u16()? as usize;
+                let mut items = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    items.push(r.item()?);
+                }
+                JiniPacket::LookupReply { items }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item() -> ServiceItem {
+        ServiceItem {
+            service_id: 0xDEADBEEF,
+            service_type: "clock".into(),
+            endpoint: "10.0.0.2:4005".into(),
+            attributes: vec![("name".into(), "Jini Clock".into())],
+        }
+    }
+
+    #[test]
+    fn all_packets_roundtrip() {
+        let packets = vec![
+            JiniPacket::DiscoveryRequest { groups: vec!["public".into()] },
+            JiniPacket::DiscoveryRequest { groups: vec![] },
+            JiniPacket::Announcement {
+                host: "10.0.0.5".into(),
+                port: 4160,
+                groups: vec!["public".into(), "lab".into()],
+            },
+            JiniPacket::Register { item: item(), lease_secs: 300 },
+            JiniPacket::RegisterAck { service_id: 1, lease_secs: 300 },
+            JiniPacket::Lookup { service_type: "clock".into() },
+            JiniPacket::LookupReply { items: vec![item(), item()] },
+        ];
+        for p in packets {
+            let wire = p.encode();
+            assert_eq!(JiniPacket::decode(&wire).unwrap(), p, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_version_and_type() {
+        assert_eq!(JiniPacket::decode(&[9, 1]), Err(JiniError::BadVersion(9)));
+        assert_eq!(JiniPacket::decode(&[1, 99]), Err(JiniError::BadPacketType(99)));
+        assert_eq!(JiniPacket::decode(&[]), Err(JiniError::Truncated));
+    }
+
+    #[test]
+    fn truncation_detected_mid_item() {
+        let wire = JiniPacket::Register { item: item(), lease_secs: 60 }.encode();
+        assert_eq!(JiniPacket::decode(&wire[..wire.len() - 3]), Err(JiniError::Truncated));
+    }
+}

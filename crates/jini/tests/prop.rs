@@ -1,0 +1,73 @@
+//! Property-based tests of the Jini binary codec.
+
+use proptest::prelude::*;
+
+use indiss_jini::{JiniPacket, ServiceItem};
+
+fn token() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9:._/-]{0,24}"
+}
+
+fn arb_item() -> impl Strategy<Value = ServiceItem> {
+    (
+        any::<u64>(),
+        token(),
+        token(),
+        proptest::collection::vec((token(), token()), 0..4),
+    )
+        .prop_map(|(service_id, service_type, endpoint, attributes)| ServiceItem {
+            service_id,
+            service_type,
+            endpoint,
+            attributes,
+        })
+}
+
+fn arb_packet() -> impl Strategy<Value = JiniPacket> {
+    prop_oneof![
+        proptest::collection::vec(token(), 0..4)
+            .prop_map(|groups| JiniPacket::DiscoveryRequest { groups }),
+        (token(), any::<u16>(), proptest::collection::vec(token(), 0..4))
+            .prop_map(|(host, port, groups)| JiniPacket::Announcement { host, port, groups }),
+        (arb_item(), any::<u32>())
+            .prop_map(|(item, lease_secs)| JiniPacket::Register { item, lease_secs }),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(service_id, lease_secs)| JiniPacket::RegisterAck {
+                service_id,
+                lease_secs
+            }),
+        token().prop_map(|service_type| JiniPacket::Lookup { service_type }),
+        proptest::collection::vec(arb_item(), 0..4)
+            .prop_map(|items| JiniPacket::LookupReply { items }),
+    ]
+}
+
+proptest! {
+    /// Every packet round-trips through the codec.
+    #[test]
+    fn packets_roundtrip(packet in arb_packet()) {
+        let wire = packet.encode();
+        prop_assert_eq!(JiniPacket::decode(&wire).unwrap(), packet);
+    }
+
+    /// The decoder is total on arbitrary bytes.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = JiniPacket::decode(&bytes);
+    }
+
+    /// Any strict prefix of a valid packet is rejected, not mis-decoded.
+    #[test]
+    fn prefixes_rejected(packet in arb_packet(), cut in 1usize..8) {
+        let wire = packet.encode();
+        prop_assume!(wire.len() > cut);
+        let truncated = &wire[..wire.len() - cut];
+        match JiniPacket::decode(truncated) {
+            Err(_) => {}
+            // A shorter valid decode can only happen if trailing bytes
+            // were list items; the codec reads exact counts, so a
+            // successful decode of a strict prefix must differ.
+            Ok(decoded) => prop_assert_ne!(decoded, packet),
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! One-shot completion cells.
+//!
+//! The simulator is callback-driven; agents deliver results asynchronously.
+//! A [`Completion`] is a small shared cell: the producing side calls
+//! [`Completion::complete`], observers either poll ([`Completion::take`] /
+//! [`Completion::get`] after running the world) or chain continuations
+//! with [`Completion::subscribe`].
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+type Waiter<T> = Box<dyn FnOnce(T)>;
+
+struct CompletionInner<T> {
+    value: Option<T>,
+    waiters: Vec<Waiter<T>>,
+}
+
+/// A shared one-shot result cell.
+///
+/// Cloning produces another handle to the same cell.
+///
+/// # Examples
+///
+/// ```
+/// use indiss_net::Completion;
+///
+/// let done: Completion<u32> = Completion::new();
+/// let writer = done.clone();
+/// writer.complete(7);
+/// assert_eq!(done.get(), Some(7));
+/// ```
+pub struct Completion<T> {
+    cell: Rc<RefCell<CompletionInner<T>>>,
+}
+
+impl<T> Completion<T> {
+    /// Creates an empty completion.
+    pub fn new() -> Self {
+        Completion {
+            cell: Rc::new(RefCell::new(CompletionInner { value: None, waiters: Vec::new() })),
+        }
+    }
+
+    /// True once a value has been stored.
+    pub fn is_complete(&self) -> bool {
+        self.cell.borrow().value.is_some()
+    }
+
+    /// Removes and returns the value, leaving the completion empty.
+    /// Subscribers that already fired are unaffected.
+    pub fn take(&self) -> Option<T> {
+        self.cell.borrow_mut().value.take()
+    }
+}
+
+impl<T: Clone> Completion<T> {
+    /// Stores a value and fires all subscribers. The first completion
+    /// wins; later calls are ignored so duplicate network replies (e.g.
+    /// two multicast responders) do not overwrite the measured first
+    /// answer.
+    pub fn complete(&self, value: T) {
+        let waiters = {
+            let mut inner = self.cell.borrow_mut();
+            if inner.value.is_some() {
+                return;
+            }
+            inner.value = Some(value.clone());
+            std::mem::take(&mut inner.waiters)
+        };
+        // Borrow released: waiters may re-enter this completion freely.
+        for w in waiters {
+            w(value.clone());
+        }
+    }
+
+    /// Returns a clone of the value, if any.
+    pub fn get(&self) -> Option<T> {
+        self.cell.borrow().value.clone()
+    }
+
+    /// Registers a continuation: runs immediately if already complete,
+    /// otherwise when [`Completion::complete`] fires. Continuations run
+    /// synchronously at completion time (i.e., at the same virtual time).
+    pub fn subscribe<F>(&self, f: F)
+    where
+        F: FnOnce(T) + 'static,
+    {
+        let ready = {
+            let mut inner = self.cell.borrow_mut();
+            match &inner.value {
+                Some(v) => Some(v.clone()),
+                None => {
+                    inner.waiters.push(Box::new(f));
+                    return;
+                }
+            }
+        };
+        if let Some(v) = ready {
+            f(v);
+        }
+    }
+}
+
+impl<T> Clone for Completion<T> {
+    fn clone(&self) -> Self {
+        Completion { cell: Rc::clone(&self.cell) }
+    }
+}
+
+impl<T> Default for Completion<T> {
+    fn default() -> Self {
+        Completion::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Completion<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.cell.borrow();
+        f.debug_struct("Completion")
+            .field("value", &inner.value)
+            .field("waiters", &inner.waiters.len())
+            .finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for Completion<T> {
+    /// Two completions are equal when their stored values are equal
+    /// (waiters are not compared).
+    fn eq(&self, other: &Self) -> bool {
+        *self.cell.borrow().value() == *other.cell.borrow().value()
+    }
+}
+
+impl<T> CompletionInner<T> {
+    fn value(&self) -> &Option<T> {
+        &self.value
+    }
+}
+
+/// A shared append-only list, the many-shot sibling of [`Completion`].
+///
+/// Used by agents that collect multiple responses (e.g. every service
+/// discovered during a multicast convergence round).
+#[derive(Debug)]
+pub struct Collector<T> {
+    items: Rc<RefCell<Vec<T>>>,
+}
+
+impl<T> Collector<T> {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Collector { items: Rc::new(RefCell::new(Vec::new())) }
+    }
+
+    /// Appends an item.
+    pub fn push(&self, item: T) {
+        self.items.borrow_mut().push(item);
+    }
+
+    /// Number of collected items.
+    pub fn len(&self) -> usize {
+        self.items.borrow().len()
+    }
+
+    /// True if nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.items.borrow().is_empty()
+    }
+
+    /// Removes and returns all items collected so far.
+    pub fn drain(&self) -> Vec<T> {
+        std::mem::take(&mut *self.items.borrow_mut())
+    }
+}
+
+impl<T: Clone> Collector<T> {
+    /// Returns a snapshot of the items.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.items.borrow().clone()
+    }
+}
+
+impl<T> Clone for Collector<T> {
+    fn clone(&self) -> Self {
+        Collector { items: Rc::clone(&self.items) }
+    }
+}
+
+impl<T> Default for Collector<T> {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_completion_wins() {
+        let c = Completion::new();
+        c.complete(1);
+        c.complete(2);
+        assert_eq!(c.get(), Some(1));
+    }
+
+    #[test]
+    fn take_empties_the_cell() {
+        let c = Completion::new();
+        c.complete("x");
+        assert_eq!(c.take(), Some("x"));
+        assert_eq!(c.take(), None);
+        assert!(!c.is_complete());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a: Completion<u8> = Completion::new();
+        let b = a.clone();
+        b.complete(9);
+        assert!(a.is_complete());
+    }
+
+    #[test]
+    fn subscribe_before_completion_fires_once() {
+        let c: Completion<u32> = Completion::new();
+        let seen = Collector::new();
+        let seen2 = seen.clone();
+        c.subscribe(move |v| seen2.push(v));
+        c.complete(5);
+        c.complete(6);
+        assert_eq!(seen.snapshot(), vec![5]);
+    }
+
+    #[test]
+    fn subscribe_after_completion_fires_immediately() {
+        let c: Completion<u32> = Completion::new();
+        c.complete(3);
+        let seen = Collector::new();
+        let seen2 = seen.clone();
+        c.subscribe(move |v| seen2.push(v));
+        assert_eq!(seen.snapshot(), vec![3]);
+    }
+
+    #[test]
+    fn multiple_subscribers_all_fire() {
+        let c: Completion<u32> = Completion::new();
+        let seen = Collector::new();
+        for _ in 0..3 {
+            let seen2 = seen.clone();
+            c.subscribe(move |v| seen2.push(v));
+        }
+        c.complete(1);
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn subscriber_may_chain_subscriptions() {
+        let c: Completion<u32> = Completion::new();
+        let d: Completion<u32> = Completion::new();
+        let d2 = d.clone();
+        c.subscribe(move |v| d2.complete(v * 2));
+        c.complete(4);
+        assert_eq!(d.get(), Some(8));
+    }
+
+    #[test]
+    fn equality_compares_values() {
+        let a: Completion<u8> = Completion::new();
+        let b: Completion<u8> = Completion::new();
+        assert_eq!(a, b);
+        a.complete(1);
+        assert_ne!(a, b);
+        b.complete(1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collector_accumulates_and_drains() {
+        let c = Collector::new();
+        c.push(1);
+        c.push(2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.snapshot(), vec![1, 2]);
+        assert_eq!(c.drain(), vec![1, 2]);
+        assert!(c.is_empty());
+    }
+}

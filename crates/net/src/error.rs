@@ -1,0 +1,125 @@
+//! Error type for simulated network operations.
+
+use std::fmt;
+use std::net::SocketAddrV4;
+
+use crate::node::NodeId;
+
+/// Errors returned by the simulated network.
+///
+/// Mirrors the failures a real socket API can produce, restricted to the
+/// subset this simulator models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The port is already bound on this node.
+    AddrInUse {
+        /// Node holding the port.
+        node: NodeId,
+        /// The contested port.
+        port: u16,
+    },
+    /// A socket handle refers to a socket that has been closed or never existed.
+    SocketClosed,
+    /// A TCP stream handle refers to a connection that has been closed.
+    ConnectionClosed,
+    /// No node owns the destination address.
+    HostUnreachable {
+        /// The unreachable destination.
+        addr: SocketAddrV4,
+    },
+    /// The destination node has no listener/socket on the target port.
+    ConnectionRefused {
+        /// The refusing destination.
+        addr: SocketAddrV4,
+    },
+    /// A multicast operation was attempted with a non-multicast group address.
+    NotMulticast {
+        /// The offending address.
+        addr: std::net::Ipv4Addr,
+    },
+    /// A unicast send was attempted to a multicast address, or vice versa.
+    InvalidDestination {
+        /// The offending destination.
+        addr: SocketAddrV4,
+    },
+    /// The referenced node does not exist in this world.
+    UnknownNode {
+        /// The unknown node id.
+        node: NodeId,
+    },
+    /// The node is administratively down (failure injection).
+    NodeDown {
+        /// The node that is down.
+        node: NodeId,
+    },
+    /// Port 0 is not a valid concrete port in the simulator.
+    InvalidPort,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::AddrInUse { node, port } => {
+                write!(f, "port {port} already in use on node {node}")
+            }
+            NetError::SocketClosed => write!(f, "socket is closed"),
+            NetError::ConnectionClosed => write!(f, "connection is closed"),
+            NetError::HostUnreachable { addr } => write!(f, "host unreachable: {addr}"),
+            NetError::ConnectionRefused { addr } => write!(f, "connection refused: {addr}"),
+            NetError::NotMulticast { addr } => {
+                write!(f, "address {addr} is not a multicast group")
+            }
+            NetError::InvalidDestination { addr } => {
+                write!(f, "invalid destination address {addr}")
+            }
+            NetError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            NetError::NodeDown { node } => write!(f, "node {node} is down"),
+            NetError::InvalidPort => write!(f, "port 0 is not valid"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Convenience alias for results of simulated network operations.
+pub type NetResult<T> = Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<NetError> = vec![
+            NetError::AddrInUse { node: NodeId::new(1), port: 427 },
+            NetError::SocketClosed,
+            NetError::ConnectionClosed,
+            NetError::HostUnreachable {
+                addr: SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 9), 80),
+            },
+            NetError::ConnectionRefused {
+                addr: SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 1), 5000),
+            },
+            NetError::NotMulticast { addr: Ipv4Addr::new(10, 0, 0, 1) },
+            NetError::InvalidDestination {
+                addr: SocketAddrV4::new(Ipv4Addr::new(239, 255, 255, 250), 1900),
+            },
+            NetError::UnknownNode { node: NodeId::new(42) },
+            NetError::NodeDown { node: NodeId::new(3) },
+            NetError::InvalidPort,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<NetError>();
+    }
+}

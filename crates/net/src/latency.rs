@@ -1,0 +1,182 @@
+//! Link latency and bandwidth model.
+//!
+//! Packet delivery time is `base_latency + len / bandwidth + jitter`, where
+//! jitter is drawn uniformly from `[0, max_jitter]` with the world's seeded
+//! RNG — runs are reproducible for a fixed seed.
+//!
+//! The defaults are calibrated to the INDISS paper's testbed (two hosts on
+//! a 10 Mb/s LAN): see `DESIGN.md` §4. Same-node ("loopback") traffic uses a
+//! separate, much cheaper link so that co-locating INDISS with a client or
+//! service behaves as it did in the paper's §4.3 measurements.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+/// Parameters of one directed link class.
+///
+/// # Examples
+///
+/// ```
+/// use indiss_net::LinkConfig;
+/// use std::time::Duration;
+///
+/// let lan = LinkConfig::lan_10mbps();
+/// // A 1 KB frame takes its serialization delay plus the base latency.
+/// let d = lan.transfer_delay(1024);
+/// assert!(d > lan.base_latency);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Fixed one-way propagation + switching delay.
+    pub base_latency: Duration,
+    /// Serialization rate in bytes per second; `None` models infinite capacity.
+    pub bandwidth: Option<u64>,
+    /// Upper bound of the uniform random jitter added per packet.
+    pub max_jitter: Duration,
+    /// Probability in `[0, 1]` that a packet is silently dropped
+    /// (failure injection; 0 by default).
+    pub loss_probability: f64,
+}
+
+impl LinkConfig {
+    /// The paper's testbed: a 10 Mb/s LAN with ~0.25 ms one-way latency.
+    pub fn lan_10mbps() -> Self {
+        LinkConfig {
+            base_latency: Duration::from_micros(250),
+            bandwidth: Some(10_000_000 / 8),
+            max_jitter: Duration::from_micros(40),
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Same-host loopback: 20 µs, effectively infinite bandwidth.
+    pub fn loopback() -> Self {
+        LinkConfig {
+            base_latency: Duration::from_micros(20),
+            bandwidth: None,
+            max_jitter: Duration::from_micros(2),
+            loss_probability: 0.0,
+        }
+    }
+
+    /// An ideal link with zero delay; useful in unit tests that only care
+    /// about message routing, not timing.
+    pub fn instant() -> Self {
+        LinkConfig {
+            base_latency: Duration::ZERO,
+            bandwidth: None,
+            max_jitter: Duration::ZERO,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Returns a copy with the given packet-loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        self.loss_probability = p;
+        self
+    }
+
+    /// Returns a copy with the given base latency.
+    pub fn with_base_latency(mut self, latency: Duration) -> Self {
+        self.base_latency = latency;
+        self
+    }
+
+    /// Deterministic part of the delivery delay for a packet of `len` bytes
+    /// (base latency plus serialization time; excludes jitter).
+    pub fn transfer_delay(&self, len: usize) -> Duration {
+        let ser = match self.bandwidth {
+            Some(bps) if bps > 0 => {
+                Duration::from_nanos((len as u64).saturating_mul(1_000_000_000) / bps)
+            }
+            _ => Duration::ZERO,
+        };
+        self.base_latency + ser
+    }
+
+    /// Full delivery delay including a jitter sample drawn from `rng`.
+    pub fn sample_delay<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> Duration {
+        let jitter = if self.max_jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            let j = rng.random_range(0..=self.max_jitter.as_nanos() as u64);
+            Duration::from_nanos(j)
+        };
+        self.transfer_delay(len) + jitter
+    }
+
+    /// Draws whether a packet on this link is lost.
+    pub fn sample_loss<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.loss_probability > 0.0 && rng.random_bool(self.loss_probability)
+    }
+}
+
+impl Default for LinkConfig {
+    /// Defaults to [`LinkConfig::lan_10mbps`], the paper's testbed.
+    fn default() -> Self {
+        LinkConfig::lan_10mbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transfer_delay_accounts_for_bandwidth() {
+        let lan = LinkConfig::lan_10mbps();
+        // 1250 bytes at 1.25 MB/s = 1 ms of serialization.
+        let d = lan.transfer_delay(1250);
+        assert_eq!(d, lan.base_latency + Duration::from_millis(1));
+    }
+
+    #[test]
+    fn infinite_bandwidth_has_no_serialization_cost() {
+        let lo = LinkConfig::loopback();
+        assert_eq!(lo.transfer_delay(1_000_000), lo.base_latency);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let lan = LinkConfig::lan_10mbps();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let d1 = lan.sample_delay(100, &mut rng);
+        assert!(d1 >= lan.transfer_delay(100));
+        assert!(d1 <= lan.transfer_delay(100) + lan.max_jitter);
+        let mut rng2 = SmallRng::seed_from_u64(7);
+        assert_eq!(lan.sample_delay(100, &mut rng2), d1);
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let lan = LinkConfig::lan_10mbps();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!((0..1000).all(|_| !lan.sample_loss(&mut rng)));
+    }
+
+    #[test]
+    fn full_loss_always_drops() {
+        let lossy = LinkConfig::lan_10mbps().with_loss(1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!((0..100).all(|_| lossy.sample_loss(&mut rng)));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_panics() {
+        let _ = LinkConfig::lan_10mbps().with_loss(1.5);
+    }
+
+    #[test]
+    fn instant_link_is_free() {
+        assert_eq!(LinkConfig::instant().transfer_delay(10_000), Duration::ZERO);
+    }
+}

@@ -1,0 +1,199 @@
+//! Traffic metering.
+//!
+//! INDISS's self-adaptation (paper §4.2, Fig. 6) switches the system from
+//! passive interception to active re-advertisement when network traffic
+//! falls *below* a threshold. The paper also claims interoperability is
+//! achieved "without generating additional traffic" in the common cases
+//! (§4.3); our integration tests verify that claim with this meter.
+//!
+//! The meter records every delivered packet with its timestamp, so both
+//! cumulative totals and sliding-window rates can be queried.
+
+use std::net::SocketAddrV4;
+
+use crate::time::SimTime;
+
+/// Transport of a metered packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// UDP datagram (unicast or multicast).
+    Udp,
+    /// One TCP segment's worth of application payload.
+    Tcp,
+}
+
+/// One record of network activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeterRecord {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Transport used.
+    pub transport: Transport,
+    /// Source address.
+    pub src: SocketAddrV4,
+    /// Destination address (the multicast group for group traffic).
+    pub dst: SocketAddrV4,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// True when the destination was a multicast group.
+    pub multicast: bool,
+}
+
+/// Accumulates one [`MeterRecord`] per packet that crosses the network.
+///
+/// Loopback (same-node) traffic is *not* metered: the paper's bandwidth
+/// argument concerns the shared medium, and a co-located INDISS exchanging
+/// local messages with its host application does not occupy the LAN.
+#[derive(Debug, Default, Clone)]
+pub struct TrafficMeter {
+    records: Vec<MeterRecord>,
+}
+
+impl TrafficMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        TrafficMeter::default()
+    }
+
+    /// Records one packet.
+    pub fn record(&mut self, record: MeterRecord) {
+        self.records.push(record);
+    }
+
+    /// All records so far, in delivery order.
+    pub fn records(&self) -> &[MeterRecord] {
+        &self.records
+    }
+
+    /// Total number of packets observed.
+    pub fn packet_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total bytes observed.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.len as u64).sum()
+    }
+
+    /// Bytes delivered in the half-open window `[from, to)`.
+    pub fn bytes_between(&self, from: SimTime, to: SimTime) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.at >= from && r.at < to)
+            .map(|r| r.len as u64)
+            .sum()
+    }
+
+    /// Packets delivered in the half-open window `[from, to)`.
+    pub fn packets_between(&self, from: SimTime, to: SimTime) -> usize {
+        self.records.iter().filter(|r| r.at >= from && r.at < to).count()
+    }
+
+    /// Average bytes/second over `[from, to)`; `None` if the window is empty.
+    pub fn rate_between(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        if to <= from {
+            return None;
+        }
+        let secs = (to - from).as_secs_f64();
+        Some(self.bytes_between(from, to) as f64 / secs)
+    }
+
+    /// Bytes sent to a given destination port (any address).
+    pub fn bytes_to_port(&self, port: u16) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.dst.port() == port)
+            .map(|r| r.len as u64)
+            .sum()
+    }
+
+    /// Number of multicast packets observed.
+    pub fn multicast_count(&self) -> usize {
+        self.records.iter().filter(|r| r.multicast).count()
+    }
+
+    /// Clears all records.
+    pub fn reset(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn rec(at_ms: u64, len: usize, port: u16, multicast: bool) -> MeterRecord {
+        MeterRecord {
+            at: SimTime::from_millis(at_ms),
+            transport: Transport::Udp,
+            src: SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 1), 5000),
+            dst: SocketAddrV4::new(
+                if multicast {
+                    Ipv4Addr::new(239, 255, 255, 250)
+                } else {
+                    Ipv4Addr::new(10, 0, 0, 2)
+                },
+                port,
+            ),
+            len,
+            multicast,
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut m = TrafficMeter::new();
+        m.record(rec(1, 100, 1900, true));
+        m.record(rec(2, 50, 427, false));
+        assert_eq!(m.packet_count(), 2);
+        assert_eq!(m.total_bytes(), 150);
+        assert_eq!(m.multicast_count(), 1);
+    }
+
+    #[test]
+    fn window_queries_are_half_open() {
+        let mut m = TrafficMeter::new();
+        m.record(rec(10, 10, 427, false));
+        m.record(rec(20, 20, 427, false));
+        m.record(rec(30, 30, 427, false));
+        assert_eq!(m.bytes_between(SimTime::from_millis(10), SimTime::from_millis(30)), 30);
+        assert_eq!(m.packets_between(SimTime::from_millis(0), SimTime::from_millis(11)), 1);
+    }
+
+    #[test]
+    fn rate_is_bytes_per_second() {
+        let mut m = TrafficMeter::new();
+        m.record(rec(0, 500, 1900, true));
+        m.record(rec(500, 500, 1900, true));
+        let rate = m
+            .rate_between(SimTime::ZERO, SimTime::from_secs(1))
+            .expect("nonempty window");
+        assert!((rate - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_rate_is_none() {
+        let m = TrafficMeter::new();
+        assert_eq!(m.rate_between(SimTime::from_millis(5), SimTime::from_millis(5)), None);
+    }
+
+    #[test]
+    fn per_port_filtering() {
+        let mut m = TrafficMeter::new();
+        m.record(rec(1, 11, 1900, true));
+        m.record(rec(2, 22, 427, true));
+        m.record(rec(3, 33, 1900, false));
+        assert_eq!(m.bytes_to_port(1900), 44);
+        assert_eq!(m.bytes_to_port(427), 22);
+        assert_eq!(m.bytes_to_port(4160), 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = TrafficMeter::new();
+        m.record(rec(1, 1, 427, false));
+        m.reset();
+        assert_eq!(m.packet_count(), 0);
+    }
+}

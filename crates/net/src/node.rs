@@ -1,0 +1,204 @@
+//! Simulated hosts.
+//!
+//! A [`Node`] is a handle to one host in the [`crate::World`]: it owns an
+//! IPv4 address, can bind UDP sockets, listen for and open TCP connections,
+//! and can be taken down for failure-injection tests.
+
+use std::fmt;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use crate::error::NetResult;
+use crate::tcp::{TcpListener, TcpStream};
+use crate::udp::UdpSocket;
+use crate::world::World;
+
+/// Identifier of a node within its world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its raw index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle to one simulated host.
+///
+/// Cloning a `Node` clones the handle, not the host.
+///
+/// # Examples
+///
+/// ```
+/// use indiss_net::World;
+///
+/// let world = World::new(42);
+/// let host = world.add_node("printer");
+/// assert_eq!(host.name(), "printer");
+/// let sock = host.udp_bind(427)?;
+/// assert_eq!(sock.local_addr()?.port(), 427);
+/// # Ok::<(), indiss_net::NetError>(())
+/// ```
+#[derive(Clone)]
+pub struct Node {
+    world: World,
+    id: NodeId,
+}
+
+impl Node {
+    pub(crate) fn from_parts(world: World, id: NodeId) -> Self {
+        Node { world, id }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The world this node belongs to.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The node's IPv4 address.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.world.node_addr(self.id)
+    }
+
+    /// The node's human-readable name.
+    pub fn name(&self) -> String {
+        self.world.node_name(self.id)
+    }
+
+    /// Whether the node is up (reachable).
+    pub fn is_up(&self) -> bool {
+        self.world.node_is_up(self.id)
+    }
+
+    /// Brings the node up or down. While down, all packets destined to the
+    /// node are dropped — used for failure injection.
+    pub fn set_up(&self, up: bool) {
+        self.world.set_node_up(self.id, up);
+    }
+
+    /// Binds a UDP socket on the given port.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetError::AddrInUse`] if the port is taken on this node,
+    /// [`crate::NetError::InvalidPort`] for port 0 (use
+    /// [`Node::udp_bind_ephemeral`] instead).
+    pub fn udp_bind(&self, port: u16) -> NetResult<UdpSocket> {
+        self.world.udp_bind(self.id, port)
+    }
+
+    /// Binds a UDP socket on a fresh ephemeral port (≥ 40000).
+    pub fn udp_bind_ephemeral(&self) -> NetResult<UdpSocket> {
+        let port = self.world.alloc_ephemeral_port(self.id);
+        self.world.udp_bind(self.id, port)
+    }
+
+    /// Binds a UDP socket with `SO_REUSEADDR` semantics: multiple *shared*
+    /// sockets may bind the same port on one node. Multicast datagrams are
+    /// delivered to every sharing socket that joined the group; unicast
+    /// goes to the earliest-bound one. This mirrors how a co-located
+    /// INDISS instance and a native SSDP/SLP stack share the IANA port on
+    /// a real host.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetError::AddrInUse`] if an *exclusive* socket holds the
+    /// port; [`crate::NetError::InvalidPort`] for port 0.
+    pub fn udp_bind_shared(&self, port: u16) -> NetResult<UdpSocket> {
+        self.world.udp_bind_shared(self.id, port)
+    }
+
+    /// Starts listening for TCP connections on the given port.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Node::udp_bind`].
+    pub fn tcp_listen(&self, port: u16) -> NetResult<TcpListener> {
+        self.world.tcp_listen(self.id, port)
+    }
+
+    /// Opens a TCP connection to `remote`. The callback fires one round-trip
+    /// later with the connected stream, or with an error if the remote
+    /// refused (no listener) or was unreachable.
+    pub fn tcp_connect<F>(&self, remote: SocketAddrV4, on_connect: F)
+    where
+        F: FnOnce(&World, NetResult<TcpStream>) + 'static,
+    {
+        self.world.tcp_connect(self.id, remote, Box::new(on_connect));
+    }
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("name", &self.name())
+            .field("addr", &self.addr())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::World;
+
+    #[test]
+    fn nodes_get_distinct_addresses() {
+        let world = World::new(1);
+        let a = world.add_node("a");
+        let b = world.add_node("b");
+        assert_ne!(a.addr(), b.addr());
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn binding_same_port_twice_fails() {
+        let world = World::new(1);
+        let a = world.add_node("a");
+        let _s = a.udp_bind(427).unwrap();
+        assert!(a.udp_bind(427).is_err());
+    }
+
+    #[test]
+    fn same_port_on_different_nodes_is_fine() {
+        let world = World::new(1);
+        let a = world.add_node("a");
+        let b = world.add_node("b");
+        assert!(a.udp_bind(1900).is_ok());
+        assert!(b.udp_bind(1900).is_ok());
+    }
+
+    #[test]
+    fn ephemeral_ports_are_distinct() {
+        let world = World::new(1);
+        let a = world.add_node("a");
+        let s1 = a.udp_bind_ephemeral().unwrap();
+        let s2 = a.udp_bind_ephemeral().unwrap();
+        assert_ne!(s1.local_addr().unwrap().port(), s2.local_addr().unwrap().port());
+    }
+
+    #[test]
+    fn nodes_start_up_and_can_go_down() {
+        let world = World::new(1);
+        let a = world.add_node("a");
+        assert!(a.is_up());
+        a.set_up(false);
+        assert!(!a.is_up());
+    }
+}

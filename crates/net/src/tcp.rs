@@ -1,0 +1,281 @@
+//! Simplified TCP: connection establishment, ordered reliable byte
+//! delivery, and half-close — enough to carry HTTP for UPnP description
+//! fetches (paper §2.4) without modelling congestion control.
+//!
+//! Connection setup costs one round trip (SYN out, accept at the server on
+//! SYN arrival, connected callback at the client one RTT after `connect`).
+//! Each `send` is delivered as one in-order segment after the link delay.
+
+use std::fmt;
+use std::net::SocketAddrV4;
+
+use crate::error::NetResult;
+use crate::world::World;
+
+/// Identifier of a TCP listener within its world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcpListenerId(pub(crate) usize);
+
+/// Identifier of one TCP stream endpoint within its world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcpStreamId(pub(crate) usize);
+
+/// Handle to a listening TCP port.
+#[derive(Clone)]
+pub struct TcpListener {
+    world: World,
+    id: TcpListenerId,
+}
+
+impl TcpListener {
+    pub(crate) fn from_parts(world: World, id: TcpListenerId) -> Self {
+        TcpListener { world, id }
+    }
+
+    /// The listener's identifier.
+    pub fn id(&self) -> TcpListenerId {
+        self.id
+    }
+
+    /// Local address of the listener.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetError::SocketClosed`] if the listener was closed.
+    pub fn local_addr(&self) -> NetResult<SocketAddrV4> {
+        self.world.tcp_listener_addr(self.id)
+    }
+
+    /// Installs the accept callback; it runs once per inbound connection
+    /// with the server-side stream.
+    pub fn on_accept<F>(&self, f: F)
+    where
+        F: FnMut(&World, TcpStream) + 'static,
+    {
+        self.world.tcp_set_accept_handler(self.id, Box::new(f));
+    }
+
+    /// Stops listening. Established streams are unaffected.
+    pub fn close(&self) {
+        self.world.tcp_listener_close(self.id);
+    }
+}
+
+impl fmt::Debug for TcpListener {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpListener")
+            .field("id", &self.id)
+            .field("addr", &self.local_addr().ok())
+            .finish()
+    }
+}
+
+/// Handle to one endpoint of an established TCP connection.
+///
+/// Cloning clones the handle. The connection stays open until either side
+/// calls [`TcpStream::close`].
+#[derive(Clone)]
+pub struct TcpStream {
+    world: World,
+    id: TcpStreamId,
+}
+
+impl TcpStream {
+    pub(crate) fn from_parts(world: World, id: TcpStreamId) -> Self {
+        TcpStream { world, id }
+    }
+
+    /// This endpoint's identifier.
+    pub fn id(&self) -> TcpStreamId {
+        self.id
+    }
+
+    /// Local address of this endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetError::ConnectionClosed`] if the stream is closed.
+    pub fn local_addr(&self) -> NetResult<SocketAddrV4> {
+        self.world.tcp_stream_local(self.id)
+    }
+
+    /// Remote peer's address.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetError::ConnectionClosed`] if the stream is closed.
+    pub fn peer_addr(&self) -> NetResult<SocketAddrV4> {
+        self.world.tcp_stream_peer(self.id)
+    }
+
+    /// Sends bytes to the peer; they arrive in order after the link delay.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetError::ConnectionClosed`] if either side closed.
+    pub fn send(&self, bytes: &[u8]) -> NetResult<()> {
+        self.world.tcp_send(self.id, bytes)
+    }
+
+    /// Installs the data callback, replacing any previous one. Runs once
+    /// per delivered segment.
+    pub fn on_receive<F>(&self, f: F)
+    where
+        F: FnMut(&World, Vec<u8>) + 'static,
+    {
+        self.world.tcp_set_recv_handler(self.id, Box::new(f));
+    }
+
+    /// Installs a callback invoked when the *peer* closes the connection.
+    pub fn on_close<F>(&self, f: F)
+    where
+        F: FnMut(&World) + 'static,
+    {
+        self.world.tcp_set_close_handler(self.id, Box::new(f));
+    }
+
+    /// Closes this endpoint. In-flight segments are still delivered; the
+    /// peer's close callback fires after the link delay.
+    pub fn close(&self) {
+        self.world.tcp_close(self.id);
+    }
+}
+
+impl fmt::Debug for TcpStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpStream")
+            .field("id", &self.id)
+            .field("local", &self.local_addr().ok())
+            .field("peer", &self.peer_addr().ok())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use crate::{Collector, Completion};
+
+    #[test]
+    fn connect_send_receive_roundtrip() {
+        let world = World::new(9);
+        let server = world.add_node("server");
+        let client = world.add_node("client");
+        let listener = server.tcp_listen(8080).unwrap();
+        listener.on_accept(|_, stream| {
+            let echo = stream.clone();
+            stream.on_receive(move |_, bytes| {
+                let mut reply = b"echo:".to_vec();
+                reply.extend_from_slice(&bytes);
+                echo.send(&reply).unwrap();
+            });
+        });
+
+        let got: Completion<Vec<u8>> = Completion::new();
+        let got2 = got.clone();
+        let server_addr = SocketAddrV4::new(server.addr(), 8080);
+        client.tcp_connect(server_addr, move |_, stream| {
+            let stream = stream.expect("connected");
+            let got3 = got2.clone();
+            stream.on_receive(move |_, bytes| got3.complete(bytes));
+            stream.send(b"hello").unwrap();
+        });
+        world.run_until_idle();
+        assert_eq!(got.take().unwrap(), b"echo:hello");
+    }
+
+    #[test]
+    fn connect_to_closed_port_is_refused() {
+        let world = World::new(9);
+        let server = world.add_node("server");
+        let client = world.add_node("client");
+        let result: Completion<bool> = Completion::new();
+        let result2 = result.clone();
+        client.tcp_connect(SocketAddrV4::new(server.addr(), 8080), move |_, stream| {
+            result2.complete(stream.is_err());
+        });
+        world.run_until_idle();
+        assert_eq!(result.take(), Some(true));
+    }
+
+    #[test]
+    fn connect_to_unknown_host_fails() {
+        let world = World::new(9);
+        let client = world.add_node("client");
+        let result: Completion<bool> = Completion::new();
+        let result2 = result.clone();
+        let bogus = SocketAddrV4::new(std::net::Ipv4Addr::new(10, 9, 9, 9), 80);
+        client.tcp_connect(bogus, move |_, stream| result2.complete(stream.is_err()));
+        world.run_until_idle();
+        assert_eq!(result.take(), Some(true));
+    }
+
+    #[test]
+    fn segments_arrive_in_order() {
+        let world = World::new(9);
+        let server = world.add_node("server");
+        let client = world.add_node("client");
+        let listener = server.tcp_listen(80).unwrap();
+        let seen: Collector<Vec<u8>> = Collector::new();
+        let seen2 = seen.clone();
+        listener.on_accept(move |_, stream| {
+            let seen3 = seen2.clone();
+            stream.on_receive(move |_, bytes| seen3.push(bytes));
+        });
+        client.tcp_connect(SocketAddrV4::new(server.addr(), 80), |_, stream| {
+            let stream = stream.unwrap();
+            for i in 0..5u8 {
+                stream.send(&[i]).unwrap();
+            }
+        });
+        world.run_until_idle();
+        assert_eq!(seen.snapshot(), vec![vec![0], vec![1], vec![2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn close_notifies_peer_and_stops_sends() {
+        let world = World::new(9);
+        let server = world.add_node("server");
+        let client = world.add_node("client");
+        let listener = server.tcp_listen(80).unwrap();
+        let server_stream: Completion<TcpStream> = Completion::new();
+        let ss2 = server_stream.clone();
+        listener.on_accept(move |_, stream| ss2.complete(stream));
+        let closed: Completion<()> = Completion::new();
+        let closed2 = closed.clone();
+        client.tcp_connect(SocketAddrV4::new(server.addr(), 80), move |_, stream| {
+            let stream = stream.unwrap();
+            let closed3 = closed2.clone();
+            stream.on_close(move |_| closed3.complete(()));
+        });
+        world.run_until_idle();
+        let ss = server_stream.take().expect("accepted");
+        ss.close();
+        world.run_until_idle();
+        assert!(closed.is_complete(), "client saw the close");
+        assert!(ss.send(b"x").is_err(), "closed endpoint rejects send");
+    }
+
+    #[test]
+    fn peer_addresses_match_up() {
+        let world = World::new(9);
+        let server = world.add_node("server");
+        let client = world.add_node("client");
+        let listener = server.tcp_listen(80).unwrap();
+        let pair: Completion<(SocketAddrV4, SocketAddrV4)> = Completion::new();
+        let pair2 = pair.clone();
+        listener.on_accept(move |_, stream| {
+            pair2.complete((stream.local_addr().unwrap(), stream.peer_addr().unwrap()));
+        });
+        let caddr: Completion<SocketAddrV4> = Completion::new();
+        let caddr2 = caddr.clone();
+        client.tcp_connect(SocketAddrV4::new(server.addr(), 80), move |_, stream| {
+            caddr2.complete(stream.unwrap().local_addr().unwrap());
+        });
+        world.run_until_idle();
+        let (srv_local, srv_peer) = pair.take().unwrap();
+        assert_eq!(srv_local.port(), 80);
+        assert_eq!(srv_peer, caddr.take().unwrap());
+    }
+}

@@ -1,0 +1,184 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! The simulator never consults the wall clock: every timestamp is a
+//! [`SimTime`], a number of nanoseconds since the start of the simulation.
+//! Durations are ordinary [`std::time::Duration`] values, so agent code
+//! reads naturally (`world.schedule_in(Duration::from_millis(5), ..)`).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant of virtual time, counted in nanoseconds from simulation start.
+///
+/// `SimTime` is `Copy`, totally ordered and overflow-checked in debug
+/// builds; a simulation would have to run for ~584 virtual years to wrap.
+///
+/// # Examples
+///
+/// ```
+/// use indiss_net::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(3);
+/// assert_eq!(t.as_nanos(), 3_000_000);
+/// assert_eq!(t - SimTime::ZERO, Duration::from_millis(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw nanoseconds since the epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates a time from microseconds since the epoch.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates a time from milliseconds since the epoch.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates a time from whole seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the epoch (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since the epoch (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional milliseconds since the epoch, for human-readable reports.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// Fractional seconds since the epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// The elapsed duration since `earlier`.
+    ///
+    /// Returns [`Duration::ZERO`] when `earlier` is in the future, mirroring
+    /// [`std::time::Instant::saturating_duration_since`].
+    pub fn saturating_duration_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at the representable maximum.
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(duration_to_nanos(d)))
+    }
+}
+
+/// Converts a [`Duration`] to nanoseconds, saturating at `u64::MAX`.
+///
+/// Durations longer than ~584 years are clamped; no realistic simulation
+/// schedules that far ahead.
+pub(crate) fn duration_to_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + duration_to_nanos(rhs))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    /// Elapsed time between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> Duration {
+        debug_assert!(rhs.0 <= self.0, "SimTime subtraction went negative");
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_micros(1_500), SimTime::from_nanos(1_500_000));
+        assert_eq!(SimTime::from_millis(2), SimTime::from_micros(2_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+    }
+
+    #[test]
+    fn add_duration_advances() {
+        let t = SimTime::ZERO + Duration::from_millis(5) + Duration::from_micros(250);
+        assert_eq!(t.as_nanos(), 5_250_000);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut t = SimTime::from_millis(1);
+        t += Duration::from_millis(2);
+        assert_eq!(t, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn subtraction_yields_duration() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(4);
+        assert_eq!(a - b, Duration::from_millis(6));
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert_eq!(a.saturating_duration_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_duration_since(a), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn display_is_millis() {
+        assert_eq!(SimTime::from_micros(1_500).to_string(), "1.500ms");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(SimTime::ZERO <= SimTime::ZERO);
+    }
+}

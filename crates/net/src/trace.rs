@@ -1,0 +1,157 @@
+//! Packet tracing for debugging and assertions.
+//!
+//! When enabled on the [`crate::World`], every packet movement (delivery or
+//! drop) is appended to a [`PacketTrace`]. Integration tests use this to
+//! assert, e.g., that INDISS generated exactly the UPnP requests of the
+//! paper's Fig. 4 and nothing else.
+
+use std::fmt;
+use std::net::SocketAddrV4;
+
+use crate::meter::Transport;
+use crate::time::SimTime;
+
+/// Outcome of one traced packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Delivered to at least one socket.
+    Delivered,
+    /// Dropped by the link loss model.
+    Lost,
+    /// No socket was listening at the destination.
+    NoListener,
+    /// The destination node was down.
+    NodeDown,
+}
+
+/// One traced packet movement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Send time (the delivery time is send time plus link delay).
+    pub at: SimTime,
+    /// Transport used.
+    pub transport: Transport,
+    /// Source address.
+    pub src: SocketAddrV4,
+    /// Destination address (group address for multicast).
+    pub dst: SocketAddrV4,
+    /// Payload length.
+    pub len: usize,
+    /// What happened to the packet.
+    pub outcome: TraceOutcome,
+    /// Up to [`PacketTrace::SNIPPET_LEN`] bytes of payload, for debugging.
+    pub snippet: Vec<u8>,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {:?} {} -> {} ({} bytes, {:?})",
+            self.at, self.transport, self.src, self.dst, self.len, self.outcome
+        )
+    }
+}
+
+/// An append-only log of packet movements.
+#[derive(Debug, Default, Clone)]
+pub struct PacketTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl PacketTrace {
+    /// Maximum number of payload bytes kept per entry.
+    pub const SNIPPET_LEN: usize = 64;
+
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        PacketTrace::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All entries in send order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been traced.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries whose destination port matches `port`.
+    pub fn to_port(&self, port: u16) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.dst.port() == port)
+    }
+
+    /// Entries dropped by the loss model.
+    pub fn lost(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(|e| e.outcome == TraceOutcome::Lost)
+    }
+
+    /// Renders the whole trace, one entry per line (for failing-test output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn entry(port: u16, outcome: TraceOutcome) -> TraceEntry {
+        TraceEntry {
+            at: SimTime::from_millis(1),
+            transport: Transport::Udp,
+            src: SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 1), 40000),
+            dst: SocketAddrV4::new(Ipv4Addr::new(239, 255, 255, 253), port),
+            len: 32,
+            outcome,
+            snippet: b"hello".to_vec(),
+        }
+    }
+
+    #[test]
+    fn filters_by_port_and_outcome() {
+        let mut t = PacketTrace::new();
+        t.push(entry(427, TraceOutcome::Delivered));
+        t.push(entry(1900, TraceOutcome::Lost));
+        t.push(entry(427, TraceOutcome::Lost));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.to_port(427).count(), 2);
+        assert_eq!(t.lost().count(), 2);
+    }
+
+    #[test]
+    fn render_contains_every_entry() {
+        let mut t = PacketTrace::new();
+        t.push(entry(427, TraceOutcome::Delivered));
+        t.push(entry(1900, TraceOutcome::NoListener));
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("427"));
+        assert!(s.contains("NoListener"));
+    }
+
+    #[test]
+    fn empty_trace_reports_empty() {
+        let t = PacketTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.render(), "");
+    }
+}

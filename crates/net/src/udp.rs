@@ -1,0 +1,298 @@
+//! UDP sockets with multicast support.
+//!
+//! Multicast is the backbone of every SDP the paper considers: SSDP uses
+//! `239.255.255.250:1900`, SLP `239.255.255.253:427`, Jini `224.0.1.84/85:
+//! 4160`. A socket [joins](UdpSocket::join_multicast) any number of groups
+//! and receives every datagram sent to a joined group on its bound port —
+//! exactly the mechanism the INDISS monitor component exploits for SDP
+//! detection (paper §2.1).
+
+use std::fmt;
+use std::net::SocketAddrV4;
+
+use crate::error::NetResult;
+use crate::world::World;
+
+/// Identifier of a UDP socket within its world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdpSocketId(pub(crate) usize);
+
+/// A received datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sender address (node address + source port).
+    pub src: SocketAddrV4,
+    /// Destination the sender used — the group address for multicast
+    /// traffic, which lets receivers distinguish which group was hit.
+    pub dst: SocketAddrV4,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Datagram {
+    /// True when this datagram was addressed to a multicast group.
+    pub fn is_multicast(&self) -> bool {
+        self.dst.ip().is_multicast()
+    }
+}
+
+/// Handle to a bound UDP socket.
+///
+/// Cloning clones the handle; the socket closes when [`UdpSocket::close`]
+/// is called (dropping handles does *not* close it, so handles can be moved
+/// freely into callbacks).
+#[derive(Clone)]
+pub struct UdpSocket {
+    world: World,
+    id: UdpSocketId,
+}
+
+impl UdpSocket {
+    pub(crate) fn from_parts(world: World, id: UdpSocketId) -> Self {
+        UdpSocket { world, id }
+    }
+
+    /// The socket's identifier.
+    pub fn id(&self) -> UdpSocketId {
+        self.id
+    }
+
+    /// Local address this socket is bound to.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetError::SocketClosed`] if the socket was closed.
+    pub fn local_addr(&self) -> NetResult<SocketAddrV4> {
+        self.world.udp_local_addr(self.id)
+    }
+
+    /// Joins a multicast group.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetError::NotMulticast`] if `group` is not in `224.0.0.0/4`;
+    /// [`crate::NetError::SocketClosed`] if the socket was closed.
+    pub fn join_multicast(&self, group: std::net::Ipv4Addr) -> NetResult<()> {
+        self.world.udp_join(self.id, group)
+    }
+
+    /// Leaves a multicast group (no-op if not joined).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`UdpSocket::join_multicast`].
+    pub fn leave_multicast(&self, group: std::net::Ipv4Addr) -> NetResult<()> {
+        self.world.udp_leave(self.id, group)
+    }
+
+    /// Sends a datagram to `dst` (unicast address or multicast group).
+    ///
+    /// Delivery is scheduled according to the link model; the call itself
+    /// never blocks. Sending to a group the sender has joined does not loop
+    /// the packet back to the *sending socket*, but does reach every other
+    /// member, including other sockets on the same node.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NetError::SocketClosed`] if this socket was closed;
+    /// [`crate::NetError::NodeDown`] if the local node is down.
+    pub fn send_to(&self, payload: &[u8], dst: SocketAddrV4) -> NetResult<()> {
+        self.world.udp_send_to(self.id, payload, dst)
+    }
+
+    /// Installs the receive callback, replacing any previous one.
+    ///
+    /// The callback runs once per delivered datagram, at the virtual
+    /// delivery time.
+    pub fn on_receive<F>(&self, f: F)
+    where
+        F: FnMut(&World, Datagram) + 'static,
+    {
+        self.world.udp_set_handler(self.id, Box::new(f));
+    }
+
+    /// Closes the socket; subsequent operations fail with
+    /// [`crate::NetError::SocketClosed`] and queued deliveries are dropped.
+    pub fn close(&self) {
+        self.world.udp_close(self.id);
+    }
+}
+
+impl fmt::Debug for UdpSocket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UdpSocket")
+            .field("id", &self.id)
+            .field("addr", &self.local_addr().ok())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use crate::Completion;
+    use std::net::Ipv4Addr;
+
+    const GROUP: Ipv4Addr = Ipv4Addr::new(239, 255, 255, 250);
+
+    #[test]
+    fn unicast_reaches_the_bound_socket() {
+        let world = World::new(3);
+        let a = world.add_node("a");
+        let b = world.add_node("b");
+        let sa = a.udp_bind(5000).unwrap();
+        let sb = b.udp_bind(6000).unwrap();
+        let got: Completion<Datagram> = Completion::new();
+        let got2 = got.clone();
+        sb.on_receive(move |_, d| got2.complete(d));
+        sa.send_to(b"ping", SocketAddrV4::new(b.addr(), 6000)).unwrap();
+        world.run_until_idle();
+        let d = got.take().expect("datagram delivered");
+        assert_eq!(d.payload, b"ping");
+        assert_eq!(d.src, SocketAddrV4::new(a.addr(), 5000));
+        assert!(!d.is_multicast());
+    }
+
+    #[test]
+    fn multicast_reaches_all_members_except_sender() {
+        let world = World::new(3);
+        let a = world.add_node("a");
+        let b = world.add_node("b");
+        let c = world.add_node("c");
+        let sa = a.udp_bind(1900).unwrap();
+        let sb = b.udp_bind(1900).unwrap();
+        let sc = c.udp_bind(1900).unwrap();
+        for s in [&sa, &sb, &sc] {
+            s.join_multicast(GROUP).unwrap();
+        }
+        let hits: crate::Collector<SocketAddrV4> = crate::Collector::new();
+        for s in [&sb, &sc] {
+            let hits = hits.clone();
+            s.on_receive(move |_, d| hits.push(d.dst));
+        }
+        let self_hit: Completion<()> = Completion::new();
+        {
+            let self_hit = self_hit.clone();
+            sa.on_receive(move |_, _| self_hit.complete(()));
+        }
+        sa.send_to(b"NOTIFY", SocketAddrV4::new(GROUP, 1900)).unwrap();
+        world.run_until_idle();
+        assert_eq!(hits.len(), 2, "both other members receive");
+        assert!(!self_hit.is_complete(), "sender socket does not loop back");
+    }
+
+    #[test]
+    fn multicast_requires_join() {
+        let world = World::new(3);
+        let a = world.add_node("a");
+        let b = world.add_node("b");
+        let sa = a.udp_bind(1900).unwrap();
+        let sb = b.udp_bind(1900).unwrap();
+        // b bound the right port but never joined the group.
+        let got: Completion<()> = Completion::new();
+        let got2 = got.clone();
+        sb.on_receive(move |_, _| got2.complete(()));
+        sa.join_multicast(GROUP).unwrap();
+        sa.send_to(b"x", SocketAddrV4::new(GROUP, 1900)).unwrap();
+        world.run_until_idle();
+        assert!(!got.is_complete());
+    }
+
+    #[test]
+    fn join_rejects_unicast_address() {
+        let world = World::new(3);
+        let a = world.add_node("a");
+        let s = a.udp_bind(5000).unwrap();
+        assert!(s.join_multicast(Ipv4Addr::new(10, 0, 0, 7)).is_err());
+    }
+
+    #[test]
+    fn closed_socket_rejects_operations() {
+        let world = World::new(3);
+        let a = world.add_node("a");
+        let s = a.udp_bind(5000).unwrap();
+        s.close();
+        assert!(s.local_addr().is_err());
+        assert!(s.send_to(b"x", SocketAddrV4::new(a.addr(), 5000)).is_err());
+    }
+
+    #[test]
+    fn closing_frees_the_port() {
+        let world = World::new(3);
+        let a = world.add_node("a");
+        let s = a.udp_bind(5000).unwrap();
+        s.close();
+        assert!(a.udp_bind(5000).is_ok(), "port is reusable after close");
+    }
+
+    #[test]
+    fn shared_binds_coexist_and_both_receive_multicast() {
+        let world = World::new(3);
+        let host = world.add_node("host");
+        let sender_node = world.add_node("sender");
+        let native = host.udp_bind_shared(1900).unwrap();
+        let indiss = host.udp_bind_shared(1900).unwrap();
+        assert!(host.udp_bind(1900).is_err(), "exclusive bind conflicts with shared");
+        for s in [&native, &indiss] {
+            s.join_multicast(GROUP).unwrap();
+        }
+        let hits: crate::Collector<&'static str> = crate::Collector::new();
+        let h1 = hits.clone();
+        native.on_receive(move |_, _| h1.push("native"));
+        let h2 = hits.clone();
+        indiss.on_receive(move |_, _| h2.push("indiss"));
+        let tx = sender_node.udp_bind_ephemeral().unwrap();
+        tx.send_to(b"NOTIFY", SocketAddrV4::new(GROUP, 1900)).unwrap();
+        world.run_until_idle();
+        let mut got = hits.snapshot();
+        got.sort();
+        assert_eq!(got, vec!["indiss", "native"]);
+    }
+
+    #[test]
+    fn unicast_to_shared_port_reaches_all_sharers() {
+        // A co-located passive monitor must observe unicast traffic to
+        // the port without stealing it from the native stack.
+        let world = World::new(3);
+        let host = world.add_node("host");
+        let other = world.add_node("other");
+        let first = host.udp_bind_shared(1900).unwrap();
+        let second = host.udp_bind_shared(1900).unwrap();
+        let hits: crate::Collector<&'static str> = crate::Collector::new();
+        let h1 = hits.clone();
+        first.on_receive(move |_, _| h1.push("first"));
+        let h2 = hits.clone();
+        second.on_receive(move |_, _| h2.push("second"));
+        let tx = other.udp_bind_ephemeral().unwrap();
+        tx.send_to(b"x", SocketAddrV4::new(host.addr(), 1900)).unwrap();
+        world.run_until_idle();
+        let mut got = hits.snapshot();
+        got.sort();
+        assert_eq!(got, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn udp_and_tcp_ports_are_independent() {
+        let world = World::new(3);
+        let host = world.add_node("host");
+        let _udp = host.udp_bind(427).unwrap();
+        assert!(host.tcp_listen(427).is_ok(), "tcp 427 coexists with udp 427");
+    }
+
+    #[test]
+    fn down_node_does_not_receive() {
+        let world = World::new(3);
+        let a = world.add_node("a");
+        let b = world.add_node("b");
+        let sa = a.udp_bind(5000).unwrap();
+        let sb = b.udp_bind(6000).unwrap();
+        let got: Completion<()> = Completion::new();
+        let got2 = got.clone();
+        sb.on_receive(move |_, _| got2.complete(()));
+        b.set_up(false);
+        sa.send_to(b"x", SocketAddrV4::new(b.addr(), 6000)).unwrap();
+        world.run_until_idle();
+        assert!(!got.is_complete());
+    }
+}

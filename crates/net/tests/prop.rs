@@ -1,0 +1,109 @@
+//! Property-based tests of the simulator's core invariants.
+
+use proptest::prelude::*;
+use std::net::SocketAddrV4;
+use std::time::Duration;
+
+use indiss_net::{Collector, LinkConfig, SimTime, World};
+
+proptest! {
+    /// Virtual time is monotone regardless of how timers are scheduled.
+    #[test]
+    fn time_is_monotone(delays in proptest::collection::vec(0u64..10_000, 1..32)) {
+        let world = World::new(0);
+        let stamps: Collector<SimTime> = Collector::new();
+        for d in delays {
+            let stamps = stamps.clone();
+            world.schedule_in(Duration::from_micros(d), move |w| stamps.push(w.now()));
+        }
+        world.run_until_idle();
+        let seen = stamps.snapshot();
+        prop_assert!(seen.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Identical seeds give identical delivery times; the simulation is a
+    /// pure function of (seed, program).
+    #[test]
+    fn determinism(seed in any::<u64>(), len in 1usize..512) {
+        fn run(seed: u64, len: usize) -> u64 {
+            let world = World::new(seed);
+            let a = world.add_node("a");
+            let b = world.add_node("b");
+            let tx = a.udp_bind(1000).unwrap();
+            let rx = b.udp_bind(1000).unwrap();
+            let at: Collector<SimTime> = Collector::new();
+            let at2 = at.clone();
+            rx.on_receive(move |w, _| at2.push(w.now()));
+            tx.send_to(&vec![0u8; len], SocketAddrV4::new(b.addr(), 1000)).unwrap();
+            world.run_until_idle();
+            at.snapshot()[0].as_nanos()
+        }
+        prop_assert_eq!(run(seed, len), run(seed, len));
+    }
+
+    /// Delivery delay grows monotonically with payload size on a
+    /// bandwidth-limited link (serialization dominates jitter for large
+    /// differences).
+    #[test]
+    fn bigger_payloads_take_longer(small in 1usize..100, extra in 2_000usize..20_000) {
+        let link = LinkConfig::lan_10mbps();
+        let d_small = link.transfer_delay(small);
+        let d_big = link.transfer_delay(small + extra);
+        prop_assert!(d_big > d_small);
+    }
+
+    /// TCP preserves ordering for any segment schedule.
+    #[test]
+    fn tcp_is_fifo(segments in proptest::collection::vec(1usize..200, 1..16)) {
+        let world = World::new(7);
+        let server = world.add_node("server");
+        let client = world.add_node("client");
+        let listener = server.tcp_listen(80).unwrap();
+        let got: Collector<usize> = Collector::new();
+        let got2 = got.clone();
+        listener.on_accept(move |_, stream| {
+            let got3 = got2.clone();
+            stream.on_receive(move |_, bytes| got3.push(bytes.len()));
+        });
+        let segs = segments.clone();
+        client.tcp_connect(SocketAddrV4::new(server.addr(), 80), move |_, stream| {
+            let stream = stream.unwrap();
+            for len in &segs {
+                stream.send(&vec![0u8; *len]).unwrap();
+            }
+        });
+        world.run_until_idle();
+        prop_assert_eq!(got.snapshot(), segments);
+    }
+
+    /// The traffic meter's window queries partition correctly: bytes in
+    /// [a,b) + bytes in [b,c) = bytes in [a,c).
+    #[test]
+    fn meter_windows_partition(
+        sends in proptest::collection::vec((0u64..1000, 1usize..100), 1..16),
+        split in 0u64..1000,
+    ) {
+        let world = World::new(1);
+        let a = world.add_node("a");
+        let b = world.add_node("b");
+        let tx = a.udp_bind(1000).unwrap();
+        let _rx = b.udp_bind(1000).unwrap();
+        for (at_ms, len) in &sends {
+            let tx = tx.clone();
+            let dst = SocketAddrV4::new(b.addr(), 1000);
+            let len = *len;
+            world.schedule_in(Duration::from_millis(*at_ms), move |_| {
+                let _ = tx.send_to(&vec![0u8; len], dst);
+            });
+        }
+        world.run_until_idle();
+        let meter = world.meter_snapshot();
+        let t0 = SimTime::ZERO;
+        let tm = SimTime::from_millis(split);
+        let t1 = SimTime::from_secs(10);
+        prop_assert_eq!(
+            meter.bytes_between(t0, tm) + meter.bytes_between(tm, t1),
+            meter.bytes_between(t0, t1)
+        );
+    }
+}

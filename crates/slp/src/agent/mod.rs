@@ -1,0 +1,134 @@
+//! SLP agents on the simulated network.
+//!
+//! RFC 2608 defines three roles, all implemented here:
+//!
+//! * [`ServiceAgent`] (SA) — advertises services, answers requests;
+//! * [`UserAgent`] (UA) — issues requests on behalf of applications;
+//! * [`DirectoryAgent`] (DA) — the optional repository both of the above
+//!   use when present (the paper's "centralized lookup service", §2).
+//!
+//! The paper's native-SLP baseline (Fig. 7, "SLP → SLP" = 0.7 ms) is a UA
+//! multicasting a SrvRqst and an SA unicasting a SrvRply back.
+
+mod da;
+mod sa;
+mod ua;
+
+pub use da::DirectoryAgent;
+pub use sa::ServiceAgent;
+pub use ua::{DiscoveryOutcome, UserAgent};
+
+use std::time::Duration;
+
+use crate::attrs::AttributeList;
+use crate::consts::{DEFAULT_LIFETIME, DEFAULT_SCOPE};
+use crate::url::ServiceType;
+
+/// Shared agent tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SlpConfig {
+    /// Scopes this agent serves / requests, comma-separated.
+    pub scopes: String,
+    /// Simulated per-message handling cost. OpenSLP's handling is tens of
+    /// microseconds on the paper's hardware; the default reflects that.
+    pub processing_delay: Duration,
+    /// How long a UA waits for multicast convergence before reporting all
+    /// collected results. RFC 2608's `CONFIG_MC_MAX` default is 15 s; we
+    /// default to 500 ms — long enough for INDISS-bridged answers that
+    /// take a UPnP description fetch (~65 ms), short enough for tests.
+    /// Note the *response time* metric is unaffected: it measures the
+    /// first reply's arrival, not the window.
+    pub mcast_wait: Duration,
+    /// Default registration lifetime, seconds.
+    pub lifetime: u16,
+}
+
+impl Default for SlpConfig {
+    fn default() -> Self {
+        SlpConfig {
+            scopes: DEFAULT_SCOPE.to_owned(),
+            processing_delay: Duration::from_micros(50),
+            mcast_wait: Duration::from_millis(500),
+            lifetime: DEFAULT_LIFETIME,
+        }
+    }
+}
+
+/// One service registration held by an SA or DA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registration {
+    /// Full service URL text, e.g. `service:printer:lpr://10.0.0.4:515`.
+    pub url: String,
+    /// Parsed service type (for request matching).
+    pub service_type: ServiceType,
+    /// Scopes the service is registered in, comma-separated.
+    pub scopes: String,
+    /// Service attributes.
+    pub attrs: AttributeList,
+    /// Lifetime in seconds.
+    pub lifetime: u16,
+}
+
+impl Registration {
+    /// Builds a registration, parsing the type from the URL.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SlpError::BadServiceUrl`] if `url` is not a service URL.
+    pub fn new(url: &str, attrs: AttributeList) -> crate::SlpResult<Registration> {
+        let parsed = crate::url::ServiceUrl::parse(url)?;
+        Ok(Registration {
+            url: url.to_owned(),
+            service_type: parsed.service_type,
+            scopes: DEFAULT_SCOPE.to_owned(),
+            attrs,
+            lifetime: DEFAULT_LIFETIME,
+        })
+    }
+
+    /// Sets the scopes, returning `self` for chaining.
+    pub fn with_scopes(mut self, scopes: &str) -> Self {
+        self.scopes = scopes.to_owned();
+        self
+    }
+}
+
+/// True when two comma-separated scope lists share at least one scope
+/// (case-insensitive), per RFC 2608 §6.4.1. An empty request list means
+/// "any scope".
+pub(crate) fn scopes_intersect(request: &str, offer: &str) -> bool {
+    if request.trim().is_empty() {
+        return true;
+    }
+    request.split(',').any(|r| {
+        let r = r.trim();
+        offer.split(',').any(|o| o.trim().eq_ignore_ascii_case(r))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_intersection_rules() {
+        assert!(scopes_intersect("DEFAULT", "default"));
+        assert!(scopes_intersect("a,b", "c,B"));
+        assert!(!scopes_intersect("a", "b,c"));
+        assert!(scopes_intersect("", "anything"));
+        assert!(scopes_intersect(" a ", "a"));
+    }
+
+    #[test]
+    fn registration_parses_type() {
+        let r = Registration::new("service:clock:soap://10.0.0.2:4005", AttributeList::new())
+            .unwrap();
+        assert_eq!(r.service_type, ServiceType::with_concrete("clock", "soap"));
+        assert_eq!(r.scopes, "DEFAULT");
+    }
+
+    #[test]
+    fn registration_rejects_bad_url() {
+        assert!(Registration::new("http://x", AttributeList::new()).is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! Service Agent: advertises registrations and answers requests.
+
+use std::cell::RefCell;
+use std::net::SocketAddrV4;
+use std::rc::Rc;
+
+use indiss_net::{Datagram, NetResult, Node, UdpSocket, World};
+
+use crate::agent::{scopes_intersect, Registration, SlpConfig};
+use crate::consts::{FunctionId, SLP_MULTICAST_GROUP, SLP_PORT};
+use crate::error::SlpResult;
+use crate::filter::Filter;
+use crate::messages::{AttrRply, Body, Message, SaAdvert, SrvRply, SrvReg, SrvRqst, SrvTypeRply};
+use crate::url::{ServiceType, UrlEntry};
+use crate::wire::Header;
+
+struct SaInner {
+    node: Node,
+    socket: UdpSocket,
+    config: SlpConfig,
+    registrations: Vec<Registration>,
+    /// Known directory agent (learned from DAAdverts); registrations are
+    /// forwarded there.
+    da: Option<SocketAddrV4>,
+    next_xid: u16,
+}
+
+/// A Service Agent bound to UDP 427 on its node, joined to the SLP
+/// multicast group.
+///
+/// Answers `SrvRqst` (type + scope + predicate matching), `AttrRqst` and
+/// `SrvTypeRqst`; forwards registrations to a DA once one is heard.
+#[derive(Clone)]
+pub struct ServiceAgent {
+    inner: Rc<RefCell<SaInner>>,
+}
+
+impl ServiceAgent {
+    /// Starts an SA on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Network errors if UDP 427 is exclusively taken on this node.
+    pub fn start(node: &Node, config: SlpConfig) -> NetResult<ServiceAgent> {
+        let socket = node.udp_bind_shared(SLP_PORT)?;
+        socket.join_multicast(SLP_MULTICAST_GROUP)?;
+        let agent = ServiceAgent {
+            inner: Rc::new(RefCell::new(SaInner {
+                node: node.clone(),
+                socket: socket.clone(),
+                config,
+                registrations: Vec::new(),
+                da: None,
+                next_xid: 1,
+            })),
+        };
+        let handler = agent.clone();
+        socket.on_receive(move |world, dgram| handler.handle_datagram(world, dgram));
+        Ok(agent)
+    }
+
+    /// Adds a registration to the local table; if a DA is known, also
+    /// forwards a `SrvReg` to it.
+    pub fn register(&self, registration: Registration) {
+        let (da, msg) = {
+            let mut inner = self.inner.borrow_mut();
+            let xid = inner.bump_xid();
+            let msg = registration_message(&registration, xid);
+            inner.registrations.push(registration);
+            (inner.da, msg)
+        };
+        if let (Some(da), Ok(msg)) = (da, msg) {
+            self.send(&msg, da);
+        }
+    }
+
+    /// Removes a registration by URL; returns whether one was removed.
+    pub fn deregister(&self, url: &str) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        let before = inner.registrations.len();
+        inner.registrations.retain(|r| r.url != url);
+        inner.registrations.len() != before
+    }
+
+    /// Snapshot of current registrations.
+    pub fn registrations(&self) -> Vec<Registration> {
+        self.inner.borrow().registrations.clone()
+    }
+
+    /// The DA this SA currently forwards to, if any.
+    pub fn known_da(&self) -> Option<SocketAddrV4> {
+        self.inner.borrow().da
+    }
+
+    /// The node this agent runs on.
+    pub fn node(&self) -> Node {
+        self.inner.borrow().node.clone()
+    }
+
+    fn send(&self, msg: &Message, to: SocketAddrV4) {
+        if let Ok(bytes) = msg.encode() {
+            let socket = self.inner.borrow().socket.clone();
+            let _ = socket.send_to(&bytes, to);
+        }
+    }
+
+    fn handle_datagram(&self, world: &World, dgram: Datagram) {
+        let Ok(msg) = Message::decode(&dgram.payload) else {
+            return; // not SLP or malformed: ignore, as OpenSLP does
+        };
+        match &msg.body {
+            Body::SrvRqst(req) => self.handle_srv_rqst(world, &msg.header, req, dgram.src),
+            Body::AttrRqst(req) => {
+                let reply = self.build_attr_reply(&msg.header, &req.url, &req.scopes);
+                self.reply_after_delay(world, reply, dgram.src);
+            }
+            Body::SrvTypeRqst(req) => {
+                let reply = self.build_srv_type_reply(&msg.header, &req.scopes);
+                self.reply_after_delay(world, reply, dgram.src);
+            }
+            Body::DaAdvert(advert) => {
+                // Learn the DA and forward all registrations (RFC 2608 §12.2).
+                let da_addr = parse_da_addr(&advert.url);
+                if let Some(da) = da_addr {
+                    let msgs: Vec<Message> = {
+                        let mut inner = self.inner.borrow_mut();
+                        inner.da = Some(da);
+                        let regs = inner.registrations.clone();
+                        regs.iter()
+                            .filter_map(|r| {
+                                let xid = inner.bump_xid();
+                                registration_message(r, xid).ok()
+                            })
+                            .collect()
+                    };
+                    for m in msgs {
+                        self.send(&m, da);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_srv_rqst(
+        &self,
+        world: &World,
+        header: &Header,
+        req: &SrvRqst,
+        requester: SocketAddrV4,
+    ) {
+        // Multicast convergence: do not answer if we are already listed.
+        let own_addr = self.inner.borrow().node.addr().to_string();
+        if req.prlist.split(',').any(|p| p.trim() == own_addr) {
+            return;
+        }
+        let Some(reply) = self.build_srv_reply(header, req) else {
+            // No match to a multicast request: stay silent (§7).
+            return;
+        };
+        self.reply_after_delay(world, reply, requester);
+    }
+
+    /// Matches a request against the table. Returns `None` when nothing
+    /// matched (multicast etiquette is to stay silent).
+    fn build_srv_reply(&self, header: &Header, req: &SrvRqst) -> Option<Message> {
+        let inner = self.inner.borrow();
+        let stripped = req.service_type.strip_prefix("service:").unwrap_or(&req.service_type);
+        let wanted = ServiceType::parse(stripped).ok()?;
+        let predicate = Filter::parse(&req.predicate).ok()?;
+        let urls: Vec<UrlEntry> = inner
+            .registrations
+            .iter()
+            .filter(|r| wanted.matches(&r.service_type))
+            .filter(|r| scopes_intersect(&req.scopes, &r.scopes))
+            .filter(|r| predicate.matches(&r.attrs))
+            .map(|r| UrlEntry::new(r.url.clone(), r.lifetime))
+            .collect();
+        if urls.is_empty() {
+            return None;
+        }
+        Some(Message::new(
+            Header::new(FunctionId::SrvRply, header.xid, &header.lang),
+            Body::SrvRply(SrvRply { error: 0, urls }),
+        ))
+    }
+
+    fn build_attr_reply(&self, header: &Header, url: &str, scopes: &str) -> Message {
+        let inner = self.inner.borrow();
+        let attrs = inner
+            .registrations
+            .iter()
+            .find(|r| r.url == url && scopes_intersect(scopes, &r.scopes))
+            .map(|r| r.attrs.to_string())
+            .unwrap_or_default();
+        Message::new(
+            Header::new(FunctionId::AttrRply, header.xid, &header.lang),
+            Body::AttrRply(AttrRply { error: 0, attrs }),
+        )
+    }
+
+    fn build_srv_type_reply(&self, header: &Header, scopes: &str) -> Message {
+        let inner = self.inner.borrow();
+        let mut types: Vec<String> = inner
+            .registrations
+            .iter()
+            .filter(|r| scopes_intersect(scopes, &r.scopes))
+            .map(|r| r.service_type.to_string())
+            .collect();
+        types.sort();
+        types.dedup();
+        Message::new(
+            Header::new(FunctionId::SrvTypeRply, header.xid, &header.lang),
+            Body::SrvTypeRply(SrvTypeRply { error: 0, types: types.join(",") }),
+        )
+    }
+
+    /// Sends a reply after the configured processing delay, modelling the
+    /// agent's handling cost.
+    fn reply_after_delay(&self, world: &World, reply: Message, to: SocketAddrV4) {
+        let delay = self.inner.borrow().config.processing_delay;
+        let this = self.clone();
+        world.schedule_in(delay, move |_| this.send(&reply, to));
+    }
+
+    /// Multicasts an unsolicited `SAAdvert` (used by INDISS's active mode
+    /// to make a silent SA's services visible).
+    pub fn advertise(&self) -> SlpResult<()> {
+        let msg = {
+            let mut inner = self.inner.borrow_mut();
+            let xid = inner.bump_xid();
+            let url = format!("service:service-agent://{}", inner.node.addr());
+            Message::new(
+                Header::new(FunctionId::SaAdvert, xid, crate::consts::DEFAULT_LANG),
+                Body::SaAdvert(SaAdvert {
+                    url,
+                    scopes: inner.config.scopes.clone(),
+                    attrs: String::new(),
+                }),
+            )
+        };
+        self.send(&msg, SocketAddrV4::new(SLP_MULTICAST_GROUP, SLP_PORT));
+        Ok(())
+    }
+}
+
+impl SaInner {
+    fn bump_xid(&mut self) -> u16 {
+        let x = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1).max(1);
+        x
+    }
+}
+
+fn registration_message(r: &Registration, xid: u16) -> SlpResult<Message> {
+    Ok(Message::new(
+        Header::new(FunctionId::SrvReg, xid, crate::consts::DEFAULT_LANG),
+        Body::SrvReg(SrvReg {
+            entry: UrlEntry::new(r.url.clone(), r.lifetime),
+            service_type: r.service_type.to_string(),
+            scopes: r.scopes.clone(),
+            attrs: r.attrs.to_string(),
+        }),
+    ))
+}
+
+fn parse_da_addr(url: &str) -> Option<SocketAddrV4> {
+    // service:directory-agent://10.0.0.5
+    let parsed = crate::url::ServiceUrl::parse(url).ok()?;
+    let ip: std::net::Ipv4Addr = parsed.host.parse().ok()?;
+    Some(SocketAddrV4::new(ip, parsed.port.unwrap_or(SLP_PORT)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttributeList;
+    use indiss_net::World;
+
+    fn reg(url: &str, attrs: &str) -> Registration {
+        Registration::new(url, AttributeList::parse(attrs).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn sa_tracks_registrations() {
+        let world = World::new(1);
+        let node = world.add_node("printer");
+        let sa = ServiceAgent::start(&node, SlpConfig::default()).unwrap();
+        sa.register(reg("service:printer://10.0.0.1:515", "(ppm=12)"));
+        assert_eq!(sa.registrations().len(), 1);
+        assert!(sa.deregister("service:printer://10.0.0.1:515"));
+        assert!(!sa.deregister("service:printer://10.0.0.1:515"));
+    }
+
+    #[test]
+    fn two_sas_can_share_a_node() {
+        // SO_REUSEADDR semantics: e.g. INDISS and a native SA co-located.
+        let world = World::new(1);
+        let node = world.add_node("host");
+        assert!(ServiceAgent::start(&node, SlpConfig::default()).is_ok());
+        assert!(ServiceAgent::start(&node, SlpConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn da_addr_parsing() {
+        assert_eq!(
+            parse_da_addr("service:directory-agent://10.0.0.5"),
+            Some(SocketAddrV4::new(std::net::Ipv4Addr::new(10, 0, 0, 5), SLP_PORT))
+        );
+        assert_eq!(
+            parse_da_addr("service:directory-agent://10.0.0.5:1427"),
+            Some(SocketAddrV4::new(std::net::Ipv4Addr::new(10, 0, 0, 5), 1427))
+        );
+        assert_eq!(parse_da_addr("not-a-url"), None);
+    }
+}

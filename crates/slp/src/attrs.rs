@@ -1,0 +1,311 @@
+//! Attribute lists (RFC 2608 §5).
+//!
+//! The textual form is `(tag=value),(tag=v1,v2),keyword`. The paper's
+//! Fig. 4 SrvRply carries exactly such a list
+//! (`;major:"1";minor:"0";friendlyName:"..."` in its display rendering) —
+//! INDISS translates UPnP description fields into "traditional SLP
+//! attributes", which is what this module models.
+
+use std::fmt;
+
+use crate::error::{SlpError, SlpResult};
+
+/// One attribute: a keyword (no values) or a tag with one or more values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Attribute tag (case-preserved; comparisons fold case).
+    pub tag: String,
+    /// Values; empty for keyword attributes.
+    pub values: Vec<String>,
+}
+
+impl Attribute {
+    /// Creates a keyword attribute.
+    pub fn keyword(tag: &str) -> Self {
+        Attribute { tag: tag.to_owned(), values: Vec::new() }
+    }
+
+    /// Creates a single-valued attribute.
+    pub fn single(tag: &str, value: &str) -> Self {
+        Attribute { tag: tag.to_owned(), values: vec![value.to_owned()] }
+    }
+
+    /// Creates a multi-valued attribute.
+    pub fn multi(tag: &str, values: &[&str]) -> Self {
+        Attribute {
+            tag: tag.to_owned(),
+            values: values.iter().map(|v| (*v).to_owned()).collect(),
+        }
+    }
+}
+
+/// An ordered list of attributes with case-insensitive tag lookup.
+///
+/// # Examples
+///
+/// ```
+/// use indiss_slp::AttributeList;
+///
+/// let attrs = AttributeList::parse("(location=office),(color),(ppm=12,24)")?;
+/// assert_eq!(attrs.get("LOCATION"), Some("office"));
+/// assert!(attrs.has_keyword("color"));
+/// assert_eq!(attrs.get_all("ppm"), vec!["12", "24"]);
+/// # Ok::<(), indiss_slp::SlpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AttributeList {
+    attrs: Vec<Attribute>,
+}
+
+impl AttributeList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        AttributeList::default()
+    }
+
+    /// Parses the RFC 2608 textual form. An empty string is an empty list.
+    ///
+    /// # Errors
+    ///
+    /// [`SlpError::BadAttributeList`] on unbalanced parentheses or empty
+    /// tags.
+    pub fn parse(s: &str) -> SlpResult<AttributeList> {
+        let mut attrs = Vec::new();
+        let mut rest = s.trim();
+        while !rest.is_empty() {
+            if let Some(stripped) = rest.strip_prefix('(') {
+                let close = find_close(stripped)
+                    .ok_or_else(|| SlpError::BadAttributeList(s.to_owned()))?;
+                let inner = &stripped[..close];
+                let (tag, values) = match inner.find('=') {
+                    Some(eq) => {
+                        let tag = inner[..eq].trim();
+                        let values: Vec<String> = inner[eq + 1..]
+                            .split(',')
+                            .map(|v| unescape_value(v.trim()))
+                            .collect();
+                        (tag, values)
+                    }
+                    None => (inner.trim(), Vec::new()),
+                };
+                if tag.is_empty() {
+                    return Err(SlpError::BadAttributeList(s.to_owned()));
+                }
+                attrs.push(Attribute { tag: tag.to_owned(), values });
+                rest = stripped[close + 1..].trim_start();
+            } else {
+                // Keyword attribute: up to the next comma.
+                let end = rest.find(',').unwrap_or(rest.len());
+                let tag = rest[..end].trim();
+                if tag.is_empty() {
+                    return Err(SlpError::BadAttributeList(s.to_owned()));
+                }
+                attrs.push(Attribute::keyword(tag));
+                rest = rest[end..].trim_start();
+            }
+            rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+        }
+        Ok(AttributeList { attrs })
+    }
+
+    /// Appends an attribute.
+    pub fn push(&mut self, attr: Attribute) {
+        self.attrs.push(attr);
+    }
+
+    /// Builder-style append of a single-valued attribute.
+    pub fn with(mut self, tag: &str, value: &str) -> Self {
+        self.push(Attribute::single(tag, value));
+        self
+    }
+
+    /// All attributes in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Attribute> {
+        self.attrs.iter()
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// First value of the tag (case-insensitive), if any.
+    pub fn get(&self, tag: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|a| a.tag.eq_ignore_ascii_case(tag))
+            .and_then(|a| a.values.first())
+            .map(String::as_str)
+    }
+
+    /// All values of the tag (case-insensitive).
+    pub fn get_all(&self, tag: &str) -> Vec<&str> {
+        self.attrs
+            .iter()
+            .filter(|a| a.tag.eq_ignore_ascii_case(tag))
+            .flat_map(|a| a.values.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// True when the tag exists as a keyword (present, no values).
+    pub fn has_keyword(&self, tag: &str) -> bool {
+        self.attrs
+            .iter()
+            .any(|a| a.tag.eq_ignore_ascii_case(tag) && a.values.is_empty())
+    }
+
+    /// True when the tag is present at all.
+    pub fn contains_tag(&self, tag: &str) -> bool {
+        self.attrs.iter().any(|a| a.tag.eq_ignore_ascii_case(tag))
+    }
+}
+
+impl fmt::Display for AttributeList {
+    /// Renders the canonical RFC 2608 textual form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for attr in &self.attrs {
+            if !first {
+                f.write_str(",")?;
+            }
+            first = false;
+            if attr.values.is_empty() {
+                f.write_str(&attr.tag)?;
+            } else {
+                write!(f, "({}=", attr.tag)?;
+                let mut vfirst = true;
+                for v in &attr.values {
+                    if !vfirst {
+                        f.write_str(",")?;
+                    }
+                    vfirst = false;
+                    f.write_str(&escape_value(v))?;
+                }
+                f.write_str(")")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Attribute> for AttributeList {
+    fn from_iter<I: IntoIterator<Item = Attribute>>(iter: I) -> Self {
+        AttributeList { attrs: iter.into_iter().collect() }
+    }
+}
+
+/// Finds the matching close paren index within `s` (which follows a `(`).
+/// Values may contain escaped parens `\28` / `\29`, which we keep opaque.
+fn find_close(s: &str) -> Option<usize> {
+    s.find(')')
+}
+
+/// Escapes RFC 2608 reserved characters in a value using `\xx` hex escapes.
+fn escape_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '(' => out.push_str("\\28"),
+            ')' => out.push_str("\\29"),
+            ',' => out.push_str("\\2c"),
+            '\\' => out.push_str("\\5c"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_value`]. Invalid escapes are kept verbatim.
+fn unescape_value(v: &str) -> String {
+    let bytes = v.as_bytes();
+    let mut out = String::with_capacity(v.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\\' && i + 2 < bytes.len() + 1 && i + 3 <= bytes.len() {
+            if let Ok(code) = u8::from_str_radix(&v[i + 1..i + 3], 16) {
+                out.push(code as char);
+                i += 3;
+                continue;
+            }
+        }
+        let c = v[i..].chars().next().expect("in bounds");
+        out.push(c);
+        i += c.len_utf8();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_mixed_list() {
+        let l = AttributeList::parse("(a=1),keyword,(b=x,y)").unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.get("a"), Some("1"));
+        assert!(l.has_keyword("keyword"));
+        assert_eq!(l.get_all("b"), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn empty_list() {
+        let l = AttributeList::parse("").unwrap();
+        assert!(l.is_empty());
+        assert_eq!(l.to_string(), "");
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in ["(a=1)", "(a=1),(b=2,3)", "kw", "(a=1),kw,(c=x)"] {
+            let l = AttributeList::parse(s).unwrap();
+            assert_eq!(AttributeList::parse(&l.to_string()).unwrap(), l, "{s}");
+        }
+    }
+
+    #[test]
+    fn escaped_values_roundtrip() {
+        let mut l = AttributeList::new();
+        l.push(Attribute::single("desc", "a,b(c)\\d"));
+        let text = l.to_string();
+        let back = AttributeList::parse(&text).unwrap();
+        assert_eq!(back.get("desc"), Some("a,b(c)\\d"));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let l = AttributeList::parse("(FriendlyName=Clock)").unwrap();
+        assert_eq!(l.get("friendlyname"), Some("Clock"));
+        assert!(l.contains_tag("FRIENDLYNAME"));
+    }
+
+    #[test]
+    fn rejects_unbalanced() {
+        assert!(AttributeList::parse("(a=1").is_err());
+        assert!(AttributeList::parse("(=1)").is_err());
+    }
+
+    #[test]
+    fn keyword_inside_parens() {
+        let l = AttributeList::parse("(color)").unwrap();
+        assert!(l.has_keyword("color"));
+    }
+
+    #[test]
+    fn values_are_trimmed() {
+        let l = AttributeList::parse("( a = 1 , 2 )").unwrap();
+        assert_eq!(l.get_all("a"), vec!["1", "2"]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let l: AttributeList =
+            vec![Attribute::keyword("x"), Attribute::single("y", "1")].into_iter().collect();
+        assert_eq!(l.len(), 2);
+    }
+}

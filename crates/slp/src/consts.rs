@@ -1,0 +1,168 @@
+//! Protocol constants from RFC 2608 and IANA assignments.
+//!
+//! The INDISS paper's monitor component keys SDP detection off these
+//! "permanent identification tags": the (multicast group, port) pair
+//! assigned by IANA to each discovery protocol (paper §2.1).
+
+use std::net::Ipv4Addr;
+
+/// IANA-assigned SLP port (UDP and TCP).
+pub const SLP_PORT: u16 = 427;
+
+/// Administratively scoped SLP multicast group `SVRLOC`.
+pub const SLP_MULTICAST_GROUP: Ipv4Addr = Ipv4Addr::new(239, 255, 255, 253);
+
+/// Protocol version implemented (SLPv2).
+pub const SLP_VERSION: u8 = 2;
+
+/// Default scope per RFC 2608 §6.4.1.
+pub const DEFAULT_SCOPE: &str = "DEFAULT";
+
+/// Default language tag.
+pub const DEFAULT_LANG: &str = "en";
+
+/// Default URL lifetime, seconds (RFC 2608 caps at 0xFFFF).
+pub const DEFAULT_LIFETIME: u16 = 10800;
+
+/// SLP message function identifiers (RFC 2608 §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FunctionId {
+    /// Service Request.
+    SrvRqst = 1,
+    /// Service Reply.
+    SrvRply = 2,
+    /// Service Registration.
+    SrvReg = 3,
+    /// Service Deregistration.
+    SrvDeReg = 4,
+    /// Service Acknowledgement.
+    SrvAck = 5,
+    /// Attribute Request.
+    AttrRqst = 6,
+    /// Attribute Reply.
+    AttrRply = 7,
+    /// Directory Agent Advertisement.
+    DaAdvert = 8,
+    /// Service Type Request.
+    SrvTypeRqst = 9,
+    /// Service Type Reply.
+    SrvTypeRply = 10,
+    /// Service Agent Advertisement.
+    SaAdvert = 11,
+}
+
+impl FunctionId {
+    /// Decodes a function id byte.
+    pub fn from_u8(v: u8) -> Option<FunctionId> {
+        Some(match v {
+            1 => FunctionId::SrvRqst,
+            2 => FunctionId::SrvRply,
+            3 => FunctionId::SrvReg,
+            4 => FunctionId::SrvDeReg,
+            5 => FunctionId::SrvAck,
+            6 => FunctionId::AttrRqst,
+            7 => FunctionId::AttrRply,
+            8 => FunctionId::DaAdvert,
+            9 => FunctionId::SrvTypeRqst,
+            10 => FunctionId::SrvTypeRply,
+            11 => FunctionId::SaAdvert,
+            _ => return None,
+        })
+    }
+}
+
+/// SLP error codes (RFC 2608 §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Success.
+    #[default]
+    Ok = 0,
+    /// No registration in the requested language.
+    LanguageNotSupported = 1,
+    /// The message was malformed.
+    ParseError = 2,
+    /// Registration was rejected.
+    InvalidRegistration = 3,
+    /// The DA/SA does not serve the requested scope.
+    ScopeNotSupported = 4,
+    /// Unknown authentication block.
+    AuthenticationUnknown = 5,
+    /// Authentication was expected but absent.
+    AuthenticationAbsent = 6,
+    /// Authentication failed.
+    AuthenticationFailed = 7,
+    /// Unsupported protocol version.
+    VersionNotSupported = 9,
+    /// DA internal error.
+    InternalError = 10,
+    /// DA is busy; retry later.
+    DaBusyNow = 11,
+    /// Unsupported option.
+    OptionNotUnderstood = 12,
+    /// Update not allowed.
+    InvalidUpdate = 13,
+    /// Feature not implemented.
+    NotImplemented = 14,
+    /// Registration arrived at a non-DA.
+    RefreshRejected = 15,
+}
+
+impl ErrorCode {
+    /// Decodes an error code; unknown values map to `InternalError`.
+    pub fn from_u16(v: u16) -> ErrorCode {
+        match v {
+            0 => ErrorCode::Ok,
+            1 => ErrorCode::LanguageNotSupported,
+            2 => ErrorCode::ParseError,
+            3 => ErrorCode::InvalidRegistration,
+            4 => ErrorCode::ScopeNotSupported,
+            5 => ErrorCode::AuthenticationUnknown,
+            6 => ErrorCode::AuthenticationAbsent,
+            7 => ErrorCode::AuthenticationFailed,
+            9 => ErrorCode::VersionNotSupported,
+            11 => ErrorCode::DaBusyNow,
+            12 => ErrorCode::OptionNotUnderstood,
+            13 => ErrorCode::InvalidUpdate,
+            14 => ErrorCode::NotImplemented,
+            15 => ErrorCode::RefreshRejected,
+            _ => ErrorCode::InternalError,
+        }
+    }
+}
+
+/// Header flag: overflow (message truncated to fit a datagram).
+pub const FLAG_OVERFLOW: u16 = 0x8000;
+/// Header flag: fresh registration.
+pub const FLAG_FRESH: u16 = 0x4000;
+/// Header flag: request was multicast.
+pub const FLAG_MCAST: u16 = 0x2000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_ids_roundtrip() {
+        for v in 1..=11u8 {
+            let f = FunctionId::from_u8(v).unwrap();
+            assert_eq!(f as u8, v);
+        }
+        assert_eq!(FunctionId::from_u8(0), None);
+        assert_eq!(FunctionId::from_u8(12), None);
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for v in [0u16, 1, 2, 3, 4, 5, 6, 7, 9, 11, 12, 13, 14, 15] {
+            assert_eq!(ErrorCode::from_u16(v) as u16, v);
+        }
+        assert_eq!(ErrorCode::from_u16(999), ErrorCode::InternalError);
+    }
+
+    #[test]
+    fn group_is_multicast() {
+        assert!(SLP_MULTICAST_GROUP.is_multicast());
+    }
+}

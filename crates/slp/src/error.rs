@@ -1,0 +1,92 @@
+//! SLP codec and agent errors.
+
+use std::fmt;
+
+use crate::consts::ErrorCode;
+
+/// Errors from encoding, decoding, or protocol processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SlpError {
+    /// Input ended before the structure was complete.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// The version byte was not 2.
+    BadVersion(u8),
+    /// Unknown function id.
+    UnknownFunction(u8),
+    /// The header's length field disagrees with the buffer.
+    LengthMismatch {
+        /// Length declared in the header.
+        declared: usize,
+        /// Actual buffer length.
+        actual: usize,
+    },
+    /// A length-prefixed string is not valid UTF-8.
+    BadString,
+    /// A service URL could not be parsed.
+    BadServiceUrl(String),
+    /// An attribute list could not be parsed.
+    BadAttributeList(String),
+    /// A predicate filter could not be parsed.
+    BadFilter(String),
+    /// The peer answered with a non-zero SLP error code.
+    Remote(ErrorCode),
+    /// A value exceeded its wire-format field width.
+    FieldOverflow {
+        /// What was being encoded.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for SlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlpError::Truncated { context } => write!(f, "truncated message in {context}"),
+            SlpError::BadVersion(v) => write!(f, "unsupported slp version {v}"),
+            SlpError::UnknownFunction(v) => write!(f, "unknown function id {v}"),
+            SlpError::LengthMismatch { declared, actual } => {
+                write!(f, "header declares {declared} bytes but buffer has {actual}")
+            }
+            SlpError::BadString => write!(f, "length-prefixed string is not valid utf-8"),
+            SlpError::BadServiceUrl(u) => write!(f, "invalid service url {u:?}"),
+            SlpError::BadAttributeList(a) => write!(f, "invalid attribute list {a:?}"),
+            SlpError::BadFilter(e) => write!(f, "invalid predicate filter: {e}"),
+            SlpError::Remote(code) => write!(f, "peer returned error code {code:?}"),
+            SlpError::FieldOverflow { context } => {
+                write!(f, "value too large for wire field in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SlpError {}
+
+/// Convenience alias for SLP results.
+pub type SlpResult<T> = Result<T, SlpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errors = [
+            SlpError::Truncated { context: "header" },
+            SlpError::BadVersion(1),
+            SlpError::UnknownFunction(99),
+            SlpError::LengthMismatch { declared: 10, actual: 5 },
+            SlpError::BadString,
+            SlpError::BadServiceUrl("x".into()),
+            SlpError::BadAttributeList("y".into()),
+            SlpError::BadFilter("z".into()),
+            SlpError::Remote(ErrorCode::ScopeNotSupported),
+            SlpError::FieldOverflow { context: "url" },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! LDAPv3 search filters (RFC 2254 subset) used as SLP predicates
+//! (RFC 2608 §8.1).
+//!
+//! Supported: conjunction `(&...)`, disjunction `(|...)`, negation `(!...)`,
+//! equality `(a=v)`, presence `(a=*)`, substring `(a=pre*mid*post)`, and
+//! ordering `(a>=v)` / `(a<=v)` (numeric when both sides parse as integers,
+//! otherwise case-insensitive string order).
+
+use std::fmt;
+
+use crate::attrs::AttributeList;
+use crate::error::{SlpError, SlpResult};
+
+/// A parsed predicate filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Filter {
+    /// All sub-filters must match.
+    And(Vec<Filter>),
+    /// At least one sub-filter must match.
+    Or(Vec<Filter>),
+    /// The sub-filter must not match.
+    Not(Box<Filter>),
+    /// Attribute present (any value, or as a keyword).
+    Present(String),
+    /// Attribute equals value (case-insensitive).
+    Equal(String, String),
+    /// Attribute matches a `*`-wildcard pattern.
+    Substring(String, Vec<String>),
+    /// Attribute ≥ value.
+    GreaterEq(String, String),
+    /// Attribute ≤ value.
+    LessEq(String, String),
+}
+
+impl Filter {
+    /// Parses a filter string. The empty string parses as a match-all
+    /// conjunction, per SLP's "empty predicate matches everything".
+    ///
+    /// # Errors
+    ///
+    /// [`SlpError::BadFilter`] on syntax errors.
+    pub fn parse(s: &str) -> SlpResult<Filter> {
+        let trimmed = s.trim();
+        if trimmed.is_empty() {
+            return Ok(Filter::And(Vec::new()));
+        }
+        let mut p = Parser { input: trimmed, pos: 0 };
+        let f = p.parse_filter()?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(f)
+    }
+
+    /// Evaluates the filter against an attribute list.
+    pub fn matches(&self, attrs: &AttributeList) -> bool {
+        match self {
+            Filter::And(fs) => fs.iter().all(|f| f.matches(attrs)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(attrs)),
+            Filter::Not(f) => !f.matches(attrs),
+            Filter::Present(tag) => attrs.contains_tag(tag),
+            Filter::Equal(tag, value) => attrs
+                .get_all(tag)
+                .iter()
+                .any(|v| v.eq_ignore_ascii_case(value)),
+            Filter::Substring(tag, parts) => {
+                attrs.get_all(tag).iter().any(|v| wildcard_match(parts, v))
+            }
+            Filter::GreaterEq(tag, value) => {
+                attrs.get_all(tag).iter().any(|v| compare(v, value) >= std::cmp::Ordering::Equal)
+            }
+            Filter::LessEq(tag, value) => {
+                attrs.get_all(tag).iter().any(|v| compare(v, value) <= std::cmp::Ordering::Equal)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Filter::And(fs) => {
+                write!(f, "(&")?;
+                for sub in fs {
+                    write!(f, "{sub}")?;
+                }
+                write!(f, ")")
+            }
+            Filter::Or(fs) => {
+                write!(f, "(|")?;
+                for sub in fs {
+                    write!(f, "{sub}")?;
+                }
+                write!(f, ")")
+            }
+            Filter::Not(sub) => write!(f, "(!{sub})"),
+            Filter::Present(tag) => write!(f, "({tag}=*)"),
+            Filter::Equal(tag, v) => write!(f, "({tag}={v})"),
+            Filter::Substring(tag, parts) => {
+                write!(f, "({tag}={})", parts.join("*"))
+            }
+            Filter::GreaterEq(tag, v) => write!(f, "({tag}>={v})"),
+            Filter::LessEq(tag, v) => write!(f, "({tag}<={v})"),
+        }
+    }
+}
+
+/// Compares numerically when both sides are integers, else
+/// case-insensitively as strings.
+fn compare(a: &str, b: &str) -> std::cmp::Ordering {
+    match (a.trim().parse::<i64>(), b.trim().parse::<i64>()) {
+        (Ok(x), Ok(y)) => x.cmp(&y),
+        _ => a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase()),
+    }
+}
+
+/// Matches `v` against wildcard parts (the text between `*`s; empty first/
+/// last parts anchor the pattern ends as wildcards).
+fn wildcard_match(parts: &[String], v: &str) -> bool {
+    let v = v.to_ascii_lowercase();
+    let mut pos = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        let part = part.to_ascii_lowercase();
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !v.starts_with(&part) {
+                return false;
+            }
+            pos = part.len();
+        } else if i == parts.len() - 1 {
+            return v.len() >= pos && v[pos..].ends_with(&part);
+        } else {
+            match v[pos..].find(&part) {
+                Some(found) => pos += found + part.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> SlpError {
+        SlpError::BadFilter(format!("{what} at offset {} in {:?}", self.pos, self.input))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.input[self.pos..].starts_with(char::is_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> SlpResult<()> {
+        if self.input[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {c:?}")))
+        }
+    }
+
+    fn parse_filter(&mut self) -> SlpResult<Filter> {
+        self.skip_ws();
+        self.expect('(')?;
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let filter = if rest.starts_with('&') {
+            self.pos += 1;
+            Filter::And(self.parse_list()?)
+        } else if rest.starts_with('|') {
+            self.pos += 1;
+            Filter::Or(self.parse_list()?)
+        } else if rest.starts_with('!') {
+            self.pos += 1;
+            Filter::Not(Box::new(self.parse_filter()?))
+        } else {
+            self.parse_comparison()?
+        };
+        self.skip_ws();
+        self.expect(')')?;
+        Ok(filter)
+    }
+
+    fn parse_list(&mut self) -> SlpResult<Vec<Filter>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with('(') {
+                out.push(self.parse_filter()?);
+            } else {
+                break;
+            }
+        }
+        if out.is_empty() {
+            return Err(self.err("empty filter list"));
+        }
+        Ok(out)
+    }
+
+    fn parse_comparison(&mut self) -> SlpResult<Filter> {
+        let rest = &self.input[self.pos..];
+        let end = rest.find(')').ok_or_else(|| self.err("unterminated comparison"))?;
+        let body = &rest[..end];
+        self.pos += end; // leave ')' for the caller
+
+        let (tag, op, value) = if let Some(i) = body.find(">=") {
+            (&body[..i], ">=", &body[i + 2..])
+        } else if let Some(i) = body.find("<=") {
+            (&body[..i], "<=", &body[i + 2..])
+        } else if let Some(i) = body.find('=') {
+            (&body[..i], "=", &body[i + 1..])
+        } else {
+            return Err(self.err("comparison has no operator"));
+        };
+        let tag = tag.trim();
+        if tag.is_empty() {
+            return Err(self.err("empty attribute tag"));
+        }
+        let value = value.trim();
+        Ok(match op {
+            ">=" => Filter::GreaterEq(tag.to_owned(), value.to_owned()),
+            "<=" => Filter::LessEq(tag.to_owned(), value.to_owned()),
+            _ => {
+                if value == "*" {
+                    Filter::Present(tag.to_owned())
+                } else if value.contains('*') {
+                    Filter::Substring(
+                        tag.to_owned(),
+                        value.split('*').map(str::to_owned).collect(),
+                    )
+                } else {
+                    Filter::Equal(tag.to_owned(), value.to_owned())
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(s: &str) -> AttributeList {
+        AttributeList::parse(s).unwrap()
+    }
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        let f = Filter::parse("").unwrap();
+        assert!(f.matches(&attrs("")));
+        assert!(f.matches(&attrs("(a=1)")));
+    }
+
+    #[test]
+    fn equality_is_case_insensitive() {
+        let f = Filter::parse("(location=Office)").unwrap();
+        assert!(f.matches(&attrs("(LOCATION=office)")));
+        assert!(!f.matches(&attrs("(location=lab)")));
+    }
+
+    #[test]
+    fn presence_matches_values_and_keywords() {
+        let f = Filter::parse("(color=*)").unwrap();
+        assert!(f.matches(&attrs("(color=red)")));
+        assert!(f.matches(&attrs("(color)")));
+        assert!(!f.matches(&attrs("(mono)")));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let f = Filter::parse("(&(a=1)(|(b=2)(b=3))(!(c=4)))").unwrap();
+        assert!(f.matches(&attrs("(a=1),(b=3)")));
+        assert!(!f.matches(&attrs("(a=1),(b=9)")));
+        assert!(!f.matches(&attrs("(a=1),(b=2),(c=4)")));
+    }
+
+    #[test]
+    fn numeric_ordering() {
+        let f = Filter::parse("(&(ppm>=10)(ppm<=20))").unwrap();
+        assert!(f.matches(&attrs("(ppm=12)")));
+        assert!(!f.matches(&attrs("(ppm=9)")));
+        assert!(!f.matches(&attrs("(ppm=21)")));
+        // "9" < "12" numerically even though "9" > "12" lexically.
+        assert!(Filter::parse("(ppm>=9)").unwrap().matches(&attrs("(ppm=12)")));
+    }
+
+    #[test]
+    fn string_ordering_when_not_numeric() {
+        let f = Filter::parse("(name>=m)").unwrap();
+        assert!(f.matches(&attrs("(name=printer)")));
+        assert!(!f.matches(&attrs("(name=clock)")));
+    }
+
+    #[test]
+    fn substring_patterns() {
+        let f = Filter::parse("(model=Cyber*Clock*)").unwrap();
+        assert!(f.matches(&attrs("(model=CyberGarage Clock Device)")));
+        assert!(!f.matches(&attrs("(model=Garage Clock)")));
+        let suffix = Filter::parse("(file=*.xml)").unwrap();
+        assert!(suffix.matches(&attrs("(file=description.xml)")));
+        assert!(!suffix.matches(&attrs("(file=description.txt)")));
+    }
+
+    #[test]
+    fn multivalued_attributes_match_any() {
+        let f = Filter::parse("(scope=b)").unwrap();
+        assert!(f.matches(&attrs("(scope=a,b,c)")));
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in [
+            "(a=1)",
+            "(a=*)",
+            "(a=x*y)",
+            "(a>=5)",
+            "(a<=5)",
+            "(!(a=1))",
+            "(&(a=1)(b=2))",
+            "(|(a=1)(b=2))",
+        ] {
+            let f = Filter::parse(s).unwrap();
+            assert_eq!(Filter::parse(&f.to_string()).unwrap(), f, "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in ["(", "(a=1", "a=1", "(&)", "(a)", "(=x)", "(a=1))"] {
+            assert!(Filter::parse(s).is_err(), "{s} should fail");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the SLP wire codec, URL grammar, attribute
+//! lists and predicate filters.
+
+use proptest::prelude::*;
+
+use indiss_slp::{
+    Attribute, AttributeList, Body, Filter, Header, Message, ServiceType, ServiceUrl,
+    SrvAck, SrvRply, SrvRqst, UrlEntry,
+};
+
+/// A string valid inside SLP's length-prefixed fields and free of the
+/// list/structure metacharacters of the textual grammars.
+fn slp_token() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9][a-zA-Z0-9_.-]{0,30}"
+}
+
+fn arb_url_entry() -> impl Strategy<Value = UrlEntry> {
+    (slp_token(), slp_token(), 1u16..=u16::MAX).prop_map(|(ty, host, lifetime)| {
+        UrlEntry::new(format!("service:{ty}://{host}"), lifetime)
+    })
+}
+
+proptest! {
+    /// Every SrvRqst round-trips through the binary codec.
+    #[test]
+    fn srv_rqst_roundtrips(
+        prlist in slp_token(),
+        ty in slp_token(),
+        scopes in slp_token(),
+        xid in any::<u16>(),
+    ) {
+        let msg = Message::new(
+            Header::new(indiss_slp::FunctionId::SrvRqst, xid, "en"),
+            Body::SrvRqst(SrvRqst {
+                prlist,
+                service_type: format!("service:{ty}"),
+                scopes,
+                predicate: String::new(),
+                spi: String::new(),
+            }),
+        );
+        let wire = msg.encode().unwrap();
+        prop_assert_eq!(Message::decode(&wire).unwrap(), msg);
+    }
+
+    /// SrvRply with arbitrary URL entry sets round-trips.
+    #[test]
+    fn srv_rply_roundtrips(
+        urls in proptest::collection::vec(arb_url_entry(), 0..8),
+        error in any::<u16>(),
+        xid in any::<u16>(),
+    ) {
+        let msg = Message::new(
+            Header::new(indiss_slp::FunctionId::SrvRply, xid, "en"),
+            Body::SrvRply(SrvRply { error, urls }),
+        );
+        let wire = msg.encode().unwrap();
+        prop_assert_eq!(Message::decode(&wire).unwrap(), msg);
+    }
+
+    /// The decoder never panics on arbitrary bytes — it returns an error
+    /// or a message, but must not crash or loop.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Decoding a truncation of a valid message never panics and never
+    /// yields a message (the length field must catch it).
+    #[test]
+    fn truncations_are_rejected(
+        xid in any::<u16>(),
+        cut in 1usize..16,
+    ) {
+        let msg = Message::new(
+            Header::new(indiss_slp::FunctionId::SrvAck, xid, "en"),
+            Body::SrvAck(SrvAck { error: 0 }),
+        );
+        let wire = msg.encode().unwrap();
+        let cut = cut.min(wire.len());
+        prop_assert!(Message::decode(&wire[..wire.len() - cut]).is_err());
+    }
+
+    /// Service URLs render and re-parse to the same value.
+    #[test]
+    fn service_urls_roundtrip(
+        ty in slp_token(),
+        concrete in proptest::option::of(slp_token()),
+        host in slp_token(),
+        port in proptest::option::of(1u16..=u16::MAX),
+        path in proptest::option::of("[a-z0-9/]{1,20}"),
+    ) {
+        let t = match concrete {
+            Some(c) => ServiceType::with_concrete(&ty, &c),
+            None => ServiceType::simple(&ty),
+        };
+        let url = ServiceUrl::new(t, &host, port, &path.map(|p| format!("/{p}")).unwrap_or_default());
+        let text = url.to_string();
+        prop_assert_eq!(ServiceUrl::parse(&text).unwrap(), url);
+    }
+
+    /// Attribute lists render and re-parse to the same value, including
+    /// values with reserved characters (escaped on the wire).
+    #[test]
+    fn attribute_lists_roundtrip(
+        attrs in proptest::collection::vec(
+            (slp_token(), proptest::collection::vec("[ -~&&[^\\\\]]{1,12}", 0..3)),
+            0..6
+        ),
+    ) {
+        let list: AttributeList = attrs
+            .into_iter()
+            .map(|(tag, values)| Attribute {
+                tag,
+                values: values.into_iter().map(|v| v.trim().to_owned())
+                    .filter(|v| !v.is_empty())
+                    .collect(),
+            })
+            .collect();
+        let text = list.to_string();
+        let back = AttributeList::parse(&text).unwrap();
+        prop_assert_eq!(back.len(), list.len());
+        for attr in list.iter() {
+            if attr.values.is_empty() {
+                prop_assert!(back.has_keyword(&attr.tag));
+            } else {
+                prop_assert_eq!(
+                    back.get_all(&attr.tag).len(),
+                    list.get_all(&attr.tag).len()
+                );
+            }
+        }
+    }
+
+    /// Filter parsing is total (never panics) on printable input.
+    #[test]
+    fn filter_parse_is_total(s in "[ -~]{0,64}") {
+        let _ = Filter::parse(&s);
+    }
+
+    /// Parsed filters render to text that re-parses to the same filter.
+    #[test]
+    fn filters_roundtrip(
+        tag in slp_token(),
+        value in slp_token(),
+    ) {
+        for text in [
+            format!("({tag}={value})"),
+            format!("({tag}=*)"),
+            format!("({tag}>={value})"),
+            format!("(&({tag}={value})(!({tag}=zzz)))"),
+        ] {
+            let f = Filter::parse(&text).unwrap();
+            prop_assert_eq!(Filter::parse(&f.to_string()).unwrap(), f);
+        }
+    }
+
+    /// Equality filters match exactly the lists that contain the value.
+    #[test]
+    fn equality_semantics(tag in slp_token(), value in slp_token(), other in slp_token()) {
+        prop_assume!(!value.eq_ignore_ascii_case(&other));
+        let f = Filter::parse(&format!("({tag}={value})")).unwrap();
+        let matching = AttributeList::parse(&format!("({tag}={value})")).unwrap();
+        let nonmatching = AttributeList::parse(&format!("({tag}={other})")).unwrap();
+        prop_assert!(f.matches(&matching));
+        prop_assert!(!f.matches(&nonmatching));
+    }
+}

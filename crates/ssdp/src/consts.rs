@@ -1,0 +1,19 @@
+//! SSDP constants (UPnP Device Architecture 1.0).
+
+use std::net::Ipv4Addr;
+
+/// IANA-assigned SSDP port.
+pub const SSDP_PORT: u16 = 1900;
+
+/// Administratively scoped SSDP multicast group.
+pub const SSDP_MULTICAST_GROUP: Ipv4Addr = Ipv4Addr::new(239, 255, 255, 250);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_is_multicast() {
+        assert!(SSDP_MULTICAST_GROUP.is_multicast());
+    }
+}

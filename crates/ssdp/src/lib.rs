@@ -1,0 +1,75 @@
+//! # indiss-ssdp — Simple Service Discovery Protocol
+//!
+//! SSDP is the discovery layer of UPnP: HTTPU messages on multicast group
+//! `239.255.255.250:1900`. Three message kinds matter for the INDISS
+//! paper's scenarios:
+//!
+//! * `M-SEARCH` — a control point's *active* search (Fig. 4 step 1 shows
+//!   the exact M-SEARCH the INDISS UPnP unit composes from SLP events);
+//! * `NOTIFY` with `NTS: ssdp:alive` / `ssdp:byebye` — a device's
+//!   *passive* advertisement;
+//! * the `HTTP/1.1 200 OK` search response carrying `LOCATION:`, the URL
+//!   of the device description the UPnP unit must then GET (§2.4).
+//!
+//! ```
+//! use indiss_ssdp::{MSearch, SearchTarget, SsdpMessage};
+//!
+//! let search = MSearch::new(SearchTarget::device_urn("clock", 1), 0);
+//! let wire = search.to_bytes();
+//! match SsdpMessage::parse(&wire)? {
+//!     SsdpMessage::MSearch(m) => assert_eq!(m.mx, 0),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! # Ok::<(), indiss_ssdp::SsdpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod consts;
+mod message;
+
+pub use consts::{SSDP_MULTICAST_GROUP, SSDP_PORT};
+pub use message::{MSearch, Notify, NotifySubType, SearchResponse, SearchTarget, SsdpMessage};
+
+use std::fmt;
+
+/// Errors from parsing SSDP messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SsdpError {
+    /// The datagram is not valid HTTPU.
+    Http(indiss_http::HttpError),
+    /// The HTTP message is valid but not a recognizable SSDP message.
+    NotSsdp(&'static str),
+    /// A required header is missing.
+    MissingHeader(&'static str),
+}
+
+impl fmt::Display for SsdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdpError::Http(e) => write!(f, "invalid httpu: {e}"),
+            SsdpError::NotSsdp(why) => write!(f, "not an ssdp message: {why}"),
+            SsdpError::MissingHeader(h) => write!(f, "missing required header {h}"),
+        }
+    }
+}
+
+impl std::error::Error for SsdpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SsdpError::Http(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<indiss_http::HttpError> for SsdpError {
+    fn from(e: indiss_http::HttpError) -> Self {
+        SsdpError::Http(e)
+    }
+}
+
+/// Convenience alias for SSDP results.
+pub type SsdpResult<T> = Result<T, SsdpError>;

@@ -1,0 +1,476 @@
+//! SSDP message types over HTTPU.
+
+use std::fmt;
+use std::str::FromStr;
+
+use indiss_http::{Headers, Method, Request, Response};
+
+use crate::{SsdpError, SsdpResult, SSDP_MULTICAST_GROUP, SSDP_PORT};
+
+/// An SSDP search target (`ST:`) or notification type (`NT:`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SearchTarget {
+    /// `ssdp:all` — everything.
+    All,
+    /// `upnp:rootdevice` — root devices only.
+    RootDevice,
+    /// `uuid:<device-uuid>` — one specific device.
+    Uuid(String),
+    /// `urn:schemas-upnp-org:device:<type>:<version>`.
+    DeviceType {
+        /// Device type name, e.g. `clock`.
+        name: String,
+        /// Type version.
+        version: u32,
+    },
+    /// `urn:schemas-upnp-org:service:<type>:<version>`.
+    ServiceType {
+        /// Service type name, e.g. `timer`.
+        name: String,
+        /// Type version.
+        version: u32,
+    },
+    /// Anything else (vendor-defined targets like the paper's `upnp:clock`).
+    Custom(String),
+}
+
+impl SearchTarget {
+    /// Builds a standard device-type URN target.
+    pub fn device_urn(name: &str, version: u32) -> Self {
+        SearchTarget::DeviceType { name: name.to_owned(), version }
+    }
+
+    /// Builds a standard service-type URN target.
+    pub fn service_urn(name: &str, version: u32) -> Self {
+        SearchTarget::ServiceType { name: name.to_owned(), version }
+    }
+
+    /// True when an offered target (a device's `NT`/`ST` value) satisfies a
+    /// search for `self`. `ssdp:all` matches everything; URN targets match
+    /// when name matches and the offered version is at least the requested
+    /// one (UPnP-DA backward compatibility rule).
+    pub fn matches(&self, offered: &SearchTarget) -> bool {
+        match (self, offered) {
+            (SearchTarget::All, _) => true,
+            (SearchTarget::RootDevice, SearchTarget::RootDevice) => true,
+            (SearchTarget::Uuid(a), SearchTarget::Uuid(b)) => a == b,
+            (
+                SearchTarget::DeviceType { name: a, version: va },
+                SearchTarget::DeviceType { name: b, version: vb },
+            ) => a.eq_ignore_ascii_case(b) && vb >= va,
+            (
+                SearchTarget::ServiceType { name: a, version: va },
+                SearchTarget::ServiceType { name: b, version: vb },
+            ) => a.eq_ignore_ascii_case(b) && vb >= va,
+            (SearchTarget::Custom(a), SearchTarget::Custom(b)) => a.eq_ignore_ascii_case(b),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for SearchTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchTarget::All => f.write_str("ssdp:all"),
+            SearchTarget::RootDevice => f.write_str("upnp:rootdevice"),
+            SearchTarget::Uuid(u) => write!(f, "uuid:{u}"),
+            SearchTarget::DeviceType { name, version } => {
+                write!(f, "urn:schemas-upnp-org:device:{name}:{version}")
+            }
+            SearchTarget::ServiceType { name, version } => {
+                write!(f, "urn:schemas-upnp-org:service:{name}:{version}")
+            }
+            SearchTarget::Custom(s) => f.write_str(s),
+        }
+    }
+}
+
+impl FromStr for SearchTarget {
+    type Err = SsdpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("ssdp:all") {
+            return Ok(SearchTarget::All);
+        }
+        if s.eq_ignore_ascii_case("upnp:rootdevice") {
+            return Ok(SearchTarget::RootDevice);
+        }
+        if let Some(u) = s.strip_prefix("uuid:") {
+            return Ok(SearchTarget::Uuid(u.to_owned()));
+        }
+        for (prefix, is_device) in [
+            ("urn:schemas-upnp-org:device:", true),
+            ("urn:schemas-upnp-org:service:", false),
+        ] {
+            if let Some(rest) = s.strip_prefix(prefix) {
+                if let Some((name, ver)) = rest.rsplit_once(':') {
+                    if let Ok(version) = ver.parse::<u32>() {
+                        return Ok(if is_device {
+                            SearchTarget::DeviceType { name: name.to_owned(), version }
+                        } else {
+                            SearchTarget::ServiceType { name: name.to_owned(), version }
+                        });
+                    }
+                }
+                // URN without a version (the paper's own M-SEARCH omits it).
+                return Ok(if is_device {
+                    SearchTarget::DeviceType { name: rest.to_owned(), version: 1 }
+                } else {
+                    SearchTarget::ServiceType { name: rest.to_owned(), version: 1 }
+                });
+            }
+        }
+        Ok(SearchTarget::Custom(s.to_owned()))
+    }
+}
+
+/// An `M-SEARCH` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MSearch {
+    /// What is being searched for.
+    pub st: SearchTarget,
+    /// Maximum response delay in seconds (devices jitter replies in
+    /// `[0, MX]`); the paper's Fig. 4 uses `MX: 0` for minimum latency.
+    pub mx: u8,
+}
+
+impl MSearch {
+    /// Creates a search request.
+    pub fn new(st: SearchTarget, mx: u8) -> Self {
+        MSearch { st, mx }
+    }
+
+    /// Serializes to HTTPU bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut req = Request::new(Method::MSearch, "*");
+        req.headers.append("HOST", format!("{SSDP_MULTICAST_GROUP}:{SSDP_PORT}"));
+        req.headers.append("MAN", "\"ssdp:discover\"");
+        req.headers.append("MX", self.mx.to_string());
+        req.headers.append("ST", self.st.to_string());
+        req.serialize()
+    }
+}
+
+/// `NOTIFY` sub-type (`NTS:` header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NotifySubType {
+    /// `ssdp:alive` — the device (still) exists.
+    Alive,
+    /// `ssdp:byebye` — the device is leaving.
+    ByeBye,
+    /// `ssdp:update` — configuration changed.
+    Update,
+}
+
+impl fmt::Display for NotifySubType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NotifySubType::Alive => "ssdp:alive",
+            NotifySubType::ByeBye => "ssdp:byebye",
+            NotifySubType::Update => "ssdp:update",
+        })
+    }
+}
+
+/// A `NOTIFY` advertisement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notify {
+    /// Notification type.
+    pub nt: SearchTarget,
+    /// Alive / byebye / update.
+    pub nts: NotifySubType,
+    /// Unique service name, typically `uuid:<id>::<nt>`.
+    pub usn: String,
+    /// Description URL (absent on byebye).
+    pub location: Option<String>,
+    /// Server banner.
+    pub server: String,
+    /// Advertisement validity in seconds (`CACHE-CONTROL: max-age=`).
+    pub max_age: u32,
+}
+
+impl Notify {
+    /// Serializes to HTTPU bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut req = Request::new(Method::Notify, "*");
+        req.headers.append("HOST", format!("{SSDP_MULTICAST_GROUP}:{SSDP_PORT}"));
+        req.headers.append("NT", self.nt.to_string());
+        req.headers.append("NTS", self.nts.to_string());
+        req.headers.append("USN", self.usn.clone());
+        if let Some(loc) = &self.location {
+            req.headers.append("LOCATION", loc.clone());
+        }
+        if !self.server.is_empty() {
+            req.headers.append("SERVER", self.server.clone());
+        }
+        req.headers.append("CACHE-CONTROL", format!("max-age={}", self.max_age));
+        req.serialize()
+    }
+}
+
+/// A unicast `200 OK` answer to an `M-SEARCH`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResponse {
+    /// Echo of the search target.
+    pub st: SearchTarget,
+    /// Unique service name.
+    pub usn: String,
+    /// Description document URL.
+    pub location: String,
+    /// Server banner (the paper shows `UPnP/1.0 CyberLink/1.3.2`).
+    pub server: String,
+    /// Validity in seconds.
+    pub max_age: u32,
+}
+
+impl SearchResponse {
+    /// Serializes to HTTPU bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut resp = Response::ok();
+        resp.headers.append("CACHE-CONTROL", format!("max-age={}", self.max_age));
+        resp.headers.append("EXT", "");
+        resp.headers.append("ST", self.st.to_string());
+        resp.headers.append("USN", self.usn.clone());
+        resp.headers.append("LOCATION", self.location.clone());
+        if !self.server.is_empty() {
+            resp.headers.append("SERVER", self.server.clone());
+        }
+        resp.serialize()
+    }
+}
+
+/// Any SSDP message, as classified by [`SsdpMessage::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsdpMessage {
+    /// An `M-SEARCH` request.
+    MSearch(MSearch),
+    /// A `NOTIFY` advertisement.
+    Notify(Notify),
+    /// A search response.
+    Response(SearchResponse),
+}
+
+impl SsdpMessage {
+    /// Parses a datagram into an SSDP message.
+    ///
+    /// # Errors
+    ///
+    /// [`SsdpError::Http`] when the datagram is not HTTPU at all;
+    /// [`SsdpError::NotSsdp`] / [`SsdpError::MissingHeader`] when it is
+    /// HTTP but not a valid SSDP message.
+    pub fn parse(input: &[u8]) -> SsdpResult<SsdpMessage> {
+        if input.starts_with(b"HTTP/") {
+            let resp = Response::parse(input)?;
+            if !resp.is_success() {
+                return Err(SsdpError::NotSsdp("non-200 response"));
+            }
+            let st: SearchTarget =
+                resp.headers.get("st").ok_or(SsdpError::MissingHeader("ST"))?.parse()?;
+            let usn = resp.headers.get("usn").unwrap_or_default().to_owned();
+            let location = resp
+                .headers
+                .get("location")
+                .ok_or(SsdpError::MissingHeader("LOCATION"))?
+                .to_owned();
+            let server = resp.headers.get("server").unwrap_or_default().to_owned();
+            let max_age = parse_max_age(&resp.headers);
+            return Ok(SsdpMessage::Response(SearchResponse {
+                st,
+                usn,
+                location,
+                server,
+                max_age,
+            }));
+        }
+        let req = Request::parse(input)?;
+        match req.method {
+            Method::MSearch => {
+                let man = req.headers.get("man").unwrap_or_default();
+                if !man.contains("ssdp:discover") {
+                    return Err(SsdpError::NotSsdp("M-SEARCH without ssdp:discover MAN"));
+                }
+                let st: SearchTarget =
+                    req.headers.get("st").ok_or(SsdpError::MissingHeader("ST"))?.parse()?;
+                let mx = req
+                    .headers
+                    .get("mx")
+                    .and_then(|v| v.trim().parse::<u8>().ok())
+                    .unwrap_or(1);
+                Ok(SsdpMessage::MSearch(MSearch { st, mx }))
+            }
+            Method::Notify => {
+                let nt: SearchTarget =
+                    req.headers.get("nt").ok_or(SsdpError::MissingHeader("NT"))?.parse()?;
+                let nts = match req.headers.get("nts") {
+                    Some(v) if v.eq_ignore_ascii_case("ssdp:alive") => NotifySubType::Alive,
+                    Some(v) if v.eq_ignore_ascii_case("ssdp:byebye") => NotifySubType::ByeBye,
+                    Some(v) if v.eq_ignore_ascii_case("ssdp:update") => NotifySubType::Update,
+                    Some(_) => return Err(SsdpError::NotSsdp("unknown NTS value")),
+                    None => return Err(SsdpError::MissingHeader("NTS")),
+                };
+                Ok(SsdpMessage::Notify(Notify {
+                    nt,
+                    nts,
+                    usn: req.headers.get("usn").unwrap_or_default().to_owned(),
+                    location: req.headers.get("location").map(str::to_owned),
+                    server: req.headers.get("server").unwrap_or_default().to_owned(),
+                    max_age: parse_max_age(&req.headers),
+                }))
+            }
+            _ => Err(SsdpError::NotSsdp("unexpected method")),
+        }
+    }
+}
+
+fn parse_max_age(headers: &Headers) -> u32 {
+    headers
+        .get("cache-control")
+        .and_then(|v| {
+            v.split(',')
+                .filter_map(|p| p.trim().strip_prefix("max-age="))
+                .next()
+                .and_then(|n| n.trim().parse().ok())
+        })
+        .unwrap_or(1800)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msearch_roundtrip() {
+        let m = MSearch::new(SearchTarget::device_urn("clock", 1), 0);
+        match SsdpMessage::parse(&m.to_bytes()).unwrap() {
+            SsdpMessage::MSearch(back) => assert_eq!(back, m),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn notify_alive_roundtrip() {
+        let n = Notify {
+            nt: SearchTarget::RootDevice,
+            nts: NotifySubType::Alive,
+            usn: "uuid:ClockDevice::upnp:rootdevice".into(),
+            location: Some("http://10.0.0.2:4004/description.xml".into()),
+            server: "UPnP/1.0 indiss/0.1".into(),
+            max_age: 1800,
+        };
+        match SsdpMessage::parse(&n.to_bytes()).unwrap() {
+            SsdpMessage::Notify(back) => assert_eq!(back, n),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byebye_without_location() {
+        let n = Notify {
+            nt: SearchTarget::device_urn("clock", 1),
+            nts: NotifySubType::ByeBye,
+            usn: "uuid:x::urn".into(),
+            location: None,
+            server: String::new(),
+            max_age: 0,
+        };
+        match SsdpMessage::parse(&n.to_bytes()).unwrap() {
+            SsdpMessage::Notify(back) => {
+                assert_eq!(back.nts, NotifySubType::ByeBye);
+                assert_eq!(back.location, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_response_roundtrip() {
+        let r = SearchResponse {
+            st: SearchTarget::Custom("upnp:clock".into()),
+            usn: "uuid:ClockDevice::upnp:clock".into(),
+            location: "http://128.93.8.112:4004/description.xml".into(),
+            server: "UPnP/1.0 CyberLink/1.3.2".into(),
+            max_age: 1800,
+        };
+        match SsdpMessage::parse(&r.to_bytes()).unwrap() {
+            SsdpMessage::Response(back) => assert_eq!(back, r),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn target_parsing_variants() {
+        assert_eq!("ssdp:all".parse::<SearchTarget>().unwrap(), SearchTarget::All);
+        assert_eq!(
+            "upnp:rootdevice".parse::<SearchTarget>().unwrap(),
+            SearchTarget::RootDevice
+        );
+        assert_eq!(
+            "uuid:abc".parse::<SearchTarget>().unwrap(),
+            SearchTarget::Uuid("abc".into())
+        );
+        assert_eq!(
+            "urn:schemas-upnp-org:device:clock:2".parse::<SearchTarget>().unwrap(),
+            SearchTarget::device_urn("clock", 2)
+        );
+        assert_eq!(
+            "urn:schemas-upnp-org:service:timer:1".parse::<SearchTarget>().unwrap(),
+            SearchTarget::service_urn("timer", 1)
+        );
+        // The paper's unversioned URN defaults to version 1.
+        assert_eq!(
+            "urn:schemas-upnp-org:device:clock".parse::<SearchTarget>().unwrap(),
+            SearchTarget::device_urn("clock", 1)
+        );
+        assert_eq!(
+            "upnp:clock".parse::<SearchTarget>().unwrap(),
+            SearchTarget::Custom("upnp:clock".into())
+        );
+    }
+
+    #[test]
+    fn target_matching_rules() {
+        let all = SearchTarget::All;
+        let clock1 = SearchTarget::device_urn("clock", 1);
+        let clock2 = SearchTarget::device_urn("clock", 2);
+        let printer = SearchTarget::device_urn("printer", 1);
+        assert!(all.matches(&clock1));
+        assert!(clock1.matches(&clock2), "newer version satisfies older search");
+        assert!(!clock2.matches(&clock1), "older version does not satisfy newer search");
+        assert!(!clock1.matches(&printer));
+        assert!(!clock1.matches(&SearchTarget::service_urn("clock", 1)));
+    }
+
+    #[test]
+    fn msearch_requires_man_header() {
+        let mut req = indiss_http::Request::new(indiss_http::Method::MSearch, "*");
+        req.headers.append("ST", "ssdp:all");
+        assert!(matches!(
+            SsdpMessage::parse(&req.serialize()),
+            Err(SsdpError::NotSsdp(_))
+        ));
+    }
+
+    #[test]
+    fn missing_st_is_rejected() {
+        let mut req = indiss_http::Request::new(indiss_http::Method::MSearch, "*");
+        req.headers.append("MAN", "\"ssdp:discover\"");
+        assert!(matches!(
+            SsdpMessage::parse(&req.serialize()),
+            Err(SsdpError::MissingHeader("ST"))
+        ));
+    }
+
+    #[test]
+    fn garbage_is_http_error() {
+        assert!(matches!(SsdpMessage::parse(b"\x02\x01junk"), Err(SsdpError::Http(_))));
+    }
+
+    #[test]
+    fn max_age_parsing_defaults() {
+        let mut h = Headers::new();
+        assert_eq!(parse_max_age(&h), 1800);
+        h.insert("Cache-Control", "no-cache, max-age=60");
+        assert_eq!(parse_max_age(&h), 60);
+    }
+}

@@ -1,0 +1,120 @@
+//! The paper's running example: a CyberGarage-style UPnP clock device.
+//!
+//! §2.4 and Fig. 4 of the INDISS paper use a clock device hosted by the
+//! Cyberlink for Java stack. This module reproduces it: same description
+//! fields (`CyberGarage Clock Device`, `CyberUPnP Clock Device`, model
+//! `Clock` 1.0), a `timer` service at `/service/timer/control`, and a
+//! `GetTime` SOAP action that reports the simulation clock.
+
+use indiss_net::{NetResult, Node};
+
+use crate::description::{DeviceDescription, ServiceDescription};
+use crate::device::{UpnpConfig, UpnpDevice};
+use crate::soap::SoapResponse;
+
+/// Service type URN of the clock's timer service.
+pub const TIMER_SERVICE: &str = "urn:schemas-upnp-org:service:timer:1";
+
+/// Device type URN of the clock.
+pub const CLOCK_DEVICE_TYPE: &str = "urn:schemas-upnp-org:device:clock:1";
+
+/// A running clock device (thin wrapper over [`UpnpDevice`]).
+#[derive(Clone)]
+pub struct ClockDevice {
+    device: UpnpDevice,
+}
+
+impl ClockDevice {
+    /// Starts the clock on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Network errors from the underlying [`UpnpDevice::start`].
+    pub fn start(node: &Node, config: UpnpConfig) -> NetResult<ClockDevice> {
+        let device = UpnpDevice::start(node, Self::description_for(node), config)?;
+        device.register_action(TIMER_SERVICE, "GetTime", |world, _call| {
+            let total_secs = world.now().as_secs_f64() as u64;
+            let (h, m, s) = (total_secs / 3600 % 24, total_secs / 60 % 60, total_secs % 60);
+            SoapResponse::new("GetTime", TIMER_SERVICE)
+                .with_arg("CurrentTime", &format!("{h:02}:{m:02}:{s:02}"))
+        });
+        Ok(ClockDevice { device })
+    }
+
+    /// The paper's clock description, parameterized by host address so the
+    /// UDN stays unique when several clocks run in one world.
+    pub fn description_for(node: &Node) -> DeviceDescription {
+        DeviceDescription {
+            device_type: CLOCK_DEVICE_TYPE.to_owned(),
+            friendly_name: "CyberGarage Clock Device".to_owned(),
+            manufacturer: "CyberGarage".to_owned(),
+            manufacturer_url: "http://www.cybergarage.org".to_owned(),
+            model_description: "CyberUPnP Clock Device".to_owned(),
+            model_name: "Clock".to_owned(),
+            model_number: "1.0".to_owned(),
+            model_url: "http://www.cybergarage.org".to_owned(),
+            udn: format!("uuid:ClockDevice-{}", node.addr()),
+            services: vec![ServiceDescription::conventional("timer", 1)],
+        }
+    }
+
+    /// The underlying device (for shutdown, location, etc.).
+    pub fn device(&self) -> &UpnpDevice {
+        &self.device
+    }
+
+    /// Description document URL.
+    pub fn location(&self) -> String {
+        self.device.location()
+    }
+
+    /// Stops the clock with `ssdp:byebye`.
+    pub fn shutdown(&self) {
+        self.device.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control_point::{ControlPoint, ControlPointConfig};
+    use crate::soap::SoapAction;
+    use indiss_net::World;
+    use indiss_ssdp::SearchTarget;
+    use std::time::Duration;
+
+    #[test]
+    fn clock_is_discoverable_and_tells_time() {
+        let world = World::new(31);
+        let clock_node = world.add_node("clock");
+        let cp_node = world.add_node("cp");
+        let clock = ClockDevice::start(&clock_node, UpnpConfig::default()).unwrap();
+        let cp = ControlPoint::start(&cp_node, ControlPointConfig::default()).unwrap();
+        world.run_for(Duration::from_secs(1));
+
+        let described = cp.discover_described(&world, SearchTarget::device_urn("clock", 1));
+        world.run_for(Duration::from_secs(3));
+        let (_, desc) = described.take().unwrap().expect("clock described");
+        assert_eq!(desc.friendly_name, "CyberGarage Clock Device");
+        assert_eq!(desc.model_description, "CyberUPnP Clock Device");
+
+        let base = clock.location().replace("/description.xml", "");
+        let control_url = format!("{base}{}", desc.services[0].control_url);
+        let resp = cp.invoke(&world, &control_url, &SoapAction::new("GetTime", TIMER_SERVICE));
+        world.run_for(Duration::from_secs(2));
+        let soap = resp.take().unwrap().expect("time told");
+        let time = soap.arg("CurrentTime").unwrap();
+        assert_eq!(time.len(), 8, "HH:MM:SS, got {time}");
+    }
+
+    #[test]
+    fn descriptions_are_unique_per_node() {
+        let world = World::new(31);
+        let a = world.add_node("a");
+        let b = world.add_node("b");
+        assert_ne!(
+            ClockDevice::description_for(&a).udn,
+            ClockDevice::description_for(&b).udn
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! UPnP control point: active search, passive NOTIFY cache, description
+//! fetch and SOAP invocation.
+
+use std::cell::RefCell;
+use std::net::SocketAddrV4;
+use std::rc::Rc;
+use std::time::Duration;
+
+use indiss_http::{Method, Request};
+use indiss_net::{
+    Collector, Completion, Datagram, NetResult, Node, SimTime, UdpSocket, World,
+};
+use indiss_ssdp::{
+    MSearch, NotifySubType, SearchResponse, SearchTarget, SsdpMessage, SSDP_MULTICAST_GROUP,
+    SSDP_PORT,
+};
+
+use crate::description::DeviceDescription;
+use crate::http_io::{http_request, parse_http_url};
+use crate::soap::{SoapAction, SoapResponse};
+
+/// A device known to the control point (from a search response or an
+/// `ssdp:alive`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnownDevice {
+    /// Matching target.
+    pub st: SearchTarget,
+    /// Unique service name.
+    pub usn: String,
+    /// Description URL.
+    pub location: String,
+    /// Server banner.
+    pub server: String,
+    /// When it was last heard from.
+    pub last_seen: SimTime,
+}
+
+/// Control-point tuning.
+#[derive(Debug, Clone)]
+pub struct ControlPointConfig {
+    /// MX value sent in searches (the paper uses 0 for minimal latency).
+    pub mx: u8,
+    /// How long a search round collects responses before completing.
+    pub search_window: Duration,
+    /// Simulated cost of parsing a description document (the client-side
+    /// XML handling the paper attributes some of UPnP's latency to).
+    pub parse_delay: Duration,
+}
+
+impl Default for ControlPointConfig {
+    fn default() -> Self {
+        ControlPointConfig {
+            mx: 0,
+            search_window: Duration::from_millis(120),
+            parse_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+struct CpInner {
+    node: Node,
+    /// Ephemeral socket from which M-SEARCHes are sent and on which the
+    /// unicast responses arrive.
+    search_socket: UdpSocket,
+    config: ControlPointConfig,
+    cache: Vec<KnownDevice>,
+    /// Active search collector, if a search round is open.
+    active: Option<(SearchTarget, Collector<KnownDevice>, Completion<KnownDevice>)>,
+}
+
+/// A UPnP control point.
+#[derive(Clone)]
+pub struct ControlPoint {
+    inner: Rc<RefCell<CpInner>>,
+}
+
+impl ControlPoint {
+    /// Starts a control point on `node`, passively listening for NOTIFYs.
+    ///
+    /// # Errors
+    ///
+    /// Network errors from socket binds.
+    pub fn start(node: &Node, config: ControlPointConfig) -> NetResult<ControlPoint> {
+        let search_socket = node.udp_bind_ephemeral()?;
+        let notify_socket = node.udp_bind_shared(SSDP_PORT)?;
+        notify_socket.join_multicast(SSDP_MULTICAST_GROUP)?;
+        let cp = ControlPoint {
+            inner: Rc::new(RefCell::new(CpInner {
+                node: node.clone(),
+                search_socket: search_socket.clone(),
+                config,
+                cache: Vec::new(),
+                active: None,
+            })),
+        };
+        let on_response = cp.clone();
+        search_socket.on_receive(move |world, dgram| on_response.handle_response(world, dgram));
+        let on_notify = cp.clone();
+        notify_socket.on_receive(move |world, dgram| on_notify.handle_notify(world, dgram));
+        Ok(cp)
+    }
+
+    /// Issues an `M-SEARCH` for `target`.
+    ///
+    /// Returns `(first, all)`: `first` completes with the first matching
+    /// response (the paper's response-time metric); `all` with everything
+    /// heard within the search window.
+    pub fn search(
+        &self,
+        world: &World,
+        target: SearchTarget,
+    ) -> (Completion<KnownDevice>, Completion<Vec<KnownDevice>>) {
+        let first: Completion<KnownDevice> = Completion::new();
+        let done: Completion<Vec<KnownDevice>> = Completion::new();
+        let collector: Collector<KnownDevice> = Collector::new();
+        let (wire, window) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.active = Some((target.clone(), collector.clone(), first.clone()));
+            let m = MSearch::new(target, inner.config.mx);
+            (m.to_bytes(), inner.config.search_window)
+        };
+        let socket = self.inner.borrow().search_socket.clone();
+        let _ = socket.send_to(&wire, SocketAddrV4::new(SSDP_MULTICAST_GROUP, SSDP_PORT));
+        let this = self.clone();
+        let done2 = done.clone();
+        world.schedule_in(window, move |_| {
+            this.inner.borrow_mut().active = None;
+            done2.complete(collector.drain());
+        });
+        (first, done)
+    }
+
+    /// Fetches and parses a device description from its `LOCATION` URL.
+    ///
+    /// The completion yields `None` on connection failure or malformed
+    /// XML. Parsing cost is modelled by `parse_delay`.
+    pub fn fetch_description(
+        &self,
+        world: &World,
+        location: &str,
+    ) -> Completion<Option<DeviceDescription>> {
+        let out: Completion<Option<DeviceDescription>> = Completion::new();
+        let (node, parse_delay) = {
+            let inner = self.inner.borrow();
+            (inner.node.clone(), inner.config.parse_delay)
+        };
+        let fetched = crate::http_io::http_get(&node, location);
+        let out2 = out.clone();
+        let world2 = world.clone();
+        fetched.subscribe(move |resp| {
+            let parsed = resp
+                .filter(|r| r.is_success())
+                .and_then(|r| String::from_utf8(r.body).ok())
+                .and_then(|xml| DeviceDescription::from_xml(&xml).ok());
+            // Model the XML parse cost before the result becomes usable.
+            world2.schedule_in(parse_delay, move |_| out2.complete(parsed));
+        });
+        out
+    }
+
+    /// Convenience: search for `target`, then fetch the first responder's
+    /// description. Completes with `None` if nothing answered in the
+    /// window or the fetch failed.
+    pub fn discover_described(
+        &self,
+        world: &World,
+        target: SearchTarget,
+    ) -> Completion<Option<(KnownDevice, DeviceDescription)>> {
+        let out: Completion<Option<(KnownDevice, DeviceDescription)>> = Completion::new();
+        let (first, all) = self.search(world, target);
+        let this = self.clone();
+        let world2 = world.clone();
+        let out2 = out.clone();
+        first.subscribe(move |hit: KnownDevice| {
+            let described = this.fetch_description(&world2, &hit.location);
+            let out3 = out2.clone();
+            described.subscribe(move |desc| {
+                out3.complete(desc.map(|d| (hit.clone(), d)));
+            });
+        });
+        // If the window closes with no first responder, resolve None.
+        let out4 = out.clone();
+        all.subscribe(move |hits: Vec<KnownDevice>| {
+            if hits.is_empty() {
+                out4.complete(None);
+            }
+        });
+        out
+    }
+
+    /// Invokes a SOAP action against a control URL (`http://…` absolute).
+    ///
+    /// The completion yields the parsed response, or `None` on transport
+    /// or SOAP failure.
+    pub fn invoke(
+        &self,
+        world: &World,
+        control_url: &str,
+        call: &SoapAction,
+    ) -> Completion<Option<SoapResponse>> {
+        let out: Completion<Option<SoapResponse>> = Completion::new();
+        let Some((addr, path)) = parse_http_url(control_url) else {
+            out.complete(None);
+            return out;
+        };
+        let mut req = Request::new(Method::Post, path);
+        req.headers.insert("HOST", addr.to_string());
+        req.headers.insert("Content-Type", "text/xml; charset=\"utf-8\"");
+        req.headers.insert("SOAPACTION", call.soapaction_header());
+        req.body = call.to_xml().into_bytes();
+        let node = self.inner.borrow().node.clone();
+        let resp = http_request(&node, addr, req);
+        let out2 = out.clone();
+        resp.subscribe(move |r| {
+            let parsed = r
+                .filter(|r| r.is_success())
+                .and_then(|r| String::from_utf8(r.body).ok())
+                .and_then(|xml| SoapResponse::parse(&xml));
+            out2.complete(parsed);
+        });
+        let _ = world;
+        out
+    }
+
+    /// Devices currently known from passive notifications and searches.
+    pub fn known_devices(&self) -> Vec<KnownDevice> {
+        self.inner.borrow().cache.clone()
+    }
+
+    fn handle_response(&self, world: &World, dgram: Datagram) {
+        let Ok(SsdpMessage::Response(resp)) = SsdpMessage::parse(&dgram.payload) else {
+            return;
+        };
+        let device = known_from_response(&resp, world.now());
+        // Collect what to fire, then release the borrow: completing `first`
+        // runs subscribers synchronously, and they may call back into us.
+        let fire = {
+            let mut inner = self.inner.borrow_mut();
+            upsert(&mut inner.cache, device.clone());
+            match &inner.active {
+                Some((target, collector, first))
+                    if target.matches(&resp.st) || resp.st.matches(target) =>
+                {
+                    collector.push(device.clone());
+                    Some(first.clone())
+                }
+                _ => None,
+            }
+        };
+        if let Some(first) = fire {
+            first.complete(device);
+        }
+    }
+
+    fn handle_notify(&self, world: &World, dgram: Datagram) {
+        let Ok(SsdpMessage::Notify(n)) = SsdpMessage::parse(&dgram.payload) else {
+            return;
+        };
+        let mut inner = self.inner.borrow_mut();
+        match n.nts {
+            NotifySubType::Alive | NotifySubType::Update => {
+                if let Some(location) = n.location {
+                    upsert(
+                        &mut inner.cache,
+                        KnownDevice {
+                            st: n.nt,
+                            usn: n.usn,
+                            location,
+                            server: n.server,
+                            last_seen: world.now(),
+                        },
+                    );
+                }
+            }
+            NotifySubType::ByeBye => {
+                inner.cache.retain(|d| d.usn != n.usn);
+            }
+        }
+    }
+}
+
+fn known_from_response(resp: &SearchResponse, now: SimTime) -> KnownDevice {
+    KnownDevice {
+        st: resp.st.clone(),
+        usn: resp.usn.clone(),
+        location: resp.location.clone(),
+        server: resp.server.clone(),
+        last_seen: now,
+    }
+}
+
+fn upsert(cache: &mut Vec<KnownDevice>, device: KnownDevice) {
+    match cache.iter_mut().find(|d| d.usn == device.usn) {
+        Some(existing) => *existing = device,
+        None => cache.push(device),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::description::{DeviceDescription, ServiceDescription};
+    use crate::device::{UpnpConfig, UpnpDevice};
+
+    fn clock_desc() -> DeviceDescription {
+        DeviceDescription {
+            device_type: "urn:schemas-upnp-org:device:clock:1".into(),
+            friendly_name: "Clock".into(),
+            manufacturer: "indiss".into(),
+            manufacturer_url: String::new(),
+            model_description: String::new(),
+            model_name: "Clock".into(),
+            model_number: "1".into(),
+            model_url: String::new(),
+            udn: "uuid:clock-1".into(),
+            services: vec![ServiceDescription::conventional("timer", 1)],
+        }
+    }
+
+    fn setup() -> (World, ControlPoint, UpnpDevice) {
+        let world = World::new(21);
+        let dev_node = world.add_node("device");
+        let cp_node = world.add_node("cp");
+        let dev = UpnpDevice::start(&dev_node, clock_desc(), UpnpConfig::default()).unwrap();
+        let cp = ControlPoint::start(&cp_node, ControlPointConfig::default()).unwrap();
+        (world, cp, dev)
+    }
+
+    #[test]
+    fn active_search_finds_device() {
+        let (world, cp, _dev) = setup();
+        world.run_for(Duration::from_secs(1));
+        let (first, all) = cp.search(&world, SearchTarget::device_urn("clock", 1));
+        world.run_for(Duration::from_secs(2));
+        assert!(first.is_complete());
+        let hits = all.take().unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].location.ends_with("/description.xml"));
+    }
+
+    #[test]
+    fn passive_cache_from_alive_and_byebye() {
+        let (world, cp, dev) = setup();
+        world.run_for(Duration::from_secs(1));
+        // The initial announcement advertises 4 targets; the cache keys on
+        // USN so it holds 4 entries for one device.
+        assert!(!cp.known_devices().is_empty());
+        dev.shutdown();
+        world.run_for(Duration::from_secs(1));
+        assert!(cp.known_devices().is_empty(), "byebye cleared the cache");
+    }
+
+    #[test]
+    fn description_fetch_after_search() {
+        let (world, cp, _dev) = setup();
+        world.run_for(Duration::from_secs(1));
+        let described = cp.discover_described(&world, SearchTarget::device_urn("clock", 1));
+        world.run_for(Duration::from_secs(3));
+        let (hit, desc) = described.take().unwrap().expect("described");
+        assert_eq!(desc.friendly_name, "Clock");
+        assert!(hit.usn.contains("clock-1"));
+        assert_eq!(desc.services[0].control_url, "/service/timer/control");
+    }
+
+    #[test]
+    fn discover_nothing_resolves_none() {
+        let world = World::new(22);
+        let cp_node = world.add_node("cp");
+        let cp = ControlPoint::start(&cp_node, ControlPointConfig::default()).unwrap();
+        let described = cp.discover_described(&world, SearchTarget::device_urn("printer", 1));
+        world.run_for(Duration::from_secs(2));
+        assert_eq!(described.take(), Some(None));
+    }
+
+    #[test]
+    fn soap_invocation_roundtrip() {
+        let (world, cp, dev) = setup();
+        dev.register_action(
+            "urn:schemas-upnp-org:service:timer:1",
+            "GetTime",
+            |world, _call| {
+                SoapResponse::new("GetTime", "urn:schemas-upnp-org:service:timer:1")
+                    .with_arg("CurrentTime", &format!("{}", world.now()))
+            },
+        );
+        world.run_for(Duration::from_secs(1));
+        let dev_addr = dev.location().replace("/description.xml", "");
+        let control_url = format!("{dev_addr}/service/timer/control");
+        let call = SoapAction::new("GetTime", "urn:schemas-upnp-org:service:timer:1");
+        let resp = cp.invoke(&world, &control_url, &call);
+        world.run_for(Duration::from_secs(2));
+        let soap = resp.take().unwrap().expect("soap ok");
+        assert_eq!(soap.action, "GetTime");
+        assert!(soap.arg("CurrentTime").is_some());
+    }
+
+    #[test]
+    fn unknown_action_fails_cleanly() {
+        let (world, cp, dev) = setup();
+        world.run_for(Duration::from_secs(1));
+        let dev_addr = dev.location().replace("/description.xml", "");
+        let control_url = format!("{dev_addr}/service/timer/control");
+        let call = SoapAction::new("Explode", "urn:schemas-upnp-org:service:timer:1");
+        let resp = cp.invoke(&world, &control_url, &call);
+        world.run_for(Duration::from_secs(2));
+        assert_eq!(resp.take(), Some(None));
+    }
+}

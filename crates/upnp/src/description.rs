@@ -1,0 +1,220 @@
+//! UPnP device and service descriptions (UPnP Device Architecture §2).
+//!
+//! The description document is the XML a control point GETs from the
+//! `LOCATION:` URL of a discovery response. The INDISS paper's §2.4 walks
+//! through exactly this: the UPnP unit fetches `description.xml`, switches
+//! its parser to XML, and converts fields like `friendlyName` and
+//! `modelDescription` into `SDP_RES_ATTR` events for the SLP composer.
+
+use indiss_xml::Element;
+
+/// Description of one service within a device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescription {
+    /// Service type URN, e.g. `urn:schemas-upnp-org:service:timer:1`.
+    pub service_type: String,
+    /// Service identifier, e.g. `urn:upnp-org:serviceId:timer`.
+    pub service_id: String,
+    /// SOAP control URL (path on the device's HTTP server).
+    pub control_url: String,
+    /// Eventing URL (unused here, kept for fidelity).
+    pub event_sub_url: String,
+    /// Service description (SCPD) URL.
+    pub scpd_url: String,
+}
+
+impl ServiceDescription {
+    /// Creates a service description with conventional URLs derived from
+    /// the service name.
+    pub fn conventional(name: &str, version: u32) -> Self {
+        ServiceDescription {
+            service_type: format!("urn:schemas-upnp-org:service:{name}:{version}"),
+            service_id: format!("urn:upnp-org:serviceId:{name}"),
+            control_url: format!("/service/{name}/control"),
+            event_sub_url: format!("/service/{name}/event"),
+            scpd_url: format!("/service/{name}/scpd.xml"),
+        }
+    }
+}
+
+/// A UPnP device description document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceDescription {
+    /// Device type URN, e.g. `urn:schemas-upnp-org:device:clock:1`.
+    pub device_type: String,
+    /// Human-readable name (the paper's `CyberGarage Clock Device`).
+    pub friendly_name: String,
+    /// Manufacturer name.
+    pub manufacturer: String,
+    /// Manufacturer URL.
+    pub manufacturer_url: String,
+    /// Model description.
+    pub model_description: String,
+    /// Model name.
+    pub model_name: String,
+    /// Model number.
+    pub model_number: String,
+    /// Model URL.
+    pub model_url: String,
+    /// Unique device name, `uuid:…`.
+    pub udn: String,
+    /// Embedded services.
+    pub services: Vec<ServiceDescription>,
+}
+
+impl DeviceDescription {
+    /// Serializes to the standard description document.
+    pub fn to_xml(&self) -> String {
+        let mut service_list = Element::new("serviceList");
+        for s in &self.services {
+            service_list.push_child(
+                Element::new("service")
+                    .with_text_child("serviceType", &s.service_type)
+                    .with_text_child("serviceId", &s.service_id)
+                    .with_text_child("controlURL", &s.control_url)
+                    .with_text_child("eventSubURL", &s.event_sub_url)
+                    .with_text_child("SCPDURL", &s.scpd_url),
+            );
+        }
+        let device = Element::new("device")
+            .with_text_child("deviceType", &self.device_type)
+            .with_text_child("friendlyName", &self.friendly_name)
+            .with_text_child("manufacturer", &self.manufacturer)
+            .with_text_child("manufacturerURL", &self.manufacturer_url)
+            .with_text_child("modelDescription", &self.model_description)
+            .with_text_child("modelName", &self.model_name)
+            .with_text_child("modelNumber", &self.model_number)
+            .with_text_child("modelURL", &self.model_url)
+            .with_text_child("UDN", &self.udn)
+            .with_child(service_list);
+        let root = Element::new("root")
+            .with_attr("xmlns", "urn:schemas-upnp-org:device-1-0")
+            .with_child(
+                Element::new("specVersion")
+                    .with_text_child("major", "1")
+                    .with_text_child("minor", "0"),
+            )
+            .with_child(device);
+        root.to_document()
+    }
+
+    /// Parses a description document.
+    ///
+    /// # Errors
+    ///
+    /// [`indiss_xml::XmlError`] for malformed XML; missing fields default
+    /// to empty strings (real-world documents are frequently sloppy, and
+    /// INDISS must tolerate them).
+    pub fn from_xml(xml: &str) -> Result<DeviceDescription, indiss_xml::XmlError> {
+        let root = Element::parse(xml)?;
+        let device = root.child("device").unwrap_or(&root);
+        let text = |name: &str| device.child_text(name).unwrap_or_default().to_owned();
+        let mut services = Vec::new();
+        if let Some(list) = device.child("serviceList") {
+            for s in list.children_named("service") {
+                let stext = |name: &str| s.child_text(name).unwrap_or_default().to_owned();
+                services.push(ServiceDescription {
+                    service_type: stext("serviceType"),
+                    service_id: stext("serviceId"),
+                    control_url: stext("controlURL"),
+                    event_sub_url: stext("eventSubURL"),
+                    scpd_url: stext("SCPDURL"),
+                });
+            }
+        }
+        Ok(DeviceDescription {
+            device_type: text("deviceType"),
+            friendly_name: text("friendlyName"),
+            manufacturer: text("manufacturer"),
+            manufacturer_url: text("manufacturerURL"),
+            model_description: text("modelDescription"),
+            model_name: text("modelName"),
+            model_number: text("modelNumber"),
+            model_url: text("modelURL"),
+            udn: text("UDN"),
+            services,
+        })
+    }
+
+    /// The short device-type name from the URN, e.g. `clock` from
+    /// `urn:schemas-upnp-org:device:clock:1`.
+    pub fn short_type(&self) -> &str {
+        let mut parts = self.device_type.split(':');
+        // urn : schemas-upnp-org : device : NAME : version
+        parts.nth(3).unwrap_or(&self.device_type)
+    }
+
+    /// Key/value pairs a bridge would expose as attributes, in document
+    /// order — the source of the paper's `SDP_RES_ATTR` events.
+    pub fn attribute_pairs(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("friendlyName", self.friendly_name.clone()),
+            ("manufacturer", self.manufacturer.clone()),
+            ("manufacturerURL", self.manufacturer_url.clone()),
+            ("modelDescription", self.model_description.clone()),
+            ("modelName", self.model_name.clone()),
+            ("modelNumber", self.model_number.clone()),
+            ("modelURL", self.model_url.clone()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock_description() -> DeviceDescription {
+        DeviceDescription {
+            device_type: "urn:schemas-upnp-org:device:clock:1".into(),
+            friendly_name: "CyberGarage Clock Device".into(),
+            manufacturer: "CyberGarage".into(),
+            manufacturer_url: "http://www.cybergarage.org".into(),
+            model_description: "CyberUPnP Clock Device".into(),
+            model_name: "Clock".into(),
+            model_number: "1.0".into(),
+            model_url: "http://www.cybergarage.org".into(),
+            udn: "uuid:ClockDevice".into(),
+            services: vec![ServiceDescription::conventional("timer", 1)],
+        }
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let desc = clock_description();
+        let xml = desc.to_xml();
+        let back = DeviceDescription::from_xml(&xml).unwrap();
+        assert_eq!(back, desc);
+    }
+
+    #[test]
+    fn short_type_extraction() {
+        assert_eq!(clock_description().short_type(), "clock");
+    }
+
+    #[test]
+    fn conventional_service_urls() {
+        let s = ServiceDescription::conventional("timer", 1);
+        assert_eq!(s.control_url, "/service/timer/control");
+        assert_eq!(s.service_type, "urn:schemas-upnp-org:service:timer:1");
+    }
+
+    #[test]
+    fn sloppy_document_tolerated() {
+        let desc = DeviceDescription::from_xml("<root><device></device></root>").unwrap();
+        assert_eq!(desc.friendly_name, "");
+        assert!(desc.services.is_empty());
+    }
+
+    #[test]
+    fn attribute_pairs_match_paper_fields() {
+        let pairs = clock_description().attribute_pairs();
+        let keys: Vec<_> = pairs.iter().map(|(k, _)| *k).collect();
+        // The paper's Fig. 4 SrvRply lists friendlyName, modelDescription,
+        // manufacturerURL, modelName, modelNumber, modelURL.
+        for expected in
+            ["friendlyName", "modelDescription", "manufacturerURL", "modelName", "modelNumber"]
+        {
+            assert!(keys.contains(&expected), "{expected} missing");
+        }
+    }
+}

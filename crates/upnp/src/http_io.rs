@@ -1,0 +1,263 @@
+//! HTTP over the simulated TCP transport: a tiny server and client.
+//!
+//! UPnP devices serve their description document and control endpoint over
+//! plain HTTP/1.1; control points (and the INDISS UPnP unit, §2.4 of the
+//! paper) fetch with GET and invoke with POST. Messages are delimited on
+//! the byte stream with [`indiss_http::message_len`], so segmented
+//! delivery is handled correctly.
+
+use std::cell::RefCell;
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::rc::Rc;
+use std::time::Duration;
+
+use indiss_http::{message_len, Request, Response};
+use indiss_net::{Completion, NetResult, Node, TcpListener, World};
+
+/// Handler invoked per request; returns the response to send.
+pub type HttpHandler = Rc<dyn Fn(&World, &Request) -> Response>;
+
+/// A minimal HTTP/1.1 server: one request per connection (the UPnP stacks
+/// of the paper's era used non-persistent connections).
+pub struct HttpServer {
+    listener: TcpListener,
+}
+
+impl HttpServer {
+    /// Starts serving on `node:port`. `processing_delay` models the
+    /// stack's per-request handling cost (Cyberlink's was large; see
+    /// `UpnpConfig`), applied between full request receipt and response.
+    ///
+    /// # Errors
+    ///
+    /// Network errors if the TCP port is taken.
+    pub fn start(
+        node: &Node,
+        port: u16,
+        processing_delay: Duration,
+        handler: HttpHandler,
+    ) -> NetResult<HttpServer> {
+        let listener = node.tcp_listen(port)?;
+        listener.on_accept(move |_, stream| {
+            let buffer: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+            let handler = Rc::clone(&handler);
+            let stream_out = stream.clone();
+            stream.on_receive(move |world, bytes| {
+                let mut buf = buffer.borrow_mut();
+                buf.extend_from_slice(&bytes);
+                let Some(len) = message_len(&buf) else {
+                    return; // need more segments
+                };
+                let raw: Vec<u8> = buf.drain(..len).collect();
+                drop(buf);
+                let response = match Request::parse(&raw) {
+                    Ok(req) => handler(world, &req),
+                    Err(_) => Response::new(400),
+                };
+                let out = stream_out.clone();
+                world.schedule_in(processing_delay, move |_| {
+                    let _ = out.send(&response.serialize());
+                    out.close();
+                });
+            });
+        });
+        Ok(HttpServer { listener })
+    }
+
+    /// The address being served.
+    ///
+    /// # Errors
+    ///
+    /// [`indiss_net::NetError::SocketClosed`] after [`HttpServer::stop`].
+    pub fn local_addr(&self) -> NetResult<SocketAddrV4> {
+        self.listener.local_addr()
+    }
+
+    /// Stops accepting connections.
+    pub fn stop(&self) {
+        self.listener.close();
+    }
+}
+
+/// Parses an `http://host:port/path` URL into address and path.
+///
+/// Returns `None` for non-http schemes, unparsable hosts, or bad ports.
+/// The default port is 80 and the default path `/`.
+pub fn parse_http_url(url: &str) -> Option<(SocketAddrV4, String)> {
+    let rest = url.strip_prefix("http://")?;
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], rest[i..].to_owned()),
+        None => (rest, "/".to_owned()),
+    };
+    let (host, port) = match authority.rsplit_once(':') {
+        Some((h, p)) => (h, p.parse::<u16>().ok()?),
+        None => (authority, 80),
+    };
+    let ip: Ipv4Addr = host.parse().ok()?;
+    Some((SocketAddrV4::new(ip, port), path))
+}
+
+/// Issues one HTTP request over a fresh connection; the completion holds
+/// the parsed response, or `None` on connection failure.
+///
+/// The response may arrive in multiple TCP segments; they are reassembled
+/// here.
+pub fn http_request(
+    node: &Node,
+    addr: SocketAddrV4,
+    request: Request,
+) -> Completion<Option<Response>> {
+    let done: Completion<Option<Response>> = Completion::new();
+    let done_cb = done.clone();
+    node.tcp_connect(addr, move |_, stream| {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => {
+                done_cb.complete(None);
+                return;
+            }
+        };
+        let buffer: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+        let done_data = done_cb.clone();
+        let stream_for_close = stream.clone();
+        stream.on_receive(move |_, bytes| {
+            let mut buf = buffer.borrow_mut();
+            buf.extend_from_slice(&bytes);
+            if let Some(len) = message_len(&buf) {
+                let raw: Vec<u8> = buf.drain(..len).collect();
+                drop(buf);
+                done_data.complete(Response::parse(&raw).ok());
+                stream_for_close.close();
+            }
+        });
+        let done_close = done_cb.clone();
+        stream.on_close(move |_| {
+            // Server closed before a full message: report failure.
+            done_close.complete(None);
+        });
+        let _ = stream.send(&request.serialize());
+    });
+    done
+}
+
+/// Convenience: `GET` a URL and return the parsed response.
+///
+/// The completion holds `None` when the URL is unparsable or the
+/// connection failed.
+pub fn http_get(node: &Node, url: &str) -> Completion<Option<Response>> {
+    let Some((addr, path)) = parse_http_url(url) else {
+        let done = Completion::new();
+        done.complete(None);
+        return done;
+    };
+    let mut req = Request::new(indiss_http::Method::Get, path);
+    req.headers.insert("HOST", addr.to_string());
+    http_request(node, addr, req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indiss_http::Method;
+    use indiss_net::World;
+
+    fn spawn_echo_server(node: &Node, port: u16, delay: Duration) -> HttpServer {
+        HttpServer::start(
+            node,
+            port,
+            delay,
+            Rc::new(|_, req: &Request| {
+                let mut resp = Response::ok();
+                resp.body = format!("you asked for {}", req.target).into_bytes();
+                resp
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn get_roundtrip() {
+        let world = World::new(2);
+        let server_node = world.add_node("server");
+        let client_node = world.add_node("client");
+        let _server = spawn_echo_server(&server_node, 4004, Duration::from_millis(1));
+        let url = format!("http://{}:4004/description.xml", server_node.addr());
+        let done = http_get(&client_node, &url);
+        world.run_until_idle();
+        let resp = done.take().unwrap().expect("got response");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"you asked for /description.xml");
+    }
+
+    #[test]
+    fn connection_refused_reports_none() {
+        let world = World::new(2);
+        let server_node = world.add_node("server");
+        let client_node = world.add_node("client");
+        let url = format!("http://{}:4004/x", server_node.addr());
+        let done = http_get(&client_node, &url);
+        world.run_until_idle();
+        assert_eq!(done.take().unwrap(), None);
+    }
+
+    #[test]
+    fn bad_url_reports_none_immediately() {
+        let world = World::new(2);
+        let client = world.add_node("client");
+        let done = http_get(&client, "ftp://nope");
+        assert_eq!(done.take().unwrap(), None);
+        let _ = world;
+    }
+
+    #[test]
+    fn processing_delay_is_respected() {
+        let world = World::new(2);
+        let server_node = world.add_node("server");
+        let client_node = world.add_node("client");
+        let _server = spawn_echo_server(&server_node, 80, Duration::from_millis(20));
+        let url = format!("http://{}:80/", server_node.addr());
+        let t0 = world.now();
+        let done = http_get(&client_node, &url);
+        world.run_until_idle();
+        assert!(done.take().unwrap().is_some());
+        let elapsed = world.now() - t0;
+        assert!(elapsed >= Duration::from_millis(20), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn url_parsing() {
+        let (addr, path) = parse_http_url("http://10.0.0.2:4004/description.xml").unwrap();
+        assert_eq!(addr, SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 2), 4004));
+        assert_eq!(path, "/description.xml");
+        let (addr, path) = parse_http_url("http://10.0.0.2").unwrap();
+        assert_eq!(addr.port(), 80);
+        assert_eq!(path, "/");
+        assert!(parse_http_url("https://10.0.0.2/").is_none());
+        assert!(parse_http_url("http://not-an-ip/").is_none());
+    }
+
+    #[test]
+    fn post_roundtrip() {
+        let world = World::new(2);
+        let server_node = world.add_node("server");
+        let client_node = world.add_node("client");
+        let _server = HttpServer::start(
+            &server_node,
+            4005,
+            Duration::from_millis(1),
+            Rc::new(|_, req: &Request| {
+                assert_eq!(req.method, Method::Post);
+                let mut resp = Response::ok();
+                resp.body = req.body.clone();
+                resp
+            }),
+        )
+        .unwrap();
+        let mut req = Request::new(Method::Post, "/control");
+        req.body = b"<soap/>".to_vec();
+        let addr = SocketAddrV4::new(server_node.addr(), 4005);
+        let done = http_request(&client_node, addr, req);
+        world.run_until_idle();
+        assert_eq!(done.take().unwrap().unwrap().body, b"<soap/>");
+    }
+}

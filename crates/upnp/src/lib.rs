@@ -1,0 +1,50 @@
+//! # indiss-upnp — UPnP Device Architecture subset
+//!
+//! The "Cyberlink for Java" role of the INDISS paper: a native UPnP stack
+//! with SSDP discovery, XML device descriptions served over HTTP/TCP,
+//! SOAP-lite control, plus the paper's CyberGarage-style clock device.
+//!
+//! The discovery *process* this crate implements is exactly the one the
+//! INDISS UPnP unit must drive in §2.4:
+//!
+//! 1. multicast `M-SEARCH` → unicast `200 OK` with `LOCATION:`;
+//! 2. `GET description.xml` over TCP;
+//! 3. parse the XML for `friendlyName`, control URLs, etc.
+//!
+//! Latency defaults are calibrated so the native search lands near the
+//! paper's 40 ms (Fig. 7); see [`UpnpConfig`].
+//!
+//! ```
+//! use indiss_net::World;
+//! use indiss_upnp::{ClockDevice, ControlPoint, ControlPointConfig, UpnpConfig};
+//! use indiss_ssdp::SearchTarget;
+//! use std::time::Duration;
+//!
+//! let world = World::new(1);
+//! let device_node = world.add_node("clock");
+//! let cp_node = world.add_node("control-point");
+//! let _clock = ClockDevice::start(&device_node, UpnpConfig::default())?;
+//! let cp = ControlPoint::start(&cp_node, ControlPointConfig::default())?;
+//! let found = cp.discover_described(&world, SearchTarget::device_urn("clock", 1));
+//! world.run_for(Duration::from_secs(3));
+//! let (_hit, desc) = found.take().unwrap().expect("clock found");
+//! assert_eq!(desc.friendly_name, "CyberGarage Clock Device");
+//! # Ok::<(), indiss_net::NetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod control_point;
+mod description;
+mod device;
+mod http_io;
+mod soap;
+
+pub use clock::{ClockDevice, CLOCK_DEVICE_TYPE, TIMER_SERVICE};
+pub use control_point::{ControlPoint, ControlPointConfig, KnownDevice};
+pub use description::{DeviceDescription, ServiceDescription};
+pub use device::{ActionHandler, UpnpConfig, UpnpDevice};
+pub use http_io::{http_get, http_request, parse_http_url, HttpHandler, HttpServer};
+pub use soap::{SoapAction, SoapResponse};

@@ -1,0 +1,179 @@
+//! SOAP-lite control envelopes (UPnP Device Architecture §3).
+//!
+//! The paper's Fig. 4 SrvRply hands the SLP client a
+//! `service:clock:soap://…/service/timer/control` URL — the control
+//! endpoint where actions like `GetTime` are POSTed as SOAP envelopes.
+//! Only the envelope subset UPnP control needs is implemented.
+
+use indiss_xml::Element;
+
+const ENVELOPE_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+
+/// A SOAP action call: name, service type URN, and arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoapAction {
+    /// Action name, e.g. `GetTime`.
+    pub action: String,
+    /// Service type URN the action belongs to.
+    pub service_type: String,
+    /// Arguments as (name, value) pairs, in order.
+    pub args: Vec<(String, String)>,
+}
+
+impl SoapAction {
+    /// Creates a call with no arguments.
+    pub fn new(action: &str, service_type: &str) -> Self {
+        SoapAction {
+            action: action.to_owned(),
+            service_type: service_type.to_owned(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Adds an argument, returning `self` for chaining.
+    pub fn with_arg(mut self, name: &str, value: &str) -> Self {
+        self.args.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Serializes the request envelope.
+    pub fn to_xml(&self) -> String {
+        envelope(&format!("u:{}", self.action), &self.service_type, &self.args)
+    }
+
+    /// The `SOAPACTION:` header value for the HTTP POST.
+    pub fn soapaction_header(&self) -> String {
+        format!("\"{}#{}\"", self.service_type, self.action)
+    }
+
+    /// Parses a request envelope.
+    ///
+    /// Returns `None` when the document is not a SOAP envelope containing
+    /// exactly one action element.
+    pub fn parse(xml: &str) -> Option<SoapAction> {
+        let root = Element::parse(xml).ok()?;
+        if root.local_name() != "Envelope" {
+            return None;
+        }
+        let body = root.child("Body")?;
+        let action_elem = body.child_elements().next()?;
+        let service_type = action_elem
+            .attributes()
+            .iter()
+            .find(|(n, _)| n.starts_with("xmlns"))
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        let args = action_elem
+            .child_elements()
+            .map(|e| (e.local_name().to_owned(), e.text().trim().to_owned()))
+            .collect();
+        Some(SoapAction {
+            action: action_elem.local_name().to_owned(),
+            service_type,
+            args,
+        })
+    }
+}
+
+/// A SOAP action response: `<u:{Action}Response>` with output arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoapResponse {
+    /// The action this responds to.
+    pub action: String,
+    /// Service type URN.
+    pub service_type: String,
+    /// Output arguments.
+    pub args: Vec<(String, String)>,
+}
+
+impl SoapResponse {
+    /// Creates a response for `action`.
+    pub fn new(action: &str, service_type: &str) -> Self {
+        SoapResponse {
+            action: action.to_owned(),
+            service_type: service_type.to_owned(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Adds an output argument, returning `self` for chaining.
+    pub fn with_arg(mut self, name: &str, value: &str) -> Self {
+        self.args.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Serializes the response envelope.
+    pub fn to_xml(&self) -> String {
+        envelope(&format!("u:{}Response", self.action), &self.service_type, &self.args)
+    }
+
+    /// Parses a response envelope; the action name has its `Response`
+    /// suffix stripped.
+    pub fn parse(xml: &str) -> Option<SoapResponse> {
+        let call = SoapAction::parse(xml)?;
+        let action = call.action.strip_suffix("Response")?.to_owned();
+        Some(SoapResponse { action, service_type: call.service_type, args: call.args })
+    }
+
+    /// Looks up an output argument by name.
+    pub fn arg(&self, name: &str) -> Option<&str> {
+        self.args.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+fn envelope(qualified_action: &str, service_type: &str, args: &[(String, String)]) -> String {
+    let mut action = Element::new(qualified_action).with_attr("xmlns:u", service_type);
+    for (name, value) in args {
+        action = action.with_text_child(name.clone(), value.clone());
+    }
+    Element::new("s:Envelope")
+        .with_attr("xmlns:s", ENVELOPE_NS)
+        .with_attr("s:encodingStyle", "http://schemas.xmlsoap.org/soap/encoding/")
+        .with_child(Element::new("s:Body").with_child(action))
+        .to_document()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TIMER: &str = "urn:schemas-upnp-org:service:timer:1";
+
+    #[test]
+    fn action_roundtrip() {
+        let call = SoapAction::new("SetTime", TIMER).with_arg("NewTime", "12:00:00");
+        let back = SoapAction::parse(&call.to_xml()).unwrap();
+        assert_eq!(back.action, "SetTime");
+        assert_eq!(back.service_type, TIMER);
+        assert_eq!(back.args, vec![("NewTime".to_owned(), "12:00:00".to_owned())]);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = SoapResponse::new("GetTime", TIMER).with_arg("CurrentTime", "08:30:15");
+        let back = SoapResponse::parse(&resp.to_xml()).unwrap();
+        assert_eq!(back.action, "GetTime");
+        assert_eq!(back.arg("CurrentTime"), Some("08:30:15"));
+    }
+
+    #[test]
+    fn soapaction_header_format() {
+        let call = SoapAction::new("GetTime", TIMER);
+        assert_eq!(
+            call.soapaction_header(),
+            "\"urn:schemas-upnp-org:service:timer:1#GetTime\""
+        );
+    }
+
+    #[test]
+    fn non_envelope_rejected() {
+        assert!(SoapAction::parse("<root/>").is_none());
+        assert!(SoapResponse::parse("<root/>").is_none());
+    }
+
+    #[test]
+    fn request_is_not_a_response() {
+        let call = SoapAction::new("GetTime", TIMER);
+        assert!(SoapResponse::parse(&call.to_xml()).is_none());
+    }
+}

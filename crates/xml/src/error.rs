@@ -1,0 +1,101 @@
+//! XML parse errors.
+
+use std::fmt;
+
+/// Error produced while parsing an XML document.
+///
+/// Carries the byte offset at which the problem was detected so callers can
+/// point at the offending input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    kind: XmlErrorKind,
+    offset: usize,
+}
+
+/// The category of an [`XmlError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar(char),
+    /// `</a>` closed an element opened as `<b>`.
+    MismatchedTag {
+        /// The element that was open.
+        expected: String,
+        /// The closing tag that was found.
+        found: String,
+    },
+    /// A closing tag with no matching open element.
+    UnopenedTag(String),
+    /// Input ended with unclosed elements.
+    UnclosedTag(String),
+    /// An entity reference that is not one of the predefined five or a
+    /// valid character reference.
+    InvalidEntity(String),
+    /// An attribute appeared twice on the same element.
+    DuplicateAttribute(String),
+    /// The document contains no root element.
+    NoRootElement,
+    /// Content found after the document's root element closed.
+    TrailingContent,
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, offset: usize) -> Self {
+        XmlError { kind, offset }
+    }
+
+    /// The category of the error.
+    pub fn kind(&self) -> &XmlErrorKind {
+        &self.kind
+    }
+
+    /// Byte offset into the input at which the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            XmlErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "mismatched closing tag: expected </{expected}>, found </{found}>")
+            }
+            XmlErrorKind::UnopenedTag(t) => write!(f, "closing tag </{t}> was never opened"),
+            XmlErrorKind::UnclosedTag(t) => write!(f, "element <{t}> was never closed"),
+            XmlErrorKind::InvalidEntity(e) => write!(f, "invalid entity reference &{e};"),
+            XmlErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
+            XmlErrorKind::TrailingContent => write!(f, "content after the root element"),
+        }?;
+        write!(f, " at byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Convenience alias for XML parse results.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offset() {
+        let e = XmlError::new(XmlErrorKind::UnexpectedEof, 17);
+        assert!(e.to_string().contains("byte 17"));
+        assert_eq!(e.offset(), 17);
+    }
+
+    #[test]
+    fn kind_is_inspectable() {
+        let e = XmlError::new(XmlErrorKind::UnopenedTag("x".into()), 0);
+        assert!(matches!(e.kind(), XmlErrorKind::UnopenedTag(t) if t == "x"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Entity escaping and unescaping.
+
+use std::borrow::Cow;
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+
+/// Escapes text content: `&`, `<`, `>` become entity references.
+///
+/// Returns borrowed input when nothing needs escaping.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(indiss_xml::escape_text("a < b & c"), "a &lt; b &amp; c");
+/// assert_eq!(indiss_xml::escape_text("plain"), "plain");
+/// ```
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, false)
+}
+
+/// Escapes attribute values: like [`escape_text`] but also escapes `"`.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_with(s, true)
+}
+
+fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = |c: char| matches!(c, '&' | '<' | '>') || (attr && c == '"');
+    if !s.chars().any(needs) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolves the predefined entities and numeric character references in `s`.
+///
+/// # Errors
+///
+/// [`XmlErrorKind::InvalidEntity`] for unknown entities, malformed numeric
+/// references, or an unterminated `&...`. The `base` offset is added to
+/// reported positions so errors point into the original document.
+pub fn unescape(s: &str, base: usize) -> XmlResult<Cow<'_, str>> {
+    if !s.contains('&') {
+        return Ok(Cow::Borrowed(s));
+    }
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Advance one whole UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&s[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        let semi = s[i..]
+            .find(';')
+            .ok_or_else(|| XmlError::new(XmlErrorKind::InvalidEntity(s[i + 1..].into()), base + i))?;
+        let name = &s[i + 1..i + semi];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if name.starts_with('#') => {
+                let cp = parse_char_ref(name)
+                    .ok_or_else(|| XmlError::new(XmlErrorKind::InvalidEntity(name.into()), base + i))?;
+                out.push(cp);
+            }
+            _ => {
+                return Err(XmlError::new(XmlErrorKind::InvalidEntity(name.into()), base + i));
+            }
+        }
+        i += semi + 1;
+    }
+    Ok(Cow::Owned(out))
+}
+
+fn parse_char_ref(name: &str) -> Option<char> {
+    let digits = &name[1..];
+    let cp = if let Some(hex) = digits.strip_prefix('x').or_else(|| digits.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        digits.parse::<u32>().ok()?
+    };
+    char::from_u32(cp)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrips() {
+        let original = "a<b>&\"quoted\" 'single'";
+        let escaped = escape_attr(original);
+        assert_eq!(unescape(&escaped, 0).unwrap(), original);
+    }
+
+    #[test]
+    fn text_escape_leaves_quotes() {
+        assert_eq!(escape_text(r#"say "hi""#), r#"say "hi""#);
+        assert_eq!(escape_attr(r#"say "hi""#), "say &quot;hi&quot;");
+    }
+
+    #[test]
+    fn borrowed_when_clean() {
+        assert!(matches!(escape_text("clean"), Cow::Borrowed(_)));
+        assert!(matches!(unescape("clean", 0).unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", 0).unwrap(), "ABc");
+        assert_eq!(unescape("&#x20AC;", 0).unwrap(), "\u{20AC}");
+    }
+
+    #[test]
+    fn unknown_entity_is_error() {
+        let err = unescape("&nbsp;", 5).unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::InvalidEntity(e) if e == "nbsp"));
+        assert_eq!(err.offset(), 5);
+    }
+
+    #[test]
+    fn unterminated_entity_is_error() {
+        assert!(unescape("x &amp", 0).is_err());
+    }
+
+    #[test]
+    fn invalid_codepoint_is_error() {
+        assert!(unescape("&#xD800;", 0).is_err()); // surrogate
+        assert!(unescape("&#zzz;", 0).is_err());
+    }
+
+    #[test]
+    fn multibyte_passthrough() {
+        assert_eq!(unescape("héllo &amp; wörld", 0).unwrap(), "héllo & wörld");
+    }
+}

@@ -1,0 +1,93 @@
+//! XML serialization.
+
+use crate::dom::{Element, XmlNode};
+use crate::escape::{escape_attr, escape_text};
+
+/// Streams elements into a compact XML string.
+///
+/// # Examples
+///
+/// ```
+/// use indiss_xml::{Element, XmlWriter};
+///
+/// let elem = Element::new("a").with_attr("k", "v").with_text("x < y");
+/// let mut w = XmlWriter::new();
+/// w.write_element(&elem);
+/// assert_eq!(w.finish(), "<a k=\"v\">x &lt; y</a>");
+/// ```
+#[derive(Debug, Default)]
+pub struct XmlWriter {
+    out: String,
+}
+
+impl XmlWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        XmlWriter::default()
+    }
+
+    /// Serializes one element tree (attributes escaped, text escaped,
+    /// childless elements rendered self-closing).
+    pub fn write_element(&mut self, elem: &Element) {
+        self.out.push('<');
+        self.out.push_str(elem.name());
+        for (name, value) in elem.attributes() {
+            self.out.push(' ');
+            self.out.push_str(name);
+            self.out.push_str("=\"");
+            self.out.push_str(&escape_attr(value));
+            self.out.push('"');
+        }
+        if elem.children().is_empty() {
+            self.out.push_str("/>");
+            return;
+        }
+        self.out.push('>');
+        for child in elem.children() {
+            match child {
+                XmlNode::Element(e) => self.write_element(e),
+                XmlNode::Text(t) => self.out.push_str(&escape_text(t)),
+            }
+        }
+        self.out.push_str("</");
+        self.out.push_str(elem.name());
+        self.out.push('>');
+    }
+
+    /// Consumes the writer and returns the accumulated XML.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn childless_is_self_closing() {
+        let mut w = XmlWriter::new();
+        w.write_element(&Element::new("br"));
+        assert_eq!(w.finish(), "<br/>");
+    }
+
+    #[test]
+    fn escaping_applied_everywhere() {
+        let elem = Element::new("e").with_attr("a", "x\"<y").with_text("1 & 2");
+        let mut w = XmlWriter::new();
+        w.write_element(&elem);
+        let s = w.finish();
+        assert!(s.contains("a=\"x&quot;&lt;y\""));
+        assert!(s.contains("1 &amp; 2"));
+    }
+
+    #[test]
+    fn nested_structure_preserved() {
+        let elem = Element::new("outer")
+            .with_child(Element::new("inner").with_text("t"))
+            .with_child(Element::new("empty"));
+        let mut w = XmlWriter::new();
+        w.write_element(&elem);
+        assert_eq!(w.finish(), "<outer><inner>t</inner><empty/></outer>");
+    }
+}

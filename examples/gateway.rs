@@ -1,0 +1,86 @@
+//! Dynamic composition and self-adaptation (paper §3 + §4.2).
+//!
+//! INDISS starts on a gateway with *lazy* units: nothing is instantiated
+//! until the monitor detects a protocol (Fig. 5's run-time composition).
+//! Devices then join over time, and when the network goes quiet INDISS
+//! switches to the active model, re-advertising known services so purely
+//! passive listeners still learn about them (Fig. 6).
+//!
+//! Run with: `cargo run --example gateway`
+
+use indiss::core::{AdaptationPolicy, Indiss, IndissConfig};
+use indiss::net::World;
+use indiss::slp::{SlpConfig, UserAgent, SLP_MULTICAST_GROUP, SLP_PORT};
+use indiss::upnp::{ClockDevice, UpnpConfig};
+use std::time::Duration;
+
+fn main() {
+    let world = World::new(11);
+    let gateway = world.add_node("gateway");
+    let indiss = Indiss::deploy(
+        &gateway,
+        IndissConfig::slp_upnp()
+            .with_lazy_units()
+            .with_adaptation(AdaptationPolicy {
+                threshold_bytes_per_sec: 300.0,
+                window: Duration::from_secs(2),
+                check_interval: Duration::from_secs(2),
+            }),
+    )
+    .expect("indiss");
+    println!("t={} units: {:?} (lazy: nothing yet)", world.now(), indiss.active_units());
+
+    // t=0: a passive SLP listener is present from the start. It never
+    // transmits, so INDISS cannot bridge on demand for it.
+    let listener_host = world.add_node("passive-slp-listener");
+    let listener = listener_host.udp_bind(SLP_PORT).expect("bind");
+    listener.join_multicast(SLP_MULTICAST_GROUP).expect("join");
+    let heard = indiss::net::Completion::new();
+    let heard2 = heard.clone();
+    listener.on_receive(move |w, d| {
+        if let Ok(msg) = indiss::slp::Message::decode(&d.payload) {
+            if let indiss::slp::Body::SaAdvert(sa) = &msg.body {
+                heard2.complete((w.now(), sa.attrs.clone()));
+            }
+        }
+    });
+
+    // t=2s: a UPnP clock joins and advertises.
+    world.run_for(Duration::from_secs(2));
+    let clock_host = world.add_node("upnp-clock");
+    let _clock = ClockDevice::start(&clock_host, UpnpConfig::default()).expect("clock");
+    world.run_for(Duration::from_millis(100));
+    println!(
+        "t={} UPnP clock joined; units now: {:?}, detected: {:?}",
+        world.now(),
+        indiss.active_units(),
+        indiss.monitor().detected()
+    );
+
+    // t=4s: an SLP client performs one active search, which instantiates
+    // the SLP unit too.
+    let client_host = world.add_node("slp-client");
+    let ua = UserAgent::start(&client_host, SlpConfig::default()).expect("ua");
+    let (_f, done) = ua.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(2));
+    println!(
+        "t={} active SLP search found {} service(s); units now: {:?}",
+        world.now(),
+        done.take().map(|o| o.urls.len()).unwrap_or(0),
+        indiss.active_units()
+    );
+
+    // The network then goes quiet; the adaptation loop drops INDISS into
+    // the active model and the passive listener finally hears the clock.
+    world.run_for(Duration::from_secs(10));
+    println!("t={} mode: {:?}", world.now(), indiss.mode());
+    match heard.take() {
+        Some((at, attrs)) => {
+            println!("passive listener heard a translated advert at t={at}:");
+            println!("  {attrs}");
+        }
+        None => println!("passive listener heard nothing (unexpected)"),
+    }
+    println!("\nmode log: {:?}", indiss.mode_log());
+    println!("stats:    {:?}", indiss.stats());
+}

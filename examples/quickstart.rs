@@ -1,0 +1,58 @@
+//! Quickstart: the paper's §2.4 walkthrough, end to end.
+//!
+//! An SLP client searches for a clock. The only clock on the network is a
+//! UPnP device (the CyberGarage clock of Fig. 4). INDISS, deployed on the
+//! service host, translates the whole discovery *process*: SLP SrvRqst →
+//! events → UPnP M-SEARCH → search response → recursive description
+//! fetch → events → SLP SrvRply.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use indiss::core::{Indiss, IndissConfig};
+use indiss::net::World;
+use indiss::slp::{SlpConfig, UserAgent};
+use indiss::upnp::{ClockDevice, UpnpConfig};
+use std::time::Duration;
+
+fn main() {
+    let world = World::new(42);
+    let service_host = world.add_node("clock-host");
+    let client_host = world.add_node("slp-client");
+
+    // A native UPnP clock device — knows nothing about SLP.
+    let clock = ClockDevice::start(&service_host, UpnpConfig::default())
+        .expect("clock device starts");
+    println!("UPnP clock device up, description at {}", clock.location());
+
+    // INDISS on the service host — applications are unmodified.
+    let indiss = Indiss::deploy(&service_host, IndissConfig::slp_upnp())
+        .expect("INDISS deploys");
+    println!("INDISS deployed on {} with units {:?}", service_host.name(), indiss.active_units());
+
+    // A native SLP client — knows nothing about UPnP.
+    let ua = UserAgent::start(&client_host, SlpConfig::default()).expect("slp client starts");
+
+    println!("\nSLP client multicasts SrvRqst for service:clock …");
+    let t0 = world.now();
+    let (_first, done) = ua.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(2));
+
+    let outcome = done.take().expect("discovery round finished");
+    match outcome.urls.first() {
+        Some(entry) => {
+            println!("SrvRply received after {:?}:", outcome.response_time().unwrap());
+            println!("  URL      : {}", entry.url);
+            println!("  lifetime : {}s", entry.lifetime);
+            // Fetch the attributes INDISS recorded from the description.
+            let attrs = ua.find_attributes(&world, &entry.url);
+            world.run_for(Duration::from_secs(1));
+            if let Some(attrs) = attrs.take() {
+                println!("  attrs    : {attrs}");
+            }
+        }
+        None => println!("no service found (unexpected!)"),
+    }
+    println!("\nINDISS stats: {:?}", indiss.stats());
+    println!("detected SDPs: {:?}", indiss.monitor().detected());
+    let _ = t0;
+}

@@ -1,0 +1,83 @@
+//! The networked home the paper's introduction motivates: devices from
+//! three middleware families, none aware of the others, all mutually
+//! discoverable through one INDISS gateway.
+//!
+//! * a UPnP clock (consumer electronics),
+//! * an SLP printer (office equipment),
+//! * a Jini thermometer behind a Jini lookup service (home automation).
+//!
+//! Run with: `cargo run --example smart_home`
+
+use indiss::core::{Indiss, IndissConfig};
+use indiss::jini::{JiniAgent, JiniConfig, LookupService, ServiceItem};
+use indiss::net::World;
+use indiss::slp::{AttributeList, Registration, ServiceAgent, SlpConfig, UserAgent};
+use indiss::ssdp::SearchTarget;
+use indiss::upnp::{ClockDevice, ControlPoint, ControlPointConfig, UpnpConfig};
+use std::time::Duration;
+
+fn main() {
+    let world = World::new(7);
+
+    // --- the home's devices --------------------------------------------
+    let clock_host = world.add_node("upnp-clock");
+    let _clock = ClockDevice::start(&clock_host, UpnpConfig::default()).expect("clock");
+
+    let printer_host = world.add_node("slp-printer");
+    let printer = ServiceAgent::start(&printer_host, SlpConfig::default()).expect("printer");
+    printer.register(
+        Registration::new(
+            "service:printer:lpr://10.0.0.2:515/queue",
+            AttributeList::parse("(friendlyName=Hallway Printer),(ppm=12),(color)").unwrap(),
+        )
+        .expect("printer registration"),
+    );
+
+    let reggie_host = world.add_node("jini-lookup");
+    let _reggie = LookupService::start(&reggie_host, JiniConfig::default()).expect("reggie");
+    let sensor_host = world.add_node("jini-thermometer");
+    let sensor = JiniAgent::start(&sensor_host, JiniConfig::default()).expect("sensor");
+    sensor.register(ServiceItem {
+        service_id: 0xC0FFEE,
+        service_type: "thermometer".into(),
+        endpoint: format!("{}:9100", sensor_host.addr()),
+        attributes: vec![("friendlyName".into(), "Living Room Thermometer".into())],
+    });
+
+    // --- the bridge ------------------------------------------------------
+    let gateway = world.add_node("gateway");
+    let indiss = Indiss::deploy(&gateway, IndissConfig::all_protocols()).expect("indiss");
+    world.run_for(Duration::from_secs(1)); // announcements settle
+
+    // --- an SLP-only laptop finds the UPnP clock -------------------------
+    let laptop = world.add_node("slp-laptop");
+    let ua = UserAgent::start(&laptop, SlpConfig::default()).expect("laptop ua");
+    let (_f, clocks) = ua.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(2));
+    let clocks = clocks.take().expect("round done");
+    println!("SLP laptop sees clocks     : {:?}", urls(&clocks.urls));
+
+    // --- a UPnP-only tablet finds the SLP printer ------------------------
+    let tablet = world.add_node("upnp-tablet");
+    let cp = ControlPoint::start(&tablet, ControlPointConfig::default()).expect("tablet cp");
+    let (_f, printers) = cp.search(&world, SearchTarget::device_urn("printer", 1));
+    world.run_for(Duration::from_secs(2));
+    let printers = printers.take().expect("search done");
+    println!(
+        "UPnP tablet sees printers  : {:?}",
+        printers.iter().map(|d| d.location.as_str()).collect::<Vec<_>>()
+    );
+
+    // --- an SLP thermostat finds the Jini thermometer --------------------
+    let (_f, thermometers) = ua.find_services(&world, "service:thermometer", "");
+    world.run_for(Duration::from_secs(2));
+    let thermometers = thermometers.take().expect("round done");
+    println!("SLP laptop sees sensors    : {:?}", urls(&thermometers.urls));
+
+    println!("\ngateway stats: {:?}", indiss.stats());
+    println!("detected SDPs: {:?}", indiss.monitor().detected());
+}
+
+fn urls(entries: &[indiss::slp::UrlEntry]) -> Vec<&str> {
+    entries.iter().map(|e| e.url.as_str()).collect()
+}

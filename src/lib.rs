@@ -1,0 +1,65 @@
+//! # indiss — Interoperable Discovery System for Networked Services
+//!
+//! A full reproduction, in Rust, of the system described in:
+//!
+//! > Y.-D. Bromberg and V. Issarny. *INDISS: Interoperable Discovery
+//! > System for Networked Services.* ACM/IFIP/USENIX Middleware 2005.
+//!
+//! INDISS lets applications bound to one Service Discovery Protocol (SDP)
+//! discover and be discovered by services speaking another, without any
+//! change to the applications: a *monitor component* detects which SDPs
+//! are active from IANA multicast group/port activity, and per-SDP
+//! *units* — a coupled parser and composer coordinated by a finite state
+//! machine — translate whole discovery *processes* (not just messages)
+//! through a common semantic event vocabulary.
+//!
+//! This facade crate re-exports the entire workspace:
+//!
+//! * [`net`] — deterministic discrete-event network simulator (the
+//!   paper's 10 Mb/s LAN testbed);
+//! * [`xml`] / [`http`] — document and message substrates;
+//! * [`slp`] — Service Location Protocol v2 (the OpenSLP role);
+//! * [`ssdp`] / [`upnp`] — the UPnP stack (the Cyberlink role);
+//! * [`jini`] — simplified Jini discovery (the third unit of Fig. 5);
+//! * [`core`] — INDISS itself: events, FSMs, units, monitor, runtime.
+//!
+//! ## Quickstart: the paper's §2.4 scenario
+//!
+//! An SLP client finds a UPnP clock through a transparently deployed
+//! INDISS (see `examples/quickstart.rs` for the full program):
+//!
+//! ```
+//! use indiss::net::World;
+//! use indiss::upnp::{ClockDevice, UpnpConfig};
+//! use indiss::slp::{SlpConfig, UserAgent};
+//! use indiss::core::{Indiss, IndissConfig};
+//!
+//! let world = World::new(42);
+//! let service_node = world.add_node("clock-device");
+//! let client_node = world.add_node("slp-client");
+//!
+//! // A native UPnP clock device, knowing nothing of SLP…
+//! let _clock = ClockDevice::start(&service_node, UpnpConfig::default())?;
+//! // …an SLP client, knowing nothing of UPnP…
+//! let ua = UserAgent::start(&client_node, SlpConfig::default())?;
+//! // …and INDISS on the service host, bridging both.
+//! let _indiss = Indiss::deploy(&service_node, IndissConfig::slp_upnp())?;
+//!
+//! let (_first, done) = ua.find_services(&world, "service:clock", "");
+//! world.run_for(std::time::Duration::from_secs(2));
+//! let outcome = done.take().expect("discovery round finished");
+//! assert_eq!(outcome.urls.len(), 1, "the UPnP clock is visible to SLP");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use indiss_core as core;
+pub use indiss_http as http;
+pub use indiss_jini as jini;
+pub use indiss_net as net;
+pub use indiss_slp as slp;
+pub use indiss_ssdp as ssdp;
+pub use indiss_upnp as upnp;
+pub use indiss_xml as xml;

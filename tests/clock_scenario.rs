@@ -1,0 +1,150 @@
+//! Integration test of the paper's §2.4 / Fig. 4 clock scenario: every
+//! step of the SLP→UPnP translation, with the exact artifacts the paper
+//! prints.
+
+use indiss::core::{Indiss, IndissConfig, ParsedMessage, SlpUnit, SlpUnitConfig, Unit};
+use indiss::net::{Datagram, World};
+use indiss::slp::{Body, Header, Message, SlpConfig, SrvRqst, UserAgent};
+use indiss::upnp::{ClockDevice, UpnpConfig};
+use std::net::SocketAddrV4;
+use std::time::Duration;
+
+/// Fig. 4 step 1: the SLP parser must produce the paper's event list for
+/// a SrvRqst, in order.
+#[test]
+fn step1_srv_rqst_event_stream_matches_fig4() {
+    let world = World::new(1);
+    let node = world.add_node("indiss");
+    let unit = SlpUnit::new(&node, SlpUnitConfig::default()).unwrap();
+    let msg = Message::new(
+        Header::new(indiss::slp::FunctionId::SrvRqst, 0x1234, "en"),
+        Body::SrvRqst(SrvRqst {
+            prlist: String::new(),
+            service_type: "service:clock".into(),
+            scopes: "DEFAULT".into(),
+            predicate: String::new(),
+            spi: String::new(),
+        }),
+    );
+    let dgram = Datagram {
+        src: "10.0.0.9:40000".parse().unwrap(),
+        dst: SocketAddrV4::new(indiss::slp::SLP_MULTICAST_GROUP, indiss::slp::SLP_PORT),
+        payload: msg.encode().unwrap(),
+    };
+    let ParsedMessage::Request(stream) = unit.parse(&world, &dgram) else {
+        panic!("SrvRqst must parse as a bridgeable request");
+    };
+    let names = stream.names();
+    // The paper's step-1 list: SDP_C_START …, SDP_NET_MULTICAST,
+    // SDP_NET_SOURCE_ADDR, SDP_SERVICE_REQUEST, SDP_REQ_VERSION,
+    // SDP_REQ_SCOPE, SDP_REQ_PREDICATE, SDP_REQ_ID, SDP_SERVICE_TYPE,
+    // SDP_C_STOP — we additionally tag SDP_NET_TYPE and SDP_REQ_LANG.
+    let expected_order = [
+        "SDP_C_START",
+        "SDP_NET_MULTICAST",
+        "SDP_NET_SOURCE_ADDR",
+        "SDP_SERVICE_REQUEST",
+        "SDP_REQ_VERSION",
+        "SDP_REQ_SCOPE",
+        "SDP_REQ_PREDICATE",
+        "SDP_REQ_ID",
+        "SDP_SERVICE_TYPE",
+        "SDP_C_STOP",
+    ];
+    let mut cursor = 0;
+    for name in names {
+        if cursor < expected_order.len() && name == expected_order[cursor] {
+            cursor += 1;
+        }
+    }
+    assert_eq!(cursor, expected_order.len(), "Fig. 4 events present in order");
+}
+
+/// The full process: SLP client → INDISS → UPnP clock → SLP client, with
+/// the paper's SrvRply artifacts (soap URL + description attributes).
+#[test]
+fn full_translation_produces_fig4_srv_rply() {
+    let world = World::new(42);
+    let service_host = world.add_node("clock-host");
+    let client_host = world.add_node("slp-client");
+    let _clock = ClockDevice::start(&service_host, UpnpConfig::default()).unwrap();
+    let _indiss = Indiss::deploy(&service_host, IndissConfig::slp_upnp()).unwrap();
+    let ua = UserAgent::start(&client_host, SlpConfig::default()).unwrap();
+
+    let (_first, done) = ua.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(2));
+    let outcome = done.take().expect("round finished");
+    assert_eq!(outcome.urls.len(), 1);
+
+    // Fig. 4: `SrvRply: service:clock:soap://…/service/timer/control`.
+    let url = &outcome.urls[0].url;
+    assert!(url.starts_with("service:clock:soap://"), "{url}");
+    assert!(url.ends_with("/service/timer/control"), "{url}");
+
+    // Fig. 4's attribute list: friendlyName:"CyberGarage Clock Device",
+    // modelDescription:"CyberUPnP Clock Device", modelName:"Clock", …
+    let attrs = ua.find_attributes(&world, url);
+    world.run_for(Duration::from_secs(1));
+    let attrs = attrs.take().expect("AttrRply for the bridged URL");
+    assert_eq!(attrs.get("friendlyName"), Some("CyberGarage Clock Device"));
+    assert_eq!(attrs.get("modelDescription"), Some("CyberUPnP Clock Device"));
+    assert_eq!(attrs.get("modelName"), Some("Clock"));
+    assert_eq!(attrs.get("modelNumber"), Some("1.0"));
+    assert_eq!(attrs.get("manufacturerURL"), Some("http://www.cybergarage.org"));
+}
+
+/// §4.3 response-time bands: the service-side deployment must land near
+/// the paper's 65 ms and the client-side one above it.
+#[test]
+fn response_times_land_in_paper_bands() {
+    let measure = |client_side: bool| -> Duration {
+        let world = World::new(9);
+        let service_host = world.add_node("clock-host");
+        let client_host = world.add_node("slp-client");
+        let indiss_host = if client_side { &client_host } else { &service_host };
+        let _clock = ClockDevice::start(&service_host, UpnpConfig::default()).unwrap();
+        let _indiss = Indiss::deploy(indiss_host, IndissConfig::slp_upnp()).unwrap();
+        let ua = UserAgent::start(&client_host, SlpConfig::default()).unwrap();
+        let (_f, done) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(2));
+        done.take().unwrap().response_time().expect("answered")
+    };
+    let service_side = measure(false);
+    let client_side = measure(true);
+    assert!(
+        service_side > Duration::from_millis(55) && service_side < Duration::from_millis(80),
+        "paper: 65 ms; got {service_side:?}"
+    );
+    assert!(client_side > service_side, "client side pays the extra crossings");
+}
+
+/// Transparency (§2.2): the application uses its unmodified native
+/// library; the same `UserAgent` code path serves native and bridged
+/// discoveries simultaneously.
+#[test]
+fn native_and_bridged_services_coexist_in_one_reply_round() {
+    let world = World::new(17);
+    let upnp_host = world.add_node("upnp-clock");
+    let slp_host = world.add_node("slp-clock");
+    let client_host = world.add_node("client");
+    let gateway = world.add_node("gateway");
+
+    let _upnp_clock = ClockDevice::start(&upnp_host, UpnpConfig::default()).unwrap();
+    let sa = indiss::slp::ServiceAgent::start(&slp_host, SlpConfig::default()).unwrap();
+    sa.register(
+        indiss::slp::Registration::new(
+            "service:clock://10.0.0.2:4444",
+            indiss::slp::AttributeList::new(),
+        )
+        .unwrap(),
+    );
+    let _indiss = Indiss::deploy(&gateway, IndissConfig::slp_upnp()).unwrap();
+
+    let ua = UserAgent::start(&client_host, SlpConfig::default()).unwrap();
+    let (_f, done) = ua.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(2));
+    let urls: Vec<String> = done.take().unwrap().urls.into_iter().map(|u| u.url).collect();
+    assert_eq!(urls.len(), 2, "native + bridged: {urls:?}");
+    assert!(urls.iter().any(|u| u == "service:clock://10.0.0.2:4444"));
+    assert!(urls.iter().any(|u| u.starts_with("service:clock:soap://")));
+}

@@ -1,0 +1,106 @@
+//! The event vocabulary contract (paper §2.3, Table 1) from a consumer's
+//! point of view: mandatory events exist under their exact names, the
+//! specific sets are marked non-mandatory, and composers demonstrably
+//! discard events they do not understand.
+
+use indiss::core::{Event, EventKind, EventStream, ParserKind, SdpProtocol};
+
+#[test]
+fn mandatory_event_names_are_exactly_table1() {
+    let table1 = [
+        (EventKind::Start, "SDP_C_START"),
+        (EventKind::Stop, "SDP_C_STOP"),
+        (EventKind::ParserSwitch, "SDP_C_PARSER_SWITCH"),
+        (EventKind::SocketSwitch, "SDP_C_SOCKET_SWITCH"),
+        (EventKind::NetUnicast, "SDP_NET_UNICAST"),
+        (EventKind::NetMulticast, "SDP_NET_MULTICAST"),
+        (EventKind::NetSourceAddr, "SDP_NET_SOURCE_ADDR"),
+        (EventKind::NetDestAddr, "SDP_NET_DEST_ADDR"),
+        (EventKind::NetType, "SDP_NET_TYPE"),
+        (EventKind::ServiceRequest, "SDP_SERVICE_REQUEST"),
+        (EventKind::ServiceResponse, "SDP_SERVICE_RESPONSE"),
+        (EventKind::ServiceAlive, "SDP_SERVICE_ALIVE"),
+        (EventKind::ServiceByeBye, "SDP_SERVICE_BYEBYE"),
+        (EventKind::ServiceType, "SDP_SERVICE_TYPE"),
+        (EventKind::ServiceAttr, "SDP_SERVICE_ATTR"),
+        (EventKind::ReqLang, "SDP_REQ_LANG"),
+        (EventKind::ResOk, "SDP_RES_OK"),
+        (EventKind::ResErr, "SDP_RES_ERR"),
+        (EventKind::ResTtl, "SDP_RES_TTL"),
+        (EventKind::ResServUrl, "SDP_RES_SERV_URL"),
+        (EventKind::ResAttr, "SDP_RES_ATTR"),
+    ];
+    for (kind, name) in table1 {
+        assert_eq!(kind.table1_name(), Some(name));
+        assert_eq!(kind.name(), name);
+    }
+}
+
+#[test]
+fn specific_sets_are_marked_as_extensions() {
+    // The SLP-specific request events from Fig. 4…
+    for e in [
+        Event::SlpReqVersion(2),
+        Event::SlpReqScope("DEFAULT".into()),
+        Event::SlpReqPredicate(String::new()),
+        Event::SlpReqId(1),
+    ] {
+        assert!(!e.is_mandatory(), "{e}");
+    }
+    // …the UPnP-specific ones…
+    for e in [
+        Event::UpnpDeviceUrlDesc("http://x".into()),
+        Event::UpnpUsn("uuid:x".into()),
+        Event::UpnpServer("s".into()),
+        Event::UpnpMx(0),
+        Event::UpnpSt("upnp:clock".into()),
+    ] {
+        assert!(!e.is_mandatory(), "{e}");
+    }
+    // …and the Jini-specific ones.
+    for e in [
+        Event::JiniGroups(vec![]),
+        Event::JiniServiceId(1),
+        Event::JiniLease(300),
+    ] {
+        assert!(!e.is_mandatory(), "{e}");
+    }
+}
+
+/// "events added to the mandatory ones enable the richest SDPs to
+/// interact using their advanced features without being misunderstood by
+/// the poorest" — a stream full of foreign-specific events still exposes
+/// its mandatory content through the accessors composers use.
+#[test]
+fn accessors_skip_unknown_specific_events() {
+    let stream = EventStream::framed(vec![
+        Event::NetType(SdpProtocol::Slp),
+        Event::SlpReqVersion(2),                       // SLP-specific noise
+        Event::JiniGroups(vec!["public".into()]),      // Jini-specific noise
+        Event::ServiceRequest,
+        Event::UpnpMx(3),                              // UPnP-specific noise
+        Event::ServiceType("clock".into()),
+    ]);
+    assert!(stream.is_request());
+    assert_eq!(stream.service_type(), Some("clock"));
+    assert_eq!(stream.net_type(), Some(SdpProtocol::Slp));
+    assert!(stream.service_url().is_none());
+}
+
+#[test]
+fn parser_switch_payload_names_targets() {
+    // §2.4: the SSDP parser yields to an XML parser mid-process.
+    let e = Event::ParserSwitch(ParserKind::Xml);
+    assert_eq!(e.to_string(), "SDP_C_PARSER_SWITCH");
+    assert!(e.is_mandatory());
+    let _ = ParserKind::Http;
+    let _ = ParserKind::Native;
+}
+
+#[test]
+fn streams_require_framing() {
+    assert!(EventStream::from_events(vec![Event::ServiceRequest]).is_err());
+    let ok = EventStream::framed(vec![Event::ServiceRequest]);
+    assert_eq!(ok.events().len(), 3);
+    assert_eq!(EventStream::from_events(ok.events().to_vec()).unwrap(), ok);
+}

@@ -1,0 +1,169 @@
+//! Cross-protocol interoperability matrix: every client kind × every
+//! service kind × every INDISS location the paper's §4.2 enumerates.
+
+use indiss::core::{Indiss, IndissConfig};
+use indiss::jini::{JiniAgent, JiniConfig, LookupService, ServiceItem};
+use indiss::net::{Node, World};
+use indiss::slp::{AttributeList, Registration, ServiceAgent, SlpConfig, UserAgent};
+use indiss::ssdp::SearchTarget;
+use indiss::upnp::{ClockDevice, ControlPoint, ControlPointConfig, UpnpConfig};
+use std::time::Duration;
+
+fn start_slp_clock(node: &Node) {
+    let sa = ServiceAgent::start(node, SlpConfig::default()).unwrap();
+    sa.register(
+        Registration::new(
+            &format!("service:clock://{}:4455/timer", node.addr()),
+            AttributeList::parse("(friendlyName=SLP Clock)").unwrap(),
+        )
+        .unwrap(),
+    );
+}
+
+/// SLP client → UPnP service, all three INDISS locations.
+#[test]
+fn slp_client_sees_upnp_service_from_every_location() {
+    for location in ["client", "service", "gateway"] {
+        let world = World::new(5);
+        let service_host = world.add_node("upnp-host");
+        let client_host = world.add_node("slp-host");
+        let indiss_host = match location {
+            "client" => client_host.clone(),
+            "service" => service_host.clone(),
+            _ => world.add_node("gateway"),
+        };
+        let _clock = ClockDevice::start(&service_host, UpnpConfig::default()).unwrap();
+        let _indiss = Indiss::deploy(&indiss_host, IndissConfig::slp_upnp()).unwrap();
+        let ua = UserAgent::start(&client_host, SlpConfig::default()).unwrap();
+        let (_f, done) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(2));
+        assert_eq!(done.take().unwrap().urls.len(), 1, "INDISS on {location} side");
+    }
+}
+
+/// UPnP client → SLP service, all three locations; the answer's LOCATION
+/// must be a fetchable synthetic description.
+#[test]
+fn upnp_client_sees_slp_service_from_every_location() {
+    for location in ["client", "service", "gateway"] {
+        let world = World::new(5);
+        let service_host = world.add_node("slp-host");
+        let client_host = world.add_node("upnp-host");
+        let indiss_host = match location {
+            "client" => client_host.clone(),
+            "service" => service_host.clone(),
+            _ => world.add_node("gateway"),
+        };
+        start_slp_clock(&service_host);
+        let _indiss = Indiss::deploy(&indiss_host, IndissConfig::slp_upnp()).unwrap();
+        let cp = ControlPoint::start(&client_host, ControlPointConfig::default()).unwrap();
+        let (_f, all) = cp.search(&world, SearchTarget::device_urn("clock", 1));
+        world.run_for(Duration::from_secs(2));
+        let hits = all.take().unwrap();
+        assert_eq!(hits.len(), 1, "INDISS on {location} side");
+
+        // The description must really be served and carry the endpoint.
+        let described = cp.fetch_description(&world, &hits[0].location);
+        world.run_for(Duration::from_secs(2));
+        let desc = described.take().unwrap().expect("synthetic description fetchable");
+        assert_eq!(desc.friendly_name, "SLP Clock");
+        assert!(desc.services[0].control_url.starts_with("service:clock://"));
+    }
+}
+
+/// Jini client → UPnP service: the Jini unit announces itself as lookup
+/// service and bridges the lookup.
+#[test]
+fn jini_client_sees_upnp_service() {
+    let world = World::new(6);
+    let service_host = world.add_node("upnp-host");
+    let client_host = world.add_node("jini-host");
+    let gateway = world.add_node("gateway");
+    let _clock = ClockDevice::start(&service_host, UpnpConfig::default()).unwrap();
+    let _indiss = Indiss::deploy(&gateway, IndissConfig::all_protocols()).unwrap();
+    let client = JiniAgent::start(&client_host, JiniConfig::default()).unwrap();
+    let found = client.lookup("clock");
+    world.run_for(Duration::from_secs(3));
+    let items = found.take().expect("lookup answered");
+    assert_eq!(items.len(), 1);
+    assert!(items[0].endpoint.starts_with("soap://"), "{:?}", items[0]);
+    assert!(items[0]
+        .attributes
+        .iter()
+        .any(|(t, v)| t == "friendlyName" && v == "CyberGarage Clock Device"));
+}
+
+/// SLP client → Jini service behind a real lookup service.
+#[test]
+fn slp_client_sees_jini_service() {
+    let world = World::new(6);
+    let reggie_host = world.add_node("reggie");
+    let provider_host = world.add_node("provider");
+    let client_host = world.add_node("slp-client");
+    let gateway = world.add_node("gateway");
+    let _reggie = LookupService::start(&reggie_host, JiniConfig::default()).unwrap();
+    let provider = JiniAgent::start(&provider_host, JiniConfig::default()).unwrap();
+    provider.register(ServiceItem {
+        service_id: 9,
+        service_type: "clock".into(),
+        endpoint: format!("{}:9100", provider_host.addr()),
+        attributes: vec![("friendlyName".into(), "Jini Clock".into())],
+    });
+    let _indiss = Indiss::deploy(&gateway, IndissConfig::all_protocols()).unwrap();
+    world.run_for(Duration::from_secs(1));
+
+    let ua = UserAgent::start(&client_host, SlpConfig::default()).unwrap();
+    let (_f, done) = ua.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(2));
+    let urls = done.take().unwrap().urls;
+    assert_eq!(urls.len(), 1);
+    assert!(urls[0].url.starts_with("service:clock:jini://"), "{}", urls[0].url);
+}
+
+/// UPnP client → Jini service: both ends foreign to each other.
+#[test]
+fn upnp_client_sees_jini_service() {
+    let world = World::new(6);
+    let reggie_host = world.add_node("reggie");
+    let provider_host = world.add_node("provider");
+    let client_host = world.add_node("upnp-client");
+    let gateway = world.add_node("gateway");
+    let _reggie = LookupService::start(&reggie_host, JiniConfig::default()).unwrap();
+    let provider = JiniAgent::start(&provider_host, JiniConfig::default()).unwrap();
+    provider.register(ServiceItem {
+        service_id: 10,
+        service_type: "thermometer".into(),
+        endpoint: format!("{}:9200", provider_host.addr()),
+        attributes: vec![],
+    });
+    let _indiss = Indiss::deploy(&gateway, IndissConfig::all_protocols()).unwrap();
+    world.run_for(Duration::from_secs(1));
+
+    let cp = ControlPoint::start(&client_host, ControlPointConfig::default()).unwrap();
+    let (_f, all) = cp.search(&world, SearchTarget::device_urn("thermometer", 1));
+    world.run_for(Duration::from_secs(2));
+    assert_eq!(all.take().unwrap().len(), 1);
+}
+
+/// Two INDISS instances in one network must not amplify traffic into a
+/// loop: each ignores its own sockets, and bridged answers are unicast.
+#[test]
+fn two_gateways_do_not_loop() {
+    let world = World::new(8);
+    let service_host = world.add_node("upnp-host");
+    let client_host = world.add_node("slp-host");
+    let gw1 = world.add_node("gateway-1");
+    let gw2 = world.add_node("gateway-2");
+    let _clock = ClockDevice::start(&service_host, UpnpConfig::default()).unwrap();
+    let indiss1 = Indiss::deploy(&gw1, IndissConfig::slp_upnp()).unwrap();
+    let indiss2 = Indiss::deploy(&gw2, IndissConfig::slp_upnp()).unwrap();
+    let ua = UserAgent::start(&client_host, SlpConfig::default()).unwrap();
+    let (_f, done) = ua.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(3));
+    // Both gateways answer (duplicate replies are normal in multicast
+    // discovery) but the system settles: no unbounded request storm.
+    let urls = done.take().unwrap().urls;
+    assert!(!urls.is_empty() && urls.len() <= 4, "bounded answers: {urls:?}");
+    let total_bridged = indiss1.stats().requests_bridged + indiss2.stats().requests_bridged;
+    assert!(total_bridged <= 6, "no amplification loop: {total_bridged}");
+}

@@ -1,0 +1,76 @@
+//! Beyond discovery: the endpoint INDISS hands to a foreign client must
+//! actually work. An SLP client discovers the UPnP clock through INDISS,
+//! then POSTs a SOAP `GetTime` to the `service:clock:soap://…` URL it was
+//! given — talking straight to the native device, no INDISS in the data
+//! path (exactly the paper's model: INDISS bridges *discovery*, not
+//! interaction).
+
+use indiss::core::{Indiss, IndissConfig};
+use indiss::http::{Method, Request};
+use indiss::net::World;
+use indiss::slp::{ServiceUrl, SlpConfig, UserAgent};
+use indiss::upnp::{http_request, ClockDevice, SoapAction, SoapResponse, UpnpConfig, TIMER_SERVICE};
+use std::net::SocketAddrV4;
+use std::time::Duration;
+
+#[test]
+fn bridged_soap_url_is_invocable() {
+    let world = World::new(81);
+    let service_host = world.add_node("clock-host");
+    let client_host = world.add_node("slp-client");
+    let _clock = ClockDevice::start(&service_host, UpnpConfig::default()).unwrap();
+    let _indiss = Indiss::deploy(&service_host, IndissConfig::slp_upnp()).unwrap();
+    let ua = UserAgent::start(&client_host, SlpConfig::default()).unwrap();
+
+    // Discover through INDISS.
+    let (_f, done) = ua.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(2));
+    let urls = done.take().unwrap().urls;
+    assert_eq!(urls.len(), 1);
+
+    // Parse the SLP service URL the client received…
+    let parsed = ServiceUrl::parse(&urls[0].url).unwrap();
+    assert_eq!(parsed.service_type.concrete.as_deref(), Some("soap"));
+    let host: std::net::Ipv4Addr = parsed.host.parse().unwrap();
+    let addr = SocketAddrV4::new(host, parsed.port.unwrap());
+
+    // …and invoke GetTime directly against the native device.
+    let call = SoapAction::new("GetTime", TIMER_SERVICE);
+    let mut req = Request::new(Method::Post, parsed.path.clone());
+    req.headers.insert("HOST", addr.to_string());
+    req.headers.insert("Content-Type", "text/xml; charset=\"utf-8\"");
+    req.headers.insert("SOAPACTION", call.soapaction_header());
+    req.body = call.to_xml().into_bytes();
+
+    let resp = http_request(&client_host, addr, req);
+    world.run_for(Duration::from_secs(2));
+    let resp = resp.take().unwrap().expect("SOAP endpoint reachable");
+    assert!(resp.is_success());
+    let soap = SoapResponse::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    let time = soap.arg("CurrentTime").expect("clock told the time");
+    assert_eq!(time.len(), 8, "HH:MM:SS, got {time}");
+}
+
+/// The synthetic description INDISS serves to UPnP clients names the real
+/// SLP endpoint as its control URL — the reverse direction of the same
+/// guarantee.
+#[test]
+fn synthetic_description_points_at_real_endpoint() {
+    use indiss::slp::{AttributeList, Registration, ServiceAgent};
+    use indiss::ssdp::SearchTarget;
+    use indiss::upnp::{ControlPoint, ControlPointConfig};
+
+    let world = World::new(82);
+    let service_host = world.add_node("slp-host");
+    let client_host = world.add_node("upnp-client");
+    let sa = ServiceAgent::start(&service_host, SlpConfig::default()).unwrap();
+    let real_url = format!("service:printer:lpr://{}:515/queue", service_host.addr());
+    sa.register(Registration::new(&real_url, AttributeList::new()).unwrap());
+    let _indiss = Indiss::deploy(&service_host, IndissConfig::slp_upnp()).unwrap();
+
+    let cp = ControlPoint::start(&client_host, ControlPointConfig::default()).unwrap();
+    let described = cp.discover_described(&world, SearchTarget::device_urn("printer", 1));
+    world.run_for(Duration::from_secs(3));
+    let (_hit, desc) = described.take().unwrap().expect("described");
+    assert_eq!(desc.services[0].control_url, real_url);
+}

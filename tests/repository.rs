@@ -1,0 +1,104 @@
+//! Repository-based discovery (paper §2's taxonomy): the optional SLP
+//! Directory Agent and Jini's mandatory lookup service both act as
+//! "centralized lookup services", and INDISS must interoperate with them
+//! exactly as with repository-less agents.
+
+use indiss::core::{Indiss, IndissConfig};
+use indiss::net::World;
+use indiss::slp::{
+    AttributeList, DirectoryAgent, Registration, ServiceAgent, SlpConfig, UserAgent,
+};
+use indiss::ssdp::SearchTarget;
+use indiss::upnp::{ControlPoint, ControlPointConfig};
+use std::net::SocketAddrV4;
+use std::time::Duration;
+
+/// A UPnP client can discover an SLP service whose only announcer is a
+/// Directory Agent: the INDISS SLP unit's multicast SrvRqst is answered
+/// by the DA from its store.
+#[test]
+fn upnp_client_finds_service_known_only_to_a_da() {
+    let world = World::new(71);
+    let da_host = world.add_node("da");
+    let sa_host = world.add_node("sa");
+    let client_host = world.add_node("upnp-client");
+    let gateway = world.add_node("gateway");
+
+    let da = DirectoryAgent::start(&da_host, SlpConfig::default(), Duration::from_secs(60))
+        .unwrap();
+    let sa = ServiceAgent::start(&sa_host, SlpConfig::default()).unwrap();
+    sa.register(
+        Registration::new(
+            "service:clock://10.0.0.2:9100",
+            AttributeList::parse("(friendlyName=DA Clock)").unwrap(),
+        )
+        .unwrap(),
+    );
+    // Let the SA hear the DAAdvert and forward its registration, then
+    // silence the SA so only the DA can answer.
+    world.run_for(Duration::from_secs(1));
+    assert_eq!(da.registration_count(), 1);
+    sa.deregister("service:clock://10.0.0.2:9100");
+
+    let _indiss = Indiss::deploy(&gateway, IndissConfig::slp_upnp()).unwrap();
+    let cp = ControlPoint::start(&client_host, ControlPointConfig::default()).unwrap();
+    let (_f, all) = cp.search(&world, SearchTarget::device_urn("clock", 1));
+    world.run_for(Duration::from_secs(2));
+    let hits = all.take().unwrap();
+    assert_eq!(hits.len(), 1, "the DA's store was bridged to UPnP");
+}
+
+/// The DA answering unicast requests: a UA pointed at the DA (no
+/// multicast at all) coexists with INDISS on the same network.
+#[test]
+fn unicast_da_discovery_is_undisturbed_by_indiss() {
+    let world = World::new(72);
+    let da_host = world.add_node("da");
+    let sa_host = world.add_node("sa");
+    let client_host = world.add_node("client");
+    let gateway = world.add_node("gateway");
+
+    let _da = DirectoryAgent::start(&da_host, SlpConfig::default(), Duration::from_secs(60))
+        .unwrap();
+    let sa = ServiceAgent::start(&sa_host, SlpConfig::default()).unwrap();
+    sa.register(
+        Registration::new("service:printer://10.0.0.2:515", AttributeList::new()).unwrap(),
+    );
+    let _indiss = Indiss::deploy(&gateway, IndissConfig::slp_upnp()).unwrap();
+    world.run_for(Duration::from_secs(1));
+
+    let ua = UserAgent::start(&client_host, SlpConfig::default()).unwrap();
+    ua.set_da(Some(SocketAddrV4::new(da_host.addr(), indiss::slp::SLP_PORT)));
+    let (_f, done) = ua.find_services(&world, "service:printer", "");
+    world.run_for(Duration::from_secs(1));
+    assert_eq!(done.take().unwrap().urls.len(), 1);
+}
+
+/// Repository + repository-less mixing: with both a DA and a live SA
+/// answering, the client sees the service exactly twice (once each) and
+/// INDISS adds nothing spurious.
+#[test]
+fn da_and_sa_both_answer_without_indiss_interference() {
+    let world = World::new(73);
+    let da_host = world.add_node("da");
+    let sa_host = world.add_node("sa");
+    let client_host = world.add_node("client");
+    let gateway = world.add_node("gateway");
+
+    let da = DirectoryAgent::start(&da_host, SlpConfig::default(), Duration::from_secs(60))
+        .unwrap();
+    let sa = ServiceAgent::start(&sa_host, SlpConfig::default()).unwrap();
+    sa.register(
+        Registration::new("service:clock://10.0.0.2:9100", AttributeList::new()).unwrap(),
+    );
+    let _indiss = Indiss::deploy(&gateway, IndissConfig::slp_upnp()).unwrap();
+    world.run_for(Duration::from_secs(1));
+    assert_eq!(da.registration_count(), 1);
+
+    let ua = UserAgent::start(&client_host, SlpConfig::default()).unwrap();
+    let (_f, done) = ua.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(1));
+    let urls = done.take().unwrap().urls;
+    assert_eq!(urls.len(), 2, "SA + DA, nothing more: {urls:?}");
+    assert!(urls.iter().all(|u| u.url == "service:clock://10.0.0.2:9100"));
+}

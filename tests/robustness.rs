@@ -1,0 +1,166 @@
+//! Failure injection and hostile-input tests: INDISS must degrade, not
+//! break, when the network or its peers misbehave.
+
+use indiss::core::{Indiss, IndissConfig};
+use indiss::net::{LinkConfig, World, WorldConfig};
+use indiss::slp::{SlpConfig, UserAgent};
+use indiss::upnp::{ClockDevice, UpnpConfig};
+use std::net::SocketAddrV4;
+use std::time::Duration;
+
+/// Garbage on the monitored ports must not disturb bridging.
+#[test]
+fn malformed_packets_on_sdp_ports_are_ignored() {
+    let world = World::new(51);
+    let service_host = world.add_node("clock-host");
+    let client_host = world.add_node("slp-client");
+    let attacker = world.add_node("fuzzer");
+    let _clock = ClockDevice::start(&service_host, UpnpConfig::default()).unwrap();
+    let indiss = Indiss::deploy(&service_host, IndissConfig::slp_upnp()).unwrap();
+
+    // Blast junk at both SDP ports, multicast and unicast.
+    let gun = attacker.udp_bind_ephemeral().unwrap();
+    let payloads: Vec<Vec<u8>> = vec![
+        vec![],
+        vec![0xFF; 3],
+        b"GET / HTTP/1.1\r\n\r\n".to_vec(),        // valid HTTP, wrong method for SSDP
+        b"\x02\x01\x00\x00\x08".to_vec(),           // truncated SLP header
+        vec![0x41; 2000],                            // oversized noise
+        b"M-SEARCH * HTTP/1.1\r\nST: ssdp:all\r\n\r\n".to_vec(), // no MAN header
+    ];
+    for (i, p) in payloads.iter().enumerate() {
+        let port = if i % 2 == 0 { 427 } else { 1900 };
+        let group = if port == 427 {
+            indiss::slp::SLP_MULTICAST_GROUP
+        } else {
+            indiss::ssdp::SSDP_MULTICAST_GROUP
+        };
+        let _ = gun.send_to(p, SocketAddrV4::new(group, port));
+        let _ = gun.send_to(p, SocketAddrV4::new(service_host.addr(), port));
+    }
+    world.run_for(Duration::from_secs(1));
+
+    // Bridging still works afterwards.
+    let ua = UserAgent::start(&client_host, SlpConfig::default()).unwrap();
+    let (_f, done) = ua.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(2));
+    assert_eq!(done.take().unwrap().urls.len(), 1);
+    // Detection counted the junk (port-based detection has no notion of
+    // well-formedness, §2.1) but nothing was bridged from it.
+    assert_eq!(indiss.stats().responses_composed, 1);
+}
+
+/// The target service crashing mid-bridge must yield silence to the
+/// client, not a hang or a partial answer.
+#[test]
+fn service_crash_mid_bridge_degrades_to_silence() {
+    let world = World::new(52);
+    let service_host = world.add_node("clock-host");
+    let client_host = world.add_node("slp-client");
+    let gateway = world.add_node("gateway");
+    let _clock = ClockDevice::start(&service_host, UpnpConfig::default()).unwrap();
+    let _indiss = Indiss::deploy(&gateway, IndissConfig::slp_upnp()).unwrap();
+    let ua = UserAgent::start(&client_host, SlpConfig::default()).unwrap();
+
+    // Crash the device just after the search would reach it but before
+    // the description fetch completes.
+    let crash_at = Duration::from_millis(45);
+    let host = service_host.clone();
+    world.schedule_in(crash_at, move |_| host.set_up(false));
+
+    let (first, done) = ua.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(3));
+    assert!(!first.is_complete(), "no partial answer");
+    assert!(done.take().unwrap().urls.is_empty());
+}
+
+/// Packet loss on the LAN: multicast discovery is inherently best-effort;
+/// INDISS must simply miss the request, not misbehave. (A native client
+/// would retry; we assert retries eventually succeed.)
+#[test]
+fn lossy_network_recovers_on_retry() {
+    let mut cfg = WorldConfig::with_seed(53);
+    cfg.default_link = LinkConfig::lan_10mbps().with_loss(0.5);
+    let world = World::with_config(cfg);
+    let service_host = world.add_node("clock-host");
+    let client_host = world.add_node("slp-client");
+    let _clock = ClockDevice::start(&service_host, UpnpConfig::default()).unwrap();
+    let _indiss = Indiss::deploy(&service_host, IndissConfig::slp_upnp()).unwrap();
+    let ua = UserAgent::start(&client_host, SlpConfig::default()).unwrap();
+
+    // Retry until something gets through (bounded).
+    let mut answered = false;
+    for _ in 0..20 {
+        let (_f, done) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(1));
+        if done.take().map(|o| !o.urls.is_empty()).unwrap_or(false) {
+            answered = true;
+            break;
+        }
+    }
+    assert!(answered, "eventually a request+reply pair survives 90% loss");
+}
+
+/// A downed INDISS node must leave native discovery untouched.
+#[test]
+fn indiss_down_does_not_affect_native_paths() {
+    let world = World::new(54);
+    let service_host = world.add_node("slp-service");
+    let client_host = world.add_node("slp-client");
+    let gateway = world.add_node("gateway");
+    let sa = indiss::slp::ServiceAgent::start(&service_host, SlpConfig::default()).unwrap();
+    sa.register(
+        indiss::slp::Registration::new(
+            "service:clock://10.0.0.1:9",
+            indiss::slp::AttributeList::new(),
+        )
+        .unwrap(),
+    );
+    let _indiss = Indiss::deploy(&gateway, IndissConfig::slp_upnp()).unwrap();
+    gateway.set_up(false);
+
+    let ua = UserAgent::start(&client_host, SlpConfig::default()).unwrap();
+    let (_f, done) = ua.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(2));
+    assert_eq!(done.take().unwrap().urls.len(), 1, "native SLP unaffected");
+}
+
+/// Repeated deploy/teardown cycles across worlds must be independent —
+/// no global state leaks between simulations.
+#[test]
+fn worlds_are_isolated() {
+    for seed in 0..5 {
+        let world = World::new(seed);
+        let host = world.add_node("host");
+        let client = world.add_node("client");
+        let _clock = ClockDevice::start(&host, UpnpConfig::default()).unwrap();
+        let indiss = Indiss::deploy(&host, IndissConfig::slp_upnp()).unwrap();
+        let ua = UserAgent::start(&client, SlpConfig::default()).unwrap();
+        let (_f, done) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(2));
+        assert_eq!(done.take().unwrap().urls.len(), 1, "seed {seed}");
+        assert_eq!(indiss.stats().requests_bridged, 1, "fresh stats per world");
+    }
+}
+
+/// The same search type asked rapidly from two different clients within
+/// the suppression window: the second is served from cache, not dropped.
+#[test]
+fn suppression_window_does_not_starve_second_client() {
+    let world = World::new(55);
+    let service_host = world.add_node("clock-host");
+    let c1 = world.add_node("client-1");
+    let c2 = world.add_node("client-2");
+    let _clock = ClockDevice::start(&service_host, UpnpConfig::default()).unwrap();
+    let indiss = Indiss::deploy(&service_host, IndissConfig::slp_upnp()).unwrap();
+    let ua1 = UserAgent::start(&c1, SlpConfig::default()).unwrap();
+    let ua2 = UserAgent::start(&c2, SlpConfig::default()).unwrap();
+
+    let (_f1, d1) = ua1.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_millis(200));
+    let (_f2, d2) = ua2.find_services(&world, "service:clock", "");
+    world.run_for(Duration::from_secs(2));
+    assert_eq!(d1.take().unwrap().urls.len(), 1);
+    assert_eq!(d2.take().unwrap().urls.len(), 1, "second client cache-served");
+    assert_eq!(indiss.stats().cache_hits, 1);
+}
