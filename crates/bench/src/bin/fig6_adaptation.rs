@@ -7,21 +7,18 @@ use indiss_bench::scenarios::adaptation;
 
 fn main() {
     println!("Fig. 6 — traffic-threshold adaptation (passive client, passive service)");
-    println!("{:<28} {:>16} {:>18}", "background traffic", "went active at", "client discovered at");
+    println!(
+        "{:<28} {:>16} {:>18}",
+        "background traffic", "went active at", "client discovered at"
+    );
     println!("{}", "-".repeat(66));
     for (label, bps) in [("quiet network (0 B/s)", 0u64), ("busy network (5 kB/s)", 5_000)] {
         let outcome = adaptation(42, bps);
         println!(
             "{:<28} {:>16} {:>18}",
             label,
-            outcome
-                .went_active_at
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "never".into()),
-            outcome
-                .discovered_at
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "never".into()),
+            outcome.went_active_at.map(|t| t.to_string()).unwrap_or_else(|| "never".into()),
+            outcome.discovered_at.map(|t| t.to_string()).unwrap_or_else(|| "never".into()),
         );
     }
     println!();

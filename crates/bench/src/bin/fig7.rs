@@ -12,6 +12,8 @@ fn main() {
     let upnp = stats::summarize(TRIAL_SEEDS, native_upnp);
     print_row("UPnP -> UPnP", &upnp, "40 ms");
     println!();
-    println!("shape check: UPnP/SLP ratio = {:.0}x (paper: ~57x)",
-        upnp.median.as_secs_f64() / slp.median.as_secs_f64());
+    println!(
+        "shape check: UPnP/SLP ratio = {:.0}x (paper: ~57x)",
+        upnp.median.as_secs_f64() / slp.median.as_secs_f64()
+    );
 }

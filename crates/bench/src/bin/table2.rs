@@ -21,9 +21,7 @@ fn main() {
             row.metrics.ncss
         );
     }
-    let get = |name: &str| {
-        rows.iter().find(|r| r.name.starts_with(name)).expect(name).metrics
-    };
+    let get = |name: &str| rows.iter().find(|r| r.name.starts_with(name)).expect(name).metrics;
     let dual = get("interop without INDISS");
     let upnp_side = get("UPnP stack + INDISS");
     let slp_side = get("SLP stack + INDISS");

@@ -116,6 +116,33 @@ mod tests {
         }
     }
 
+    /// The acceptance bar for the registry subsystem: ≥ 5,000 short-lived
+    /// registrations across all three SDPs, with memory bounded by the
+    /// configured capacity at every instant, full reclamation once TTLs
+    /// elapse, and no cache-hit latency degradation under churn.
+    #[test]
+    fn registry_churn_stays_bounded_at_scale() {
+        let outcome = scenarios::registry_churn(5, 5_100);
+        assert!(outcome.adverts_sent >= 5_000);
+        assert!(outcome.adverts_recorded >= 5_000, "nearly every advert recorded: {outcome:?}");
+        assert!(
+            outcome.peak_records <= outcome.record_capacity,
+            "capacity bound held at every sample: {outcome:?}"
+        );
+        assert!(outcome.peak_records > 0, "the flood actually filled the registry");
+        assert_eq!(outcome.final_records, 0, "all TTL'd records reclaimed: {outcome:?}");
+        assert!(
+            outcome.records_expired + outcome.records_evicted >= 5_000,
+            "records left via expiry or eviction: {outcome:?}"
+        );
+        let before = outcome.warm_hit_before.expect("warm probe before churn");
+        let after = outcome.warm_hit_after.expect("warm probe after churn");
+        assert!(
+            after <= before * 3,
+            "cache-hit latency stable under churn: before={before:?} after={after:?}"
+        );
+    }
+
     #[test]
     fn no_additional_network_traffic_with_service_side_indiss() {
         let (without, with) = scenarios::traffic_overhead(5);

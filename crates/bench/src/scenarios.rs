@@ -11,8 +11,7 @@ use std::time::Duration;
 use indiss_core::{AdaptationPolicy, DiscoveryMode, Indiss, IndissConfig};
 use indiss_net::{Collector, Completion, SimTime, World};
 use indiss_slp::{
-    AttributeList, Registration, ServiceAgent, SlpConfig, UserAgent, SLP_MULTICAST_GROUP,
-    SLP_PORT,
+    AttributeList, Registration, ServiceAgent, SlpConfig, UserAgent, SLP_MULTICAST_GROUP, SLP_PORT,
 };
 use indiss_ssdp::SearchTarget;
 use indiss_upnp::{ClockDevice, ControlPoint, ControlPointConfig, UpnpConfig};
@@ -151,9 +150,10 @@ pub struct AdaptationOutcome {
     pub mode_log: Vec<(SimTime, DiscoveryMode)>,
 }
 
-/// Fig. 6: passive SLP client + passive UPnP service (announcements only)
-/// + INDISS on the service side. Without the traffic-threshold switch the
-/// client can never discover the service; with it, INDISS re-advertises.
+/// Fig. 6: a passive SLP client, a passive UPnP service (announcements
+/// only) and INDISS on the service side. Without the traffic-threshold
+/// switch the client can never discover the service; with it, INDISS
+/// re-advertises.
 ///
 /// `background_traffic_bps` injects chatter between two extra nodes to
 /// keep the network busy (above-threshold ⇒ INDISS stays passive).
@@ -216,10 +216,8 @@ pub fn adaptation(seed: u64, background_traffic_bps: u64) -> AdaptationOutcome {
 
     world.run_for(Duration::from_secs(30));
     let mode_log = indiss.mode_log();
-    let went_active_at = mode_log
-        .iter()
-        .find(|(_, m)| *m == DiscoveryMode::Active)
-        .map(|(t, _)| *t);
+    let went_active_at =
+        mode_log.iter().find(|(_, m)| *m == DiscoveryMode::Active).map(|(t, _)| *t);
     AdaptationOutcome { went_active_at, discovered_at: heard.take(), mode_log }
 }
 
@@ -233,8 +231,7 @@ pub fn traffic_overhead(seed: u64) -> (u64, u64) {
         let client_node = world.add_node("cli");
         let sa = ServiceAgent::start(&service_node, SlpConfig::default()).expect("sa");
         sa.register(
-            Registration::new("service:clock://10.0.0.1:4005", AttributeList::new())
-                .expect("reg"),
+            Registration::new("service:clock://10.0.0.1:4005", AttributeList::new()).expect("reg"),
         );
         let ua = UserAgent::start(&client_node, SlpConfig::default()).expect("ua");
         let (_f, d) = ua.find_services(&world, "service:clock", "");
@@ -289,7 +286,9 @@ pub fn fig4_event_names() -> Vec<&'static str> {
 
 /// Convenience used by several binaries: collect every deployment ×
 /// direction combination's cold median.
-pub fn location_matrix(seeds: std::ops::Range<u64>) -> Vec<(Deployment, Direction, crate::stats::Summary)> {
+pub fn location_matrix(
+    seeds: std::ops::Range<u64>,
+) -> Vec<(Deployment, Direction, crate::stats::Summary)> {
     let mut out = Vec::new();
     for deployment in [Deployment::ClientSide, Deployment::ServiceSide, Deployment::Gateway] {
         for direction in [Direction::SlpToUpnp, Direction::UpnpToSlp] {
@@ -300,6 +299,193 @@ pub fn location_matrix(seeds: std::ops::Range<u64>) -> Vec<(Deployment, Directio
         }
     }
     out
+}
+
+/// Result of the registry churn scenario.
+#[derive(Debug, Clone)]
+pub struct ChurnOutcome {
+    /// Advertisements injected across all three SDPs.
+    pub adverts_sent: usize,
+    /// Advertisements the runtime recorded.
+    pub adverts_recorded: u64,
+    /// Highest number of live records observed at any sampling instant.
+    pub peak_records: usize,
+    /// Records still alive after every TTL elapsed.
+    pub final_records: usize,
+    /// The configured registry capacity bound.
+    pub record_capacity: usize,
+    /// Records dropped by TTL expiry.
+    pub records_expired: u64,
+    /// Records dropped by the capacity bound.
+    pub records_evicted: u64,
+    /// Response-cache entries dropped by the LRU bound.
+    pub cache_evictions: u64,
+    /// Warm (cache-hit) probe latency before the churn.
+    pub warm_hit_before: Option<Duration>,
+    /// Warm (cache-hit) probe latency after the churn.
+    pub warm_hit_after: Option<Duration>,
+}
+
+/// Registry churn: floods a gateway INDISS with `services` short-lived
+/// advertisements spread across all three SDPs (SLP `SrvReg`s, SSDP
+/// `NOTIFY`s and Jini registrations), while probing the warm cache-hit
+/// path before and after.
+///
+/// The scenario exists to pin down the scaling properties of the
+/// [`indiss_core::ServiceRegistry`]: memory must stay bounded (records at
+/// or below the configured capacity at every instant, and all TTL'd
+/// records reclaimed at the end) and the cache-hit latency must not
+/// degrade with churn.
+pub fn registry_churn(seed: u64, services: usize) -> ChurnOutcome {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let record_capacity = 1024;
+    let world = World::new(seed);
+    let gateway = world.add_node("gateway");
+    let indiss = Indiss::deploy(
+        &gateway,
+        IndissConfig::all_protocols()
+            .with_registry_capacity(record_capacity)
+            .with_cache_capacity(64)
+            .with_advert_ttl(Duration::from_secs(15)),
+    )
+    .expect("indiss");
+    let registry = indiss.registry();
+
+    // Warm-probe helper: a cache entry + one SLP discovery answered from it.
+    let probe_client = world.add_node("probe-client");
+    let probe_ua = UserAgent::start(&probe_client, SlpConfig::default()).expect("ua");
+    let probe = |world: &World| -> Option<Duration> {
+        indiss.warm_cache(
+            "churn-probe",
+            indiss_core::EventStream::framed(vec![
+                indiss_core::Event::ServiceResponse,
+                indiss_core::Event::ResOk,
+                indiss_core::Event::ServiceType("churn-probe".into()),
+                indiss_core::Event::ResTtl(60),
+                indiss_core::Event::ResServUrl("soap://10.9.9.9:4005/ctl".into()),
+            ]),
+        );
+        let (_f, done) = probe_ua.find_services(world, "service:churn-probe", "");
+        world.run_for(Duration::from_secs(1));
+        done.take()?.response_time()
+    };
+
+    let warm_hit_before = probe(&world);
+
+    // Live-record sampler (tracks the peak during the churn).
+    let peak: Rc<RefCell<usize>> = Rc::new(RefCell::new(registry.record_count()));
+    {
+        let registry = registry.clone();
+        let peak = Rc::clone(&peak);
+        fn sample(world: &World, registry: indiss_core::ServiceRegistry, peak: Rc<RefCell<usize>>) {
+            let live = registry.record_count();
+            let mut p = peak.borrow_mut();
+            if live > *p {
+                *p = live;
+            }
+            drop(p);
+            world.schedule_in(Duration::from_millis(250), move |w| sample(w, registry, peak));
+        }
+        sample(&world, registry.clone(), peak);
+    }
+
+    // The flood: three sender stacks, adverts spread over ~40 s with
+    // 10 s TTLs, so records churn through the registry several times.
+    let window = Duration::from_secs(40);
+    let slp_share = services / 3;
+    let ssdp_share = services / 3;
+    let jini_share = services - slp_share - ssdp_share;
+
+    let slp_node = world.add_node("slp-flood");
+    let slp_socket = slp_node.udp_bind_ephemeral().expect("socket");
+    for i in 0..slp_share {
+        let at = window.mul_f64(i as f64 / slp_share.max(1) as f64);
+        let socket = slp_socket.clone();
+        world.schedule_in(at, move |_| {
+            let url = format!("service:churnslp{i}://10.1.0.1:{}", 1024 + (i % 50_000));
+            let msg = indiss_slp::Message::new(
+                indiss_slp::Header::new(
+                    indiss_slp::FunctionId::SrvReg,
+                    (i % 60_000) as u16,
+                    indiss_slp::DEFAULT_LANG,
+                ),
+                indiss_slp::Body::SrvReg(indiss_slp::SrvReg {
+                    entry: indiss_slp::UrlEntry::new(url, 10),
+                    service_type: format!("service:churnslp{i}"),
+                    scopes: "DEFAULT".into(),
+                    attrs: String::new(),
+                }),
+            );
+            let _ = socket.send_to(
+                &msg.encode().expect("encodable"),
+                SocketAddrV4::new(SLP_MULTICAST_GROUP, SLP_PORT),
+            );
+        });
+    }
+
+    let ssdp_node = world.add_node("ssdp-flood");
+    let ssdp_socket = ssdp_node.udp_bind_ephemeral().expect("socket");
+    for i in 0..ssdp_share {
+        let at = window.mul_f64(i as f64 / ssdp_share.max(1) as f64);
+        let socket = ssdp_socket.clone();
+        world.schedule_in(at, move |_| {
+            let notify = indiss_ssdp::Notify {
+                nt: SearchTarget::device_urn(&format!("churnupnp{i}"), 1),
+                nts: indiss_ssdp::NotifySubType::Alive,
+                usn: format!("uuid:churn-{i}::urn:schemas-upnp-org:device:churnupnp{i}:1"),
+                location: None,
+                server: "churn/1.0".into(),
+                max_age: 10,
+            };
+            let _ = socket.send_to(
+                &notify.to_bytes(),
+                SocketAddrV4::new(indiss_ssdp::SSDP_MULTICAST_GROUP, indiss_ssdp::SSDP_PORT),
+            );
+        });
+    }
+
+    let jini_node = world.add_node("jini-flood");
+    let jini_agent = indiss_jini::JiniAgent::start(
+        &jini_node,
+        indiss_jini::JiniConfig { lease_secs: 10, ..indiss_jini::JiniConfig::default() },
+    )
+    .expect("agent");
+    for i in 0..jini_share {
+        let at = window.mul_f64(i as f64 / jini_share.max(1) as f64);
+        let agent = jini_agent.clone();
+        world.schedule_in(at, move |_| {
+            agent.register(indiss_jini::ServiceItem {
+                service_id: i as u64,
+                service_type: format!("churnjini{i}"),
+                endpoint: format!("10.2.0.1:{}", 1024 + (i % 50_000)),
+                attributes: Vec::new(),
+            });
+        });
+    }
+
+    world.run_for(window + Duration::from_secs(5));
+    let warm_hit_after = probe(&world);
+
+    // Let every remaining TTL elapse (longest is the 15 s default bound),
+    // so the sweep timers can reclaim the store.
+    world.run_for(Duration::from_secs(25));
+
+    let stats = indiss.stats();
+    let peak_records = *peak.borrow();
+    ChurnOutcome {
+        adverts_sent: services,
+        adverts_recorded: stats.adverts_recorded,
+        peak_records,
+        final_records: registry.record_count(),
+        record_capacity,
+        records_expired: stats.records_expired,
+        records_evicted: stats.records_evicted,
+        cache_evictions: stats.cache_evictions,
+        warm_hit_before,
+        warm_hit_after,
+    }
 }
 
 /// Counts how many SLP multicast requests it takes to saturate a

@@ -175,14 +175,8 @@ pub fn table2() -> std::io::Result<Vec<Table2Row>> {
         name: "interop without INDISS (both stacks + 2nd client)".into(),
         metrics: dual,
     });
-    rows.push(Table2Row {
-        name: "UPnP stack + INDISS".into(),
-        metrics: upnp_stack + indiss_total,
-    });
-    rows.push(Table2Row {
-        name: "SLP stack + INDISS".into(),
-        metrics: slp_stack + indiss_total,
-    });
+    rows.push(Table2Row { name: "UPnP stack + INDISS".into(), metrics: upnp_stack + indiss_total });
+    rows.push(Table2Row { name: "SLP stack + INDISS".into(), metrics: slp_stack + indiss_total });
     Ok(rows)
 }
 
@@ -192,7 +186,8 @@ mod tests {
 
     #[test]
     fn measure_counts_code_not_comments() {
-        let src = "// comment\n\npub struct A;\nstruct B { x: u8 }\nenum C { D }\n// more\nfn f() {}\n";
+        let src =
+            "// comment\n\npub struct A;\nstruct B { x: u8 }\nenum C { D }\n// more\nfn f() {}\n";
         let m = measure_source(src);
         assert_eq!(m.types, 3);
         assert_eq!(m.ncss, 4);

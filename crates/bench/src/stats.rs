@@ -41,7 +41,10 @@ pub fn median(samples: &mut [Duration]) -> Duration {
 /// Runs `trial` for each seed, collects successful durations, and
 /// summarizes. Failed trials (`None`) are excluded, mirroring the paper's
 /// "30 *successful* tests".
-pub fn summarize<F: FnMut(u64) -> Option<Duration>>(seeds: std::ops::Range<u64>, mut trial: F) -> Summary {
+pub fn summarize<F: FnMut(u64) -> Option<Duration>>(
+    seeds: std::ops::Range<u64>,
+    mut trial: F,
+) -> Summary {
     let mut samples: Vec<Duration> = seeds.filter_map(&mut trial).collect();
     assert!(!samples.is_empty(), "no successful trials");
     let min = *samples.iter().min().expect("nonempty");
@@ -56,21 +59,15 @@ mod tests {
 
     #[test]
     fn median_of_odd_set() {
-        let mut v = vec![
-            Duration::from_millis(3),
-            Duration::from_millis(1),
-            Duration::from_millis(2),
-        ];
+        let mut v =
+            vec![Duration::from_millis(3), Duration::from_millis(1), Duration::from_millis(2)];
         assert_eq!(median(&mut v), Duration::from_millis(2));
     }
 
     #[test]
     fn median_resists_outliers() {
-        let mut v = vec![
-            Duration::from_millis(1),
-            Duration::from_millis(1),
-            Duration::from_secs(100),
-        ];
+        let mut v =
+            vec![Duration::from_millis(1), Duration::from_millis(1), Duration::from_secs(100)];
         assert_eq!(median(&mut v), Duration::from_millis(1));
     }
 

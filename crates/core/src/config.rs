@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use crate::adapt::AdaptationPolicy;
 use crate::event::SdpProtocol;
+use crate::registry::RegistryConfig;
 use crate::units::{JiniUnitConfig, SlpUnitConfig, UpnpUnitConfig};
 
 /// Specification of one unit to embed.
@@ -67,6 +68,14 @@ pub struct IndissConfig {
     /// instances on one network: each instance refuses to re-bridge the
     /// storm of requests the others synthesize.
     pub suppress_window: Duration,
+    /// Maximum number of service records the registry holds; the least
+    /// recently updated record is evicted beyond this bound.
+    pub registry_capacity: usize,
+    /// Maximum number of cached responses (LRU-evicted beyond this).
+    pub cache_capacity: usize,
+    /// TTL applied to recorded adverts that carry no `SDP_RES_TTL` of
+    /// their own; `None` keeps them until evicted by capacity.
+    pub advert_ttl: Option<Duration>,
 }
 
 impl IndissConfig {
@@ -79,6 +88,9 @@ impl IndissConfig {
             adaptation: None,
             lazy_units: false,
             suppress_window: Duration::from_millis(600),
+            registry_capacity: 4096,
+            cache_capacity: 256,
+            advert_ttl: Some(Duration::from_secs(1800)),
         }
     }
 
@@ -124,6 +136,40 @@ impl IndissConfig {
         self
     }
 
+    /// Bounds the registry's service-record store.
+    pub fn with_registry_capacity(mut self, records: usize) -> Self {
+        self.registry_capacity = records;
+        self
+    }
+
+    /// Bounds the registry's response cache.
+    pub fn with_cache_capacity(mut self, responses: usize) -> Self {
+        self.cache_capacity = responses;
+        self
+    }
+
+    /// Sets the fallback TTL for adverts without their own `SDP_RES_TTL`.
+    pub fn with_advert_ttl(mut self, ttl: Duration) -> Self {
+        self.advert_ttl = Some(ttl);
+        self
+    }
+
+    /// Sets the cache entry TTL.
+    pub fn with_cache_ttl(mut self, ttl: Duration) -> Self {
+        self.cache_ttl = ttl;
+        self
+    }
+
+    /// The registry bounds this configuration implies.
+    pub fn registry_config(&self) -> RegistryConfig {
+        RegistryConfig {
+            advert_capacity: self.registry_capacity,
+            cache_capacity: self.cache_capacity,
+            cache_ttl: self.cache_ttl,
+            default_advert_ttl: self.advert_ttl,
+        }
+    }
+
     /// The paper's prototype configuration: a UPnP unit and an SLP unit.
     pub fn slp_upnp() -> Self {
         IndissConfig::new().with_slp().with_upnp()
@@ -154,10 +200,7 @@ mod tests {
     #[test]
     fn builder_accumulates_units() {
         let cfg = IndissConfig::new().with_slp().with_upnp().with_jini();
-        assert_eq!(
-            cfg.protocols(),
-            vec![SdpProtocol::Slp, SdpProtocol::Upnp, SdpProtocol::Jini]
-        );
+        assert_eq!(cfg.protocols(), vec![SdpProtocol::Slp, SdpProtocol::Upnp, SdpProtocol::Jini]);
     }
 
     #[test]

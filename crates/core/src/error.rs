@@ -25,7 +25,9 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::NotMyProtocol => write!(f, "message does not belong to this unit's protocol"),
+            CoreError::NotMyProtocol => {
+                write!(f, "message does not belong to this unit's protocol")
+            }
             CoreError::NotTranslatable(why) => write!(f, "message not translatable: {why}"),
             CoreError::BadEventFraming => {
                 write!(f, "event stream not framed by SDP_C_START/SDP_C_STOP")

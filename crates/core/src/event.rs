@@ -37,13 +37,18 @@ impl SdpProtocol {
     }
 
     /// The protocol's multicast groups.
-    pub fn multicast_groups(self) -> Vec<std::net::Ipv4Addr> {
+    ///
+    /// Returns a static slice — this sits on the monitor's per-datagram
+    /// detection path, which must not allocate.
+    pub fn multicast_groups(self) -> &'static [std::net::Ipv4Addr] {
+        const SLP_GROUPS: [std::net::Ipv4Addr; 1] = [indiss_slp::SLP_MULTICAST_GROUP];
+        const UPNP_GROUPS: [std::net::Ipv4Addr; 1] = [indiss_ssdp::SSDP_MULTICAST_GROUP];
+        const JINI_GROUPS: [std::net::Ipv4Addr; 2] =
+            [indiss_jini::JINI_REQUEST_GROUP, indiss_jini::JINI_ANNOUNCEMENT_GROUP];
         match self {
-            SdpProtocol::Slp => vec![indiss_slp::SLP_MULTICAST_GROUP],
-            SdpProtocol::Upnp => vec![indiss_ssdp::SSDP_MULTICAST_GROUP],
-            SdpProtocol::Jini => {
-                vec![indiss_jini::JINI_REQUEST_GROUP, indiss_jini::JINI_ANNOUNCEMENT_GROUP]
-            }
+            SdpProtocol::Slp => &SLP_GROUPS,
+            SdpProtocol::Upnp => &UPNP_GROUPS,
+            SdpProtocol::Jini => &JINI_GROUPS,
         }
     }
 }

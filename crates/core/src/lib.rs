@@ -13,9 +13,15 @@
 //! * [`SlpUnit`] / [`UpnpUnit`] / [`JiniUnit`] — parser+composer pairs
 //!   that translate whole discovery *processes*, including the UPnP
 //!   unit's recursive description fetch with parser switching (§2.4);
+//! * [`ServiceRegistry`] — the single source of truth for discovered
+//!   services: canonical [`ServiceRecord`]s indexed by type / origin /
+//!   endpoint, a bounded LRU response cache (the §4.3 warm best case),
+//!   the multi-bridge suppression window, and the units' bridge
+//!   projections — all capacity-bounded, with deterministic
+//!   virtual-time TTL expiry;
 //! * [`Indiss`] — the deployable runtime: dynamic unit composition
-//!   (Fig. 5), response caching, and traffic-threshold self-adaptation
-//!   between passive and active modes (§4.2, Fig. 6).
+//!   (Fig. 5), registry-backed response caching, and traffic-threshold
+//!   self-adaptation between passive and active modes (§4.2, Fig. 6).
 //!
 //! Interoperability is transparent: native clients and services from
 //! `indiss-slp`, `indiss-upnp` and `indiss-jini` are *unmodified* — they
@@ -51,6 +57,7 @@ mod error;
 mod event;
 mod fsm;
 mod monitor;
+mod registry;
 mod runtime;
 mod units;
 
@@ -60,6 +67,10 @@ pub use error::{CoreError, CoreResult};
 pub use event::{Event, EventKind, EventStream, ParserKind, SdpProtocol};
 pub use fsm::{Action, Fsm, FsmBuilder, Guard, Trigger};
 pub use monitor::{DetectionRecord, Monitor};
+pub use registry::{
+    AdvertDisposition, Projection, RegistryConfig, RegistryStats, ServiceRecord, ServiceRegistry,
+    SweepReport,
+};
 pub use runtime::{BridgeStats, Indiss};
 pub use units::{
     BridgeRequestFn, JiniUnit, JiniUnitConfig, ParsedMessage, SlpUnit, SlpUnitConfig, Unit,

@@ -81,7 +81,7 @@ impl Monitor {
         };
         for &protocol in protocols {
             let socket = node.udp_bind_shared(protocol.port())?;
-            for group in protocol.multicast_groups() {
+            for &group in protocol.multicast_groups() {
                 socket.join_multicast(group)?;
             }
             let this = monitor.clone();
@@ -101,11 +101,8 @@ impl Monitor {
     /// Protocols seen so far, in first-detection order.
     pub fn detected(&self) -> Vec<SdpProtocol> {
         let inner = self.inner.borrow();
-        let mut seen: Vec<(SimTime, SdpProtocol)> = inner
-            .detections
-            .iter()
-            .map(|(p, r)| (r.first_seen, *p))
-            .collect();
+        let mut seen: Vec<(SimTime, SdpProtocol)> =
+            inner.detections.iter().map(|(p, r)| (r.first_seen, *p)).collect();
         seen.sort();
         seen.into_iter().map(|(_, p)| p).collect()
     }

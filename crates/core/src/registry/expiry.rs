@@ -1,0 +1,120 @@
+//! Deterministic TTL expiry for the registry.
+//!
+//! A min-heap of `(deadline, target, generation)` entries ("the wheel").
+//! Entries are never removed eagerly; instead every mutation of a slot
+//! bumps its generation, and stale wheel entries are skipped when popped.
+//! Combined with lazy expiry checks on the read paths, this gives exact
+//! TTL semantics that are a pure function of `SimTime` — the net
+//! simulator's determinism is preserved because the runtime drives sweeps
+//! from scheduled virtual-time timers, never from wall clocks.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use indiss_net::SimTime;
+
+/// What a wheel entry points at.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Target {
+    /// A record slot in the advert store.
+    Advert { slot: usize, generation: u64 },
+    /// A response-cache slot.
+    Cache { slot: usize, generation: u64 },
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Deadline {
+    at: SimTime,
+    target: Target,
+}
+
+/// The expiry wheel.
+#[derive(Debug, Default)]
+pub(crate) struct ExpiryWheel {
+    heap: BinaryHeap<Reverse<Deadline>>,
+}
+
+impl ExpiryWheel {
+    pub(crate) fn new() -> ExpiryWheel {
+        ExpiryWheel { heap: BinaryHeap::new() }
+    }
+
+    /// Arms a deadline for `target`.
+    pub(crate) fn arm(&mut self, at: SimTime, target: Target) {
+        self.heap.push(Reverse(Deadline { at, target }));
+    }
+
+    /// The earliest armed deadline that is still current according to
+    /// `is_current`; stale heads are discarded along the way.
+    pub(crate) fn next_deadline<F>(&mut self, is_current: F) -> Option<SimTime>
+    where
+        F: Fn(&Target) -> bool,
+    {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if is_current(&head.target) {
+                return Some(head.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pops every entry due at or before `now` (stale or not; callers
+    /// validate generations before acting).
+    pub(crate) fn pop_due(&mut self, now: SimTime) -> Vec<Target> {
+        let mut due = Vec::new();
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.at > now {
+                break;
+            }
+            due.push(self.heap.pop().expect("peeked").0.target);
+        }
+        due
+    }
+
+    /// Number of armed (possibly stale) entries.
+    pub(crate) fn armed(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_deadline_order() {
+        let mut wheel = ExpiryWheel::new();
+        wheel.arm(SimTime::from_secs(3), Target::Advert { slot: 3, generation: 1 });
+        wheel.arm(SimTime::from_secs(1), Target::Advert { slot: 1, generation: 1 });
+        wheel.arm(SimTime::from_secs(2), Target::Cache { slot: 2, generation: 1 });
+        let due = wheel.pop_due(SimTime::from_secs(2));
+        assert_eq!(
+            due,
+            vec![
+                Target::Advert { slot: 1, generation: 1 },
+                Target::Cache { slot: 2, generation: 1 },
+            ]
+        );
+        assert_eq!(wheel.armed(), 1);
+        assert_eq!(wheel.pop_due(SimTime::from_secs(10)).len(), 1);
+    }
+
+    #[test]
+    fn next_deadline_skips_stale_entries() {
+        let mut wheel = ExpiryWheel::new();
+        wheel.arm(SimTime::from_secs(1), Target::Advert { slot: 0, generation: 1 });
+        wheel.arm(SimTime::from_secs(5), Target::Advert { slot: 1, generation: 1 });
+        // Slot 0's generation moved on: its entry is stale.
+        let next = wheel.next_deadline(|t| matches!(t, Target::Advert { slot: 1, .. }));
+        assert_eq!(next, Some(SimTime::from_secs(5)));
+        assert_eq!(wheel.armed(), 1, "stale head discarded");
+    }
+
+    #[test]
+    fn empty_wheel_has_no_deadline() {
+        let mut wheel = ExpiryWheel::new();
+        assert_eq!(wheel.next_deadline(|_| true), None);
+        assert!(wheel.pop_due(SimTime::from_secs(100)).is_empty());
+    }
+}

@@ -1,0 +1,476 @@
+//! Indexed storage for the registry: a slab of records with O(1)
+//! secondary indexes, plus the intrusive LRU machinery shared by the
+//! record store and the bounded response cache.
+//!
+//! Determinism note: all iteration surfaces (per-type lists, full
+//! snapshots) follow slab/insertion order, never `HashMap` order, so a
+//! seeded simulation replays identically.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::event::SdpProtocol;
+use crate::registry::record::ServiceRecord;
+
+/// Intrusive doubly-linked recency list over slab slots: O(1) touch,
+/// push and tail eviction.
+#[derive(Debug, Default)]
+pub(crate) struct LruList {
+    links: Vec<(usize, usize)>, // (prev, next) per slot; NIL-terminated
+    head: usize,                // most recently used
+    tail: usize,                // least recently used
+}
+
+const NIL: usize = usize::MAX;
+
+impl LruList {
+    pub(crate) fn new() -> LruList {
+        LruList { links: Vec::new(), head: NIL, tail: NIL }
+    }
+
+    fn ensure(&mut self, slot: usize) {
+        if slot >= self.links.len() {
+            self.links.resize(slot + 1, (NIL, NIL));
+        }
+    }
+
+    /// Inserts `slot` as most recently used.
+    pub(crate) fn push_front(&mut self, slot: usize) {
+        self.ensure(slot);
+        self.links[slot] = (NIL, self.head);
+        if self.head != NIL {
+            self.links[self.head].0 = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Unlinks `slot` from the list.
+    pub(crate) fn unlink(&mut self, slot: usize) {
+        let (prev, next) = self.links[slot];
+        if prev != NIL {
+            self.links[prev].1 = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.links[next].0 = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.links[slot] = (NIL, NIL);
+    }
+
+    /// Marks `slot` as most recently used.
+    pub(crate) fn touch(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    /// The least recently used slot, if any.
+    pub(crate) fn tail(&self) -> Option<usize> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+}
+
+/// What happened to capacity when a record was inserted.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum InsertOutcome {
+    /// A brand-new record was stored.
+    Inserted,
+    /// An existing record for the same (origin, key) was refreshed.
+    Refreshed,
+    /// A new record was stored and the least-recently-updated one was
+    /// evicted to make room.
+    Evicted(Box<ServiceRecord>),
+}
+
+/// The slab-backed record store with secondary indexes.
+///
+/// Primary identity is `(origin protocol, key)`; secondary indexes cover
+/// canonical type, origin protocol and endpoint, each giving O(1) lookup
+/// (amortized; type buckets are insertion-ordered vectors).
+#[derive(Debug, Default)]
+pub(crate) struct RecordStore {
+    slots: Vec<Option<ServiceRecord>>,
+    generations: Vec<u64>,
+    free: Vec<usize>,
+    capacity: usize,
+    by_key: HashMap<(SdpProtocol, String), usize>,
+    by_type: HashMap<String, Vec<usize>>,
+    by_origin: HashMap<SdpProtocol, Vec<usize>>,
+    /// Bucketed like `by_type`: several protocols may advertise the
+    /// same endpoint concurrently.
+    by_endpoint: HashMap<String, Vec<usize>>,
+    lru: LruList,
+    len: usize,
+}
+
+impl RecordStore {
+    /// An empty store bounded at `capacity` records (minimum 1).
+    pub(crate) fn new(capacity: usize) -> RecordStore {
+        RecordStore { capacity: capacity.max(1), lru: LruList::new(), ..RecordStore::default() }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The generation counter of `slot` (bumped whenever the slot's
+    /// occupant changes or is refreshed, so stale expiry-wheel entries can
+    /// be recognized).
+    pub(crate) fn generation(&self, slot: usize) -> u64 {
+        self.generations.get(slot).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn get_slot(&self, slot: usize) -> Option<&ServiceRecord> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Inserts or refreshes a record; at capacity, evicts the least
+    /// recently updated record first. Returns what happened plus the slot
+    /// the record now occupies.
+    pub(crate) fn upsert(&mut self, record: ServiceRecord) -> (usize, InsertOutcome) {
+        let ident = (record.origin(), record.key().to_owned());
+        if let Some(&slot) = self.by_key.get(&ident) {
+            let old = self.slots[slot].take().expect("indexed slot occupied");
+            self.unindex_secondary(&old, slot);
+            let mut merged = old;
+            merged.refresh_from(record);
+            self.index_secondary(&merged, slot);
+            self.slots[slot] = Some(merged);
+            self.generations[slot] += 1;
+            self.lru.touch(slot);
+            return (slot, InsertOutcome::Refreshed);
+        }
+
+        let evicted = if self.len >= self.capacity {
+            let victim = self.lru.tail().expect("non-empty store at capacity");
+            Some(Box::new(self.remove_slot(victim).expect("tail slot occupied")))
+        } else {
+            None
+        };
+
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                self.generations.push(0);
+                self.slots.len() - 1
+            }
+        };
+        self.by_key.insert(ident, slot);
+        self.index_secondary(&record, slot);
+        self.slots[slot] = Some(record);
+        self.generations[slot] += 1;
+        self.lru.push_front(slot);
+        self.len += 1;
+        match evicted {
+            Some(old) => (slot, InsertOutcome::Evicted(old)),
+            None => (slot, InsertOutcome::Inserted),
+        }
+    }
+
+    /// Removes the record identified by `(origin, key)`.
+    pub(crate) fn remove(&mut self, origin: SdpProtocol, key: &str) -> Option<ServiceRecord> {
+        let slot = *self.by_key.get(&(origin, key.to_owned()))?;
+        self.remove_slot(slot)
+    }
+
+    /// Removes whatever occupies `slot`.
+    pub(crate) fn remove_slot(&mut self, slot: usize) -> Option<ServiceRecord> {
+        let record = self.slots.get_mut(slot)?.take()?;
+        self.generations[slot] += 1;
+        self.by_key.remove(&(record.origin(), record.key().to_owned()));
+        self.unindex_secondary(&record, slot);
+        self.lru.unlink(slot);
+        self.free.push(slot);
+        self.len -= 1;
+        Some(record)
+    }
+
+    pub(crate) fn get(&self, origin: SdpProtocol, key: &str) -> Option<&ServiceRecord> {
+        let slot = *self.by_key.get(&(origin, key.to_owned()))?;
+        self.get_slot(slot)
+    }
+
+    /// Records of one canonical type, in insertion order.
+    pub(crate) fn of_type(&self, canonical_type: &str) -> impl Iterator<Item = &ServiceRecord> {
+        self.by_type
+            .get(canonical_type)
+            .into_iter()
+            .flatten()
+            .filter_map(|&slot| self.get_slot(slot))
+    }
+
+    /// Records announced by one protocol, in insertion order.
+    pub(crate) fn of_origin(&self, origin: SdpProtocol) -> impl Iterator<Item = &ServiceRecord> {
+        self.by_origin.get(&origin).into_iter().flatten().filter_map(|&slot| self.get_slot(slot))
+    }
+
+    /// The record advertising `endpoint`, if any.
+    /// Records advertising `endpoint`, in insertion order.
+    pub(crate) fn by_endpoint(&self, endpoint: &str) -> impl Iterator<Item = &ServiceRecord> {
+        self.by_endpoint.get(endpoint).into_iter().flatten().filter_map(|&slot| self.get_slot(slot))
+    }
+
+    /// All records, in slab order (deterministic).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (usize, &ServiceRecord)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|r| (i, r)))
+    }
+
+    fn index_secondary(&mut self, record: &ServiceRecord, slot: usize) {
+        self.by_type.entry(record.canonical_type().to_owned()).or_default().push(slot);
+        self.by_origin.entry(record.origin()).or_default().push(slot);
+        if let Some(endpoint) = record.endpoint() {
+            self.by_endpoint.entry(endpoint.to_owned()).or_default().push(slot);
+        }
+    }
+
+    fn unindex_secondary(&mut self, record: &ServiceRecord, slot: usize) {
+        if let Some(bucket) = self.by_type.get_mut(record.canonical_type()) {
+            bucket.retain(|&s| s != slot);
+            if bucket.is_empty() {
+                self.by_type.remove(record.canonical_type());
+            }
+        }
+        if let Some(bucket) = self.by_origin.get_mut(&record.origin()) {
+            bucket.retain(|&s| s != slot);
+            if bucket.is_empty() {
+                self.by_origin.remove(&record.origin());
+            }
+        }
+        if let Some(endpoint) = record.endpoint() {
+            if let Some(bucket) = self.by_endpoint.get_mut(endpoint) {
+                bucket.retain(|&s| s != slot);
+                if bucket.is_empty() {
+                    self.by_endpoint.remove(endpoint);
+                }
+            }
+        }
+    }
+}
+
+/// A bounded LRU map used for the response cache and the per-protocol
+/// bridge projections. Eviction is strictly least-recently-*used*: both
+/// hits and inserts refresh recency.
+#[derive(Debug)]
+pub(crate) struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slots: Vec<Option<(K, V)>>,
+    generations: Vec<u64>,
+    free: Vec<usize>,
+    lru: LruList,
+    len: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    pub(crate) fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            slots: Vec::new(),
+            generations: Vec::new(),
+            free: Vec::new(),
+            lru: LruList::new(),
+            len: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn generation(&self, slot: usize) -> u64 {
+        self.generations.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Inserts `value` under `key`; returns the evicted entry, if the
+    /// cache was full, along with the slot used.
+    pub(crate) fn insert(&mut self, key: K, value: V) -> (usize, Option<(K, V)>) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot] = Some((key, value));
+            self.generations[slot] += 1;
+            self.lru.touch(slot);
+            return (slot, None);
+        }
+        let evicted = if self.len >= self.capacity {
+            let victim = self.lru.tail().expect("non-empty cache at capacity");
+            self.remove_slot(victim)
+        } else {
+            None
+        };
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                self.generations.push(0);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key.clone(), slot);
+        self.slots[slot] = Some((key, value));
+        self.generations[slot] += 1;
+        self.lru.push_front(slot);
+        self.len += 1;
+        (slot, evicted)
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub(crate) fn get(&mut self, key: &K) -> Option<&V> {
+        let slot = *self.map.get(key)?;
+        self.lru.touch(slot);
+        self.slots[slot].as_ref().map(|(_, v)| v)
+    }
+
+    /// Looks `key` up without touching recency.
+    pub(crate) fn peek(&self, key: &K) -> Option<&V> {
+        let slot = *self.map.get(key)?;
+        self.slots[slot].as_ref().map(|(_, v)| v)
+    }
+
+    pub(crate) fn remove(&mut self, key: &K) -> Option<(K, V)> {
+        let slot = *self.map.get(key)?;
+        self.remove_slot(slot)
+    }
+
+    pub(crate) fn remove_slot(&mut self, slot: usize) -> Option<(K, V)> {
+        let entry = self.slots.get_mut(slot)?.take()?;
+        self.generations[slot] += 1;
+        self.map.remove(&entry.0);
+        self.lru.unlink(slot);
+        self.free.push(slot);
+        self.len -= 1;
+        Some(entry)
+    }
+
+    /// All entries, in slab order (deterministic).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|(k, v)| (k, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventStream};
+    use indiss_net::SimTime;
+
+    fn record(ty: &str, origin: SdpProtocol, url: &str) -> ServiceRecord {
+        let stream = EventStream::framed(vec![
+            Event::ServiceAlive,
+            Event::ServiceType(ty.into()),
+            Event::ResServUrl(url.into()),
+        ]);
+        ServiceRecord::from_advert(origin, &stream, SimTime::ZERO, None).unwrap()
+    }
+
+    #[test]
+    fn upsert_indexes_all_dimensions() {
+        let mut store = RecordStore::new(8);
+        store.upsert(record("clock", SdpProtocol::Slp, "slp://a"));
+        store.upsert(record("clock", SdpProtocol::Upnp, "soap://b"));
+        store.upsert(record("printer", SdpProtocol::Slp, "lpr://c"));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.of_type("clock").count(), 2);
+        assert_eq!(store.of_origin(SdpProtocol::Slp).count(), 2);
+        assert_eq!(store.by_endpoint("soap://b").next().unwrap().canonical_type(), "clock");
+        assert!(store.get(SdpProtocol::Slp, "slp://a").is_some());
+    }
+
+    /// Two protocols advertising the same endpoint: both are indexed, and
+    /// removing one leaves the other reachable.
+    #[test]
+    fn shared_endpoint_survives_removal_of_one_record() {
+        let mut store = RecordStore::new(8);
+        store.upsert(record("clock", SdpProtocol::Slp, "soap://shared"));
+        store.upsert(record("clock", SdpProtocol::Jini, "soap://shared"));
+        assert_eq!(store.by_endpoint("soap://shared").count(), 2);
+        store.remove(SdpProtocol::Jini, "soap://shared").unwrap();
+        let survivors: Vec<_> = store.by_endpoint("soap://shared").collect();
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].origin(), SdpProtocol::Slp);
+    }
+
+    #[test]
+    fn refresh_replaces_in_place() {
+        let mut store = RecordStore::new(8);
+        let (slot, outcome) = store.upsert(record("clock", SdpProtocol::Slp, "slp://a"));
+        assert_eq!(outcome, InsertOutcome::Inserted);
+        let gen_before = store.generation(slot);
+        let (slot2, outcome2) = store.upsert(record("clock", SdpProtocol::Slp, "slp://a"));
+        assert_eq!(slot, slot2);
+        assert_eq!(outcome2, InsertOutcome::Refreshed);
+        assert!(store.generation(slot) > gen_before);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_updated() {
+        let mut store = RecordStore::new(2);
+        store.upsert(record("a", SdpProtocol::Slp, "u://a"));
+        store.upsert(record("b", SdpProtocol::Slp, "u://b"));
+        // Refresh "a" so "b" becomes the eviction victim.
+        store.upsert(record("a", SdpProtocol::Slp, "u://a"));
+        let (_, outcome) = store.upsert(record("c", SdpProtocol::Slp, "u://c"));
+        let InsertOutcome::Evicted(victim) = outcome else {
+            panic!("expected eviction, got {outcome:?}");
+        };
+        assert_eq!(victim.canonical_type(), "b");
+        assert_eq!(store.len(), 2);
+        assert!(store.get(SdpProtocol::Slp, "u://b").is_none());
+        assert_eq!(store.by_endpoint("u://b").count(), 0);
+    }
+
+    #[test]
+    fn remove_clears_every_index() {
+        let mut store = RecordStore::new(4);
+        store.upsert(record("clock", SdpProtocol::Jini, "jini://x"));
+        let removed = store.remove(SdpProtocol::Jini, "jini://x").unwrap();
+        assert_eq!(removed.canonical_type(), "clock");
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.of_type("clock").count(), 0);
+        assert_eq!(store.of_origin(SdpProtocol::Jini).count(), 0);
+        assert_eq!(store.by_endpoint("jini://x").count(), 0);
+        // The freed slot is reused.
+        let (slot, _) = store.upsert(record("printer", SdpProtocol::Slp, "u://p"));
+        assert_eq!(slot, 0);
+    }
+
+    #[test]
+    fn lru_cache_hits_refresh_recency() {
+        let mut cache: LruCache<String, u32> = LruCache::new(2);
+        cache.insert("a".into(), 1);
+        cache.insert("b".into(), 2);
+        assert_eq!(cache.get(&"a".into()), Some(&1)); // a is now most recent
+        let (_, evicted) = cache.insert("c".into(), 3);
+        assert_eq!(evicted, Some(("b".into(), 2)));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek(&"a".into()).is_some());
+    }
+
+    #[test]
+    fn lru_list_handles_single_element() {
+        let mut lru = LruList::new();
+        lru.push_front(0);
+        assert_eq!(lru.tail(), Some(0));
+        lru.touch(0);
+        assert_eq!(lru.tail(), Some(0));
+        lru.unlink(0);
+        assert_eq!(lru.tail(), None);
+    }
+}

@@ -1,0 +1,643 @@
+//! The service registry: the single source of truth for everything INDISS
+//! knows about discovered services (paper §2.2/§4.3 — answering bridged
+//! requests from "already-held knowledge").
+//!
+//! One [`ServiceRegistry`] instance sits behind the runtime and all units
+//! and unifies what the first prototype scattered across ad-hoc maps:
+//!
+//! * **service records** ([`ServiceRecord`]) built from advertisements,
+//!   indexed by `(origin protocol, identity)` with secondary indexes by
+//!   canonical type, origin protocol and endpoint — O(1) lookups instead
+//!   of stringly-keyed scans;
+//! * a **bounded LRU response cache** for the paper's warm best case
+//!   (§4.3, ~0.1 ms answers), with hit/miss/eviction/expiry counters
+//!   surfaced through [`crate::BridgeStats`];
+//! * the **suppression window** that breaks multi-bridge translation
+//!   ping-pong;
+//! * per-protocol **bridge projections** ([`Projection`]) — the synthetic
+//!   artifacts composers mint for foreign services (a UPnP description
+//!   URL + USN, SLP attribute lists, Jini service ids) so every unit
+//!   shares one view instead of private copies.
+//!
+//! Both stores are capacity-bounded and TTL-bounded. Expiry is exact and
+//! deterministic: deadlines live on an [`expiry`] wheel keyed by
+//! [`SimTime`], reads apply lazy expiry checks, and the runtime schedules
+//! virtual-time sweep timers at the wheel's next deadline, so a seeded
+//! simulation replays identically and memory stays bounded under churn.
+
+mod expiry;
+mod index;
+mod record;
+
+pub use record::ServiceRecord;
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use indiss_net::SimTime;
+
+use crate::event::{EventStream, SdpProtocol};
+use expiry::{ExpiryWheel, Target};
+use index::{InsertOutcome, LruCache, RecordStore};
+
+/// Capacity and TTL knobs for the registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistryConfig {
+    /// Maximum number of service records held (least-recently-updated
+    /// records are evicted beyond this).
+    pub advert_capacity: usize,
+    /// Maximum number of cached responses (LRU eviction beyond this).
+    pub cache_capacity: usize,
+    /// How long cached responses stay valid.
+    pub cache_ttl: Duration,
+    /// TTL applied to adverts that do not carry their own `SDP_RES_TTL`;
+    /// `None` keeps such records until evicted.
+    pub default_advert_ttl: Option<Duration>,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            advert_capacity: 4096,
+            cache_capacity: 256,
+            cache_ttl: Duration::from_secs(60),
+            default_advert_ttl: Some(Duration::from_secs(1800)),
+        }
+    }
+}
+
+/// Counters the registry maintains; folded into [`crate::BridgeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Cache lookups answered from a live entry.
+    pub cache_hits: u64,
+    /// Cache lookups that found nothing usable.
+    pub cache_misses: u64,
+    /// Cache entries evicted by the LRU capacity bound.
+    pub cache_evictions: u64,
+    /// Cache entries dropped because their TTL elapsed.
+    pub cache_expired: u64,
+    /// Service records newly inserted.
+    pub records_inserted: u64,
+    /// Service records refreshed by a newer advert.
+    pub records_refreshed: u64,
+    /// Service records evicted by the capacity bound.
+    pub records_evicted: u64,
+    /// Service records dropped because their TTL elapsed.
+    pub records_expired: u64,
+    /// Service records removed by byebye advertisements.
+    pub records_removed: u64,
+}
+
+/// What [`ServiceRegistry::record_advert`] did with a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvertDisposition {
+    /// A new record was stored.
+    Recorded,
+    /// An existing record was refreshed.
+    Refreshed,
+    /// A byebye removed the record.
+    Removed,
+    /// A byebye for a service with no live record (already expired or
+    /// evicted); nothing to remove, but the retraction itself is still
+    /// meaningful to forward.
+    NotPresent,
+    /// The stream carried no usable identity; nothing stored.
+    Ignored,
+}
+
+/// Synthetic artifacts a unit minted for a bridged foreign service,
+/// shared through the registry so every layer sees one copy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Projection {
+    /// Description-document URL served for the service (UPnP).
+    pub location: Option<String>,
+    /// Unique service name advertised for the service (UPnP).
+    pub usn: Option<String>,
+    /// The synthetic description document itself (UPnP); served over
+    /// HTTP straight from the projection, so its lifetime is bounded by
+    /// the projection store instead of an ever-growing side map.
+    pub document: Option<String>,
+    /// Attribute list recorded for follow-up attribute queries (SLP).
+    pub attrs: Vec<(String, String)>,
+    /// Stable service id minted for the service (Jini).
+    pub service_id: Option<u64>,
+}
+
+/// Report of one expiry sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Service records dropped by this sweep.
+    pub records_expired: u64,
+    /// Cache entries dropped by this sweep.
+    pub cache_expired: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CachedResponse {
+    response: EventStream,
+    expires: SimTime,
+}
+
+struct RegistryInner {
+    config: RegistryConfig,
+    store: RecordStore,
+    cache: LruCache<String, CachedResponse>,
+    projections: LruCache<(SdpProtocol, String), Projection>,
+    /// Per-canonical-type suppression deadline (multi-bridge loop guard).
+    suppress: HashMap<String, SimTime>,
+    wheel: ExpiryWheel,
+    stats: RegistryStats,
+}
+
+impl RegistryInner {
+    fn target_is_current(&self, target: &Target) -> bool {
+        match *target {
+            Target::Advert { slot, generation } => self.store.generation(slot) == generation,
+            Target::Cache { slot, generation } => self.cache.generation(slot) == generation,
+        }
+    }
+
+    fn sweep(&mut self, now: SimTime) -> SweepReport {
+        let mut report = SweepReport::default();
+        for target in self.wheel.pop_due(now) {
+            if !self.target_is_current(&target) {
+                continue; // refreshed or replaced since arming
+            }
+            match target {
+                Target::Advert { slot, .. } => {
+                    if self.store.get_slot(slot).is_some_and(|r| r.is_expired(now))
+                        && self.store.remove_slot(slot).is_some()
+                    {
+                        report.records_expired += 1;
+                    }
+                }
+                Target::Cache { slot, .. } => {
+                    // A current generation means the entry is exactly the
+                    // one this deadline was armed for, so it is due.
+                    if self.cache.remove_slot(slot).is_some() {
+                        report.cache_expired += 1;
+                    }
+                }
+            }
+        }
+        self.suppress.retain(|_, until| *until > now);
+        self.stats.records_expired += report.records_expired;
+        self.stats.cache_expired += report.cache_expired;
+        report
+    }
+}
+
+/// Handle to the shared registry. Cloning is cheap and refers to the same
+/// store (the codebase-wide `Rc<RefCell<…>>` handle idiom).
+#[derive(Clone)]
+pub struct ServiceRegistry {
+    inner: Rc<RefCell<RegistryInner>>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry with the given bounds.
+    pub fn new(config: RegistryConfig) -> ServiceRegistry {
+        ServiceRegistry {
+            inner: Rc::new(RefCell::new(RegistryInner {
+                store: RecordStore::new(config.advert_capacity),
+                cache: LruCache::new(config.cache_capacity),
+                projections: LruCache::new(config.advert_capacity),
+                suppress: HashMap::new(),
+                wheel: ExpiryWheel::new(),
+                stats: RegistryStats::default(),
+                config,
+            })),
+        }
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> RegistryConfig {
+        self.inner.borrow().config.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Advert records
+    // ------------------------------------------------------------------
+
+    /// Records an advertisement stream: alive adverts insert or refresh a
+    /// [`ServiceRecord`]; byebyes remove it.
+    pub fn record_advert(
+        &self,
+        origin: SdpProtocol,
+        stream: &EventStream,
+        now: SimTime,
+    ) -> AdvertDisposition {
+        let mut inner = self.inner.borrow_mut();
+        let Some(key) = record::advert_key(stream) else {
+            return AdvertDisposition::Ignored;
+        };
+        if stream.is_byebye() {
+            return match inner.store.remove(origin, &key) {
+                Some(_) => {
+                    inner.stats.records_removed += 1;
+                    AdvertDisposition::Removed
+                }
+                None => AdvertDisposition::NotPresent,
+            };
+        }
+        let default_ttl = inner.config.default_advert_ttl;
+        let Some(record) = ServiceRecord::from_advert(origin, stream, now, default_ttl) else {
+            return AdvertDisposition::Ignored;
+        };
+        let expires = record.expires_at();
+        let (slot, outcome) = inner.store.upsert(record);
+        if let Some(at) = expires {
+            let generation = inner.store.generation(slot);
+            inner.wheel.arm(at, Target::Advert { slot, generation });
+        }
+        match outcome {
+            InsertOutcome::Inserted => {
+                inner.stats.records_inserted += 1;
+                AdvertDisposition::Recorded
+            }
+            InsertOutcome::Refreshed => {
+                inner.stats.records_refreshed += 1;
+                AdvertDisposition::Refreshed
+            }
+            InsertOutcome::Evicted(_) => {
+                inner.stats.records_inserted += 1;
+                inner.stats.records_evicted += 1;
+                AdvertDisposition::Recorded
+            }
+        }
+    }
+
+    /// Number of live (non-expired) service records.
+    pub fn record_count(&self) -> usize {
+        self.inner.borrow().store.len()
+    }
+
+    /// The live record identified by `(origin, key)`, if any.
+    pub fn record(&self, origin: SdpProtocol, key: &str, now: SimTime) -> Option<ServiceRecord> {
+        self.inner.borrow().store.get(origin, key).filter(|r| !r.is_expired(now)).cloned()
+    }
+
+    /// True when a live record of this canonical type exists.
+    pub fn contains_type(&self, canonical_type: &str, now: SimTime) -> bool {
+        self.inner.borrow().store.of_type(canonical_type).any(|r| !r.is_expired(now))
+    }
+
+    /// Live records of one canonical type, in insertion order.
+    pub fn records_of_type(&self, canonical_type: &str, now: SimTime) -> Vec<ServiceRecord> {
+        self.inner
+            .borrow()
+            .store
+            .of_type(canonical_type)
+            .filter(|r| !r.is_expired(now))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of live records announced by one protocol.
+    pub fn record_count_by_origin(&self, origin: SdpProtocol, now: SimTime) -> usize {
+        self.inner.borrow().store.of_origin(origin).filter(|r| !r.is_expired(now)).count()
+    }
+
+    /// The earliest-registered live record advertising `endpoint`, if
+    /// any (several protocols may announce the same endpoint).
+    pub fn record_by_endpoint(&self, endpoint: &str, now: SimTime) -> Option<ServiceRecord> {
+        self.inner.borrow().store.by_endpoint(endpoint).find(|r| !r.is_expired(now)).cloned()
+    }
+
+    /// Every live advert as `(origin, stream)`, in deterministic slab
+    /// order (the active mode re-advertises these).
+    pub fn adverts(&self, now: SimTime) -> Vec<(SdpProtocol, EventStream)> {
+        self.inner
+            .borrow()
+            .store
+            .iter()
+            .filter(|(_, r)| !r.is_expired(now))
+            .map(|(_, r)| (r.origin(), r.advert().clone()))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Response cache
+    // ------------------------------------------------------------------
+
+    /// Stores a response stream for `canonical_type` (LRU-bounded; the
+    /// entry expires after the configured cache TTL).
+    pub fn warm(&self, canonical_type: &str, response: EventStream, now: SimTime) {
+        let mut inner = self.inner.borrow_mut();
+        let expires = now + inner.config.cache_ttl;
+        let (slot, evicted) =
+            inner.cache.insert(canonical_type.to_owned(), CachedResponse { response, expires });
+        if evicted.is_some() {
+            inner.stats.cache_evictions += 1;
+        }
+        let generation = inner.cache.generation(slot);
+        inner.wheel.arm(expires, Target::Cache { slot, generation });
+    }
+
+    /// Answers a lookup from the cache, counting a hit or a miss. Expired
+    /// entries are dropped on access (lazy expiry).
+    pub fn cached_response(&self, canonical_type: &str, now: SimTime) -> Option<EventStream> {
+        let mut inner = self.inner.borrow_mut();
+        let key = canonical_type.to_owned();
+        match inner.cache.get(&key) {
+            Some(entry) if entry.expires > now => {
+                let response = entry.response.clone();
+                inner.stats.cache_hits += 1;
+                Some(response)
+            }
+            Some(_) => {
+                inner.cache.remove(&key);
+                inner.stats.cache_expired += 1;
+                inner.stats.cache_misses += 1;
+                None
+            }
+            None => {
+                inner.stats.cache_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// True when a live cache entry exists for this type (does not touch
+    /// recency or counters).
+    pub fn cache_contains(&self, canonical_type: &str, now: SimTime) -> bool {
+        self.inner.borrow().cache.peek(&canonical_type.to_owned()).is_some_and(|c| c.expires > now)
+    }
+
+    /// Number of cache entries currently held (live or pending expiry).
+    pub fn cache_len(&self) -> usize {
+        self.inner.borrow().cache.len()
+    }
+
+    /// Canonical types with a live cache entry, in deterministic slab
+    /// order.
+    pub fn cached_types(&self, now: SimTime) -> Vec<String> {
+        self.inner
+            .borrow()
+            .cache
+            .iter()
+            .filter(|(_, c)| c.expires > now)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Suppression window
+    // ------------------------------------------------------------------
+
+    /// True while requests for this type are inside the suppression
+    /// window armed by [`ServiceRegistry::mark_bridged`].
+    pub fn suppression_active(&self, canonical_type: &str, now: SimTime) -> bool {
+        self.inner.borrow().suppress.get(canonical_type).is_some_and(|until| *until > now)
+    }
+
+    /// Arms the suppression window for this type until `until`.
+    pub fn mark_bridged(&self, canonical_type: &str, until: SimTime) {
+        self.inner.borrow_mut().suppress.insert(canonical_type.to_owned(), until);
+    }
+
+    // ------------------------------------------------------------------
+    // Bridge projections
+    // ------------------------------------------------------------------
+
+    /// The projection a unit minted for `(protocol, key)`, if any.
+    pub fn projection(&self, protocol: SdpProtocol, key: &str) -> Option<Projection> {
+        self.inner.borrow_mut().projections.get(&(protocol, key.to_owned())).cloned()
+    }
+
+    /// Stores (or replaces) the projection for `(protocol, key)`.
+    pub fn set_projection(&self, protocol: SdpProtocol, key: &str, projection: Projection) {
+        self.inner.borrow_mut().projections.insert((protocol, key.to_owned()), projection);
+    }
+
+    // ------------------------------------------------------------------
+    // Expiry
+    // ------------------------------------------------------------------
+
+    /// Drops everything whose TTL elapsed by `now` and prunes stale
+    /// suppression entries. Driven by the runtime's virtual-time sweep
+    /// timer; reads also expire lazily, so calling this is a memory
+    /// bound, not a correctness requirement.
+    pub fn sweep(&self, now: SimTime) -> SweepReport {
+        self.inner.borrow_mut().sweep(now)
+    }
+
+    /// The earliest pending expiry deadline, if any (the runtime schedules
+    /// its next sweep timer here).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let mut inner = self.inner.borrow_mut();
+        let RegistryInner { wheel, store, cache, .. } = &mut *inner;
+        wheel.next_deadline(|target| match *target {
+            Target::Advert { slot, generation } => store.generation(slot) == generation,
+            Target::Cache { slot, generation } => cache.generation(slot) == generation,
+        })
+    }
+
+    /// Snapshot of the registry's counters.
+    pub fn stats(&self) -> RegistryStats {
+        self.inner.borrow().stats
+    }
+}
+
+impl std::fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("ServiceRegistry")
+            .field("records", &inner.store.len())
+            .field("record_capacity", &inner.store.capacity())
+            .field("cached_responses", &inner.cache.len())
+            .field("cache_capacity", &inner.cache.capacity())
+            .field("armed_deadlines", &inner.wheel.armed())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn alive(ty: &str, url: &str, ttl: Option<u32>) -> EventStream {
+        let mut body =
+            vec![Event::ServiceAlive, Event::ServiceType(ty.into()), Event::ResServUrl(url.into())];
+        if let Some(t) = ttl {
+            body.push(Event::ResTtl(t));
+        }
+        EventStream::framed(body)
+    }
+
+    fn byebye(ty: &str, url: &str) -> EventStream {
+        EventStream::framed(vec![
+            Event::ServiceByeBye,
+            Event::ServiceType(ty.into()),
+            Event::ResServUrl(url.into()),
+        ])
+    }
+
+    fn response(ty: &str) -> EventStream {
+        EventStream::framed(vec![
+            Event::ServiceResponse,
+            Event::ResOk,
+            Event::ServiceType(ty.into()),
+            Event::ResServUrl(format!("soap://host/{ty}")),
+        ])
+    }
+
+    #[test]
+    fn advert_lifecycle_recorded_refreshed_removed() {
+        let reg = ServiceRegistry::new(RegistryConfig::default());
+        let t = SimTime::from_secs(1);
+        assert_eq!(
+            reg.record_advert(SdpProtocol::Slp, &alive("clock", "slp://a", Some(60)), t),
+            AdvertDisposition::Recorded
+        );
+        assert_eq!(
+            reg.record_advert(SdpProtocol::Slp, &alive("clock", "slp://a", Some(60)), t),
+            AdvertDisposition::Refreshed
+        );
+        assert_eq!(reg.record_count(), 1);
+        assert!(reg.contains_type("clock", t));
+        assert_eq!(
+            reg.record_advert(SdpProtocol::Slp, &byebye("clock", "slp://a"), t),
+            AdvertDisposition::Removed
+        );
+        assert_eq!(reg.record_count(), 0);
+        assert_eq!(reg.stats().records_removed, 1);
+        // A second byebye finds nothing but is still acknowledged, so the
+        // runtime can forward the retraction in active mode.
+        assert_eq!(
+            reg.record_advert(SdpProtocol::Slp, &byebye("clock", "slp://a"), t),
+            AdvertDisposition::NotPresent
+        );
+        assert_eq!(reg.stats().records_removed, 1, "nothing double-counted");
+    }
+
+    #[test]
+    fn ttl_expiry_is_exact_and_swept() {
+        let reg = ServiceRegistry::new(RegistryConfig::default());
+        reg.record_advert(SdpProtocol::Upnp, &alive("clock", "soap://b", Some(10)), SimTime::ZERO);
+        assert!(reg.contains_type("clock", SimTime::from_secs(9)));
+        // Lazy: reads past the deadline already miss.
+        assert!(!reg.contains_type("clock", SimTime::from_secs(10)));
+        // Sweep: memory is reclaimed.
+        assert_eq!(reg.next_deadline(), Some(SimTime::from_secs(10)));
+        let report = reg.sweep(SimTime::from_secs(10));
+        assert_eq!(report.records_expired, 1);
+        assert_eq!(reg.record_count(), 0);
+        assert_eq!(reg.next_deadline(), None);
+    }
+
+    #[test]
+    fn refresh_extends_ttl_and_stales_old_deadline() {
+        let reg = ServiceRegistry::new(RegistryConfig::default());
+        reg.record_advert(SdpProtocol::Slp, &alive("clock", "slp://a", Some(5)), SimTime::ZERO);
+        reg.record_advert(
+            SdpProtocol::Slp,
+            &alive("clock", "slp://a", Some(60)),
+            SimTime::from_secs(4),
+        );
+        // The old t=5 deadline is stale; sweeping at t=6 must not drop it.
+        let report = reg.sweep(SimTime::from_secs(6));
+        assert_eq!(report.records_expired, 0);
+        assert!(reg.contains_type("clock", SimTime::from_secs(6)));
+        assert_eq!(reg.next_deadline(), Some(SimTime::from_secs(64)));
+    }
+
+    #[test]
+    fn capacity_bound_evicts() {
+        let config = RegistryConfig { advert_capacity: 2, ..RegistryConfig::default() };
+        let reg = ServiceRegistry::new(config);
+        for i in 0..5 {
+            reg.record_advert(
+                SdpProtocol::Slp,
+                &alive(&format!("t{i}"), &format!("u://{i}"), None),
+                SimTime::ZERO,
+            );
+        }
+        assert_eq!(reg.record_count(), 2);
+        assert_eq!(reg.stats().records_evicted, 3);
+        assert!(reg.contains_type("t4", SimTime::ZERO));
+        assert!(!reg.contains_type("t0", SimTime::ZERO));
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_expiry() {
+        let config =
+            RegistryConfig { cache_ttl: Duration::from_secs(30), ..RegistryConfig::default() };
+        let reg = ServiceRegistry::new(config);
+        let t = SimTime::from_secs(1);
+        assert!(reg.cached_response("clock", t).is_none());
+        reg.warm("clock", response("clock"), t);
+        assert!(reg.cached_response("clock", SimTime::from_secs(30)).is_some());
+        assert!(reg.cached_response("clock", SimTime::from_secs(31)).is_none(), "expired");
+        let stats = reg.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.cache_expired, 1);
+        assert_eq!(reg.cache_len(), 0, "expired entry dropped on access");
+    }
+
+    #[test]
+    fn cache_lru_eviction_at_capacity() {
+        let config = RegistryConfig { cache_capacity: 2, ..RegistryConfig::default() };
+        let reg = ServiceRegistry::new(config);
+        let t = SimTime::ZERO;
+        reg.warm("a", response("a"), t);
+        reg.warm("b", response("b"), t);
+        assert!(reg.cached_response("a", t).is_some()); // refresh "a"
+        reg.warm("c", response("c"), t);
+        assert_eq!(reg.stats().cache_evictions, 1);
+        assert!(reg.cache_contains("a", t));
+        assert!(!reg.cache_contains("b", t), "LRU victim");
+        assert!(reg.cache_contains("c", t));
+    }
+
+    #[test]
+    fn suppression_window_expires_with_time() {
+        let reg = ServiceRegistry::new(RegistryConfig::default());
+        reg.mark_bridged("clock", SimTime::from_millis(600));
+        assert!(reg.suppression_active("clock", SimTime::from_millis(599)));
+        assert!(!reg.suppression_active("clock", SimTime::from_millis(600)));
+        reg.sweep(SimTime::from_secs(1));
+        assert!(!reg.suppression_active("clock", SimTime::ZERO), "pruned by sweep");
+    }
+
+    #[test]
+    fn projections_are_shared_and_bounded() {
+        let reg = ServiceRegistry::new(RegistryConfig::default());
+        assert!(reg.projection(SdpProtocol::Upnp, "clock").is_none());
+        reg.set_projection(
+            SdpProtocol::Upnp,
+            "clock",
+            Projection {
+                location: Some("http://gw:4104/bridged/1/description.xml".into()),
+                usn: Some("uuid:indiss-bridged-1".into()),
+                ..Projection::default()
+            },
+        );
+        let p = reg.projection(SdpProtocol::Upnp, "clock").unwrap();
+        assert_eq!(p.usn.as_deref(), Some("uuid:indiss-bridged-1"));
+        assert!(reg.projection(SdpProtocol::Slp, "clock").is_none(), "scoped per protocol");
+    }
+
+    #[test]
+    fn adverts_snapshot_is_deterministic_insertion_order() {
+        let reg = ServiceRegistry::new(RegistryConfig::default());
+        for (i, p) in
+            [SdpProtocol::Slp, SdpProtocol::Upnp, SdpProtocol::Jini].into_iter().enumerate()
+        {
+            reg.record_advert(
+                p,
+                &alive(&format!("t{i}"), &format!("u://{i}"), None),
+                SimTime::ZERO,
+            );
+        }
+        let order: Vec<SdpProtocol> =
+            reg.adverts(SimTime::ZERO).into_iter().map(|(p, _)| p).collect();
+        assert_eq!(order, vec![SdpProtocol::Slp, SdpProtocol::Upnp, SdpProtocol::Jini]);
+    }
+}

@@ -1,0 +1,224 @@
+//! The canonical service record: one discovered service, normalized from
+//! whatever SDP announced or answered it.
+
+use std::time::Duration;
+
+use indiss_net::SimTime;
+
+use crate::event::{Event, EventStream, SdpProtocol};
+
+/// One discovered service, as the registry stores it.
+///
+/// A record is built from an advertisement (or response) event stream and
+/// keeps the normalized fields every SDP understands — canonical type,
+/// endpoint, attributes, TTL — plus the original stream so composers can
+/// re-emit protocol-specific events (USNs, leases, …) faithfully.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRecord {
+    canonical_type: String,
+    origin: SdpProtocol,
+    key: String,
+    endpoint: Option<String>,
+    attrs: Vec<(String, String)>,
+    advert: EventStream,
+    registered_at: SimTime,
+    refreshed_at: SimTime,
+    expires_at: Option<SimTime>,
+}
+
+impl ServiceRecord {
+    /// Builds a record from an alive advertisement stream.
+    ///
+    /// Returns `None` when the stream carries no identity at all (no USN,
+    /// URL or type — nothing to key on). The record's TTL is the stream's
+    /// `SDP_RES_TTL` when present, `default_ttl` otherwise; `None` for
+    /// `default_ttl` makes untimed adverts immortal.
+    pub fn from_advert(
+        origin: SdpProtocol,
+        stream: &EventStream,
+        now: SimTime,
+        default_ttl: Option<Duration>,
+    ) -> Option<ServiceRecord> {
+        let key = advert_key(stream)?;
+        let ttl = stream
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                Event::ResTtl(t) => Some(Duration::from_secs(u64::from(*t))),
+                _ => None,
+            })
+            .or(default_ttl);
+        Some(ServiceRecord {
+            canonical_type: stream.service_type().unwrap_or_default().to_owned(),
+            origin,
+            key,
+            endpoint: stream.service_url().map(str::to_owned),
+            attrs: stream
+                .response_attrs()
+                .into_iter()
+                .map(|(t, v)| (t.to_owned(), v.to_owned()))
+                .collect(),
+            advert: stream.clone(),
+            registered_at: now,
+            refreshed_at: now,
+            expires_at: ttl.map(|t| now.saturating_add(t)),
+        })
+    }
+
+    /// The canonical short type name (`clock`, `printer`).
+    pub fn canonical_type(&self) -> &str {
+        &self.canonical_type
+    }
+
+    /// Which protocol announced the service.
+    pub fn origin(&self) -> SdpProtocol {
+        self.origin
+    }
+
+    /// The protocol-scoped identity the record is keyed by (USN, service
+    /// URL or canonical type, in that preference order).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The service endpoint URL, when the advert carried one.
+    pub fn endpoint(&self) -> Option<&str> {
+        self.endpoint.as_deref()
+    }
+
+    /// Attributes carried by the advert.
+    pub fn attrs(&self) -> &[(String, String)] {
+        &self.attrs
+    }
+
+    /// The original advert stream (for re-advertising into other SDPs).
+    pub fn advert(&self) -> &EventStream {
+        &self.advert
+    }
+
+    /// When the record was first registered.
+    pub fn registered_at(&self) -> SimTime {
+        self.registered_at
+    }
+
+    /// When the record was last refreshed by a new advert.
+    pub fn refreshed_at(&self) -> SimTime {
+        self.refreshed_at
+    }
+
+    /// The expiry deadline, when the record has one.
+    pub fn expires_at(&self) -> Option<SimTime> {
+        self.expires_at
+    }
+
+    /// True once the record's TTL has elapsed.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        self.expires_at.is_some_and(|at| at <= now)
+    }
+
+    /// Refreshes this record in place from a newer advert of the same
+    /// service, carrying the original registration time over.
+    pub fn refresh_from(&mut self, newer: ServiceRecord) {
+        let registered_at = self.registered_at;
+        *self = newer;
+        self.registered_at = registered_at;
+    }
+}
+
+/// Extracts the identity an advert stream is keyed by: the UPnP USN when
+/// present (it survives description fetches), else the service URL, else
+/// the canonical type.
+pub fn advert_key(stream: &EventStream) -> Option<String> {
+    stream
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            Event::UpnpUsn(u) => Some(u.clone()),
+            _ => None,
+        })
+        .or_else(|| stream.service_url().map(str::to_owned))
+        .or_else(|| stream.service_type().map(str::to_owned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alive(ttl: Option<u32>) -> EventStream {
+        let mut body = vec![
+            Event::ServiceAlive,
+            Event::ServiceType("clock".into()),
+            Event::ResServUrl("soap://10.0.0.2:4005/ctl".into()),
+            Event::ResAttr { tag: "friendlyName".into(), value: "Clock".into() },
+        ];
+        if let Some(t) = ttl {
+            body.push(Event::ResTtl(t));
+        }
+        EventStream::framed(body)
+    }
+
+    #[test]
+    fn record_normalizes_advert_fields() {
+        let now = SimTime::from_secs(5);
+        let r = ServiceRecord::from_advert(SdpProtocol::Slp, &alive(Some(60)), now, None)
+            .expect("keyed");
+        assert_eq!(r.canonical_type(), "clock");
+        assert_eq!(r.origin(), SdpProtocol::Slp);
+        assert_eq!(r.key(), "soap://10.0.0.2:4005/ctl");
+        assert_eq!(r.endpoint(), Some("soap://10.0.0.2:4005/ctl"));
+        assert_eq!(r.attrs(), &[("friendlyName".to_owned(), "Clock".to_owned())]);
+        assert_eq!(r.expires_at(), Some(SimTime::from_secs(65)));
+        assert!(!r.is_expired(SimTime::from_secs(64)));
+        assert!(r.is_expired(SimTime::from_secs(65)));
+    }
+
+    #[test]
+    fn usn_wins_as_key() {
+        let stream = EventStream::framed(vec![
+            Event::ServiceAlive,
+            Event::ServiceType("clock".into()),
+            Event::UpnpUsn("uuid:abc::urn:x".into()),
+            Event::ResServUrl("soap://h/ctl".into()),
+        ]);
+        assert_eq!(advert_key(&stream).as_deref(), Some("uuid:abc::urn:x"));
+    }
+
+    #[test]
+    fn default_ttl_applies_when_stream_has_none() {
+        let now = SimTime::ZERO;
+        let with_default = ServiceRecord::from_advert(
+            SdpProtocol::Upnp,
+            &alive(None),
+            now,
+            Some(Duration::from_secs(10)),
+        )
+        .unwrap();
+        assert_eq!(with_default.expires_at(), Some(SimTime::from_secs(10)));
+        let immortal =
+            ServiceRecord::from_advert(SdpProtocol::Upnp, &alive(None), now, None).unwrap();
+        assert_eq!(immortal.expires_at(), None);
+        assert!(!immortal.is_expired(SimTime::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn keyless_stream_yields_no_record() {
+        let stream = EventStream::framed(vec![Event::ServiceAlive]);
+        assert!(
+            ServiceRecord::from_advert(SdpProtocol::Jini, &stream, SimTime::ZERO, None).is_none()
+        );
+    }
+
+    #[test]
+    fn refresh_preserves_registration_time() {
+        let t0 = SimTime::from_secs(1);
+        let t1 = SimTime::from_secs(9);
+        let mut r =
+            ServiceRecord::from_advert(SdpProtocol::Slp, &alive(Some(5)), t0, None).unwrap();
+        let newer =
+            ServiceRecord::from_advert(SdpProtocol::Slp, &alive(Some(5)), t1, None).unwrap();
+        r.refresh_from(newer);
+        assert_eq!(r.registered_at(), t0);
+        assert_eq!(r.refreshed_at(), t1);
+        assert_eq!(r.expires_at(), Some(SimTime::from_secs(14)));
+    }
+}

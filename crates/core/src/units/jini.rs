@@ -19,6 +19,7 @@ use indiss_jini::{JiniPacket, ServiceItem, JINI_PORT, JINI_REQUEST_GROUP};
 use indiss_net::{Completion, Datagram, NetResult, Node, UdpSocket, World};
 
 use crate::event::{Event, EventStream, SdpProtocol};
+use crate::registry::{Projection, RegistryConfig, ServiceRegistry};
 use crate::units::{ParsedMessage, Unit};
 
 /// Callback the runtime installs so lookups arriving at the unit's own
@@ -57,6 +58,9 @@ struct JiniUnitInner {
     pending_lookups: Vec<Completion<Vec<ServiceItem>>>,
     pending_discoveries: Vec<Completion<SocketAddrV4>>,
     bridge: Option<BridgeRequestFn>,
+    /// Shared registry: bridged endpoints keep one stable service id
+    /// (stored as a projection) instead of minting a fresh id per reply.
+    registry: ServiceRegistry,
     next_service_id: u64,
 }
 
@@ -83,6 +87,7 @@ impl JiniUnit {
                 pending_lookups: Vec::new(),
                 pending_discoveries: Vec::new(),
                 bridge: None,
+                registry: ServiceRegistry::new(RegistryConfig::default()),
                 next_service_id: 0x1000,
             })),
         };
@@ -100,6 +105,27 @@ impl JiniUnit {
     /// The real registrar heard so far, if any (exposed for tests).
     pub fn real_registrar(&self) -> Option<SocketAddrV4> {
         self.inner.borrow().real_registrar
+    }
+
+    /// The stable service id for a bridged endpoint: reused from the
+    /// shared registry's projection when the endpoint was bridged before,
+    /// minted (and recorded) otherwise.
+    fn service_id_for(&self, url: &str) -> u64 {
+        let registry = self.inner.borrow().registry.clone();
+        if let Some(id) = registry.projection(SdpProtocol::Jini, url).and_then(|p| p.service_id) {
+            return id;
+        }
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_service_id += 1;
+            inner.next_service_id
+        };
+        registry.set_projection(
+            SdpProtocol::Jini,
+            url,
+            Projection { service_id: Some(id), ..Projection::default() },
+        );
+        id
     }
 
     fn send(&self, packet: &JiniPacket, to: SocketAddrV4) {
@@ -142,8 +168,7 @@ impl JiniUnit {
                 }
             }
             JiniPacket::LookupReply { items } => {
-                let pending: Vec<_> =
-                    self.inner.borrow_mut().pending_lookups.drain(..).collect();
+                let pending: Vec<_> = self.inner.borrow_mut().pending_lookups.drain(..).collect();
                 for c in pending {
                     c.complete(items.clone());
                 }
@@ -204,11 +229,7 @@ impl JiniUnit {
 }
 
 /// Builds advert events for a registered Jini service item.
-fn advert_events_from_item(
-    item: &ServiceItem,
-    src: SocketAddrV4,
-    lease: u32,
-) -> EventStream {
+fn advert_events_from_item(item: &ServiceItem, src: SocketAddrV4, lease: u32) -> EventStream {
     let mut body = vec![
         Event::NetType(SdpProtocol::Jini),
         Event::NetUnicast,
@@ -243,6 +264,10 @@ fn url_to_endpoint(url: &str) -> String {
 impl Unit for JiniUnit {
     fn protocol(&self) -> SdpProtocol {
         SdpProtocol::Jini
+    }
+
+    fn bind_registry(&self, registry: &ServiceRegistry) {
+        self.inner.borrow_mut().registry = registry.clone();
     }
 
     fn parse(&self, world: &World, dgram: &Datagram) -> ParsedMessage {
@@ -283,17 +308,9 @@ impl Unit for JiniUnit {
         }
     }
 
-    fn execute_query(
-        &self,
-        world: &World,
-        request: &EventStream,
-        reply: Completion<EventStream>,
-    ) {
+    fn execute_query(&self, world: &World, request: &EventStream, reply: Completion<EventStream>) {
         let Some(canonical) = request.service_type().map(str::to_owned) else {
-            reply.complete(EventStream::framed(vec![
-                Event::ServiceResponse,
-                Event::ResErr(2),
-            ]));
+            reply.complete(EventStream::framed(vec![Event::ServiceResponse, Event::ResErr(2)]));
             return;
         };
         let window = self.inner.borrow().config.query_window;
@@ -325,10 +342,7 @@ impl Unit for JiniUnit {
         let reply2 = reply.clone();
         let canonical3 = canonical.clone();
         lookup_done.subscribe(move |items| {
-            let mut body = vec![
-                Event::NetType(SdpProtocol::Jini),
-                Event::ServiceResponse,
-            ];
+            let mut body = vec![Event::NetType(SdpProtocol::Jini), Event::ServiceResponse];
             match items.first() {
                 Some(item) => {
                     body.push(Event::ResOk);
@@ -360,11 +374,7 @@ impl Unit for JiniUnit {
         };
         let items = match response.service_url() {
             Some(url) => {
-                let service_id = {
-                    let mut inner = self.inner.borrow_mut();
-                    inner.next_service_id += 1;
-                    inner.next_service_id
-                };
+                let service_id = self.service_id_for(url);
                 vec![ServiceItem {
                     service_id,
                     service_type: response
@@ -401,11 +411,8 @@ impl Unit for JiniUnit {
         let Some(url) = advert.service_url() else {
             return;
         };
-        let (service_id, lease) = {
-            let mut inner = self.inner.borrow_mut();
-            inner.next_service_id += 1;
-            (inner.next_service_id, inner.config.lease_secs)
-        };
+        let service_id = self.service_id_for(url);
+        let lease = self.inner.borrow().config.lease_secs;
         let item = ServiceItem {
             service_id,
             service_type: advert.service_type().unwrap_or_default().to_owned(),
@@ -424,12 +431,7 @@ impl Unit for JiniUnit {
     }
 
     fn own_sources(&self) -> Vec<SocketAddrV4> {
-        self.inner
-            .borrow()
-            .socket
-            .local_addr()
-            .map(|a| vec![a])
-            .unwrap_or_default()
+        self.inner.borrow().socket.local_addr().map(|a| vec![a]).unwrap_or_default()
     }
 }
 
@@ -479,10 +481,8 @@ mod tests {
         world.run_for(Duration::from_secs(1));
         assert_eq!(ls.registration_count(), 1);
 
-        let request = EventStream::framed(vec![
-            Event::ServiceRequest,
-            Event::ServiceType("clock".into()),
-        ]);
+        let request =
+            EventStream::framed(vec![Event::ServiceRequest, Event::ServiceType("clock".into())]);
         let reply: Completion<EventStream> = Completion::new();
         unit.execute_query(&world, &request, reply.clone());
         world.run_for(Duration::from_secs(1));
@@ -496,10 +496,8 @@ mod tests {
         let world = World::new(61);
         let indiss_node = world.add_node("indiss");
         let unit = JiniUnit::new(&indiss_node, JiniUnitConfig::default()).unwrap();
-        let request = EventStream::framed(vec![
-            Event::ServiceRequest,
-            Event::ServiceType("clock".into()),
-        ]);
+        let request =
+            EventStream::framed(vec![Event::ServiceRequest, Event::ServiceType("clock".into())]);
         let reply: Completion<EventStream> = Completion::new();
         unit.execute_query(&world, &request, reply.clone());
         world.run_for(Duration::from_secs(1));

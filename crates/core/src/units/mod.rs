@@ -21,6 +21,7 @@ use std::net::SocketAddrV4;
 use indiss_net::{Completion, Datagram, World};
 
 use crate::event::{EventStream, SdpProtocol};
+use crate::registry::ServiceRegistry;
 
 /// Result of feeding a raw native message to a unit's parser.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +47,12 @@ pub trait Unit {
     /// The protocol this unit translates.
     fn protocol(&self) -> SdpProtocol;
 
+    /// Attaches the runtime's shared [`ServiceRegistry`]. Units mint
+    /// bridge projections (synthetic descriptions, attribute lists,
+    /// service ids) into it instead of keeping private copies; a unit
+    /// constructed standalone keeps its own registry until bound.
+    fn bind_registry(&self, _registry: &ServiceRegistry) {}
+
     /// Parses one raw datagram (handed over by the monitor) into semantic
     /// events, per the unit's parser and FSM.
     fn parse(&self, world: &World, dgram: &Datagram) -> ParsedMessage;
@@ -54,12 +61,7 @@ pub trait Unit {
     /// foreign request: composes native request(s), coordinates however
     /// many rounds the protocol needs, and completes `reply` with the
     /// response event stream (or an error stream on timeout).
-    fn execute_query(
-        &self,
-        world: &World,
-        request: &EventStream,
-        reply: Completion<EventStream>,
-    );
+    fn execute_query(&self, world: &World, request: &EventStream, reply: Completion<EventStream>);
 
     /// Composes and sends the native response to the original requester
     /// described by `request`, carrying the results in `response`.
@@ -100,9 +102,7 @@ pub(crate) fn canonical_type_from_target(st: &indiss_ssdp::SearchTarget) -> Opti
             Some(name.to_ascii_lowercase())
         }
         // The paper's own trace uses the vendor target `upnp:clock`.
-        SearchTarget::Custom(s) => {
-            Some(s.strip_prefix("upnp:").unwrap_or(s).to_ascii_lowercase())
-        }
+        SearchTarget::Custom(s) => Some(s.strip_prefix("upnp:").unwrap_or(s).to_ascii_lowercase()),
         SearchTarget::All | SearchTarget::RootDevice | SearchTarget::Uuid(_) => None,
     }
 }

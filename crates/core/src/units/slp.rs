@@ -13,6 +13,7 @@ use indiss_slp::{
 };
 
 use crate::event::{Event, EventStream, SdpProtocol};
+use crate::registry::{Projection, RegistryConfig, ServiceRegistry};
 use crate::units::{canonical_type_from_slp, ParsedMessage, Unit};
 
 /// SLP unit tuning.
@@ -56,9 +57,11 @@ struct SlpUnitInner {
     config: SlpUnitConfig,
     next_xid: u16,
     pending: HashMap<u16, PendingQuery>,
-    /// Attributes of services this unit bridged *into* SLP, so follow-up
-    /// `AttrRqst`s from native SLP clients can be answered locally.
-    bridged_attrs: HashMap<String, AttributeList>,
+    /// Shared registry: attributes of services this unit bridged *into*
+    /// SLP live here as projections keyed by the bridged SLP URL, so
+    /// follow-up `AttrRqst`s from native SLP clients can be answered
+    /// locally from shared state.
+    registry: ServiceRegistry,
 }
 
 /// The SLP unit.
@@ -82,7 +85,7 @@ impl SlpUnit {
                 config,
                 next_xid: 0x4000,
                 pending: HashMap::new(),
-                bridged_attrs: HashMap::new(),
+                registry: ServiceRegistry::new(RegistryConfig::default()),
             })),
         };
         let this = unit.clone();
@@ -90,9 +93,16 @@ impl SlpUnit {
         Ok(unit)
     }
 
-    /// Attributes recorded for a bridged URL (exposed for tests).
+    /// Attributes recorded for a bridged URL (exposed for tests; reads
+    /// the shared registry's projection).
     pub fn bridged_attributes(&self, url: &str) -> Option<AttributeList> {
-        self.inner.borrow().bridged_attrs.get(url).cloned()
+        let registry = self.inner.borrow().registry.clone();
+        let projection = registry.projection(SdpProtocol::Slp, url)?;
+        let mut attrs = AttributeList::new();
+        for (tag, value) in &projection.attrs {
+            attrs.push(indiss_slp::Attribute::single(tag, value));
+        }
+        Some(attrs)
     }
 
     // -------------------------------------------------------------------
@@ -288,6 +298,10 @@ impl Unit for SlpUnit {
         SdpProtocol::Slp
     }
 
+    fn bind_registry(&self, registry: &ServiceRegistry) {
+        self.inner.borrow_mut().registry = registry.clone();
+    }
+
     fn parse(&self, _world: &World, dgram: &Datagram) -> ParsedMessage {
         let msg = match Message::decode(&dgram.payload) {
             Ok(m) => m,
@@ -307,18 +321,26 @@ impl Unit for SlpUnit {
                     ParsedMessage::Handled
                 }
             }
-            Body::SrvReg(reg) => {
-                self.parse_advert_events(true, &reg.entry.url, &reg.attrs, reg.entry.lifetime, dgram)
-            }
+            Body::SrvReg(reg) => self.parse_advert_events(
+                true,
+                &reg.entry.url,
+                &reg.attrs,
+                reg.entry.lifetime,
+                dgram,
+            ),
             Body::SrvDeReg(dereg) => {
                 self.parse_advert_events(false, &dereg.entry.url, "", 0, dgram)
             }
             Body::AttrRqst(req) => {
                 // Answer attribute requests for services we bridged.
-                let answer = self.inner.borrow().bridged_attrs.get(&req.url).cloned();
+                let answer = self.bridged_attributes(&req.url);
                 if let Some(attrs) = answer {
                     let reply = Message::new(
-                        Header::new(indiss_slp::FunctionId::AttrRply, msg.header.xid, &msg.header.lang),
+                        Header::new(
+                            indiss_slp::FunctionId::AttrRply,
+                            msg.header.xid,
+                            &msg.header.lang,
+                        ),
                         Body::AttrRply(indiss_slp::AttrRply { error: 0, attrs: attrs.to_string() }),
                     );
                     let socket = self.inner.borrow().socket.clone();
@@ -332,11 +354,8 @@ impl Unit for SlpUnit {
             }
             Body::SrvRply(rply) if rply.error == 0 => {
                 // Observed on the wire (warm the runtime cache).
-                let mut body = vec![
-                    Event::NetType(SdpProtocol::Slp),
-                    Event::ServiceResponse,
-                    Event::ResOk,
-                ];
+                let mut body =
+                    vec![Event::NetType(SdpProtocol::Slp), Event::ServiceResponse, Event::ResOk];
                 if let Some(entry) = rply.urls.first() {
                     body.push(Event::ServiceType(canonical_type_from_slp(&entry.url)));
                     body.push(Event::ResTtl(u32::from(entry.lifetime)));
@@ -348,17 +367,9 @@ impl Unit for SlpUnit {
         }
     }
 
-    fn execute_query(
-        &self,
-        world: &World,
-        request: &EventStream,
-        reply: Completion<EventStream>,
-    ) {
+    fn execute_query(&self, world: &World, request: &EventStream, reply: Completion<EventStream>) {
         let Some(canonical) = request.service_type().map(str::to_owned) else {
-            reply.complete(EventStream::framed(vec![
-                Event::ServiceResponse,
-                Event::ResErr(2),
-            ]));
+            reply.complete(EventStream::framed(vec![Event::ServiceResponse, Event::ResErr(2)]));
             return;
         };
         let (xid, wire, window) = {
@@ -413,15 +424,21 @@ impl Unit for SlpUnit {
         let Some((msg, slp_url)) = Self::build_srv_rply(request, response) else {
             return;
         };
-        // Record attributes so follow-up AttrRqsts can be answered.
-        {
-            let mut inner = self.inner.borrow_mut();
-            let mut attrs = AttributeList::new();
-            for (tag, value) in response.response_attrs() {
-                attrs.push(indiss_slp::Attribute::single(tag, value));
-            }
-            inner.bridged_attrs.insert(slp_url, attrs);
-        }
+        // Record attributes in the shared registry so follow-up
+        // AttrRqsts can be answered.
+        let registry = self.inner.borrow().registry.clone();
+        registry.set_projection(
+            SdpProtocol::Slp,
+            &slp_url,
+            Projection {
+                attrs: response
+                    .response_attrs()
+                    .into_iter()
+                    .map(|(t, v)| (t.to_owned(), v.to_owned()))
+                    .collect(),
+                ..Projection::default()
+            },
+        );
         let delay = self.inner.borrow().config.translation_delay;
         let socket = self.inner.borrow().socket.clone();
         world.schedule_in(delay, move |_| {
@@ -461,11 +478,7 @@ impl Unit for SlpUnit {
         };
         let msg = Message::new(
             Header::new(indiss_slp::FunctionId::SaAdvert, xid, DEFAULT_LANG),
-            Body::SaAdvert(indiss_slp::SaAdvert {
-                url: own_url,
-                scopes,
-                attrs: attrs.to_string(),
-            }),
+            Body::SaAdvert(indiss_slp::SaAdvert { url: own_url, scopes, attrs: attrs.to_string() }),
         );
         let socket = self.inner.borrow().socket.clone();
         let delay = self.inner.borrow().config.translation_delay;
@@ -477,12 +490,7 @@ impl Unit for SlpUnit {
     }
 
     fn own_sources(&self) -> Vec<SocketAddrV4> {
-        self.inner
-            .borrow()
-            .socket
-            .local_addr()
-            .map(|a| vec![a])
-            .unwrap_or_default()
+        self.inner.borrow().socket.local_addr().map(|a| vec![a]).unwrap_or_default()
     }
 }
 
@@ -583,10 +591,8 @@ mod tests {
             )
             .unwrap(),
         );
-        let request = EventStream::framed(vec![
-            Event::ServiceRequest,
-            Event::ServiceType("printer".into()),
-        ]);
+        let request =
+            EventStream::framed(vec![Event::ServiceRequest, Event::ServiceType("printer".into())]);
         let reply: Completion<EventStream> = Completion::new();
         unit.execute_query(&world, &request, reply.clone());
         world.run_for(Duration::from_secs(1));
@@ -669,8 +675,7 @@ mod tests {
             Event::ServiceRequest,
             Event::ServiceType("clock".into()),
         ]);
-        let response =
-            EventStream::framed(vec![Event::ServiceResponse, Event::ResErr(404)]);
+        let response = EventStream::framed(vec![Event::ServiceResponse, Event::ResErr(404)]);
         unit.compose_response(&world, &request, &response);
         world.run_for(Duration::from_secs(1));
         assert!(!got.is_complete(), "no SrvRply for an empty result");
@@ -697,7 +702,10 @@ mod tests {
         match msg.body {
             Body::SaAdvert(sa) => {
                 let attrs = AttributeList::parse(&sa.attrs).unwrap();
-                assert_eq!(attrs.get("service-url"), Some("service:clock:soap://10.0.0.2:4005/ctl"));
+                assert_eq!(
+                    attrs.get("service-url"),
+                    Some("service:clock:soap://10.0.0.2:4005/ctl")
+                );
                 assert_eq!(attrs.get("friendlyName"), Some("Clock"));
             }
             other => panic!("unexpected {other:?}"),

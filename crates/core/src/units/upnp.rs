@@ -14,7 +14,6 @@
 //! bridged foreign service and serves it from its own HTTP endpoint.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::net::SocketAddrV4;
 use std::rc::Rc;
 use std::time::Duration;
@@ -28,6 +27,7 @@ use indiss_upnp::{DeviceDescription, HttpServer, ServiceDescription};
 
 use crate::event::{Event, EventStream, ParserKind, SdpProtocol};
 use crate::fsm::{Fsm, FsmBuilder, Trigger};
+use crate::registry::{Projection, RegistryConfig, ServiceRegistry};
 use crate::units::{canonical_type_from_target, ParsedMessage, Unit};
 
 /// UPnP unit tuning.
@@ -158,22 +158,22 @@ fn query_fsm() -> Fsm<QueryVars, QueryCmd> {
         .build()
 }
 
-/// One synthetic description hosted for a bridged foreign service.
-struct BridgedService {
-    location: String,
-    usn: String,
-}
-
 struct UpnpUnitInner {
     node: Node,
     config: UpnpUnitConfig,
-    /// Descriptions served at `/bridged/<n>/description.xml`.
-    descriptions: Rc<RefCell<HashMap<String, String>>>,
-    /// Bridged services by canonical type.
-    bridged: HashMap<String, BridgedService>,
+    /// Shared registry: bridged-service projections (location, USN and
+    /// the synthetic description document, per canonical type) live
+    /// here, not in a private map. The cell is shared with the HTTP
+    /// handler so [`Unit::bind_registry`] reaches it too.
+    registry: Rc<RefCell<ServiceRegistry>>,
     next_bridge_id: u64,
     loop_filter: Option<Rc<dyn Fn(SocketAddrV4)>>,
     own_sources: Vec<SocketAddrV4>,
+}
+
+/// `/bridged/<canonical>/description.xml` → `<canonical>`.
+fn canonical_from_description_path(target: &str) -> Option<&str> {
+    target.strip_prefix("/bridged/")?.strip_suffix("/description.xml")
 }
 
 /// The UPnP unit.
@@ -191,9 +191,8 @@ impl UpnpUnit {
     ///
     /// Network errors from the server bind.
     pub fn new(node: &Node, config: UpnpUnitConfig) -> NetResult<UpnpUnit> {
-        let descriptions: Rc<RefCell<HashMap<String, String>>> =
-            Rc::new(RefCell::new(HashMap::new()));
-        let serve_map = Rc::clone(&descriptions);
+        let registry = Rc::new(RefCell::new(ServiceRegistry::new(RegistryConfig::default())));
+        let serve_registry = Rc::clone(&registry);
         let server = HttpServer::start(
             node,
             config.bridge_port,
@@ -201,12 +200,17 @@ impl UpnpUnit {
             // sluggish native stack: keep it at the translation cost.
             config.translation_delay,
             Rc::new(move |_, req| {
-                let map = serve_map.borrow();
-                match map.get(&req.target) {
+                // Descriptions are served straight from the registry's
+                // projections, so they stay bounded by its LRU.
+                let document = canonical_from_description_path(&req.target).and_then(|c| {
+                    let registry = serve_registry.borrow().clone();
+                    registry.projection(SdpProtocol::Upnp, c).and_then(|p| p.document)
+                });
+                match document {
                     Some(xml) => {
                         let mut resp = indiss_http::Response::ok();
                         resp.headers.insert("Content-Type", "text/xml");
-                        resp.body = xml.clone().into_bytes();
+                        resp.body = xml.into_bytes();
                         resp
                     }
                     None => indiss_http::Response::new(404),
@@ -217,14 +221,18 @@ impl UpnpUnit {
             inner: Rc::new(RefCell::new(UpnpUnitInner {
                 node: node.clone(),
                 config,
-                descriptions,
-                bridged: HashMap::new(),
+                registry,
                 next_bridge_id: 1,
                 loop_filter: None,
                 own_sources: Vec::new(),
             })),
             _server: Rc::new(server),
         })
+    }
+
+    /// The currently bound registry handle.
+    fn registry(&self) -> ServiceRegistry {
+        self.inner.borrow().registry.borrow().clone()
     }
 
     /// Sets the loop-filter callback: every socket the unit opens reports
@@ -309,6 +317,10 @@ impl Unit for UpnpUnit {
         SdpProtocol::Upnp
     }
 
+    fn bind_registry(&self, registry: &ServiceRegistry) {
+        *self.inner.borrow().registry.borrow_mut() = registry.clone();
+    }
+
     fn parse(&self, _world: &World, dgram: &Datagram) -> ParsedMessage {
         let Ok(msg) = SsdpMessage::parse(&dgram.payload) else {
             return ParsedMessage::NotRelevant;
@@ -356,24 +368,13 @@ impl Unit for UpnpUnit {
         }
     }
 
-    fn execute_query(
-        &self,
-        world: &World,
-        request: &EventStream,
-        reply: Completion<EventStream>,
-    ) {
+    fn execute_query(&self, world: &World, request: &EventStream, reply: Completion<EventStream>) {
         let Some(canonical) = request.service_type().map(str::to_owned) else {
-            reply.complete(EventStream::framed(vec![
-                Event::ServiceResponse,
-                Event::ResErr(2),
-            ]));
+            reply.complete(EventStream::framed(vec![Event::ServiceResponse, Event::ResErr(2)]));
             return;
         };
         let Ok(socket) = self.open_session_socket() else {
-            reply.complete(EventStream::framed(vec![
-                Event::ServiceResponse,
-                Event::ResErr(500),
-            ]));
+            reply.complete(EventStream::framed(vec![Event::ServiceResponse, Event::ResErr(500)]));
             return;
         };
         let (mx, deadline, parse_delay) = {
@@ -425,8 +426,7 @@ impl Unit for UpnpUnit {
         let translation_delay = self.inner.borrow().config.translation_delay;
         let send_socket = socket.clone();
         world.schedule_in(translation_delay, move |_| {
-            let _ = send_socket
-                .send_to(&wire, SocketAddrV4::new(SSDP_MULTICAST_GROUP, SSDP_PORT));
+            let _ = send_socket.send_to(&wire, SocketAddrV4::new(SSDP_MULTICAST_GROUP, SSDP_PORT));
         });
 
         // Process deadline: fail the bridge if the FSM never accepted.
@@ -472,8 +472,7 @@ impl Unit for UpnpUnit {
             })
             .unwrap_or(1800);
 
-        let (location, usn) =
-            self.ensure_bridged(&canonical, &endpoint, response.response_attrs());
+        let (location, usn) = self.ensure_bridged(&canonical, &endpoint, response.response_attrs());
         let ssdp_response = SearchResponse {
             st: st_text.parse().unwrap_or(SearchTarget::Custom(st_text)),
             usn,
@@ -497,8 +496,12 @@ impl Unit for UpnpUnit {
         };
         let nts = if advert.is_byebye() { NotifySubType::ByeBye } else { NotifySubType::Alive };
         let (location, usn) = if nts == NotifySubType::ByeBye {
-            match self.inner.borrow().bridged.get(&canonical) {
-                Some(b) => (Some(b.location.clone()), b.usn.clone()),
+            match self
+                .registry()
+                .projection(SdpProtocol::Upnp, &canonical)
+                .and_then(|p| Some((p.location?, p.usn?)))
+            {
+                Some((location, usn)) => (Some(location), usn),
                 None => return, // never advertised: nothing to retract
             }
         } else {
@@ -630,20 +633,30 @@ impl UpnpUnit {
     }
 
     /// Registers (or reuses) a synthetic description for a bridged
-    /// foreign service; returns `(location, usn)`.
+    /// foreign service; returns `(location, usn)`. The projection —
+    /// including the description document served over HTTP — lives in
+    /// the shared registry, so re-bridging the same canonical type from
+    /// any path reuses one description, and the documents are bounded by
+    /// the projection store instead of growing without limit.
     fn ensure_bridged(
         &self,
         canonical: &str,
         endpoint: &str,
         attrs: Vec<(&str, &str)>,
     ) -> (String, String) {
-        let mut inner = self.inner.borrow_mut();
-        if let Some(existing) = inner.bridged.get(canonical) {
-            return (existing.location.clone(), existing.usn.clone());
+        let registry = self.registry();
+        if let Some((location, usn)) = registry
+            .projection(SdpProtocol::Upnp, canonical)
+            .and_then(|p| Some((p.location?, p.usn?)))
+        {
+            return (location, usn);
         }
+        let mut inner = self.inner.borrow_mut();
         let id = inner.next_bridge_id;
         inner.next_bridge_id += 1;
-        let path = format!("/bridged/{id}/description.xml");
+        // Keyed by canonical type: re-minting after a projection
+        // eviction reuses the same path rather than minting a new one.
+        let path = format!("/bridged/{canonical}/description.xml");
         let friendly = attrs
             .iter()
             .find(|(t, _)| t.eq_ignore_ascii_case("friendlyName"))
@@ -668,17 +681,19 @@ impl UpnpUnit {
                 scpd_url: String::new(),
             }],
         };
-        let location = format!(
-            "http://{}:{}{}",
-            inner.node.addr(),
-            inner.config.bridge_port,
-            path
-        );
+        let location = format!("http://{}:{}{}", inner.node.addr(), inner.config.bridge_port, path);
         let usn = format!("uuid:indiss-bridged-{id}::urn:schemas-upnp-org:device:{canonical}:1");
-        inner.descriptions.borrow_mut().insert(path.clone(), description.to_xml());
-        inner.bridged.insert(
-            canonical.to_owned(),
-            BridgedService { location: location.clone(), usn: usn.clone() },
+        drop(inner);
+        registry.set_projection(
+            SdpProtocol::Upnp,
+            canonical,
+            Projection {
+                location: Some(location.clone()),
+                usn: Some(usn.clone()),
+                document: Some(description.to_xml()),
+                attrs: attrs.iter().map(|(t, v)| ((*t).to_owned(), (*v).to_owned())).collect(),
+                service_id: None,
+            },
         );
         (location, usn)
     }
@@ -777,10 +792,8 @@ mod tests {
         let _clock = ClockDevice::start(&device_node, UpnpConfig::default()).unwrap();
         world.run_for(Duration::from_millis(10));
 
-        let request = EventStream::framed(vec![
-            Event::ServiceRequest,
-            Event::ServiceType("clock".into()),
-        ]);
+        let request =
+            EventStream::framed(vec![Event::ServiceRequest, Event::ServiceType("clock".into())]);
         let reply: Completion<EventStream> = Completion::new();
         unit.execute_query(&world, &request, reply.clone());
         world.run_for(Duration::from_secs(2));
@@ -801,10 +814,8 @@ mod tests {
     #[test]
     fn execute_query_times_out_cleanly() {
         let (world, _node, unit) = unit_world();
-        let request = EventStream::framed(vec![
-            Event::ServiceRequest,
-            Event::ServiceType("toaster".into()),
-        ]);
+        let request =
+            EventStream::framed(vec![Event::ServiceRequest, Event::ServiceType("toaster".into())]);
         let reply: Completion<EventStream> = Completion::new();
         unit.execute_query(&world, &request, reply.clone());
         world.run_for(Duration::from_secs(2));
@@ -872,20 +883,14 @@ mod tests {
         ]);
         unit.compose_advert(&world, &alive);
         world.run_for(Duration::from_secs(1));
-        let bye = EventStream::framed(vec![
-            Event::ServiceByeBye,
-            Event::ServiceType("clock".into()),
-        ]);
+        let bye =
+            EventStream::framed(vec![Event::ServiceByeBye, Event::ServiceType("clock".into())]);
         unit.compose_advert(&world, &bye);
         world.run_for(Duration::from_secs(1));
         let messages = seen.snapshot();
         assert_eq!(messages.len(), 2);
-        assert!(
-            matches!(&messages[0], SsdpMessage::Notify(n) if n.nts == NotifySubType::Alive)
-        );
-        assert!(
-            matches!(&messages[1], SsdpMessage::Notify(n) if n.nts == NotifySubType::ByeBye)
-        );
+        assert!(matches!(&messages[0], SsdpMessage::Notify(n) if n.nts == NotifySubType::Alive));
+        assert!(matches!(&messages[1], SsdpMessage::Notify(n) if n.nts == NotifySubType::ByeBye));
     }
 
     #[test]

@@ -42,10 +42,7 @@ impl Headers {
 
     /// First value of the header, case-insensitive.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        self.entries.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
     /// All values of the header, case-insensitive.
@@ -188,8 +185,7 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let h: Headers =
-            vec![("A".to_string(), "1".to_string())].into_iter().collect();
+        let h: Headers = vec![("A".to_string(), "1".to_string())].into_iter().collect();
         assert_eq!(h.len(), 1);
     }
 }

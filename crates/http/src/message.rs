@@ -126,17 +126,11 @@ impl Request {
         let mut lines = head.lines();
         let start = lines.next().ok_or(HttpError::UnterminatedHeaders)?;
         let mut parts = start.split_whitespace();
-        let method: Method = parts
-            .next()
-            .ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?
-            .parse()?;
-        let target = parts
-            .next()
-            .ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?
-            .to_owned();
-        let version = parts
-            .next()
-            .ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?;
+        let method: Method =
+            parts.next().ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?.parse()?;
+        let target =
+            parts.next().ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?.to_owned();
+        let version = parts.next().ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?;
         check_version(version)?;
         let headers = parse_headers(lines)?;
         let body = take_body(&headers, body)?;
@@ -202,16 +196,11 @@ impl Response {
         let mut lines = head.lines();
         let start = lines.next().ok_or(HttpError::UnterminatedHeaders)?;
         let mut parts = start.splitn(3, ' ');
-        let version = parts
-            .next()
-            .ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?;
+        let version = parts.next().ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?;
         check_version(version)?;
-        let code_str = parts
-            .next()
-            .ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?;
-        let status: u16 = code_str
-            .parse()
-            .map_err(|_| HttpError::InvalidStatusCode(code_str.to_owned()))?;
+        let code_str = parts.next().ok_or_else(|| HttpError::InvalidStartLine(start.to_owned()))?;
+        let status: u16 =
+            code_str.parse().map_err(|_| HttpError::InvalidStatusCode(code_str.to_owned()))?;
         if !(100..=599).contains(&status) {
             return Err(HttpError::InvalidStatusCode(code_str.to_owned()));
         }
@@ -260,9 +249,8 @@ fn parse_headers<'a, I: Iterator<Item = &'a str>>(lines: I) -> HttpResult<Header
         if line.is_empty() {
             continue;
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| HttpError::InvalidHeaderLine(line.to_owned()))?;
+        let (name, value) =
+            line.split_once(':').ok_or_else(|| HttpError::InvalidHeaderLine(line.to_owned()))?;
         headers.append(name.trim(), value.trim());
     }
     Ok(headers)

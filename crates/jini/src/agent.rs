@@ -132,8 +132,8 @@ impl LookupService {
             inner.store.retain(|(_, expires)| *expires > now);
             match packet {
                 JiniPacket::DiscoveryRequest { groups } => {
-                    let serves = groups.is_empty()
-                        || groups.iter().any(|g| inner.config.groups.contains(g));
+                    let serves =
+                        groups.is_empty() || groups.iter().any(|g| inner.config.groups.contains(g));
                     serves.then(|| self_announcement(&inner))
                 }
                 JiniPacket::Register { item, lease_secs } => {
@@ -359,11 +359,11 @@ mod tests {
         let client = JiniAgent::start(&client_node, JiniConfig::default()).unwrap();
         // Registrar starts *after* the client, announcement interval long.
         let reggie_node = world.add_node("reggie");
-        let mut config = JiniConfig::default();
-        config.announce_interval = Duration::from_secs(3600);
+        let config =
+            JiniConfig { announce_interval: Duration::from_secs(3600), ..JiniConfig::default() };
         let _ls = LookupService::start(&reggie_node, config).unwrap();
         world.run_for(Duration::from_millis(50)); // initial announcement flushes
-        // Force re-discovery through the request path.
+                                                  // Force re-discovery through the request path.
         client.inner.borrow_mut().registrar = None;
         let found = client.discover_registrar();
         world.run_for(Duration::from_secs(1));
@@ -407,8 +407,7 @@ mod tests {
     fn leases_expire() {
         let (world, ls, provider, client) = setup();
         world.run_for(Duration::from_secs(1));
-        let mut config = JiniConfig::default();
-        config.lease_secs = 1;
+        let config = JiniConfig { lease_secs: 1, ..JiniConfig::default() };
         let short_provider = provider.clone();
         // Register with a 1-second lease by asking for more than granted.
         let _ = config;

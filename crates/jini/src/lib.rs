@@ -40,7 +40,6 @@ mod agent;
 mod wire;
 
 pub use agent::{
-    JiniAgent, JiniConfig, LookupService, JINI_ANNOUNCEMENT_GROUP, JINI_PORT,
-    JINI_REQUEST_GROUP,
+    JiniAgent, JiniConfig, LookupService, JINI_ANNOUNCEMENT_GROUP, JINI_PORT, JINI_REQUEST_GROUP,
 };
 pub use wire::{JiniError, JiniPacket, JiniResult, PacketType, ServiceItem, JINI_WIRE_VERSION};

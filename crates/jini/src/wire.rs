@@ -301,17 +301,11 @@ impl JiniPacket {
         let ptype_byte = r.u8()?;
         let ptype = PacketType::from_u8(ptype_byte).ok_or(JiniError::BadPacketType(ptype_byte))?;
         Ok(match ptype {
-            PacketType::DiscoveryRequest => {
-                JiniPacket::DiscoveryRequest { groups: r.strings()? }
+            PacketType::DiscoveryRequest => JiniPacket::DiscoveryRequest { groups: r.strings()? },
+            PacketType::Announcement => {
+                JiniPacket::Announcement { host: r.string()?, port: r.u16()?, groups: r.strings()? }
             }
-            PacketType::Announcement => JiniPacket::Announcement {
-                host: r.string()?,
-                port: r.u16()?,
-                groups: r.strings()?,
-            },
-            PacketType::Register => {
-                JiniPacket::Register { item: r.item()?, lease_secs: r.u32()? }
-            }
+            PacketType::Register => JiniPacket::Register { item: r.item()?, lease_secs: r.u32()? },
             PacketType::RegisterAck => {
                 JiniPacket::RegisterAck { service_id: r.u64()?, lease_secs: r.u32()? }
             }

@@ -9,18 +9,14 @@ fn token() -> impl Strategy<Value = String> {
 }
 
 fn arb_item() -> impl Strategy<Value = ServiceItem> {
-    (
-        any::<u64>(),
-        token(),
-        token(),
-        proptest::collection::vec((token(), token()), 0..4),
-    )
-        .prop_map(|(service_id, service_type, endpoint, attributes)| ServiceItem {
+    (any::<u64>(), token(), token(), proptest::collection::vec((token(), token()), 0..4)).prop_map(
+        |(service_id, service_type, endpoint, attributes)| ServiceItem {
             service_id,
             service_type,
             endpoint,
             attributes,
-        })
+        },
+    )
 }
 
 fn arb_packet() -> impl Strategy<Value = JiniPacket> {
@@ -31,11 +27,10 @@ fn arb_packet() -> impl Strategy<Value = JiniPacket> {
             .prop_map(|(host, port, groups)| JiniPacket::Announcement { host, port, groups }),
         (arb_item(), any::<u32>())
             .prop_map(|(item, lease_secs)| JiniPacket::Register { item, lease_secs }),
-        (any::<u64>(), any::<u32>())
-            .prop_map(|(service_id, lease_secs)| JiniPacket::RegisterAck {
-                service_id,
-                lease_secs
-            }),
+        (any::<u64>(), any::<u32>()).prop_map(|(service_id, lease_secs)| JiniPacket::RegisterAck {
+            service_id,
+            lease_secs
+        }),
         token().prop_map(|service_type| JiniPacket::Lookup { service_type }),
         proptest::collection::vec(arb_item(), 0..4)
             .prop_map(|items| JiniPacket::LookupReply { items }),

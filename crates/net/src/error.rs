@@ -96,9 +96,7 @@ mod tests {
             NetError::AddrInUse { node: NodeId::new(1), port: 427 },
             NetError::SocketClosed,
             NetError::ConnectionClosed,
-            NetError::HostUnreachable {
-                addr: SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 9), 80),
-            },
+            NetError::HostUnreachable { addr: SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 9), 80) },
             NetError::ConnectionRefused {
                 addr: SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 1), 5000),
             },

@@ -77,11 +77,7 @@ impl TrafficMeter {
 
     /// Bytes delivered in the half-open window `[from, to)`.
     pub fn bytes_between(&self, from: SimTime, to: SimTime) -> u64 {
-        self.records
-            .iter()
-            .filter(|r| r.at >= from && r.at < to)
-            .map(|r| r.len as u64)
-            .sum()
+        self.records.iter().filter(|r| r.at >= from && r.at < to).map(|r| r.len as u64).sum()
     }
 
     /// Packets delivered in the half-open window `[from, to)`.
@@ -100,11 +96,7 @@ impl TrafficMeter {
 
     /// Bytes sent to a given destination port (any address).
     pub fn bytes_to_port(&self, port: u16) -> u64 {
-        self.records
-            .iter()
-            .filter(|r| r.dst.port() == port)
-            .map(|r| r.len as u64)
-            .sum()
+        self.records.iter().filter(|r| r.dst.port() == port).map(|r| r.len as u64).sum()
     }
 
     /// Number of multicast packets observed.
@@ -166,9 +158,7 @@ mod tests {
         let mut m = TrafficMeter::new();
         m.record(rec(0, 500, 1900, true));
         m.record(rec(500, 500, 1900, true));
-        let rate = m
-            .rate_between(SimTime::ZERO, SimTime::from_secs(1))
-            .expect("nonempty window");
+        let rate = m.rate_between(SimTime::ZERO, SimTime::from_secs(1)).expect("nonempty window");
         assert!((rate - 1000.0).abs() < 1e-9);
     }
 

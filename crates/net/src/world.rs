@@ -499,13 +499,7 @@ impl World {
             return Err(NetError::AddrInUse { node, port });
         }
         let id = UdpSocketId(inner.udp.len());
-        inner.udp.push(Some(UdpData {
-            node,
-            port,
-            shared,
-            groups: HashSet::new(),
-            handler: None,
-        }));
+        inner.udp.push(Some(UdpData { node, port, shared, groups: HashSet::new(), handler: None }));
         drop(inner);
         Ok(UdpSocket::from_parts(self.clone(), id))
     }
@@ -521,7 +515,8 @@ impl World {
             return Err(NetError::NotMulticast { addr: group });
         }
         let mut inner = self.inner.borrow_mut();
-        let data = inner.udp.get_mut(id.0).and_then(Option::as_mut).ok_or(NetError::SocketClosed)?;
+        let data =
+            inner.udp.get_mut(id.0).and_then(Option::as_mut).ok_or(NetError::SocketClosed)?;
         data.groups.insert(group);
         Ok(())
     }
@@ -531,7 +526,8 @@ impl World {
             return Err(NetError::NotMulticast { addr: group });
         }
         let mut inner = self.inner.borrow_mut();
-        let data = inner.udp.get_mut(id.0).and_then(Option::as_mut).ok_or(NetError::SocketClosed)?;
+        let data =
+            inner.udp.get_mut(id.0).and_then(Option::as_mut).ok_or(NetError::SocketClosed)?;
         data.groups.remove(&group);
         Ok(())
     }
@@ -560,8 +556,7 @@ impl World {
         let data = inner.udp.get(id.0).and_then(Option::as_ref).ok_or(NetError::SocketClosed)?;
         let src_node = data.node;
         let src_port = data.port;
-        let src_addr =
-            SocketAddrV4::new(inner.nodes[src_node.index() as usize].addr, src_port);
+        let src_addr = SocketAddrV4::new(inner.nodes[src_node.index() as usize].addr, src_port);
         if !inner.nodes[src_node.index() as usize].up {
             return Err(NetError::NodeDown { node: src_node });
         }
@@ -583,11 +578,8 @@ impl World {
                 .map(|(sid, s)| (sid, s.node))
                 .collect();
 
-            let outcome = if members.is_empty() {
-                TraceOutcome::NoListener
-            } else {
-                TraceOutcome::Delivered
-            };
+            let outcome =
+                if members.is_empty() { TraceOutcome::NoListener } else { TraceOutcome::Delivered };
             let now = inner.now;
             inner.trace_packet(Transport::Udp, src_addr, dst, payload, outcome);
             // One packet on the wire regardless of member count; meter it
@@ -894,8 +886,8 @@ impl World {
                     }
                 };
                 if let Some(cb) = cb {
-                    let outcome = result
-                        .map(|()| TcpStream::from_parts(self.clone(), client_stream));
+                    let outcome =
+                        result.map(|()| TcpStream::from_parts(self.clone(), client_stream));
                     cb(world, outcome);
                 }
             }
@@ -975,10 +967,7 @@ impl World {
                     let link = inner.link_for(dn, client_node);
                     let delay = link.sample_delay(40, &mut inner.rng);
                     let at = inner.now + delay;
-                    inner.push(
-                        at,
-                        Action::TcpConnectResolve { client_stream, result: Ok(()) },
-                    );
+                    inner.push(at, Action::TcpConnectResolve { client_stream, result: Ok(()) });
                     (Ok(server_id), handler)
                 }
                 None => {

@@ -1,0 +1,236 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of the criterion API the `benches/` targets use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `measurement_time` / `bench_with_input`,
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a warm-up pass
+//! and then a fixed number of timed samples, reporting the median and
+//! min/max per-iteration time as plain text. There is no statistical
+//! regression analysis, plotting or HTML output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Collects and reports benchmarks.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.measurement_time, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark by function name and optional parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { function: name.to_owned(), parameter: None }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => write!(f, "{p}"),
+            (name, Some(p)) => write!(f, "{name}/{p}"),
+            (name, None) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_budget: usize,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times to fill the sample budget.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: also calibrates how many iterations fit a sample.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target_sample = Duration::from_millis(5);
+        self.iters_per_sample =
+            (target_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_budget {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let total = start.elapsed();
+            self.samples.push(total / u32::try_from(self.iters_per_sample).unwrap_or(1));
+        }
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, measurement_time: Duration, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher =
+        Bencher { samples: Vec::new(), iters_per_sample: 1, sample_budget: sample_size };
+    let started = Instant::now();
+    f(&mut bencher);
+    let _ = measurement_time; // fixed sample count keeps runs bounded
+    if bencher.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let min = bencher.samples[0];
+    let max = *bencher.samples.last().expect("non-empty");
+    println!(
+        "{label:<50} median {:>12?}  (min {:>12?}, max {:>12?}, {} samples, took {:?})",
+        median,
+        min,
+        max,
+        bencher.samples.len(),
+        started.elapsed(),
+    );
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).measurement_time(Duration::from_millis(10));
+        group.bench_function("addition", |b| b.iter(|| std::hint::black_box(1u64 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

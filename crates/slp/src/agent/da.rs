@@ -14,13 +14,9 @@ use indiss_net::{Datagram, NetResult, Node, UdpSocket, World};
 
 use crate::agent::{scopes_intersect, SlpConfig};
 use crate::attrs::AttributeList;
-use crate::consts::{
-    ErrorCode, FunctionId, DEFAULT_LANG, SLP_MULTICAST_GROUP, SLP_PORT,
-};
+use crate::consts::{ErrorCode, FunctionId, DEFAULT_LANG, SLP_MULTICAST_GROUP, SLP_PORT};
 use crate::filter::Filter;
-use crate::messages::{
-    AttrRply, Body, DaAdvert, Message, SrvAck, SrvRply, SrvRqst, SrvTypeRply,
-};
+use crate::messages::{AttrRply, Body, DaAdvert, Message, SrvAck, SrvRply, SrvRqst, SrvTypeRply};
 use crate::url::{ServiceType, UrlEntry};
 use crate::wire::Header;
 
@@ -150,15 +146,13 @@ impl DirectoryAgent {
                     let mut inner = self.inner.borrow_mut();
                     match (
                         ServiceType::parse(
-                            reg.service_type
-                                .strip_prefix("service:")
-                                .unwrap_or(&reg.service_type),
+                            reg.service_type.strip_prefix("service:").unwrap_or(&reg.service_type),
                         ),
                         AttributeList::parse(&reg.attrs),
                     ) {
                         (Ok(service_type), Ok(attrs)) => {
-                            let expires_at = world.now()
-                                + Duration::from_secs(u64::from(reg.entry.lifetime));
+                            let expires_at =
+                                world.now() + Duration::from_secs(u64::from(reg.entry.lifetime));
                             inner.store.retain(|s| s.url != reg.entry.url);
                             inner.store.push(StoredReg {
                                 url: reg.entry.url.clone(),
@@ -311,8 +305,7 @@ mod tests {
         let world = World::new(7);
         let da_node = world.add_node("da");
         let da =
-            DirectoryAgent::start(&da_node, SlpConfig::default(), Duration::from_secs(60))
-                .unwrap();
+            DirectoryAgent::start(&da_node, SlpConfig::default(), Duration::from_secs(60)).unwrap();
         (world, da)
     }
 
@@ -321,9 +314,7 @@ mod tests {
         let (world, da) = world_with_da();
         let sa_node = world.node(indiss_net::NodeId::new(0)).unwrap().world().add_node("sa");
         let sa = ServiceAgent::start(&sa_node, SlpConfig::default()).unwrap();
-        sa.register(
-            Registration::new("service:printer://10.0.0.9", AttributeList::new()).unwrap(),
-        );
+        sa.register(Registration::new("service:printer://10.0.0.9", AttributeList::new()).unwrap());
         // DA advert goes out at t=0; the SA hears it and forwards SrvReg.
         world.run_for(Duration::from_secs(1));
         assert!(sa.known_da().is_some());
@@ -337,17 +328,13 @@ mod tests {
         let sa_node = world2.add_node("sa");
         let client_node = world2.add_node("client");
         let sa = ServiceAgent::start(&sa_node, SlpConfig::default()).unwrap();
-        sa.register(
-            Registration::new("service:clock://10.0.0.9", AttributeList::new()).unwrap(),
-        );
+        sa.register(Registration::new("service:clock://10.0.0.9", AttributeList::new()).unwrap());
         world.run_for(Duration::from_secs(1));
         assert_eq!(da.registration_count(), 1);
 
         let ua = UserAgent::start(&client_node, SlpConfig::default()).unwrap();
-        let da_addr = SocketAddrV4::new(
-            world.node(indiss_net::NodeId::new(0)).unwrap().addr(),
-            SLP_PORT,
-        );
+        let da_addr =
+            SocketAddrV4::new(world.node(indiss_net::NodeId::new(0)).unwrap().addr(), SLP_PORT);
         ua.set_da(Some(da_addr));
         let (_, done) = ua.find_services(&world, "service:clock", "");
         world.run_for(Duration::from_secs(1));
@@ -359,10 +346,8 @@ mod tests {
         let (world, _da) = world_with_da();
         let client_node = world.add_node("client");
         let ua = UserAgent::start(&client_node, SlpConfig::default()).unwrap();
-        let da_addr = SocketAddrV4::new(
-            world.node(indiss_net::NodeId::new(0)).unwrap().addr(),
-            SLP_PORT,
-        );
+        let da_addr =
+            SocketAddrV4::new(world.node(indiss_net::NodeId::new(0)).unwrap().addr(), SLP_PORT);
         ua.set_da(Some(da_addr));
         let (first, done) = ua.find_services(&world, "service:nothing", "");
         world.run_for(Duration::from_secs(1));
@@ -377,8 +362,7 @@ mod tests {
         let (world, da) = world_with_da();
         let sa_node = world.add_node("sa");
         let sa = ServiceAgent::start(&sa_node, SlpConfig::default()).unwrap();
-        let mut reg =
-            Registration::new("service:clock://10.0.0.9", AttributeList::new()).unwrap();
+        let mut reg = Registration::new("service:clock://10.0.0.9", AttributeList::new()).unwrap();
         reg.lifetime = 1; // one second
         sa.register(reg);
         world.run_for(Duration::from_millis(100));
@@ -408,11 +392,8 @@ mod tests {
         world.run_for(Duration::from_secs(1));
         let _ = done.take();
         let trace = world.trace_snapshot().unwrap();
-        let das_replies = trace
-            .entries()
-            .iter()
-            .filter(|e| e.dst.port() >= 40_000 && e.len > 20)
-            .count();
+        let das_replies =
+            trace.entries().iter().filter(|e| e.dst.port() >= 40_000 && e.len > 20).count();
         assert!(das_replies >= 1, "DA answered the active discovery probe");
     }
 }

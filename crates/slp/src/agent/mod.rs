@@ -121,8 +121,8 @@ mod tests {
 
     #[test]
     fn registration_parses_type() {
-        let r = Registration::new("service:clock:soap://10.0.0.2:4005", AttributeList::new())
-            .unwrap();
+        let r =
+            Registration::new("service:clock:soap://10.0.0.2:4005", AttributeList::new()).unwrap();
         assert_eq!(r.service_type, ServiceType::with_concrete("clock", "soap"));
         assert_eq!(r.scopes, "DEFAULT");
     }

@@ -10,7 +10,7 @@ use crate::agent::{scopes_intersect, Registration, SlpConfig};
 use crate::consts::{FunctionId, SLP_MULTICAST_GROUP, SLP_PORT};
 use crate::error::SlpResult;
 use crate::filter::Filter;
-use crate::messages::{AttrRply, Body, Message, SaAdvert, SrvRply, SrvReg, SrvRqst, SrvTypeRply};
+use crate::messages::{AttrRply, Body, Message, SaAdvert, SrvReg, SrvRply, SrvRqst, SrvTypeRply};
 use crate::url::{ServiceType, UrlEntry};
 use crate::wire::Header;
 

@@ -9,7 +9,7 @@ use indiss_net::{Completion, Datagram, NetResult, Node, SimTime, UdpSocket, Worl
 
 use crate::agent::SlpConfig;
 use crate::attrs::AttributeList;
-use crate::consts::{FunctionId, SLP_MULTICAST_GROUP, SLP_PORT, DEFAULT_LANG};
+use crate::consts::{FunctionId, DEFAULT_LANG, SLP_MULTICAST_GROUP, SLP_PORT};
 use crate::messages::{AttrRqst, Body, Message, SrvRqst};
 use crate::url::UrlEntry;
 use crate::wire::Header;
@@ -199,17 +199,14 @@ impl UserAgent {
         let mut inner = self.inner.borrow_mut();
         let xid = msg.header.xid;
         match (&msg.body, inner.pending.get_mut(&xid)) {
-            (
-                Body::SrvRply(rply),
-                Some(Pending::Discovery { urls, first_reply_at, first, .. }),
-            ) => {
-                if rply.error == 0 {
-                    if first_reply_at.is_none() {
-                        *first_reply_at = Some(world.now());
-                        first.complete(world.now());
-                    }
-                    urls.extend(rply.urls.iter().cloned());
+            (Body::SrvRply(rply), Some(Pending::Discovery { urls, first_reply_at, first, .. }))
+                if rply.error == 0 =>
+            {
+                if first_reply_at.is_none() {
+                    *first_reply_at = Some(world.now());
+                    first.complete(world.now());
                 }
+                urls.extend(rply.urls.iter().cloned());
             }
             (Body::AttrRply(rply), Some(Pending::Attributes { done })) => {
                 if rply.error == 0 {
@@ -294,9 +291,7 @@ mod tests {
         // The paper's Fig. 7 reference: SLP→SLP ≈ 0.7 ms on a 10 Mb/s LAN.
         // Our calibrated simulation must land in the same regime (< 2 ms).
         let (world, ua, sa) = setup();
-        sa.register(
-            Registration::new("service:clock://10.0.0.1", AttributeList::new()).unwrap(),
-        );
+        sa.register(Registration::new("service:clock://10.0.0.1", AttributeList::new()).unwrap());
         let (_, done) = ua.find_services(&world, "service:clock", "");
         world.run_until_idle();
         let rt = done.take().unwrap().response_time().expect("got a reply");

@@ -32,10 +32,7 @@ impl Attribute {
 
     /// Creates a multi-valued attribute.
     pub fn multi(tag: &str, values: &[&str]) -> Self {
-        Attribute {
-            tag: tag.to_owned(),
-            values: values.iter().map(|v| (*v).to_owned()).collect(),
-        }
+        Attribute { tag: tag.to_owned(), values: values.iter().map(|v| (*v).to_owned()).collect() }
     }
 }
 
@@ -74,16 +71,14 @@ impl AttributeList {
         let mut rest = s.trim();
         while !rest.is_empty() {
             if let Some(stripped) = rest.strip_prefix('(') {
-                let close = find_close(stripped)
-                    .ok_or_else(|| SlpError::BadAttributeList(s.to_owned()))?;
+                let close =
+                    find_close(stripped).ok_or_else(|| SlpError::BadAttributeList(s.to_owned()))?;
                 let inner = &stripped[..close];
                 let (tag, values) = match inner.find('=') {
                     Some(eq) => {
                         let tag = inner[..eq].trim();
-                        let values: Vec<String> = inner[eq + 1..]
-                            .split(',')
-                            .map(|v| unescape_value(v.trim()))
-                            .collect();
+                        let values: Vec<String> =
+                            inner[eq + 1..].split(',').map(|v| unescape_value(v.trim())).collect();
                         (tag, values)
                     }
                     None => (inner.trim(), Vec::new()),
@@ -154,9 +149,7 @@ impl AttributeList {
 
     /// True when the tag exists as a keyword (present, no values).
     pub fn has_keyword(&self, tag: &str) -> bool {
-        self.attrs
-            .iter()
-            .any(|a| a.tag.eq_ignore_ascii_case(tag) && a.values.is_empty())
+        self.attrs.iter().any(|a| a.tag.eq_ignore_ascii_case(tag) && a.values.is_empty())
     }
 
     /// True when the tag is present at all.

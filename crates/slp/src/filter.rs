@@ -60,10 +60,9 @@ impl Filter {
             Filter::Or(fs) => fs.iter().any(|f| f.matches(attrs)),
             Filter::Not(f) => !f.matches(attrs),
             Filter::Present(tag) => attrs.contains_tag(tag),
-            Filter::Equal(tag, value) => attrs
-                .get_all(tag)
-                .iter()
-                .any(|v| v.eq_ignore_ascii_case(value)),
+            Filter::Equal(tag, value) => {
+                attrs.get_all(tag).iter().any(|v| v.eq_ignore_ascii_case(value))
+            }
             Filter::Substring(tag, parts) => {
                 attrs.get_all(tag).iter().any(|v| wildcard_match(parts, v))
             }
@@ -232,10 +231,7 @@ impl<'a> Parser<'a> {
                 if value == "*" {
                     Filter::Present(tag.to_owned())
                 } else if value.contains('*') {
-                    Filter::Substring(
-                        tag.to_owned(),
-                        value.split('*').map(str::to_owned).collect(),
-                    )
+                    Filter::Substring(tag.to_owned(), value.split('*').map(str::to_owned).collect())
                 } else {
                     Filter::Equal(tag.to_owned(), value.to_owned())
                 }

@@ -50,8 +50,8 @@ pub use agent::{
 };
 pub use attrs::{Attribute, AttributeList};
 pub use consts::{
-    ErrorCode, FunctionId, DEFAULT_LANG, DEFAULT_LIFETIME, DEFAULT_SCOPE, FLAG_FRESH,
-    FLAG_MCAST, FLAG_OVERFLOW, SLP_MULTICAST_GROUP, SLP_PORT, SLP_VERSION,
+    ErrorCode, FunctionId, DEFAULT_LANG, DEFAULT_LIFETIME, DEFAULT_SCOPE, FLAG_FRESH, FLAG_MCAST,
+    FLAG_OVERFLOW, SLP_MULTICAST_GROUP, SLP_PORT, SLP_VERSION,
 };
 pub use error::{SlpError, SlpResult};
 pub use filter::Filter;

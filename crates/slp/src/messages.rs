@@ -397,7 +397,7 @@ impl Message {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::consts::{FLAG_MCAST, DEFAULT_LANG};
+    use crate::consts::{DEFAULT_LANG, FLAG_MCAST};
 
     fn hdr(xid: u16) -> Header {
         Header::new(FunctionId::SrvAck, xid, DEFAULT_LANG)

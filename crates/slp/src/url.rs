@@ -115,12 +115,9 @@ impl ServiceUrl {
     /// [`SlpError::BadServiceUrl`] when the scheme is missing, the
     /// authority separator is absent, or the port is not numeric.
     pub fn parse(s: &str) -> SlpResult<ServiceUrl> {
-        let rest = s
-            .strip_prefix("service:")
-            .ok_or_else(|| SlpError::BadServiceUrl(s.to_owned()))?;
-        let sep = rest
-            .find("://")
-            .ok_or_else(|| SlpError::BadServiceUrl(s.to_owned()))?;
+        let rest =
+            s.strip_prefix("service:").ok_or_else(|| SlpError::BadServiceUrl(s.to_owned()))?;
+        let sep = rest.find("://").ok_or_else(|| SlpError::BadServiceUrl(s.to_owned()))?;
         let service_type = ServiceType::parse(&rest[..sep])?;
         let after = &rest[sep + 3..];
         let (authority, path) = match after.find('/') {
@@ -132,8 +129,7 @@ impl ServiceUrl {
         }
         let (host, port) = match authority.rsplit_once(':') {
             Some((h, p)) => {
-                let port: u16 =
-                    p.parse().map_err(|_| SlpError::BadServiceUrl(s.to_owned()))?;
+                let port: u16 = p.parse().map_err(|_| SlpError::BadServiceUrl(s.to_owned()))?;
                 (h.to_owned(), Some(port))
             }
             None => (authority.to_owned(), None),
@@ -229,11 +225,7 @@ mod tests {
 
     #[test]
     fn display_roundtrips() {
-        for s in [
-            "service:printer://h",
-            "service:printer:lpr://h:1/q",
-            "service:a://h:65535",
-        ] {
+        for s in ["service:printer://h", "service:printer:lpr://h:1/q", "service:a://h:65535"] {
             assert_eq!(ServiceUrl::parse(s).unwrap().to_string(), s);
         }
     }

@@ -119,8 +119,8 @@ impl ByteWriter {
     ///
     /// [`SlpError::FieldOverflow`] if the string exceeds 65535 bytes.
     pub fn string(&mut self, s: &str) -> SlpResult<&mut Self> {
-        let len = u16::try_from(s.len())
-            .map_err(|_| SlpError::FieldOverflow { context: "string" })?;
+        let len =
+            u16::try_from(s.len()).map_err(|_| SlpError::FieldOverflow { context: "string" })?;
         self.u16(len);
         self.buf.extend_from_slice(s.as_bytes());
         Ok(self)
@@ -304,10 +304,7 @@ mod tests {
         // Too short to even read the length field.
         assert!(matches!(Header::decode(&[2, 1]), Err(SlpError::Truncated { .. })));
         // Length field present but wrong for the buffer.
-        assert!(matches!(
-            Header::decode(&[2, 1, 0, 0, 99]),
-            Err(SlpError::LengthMismatch { .. })
-        ));
+        assert!(matches!(Header::decode(&[2, 1, 0, 0, 99]), Err(SlpError::LengthMismatch { .. })));
     }
 
     #[test]

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use indiss_slp::{
-    Attribute, AttributeList, Body, Filter, Header, Message, ServiceType, ServiceUrl,
-    SrvAck, SrvRply, SrvRqst, UrlEntry,
+    Attribute, AttributeList, Body, Filter, Header, Message, ServiceType, ServiceUrl, SrvAck,
+    SrvRply, SrvRqst, UrlEntry,
 };
 
 /// A string valid inside SLP's length-prefixed fields and free of the
@@ -15,9 +15,8 @@ fn slp_token() -> impl Strategy<Value = String> {
 }
 
 fn arb_url_entry() -> impl Strategy<Value = UrlEntry> {
-    (slp_token(), slp_token(), 1u16..=u16::MAX).prop_map(|(ty, host, lifetime)| {
-        UrlEntry::new(format!("service:{ty}://{host}"), lifetime)
-    })
+    (slp_token(), slp_token(), 1u16..=u16::MAX)
+        .prop_map(|(ty, host, lifetime)| UrlEntry::new(format!("service:{ty}://{host}"), lifetime))
 }
 
 proptest! {

@@ -99,10 +99,9 @@ impl FromStr for SearchTarget {
         if let Some(u) = s.strip_prefix("uuid:") {
             return Ok(SearchTarget::Uuid(u.to_owned()));
         }
-        for (prefix, is_device) in [
-            ("urn:schemas-upnp-org:device:", true),
-            ("urn:schemas-upnp-org:service:", false),
-        ] {
+        for (prefix, is_device) in
+            [("urn:schemas-upnp-org:device:", true), ("urn:schemas-upnp-org:service:", false)]
+        {
             if let Some(rest) = s.strip_prefix(prefix) {
                 if let Some((name, ver)) = rest.rsplit_once(':') {
                     if let Ok(version) = ver.parse::<u32>() {
@@ -292,11 +291,8 @@ impl SsdpMessage {
                 }
                 let st: SearchTarget =
                     req.headers.get("st").ok_or(SsdpError::MissingHeader("ST"))?.parse()?;
-                let mx = req
-                    .headers
-                    .get("mx")
-                    .and_then(|v| v.trim().parse::<u8>().ok())
-                    .unwrap_or(1);
+                let mx =
+                    req.headers.get("mx").and_then(|v| v.trim().parse::<u8>().ok()).unwrap_or(1);
                 Ok(SsdpMessage::MSearch(MSearch { st, mx }))
             }
             Method::Notify => {
@@ -401,14 +397,8 @@ mod tests {
     #[test]
     fn target_parsing_variants() {
         assert_eq!("ssdp:all".parse::<SearchTarget>().unwrap(), SearchTarget::All);
-        assert_eq!(
-            "upnp:rootdevice".parse::<SearchTarget>().unwrap(),
-            SearchTarget::RootDevice
-        );
-        assert_eq!(
-            "uuid:abc".parse::<SearchTarget>().unwrap(),
-            SearchTarget::Uuid("abc".into())
-        );
+        assert_eq!("upnp:rootdevice".parse::<SearchTarget>().unwrap(), SearchTarget::RootDevice);
+        assert_eq!("uuid:abc".parse::<SearchTarget>().unwrap(), SearchTarget::Uuid("abc".into()));
         assert_eq!(
             "urn:schemas-upnp-org:device:clock:2".parse::<SearchTarget>().unwrap(),
             SearchTarget::device_urn("clock", 2)
@@ -445,10 +435,7 @@ mod tests {
     fn msearch_requires_man_header() {
         let mut req = indiss_http::Request::new(indiss_http::Method::MSearch, "*");
         req.headers.append("ST", "ssdp:all");
-        assert!(matches!(
-            SsdpMessage::parse(&req.serialize()),
-            Err(SsdpError::NotSsdp(_))
-        ));
+        assert!(matches!(SsdpMessage::parse(&req.serialize()), Err(SsdpError::NotSsdp(_))));
     }
 
     #[test]

@@ -112,9 +112,6 @@ mod tests {
         let world = World::new(31);
         let a = world.add_node("a");
         let b = world.add_node("b");
-        assert_ne!(
-            ClockDevice::description_for(&a).udn,
-            ClockDevice::description_for(&b).udn
-        );
+        assert_ne!(ClockDevice::description_for(&a).udn, ClockDevice::description_for(&b).udn);
     }
 }

@@ -7,9 +7,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use indiss_http::{Method, Request};
-use indiss_net::{
-    Collector, Completion, Datagram, NetResult, Node, SimTime, UdpSocket, World,
-};
+use indiss_net::{Collector, Completion, Datagram, NetResult, Node, SimTime, UdpSocket, World};
 use indiss_ssdp::{
     MSearch, NotifySubType, SearchResponse, SearchTarget, SsdpMessage, SSDP_MULTICAST_GROUP,
     SSDP_PORT,
@@ -375,14 +373,10 @@ mod tests {
     #[test]
     fn soap_invocation_roundtrip() {
         let (world, cp, dev) = setup();
-        dev.register_action(
-            "urn:schemas-upnp-org:service:timer:1",
-            "GetTime",
-            |world, _call| {
-                SoapResponse::new("GetTime", "urn:schemas-upnp-org:service:timer:1")
-                    .with_arg("CurrentTime", &format!("{}", world.now()))
-            },
-        );
+        dev.register_action("urn:schemas-upnp-org:service:timer:1", "GetTime", |world, _call| {
+            SoapResponse::new("GetTime", "urn:schemas-upnp-org:service:timer:1")
+                .with_arg("CurrentTime", &format!("{}", world.now()))
+        });
         world.run_for(Duration::from_secs(1));
         let dev_addr = dev.location().replace("/description.xml", "");
         let control_url = format!("{dev_addr}/service/timer/control");

@@ -8,12 +8,12 @@ use std::time::Duration;
 
 use indiss_http::{Request, Response};
 use indiss_net::{Datagram, NetResult, Node, UdpSocket, World};
+#[cfg(test)]
+use indiss_ssdp::MSearch;
 use indiss_ssdp::{
     Notify, NotifySubType, SearchResponse, SearchTarget, SsdpMessage, SSDP_MULTICAST_GROUP,
     SSDP_PORT,
 };
-#[cfg(test)]
-use indiss_ssdp::MSearch;
 
 use crate::description::DeviceDescription;
 use crate::http_io::HttpServer;
@@ -61,6 +61,9 @@ impl Default for UpnpConfig {
 
 /// SOAP action handler: `(world, call) -> response`.
 pub type ActionHandler = Rc<dyn Fn(&World, &SoapAction) -> SoapResponse>;
+
+/// One registered action: `(service id, action name)` plus its handler.
+type ActionEntry = ((String, String), ActionHandler);
 
 struct DeviceInner {
     node: Node,
@@ -137,11 +140,7 @@ impl UpnpDevice {
     /// The device's description document URL.
     pub fn location(&self) -> String {
         let inner = self.inner.borrow();
-        format!(
-            "http://{}:{}/description.xml",
-            inner.node.addr(),
-            inner.config.description_port
-        )
+        format!("http://{}:{}/description.xml", inner.node.addr(), inner.config.description_port)
     }
 
     /// The device's description.
@@ -165,7 +164,8 @@ impl UpnpDevice {
                 server: String::new(),
                 max_age: 0,
             };
-            let _ = socket.send_to(&bye.to_bytes(), SocketAddrV4::new(SSDP_MULTICAST_GROUP, SSDP_PORT));
+            let _ =
+                socket.send_to(&bye.to_bytes(), SocketAddrV4::new(SSDP_MULTICAST_GROUP, SSDP_PORT));
         }
         self.server.stop();
     }
@@ -246,27 +246,22 @@ impl UpnpDevice {
                 inner.ssdp.clone(),
             )
         };
-        let st = if search.st == SearchTarget::All {
-            matches[0].clone()
-        } else {
-            search.st.clone()
-        };
-        let response = SearchResponse {
-            usn: usn_for(&usn_base, &st),
-            st,
-            location,
-            server: banner,
-            max_age,
-        };
+        let st =
+            if search.st == SearchTarget::All { matches[0].clone() } else { search.st.clone() };
+        let response =
+            SearchResponse { usn: usn_for(&usn_base, &st), st, location, server: banner, max_age };
         world.schedule_in(delay, move |_| {
             let _ = socket.send_to(&response.to_bytes(), dgram.src);
         });
     }
 
     fn handle_http(inner: &Rc<RefCell<DeviceInner>>, world: &World, req: &Request) -> Response {
-        let (description, actions): (DeviceDescription, Vec<((String, String), ActionHandler)>) = {
+        let (description, actions): (DeviceDescription, Vec<ActionEntry>) = {
             let i = inner.borrow();
-            (i.description.clone(), i.actions.iter().map(|(k, v)| (k.clone(), Rc::clone(v))).collect())
+            (
+                i.description.clone(),
+                i.actions.iter().map(|(k, v)| (k.clone(), Rc::clone(v))).collect(),
+            )
         };
         match req.method {
             indiss_http::Method::Get if req.target == "/description.xml" => {
@@ -292,8 +287,7 @@ impl UpnpDevice {
                 else {
                     return Response::new(404);
                 };
-                let Some(call) =
-                    std::str::from_utf8(&req.body).ok().and_then(SoapAction::parse)
+                let Some(call) = std::str::from_utf8(&req.body).ok().and_then(SoapAction::parse)
                 else {
                     return Response::new(400);
                 };
@@ -482,8 +476,7 @@ mod tests {
         world.run_for(Duration::from_secs(1)); // let announcements settle
         let sock = cp_node.udp_bind_ephemeral().unwrap();
         let t0 = world.now();
-        let reply_at: indiss_net::Completion<indiss_net::SimTime> =
-            indiss_net::Completion::new();
+        let reply_at: indiss_net::Completion<indiss_net::SimTime> = indiss_net::Completion::new();
         let r2 = reply_at.clone();
         sock.on_receive(move |w, _| r2.complete(w.now()));
         sock.send_to(

@@ -67,11 +67,7 @@ impl SoapAction {
             .child_elements()
             .map(|e| (e.local_name().to_owned(), e.text().trim().to_owned()))
             .collect();
-        Some(SoapAction {
-            action: action_elem.local_name().to_owned(),
-            service_type,
-            args,
-        })
+        Some(SoapAction { action: action_elem.local_name().to_owned(), service_type, args })
     }
 }
 
@@ -159,10 +155,7 @@ mod tests {
     #[test]
     fn soapaction_header_format() {
         let call = SoapAction::new("GetTime", TIMER);
-        assert_eq!(
-            call.soapaction_header(),
-            "\"urn:schemas-upnp-org:service:timer:1#GetTime\""
-        );
+        assert_eq!(call.soapaction_header(), "\"urn:schemas-upnp-org:service:timer:1#GetTime\"");
     }
 
     #[test]

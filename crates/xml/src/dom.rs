@@ -288,8 +288,8 @@ mod tests {
 
     #[test]
     fn local_name_strips_prefix() {
-        let e = Element::parse(r#"<s:Envelope xmlns:s="x"><s:Body>b</s:Body></s:Envelope>"#)
-            .unwrap();
+        let e =
+            Element::parse(r#"<s:Envelope xmlns:s="x"><s:Body>b</s:Body></s:Envelope>"#).unwrap();
         assert_eq!(e.local_name(), "Envelope");
         assert_eq!(e.child("Body").unwrap().text(), "b");
     }

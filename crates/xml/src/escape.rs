@@ -63,9 +63,9 @@ pub fn unescape(s: &str, base: usize) -> XmlResult<Cow<'_, str>> {
             i += ch_len;
             continue;
         }
-        let semi = s[i..]
-            .find(';')
-            .ok_or_else(|| XmlError::new(XmlErrorKind::InvalidEntity(s[i + 1..].into()), base + i))?;
+        let semi = s[i..].find(';').ok_or_else(|| {
+            XmlError::new(XmlErrorKind::InvalidEntity(s[i + 1..].into()), base + i)
+        })?;
         let name = &s[i + 1..i + semi];
         match name {
             "amp" => out.push('&'),
@@ -74,8 +74,9 @@ pub fn unescape(s: &str, base: usize) -> XmlResult<Cow<'_, str>> {
             "quot" => out.push('"'),
             "apos" => out.push('\''),
             _ if name.starts_with('#') => {
-                let cp = parse_char_ref(name)
-                    .ok_or_else(|| XmlError::new(XmlErrorKind::InvalidEntity(name.into()), base + i))?;
+                let cp = parse_char_ref(name).ok_or_else(|| {
+                    XmlError::new(XmlErrorKind::InvalidEntity(name.into()), base + i)
+                })?;
                 out.push(cp);
             }
             _ => {

@@ -87,9 +87,8 @@ impl<'a> XmlPullParser<'a> {
             }
             let rest = &self.input[self.pos..];
             if let Some(stripped) = rest.strip_prefix("<!--") {
-                let end = stripped
-                    .find("-->")
-                    .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
+                let end =
+                    stripped.find("-->").ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
                 self.pos += 4 + end + 3;
                 continue;
             }
@@ -310,8 +309,7 @@ mod tests {
 
     #[test]
     fn xml_declaration_and_comments_are_skipped() {
-        let tokens =
-            parse("<?xml version=\"1.0\"?><!-- hi --><root><!-- in --->x</root>").unwrap();
+        let tokens = parse("<?xml version=\"1.0\"?><!-- hi --><root><!-- in --->x</root>").unwrap();
         // Note: "--->" ends the comment at "-->" leaving "-" wait, find("-->")
         // locates the first occurrence; "--->" contains "-->" starting at
         // index 1, so one dash becomes text. That is malformed XML anyway;

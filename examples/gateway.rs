@@ -19,13 +19,11 @@ fn main() {
     let gateway = world.add_node("gateway");
     let indiss = Indiss::deploy(
         &gateway,
-        IndissConfig::slp_upnp()
-            .with_lazy_units()
-            .with_adaptation(AdaptationPolicy {
-                threshold_bytes_per_sec: 300.0,
-                window: Duration::from_secs(2),
-                check_interval: Duration::from_secs(2),
-            }),
+        IndissConfig::slp_upnp().with_lazy_units().with_adaptation(AdaptationPolicy {
+            threshold_bytes_per_sec: 300.0,
+            window: Duration::from_secs(2),
+            check_interval: Duration::from_secs(2),
+        }),
     )
     .expect("indiss");
     println!("t={} units: {:?} (lazy: nothing yet)", world.now(), indiss.active_units());

@@ -17,11 +17,9 @@ use std::time::Duration;
 fn main() {
     let world = World::new(3);
     let observer = world.add_node("observer");
-    let monitor = Monitor::start(
-        &observer,
-        &[SdpProtocol::Slp, SdpProtocol::Upnp, SdpProtocol::Jini],
-    )
-    .expect("monitor");
+    let monitor =
+        Monitor::start(&observer, &[SdpProtocol::Slp, SdpProtocol::Upnp, SdpProtocol::Jini])
+            .expect("monitor");
     monitor.on_detect(|w, protocol| {
         println!("t={:<12} detected {protocol} (port {})", w.now().to_string(), protocol.port());
     });

@@ -20,13 +20,12 @@ fn main() {
     let client_host = world.add_node("slp-client");
 
     // A native UPnP clock device — knows nothing about SLP.
-    let clock = ClockDevice::start(&service_host, UpnpConfig::default())
-        .expect("clock device starts");
+    let clock =
+        ClockDevice::start(&service_host, UpnpConfig::default()).expect("clock device starts");
     println!("UPnP clock device up, description at {}", clock.location());
 
     // INDISS on the service host — applications are unmodified.
-    let indiss = Indiss::deploy(&service_host, IndissConfig::slp_upnp())
-        .expect("INDISS deploys");
+    let indiss = Indiss::deploy(&service_host, IndissConfig::slp_upnp()).expect("INDISS deploys");
     println!("INDISS deployed on {} with units {:?}", service_host.name(), indiss.active_units());
 
     // A native SLP client — knows nothing about UPnP.

@@ -21,7 +21,21 @@
 //! * [`slp`] — Service Location Protocol v2 (the OpenSLP role);
 //! * [`ssdp`] / [`upnp`] — the UPnP stack (the Cyberlink role);
 //! * [`jini`] — simplified Jini discovery (the third unit of Fig. 5);
-//! * [`core`] — INDISS itself: events, FSMs, units, monitor, runtime.
+//! * [`core`] — INDISS itself: events, FSMs, units, monitor, the
+//!   service registry and the runtime.
+//!
+//! ## The service registry
+//!
+//! Everything INDISS learns about the network lives in one place: the
+//! [`core::ServiceRegistry`] behind each deployed instance. Heard
+//! advertisements become canonical [`core::ServiceRecord`]s (indexed by
+//! canonical type, origin protocol and endpoint), bridged responses warm
+//! a bounded LRU cache that yields the paper's ~0.1 ms §4.3 best case,
+//! and both stores enforce configurable capacity and TTL bounds with
+//! deterministic virtual-time expiry — so a gateway under heavy service
+//! churn holds bounded memory. Inspect it via `indiss.registry()`; tune
+//! it via [`core::IndissConfig`]'s `with_registry_capacity`,
+//! `with_cache_capacity`, `with_advert_ttl` and `with_cache_ttl`.
 //!
 //! ## Quickstart: the paper's §2.4 scenario
 //!

@@ -44,10 +44,7 @@ fn gateway_detects_all_three_protocols_in_order() {
     let reggie = world.add_node("reggie");
     let _ls = LookupService::start(&reggie, JiniConfig::default()).unwrap();
     world.run_for(Duration::from_millis(500));
-    assert_eq!(
-        indiss.monitor().detected(),
-        vec![SdpProtocol::Slp, SdpProtocol::Jini]
-    );
+    assert_eq!(indiss.monitor().detected(), vec![SdpProtocol::Slp, SdpProtocol::Jini]);
 
     // …then UPnP.
     let upnp_host = world.add_node("upnp");

@@ -58,11 +58,7 @@ fn specific_sets_are_marked_as_extensions() {
         assert!(!e.is_mandatory(), "{e}");
     }
     // …and the Jini-specific ones.
-    for e in [
-        Event::JiniGroups(vec![]),
-        Event::JiniServiceId(1),
-        Event::JiniLease(300),
-    ] {
+    for e in [Event::JiniGroups(vec![]), Event::JiniServiceId(1), Event::JiniLease(300)] {
         assert!(!e.is_mandatory(), "{e}");
     }
 }
@@ -75,10 +71,10 @@ fn specific_sets_are_marked_as_extensions() {
 fn accessors_skip_unknown_specific_events() {
     let stream = EventStream::framed(vec![
         Event::NetType(SdpProtocol::Slp),
-        Event::SlpReqVersion(2),                       // SLP-specific noise
-        Event::JiniGroups(vec!["public".into()]),      // Jini-specific noise
+        Event::SlpReqVersion(2),                  // SLP-specific noise
+        Event::JiniGroups(vec!["public".into()]), // Jini-specific noise
         Event::ServiceRequest,
-        Event::UpnpMx(3),                              // UPnP-specific noise
+        Event::UpnpMx(3), // UPnP-specific noise
         Event::ServiceType("clock".into()),
     ]);
     assert!(stream.is_request());

@@ -9,7 +9,9 @@ use indiss::core::{Indiss, IndissConfig};
 use indiss::http::{Method, Request};
 use indiss::net::World;
 use indiss::slp::{ServiceUrl, SlpConfig, UserAgent};
-use indiss::upnp::{http_request, ClockDevice, SoapAction, SoapResponse, UpnpConfig, TIMER_SERVICE};
+use indiss::upnp::{
+    http_request, ClockDevice, SoapAction, SoapResponse, UpnpConfig, TIMER_SERVICE,
+};
 use std::net::SocketAddrV4;
 use std::time::Duration;
 

@@ -24,8 +24,8 @@ fn upnp_client_finds_service_known_only_to_a_da() {
     let client_host = world.add_node("upnp-client");
     let gateway = world.add_node("gateway");
 
-    let da = DirectoryAgent::start(&da_host, SlpConfig::default(), Duration::from_secs(60))
-        .unwrap();
+    let da =
+        DirectoryAgent::start(&da_host, SlpConfig::default(), Duration::from_secs(60)).unwrap();
     let sa = ServiceAgent::start(&sa_host, SlpConfig::default()).unwrap();
     sa.register(
         Registration::new(
@@ -40,12 +40,22 @@ fn upnp_client_finds_service_known_only_to_a_da() {
     assert_eq!(da.registration_count(), 1);
     sa.deregister("service:clock://10.0.0.2:9100");
 
-    let _indiss = Indiss::deploy(&gateway, IndissConfig::slp_upnp()).unwrap();
+    let indiss = Indiss::deploy(&gateway, IndissConfig::slp_upnp()).unwrap();
     let cp = ControlPoint::start(&client_host, ControlPointConfig::default()).unwrap();
     let (_f, all) = cp.search(&world, SearchTarget::device_urn("clock", 1));
     world.run_for(Duration::from_secs(2));
     let hits = all.take().unwrap();
     assert_eq!(hits.len(), 1, "the DA's store was bridged to UPnP");
+
+    // The DA-known service now lives in the gateway's registry: the
+    // bridged SrvRply warmed the response cache, so the next foreign
+    // request is answered from already-held knowledge (§4.3).
+    let registry = indiss.registry();
+    assert!(
+        registry.cache_contains("clock", world.now()),
+        "DA-known service landed in the registry: {registry:?}"
+    );
+    assert_eq!(registry.cached_types(world.now()), vec!["clock"]);
 }
 
 /// The DA answering unicast requests: a UA pointed at the DA (no
@@ -58,12 +68,10 @@ fn unicast_da_discovery_is_undisturbed_by_indiss() {
     let client_host = world.add_node("client");
     let gateway = world.add_node("gateway");
 
-    let _da = DirectoryAgent::start(&da_host, SlpConfig::default(), Duration::from_secs(60))
-        .unwrap();
+    let _da =
+        DirectoryAgent::start(&da_host, SlpConfig::default(), Duration::from_secs(60)).unwrap();
     let sa = ServiceAgent::start(&sa_host, SlpConfig::default()).unwrap();
-    sa.register(
-        Registration::new("service:printer://10.0.0.2:515", AttributeList::new()).unwrap(),
-    );
+    sa.register(Registration::new("service:printer://10.0.0.2:515", AttributeList::new()).unwrap());
     let _indiss = Indiss::deploy(&gateway, IndissConfig::slp_upnp()).unwrap();
     world.run_for(Duration::from_secs(1));
 
@@ -85,12 +93,10 @@ fn da_and_sa_both_answer_without_indiss_interference() {
     let client_host = world.add_node("client");
     let gateway = world.add_node("gateway");
 
-    let da = DirectoryAgent::start(&da_host, SlpConfig::default(), Duration::from_secs(60))
-        .unwrap();
+    let da =
+        DirectoryAgent::start(&da_host, SlpConfig::default(), Duration::from_secs(60)).unwrap();
     let sa = ServiceAgent::start(&sa_host, SlpConfig::default()).unwrap();
-    sa.register(
-        Registration::new("service:clock://10.0.0.2:9100", AttributeList::new()).unwrap(),
-    );
+    sa.register(Registration::new("service:clock://10.0.0.2:9100", AttributeList::new()).unwrap());
     let _indiss = Indiss::deploy(&gateway, IndissConfig::slp_upnp()).unwrap();
     world.run_for(Duration::from_secs(1));
     assert_eq!(da.registration_count(), 1);

@@ -23,9 +23,9 @@ fn malformed_packets_on_sdp_ports_are_ignored() {
     let payloads: Vec<Vec<u8>> = vec![
         vec![],
         vec![0xFF; 3],
-        b"GET / HTTP/1.1\r\n\r\n".to_vec(),        // valid HTTP, wrong method for SSDP
-        b"\x02\x01\x00\x00\x08".to_vec(),           // truncated SLP header
-        vec![0x41; 2000],                            // oversized noise
+        b"GET / HTTP/1.1\r\n\r\n".to_vec(), // valid HTTP, wrong method for SSDP
+        b"\x02\x01\x00\x00\x08".to_vec(),   // truncated SLP header
+        vec![0x41; 2000],                   // oversized noise
         b"M-SEARCH * HTTP/1.1\r\nST: ssdp:all\r\n\r\n".to_vec(), // no MAN header
     ];
     for (i, p) in payloads.iter().enumerate() {
