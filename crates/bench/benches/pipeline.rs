@@ -9,8 +9,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
-use indiss_core::{ParsedMessage, SlpUnit, SlpUnitConfig, Unit, UpnpUnit, UpnpUnitConfig};
+use indiss_core::{
+    Event, EventStream, JiniUnit, JiniUnitConfig, ParsedMessage, RegistryConfig, ServiceRegistry,
+    SlpUnit, SlpUnitConfig, Unit, UpnpUnit, UpnpUnitConfig,
+};
 use indiss_net::{Datagram, World};
 use indiss_slp::{Body, Header, Message, SrvRqst};
 use indiss_ssdp::{MSearch, SearchTarget};
@@ -87,6 +91,78 @@ fn bench_compose_msearch(c: &mut Criterion) {
     });
 }
 
+/// The warm-hit round trip per protocol: parse the native request into
+/// events, translate by answering from the registry's shared response
+/// buffer, and compose the native reply — the §4.3 best-case path end
+/// to end, per SDP.
+fn bench_round_trip_per_protocol(c: &mut Criterion) {
+    let world = World::new(2);
+    let node = world.add_node("indiss");
+    let registry = ServiceRegistry::new(RegistryConfig {
+        cache_ttl: Duration::from_secs(1 << 30),
+        ..RegistryConfig::default()
+    });
+    let slp_unit = SlpUnit::new(&node, SlpUnitConfig::default()).unwrap();
+    let upnp_unit = UpnpUnit::new(&node, UpnpUnitConfig::default()).unwrap();
+    let jini_unit = JiniUnit::new(&node, JiniUnitConfig::default()).unwrap();
+    slp_unit.bind_registry(&registry);
+    upnp_unit.bind_registry(&registry);
+    jini_unit.bind_registry(&registry);
+    registry.warm(
+        "clock",
+        EventStream::framed(vec![
+            Event::ServiceResponse,
+            Event::ResOk,
+            Event::ServiceType("clock".into()),
+            Event::ResTtl(1800),
+            Event::ResServUrl("soap://10.0.0.2:4004/service/timer/control".into()),
+            Event::ResAttr { tag: "friendlyName".into(), value: "Clock".into() },
+        ]),
+        world.now(),
+    );
+    let slp_dgram = slp_request_datagram();
+    let ssdp_dgram = msearch_datagram();
+    let jini_request = EventStream::framed(vec![
+        Event::NetSourceAddr("10.0.0.9:40002".parse().unwrap()),
+        Event::ServiceRequest,
+        Event::ServiceType("clock".into()),
+    ]);
+
+    let mut group = c.benchmark_group("round_trip");
+    group.bench_function("slp_parse_translate_compose", |b| {
+        b.iter(|| {
+            let ParsedMessage::Request(request) = slp_unit.parse(&world, black_box(&slp_dgram))
+            else {
+                panic!("request expected");
+            };
+            let response = registry.cached_response("clock", world.now()).unwrap();
+            slp_unit.compose_response(&world, &request, &response);
+            world.run_for(Duration::from_millis(1)); // flush the send
+        })
+    });
+    group.bench_function("upnp_parse_translate_compose", |b| {
+        b.iter(|| {
+            let ParsedMessage::Request(request) = upnp_unit.parse(&world, black_box(&ssdp_dgram))
+            else {
+                panic!("request expected");
+            };
+            let response = registry.cached_response("clock", world.now()).unwrap();
+            upnp_unit.compose_response(&world, &request, &response);
+            world.run_for(Duration::from_millis(1));
+        })
+    });
+    group.bench_function("jini_translate_compose", |b| {
+        // Jini lookups arrive at the unit's own registrar socket rather
+        // than through `parse`; bench the translate→compose half.
+        b.iter(|| {
+            let response = registry.cached_response("clock", world.now()).unwrap();
+            jini_unit.compose_response(&world, black_box(&jini_request), &response);
+            world.run_for(Duration::from_millis(1));
+        })
+    });
+    group.finish();
+}
+
 fn bench_full_bridge_simulation(c: &mut Criterion) {
     // Wall-clock cost of one complete simulated SLP→UPnP bridge round —
     // measures the harness itself (all virtual time, no sleeping).
@@ -108,6 +184,7 @@ criterion_group!(
     bench_parse_to_events,
     bench_raw_forward_baseline,
     bench_compose_msearch,
+    bench_round_trip_per_protocol,
     bench_full_bridge_simulation
 );
 criterion_main!(benches);

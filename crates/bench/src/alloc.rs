@@ -1,0 +1,72 @@
+//! A counting global allocator for the bench crate's byte-accounting
+//! scenarios (`request_storm`).
+//!
+//! Wraps the system allocator and keeps a running total of bytes
+//! *requested* (gross allocation volume, reallocations counted by their
+//! new size). The counter deliberately ignores frees: the metric of
+//! interest is how much allocator traffic a code path generates, not its
+//! resident footprint.
+//!
+//! The allocator is installed crate-wide (`#[global_allocator]` in
+//! `lib.rs`), so every bench binary and test linking `indiss-bench` gets
+//! byte accounting for free; the per-operation cost is one relaxed
+//! atomic add.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// The counting allocator; see the module docs.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the only addition is a relaxed
+// counter update, which allocates nothing and cannot unwind.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total bytes requested from the allocator so far (monotonic).
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns the bytes allocated while it ran.
+pub fn allocated_during<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = allocated_bytes();
+    let result = f();
+    (result, allocated_bytes() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_observes_allocations() {
+        let (v, bytes) = allocated_during(|| vec![0u8; 4096]);
+        assert_eq!(v.len(), 4096);
+        assert!(bytes >= 4096, "a 4 KiB Vec must register: {bytes}");
+    }
+
+    #[test]
+    fn allocation_free_code_registers_zero() {
+        let buf = [0u64; 8];
+        let (sum, bytes) = allocated_during(|| buf.iter().sum::<u64>());
+        assert_eq!(sum, 0);
+        assert_eq!(bytes, 0, "stack-only work must not count");
+    }
+}

@@ -1,0 +1,86 @@
+//! Request-storm benchmark: N clients hammering one gateway with mixed
+//! hit/miss/absent-type queries across all three SDPs, plus the pure
+//! event-pipeline allocation metric the zero-copy refactor is judged by.
+//!
+//! Emits `BENCH_storm.json` for the perf trajectory. Pass `--smoke` for
+//! the small CI configuration.
+
+use indiss_bench::scenarios::{request_storm, warm_hit_pipeline_bytes};
+
+/// Bytes of allocator traffic per warm-hit bridged request measured on
+/// the event pipeline *before* the zero-copy refactor (deep-cloned
+/// `Vec<Event>` streams, string-keyed registry, per-event FSM command
+/// vectors), captured with the same `warm_hit_pipeline_bytes` probe at
+/// 10k iterations. The acceptance bar is ≥ 5× fewer bytes than this.
+const PRE_REFACTOR_PIPELINE_BYTES_PER_REQUEST: u64 = 3399;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (clients, rounds, pipeline_iters) = if smoke { (4, 6, 5_000) } else { (16, 20, 50_000) };
+
+    let pipeline_bytes = warm_hit_pipeline_bytes(pipeline_iters);
+    let outcome = request_storm(7, clients, rounds);
+    let ratio = PRE_REFACTOR_PIPELINE_BYTES_PER_REQUEST as f64 / pipeline_bytes.max(1) as f64;
+    let p50_us = outcome.warm_hit_p50.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN);
+    let p99_us = outcome.warm_hit_p99.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN);
+
+    println!("request_storm ({clients} clients x {rounds} rounds, all three SDPs)");
+    println!("  requests sent                 {}", outcome.requests_sent);
+    println!("  warm-hit p50 / p99            {p50_us:.1} us / {p99_us:.1} us");
+    println!("  cache hits                    {}", outcome.cache_hits);
+    println!("  negative hits                 {}", outcome.negative_hits);
+    println!("  requests bridged (fan-outs)   {}", outcome.requests_bridged);
+    println!("  requests suppressed           {}", outcome.requests_suppressed);
+    println!("  storm bytes allocated         {}", outcome.storm_bytes_allocated);
+    println!("  storm bytes / request         {}", outcome.storm_bytes_per_request);
+    println!("pipeline (parse -> cache answer -> deliver, per warm-hit request)");
+    println!("  baseline (pre-refactor)       {PRE_REFACTOR_PIPELINE_BYTES_PER_REQUEST} B");
+    println!("  current                       {pipeline_bytes} B");
+    println!("  reduction                     {ratio:.1}x");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scenario\": \"request_storm\",\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"clients\": {clients},\n",
+            "  \"rounds\": {rounds},\n",
+            "  \"requests_sent\": {requests_sent},\n",
+            "  \"warm_hit_p50_us\": {p50_us:.2},\n",
+            "  \"warm_hit_p99_us\": {p99_us:.2},\n",
+            "  \"cache_hits\": {cache_hits},\n",
+            "  \"negative_hits\": {negative_hits},\n",
+            "  \"requests_bridged\": {requests_bridged},\n",
+            "  \"requests_suppressed\": {requests_suppressed},\n",
+            "  \"storm_bytes_allocated\": {storm_bytes},\n",
+            "  \"storm_bytes_per_request\": {storm_bpr},\n",
+            "  \"pipeline_bytes_per_request_baseline\": {baseline},\n",
+            "  \"pipeline_bytes_per_request\": {pipeline},\n",
+            "  \"pipeline_reduction_factor\": {ratio:.2}\n",
+            "}}\n",
+        ),
+        smoke = smoke,
+        clients = clients,
+        rounds = rounds,
+        requests_sent = outcome.requests_sent,
+        p50_us = p50_us,
+        p99_us = p99_us,
+        cache_hits = outcome.cache_hits,
+        negative_hits = outcome.negative_hits,
+        requests_bridged = outcome.requests_bridged,
+        requests_suppressed = outcome.requests_suppressed,
+        storm_bytes = outcome.storm_bytes_allocated,
+        storm_bpr = outcome.storm_bytes_per_request,
+        baseline = PRE_REFACTOR_PIPELINE_BYTES_PER_REQUEST,
+        pipeline = pipeline_bytes,
+        ratio = ratio,
+    );
+    std::fs::write("BENCH_storm.json", &json).expect("write BENCH_storm.json");
+    println!("\nwrote BENCH_storm.json");
+
+    assert!(
+        ratio >= 5.0,
+        "pipeline regression: {pipeline_bytes} B/request is less than 5x below the \
+         {PRE_REFACTOR_PIPELINE_BYTES_PER_REQUEST} B baseline"
+    );
+}

@@ -17,9 +17,15 @@
 //! additionally measure the wall-clock cost of the event-translation
 //! pipeline itself.
 
+pub mod alloc;
 pub mod scenarios;
 pub mod size;
 pub mod stats;
+
+/// Byte accounting for every binary and test in this crate; see
+/// [`alloc`].
+#[global_allocator]
+static COUNTING_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 /// Seeds used by every median-of-30 measurement, mirroring §4.3.
 pub const TRIAL_SEEDS: std::ops::Range<u64> = 1..31;
@@ -140,6 +146,39 @@ mod tests {
         assert!(
             after <= before * 3,
             "cache-hit latency stable under churn: before={before:?} after={after:?}"
+        );
+    }
+
+    /// The acceptance bar for the zero-copy event pipeline: a warm-hit
+    /// bridged request must allocate at least 5× fewer bytes than the
+    /// pre-refactor pipeline (3399 B/request, measured with this same
+    /// probe before `EventStream` became a shared buffer), and the
+    /// request storm must exercise both caches.
+    #[test]
+    fn request_storm_hits_caches_and_pipeline_stays_lean() {
+        let per_request = scenarios::warm_hit_pipeline_bytes(5_000);
+        assert!(
+            per_request * 5 <= 3399,
+            "warm-hit pipeline must stay ≥5× below the 3399 B pre-refactor \
+             baseline, measured {per_request} B/request"
+        );
+
+        let outcome = scenarios::request_storm(7, 4, 6);
+        assert!(outcome.cache_hits >= 20, "clock queries answered warm: {outcome:?}");
+        assert!(
+            outcome.negative_hits >= 4 * 5,
+            "persistent absent types absorbed by the negative cache: {outcome:?}"
+        );
+        assert!(
+            outcome.requests_bridged < outcome.requests_sent as u64,
+            "most of the storm never fans out: {outcome:?}"
+        );
+        let p50 = outcome.warm_hit_p50.expect("warm latencies measured");
+        let p99 = outcome.warm_hit_p99.expect("warm latencies measured");
+        assert!(p50 <= p99);
+        assert!(
+            p99 < std::time::Duration::from_millis(5),
+            "warm hits stay in the paper's sub-5ms regime: {outcome:?}"
         );
     }
 

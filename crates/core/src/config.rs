@@ -76,6 +76,12 @@ pub struct IndissConfig {
     /// TTL applied to recorded adverts that carry no `SDP_RES_TTL` of
     /// their own; `None` keeps them until evicted by capacity.
     pub advert_ttl: Option<Duration>,
+    /// How long a "nothing found" outcome is remembered per canonical
+    /// type (the registry's negative cache): request storms for absent
+    /// types are answered from this memory instead of fanning out to
+    /// every unit. Kept short — arriving adverts also invalidate entries
+    /// eagerly, so a freshly appeared service is visible at once.
+    pub negative_ttl: Duration,
 }
 
 impl IndissConfig {
@@ -91,6 +97,7 @@ impl IndissConfig {
             registry_capacity: 4096,
             cache_capacity: 256,
             advert_ttl: Some(Duration::from_secs(1800)),
+            negative_ttl: Duration::from_secs(2),
         }
     }
 
@@ -160,6 +167,12 @@ impl IndissConfig {
         self
     }
 
+    /// Sets the negative-cache ("nothing found") TTL.
+    pub fn with_negative_ttl(mut self, ttl: Duration) -> Self {
+        self.negative_ttl = ttl;
+        self
+    }
+
     /// The registry bounds this configuration implies.
     pub fn registry_config(&self) -> RegistryConfig {
         RegistryConfig {
@@ -167,6 +180,7 @@ impl IndissConfig {
             cache_capacity: self.cache_capacity,
             cache_ttl: self.cache_ttl,
             default_advert_ttl: self.advert_ttl,
+            negative_ttl: self.negative_ttl,
         }
     }
 

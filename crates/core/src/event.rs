@@ -8,9 +8,26 @@
 //! `Jini*` variants) carry the richer features of one SDP; composers
 //! "are free to handle or ignore them" (§2.3) — in Rust terms, a match
 //! arm or the `_ => {}` fallthrough.
+//!
+//! # Ownership model
+//!
+//! The pipeline is zero-copy after parse. A parser builds a stream once
+//! — through [`EventStream::framed`] or an [`EventStreamBuilder`] — and
+//! from then on the stream is an **immutable shared buffer**
+//! (`Rc<[Event]>`): every hop that used to deep-clone a `Vec<Event>`
+//! (bridging, cache warming, delivery, re-advertising) now bumps a
+//! reference count. High-churn string payloads — service types, UPnP
+//! search targets and USNs, SLP scopes — are interned [`Symbol`]s, so
+//! cloning an [`Event`] copies a pointer and the registry hashes one
+//! machine word instead of string bytes. Mutation never happens in
+//! place; "editing" a stream means building a new one (see
+//! [`EventStream::to_builder`]).
 
 use std::fmt;
 use std::net::SocketAddrV4;
+use std::rc::Rc;
+
+pub use crate::symbol::Symbol;
 
 /// The discovery protocols INDISS knows about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -113,14 +130,17 @@ pub enum Event {
     /// `SDP_SERVICE_BYEBYE`: an advertisement that a service is leaving.
     ServiceByeBye,
     /// `SDP_SERVICE_TYPE`: the *canonical* service type name (`clock`,
-    /// `printer`) — each parser maps its native form to this.
-    ServiceType(String),
+    /// `printer`) — each parser maps its native form to this. Interned:
+    /// the registry keys its type indexes on this symbol.
+    ServiceType(Symbol),
     /// `SDP_SERVICE_ATTR`: one attribute constraint or descriptor.
+    /// Payloads are boxed to keep `Event` small (see the size test):
+    /// the stream buffer is the dominant per-message allocation.
     ServiceAttr {
         /// Attribute tag.
-        tag: String,
+        tag: Box<str>,
         /// Attribute values (may be empty for keyword attributes).
-        values: Vec<String>,
+        values: Box<[String]>,
     },
 
     // --- SDP Request Events --------------------------------------------
@@ -137,19 +157,21 @@ pub enum Event {
     /// `SDP_RES_SERV_URL`: the service endpoint URL — the event the whole
     /// §2.4 translation works towards.
     ResServUrl(String),
-    /// `SDP_RES_ATTR`: one attribute of the discovered service.
+    /// `SDP_RES_ATTR`: one attribute of the discovered service. Boxed
+    /// payloads keep `Event` at 40 bytes (see the size test).
     ResAttr {
         /// Attribute tag.
-        tag: String,
+        tag: Box<str>,
         /// Attribute value.
-        value: String,
+        value: Box<str>,
     },
 
     // --- SLP-specific (discarded by non-SLP composers) ------------------
     /// `SDP_REQ_VERSION` (Fig. 4): SLP protocol version.
     SlpReqVersion(u8),
-    /// `SDP_REQ_SCOPE` (Fig. 4): SLP scope list.
-    SlpReqScope(String),
+    /// `SDP_REQ_SCOPE` (Fig. 4): SLP scope list (interned — scope lists
+    /// repeat across every request on a network).
+    SlpReqScope(Symbol),
     /// `SDP_REQ_PREDICATE` (Fig. 4): SLP LDAP predicate.
     SlpReqPredicate(String),
     /// `SDP_REQ_ID` (Fig. 4): SLP transaction id.
@@ -160,15 +182,17 @@ pub enum Event {
     /// discovery response; consumed internally by the UPnP unit to fetch
     /// the description.
     UpnpDeviceUrlDesc(String),
-    /// UPnP unique service name.
-    UpnpUsn(String),
+    /// UPnP unique service name (interned — USNs are the registry's
+    /// primary record keys).
+    UpnpUsn(Symbol),
     /// UPnP server banner.
     UpnpServer(String),
     /// UPnP search MX (response jitter bound).
     UpnpMx(u8),
     /// The raw `ST:` search-target text, preserved so a UPnP composer can
-    /// echo it exactly in the search response.
-    UpnpSt(String),
+    /// echo it exactly in the search response (interned — a handful of
+    /// targets account for nearly all searches).
+    UpnpSt(Symbol),
 
     // --- Jini-specific ---------------------------------------------------
     /// Jini discovery groups.
@@ -326,18 +350,33 @@ impl fmt::Display for Event {
 
 /// A framed event stream: `SDP_C_START … SDP_C_STOP`, representing one
 /// native message (or one internal translation step).
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Streams are immutable shared buffers: [`Clone`] bumps a reference
+/// count instead of copying events, so handing a stream to the bridge,
+/// the cache and a composer costs three pointer bumps, not three deep
+/// copies. Construction sites that accumulate events incrementally use
+/// [`EventStreamBuilder`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventStream {
-    events: Vec<Event>,
+    events: Rc<[Event]>,
+}
+
+impl Default for EventStream {
+    /// An empty (unframed) stream; useful only as a placeholder.
+    fn default() -> EventStream {
+        EventStream { events: Rc::from(Vec::new()) }
+    }
 }
 
 impl EventStream {
     /// Creates a stream already framed with `Start`/`Stop` around `body`.
+    ///
+    /// The shared buffer is allocated exactly once: the framing iterator
+    /// is `TrustedLen`, so collecting into `Rc<[Event]>` writes the
+    /// events straight into their final allocation.
     pub fn framed(body: Vec<Event>) -> EventStream {
-        let mut events = Vec::with_capacity(body.len() + 2);
-        events.push(Event::Start);
-        events.extend(body);
-        events.push(Event::Stop);
+        let events: Rc<[Event]> =
+            std::iter::once(Event::Start).chain(body).chain(std::iter::once(Event::Stop)).collect();
         EventStream { events }
     }
 
@@ -354,7 +393,13 @@ impl EventStream {
         if !ok {
             return Err(crate::CoreError::BadEventFraming);
         }
-        Ok(EventStream { events })
+        Ok(EventStream { events: events.into() })
+    }
+
+    /// True when this stream and `other` share one buffer (a cheap-clone
+    /// pair). Exposed for tests asserting the zero-copy property.
+    pub fn shares_buffer(&self, other: &EventStream) -> bool {
+        Rc::ptr_eq(&self.events, &other.events)
     }
 
     /// All events including the frame.
@@ -364,20 +409,38 @@ impl EventStream {
 
     /// Events between `Start` and `Stop`.
     pub fn body(&self) -> &[Event] {
+        if self.events.len() < 2 {
+            return &[];
+        }
         &self.events[1..self.events.len() - 1]
     }
 
-    /// The names of all events, for trace assertions (Fig. 4 style).
-    pub fn names(&self) -> Vec<&'static str> {
-        self.events.iter().map(|e| e.kind().name()).collect()
+    /// A builder seeded with this stream's body, for deriving an edited
+    /// copy (the original buffer is untouched).
+    pub fn to_builder(&self) -> EventStreamBuilder {
+        let mut builder = EventStreamBuilder::with_capacity(self.events.len());
+        builder.extend_from_slice(self.body());
+        builder
+    }
+
+    /// The names of all events, in order, for trace assertions (Fig. 4
+    /// style). An iterator: the Fig. 4 trace path runs per message and
+    /// must not allocate a `Vec` to be inspected.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.events.iter().map(|e| e.kind().name())
+    }
+
+    /// First `ServiceType` payload as a symbol, if any.
+    pub fn service_type_symbol(&self) -> Option<Symbol> {
+        self.events.iter().find_map(|e| match e {
+            Event::ServiceType(t) => Some(*t),
+            _ => None,
+        })
     }
 
     /// First `ServiceType` payload, if any.
     pub fn service_type(&self) -> Option<&str> {
-        self.events.iter().find_map(|e| match e {
-            Event::ServiceType(t) => Some(t.as_str()),
-            _ => None,
-        })
+        self.service_type_symbol().map(Symbol::as_str)
     }
 
     /// First `NetSourceAddr` payload, if any.
@@ -401,7 +464,7 @@ impl EventStream {
         self.events
             .iter()
             .filter_map(|e| match e {
-                Event::ResAttr { tag, value } => Some((tag.as_str(), value.as_str())),
+                Event::ResAttr { tag, value } => Some((&**tag, &**value)),
                 _ => None,
             })
             .collect()
@@ -433,6 +496,99 @@ impl EventStream {
             Event::NetType(p) => Some(*p),
             _ => None,
         })
+    }
+}
+
+/// Incremental construction of an [`EventStream`].
+///
+/// The builder owns the only mutable `Vec<Event>` in the pipeline: a
+/// parser (or an enrichment step) pushes body events and [`build`]
+/// freezes them — `Start`/`Stop` framing included — into the shared
+/// immutable buffer every later hop clones by reference. The scratch
+/// `Vec` behind the builder is drawn from a small thread-local pool and
+/// handed back on build, so steady-state stream construction performs
+/// exactly one allocation: the shared buffer itself.
+///
+/// [`build`]: EventStreamBuilder::build
+#[derive(Debug, Default)]
+pub struct EventStreamBuilder {
+    body: Vec<Event>,
+}
+
+thread_local! {
+    /// Recycled builder scratch vectors (bounded; see `return_scratch`).
+    static BODY_POOL: std::cell::RefCell<Vec<Vec<Event>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn take_scratch(capacity: usize) -> Vec<Event> {
+    BODY_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .map(|mut v| {
+            v.reserve(capacity);
+            v
+        })
+        .unwrap_or_else(|| Vec::with_capacity(capacity))
+}
+
+fn return_scratch(mut scratch: Vec<Event>) {
+    scratch.clear();
+    BODY_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < 8 {
+            pool.push(scratch);
+        }
+    });
+}
+
+impl EventStreamBuilder {
+    /// An empty builder.
+    pub fn new() -> EventStreamBuilder {
+        EventStreamBuilder::with_capacity(0)
+    }
+
+    /// An empty builder with room for `capacity` body events.
+    pub fn with_capacity(capacity: usize) -> EventStreamBuilder {
+        EventStreamBuilder { body: take_scratch(capacity) }
+    }
+
+    /// Appends one body event.
+    pub fn push(&mut self, event: Event) -> &mut EventStreamBuilder {
+        self.body.push(event);
+        self
+    }
+
+    /// Appends a slice of body events.
+    pub fn extend_from_slice(&mut self, events: &[Event]) -> &mut EventStreamBuilder {
+        self.body.extend_from_slice(events);
+        self
+    }
+
+    /// Number of body events so far.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// True when no body events have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Frames the accumulated body and freezes it into a stream with a
+    /// single allocation (the shared buffer); the scratch vector goes
+    /// back to the pool.
+    pub fn build(mut self) -> EventStream {
+        let events: Rc<[Event]> = std::iter::once(Event::Start)
+            .chain(self.body.drain(..))
+            .chain(std::iter::once(Event::Stop))
+            .collect();
+        EventStream { events }
+    }
+}
+
+impl Drop for EventStreamBuilder {
+    fn drop(&mut self) {
+        return_scratch(std::mem::take(&mut self.body));
     }
 }
 
@@ -513,8 +669,47 @@ mod tests {
     #[test]
     fn framed_constructor_brackets() {
         let s = EventStream::framed(vec![Event::ServiceRequest]);
-        assert_eq!(s.names(), vec!["SDP_C_START", "SDP_SERVICE_REQUEST", "SDP_C_STOP"]);
+        assert_eq!(
+            s.names().collect::<Vec<_>>(),
+            vec!["SDP_C_START", "SDP_SERVICE_REQUEST", "SDP_C_STOP"]
+        );
         assert_eq!(s.body().len(), 1);
+    }
+
+    #[test]
+    fn builder_frames_and_freezes() {
+        let mut b = EventStreamBuilder::with_capacity(2);
+        assert!(b.is_empty());
+        b.push(Event::ServiceRequest).push(Event::ServiceType("clock".into()));
+        assert_eq!(b.len(), 2);
+        let s = b.build();
+        assert_eq!(
+            s,
+            EventStream::framed(vec![Event::ServiceRequest, Event::ServiceType("clock".into()),])
+        );
+    }
+
+    #[test]
+    fn clone_is_shared_not_copied() {
+        let s = EventStream::framed(vec![Event::ServiceRequest]);
+        let t = s.clone();
+        assert!(s.shares_buffer(&t));
+        assert_eq!(s, t);
+        // An equal but independently built stream does not share.
+        let u = EventStream::framed(vec![Event::ServiceRequest]);
+        assert_eq!(s, u);
+        assert!(!s.shares_buffer(&u));
+    }
+
+    #[test]
+    fn to_builder_derives_without_mutating_original() {
+        let s = EventStream::framed(vec![Event::ServiceAlive, Event::ServiceType("clock".into())]);
+        let mut b = s.to_builder();
+        b.push(Event::ResServUrl("soap://h/ctl".into()));
+        let derived = b.build();
+        assert_eq!(s.body().len(), 2, "original untouched");
+        assert_eq!(derived.body().len(), 3);
+        assert_eq!(derived.service_url(), Some("soap://h/ctl"));
     }
 
     #[test]
@@ -530,6 +725,7 @@ mod tests {
         assert!(s.is_request());
         assert!(!s.is_response());
         assert_eq!(s.service_type(), Some("clock"));
+        assert_eq!(s.service_type_symbol(), Some(Symbol::intern("clock")));
         assert_eq!(s.source_addr(), Some(addr));
         assert_eq!(s.net_type(), Some(SdpProtocol::Slp));
     }
@@ -559,5 +755,18 @@ mod tests {
         assert_eq!(Event::Start.to_string(), "SDP_C_START");
         assert_eq!(Event::UpnpMx(0).to_string(), "SDP_UPNP_MX");
         assert_eq!(SdpProtocol::Upnp.to_string(), "UPnP");
+    }
+
+    /// The stream buffer is the dominant per-message allocation, so
+    /// `Event`'s size is a load-bearing property: symbols intern the
+    /// high-churn strings and the attr payloads are boxed precisely to
+    /// hold this bound. Growing it silently would inflate every stream.
+    #[test]
+    fn event_stays_small() {
+        assert!(
+            std::mem::size_of::<Event>() <= 40,
+            "Event grew to {} bytes; box the new payload instead",
+            std::mem::size_of::<Event>()
+        );
     }
 }

@@ -11,6 +11,16 @@
 //! data from previous states are recorded using state variables"), and
 //! `C`, the command type produced by actions for the unit to execute
 //! (dispatch, send, reconfigure, …).
+//!
+//! # Ownership model
+//!
+//! The engine sits on the per-event hot path, so it never allocates on
+//! its own behalf: actions *write commands into a caller-provided scratch
+//! buffer* (`&mut Vec<C>`) instead of returning a fresh `Vec` per event,
+//! and [`Fsm::feed_all`] reuses one buffer across a whole stream. A unit
+//! typically keeps one scratch `Vec` per session, clears it per message,
+//! and drains the emitted commands after each feed — steady state is
+//! zero allocations per event.
 
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -21,8 +31,9 @@ use crate::event::{Event, EventKind};
 /// the recorded state variables.
 pub type Guard<S> = Rc<dyn Fn(&Event, &S) -> bool>;
 
-/// An action: may mutate the state variables and emit commands.
-pub type Action<S, C> = Rc<dyn Fn(&mut S, &Event) -> Vec<C>>;
+/// An action: may mutate the state variables and emit commands into the
+/// caller's scratch buffer.
+pub type Action<S, C> = Rc<dyn Fn(&mut S, &Event, &mut Vec<C>)>;
 
 /// What causes a transition to be considered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,12 +147,14 @@ impl<S, C> Fsm<S, C> {
     }
 
     /// Feeds one event. If a transition matches (trigger + guard), the
-    /// machine moves and the action's commands are returned; otherwise
-    /// the event is *filtered* — dropped without a state change, which is
-    /// how units discard events they do not understand (§2.3).
-    pub fn feed(&mut self, event: &Event, vars: &mut S) -> Vec<C> {
+    /// machine moves, the action appends its commands to `out`, and
+    /// `true` is returned; otherwise the event is *filtered* — dropped
+    /// without a state change, which is how units discard events they do
+    /// not understand (§2.3). `out` is a caller-owned scratch buffer;
+    /// nothing already in it is touched.
+    pub fn feed(&mut self, event: &Event, vars: &mut S, out: &mut Vec<C>) -> bool {
         let Some(candidates) = self.by_state.get(self.current) else {
-            return Vec::new();
+            return false;
         };
         for &i in candidates {
             let tuple = &self.tuples[i];
@@ -159,26 +172,25 @@ impl<S, C> Fsm<S, C> {
             }
             self.current = tuple.to;
             self.transitions_taken += 1;
-            let action = tuple.action.clone();
-            return match action {
-                Some(a) => a(vars, event),
-                None => Vec::new(),
-            };
+            if let Some(action) = tuple.action.clone() {
+                action(vars, event, out);
+            }
+            return true;
         }
-        Vec::new()
+        false
     }
 
-    /// Feeds a whole event sequence, concatenating emitted commands.
+    /// Feeds a whole event sequence, accumulating emitted commands in the
+    /// single scratch buffer `out`.
     pub fn feed_all<'a, I: IntoIterator<Item = &'a Event>>(
         &mut self,
         events: I,
         vars: &mut S,
-    ) -> Vec<C> {
-        let mut out = Vec::new();
+        out: &mut Vec<C>,
+    ) {
         for e in events {
-            out.extend(self.feed(e, vars));
+            self.feed(e, vars, out);
         }
-        out
     }
 }
 
@@ -213,17 +225,15 @@ mod tests {
     fn request_machine() -> Fsm<Vars, Cmd> {
         FsmBuilder::new("idle")
             .accepting(&["done"])
-            .on("idle", EventKind::Start, "open", Rc::new(|_, _| vec![]))
+            .on("idle", EventKind::Start, "open", Rc::new(|_, _, _: &mut Vec<Cmd>| {}))
             .on(
                 "open",
                 EventKind::ServiceType,
                 "typed",
-                Rc::new(|vars: &mut Vars, e: &Event| {
+                Rc::new(|vars: &mut Vars, e: &Event, out: &mut Vec<Cmd>| {
                     if let Event::ServiceType(t) = e {
-                        vars.service_type = Some(t.clone());
-                        vec![Cmd::Remember(t.clone())]
-                    } else {
-                        vec![]
+                        vars.service_type = Some(t.as_str().to_owned());
+                        out.push(Cmd::Remember(t.as_str().to_owned()));
                     }
                 }),
             )
@@ -232,16 +242,17 @@ mod tests {
                 Trigger::Kind(EventKind::ServiceAttr),
                 None,
                 "typed",
-                Some(Rc::new(|vars: &mut Vars, _| {
+                Some(Rc::new(|vars: &mut Vars, _, _| {
                     vars.attrs_seen += 1;
-                    vec![]
                 })),
             )
             .on(
                 "typed",
                 EventKind::Stop,
                 "done",
-                Rc::new(|vars: &mut Vars, _| vec![Cmd::Finish(vars.attrs_seen)]),
+                Rc::new(|vars: &mut Vars, _, out: &mut Vec<Cmd>| {
+                    out.push(Cmd::Finish(vars.attrs_seen));
+                }),
             )
             .build()
     }
@@ -250,14 +261,24 @@ mod tests {
     fn transitions_follow_tuples() {
         let mut fsm = request_machine();
         let mut vars = Vars::default();
+        let mut cmds = Vec::new();
         assert_eq!(fsm.state(), "idle");
-        fsm.feed(&Event::Start, &mut vars);
+        fsm.feed(&Event::Start, &mut vars, &mut cmds);
         assert_eq!(fsm.state(), "open");
-        let cmds = fsm.feed(&Event::ServiceType("clock".into()), &mut vars);
+        fsm.feed(&Event::ServiceType("clock".into()), &mut vars, &mut cmds);
         assert_eq!(cmds, vec![Cmd::Remember("clock".into())]);
-        fsm.feed(&Event::ServiceAttr { tag: "a".into(), values: vec![] }, &mut vars);
-        fsm.feed(&Event::ServiceAttr { tag: "b".into(), values: vec![] }, &mut vars);
-        let cmds = fsm.feed(&Event::Stop, &mut vars);
+        cmds.clear();
+        fsm.feed(
+            &Event::ServiceAttr { tag: "a".into(), values: Vec::new().into() },
+            &mut vars,
+            &mut cmds,
+        );
+        fsm.feed(
+            &Event::ServiceAttr { tag: "b".into(), values: Vec::new().into() },
+            &mut vars,
+            &mut cmds,
+        );
+        fsm.feed(&Event::Stop, &mut vars, &mut cmds);
         assert_eq!(cmds, vec![Cmd::Finish(2)]);
         assert!(fsm.is_accepting());
         assert_eq!(fsm.transitions_taken(), 5);
@@ -267,9 +288,12 @@ mod tests {
     fn unknown_events_are_filtered_without_state_change() {
         let mut fsm = request_machine();
         let mut vars = Vars::default();
-        fsm.feed(&Event::Start, &mut vars);
+        let mut cmds = Vec::new();
+        fsm.feed(&Event::Start, &mut vars, &mut cmds);
+        cmds.clear();
         // An SLP-specific event this machine has no tuple for: discarded.
-        let cmds = fsm.feed(&Event::SlpReqVersion(2), &mut vars);
+        let moved = fsm.feed(&Event::SlpReqVersion(2), &mut vars, &mut cmds);
+        assert!(!moved);
         assert!(cmds.is_empty());
         assert_eq!(fsm.state(), "open");
     }
@@ -282,20 +306,24 @@ mod tests {
                 Trigger::Kind(EventKind::ResTtl),
                 Some(Rc::new(|e: &Event, _| matches!(e, Event::ResTtl(t) if *t > 100))),
                 "long",
-                Some(Rc::new(|_, _| vec!["long-lived"])),
+                Some(Rc::new(|_, _, out: &mut Vec<&'static str>| out.push("long-lived"))),
             )
             .tuple(
                 "s",
                 Trigger::Kind(EventKind::ResTtl),
                 None,
                 "short",
-                Some(Rc::new(|_, _| vec!["short-lived"])),
+                Some(Rc::new(|_, _, out: &mut Vec<&'static str>| out.push("short-lived"))),
             )
             .build();
         let mut unit = ();
-        assert_eq!(fsm.feed(&Event::ResTtl(50), &mut unit), vec!["short-lived"]);
+        let mut cmds = Vec::new();
+        fsm.feed(&Event::ResTtl(50), &mut unit, &mut cmds);
+        assert_eq!(cmds, vec!["short-lived"]);
         fsm.reset();
-        assert_eq!(fsm.feed(&Event::ResTtl(5000), &mut unit), vec!["long-lived"]);
+        cmds.clear();
+        fsm.feed(&Event::ResTtl(5000), &mut unit, &mut cmds);
+        assert_eq!(cmds, vec!["long-lived"]);
     }
 
     #[test]
@@ -306,22 +334,34 @@ mod tests {
                 Trigger::Any,
                 None,
                 "s",
-                Some(Rc::new(|count: &mut usize, _| {
+                Some(Rc::new(|count: &mut usize, _, _| {
                     *count += 1;
-                    vec![]
                 })),
             )
             .build();
         let mut n = 0;
-        fsm.feed_all([Event::Start, Event::ResOk, Event::Stop].iter(), &mut n);
+        let mut out = Vec::new();
+        fsm.feed_all([Event::Start, Event::ResOk, Event::Stop].iter(), &mut n, &mut out);
         assert_eq!(n, 3);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scratch_buffer_is_appended_not_cleared() {
+        let mut fsm = request_machine();
+        let mut vars = Vars::default();
+        let mut cmds = vec![Cmd::Finish(99)]; // pre-existing content
+        fsm.feed(&Event::Start, &mut vars, &mut cmds);
+        fsm.feed(&Event::ServiceType("clock".into()), &mut vars, &mut cmds);
+        assert_eq!(cmds, vec![Cmd::Finish(99), Cmd::Remember("clock".into())]);
     }
 
     #[test]
     fn reset_returns_to_start() {
         let mut fsm = request_machine();
         let mut vars = Vars::default();
-        fsm.feed(&Event::Start, &mut vars);
+        let mut cmds = Vec::new();
+        fsm.feed(&Event::Start, &mut vars, &mut cmds);
         assert_ne!(fsm.state(), "idle");
         fsm.reset();
         assert_eq!(fsm.state(), "idle");

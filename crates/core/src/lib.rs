@@ -59,12 +59,13 @@ mod fsm;
 mod monitor;
 mod registry;
 mod runtime;
+mod symbol;
 mod units;
 
 pub use adapt::{AdaptationPolicy, DiscoveryMode};
 pub use config::{IndissConfig, UnitSpec};
 pub use error::{CoreError, CoreResult};
-pub use event::{Event, EventKind, EventStream, ParserKind, SdpProtocol};
+pub use event::{Event, EventKind, EventStream, EventStreamBuilder, ParserKind, SdpProtocol};
 pub use fsm::{Action, Fsm, FsmBuilder, Guard, Trigger};
 pub use monitor::{DetectionRecord, Monitor};
 pub use registry::{
@@ -72,6 +73,7 @@ pub use registry::{
     SweepReport,
 };
 pub use runtime::{BridgeStats, Indiss};
+pub use symbol::Symbol;
 pub use units::{
     BridgeRequestFn, JiniUnit, JiniUnitConfig, ParsedMessage, SlpUnit, SlpUnitConfig, Unit,
     UpnpUnit, UpnpUnitConfig,

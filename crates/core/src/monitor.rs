@@ -34,8 +34,13 @@ type DetectSubscriber = Box<dyn Fn(&World, SdpProtocol)>;
 struct MonitorInner {
     sockets: Vec<(SdpProtocol, UdpSocket)>,
     detections: HashMap<SdpProtocol, DetectionRecord>,
-    message_subscribers: Vec<Rc<MessageSubscriber>>,
-    detect_subscribers: Vec<Rc<DetectSubscriber>>,
+    /// Subscriber lists are immutable shared snapshots: `observe` runs
+    /// per datagram and must not allocate, so it clones the `Rc` (a
+    /// pointer bump) while subscribing rebuilds the slice. Handlers may
+    /// re-enter the monitor (e.g. lazy unit instantiation registering
+    /// loop-filter sources), which the snapshot also makes safe.
+    message_subscribers: Rc<[Rc<MessageSubscriber>]>,
+    detect_subscribers: Rc<[Rc<DetectSubscriber>]>,
     /// Source addresses whose traffic is ignored (this INDISS instance's
     /// own sockets, to prevent translation loops).
     own_sources: HashSet<SocketAddrV4>,
@@ -74,8 +79,8 @@ impl Monitor {
             inner: Rc::new(RefCell::new(MonitorInner {
                 sockets: Vec::new(),
                 detections: HashMap::new(),
-                message_subscribers: Vec::new(),
-                detect_subscribers: Vec::new(),
+                message_subscribers: Rc::from(Vec::new()),
+                detect_subscribers: Rc::from(Vec::new()),
                 own_sources: HashSet::new(),
             })),
         };
@@ -119,7 +124,10 @@ impl Monitor {
     where
         F: Fn(&World, SdpProtocol, &Datagram) + 'static,
     {
-        self.inner.borrow_mut().message_subscribers.push(Rc::new(Box::new(f)));
+        let mut inner = self.inner.borrow_mut();
+        let mut subs: Vec<Rc<MessageSubscriber>> = inner.message_subscribers.to_vec();
+        subs.push(Rc::new(Box::new(f)));
+        inner.message_subscribers = subs.into();
     }
 
     /// Subscribes to first-detection of each protocol (used for dynamic
@@ -128,7 +136,10 @@ impl Monitor {
     where
         F: Fn(&World, SdpProtocol) + 'static,
     {
-        self.inner.borrow_mut().detect_subscribers.push(Rc::new(Box::new(f)));
+        let mut inner = self.inner.borrow_mut();
+        let mut subs: Vec<Rc<DetectSubscriber>> = inner.detect_subscribers.to_vec();
+        subs.push(Rc::new(Box::new(f)));
+        inner.detect_subscribers = subs.into();
     }
 
     /// Stops monitoring and closes all sockets.
@@ -140,7 +151,7 @@ impl Monitor {
     }
 
     fn observe(&self, world: &World, protocol: SdpProtocol, dgram: Datagram) {
-        let (message_subs, detect_subs, newly_detected) = {
+        let (message_subs, detect_subs) = {
             let mut inner = self.inner.borrow_mut();
             if inner.own_sources.contains(&dgram.src) {
                 return; // our own traffic: never re-translate (loop guard)
@@ -154,17 +165,16 @@ impl Monitor {
             });
             record.last_seen = now;
             record.message_count += 1;
+            // Snapshot by reference count; this path runs per datagram.
             (
-                inner.message_subscribers.clone(),
-                if newly { inner.detect_subscribers.clone() } else { Vec::new() },
-                newly,
+                Rc::clone(&inner.message_subscribers),
+                newly.then(|| Rc::clone(&inner.detect_subscribers)),
             )
         };
-        let _ = newly_detected;
-        for sub in detect_subs {
+        for sub in detect_subs.iter().flat_map(|s| s.iter()) {
             sub(world, protocol);
         }
-        for sub in message_subs {
+        for sub in message_subs.iter() {
             sub(world, protocol, &dgram);
         }
     }

@@ -20,6 +20,8 @@ pub(crate) enum Target {
     Advert { slot: usize, generation: u64 },
     /// A response-cache slot.
     Cache { slot: usize, generation: u64 },
+    /// A negative-cache ("nothing found") slot.
+    Negative { slot: usize, generation: u64 },
 }
 
 #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]

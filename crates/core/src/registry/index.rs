@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
-use crate::event::SdpProtocol;
+use crate::event::{SdpProtocol, Symbol};
 use crate::registry::record::ServiceRecord;
 
 /// Intrusive doubly-linked recency list over slab slots: O(1) touch,
@@ -94,19 +94,21 @@ pub(crate) enum InsertOutcome {
 ///
 /// Primary identity is `(origin protocol, key)`; secondary indexes cover
 /// canonical type, origin protocol and endpoint, each giving O(1) lookup
-/// (amortized; type buckets are insertion-ordered vectors).
+/// (amortized; type buckets are insertion-ordered vectors). All string
+/// identities are interned [`Symbol`]s: inserting or looking up a record
+/// hashes one machine word and clones nothing.
 #[derive(Debug, Default)]
 pub(crate) struct RecordStore {
     slots: Vec<Option<ServiceRecord>>,
     generations: Vec<u64>,
     free: Vec<usize>,
     capacity: usize,
-    by_key: HashMap<(SdpProtocol, String), usize>,
-    by_type: HashMap<String, Vec<usize>>,
+    by_key: HashMap<(SdpProtocol, Symbol), usize>,
+    by_type: HashMap<Symbol, Vec<usize>>,
     by_origin: HashMap<SdpProtocol, Vec<usize>>,
     /// Bucketed like `by_type`: several protocols may advertise the
     /// same endpoint concurrently.
-    by_endpoint: HashMap<String, Vec<usize>>,
+    by_endpoint: HashMap<Symbol, Vec<usize>>,
     lru: LruList,
     len: usize,
 }
@@ -140,7 +142,7 @@ impl RecordStore {
     /// recently updated record first. Returns what happened plus the slot
     /// the record now occupies.
     pub(crate) fn upsert(&mut self, record: ServiceRecord) -> (usize, InsertOutcome) {
-        let ident = (record.origin(), record.key().to_owned());
+        let ident = (record.origin(), record.key_symbol());
         if let Some(&slot) = self.by_key.get(&ident) {
             let old = self.slots[slot].take().expect("indexed slot occupied");
             self.unindex_secondary(&old, slot);
@@ -181,8 +183,8 @@ impl RecordStore {
     }
 
     /// Removes the record identified by `(origin, key)`.
-    pub(crate) fn remove(&mut self, origin: SdpProtocol, key: &str) -> Option<ServiceRecord> {
-        let slot = *self.by_key.get(&(origin, key.to_owned()))?;
+    pub(crate) fn remove(&mut self, origin: SdpProtocol, key: Symbol) -> Option<ServiceRecord> {
+        let slot = *self.by_key.get(&(origin, key))?;
         self.remove_slot(slot)
     }
 
@@ -190,7 +192,7 @@ impl RecordStore {
     pub(crate) fn remove_slot(&mut self, slot: usize) -> Option<ServiceRecord> {
         let record = self.slots.get_mut(slot)?.take()?;
         self.generations[slot] += 1;
-        self.by_key.remove(&(record.origin(), record.key().to_owned()));
+        self.by_key.remove(&(record.origin(), record.key_symbol()));
         self.unindex_secondary(&record, slot);
         self.lru.unlink(slot);
         self.free.push(slot);
@@ -198,15 +200,15 @@ impl RecordStore {
         Some(record)
     }
 
-    pub(crate) fn get(&self, origin: SdpProtocol, key: &str) -> Option<&ServiceRecord> {
-        let slot = *self.by_key.get(&(origin, key.to_owned()))?;
+    pub(crate) fn get(&self, origin: SdpProtocol, key: Symbol) -> Option<&ServiceRecord> {
+        let slot = *self.by_key.get(&(origin, key))?;
         self.get_slot(slot)
     }
 
     /// Records of one canonical type, in insertion order.
-    pub(crate) fn of_type(&self, canonical_type: &str) -> impl Iterator<Item = &ServiceRecord> {
+    pub(crate) fn of_type(&self, canonical_type: Symbol) -> impl Iterator<Item = &ServiceRecord> {
         self.by_type
-            .get(canonical_type)
+            .get(&canonical_type)
             .into_iter()
             .flatten()
             .filter_map(|&slot| self.get_slot(slot))
@@ -217,10 +219,13 @@ impl RecordStore {
         self.by_origin.get(&origin).into_iter().flatten().filter_map(|&slot| self.get_slot(slot))
     }
 
-    /// The record advertising `endpoint`, if any.
     /// Records advertising `endpoint`, in insertion order.
-    pub(crate) fn by_endpoint(&self, endpoint: &str) -> impl Iterator<Item = &ServiceRecord> {
-        self.by_endpoint.get(endpoint).into_iter().flatten().filter_map(|&slot| self.get_slot(slot))
+    pub(crate) fn by_endpoint(&self, endpoint: Symbol) -> impl Iterator<Item = &ServiceRecord> {
+        self.by_endpoint
+            .get(&endpoint)
+            .into_iter()
+            .flatten()
+            .filter_map(|&slot| self.get_slot(slot))
     }
 
     /// All records, in slab order (deterministic).
@@ -229,18 +234,18 @@ impl RecordStore {
     }
 
     fn index_secondary(&mut self, record: &ServiceRecord, slot: usize) {
-        self.by_type.entry(record.canonical_type().to_owned()).or_default().push(slot);
+        self.by_type.entry(record.canonical_type_symbol()).or_default().push(slot);
         self.by_origin.entry(record.origin()).or_default().push(slot);
-        if let Some(endpoint) = record.endpoint() {
-            self.by_endpoint.entry(endpoint.to_owned()).or_default().push(slot);
+        if let Some(endpoint) = record.endpoint_symbol() {
+            self.by_endpoint.entry(endpoint).or_default().push(slot);
         }
     }
 
     fn unindex_secondary(&mut self, record: &ServiceRecord, slot: usize) {
-        if let Some(bucket) = self.by_type.get_mut(record.canonical_type()) {
+        if let Some(bucket) = self.by_type.get_mut(&record.canonical_type_symbol()) {
             bucket.retain(|&s| s != slot);
             if bucket.is_empty() {
-                self.by_type.remove(record.canonical_type());
+                self.by_type.remove(&record.canonical_type_symbol());
             }
         }
         if let Some(bucket) = self.by_origin.get_mut(&record.origin()) {
@@ -249,11 +254,11 @@ impl RecordStore {
                 self.by_origin.remove(&record.origin());
             }
         }
-        if let Some(endpoint) = record.endpoint() {
-            if let Some(bucket) = self.by_endpoint.get_mut(endpoint) {
+        if let Some(endpoint) = record.endpoint_symbol() {
+            if let Some(bucket) = self.by_endpoint.get_mut(&endpoint) {
                 bucket.retain(|&s| s != slot);
                 if bucket.is_empty() {
-                    self.by_endpoint.remove(endpoint);
+                    self.by_endpoint.remove(&endpoint);
                 }
             }
         }
@@ -386,10 +391,10 @@ mod tests {
         store.upsert(record("clock", SdpProtocol::Upnp, "soap://b"));
         store.upsert(record("printer", SdpProtocol::Slp, "lpr://c"));
         assert_eq!(store.len(), 3);
-        assert_eq!(store.of_type("clock").count(), 2);
+        assert_eq!(store.of_type("clock".into()).count(), 2);
         assert_eq!(store.of_origin(SdpProtocol::Slp).count(), 2);
-        assert_eq!(store.by_endpoint("soap://b").next().unwrap().canonical_type(), "clock");
-        assert!(store.get(SdpProtocol::Slp, "slp://a").is_some());
+        assert_eq!(store.by_endpoint("soap://b".into()).next().unwrap().canonical_type(), "clock");
+        assert!(store.get(SdpProtocol::Slp, "slp://a".into()).is_some());
     }
 
     /// Two protocols advertising the same endpoint: both are indexed, and
@@ -399,9 +404,9 @@ mod tests {
         let mut store = RecordStore::new(8);
         store.upsert(record("clock", SdpProtocol::Slp, "soap://shared"));
         store.upsert(record("clock", SdpProtocol::Jini, "soap://shared"));
-        assert_eq!(store.by_endpoint("soap://shared").count(), 2);
-        store.remove(SdpProtocol::Jini, "soap://shared").unwrap();
-        let survivors: Vec<_> = store.by_endpoint("soap://shared").collect();
+        assert_eq!(store.by_endpoint("soap://shared".into()).count(), 2);
+        store.remove(SdpProtocol::Jini, "soap://shared".into()).unwrap();
+        let survivors: Vec<_> = store.by_endpoint("soap://shared".into()).collect();
         assert_eq!(survivors.len(), 1);
         assert_eq!(survivors[0].origin(), SdpProtocol::Slp);
     }
@@ -432,20 +437,20 @@ mod tests {
         };
         assert_eq!(victim.canonical_type(), "b");
         assert_eq!(store.len(), 2);
-        assert!(store.get(SdpProtocol::Slp, "u://b").is_none());
-        assert_eq!(store.by_endpoint("u://b").count(), 0);
+        assert!(store.get(SdpProtocol::Slp, "u://b".into()).is_none());
+        assert_eq!(store.by_endpoint("u://b".into()).count(), 0);
     }
 
     #[test]
     fn remove_clears_every_index() {
         let mut store = RecordStore::new(4);
         store.upsert(record("clock", SdpProtocol::Jini, "jini://x"));
-        let removed = store.remove(SdpProtocol::Jini, "jini://x").unwrap();
+        let removed = store.remove(SdpProtocol::Jini, "jini://x".into()).unwrap();
         assert_eq!(removed.canonical_type(), "clock");
         assert_eq!(store.len(), 0);
-        assert_eq!(store.of_type("clock").count(), 0);
+        assert_eq!(store.of_type("clock".into()).count(), 0);
         assert_eq!(store.of_origin(SdpProtocol::Jini).count(), 0);
-        assert_eq!(store.by_endpoint("jini://x").count(), 0);
+        assert_eq!(store.by_endpoint("jini://x".into()).count(), 0);
         // The freed slot is reused.
         let (slot, _) = store.upsert(record("printer", SdpProtocol::Slp, "u://p"));
         assert_eq!(slot, 0);

@@ -12,6 +12,9 @@
 //! * a **bounded LRU response cache** for the paper's warm best case
 //!   (§4.3, ~0.1 ms answers), with hit/miss/eviction/expiry counters
 //!   surfaced through [`crate::BridgeStats`];
+//! * a **negative cache** of "nothing found" outcomes per canonical
+//!   type, with a short TTL, so request storms for absent types stop
+//!   fanning out to every unit;
 //! * the **suppression window** that breaks multi-bridge translation
 //!   ping-pong;
 //! * per-protocol **bridge projections** ([`Projection`]) — the synthetic
@@ -19,7 +22,12 @@
 //!   URL + USN, SLP attribute lists, Jini service ids) so every unit
 //!   shares one view instead of private copies.
 //!
-//! Both stores are capacity-bounded and TTL-bounded. Expiry is exact and
+//! Every type- and identity-keyed map is keyed on interned [`Symbol`]s,
+//! so the hot lookups hash one machine word, and cached event streams
+//! are shared buffers — answering from the cache is a reference-count
+//! bump, not a deep copy.
+//!
+//! All stores are capacity-bounded and TTL-bounded. Expiry is exact and
 //! deterministic: deadlines live on an [`expiry`] wheel keyed by
 //! [`SimTime`], reads apply lazy expiry checks, and the runtime schedules
 //! virtual-time sweep timers at the wheel's next deadline, so a seeded
@@ -38,7 +46,7 @@ use std::time::Duration;
 
 use indiss_net::SimTime;
 
-use crate::event::{EventStream, SdpProtocol};
+use crate::event::{EventStream, SdpProtocol, Symbol};
 use expiry::{ExpiryWheel, Target};
 use index::{InsertOutcome, LruCache, RecordStore};
 
@@ -55,6 +63,11 @@ pub struct RegistryConfig {
     /// TTL applied to adverts that do not carry their own `SDP_RES_TTL`;
     /// `None` keeps such records until evicted.
     pub default_advert_ttl: Option<Duration>,
+    /// How long a "nothing found" outcome is remembered per canonical
+    /// type. Kept short: a service appearing right after a miss must not
+    /// stay invisible for long (arriving adverts also invalidate the
+    /// entry eagerly).
+    pub negative_ttl: Duration,
 }
 
 impl Default for RegistryConfig {
@@ -64,6 +77,7 @@ impl Default for RegistryConfig {
             cache_capacity: 256,
             cache_ttl: Duration::from_secs(60),
             default_advert_ttl: Some(Duration::from_secs(1800)),
+            negative_ttl: Duration::from_secs(2),
         }
     }
 }
@@ -79,6 +93,11 @@ pub struct RegistryStats {
     pub cache_evictions: u64,
     /// Cache entries dropped because their TTL elapsed.
     pub cache_expired: u64,
+    /// Lookups answered by the negative cache ("nothing found" without a
+    /// fan-out).
+    pub negative_hits: u64,
+    /// Negative-cache entries stored.
+    pub negative_stored: u64,
     /// Service records newly inserted.
     pub records_inserted: u64,
     /// Service records refreshed by a newer advert.
@@ -133,6 +152,8 @@ pub struct SweepReport {
     pub records_expired: u64,
     /// Cache entries dropped by this sweep.
     pub cache_expired: u64,
+    /// Negative-cache entries dropped by this sweep.
+    pub negative_expired: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -144,10 +165,16 @@ struct CachedResponse {
 struct RegistryInner {
     config: RegistryConfig,
     store: RecordStore,
-    cache: LruCache<String, CachedResponse>,
-    projections: LruCache<(SdpProtocol, String), Projection>,
+    cache: LruCache<Symbol, CachedResponse>,
+    /// "Nothing found" outcomes keyed by (requesting protocol,
+    /// canonical type); the value is the entry's expiry deadline. The
+    /// origin is part of the key because the fan-out set depends on it:
+    /// a miss observed from one protocol says nothing about a fan-out
+    /// that would include that protocol's own unit.
+    negative: LruCache<(SdpProtocol, Symbol), SimTime>,
+    projections: LruCache<(SdpProtocol, Symbol), Projection>,
     /// Per-canonical-type suppression deadline (multi-bridge loop guard).
-    suppress: HashMap<String, SimTime>,
+    suppress: HashMap<Symbol, SimTime>,
     wheel: ExpiryWheel,
     stats: RegistryStats,
 }
@@ -157,6 +184,7 @@ impl RegistryInner {
         match *target {
             Target::Advert { slot, generation } => self.store.generation(slot) == generation,
             Target::Cache { slot, generation } => self.cache.generation(slot) == generation,
+            Target::Negative { slot, generation } => self.negative.generation(slot) == generation,
         }
     }
 
@@ -181,12 +209,27 @@ impl RegistryInner {
                         report.cache_expired += 1;
                     }
                 }
+                Target::Negative { slot, .. } => {
+                    if self.negative.remove_slot(slot).is_some() {
+                        report.negative_expired += 1;
+                    }
+                }
             }
         }
         self.suppress.retain(|_, until| *until > now);
         self.stats.records_expired += report.records_expired;
         self.stats.cache_expired += report.cache_expired;
         report
+    }
+
+    /// Drops any "nothing found" memory for `canonical_type` (for every
+    /// requesting protocol) — called whenever positive knowledge (an
+    /// advert or response) arrives, so a service appearing right after a
+    /// miss becomes visible immediately.
+    fn clear_negative(&mut self, canonical_type: Symbol) {
+        for origin in SdpProtocol::ALL {
+            self.negative.remove(&(origin, canonical_type));
+        }
     }
 }
 
@@ -204,6 +247,7 @@ impl ServiceRegistry {
             inner: Rc::new(RefCell::new(RegistryInner {
                 store: RecordStore::new(config.advert_capacity),
                 cache: LruCache::new(config.cache_capacity),
+                negative: LruCache::new(config.cache_capacity),
                 projections: LruCache::new(config.advert_capacity),
                 suppress: HashMap::new(),
                 wheel: ExpiryWheel::new(),
@@ -223,7 +267,8 @@ impl ServiceRegistry {
     // ------------------------------------------------------------------
 
     /// Records an advertisement stream: alive adverts insert or refresh a
-    /// [`ServiceRecord`]; byebyes remove it.
+    /// [`ServiceRecord`]; byebyes remove it. A stored alive advert also
+    /// invalidates any negative-cache entry for its type.
     pub fn record_advert(
         &self,
         origin: SdpProtocol,
@@ -235,7 +280,7 @@ impl ServiceRegistry {
             return AdvertDisposition::Ignored;
         };
         if stream.is_byebye() {
-            return match inner.store.remove(origin, &key) {
+            return match inner.store.remove(origin, key) {
                 Some(_) => {
                     inner.stats.records_removed += 1;
                     AdvertDisposition::Removed
@@ -247,6 +292,7 @@ impl ServiceRegistry {
         let Some(record) = ServiceRecord::from_advert(origin, stream, now, default_ttl) else {
             return AdvertDisposition::Ignored;
         };
+        inner.clear_negative(record.canonical_type_symbol());
         let expires = record.expires_at();
         let (slot, outcome) = inner.store.upsert(record);
         if let Some(at) = expires {
@@ -276,21 +322,30 @@ impl ServiceRegistry {
     }
 
     /// The live record identified by `(origin, key)`, if any.
-    pub fn record(&self, origin: SdpProtocol, key: &str, now: SimTime) -> Option<ServiceRecord> {
-        self.inner.borrow().store.get(origin, key).filter(|r| !r.is_expired(now)).cloned()
+    pub fn record(
+        &self,
+        origin: SdpProtocol,
+        key: impl Into<Symbol>,
+        now: SimTime,
+    ) -> Option<ServiceRecord> {
+        self.inner.borrow().store.get(origin, key.into()).filter(|r| !r.is_expired(now)).cloned()
     }
 
     /// True when a live record of this canonical type exists.
-    pub fn contains_type(&self, canonical_type: &str, now: SimTime) -> bool {
-        self.inner.borrow().store.of_type(canonical_type).any(|r| !r.is_expired(now))
+    pub fn contains_type(&self, canonical_type: impl Into<Symbol>, now: SimTime) -> bool {
+        self.inner.borrow().store.of_type(canonical_type.into()).any(|r| !r.is_expired(now))
     }
 
     /// Live records of one canonical type, in insertion order.
-    pub fn records_of_type(&self, canonical_type: &str, now: SimTime) -> Vec<ServiceRecord> {
+    pub fn records_of_type(
+        &self,
+        canonical_type: impl Into<Symbol>,
+        now: SimTime,
+    ) -> Vec<ServiceRecord> {
         self.inner
             .borrow()
             .store
-            .of_type(canonical_type)
+            .of_type(canonical_type.into())
             .filter(|r| !r.is_expired(now))
             .cloned()
             .collect()
@@ -303,12 +358,18 @@ impl ServiceRegistry {
 
     /// The earliest-registered live record advertising `endpoint`, if
     /// any (several protocols may announce the same endpoint).
-    pub fn record_by_endpoint(&self, endpoint: &str, now: SimTime) -> Option<ServiceRecord> {
-        self.inner.borrow().store.by_endpoint(endpoint).find(|r| !r.is_expired(now)).cloned()
+    pub fn record_by_endpoint(
+        &self,
+        endpoint: impl Into<Symbol>,
+        now: SimTime,
+    ) -> Option<ServiceRecord> {
+        self.inner.borrow().store.by_endpoint(endpoint.into()).find(|r| !r.is_expired(now)).cloned()
     }
 
     /// Every live advert as `(origin, stream)`, in deterministic slab
-    /// order (the active mode re-advertises these).
+    /// order (the active mode re-advertises these). The streams are
+    /// shared buffers — this snapshot copies reference counts, not
+    /// events.
     pub fn adverts(&self, now: SimTime) -> Vec<(SdpProtocol, EventStream)> {
         self.inner
             .borrow()
@@ -324,12 +385,14 @@ impl ServiceRegistry {
     // ------------------------------------------------------------------
 
     /// Stores a response stream for `canonical_type` (LRU-bounded; the
-    /// entry expires after the configured cache TTL).
-    pub fn warm(&self, canonical_type: &str, response: EventStream, now: SimTime) {
+    /// entry expires after the configured cache TTL). Positive knowledge
+    /// also invalidates any negative-cache entry for the type.
+    pub fn warm(&self, canonical_type: impl Into<Symbol>, response: EventStream, now: SimTime) {
+        let key = canonical_type.into();
         let mut inner = self.inner.borrow_mut();
+        inner.clear_negative(key);
         let expires = now + inner.config.cache_ttl;
-        let (slot, evicted) =
-            inner.cache.insert(canonical_type.to_owned(), CachedResponse { response, expires });
+        let (slot, evicted) = inner.cache.insert(key, CachedResponse { response, expires });
         if evicted.is_some() {
             inner.stats.cache_evictions += 1;
         }
@@ -338,10 +401,15 @@ impl ServiceRegistry {
     }
 
     /// Answers a lookup from the cache, counting a hit or a miss. Expired
-    /// entries are dropped on access (lazy expiry).
-    pub fn cached_response(&self, canonical_type: &str, now: SimTime) -> Option<EventStream> {
+    /// entries are dropped on access (lazy expiry). A hit returns a cheap
+    /// clone of the shared response buffer.
+    pub fn cached_response(
+        &self,
+        canonical_type: impl Into<Symbol>,
+        now: SimTime,
+    ) -> Option<EventStream> {
+        let key = canonical_type.into();
         let mut inner = self.inner.borrow_mut();
-        let key = canonical_type.to_owned();
         match inner.cache.get(&key) {
             Some(entry) if entry.expires > now => {
                 let response = entry.response.clone();
@@ -363,8 +431,8 @@ impl ServiceRegistry {
 
     /// True when a live cache entry exists for this type (does not touch
     /// recency or counters).
-    pub fn cache_contains(&self, canonical_type: &str, now: SimTime) -> bool {
-        self.inner.borrow().cache.peek(&canonical_type.to_owned()).is_some_and(|c| c.expires > now)
+    pub fn cache_contains(&self, canonical_type: impl Into<Symbol>, now: SimTime) -> bool {
+        self.inner.borrow().cache.peek(&canonical_type.into()).is_some_and(|c| c.expires > now)
     }
 
     /// Number of cache entries currently held (live or pending expiry).
@@ -374,14 +442,63 @@ impl ServiceRegistry {
 
     /// Canonical types with a live cache entry, in deterministic slab
     /// order.
-    pub fn cached_types(&self, now: SimTime) -> Vec<String> {
-        self.inner
-            .borrow()
-            .cache
-            .iter()
-            .filter(|(_, c)| c.expires > now)
-            .map(|(k, _)| k.clone())
-            .collect()
+    pub fn cached_types(&self, now: SimTime) -> Vec<Symbol> {
+        self.inner.borrow().cache.iter().filter(|(_, c)| c.expires > now).map(|(k, _)| *k).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Negative cache
+    // ------------------------------------------------------------------
+
+    /// Remembers that a fan-out on behalf of an `origin`-protocol
+    /// request for `canonical_type` found nothing; for the configured
+    /// negative TTL, [`ServiceRegistry::cached_negative`] answers "still
+    /// nothing" without bothering the units. Scoped to the requesting
+    /// protocol: a different origin fans out to a different unit set, so
+    /// its first request must still bridge.
+    pub fn warm_negative(
+        &self,
+        origin: SdpProtocol,
+        canonical_type: impl Into<Symbol>,
+        now: SimTime,
+    ) {
+        let key = (origin, canonical_type.into());
+        let mut inner = self.inner.borrow_mut();
+        let expires = now + inner.config.negative_ttl;
+        let (slot, _evicted) = inner.negative.insert(key, expires);
+        inner.stats.negative_stored += 1;
+        let generation = inner.negative.generation(slot);
+        inner.wheel.arm(expires, Target::Negative { slot, generation });
+    }
+
+    /// True when a live "nothing found" entry exists for this (origin,
+    /// type); counts a negative hit. Expired entries are dropped on
+    /// access.
+    pub fn cached_negative(
+        &self,
+        origin: SdpProtocol,
+        canonical_type: impl Into<Symbol>,
+        now: SimTime,
+    ) -> bool {
+        let key = (origin, canonical_type.into());
+        let mut inner = self.inner.borrow_mut();
+        match inner.negative.get(&key) {
+            Some(expires) if *expires > now => {
+                inner.stats.negative_hits += 1;
+                true
+            }
+            Some(_) => {
+                inner.negative.remove(&key);
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Number of negative entries currently held (live or pending
+    /// expiry).
+    pub fn negative_len(&self) -> usize {
+        self.inner.borrow().negative.len()
     }
 
     // ------------------------------------------------------------------
@@ -390,13 +507,13 @@ impl ServiceRegistry {
 
     /// True while requests for this type are inside the suppression
     /// window armed by [`ServiceRegistry::mark_bridged`].
-    pub fn suppression_active(&self, canonical_type: &str, now: SimTime) -> bool {
-        self.inner.borrow().suppress.get(canonical_type).is_some_and(|until| *until > now)
+    pub fn suppression_active(&self, canonical_type: impl Into<Symbol>, now: SimTime) -> bool {
+        self.inner.borrow().suppress.get(&canonical_type.into()).is_some_and(|until| *until > now)
     }
 
     /// Arms the suppression window for this type until `until`.
-    pub fn mark_bridged(&self, canonical_type: &str, until: SimTime) {
-        self.inner.borrow_mut().suppress.insert(canonical_type.to_owned(), until);
+    pub fn mark_bridged(&self, canonical_type: impl Into<Symbol>, until: SimTime) {
+        self.inner.borrow_mut().suppress.insert(canonical_type.into(), until);
     }
 
     // ------------------------------------------------------------------
@@ -404,13 +521,18 @@ impl ServiceRegistry {
     // ------------------------------------------------------------------
 
     /// The projection a unit minted for `(protocol, key)`, if any.
-    pub fn projection(&self, protocol: SdpProtocol, key: &str) -> Option<Projection> {
-        self.inner.borrow_mut().projections.get(&(protocol, key.to_owned())).cloned()
+    pub fn projection(&self, protocol: SdpProtocol, key: impl Into<Symbol>) -> Option<Projection> {
+        self.inner.borrow_mut().projections.get(&(protocol, key.into())).cloned()
     }
 
     /// Stores (or replaces) the projection for `(protocol, key)`.
-    pub fn set_projection(&self, protocol: SdpProtocol, key: &str, projection: Projection) {
-        self.inner.borrow_mut().projections.insert((protocol, key.to_owned()), projection);
+    pub fn set_projection(
+        &self,
+        protocol: SdpProtocol,
+        key: impl Into<Symbol>,
+        projection: Projection,
+    ) {
+        self.inner.borrow_mut().projections.insert((protocol, key.into()), projection);
     }
 
     // ------------------------------------------------------------------
@@ -429,10 +551,11 @@ impl ServiceRegistry {
     /// its next sweep timer here).
     pub fn next_deadline(&self) -> Option<SimTime> {
         let mut inner = self.inner.borrow_mut();
-        let RegistryInner { wheel, store, cache, .. } = &mut *inner;
+        let RegistryInner { wheel, store, cache, negative, .. } = &mut *inner;
         wheel.next_deadline(|target| match *target {
             Target::Advert { slot, generation } => store.generation(slot) == generation,
             Target::Cache { slot, generation } => cache.generation(slot) == generation,
+            Target::Negative { slot, generation } => negative.generation(slot) == generation,
         })
     }
 
@@ -450,6 +573,7 @@ impl std::fmt::Debug for ServiceRegistry {
             .field("record_capacity", &inner.store.capacity())
             .field("cached_responses", &inner.cache.len())
             .field("cache_capacity", &inner.cache.capacity())
+            .field("negative_entries", &inner.negative.len())
             .field("armed_deadlines", &inner.wheel.armed())
             .field("stats", &inner.stats)
             .finish()
@@ -582,6 +706,15 @@ mod tests {
     }
 
     #[test]
+    fn cached_response_shares_the_stored_buffer() {
+        let reg = ServiceRegistry::new(RegistryConfig::default());
+        let stored = response("clock");
+        reg.warm("clock", stored.clone(), SimTime::ZERO);
+        let hit = reg.cached_response("clock", SimTime::ZERO).expect("warm");
+        assert!(hit.shares_buffer(&stored), "cache answers by reference, not copy");
+    }
+
+    #[test]
     fn cache_lru_eviction_at_capacity() {
         let config = RegistryConfig { cache_capacity: 2, ..RegistryConfig::default() };
         let reg = ServiceRegistry::new(config);
@@ -594,6 +727,56 @@ mod tests {
         assert!(reg.cache_contains("a", t));
         assert!(!reg.cache_contains("b", t), "LRU victim");
         assert!(reg.cache_contains("c", t));
+    }
+
+    #[test]
+    fn negative_cache_hits_within_ttl_and_expires() {
+        let config =
+            RegistryConfig { negative_ttl: Duration::from_secs(2), ..RegistryConfig::default() };
+        let reg = ServiceRegistry::new(config);
+        let t = SimTime::from_secs(1);
+        let slp = SdpProtocol::Slp;
+        assert!(!reg.cached_negative(slp, "toaster", t), "nothing remembered yet");
+        reg.warm_negative(slp, "toaster", t);
+        assert!(reg.cached_negative(slp, "toaster", SimTime::from_secs(2)), "within TTL");
+        assert!(
+            !reg.cached_negative(SdpProtocol::Upnp, "toaster", SimTime::from_secs(2)),
+            "scoped per requesting protocol: a UPnP request fans out differently"
+        );
+        assert!(!reg.cached_negative(slp, "toaster", SimTime::from_secs(3)), "expired");
+        assert_eq!(reg.negative_len(), 0, "expired entry dropped on access");
+        let stats = reg.stats();
+        assert_eq!(stats.negative_stored, 1);
+        assert_eq!(stats.negative_hits, 1);
+    }
+
+    #[test]
+    fn negative_entries_expire_on_the_wheel_like_positive_ones() {
+        let config =
+            RegistryConfig { negative_ttl: Duration::from_secs(2), ..RegistryConfig::default() };
+        let reg = ServiceRegistry::new(config);
+        reg.warm_negative(SdpProtocol::Slp, "toaster", SimTime::ZERO);
+        assert_eq!(reg.next_deadline(), Some(SimTime::from_secs(2)));
+        let report = reg.sweep(SimTime::from_secs(2));
+        assert_eq!(report.negative_expired, 1);
+        assert_eq!(reg.negative_len(), 0, "sweep reclaimed the entry");
+        assert_eq!(reg.next_deadline(), None);
+    }
+
+    #[test]
+    fn positive_knowledge_invalidates_negative_entries() {
+        let reg = ServiceRegistry::new(RegistryConfig::default());
+        let t = SimTime::ZERO;
+        reg.warm_negative(SdpProtocol::Upnp, "clock", t);
+        assert!(reg.cached_negative(SdpProtocol::Upnp, "clock", t));
+        // An arriving advert for the type clears the negative memory,
+        // whichever protocol's requests armed it.
+        reg.record_advert(SdpProtocol::Slp, &alive("clock", "slp://a", Some(60)), t);
+        assert!(!reg.cached_negative(SdpProtocol::Upnp, "clock", t), "advert invalidated");
+        // Same for a warmed positive response.
+        reg.warm_negative(SdpProtocol::Slp, "printer", t);
+        reg.warm("printer", response("printer"), t);
+        assert!(!reg.cached_negative(SdpProtocol::Slp, "printer", t), "warm invalidated");
     }
 
     #[test]

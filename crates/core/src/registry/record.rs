@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use indiss_net::SimTime;
 
-use crate::event::{Event, EventStream, SdpProtocol};
+use crate::event::{Event, EventStream, SdpProtocol, Symbol};
 
 /// One discovered service, as the registry stores it.
 ///
@@ -13,12 +13,17 @@ use crate::event::{Event, EventStream, SdpProtocol};
 /// keeps the normalized fields every SDP understands — canonical type,
 /// endpoint, attributes, TTL — plus the original stream so composers can
 /// re-emit protocol-specific events (USNs, leases, …) faithfully.
+///
+/// Identity fields are interned [`Symbol`]s, so inserting a record never
+/// clones type or key strings and the store's secondary indexes hash one
+/// machine word; the advert stream itself is a shared buffer, so keeping
+/// it costs a reference count, not a copy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceRecord {
-    canonical_type: String,
+    canonical_type: Symbol,
     origin: SdpProtocol,
-    key: String,
-    endpoint: Option<String>,
+    key: Symbol,
+    endpoint: Option<Symbol>,
     attrs: Vec<(String, String)>,
     advert: EventStream,
     registered_at: SimTime,
@@ -49,10 +54,10 @@ impl ServiceRecord {
             })
             .or(default_ttl);
         Some(ServiceRecord {
-            canonical_type: stream.service_type().unwrap_or_default().to_owned(),
+            canonical_type: stream.service_type_symbol().unwrap_or_else(|| Symbol::intern("")),
             origin,
             key,
-            endpoint: stream.service_url().map(str::to_owned),
+            endpoint: stream.service_url().map(Symbol::intern),
             attrs: stream
                 .response_attrs()
                 .into_iter()
@@ -67,7 +72,12 @@ impl ServiceRecord {
 
     /// The canonical short type name (`clock`, `printer`).
     pub fn canonical_type(&self) -> &str {
-        &self.canonical_type
+        self.canonical_type.as_str()
+    }
+
+    /// The canonical type as an interned symbol (index key).
+    pub fn canonical_type_symbol(&self) -> Symbol {
+        self.canonical_type
     }
 
     /// Which protocol announced the service.
@@ -78,12 +88,22 @@ impl ServiceRecord {
     /// The protocol-scoped identity the record is keyed by (USN, service
     /// URL or canonical type, in that preference order).
     pub fn key(&self) -> &str {
-        &self.key
+        self.key.as_str()
+    }
+
+    /// The record key as an interned symbol (index key).
+    pub fn key_symbol(&self) -> Symbol {
+        self.key
     }
 
     /// The service endpoint URL, when the advert carried one.
     pub fn endpoint(&self) -> Option<&str> {
-        self.endpoint.as_deref()
+        self.endpoint.map(Symbol::as_str)
+    }
+
+    /// The endpoint as an interned symbol (index key).
+    pub fn endpoint_symbol(&self) -> Option<Symbol> {
+        self.endpoint
     }
 
     /// Attributes carried by the advert.
@@ -127,17 +147,18 @@ impl ServiceRecord {
 
 /// Extracts the identity an advert stream is keyed by: the UPnP USN when
 /// present (it survives description fetches), else the service URL, else
-/// the canonical type.
-pub fn advert_key(stream: &EventStream) -> Option<String> {
+/// the canonical type. The USN and type are already interned in the
+/// event; only a URL key pays an interning lookup.
+pub fn advert_key(stream: &EventStream) -> Option<Symbol> {
     stream
         .events()
         .iter()
         .find_map(|e| match e {
-            Event::UpnpUsn(u) => Some(u.clone()),
+            Event::UpnpUsn(u) => Some(*u),
             _ => None,
         })
-        .or_else(|| stream.service_url().map(str::to_owned))
-        .or_else(|| stream.service_type().map(str::to_owned))
+        .or_else(|| stream.service_url().map(Symbol::intern))
+        .or_else(|| stream.service_type_symbol())
 }
 
 #[cfg(test)]
@@ -173,6 +194,14 @@ mod tests {
     }
 
     #[test]
+    fn record_shares_the_advert_buffer() {
+        let stream = alive(Some(60));
+        let r = ServiceRecord::from_advert(SdpProtocol::Slp, &stream, SimTime::ZERO, None)
+            .expect("keyed");
+        assert!(r.advert().shares_buffer(&stream), "no deep copy on insert");
+    }
+
+    #[test]
     fn usn_wins_as_key() {
         let stream = EventStream::framed(vec![
             Event::ServiceAlive,
@@ -180,7 +209,7 @@ mod tests {
             Event::UpnpUsn("uuid:abc::urn:x".into()),
             Event::ResServUrl("soap://h/ctl".into()),
         ]);
-        assert_eq!(advert_key(&stream).as_deref(), Some("uuid:abc::urn:x"));
+        assert_eq!(advert_key(&stream).map(Symbol::as_str), Some("uuid:abc::urn:x"));
     }
 
     #[test]

@@ -29,7 +29,7 @@ use indiss_net::{Completion, Datagram, Node, SimTime, World};
 use crate::adapt::DiscoveryMode;
 use crate::config::{IndissConfig, UnitSpec};
 use crate::error::{CoreError, CoreResult};
-use crate::event::{EventStream, SdpProtocol};
+use crate::event::{Event, EventStream, SdpProtocol};
 use crate::monitor::Monitor;
 use crate::registry::ServiceRegistry;
 use crate::units::{JiniUnit, ParsedMessage, SlpUnit, Unit, UpnpUnit};
@@ -47,6 +47,9 @@ pub struct BridgeStats {
     pub cache_hits: u64,
     /// Cache lookups that found nothing usable.
     pub cache_misses: u64,
+    /// Requests answered "nothing found" by the negative cache, without
+    /// fanning out to the units.
+    pub negative_hits: u64,
     /// Cache entries evicted by the LRU capacity bound.
     pub cache_evictions: u64,
     /// Cache entries dropped because their TTL elapsed.
@@ -163,6 +166,7 @@ impl Indiss {
         stats.cache_misses = reg.cache_misses;
         stats.cache_evictions = reg.cache_evictions;
         stats.cache_expired = reg.cache_expired;
+        stats.negative_hits = reg.negative_hits;
         stats.records_expired = reg.records_expired;
         stats.records_evicted = reg.records_evicted;
         stats
@@ -173,9 +177,17 @@ impl Indiss {
         self.inner.borrow().mode
     }
 
-    /// Mode transitions with their timestamps (Fig. 6 evidence).
+    /// Mode transitions with their timestamps (Fig. 6 evidence), as an
+    /// owned snapshot. Convenience wrapper over
+    /// [`Indiss::with_mode_log`]; prefer the borrow-based accessor
+    /// anywhere called repeatedly.
     pub fn mode_log(&self) -> Vec<(SimTime, DiscoveryMode)> {
-        self.inner.borrow().mode_log.clone()
+        self.with_mode_log(<[_]>::to_vec)
+    }
+
+    /// Runs `f` over the mode-transition log without cloning it.
+    pub fn with_mode_log<R>(&self, f: impl FnOnce(&[(SimTime, DiscoveryMode)]) -> R) -> R {
+        f(&self.inner.borrow().mode_log)
     }
 
     /// Protocols with an instantiated unit.
@@ -281,10 +293,11 @@ impl Indiss {
         }
     }
 
-    /// Bridges a request: registry cache first, then fan out to all other
-    /// units; the first successful response wins. When `custom_reply` is
-    /// given (Jini registrar path), the response events are handed back
-    /// instead of composed by the origin unit.
+    /// Bridges a request: registry cache first (positive, then negative),
+    /// then fan out to all other units; the first successful response
+    /// wins. When `custom_reply` is given (Jini registrar path), the
+    /// response events are handed back instead of composed by the origin
+    /// unit.
     fn bridge_request(
         &self,
         world: &World,
@@ -304,26 +317,31 @@ impl Indiss {
             (inner.registry.clone(), units, inner.config.enable_cache, inner.config.suppress_window)
         };
 
-        let cached = if enable_cache {
-            request.service_type().and_then(|t| registry.cached_response(t, now))
-        } else {
-            None
-        };
+        let stype = request.service_type_symbol();
+        let cached =
+            if enable_cache { stype.and_then(|t| registry.cached_response(t, now)) } else { None };
+        // Negative cache: a recent fan-out for this (origin, type) found
+        // nothing; answer "still nothing" without bothering the units
+        // again.
+        let negative = cached.is_none()
+            && enable_cache
+            && stype.is_some_and(|t| registry.cached_negative(origin, t, now));
         // Loop protection: a request for a type we just bridged is a
         // likely echo of our own (or a sibling bridge's) synthesized
         // traffic; do not re-bridge it unless the cache can answer.
         let suppressed = cached.is_none()
-            && request.service_type().is_some_and(|t| registry.suppression_active(t, now));
+            && !negative
+            && stype.is_some_and(|t| registry.suppression_active(t, now));
         {
             let mut inner = self.inner.borrow_mut();
             if suppressed {
                 inner.stats.requests_suppressed += 1;
-            } else {
+            } else if !negative {
                 inner.stats.requests_bridged += 1;
             }
         }
-        if !suppressed {
-            if let Some(t) = request.service_type() {
+        if !suppressed && !negative {
+            if let Some(t) = stype {
                 registry.mark_bridged(t, now + suppress_window);
             }
         }
@@ -332,7 +350,18 @@ impl Indiss {
             self.deliver(world, origin, &request, &response, custom_reply);
             return;
         }
-        if suppressed || units.is_empty() {
+        if negative || suppressed || units.is_empty() {
+            // "Nothing found" is silence on the multicast protocols, but
+            // a custom replier (the Jini registrar path) must still be
+            // answered so its client is not left hanging — whichever of
+            // the three short-circuits fired.
+            if let Some(reply) = custom_reply {
+                reply.complete(EventStream::framed(vec![
+                    Event::NetType(origin),
+                    Event::ServiceResponse,
+                    Event::ResErr(404),
+                ]));
+            }
             return;
         }
 
@@ -363,9 +392,17 @@ impl Indiss {
         let this = self.clone();
         let world2 = world.clone();
         winner.subscribe(move |response| {
-            if enable_cache && response.service_url().is_some() {
-                if let Some(t) = response.service_type().or(request.service_type()) {
-                    registry.warm(t, response.clone(), world2.now());
+            if enable_cache {
+                if response.service_url().is_some() {
+                    if let Some(t) = response.service_type_symbol().or(stype) {
+                        registry.warm(t, response.clone(), world2.now());
+                        this.schedule_sweep(&world2);
+                    }
+                } else if let Some(t) = stype {
+                    // Every unit came back empty: remember the miss so a
+                    // request storm for this absent type stops fanning
+                    // out (short TTL; adverts invalidate eagerly).
+                    registry.warm_negative(origin, t, world2.now());
                     this.schedule_sweep(&world2);
                 }
             }
@@ -420,7 +457,7 @@ impl Indiss {
         };
         // A full advert (with endpoint) warms the cache too.
         if enable_cache && stream.is_alive() && stream.service_url().is_some() {
-            if let Some(t) = stream.service_type() {
+            if let Some(t) = stream.service_type_symbol() {
                 registry.warm(t, stream.clone(), now);
             }
         }
@@ -438,7 +475,7 @@ impl Indiss {
         if !enable_cache || stream.service_url().is_none() {
             return;
         }
-        if let Some(t) = stream.service_type() {
+        if let Some(t) = stream.service_type_symbol() {
             registry.warm(t, stream.clone(), world.now());
             self.schedule_sweep(world);
         }
@@ -655,6 +692,86 @@ mod tests {
         world.run_for(Duration::from_secs(2));
         assert!(!first.is_complete());
         assert!(done.take().unwrap().urls.is_empty());
+    }
+
+    /// A storm of requests for an absent type fans out once; while the
+    /// negative TTL holds, repeats are answered from the "nothing found"
+    /// memory without bridging (and counted as negative hits).
+    #[test]
+    fn absent_type_storm_is_absorbed_by_the_negative_cache() {
+        let world = World::new(80);
+        let client_node = world.add_node("slp-client");
+        let bridge_node = world.add_node("gateway");
+        let indiss = Indiss::deploy(
+            &bridge_node,
+            IndissConfig::slp_upnp().with_negative_ttl(Duration::from_secs(30)),
+        )
+        .unwrap();
+        let ua = UserAgent::start(&client_node, SlpConfig::default()).unwrap();
+
+        // First request: fans out, fails everywhere, arms the negative
+        // cache (run past the suppression window between requests).
+        let (_f, d) = ua.find_services(&world, "service:toaster", "");
+        world.run_for(Duration::from_secs(1));
+        assert!(d.take().unwrap().urls.is_empty());
+        assert_eq!(indiss.stats().requests_bridged, 1);
+
+        // The storm: each repeat is a negative hit, not a new fan-out.
+        for _ in 0..5 {
+            let (_f, d) = ua.find_services(&world, "service:toaster", "");
+            world.run_for(Duration::from_secs(1));
+            assert!(d.take().unwrap().urls.is_empty());
+        }
+        let stats = indiss.stats();
+        assert_eq!(stats.requests_bridged, 1, "no further fan-outs: {stats:?}");
+        assert_eq!(stats.negative_hits, 5, "storm absorbed: {stats:?}");
+    }
+
+    /// A Jini client whose lookup cannot be bridged (no foreign units
+    /// configured) still gets an answer — an empty reply, not a hang:
+    /// every bridge short-circuit (cache-negative, suppressed, no units)
+    /// completes the custom reply channel.
+    #[test]
+    fn jini_lookup_with_no_foreign_units_gets_an_empty_reply() {
+        let world = World::new(82);
+        let gw = world.add_node("gateway");
+        let client_node = world.add_node("jini-client");
+        let _indiss = Indiss::deploy(&gw, IndissConfig::new().with_jini()).unwrap();
+        let client =
+            indiss_jini::JiniAgent::start(&client_node, indiss_jini::JiniConfig::default())
+                .unwrap();
+        let found = client.lookup("clock");
+        world.run_for(Duration::from_secs(2));
+        let items = found.take().expect("lookup answered, not left hanging");
+        assert!(items.is_empty(), "nothing bridged, honest empty reply");
+    }
+
+    /// A service appearing right after a negative outcome is visible
+    /// immediately: its advert invalidates the negative entry.
+    #[test]
+    fn advert_invalidates_negative_outcome() {
+        let world = World::new(81);
+        let client_node = world.add_node("slp-client");
+        let host = world.add_node("clock-host");
+        let indiss = Indiss::deploy(
+            &host,
+            IndissConfig::slp_upnp().with_negative_ttl(Duration::from_secs(120)),
+        )
+        .unwrap();
+        let ua = UserAgent::start(&client_node, SlpConfig::default()).unwrap();
+
+        let (_f, d) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(1));
+        assert!(d.take().unwrap().urls.is_empty(), "nothing there yet");
+        assert!(indiss.registry().negative_len() >= 1, "negative outcome remembered");
+
+        // The clock appears and announces itself; the NOTIFY clears the
+        // negative memory, so the next request bridges again and wins.
+        let _clock = ClockDevice::start(&host, UpnpConfig::default()).unwrap();
+        world.run_for(Duration::from_secs(1));
+        let (_f, d) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(2));
+        assert_eq!(d.take().unwrap().urls.len(), 1, "visible immediately");
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Interned string symbols for the event pipeline's high-churn payloads.
+//!
+//! Service types, UPnP search targets and USNs, and SLP scope lists are
+//! parsed out of every datagram, cloned into every [`crate::Event`]
+//! stream hop, and used as hash keys throughout the registry. Interning
+//! them collapses all of that to a copyable [`Symbol`]: equal strings
+//! intern to the *same* symbol, so cloning is a pointer copy, equality is
+//! a pointer compare, and hashing hashes one machine word instead of the
+//! string bytes.
+//!
+//! The interner is process-wide (a mutex-guarded table) rather than
+//! thread-local so that symbol identity — and therefore `Eq`/`Hash` —
+//! holds across threads; this pre-paves the ROADMAP's multi-threaded
+//! runtime, where event streams move between shards.
+//!
+//! **Memory tradeoff.** Interned strings are leaked and live for the
+//! process lifetime. For the steady vocabulary (canonical types, scope
+//! lists, search targets) that is exactly right; but some interned
+//! inputs are network-derived and unbounded over time — fresh USNs from
+//! device churn, endpoint URLs, and the type names of requests that
+//! match nothing. The registry's stores are capacity-bounded, the
+//! interner is not: a long-lived gateway on a hostile or high-churn
+//! network grows it monotonically (at small per-entry cost, observable
+//! via [`Symbol::interned_count`]/[`Symbol::interned_bytes`]). The
+//! ROADMAP tracks the follow-on — an epoch/GC interner that drops
+//! entries no live `Symbol` references — which can land behind this same
+//! API.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, OnceLock};
+
+/// An interned, immutable string. `Copy`, pointer-sized equality and
+/// hashing; derefs to `str` for use anywhere a string slice fits.
+#[derive(Clone, Copy, Eq)]
+pub struct Symbol(&'static str);
+
+fn interner() -> &'static Mutex<HashSet<&'static str>> {
+    static INTERNER: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+impl Symbol {
+    /// Interns `s`, returning the canonical symbol for its contents.
+    /// Repeated interns of equal strings return identical symbols.
+    pub fn intern(s: &str) -> Symbol {
+        let mut table = interner().lock().expect("interner poisoned");
+        match table.get(s) {
+            Some(&canonical) => Symbol(canonical),
+            None => {
+                let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+                table.insert(leaked);
+                Symbol(leaked)
+            }
+        }
+    }
+
+    /// Interns an owned string, reusing its allocation when the symbol is
+    /// new.
+    pub fn from_owned(s: String) -> Symbol {
+        let mut table = interner().lock().expect("interner poisoned");
+        match table.get(s.as_str()) {
+            Some(&canonical) => Symbol(canonical),
+            None => {
+                let leaked: &'static str = Box::leak(s.into_boxed_str());
+                table.insert(leaked);
+                Symbol(leaked)
+            }
+        }
+    }
+
+    /// Interns the ASCII-lowercase form of `s`, skipping the lowering
+    /// allocation when `s` is already lowercase (the common case on the
+    /// per-datagram canonicalization path).
+    pub fn intern_lowercase(s: &str) -> Symbol {
+        if s.bytes().any(|b| b.is_ascii_uppercase()) {
+            Symbol::from_owned(s.to_ascii_lowercase())
+        } else {
+            Symbol::intern(s)
+        }
+    }
+
+    /// The interned string. `'static`: symbols never expire.
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+
+    /// Number of distinct strings interned so far (process-wide).
+    pub fn interned_count() -> usize {
+        interner().lock().expect("interner poisoned").len()
+    }
+
+    /// Total bytes of interned string data held for the process
+    /// lifetime — the observable cost of the leak-based design.
+    pub fn interned_bytes() -> usize {
+        interner().lock().expect("interner poisoned").iter().map(|s| s.len()).sum()
+    }
+}
+
+impl Default for Symbol {
+    /// The empty symbol.
+    fn default() -> Symbol {
+        Symbol::intern("")
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Symbol) -> bool {
+        // Interning guarantees one canonical allocation per contents, so
+        // pointer identity is string equality.
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl Hash for Symbol {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (self.0.as_ptr() as usize).hash(state);
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Symbol) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    /// Orders by contents (not pointer), keeping sorted views
+    /// deterministic across runs.
+    fn cmp(&self, other: &Symbol) -> std::cmp::Ordering {
+        self.0.cmp(other.0)
+    }
+}
+
+impl std::ops::Deref for Symbol {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.0
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.0
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::from_owned(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.0, f)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(sym: Symbol) -> u64 {
+        let mut h = DefaultHasher::new();
+        sym.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_strings_intern_to_identical_symbols() {
+        let a = Symbol::intern("clock");
+        let b = Symbol::intern("clock");
+        let c = Symbol::from_owned("clock".to_owned());
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(hash_of(a), hash_of(b));
+        assert!(std::ptr::eq(a.as_str(), b.as_str()), "one canonical allocation");
+    }
+
+    #[test]
+    fn distinct_strings_intern_distinct() {
+        assert_ne!(Symbol::intern("clock"), Symbol::intern("printer"));
+    }
+
+    #[test]
+    fn symbols_behave_like_strings() {
+        let s = Symbol::intern("service:clock");
+        assert_eq!(s, "service:clock");
+        assert_eq!(s.len(), 13);
+        assert!(s.starts_with("service:"));
+        assert_eq!(s.to_string(), "service:clock");
+        assert_eq!(format!("{s:?}"), "\"service:clock\"");
+    }
+
+    #[test]
+    fn ordering_is_by_contents() {
+        let mut v = [Symbol::intern("b"), Symbol::intern("a"), Symbol::intern("c")];
+        v.sort();
+        assert_eq!(v.iter().map(|s| s.as_str()).collect::<Vec<_>>(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn symbols_are_identical_across_threads() {
+        let here = Symbol::intern("cross-thread-type");
+        let there =
+            std::thread::spawn(|| Symbol::intern("cross-thread-type")).join().expect("thread");
+        assert_eq!(here, there, "process-wide identity");
+    }
+}

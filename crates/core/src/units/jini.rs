@@ -18,7 +18,7 @@ use std::time::Duration;
 use indiss_jini::{JiniPacket, ServiceItem, JINI_PORT, JINI_REQUEST_GROUP};
 use indiss_net::{Completion, Datagram, NetResult, Node, UdpSocket, World};
 
-use crate::event::{Event, EventStream, SdpProtocol};
+use crate::event::{Event, EventStream, SdpProtocol, Symbol};
 use crate::registry::{Projection, RegistryConfig, ServiceRegistry};
 use crate::units::{ParsedMessage, Unit};
 
@@ -208,7 +208,7 @@ impl JiniUnit {
             self.send(&JiniPacket::LookupReply { items: Vec::new() }, requester);
             return;
         };
-        let canonical = service_type.to_ascii_lowercase();
+        let canonical = Symbol::intern_lowercase(service_type);
         let request = EventStream::framed(vec![
             Event::NetType(SdpProtocol::Jini),
             Event::NetUnicast,
@@ -235,14 +235,14 @@ fn advert_events_from_item(item: &ServiceItem, src: SocketAddrV4, lease: u32) ->
         Event::NetUnicast,
         Event::NetSourceAddr(src),
         Event::ServiceAlive,
-        Event::ServiceType(item.service_type.to_ascii_lowercase()),
+        Event::ServiceType(Symbol::intern_lowercase(&item.service_type)),
         Event::JiniServiceId(item.service_id),
         Event::JiniLease(lease),
         Event::ResTtl(lease),
         Event::ResServUrl(endpoint_to_url(&item.endpoint)),
     ];
     for (tag, value) in &item.attributes {
-        body.push(Event::ResAttr { tag: tag.clone(), value: value.clone() });
+        body.push(Event::ResAttr { tag: tag.as_str().into(), value: value.as_str().into() });
     }
     EventStream::framed(body)
 }
@@ -309,7 +309,7 @@ impl Unit for JiniUnit {
     }
 
     fn execute_query(&self, world: &World, request: &EventStream, reply: Completion<EventStream>) {
-        let Some(canonical) = request.service_type().map(str::to_owned) else {
+        let Some(canonical) = request.service_type_symbol() else {
             reply.complete(EventStream::framed(vec![Event::ServiceResponse, Event::ResErr(2)]));
             return;
         };
@@ -333,24 +333,28 @@ impl Unit for JiniUnit {
         let this = self.clone();
         let lookup_done: Completion<Vec<ServiceItem>> = Completion::new();
         let lookup_done2 = lookup_done.clone();
-        let canonical2 = canonical.clone();
         registrar_known.subscribe(move |registrar| {
             this.inner.borrow_mut().pending_lookups.push(lookup_done2.clone());
-            this.send(&JiniPacket::Lookup { service_type: canonical2.clone() }, registrar);
+            this.send(
+                &JiniPacket::Lookup { service_type: canonical.as_str().to_owned() },
+                registrar,
+            );
         });
         // Step 3: translate items to response events.
         let reply2 = reply.clone();
-        let canonical3 = canonical.clone();
         lookup_done.subscribe(move |items| {
             let mut body = vec![Event::NetType(SdpProtocol::Jini), Event::ServiceResponse];
             match items.first() {
                 Some(item) => {
                     body.push(Event::ResOk);
-                    body.push(Event::ServiceType(canonical3.clone()));
+                    body.push(Event::ServiceType(canonical));
                     body.push(Event::JiniServiceId(item.service_id));
                     body.push(Event::ResTtl(300));
                     for (tag, value) in &item.attributes {
-                        body.push(Event::ResAttr { tag: tag.clone(), value: value.clone() });
+                        body.push(Event::ResAttr {
+                            tag: tag.as_str().into(),
+                            value: value.as_str().into(),
+                        });
                     }
                     body.push(Event::ResServUrl(endpoint_to_url(&item.endpoint)));
                 }

@@ -20,7 +20,7 @@ use std::net::SocketAddrV4;
 
 use indiss_net::{Completion, Datagram, World};
 
-use crate::event::{EventStream, SdpProtocol};
+use crate::event::{EventStream, SdpProtocol, Symbol};
 use crate::registry::ServiceRegistry;
 
 /// Result of feeding a raw native message to a unit's parser.
@@ -87,22 +87,24 @@ pub trait Unit {
 }
 
 /// Extracts the canonical short type name (`clock`, `printer`) from a
-/// protocol-specific service type string.
-pub(crate) fn canonical_type_from_slp(service_type: &str) -> String {
+/// protocol-specific service type string, interned for the pipeline.
+pub(crate) fn canonical_type_from_slp(service_type: &str) -> Symbol {
     // "service:clock:soap" → "clock"; "service:clock" → "clock"; "clock" → "clock"
     let stripped = service_type.strip_prefix("service:").unwrap_or(service_type);
-    stripped.split(':').next().unwrap_or(stripped).to_ascii_lowercase()
+    Symbol::intern_lowercase(stripped.split(':').next().unwrap_or(stripped))
 }
 
 /// Extracts the canonical short type from an SSDP search target.
-pub(crate) fn canonical_type_from_target(st: &indiss_ssdp::SearchTarget) -> Option<String> {
+pub(crate) fn canonical_type_from_target(st: &indiss_ssdp::SearchTarget) -> Option<Symbol> {
     use indiss_ssdp::SearchTarget;
     match st {
         SearchTarget::DeviceType { name, .. } | SearchTarget::ServiceType { name, .. } => {
-            Some(name.to_ascii_lowercase())
+            Some(Symbol::intern_lowercase(name))
         }
         // The paper's own trace uses the vendor target `upnp:clock`.
-        SearchTarget::Custom(s) => Some(s.strip_prefix("upnp:").unwrap_or(s).to_ascii_lowercase()),
+        SearchTarget::Custom(s) => {
+            Some(Symbol::intern_lowercase(s.strip_prefix("upnp:").unwrap_or(s)))
+        }
         SearchTarget::All | SearchTarget::RootDevice | SearchTarget::Uuid(_) => None,
     }
 }

@@ -12,7 +12,7 @@ use indiss_slp::{
     SLP_MULTICAST_GROUP, SLP_PORT,
 };
 
-use crate::event::{Event, EventStream, SdpProtocol};
+use crate::event::{Event, EventStream, EventStreamBuilder, SdpProtocol, Symbol};
 use crate::registry::{Projection, RegistryConfig, ServiceRegistry};
 use crate::units::{canonical_type_from_slp, ParsedMessage, Unit};
 
@@ -45,7 +45,7 @@ impl Default for SlpUnitConfig {
 struct PendingQuery {
     reply: Completion<EventStream>,
     urls: Vec<UrlEntry>,
-    canonical_type: String,
+    canonical_type: Symbol,
     /// Set once we issued the follow-up AttrRqst (process translation:
     /// a complete bridged answer needs attributes too).
     awaiting_attrs: Option<String>,
@@ -121,17 +121,18 @@ impl SlpUnit {
         if canonical == "directory-agent" || canonical == "service-agent" {
             return ParsedMessage::NotRelevant; // infrastructure discovery
         }
-        let mut body = vec![Event::NetType(SdpProtocol::Slp)];
+        let mut body = EventStreamBuilder::with_capacity(10);
+        body.push(Event::NetType(SdpProtocol::Slp));
         body.push(if dgram.is_multicast() { Event::NetMulticast } else { Event::NetUnicast });
         body.push(Event::NetSourceAddr(dgram.src));
         body.push(Event::ServiceRequest);
         body.push(Event::SlpReqVersion(indiss_slp::SLP_VERSION));
-        body.push(Event::SlpReqScope(req.scopes.clone()));
+        body.push(Event::SlpReqScope(req.scopes.as_str().into()));
         body.push(Event::SlpReqPredicate(req.predicate.clone()));
         body.push(Event::SlpReqId(header.xid));
         body.push(Event::ReqLang(header.lang.clone()));
         body.push(Event::ServiceType(canonical));
-        ParsedMessage::Request(EventStream::framed(body))
+        ParsedMessage::Request(body.build())
     }
 
     fn parse_advert_events(
@@ -155,7 +156,10 @@ impl SlpUnit {
         if let Ok(list) = AttributeList::parse(attrs) {
             for attr in list.iter() {
                 for value in &attr.values {
-                    body.push(Event::ResAttr { tag: attr.tag.clone(), value: value.clone() });
+                    body.push(Event::ResAttr {
+                        tag: attr.tag.as_str().into(),
+                        value: value.as_str().into(),
+                    });
                 }
             }
         }
@@ -276,14 +280,17 @@ impl SlpUnit {
                     Event::NetType(SdpProtocol::Slp),
                     Event::ServiceResponse,
                     Event::ResOk,
-                    Event::ServiceType(pending.canonical_type.clone()),
+                    Event::ServiceType(pending.canonical_type),
                 ];
                 let entry = &pending.urls[0];
                 body.push(Event::ResTtl(u32::from(entry.lifetime)));
                 body.push(Event::ResServUrl(entry.url.clone()));
                 for attr in attrs.iter() {
                     for value in &attr.values {
-                        body.push(Event::ResAttr { tag: attr.tag.clone(), value: value.clone() });
+                        body.push(Event::ResAttr {
+                            tag: attr.tag.as_str().into(),
+                            value: value.as_str().into(),
+                        });
                     }
                 }
                 pending.reply.complete(EventStream::framed(body));
@@ -368,7 +375,7 @@ impl Unit for SlpUnit {
     }
 
     fn execute_query(&self, world: &World, request: &EventStream, reply: Completion<EventStream>) {
-        let Some(canonical) = request.service_type().map(str::to_owned) else {
+        let Some(canonical) = request.service_type_symbol() else {
             reply.complete(EventStream::framed(vec![Event::ServiceResponse, Event::ResErr(2)]));
             return;
         };
@@ -542,7 +549,7 @@ mod tests {
             panic!("expected request, got {parsed:?}");
         };
         assert_eq!(
-            stream.names(),
+            stream.names().collect::<Vec<_>>(),
             vec![
                 "SDP_C_START",
                 "SDP_NET_TYPE",

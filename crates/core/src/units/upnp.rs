@@ -25,7 +25,7 @@ use indiss_ssdp::{
 };
 use indiss_upnp::{DeviceDescription, HttpServer, ServiceDescription};
 
-use crate::event::{Event, EventStream, ParserKind, SdpProtocol};
+use crate::event::{Event, EventStream, EventStreamBuilder, ParserKind, SdpProtocol, Symbol};
 use crate::fsm::{Fsm, FsmBuilder, Trigger};
 use crate::registry::{Projection, RegistryConfig, ServiceRegistry};
 use crate::units::{canonical_type_from_target, ParsedMessage, Unit};
@@ -67,9 +67,9 @@ impl Default for UpnpUnitConfig {
 /// previous states are recorded using state variables").
 #[derive(Default)]
 struct QueryVars {
-    canonical: String,
+    canonical: Symbol,
     location: Option<String>,
-    usn: Option<String>,
+    usn: Option<Symbol>,
     ttl: Option<u32>,
     attrs: Vec<(String, String)>,
     endpoint: Option<String>,
@@ -81,6 +81,39 @@ enum QueryCmd {
     FetchDescription(String),
     /// The process is complete; build and deliver the response stream.
     Finish,
+}
+
+/// One in-flight query process: the coordination FSM, its state
+/// variables and a command scratch buffer reused across every stream
+/// the session feeds (SSDP first, XML after the parser switch).
+struct QuerySession {
+    fsm: RefCell<Fsm<QueryVars, QueryCmd>>,
+    vars: RefCell<QueryVars>,
+    scratch: RefCell<Vec<QueryCmd>>,
+}
+
+impl QuerySession {
+    fn new(canonical: Symbol) -> QuerySession {
+        QuerySession {
+            fsm: RefCell::new(query_fsm()),
+            vars: RefCell::new(QueryVars { canonical, ..QueryVars::default() }),
+            scratch: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Feeds a stream through the FSM, handing out the scratch buffer
+    /// with the emitted commands. The caller drains it and gives the
+    /// capacity back via [`QuerySession::recycle`] (commands may
+    /// re-enter the session, so it cannot stay borrowed).
+    fn feed(&self, stream: &EventStream) -> Vec<QueryCmd> {
+        let mut cmds = std::mem::take(&mut *self.scratch.borrow_mut());
+        self.fsm.borrow_mut().feed_all(stream.events(), &mut self.vars.borrow_mut(), &mut cmds);
+        cmds
+    }
+
+    fn recycle(&self, cmds: Vec<QueryCmd>) {
+        *self.scratch.borrow_mut() = cmds;
+    }
 }
 
 /// Builds the UPnP query-side DFA:
@@ -97,12 +130,10 @@ fn query_fsm() -> Fsm<QueryVars, QueryCmd> {
             "await_search",
             crate::event::EventKind::UpnpDeviceUrlDesc,
             "fetching",
-            Rc::new(|vars: &mut QueryVars, e: &Event| {
+            Rc::new(|vars: &mut QueryVars, e: &Event, out: &mut Vec<QueryCmd>| {
                 if let Event::UpnpDeviceUrlDesc(url) = e {
                     vars.location = Some(url.clone());
-                    vec![QueryCmd::FetchDescription(url.clone())]
-                } else {
-                    vec![]
+                    out.push(QueryCmd::FetchDescription(url.clone()));
                 }
             }),
         )
@@ -112,11 +143,10 @@ fn query_fsm() -> Fsm<QueryVars, QueryCmd> {
             Trigger::Kind(crate::event::EventKind::UpnpUsn),
             None,
             "await_search",
-            Some(Rc::new(|vars: &mut QueryVars, e: &Event| {
+            Some(Rc::new(|vars: &mut QueryVars, e: &Event, _: &mut Vec<QueryCmd>| {
                 if let Event::UpnpUsn(u) = e {
-                    vars.usn = Some(u.clone());
+                    vars.usn = Some(*u);
                 }
-                vec![]
             })),
         )
         .tuple(
@@ -124,11 +154,10 @@ fn query_fsm() -> Fsm<QueryVars, QueryCmd> {
             Trigger::Kind(crate::event::EventKind::ResTtl),
             None,
             "await_search",
-            Some(Rc::new(|vars: &mut QueryVars, e: &Event| {
+            Some(Rc::new(|vars: &mut QueryVars, e: &Event, _: &mut Vec<QueryCmd>| {
                 if let Event::ResTtl(t) = e {
                     vars.ttl = Some(*t);
                 }
-                vec![]
             })),
         )
         .tuple(
@@ -136,11 +165,10 @@ fn query_fsm() -> Fsm<QueryVars, QueryCmd> {
             Trigger::Kind(crate::event::EventKind::ResAttr),
             None,
             "fetching",
-            Some(Rc::new(|vars: &mut QueryVars, e: &Event| {
+            Some(Rc::new(|vars: &mut QueryVars, e: &Event, _: &mut Vec<QueryCmd>| {
                 if let Event::ResAttr { tag, value } = e {
-                    vars.attrs.push((tag.clone(), value.clone()));
+                    vars.attrs.push((tag.to_string(), value.to_string()));
                 }
-                vec![]
             })),
         )
         // The event the whole process works towards (§2.4).
@@ -148,11 +176,11 @@ fn query_fsm() -> Fsm<QueryVars, QueryCmd> {
             "fetching",
             crate::event::EventKind::ResServUrl,
             "done",
-            Rc::new(|vars: &mut QueryVars, e: &Event| {
+            Rc::new(|vars: &mut QueryVars, e: &Event, out: &mut Vec<QueryCmd>| {
                 if let Event::ResServUrl(u) = e {
                     vars.endpoint = Some(u.clone());
                 }
-                vec![QueryCmd::Finish]
+                out.push(QueryCmd::Finish);
             }),
         )
         .build()
@@ -256,44 +284,52 @@ impl UpnpUnit {
 
     /// Parses an SSDP search response into events (§2.4 step 2's list).
     fn response_events(resp: &SearchResponse, src: SocketAddrV4) -> EventStream {
-        let mut body = vec![
-            Event::NetType(SdpProtocol::Upnp),
-            Event::NetUnicast,
-            Event::NetSourceAddr(src),
-            Event::ServiceResponse,
-        ];
+        let mut body = EventStreamBuilder::with_capacity(9);
+        body.push(Event::NetType(SdpProtocol::Upnp));
+        body.push(Event::NetUnicast);
+        body.push(Event::NetSourceAddr(src));
+        body.push(Event::ServiceResponse);
         if let Some(t) = canonical_type_from_target(&resp.st) {
             body.push(Event::ServiceType(t));
         }
-        body.push(Event::UpnpUsn(resp.usn.clone()));
+        body.push(Event::UpnpUsn(resp.usn.as_str().into()));
         body.push(Event::UpnpServer(resp.server.clone()));
         body.push(Event::ResTtl(resp.max_age));
         body.push(Event::UpnpDeviceUrlDesc(resp.location.clone()));
-        EventStream::framed(body)
+        body.build()
     }
 
     /// Parses a fetched description into the XML-side events: the stream
     /// opens with `SDP_C_PARSER_SWITCH` (the SSDP parser handed over) and
     /// works towards `SDP_RES_SERV_URL`.
     fn description_events(desc: &DeviceDescription, location: &str) -> EventStream {
-        let mut body = vec![Event::SocketSwitch, Event::ParserSwitch(ParserKind::Xml)];
-        for (tag, value) in desc.attribute_pairs() {
-            if !value.is_empty() {
-                body.push(Event::ResAttr { tag: tag.to_owned(), value });
-            }
-        }
-        // The endpoint: the first service's control URL, made absolute
-        // against the description host, with the soap:// scheme the
-        // paper's Fig. 4 SrvRply shows.
-        let endpoint = desc
-            .services
-            .first()
-            .map(|s| absolute_control_url(location, &s.control_url))
-            .unwrap_or_else(|| location.replace("http://", "soap://"));
+        let mut body = EventStreamBuilder::new();
+        body.push(Event::SocketSwitch);
+        body.push(Event::ParserSwitch(ParserKind::Xml));
+        push_description_attrs(desc, &mut body);
         body.push(Event::ResOk);
-        body.push(Event::ResServUrl(endpoint));
-        EventStream::framed(body)
+        body.push(Event::ResServUrl(description_endpoint(desc, location)));
+        body.build()
     }
+}
+
+/// Pushes one `ResAttr` per non-empty description attribute.
+fn push_description_attrs(desc: &DeviceDescription, body: &mut EventStreamBuilder) {
+    for (tag, value) in desc.attribute_pairs() {
+        if !value.is_empty() {
+            body.push(Event::ResAttr { tag: tag.into(), value: value.into() });
+        }
+    }
+}
+
+/// The endpoint a description yields: the first service's control URL,
+/// made absolute against the description host, with the soap:// scheme
+/// the paper's Fig. 4 SrvRply shows.
+fn description_endpoint(desc: &DeviceDescription, location: &str) -> String {
+    desc.services
+        .first()
+        .map(|s| absolute_control_url(location, &s.control_url))
+        .unwrap_or_else(|| location.replace("http://", "soap://"))
 }
 
 /// `http://10.0.0.2:4004/description.xml` + `/service/timer/control` →
@@ -336,7 +372,7 @@ impl Unit for UpnpUnit {
                     Event::NetSourceAddr(dgram.src),
                     Event::ServiceRequest,
                     Event::UpnpMx(search.mx),
-                    Event::UpnpSt(search.st.to_string()),
+                    Event::UpnpSt(search.st.to_string().into()),
                     Event::ServiceType(canonical),
                 ];
                 ParsedMessage::Request(EventStream::framed(body))
@@ -354,7 +390,7 @@ impl Unit for UpnpUnit {
                         NotifySubType::ByeBye => Event::ServiceByeBye,
                     },
                     Event::ServiceType(canonical),
-                    Event::UpnpUsn(n.usn.clone()),
+                    Event::UpnpUsn(n.usn.as_str().into()),
                     Event::ResTtl(n.max_age),
                 ];
                 if let Some(loc) = &n.location {
@@ -369,7 +405,7 @@ impl Unit for UpnpUnit {
     }
 
     fn execute_query(&self, world: &World, request: &EventStream, reply: Completion<EventStream>) {
-        let Some(canonical) = request.service_type().map(str::to_owned) else {
+        let Some(canonical) = request.service_type_symbol() else {
             reply.complete(EventStream::framed(vec![Event::ServiceResponse, Event::ResErr(2)]));
             return;
         };
@@ -382,46 +418,40 @@ impl Unit for UpnpUnit {
             (inner.config.mx, inner.config.process_deadline, inner.config.parse_delay)
         };
 
-        // The session: FSM + state variables, driven by parsed events.
-        let fsm = Rc::new(RefCell::new(query_fsm()));
-        let vars = Rc::new(RefCell::new(QueryVars {
-            canonical: canonical.clone(),
-            ..QueryVars::default()
-        }));
+        let session = Rc::new(QuerySession::new(canonical));
 
         let this = self.clone();
         let reply_for_events = reply.clone();
-        let fsm2 = Rc::clone(&fsm);
-        let vars2 = Rc::clone(&vars);
+        let session2 = Rc::clone(&session);
         let socket_for_handler = socket.clone();
         socket.on_receive(move |world, dgram| {
             let Ok(SsdpMessage::Response(resp)) = SsdpMessage::parse(&dgram.payload) else {
                 return;
             };
             let stream = UpnpUnit::response_events(&resp, dgram.src);
-            let cmds = fsm2.borrow_mut().feed_all(stream.events(), &mut vars2.borrow_mut());
-            for cmd in cmds {
+            let mut cmds = session2.feed(&stream);
+            for cmd in cmds.drain(..) {
                 match cmd {
                     QueryCmd::FetchDescription(url) => {
                         this.run_description_fetch(
                             world,
                             &url,
                             parse_delay,
-                            Rc::clone(&fsm2),
-                            Rc::clone(&vars2),
+                            Rc::clone(&session2),
                             reply_for_events.clone(),
                         );
                     }
                     QueryCmd::Finish => {
-                        finish(&vars2.borrow(), &reply_for_events);
+                        finish(&session2.vars.borrow(), &reply_for_events);
                     }
                 }
             }
+            session2.recycle(cmds);
             let _ = &socket_for_handler;
         });
 
         // Compose and send the M-SEARCH (Fig. 4 step 1's output).
-        let target = SearchTarget::device_urn(&canonical, 1);
+        let target = SearchTarget::device_urn(canonical.as_str(), 1);
         let wire = MSearch::new(target, mx).to_bytes();
         let translation_delay = self.inner.borrow().config.translation_delay;
         let send_socket = socket.clone();
@@ -431,11 +461,11 @@ impl Unit for UpnpUnit {
 
         // Process deadline: fail the bridge if the FSM never accepted.
         let reply_deadline = reply.clone();
-        let fsm3 = Rc::clone(&fsm);
+        let session3 = Rc::clone(&session);
         let socket_close = socket.clone();
         world.schedule_in(deadline, move |_| {
             socket_close.close();
-            if !fsm3.borrow().is_accepting() {
+            if !session3.fsm.borrow().is_accepting() {
                 reply_deadline.complete(EventStream::framed(vec![
                     Event::NetType(SdpProtocol::Upnp),
                     Event::ServiceResponse,
@@ -452,14 +482,14 @@ impl Unit for UpnpUnit {
         let Some(requester) = request.source_addr() else {
             return;
         };
-        let Some(canonical) = request.service_type().map(str::to_owned) else {
+        let Some(canonical) = request.service_type_symbol() else {
             return;
         };
         let st_text = request
             .events()
             .iter()
             .find_map(|e| match e {
-                Event::UpnpSt(st) => Some(st.clone()),
+                Event::UpnpSt(st) => Some(st.as_str().to_owned()),
                 _ => None,
             })
             .unwrap_or_else(|| format!("urn:schemas-upnp-org:device:{canonical}:1"));
@@ -472,7 +502,8 @@ impl Unit for UpnpUnit {
             })
             .unwrap_or(1800);
 
-        let (location, usn) = self.ensure_bridged(&canonical, &endpoint, response.response_attrs());
+        let (location, usn) =
+            self.ensure_bridged(canonical.as_str(), &endpoint, response.response_attrs());
         let ssdp_response = SearchResponse {
             st: st_text.parse().unwrap_or(SearchTarget::Custom(st_text)),
             usn,
@@ -564,20 +595,11 @@ impl Unit for UpnpUnit {
                 return;
             };
             world2.schedule_in(parse_delay, move |_| {
-                let mut body: Vec<Event> = base.body().to_vec();
+                let mut body = base.to_builder();
                 body.push(Event::ParserSwitch(ParserKind::Xml));
-                for (tag, value) in desc.attribute_pairs() {
-                    if !value.is_empty() {
-                        body.push(Event::ResAttr { tag: tag.to_owned(), value });
-                    }
-                }
-                let endpoint = desc
-                    .services
-                    .first()
-                    .map(|s| absolute_control_url(&location, &s.control_url))
-                    .unwrap_or_else(|| location.replace("http://", "soap://"));
-                body.push(Event::ResServUrl(endpoint));
-                done.complete(EventStream::framed(body));
+                push_description_attrs(&desc, &mut body);
+                body.push(Event::ResServUrl(description_endpoint(&desc, &location)));
+                done.complete(body.build());
             });
         });
     }
@@ -591,8 +613,7 @@ impl UpnpUnit {
         world: &World,
         url: &str,
         parse_delay: Duration,
-        fsm: Rc<RefCell<Fsm<QueryVars, QueryCmd>>>,
-        vars: Rc<RefCell<QueryVars>>,
+        session: Rc<QuerySession>,
         reply: Completion<EventStream>,
     ) {
         let node = self.inner.borrow().node.clone();
@@ -622,12 +643,13 @@ impl UpnpUnit {
             // Model the XML parse cost, then feed the XML-side events.
             world2.schedule_in(parse_delay, move |_| {
                 let stream = UpnpUnit::description_events(&desc, &url2);
-                let cmds = fsm.borrow_mut().feed_all(stream.events(), &mut vars.borrow_mut());
-                for cmd in cmds {
+                let mut cmds = session.feed(&stream);
+                for cmd in cmds.drain(..) {
                     if matches!(cmd, QueryCmd::Finish) {
-                        finish(&vars.borrow(), &reply);
+                        finish(&session.vars.borrow(), &reply);
                     }
                 }
+                session.recycle(cmds);
             });
         });
     }
@@ -706,14 +728,14 @@ fn finish(vars: &QueryVars, reply: &Completion<EventStream>) {
         Event::NetType(SdpProtocol::Upnp),
         Event::ServiceResponse,
         Event::ResOk,
-        Event::ServiceType(vars.canonical.clone()),
+        Event::ServiceType(vars.canonical),
     ];
-    if let Some(usn) = &vars.usn {
-        body.push(Event::UpnpUsn(usn.clone()));
+    if let Some(usn) = vars.usn {
+        body.push(Event::UpnpUsn(usn));
     }
     body.push(Event::ResTtl(vars.ttl.unwrap_or(1800)));
     for (tag, value) in &vars.attrs {
-        body.push(Event::ResAttr { tag: tag.clone(), value: value.clone() });
+        body.push(Event::ResAttr { tag: tag.as_str().into(), value: value.as_str().into() });
     }
     if let Some(endpoint) = &vars.endpoint {
         body.push(Event::ResServUrl(endpoint.clone()));
@@ -746,7 +768,7 @@ mod tests {
         };
         assert!(stream.is_request());
         assert_eq!(stream.service_type(), Some("clock"));
-        assert!(stream.names().contains(&"SDP_UPNP_ST"));
+        assert!(stream.names().any(|n| n == "SDP_UPNP_ST"));
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Property tests for the zero-copy event pipeline: cheap stream clones
+//! preserve equality and framing, the symbol interner canonicalizes
+//! equal strings across independently constructed units, and
+//! negative-cache entries ride the same expiry wheel as positive ones.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use indiss_core::{
+    Event, EventStream, EventStreamBuilder, ParsedMessage, RegistryConfig, SdpProtocol,
+    ServiceRegistry, SlpUnit, SlpUnitConfig, Symbol, Unit, UpnpUnit, UpnpUnitConfig,
+};
+use indiss_net::{Datagram, SimTime, World};
+
+fn token() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,14}"
+}
+
+/// A generator covering every payload shape the pipeline carries:
+/// unit variants, interned symbols, owned strings and boxed attrs.
+fn arb_body_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        Just(Event::ServiceRequest),
+        Just(Event::ServiceResponse),
+        Just(Event::ServiceAlive),
+        Just(Event::NetMulticast),
+        Just(Event::ResOk),
+        (1u32..100_000).prop_map(Event::ResTtl),
+        token().prop_map(|t| Event::ServiceType(t.as_str().into())),
+        token().prop_map(|t| Event::UpnpUsn(t.as_str().into())),
+        token().prop_map(Event::ResServUrl),
+        (token(), token())
+            .prop_map(|(tag, value)| Event::ResAttr { tag: tag.into(), value: value.into() }),
+    ]
+}
+
+proptest! {
+    /// A cheap clone is indistinguishable from its source — same events,
+    /// same framing, same accessor results — and really is the same
+    /// buffer, not a copy.
+    #[test]
+    fn cheap_clone_preserves_equality_and_framing(
+        body in proptest::collection::vec(arb_body_event(), 0..12),
+    ) {
+        let stream = EventStream::framed(body);
+        let clone = stream.clone();
+        prop_assert!(stream.shares_buffer(&clone), "clone must share, not copy");
+        prop_assert_eq!(&stream, &clone);
+        prop_assert_eq!(stream.events(), clone.events());
+        prop_assert!(matches!(clone.events().first(), Some(Event::Start)));
+        prop_assert!(matches!(clone.events().last(), Some(Event::Stop)));
+        prop_assert_eq!(stream.service_type(), clone.service_type());
+        prop_assert_eq!(stream.service_url(), clone.service_url());
+        prop_assert_eq!(stream.body().len(), stream.events().len() - 2);
+    }
+
+    /// Builder-built and `framed`-built streams with the same body are
+    /// equal, and re-building through `to_builder` preserves the body.
+    #[test]
+    fn builder_and_framed_agree(
+        body in proptest::collection::vec(arb_body_event(), 0..12),
+    ) {
+        let framed = EventStream::framed(body.clone());
+        let mut builder = EventStreamBuilder::with_capacity(body.len());
+        for e in &body {
+            builder.push(e.clone());
+        }
+        let built = builder.build();
+        prop_assert_eq!(&framed, &built);
+        let rebuilt = built.to_builder().build();
+        prop_assert_eq!(&built, &rebuilt);
+        prop_assert!(!built.shares_buffer(&rebuilt), "derived stream owns a fresh buffer");
+    }
+
+    /// Interning is canonical: equal strings yield identical symbols (by
+    /// pointer, hash and comparison) no matter how they are produced.
+    #[test]
+    fn interner_canonicalizes_equal_strings(s in token()) {
+        let a = Symbol::intern(&s);
+        let b = Symbol::from_owned(s.clone());
+        let c: Symbol = s.as_str().into();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(b, c);
+        prop_assert!(std::ptr::eq(a.as_str(), b.as_str()), "one canonical allocation");
+        prop_assert_eq!(a.as_str(), s.as_str());
+        // And distinct strings stay distinct.
+        let other = Symbol::intern(&format!("{s}-x"));
+        prop_assert!(a != other);
+    }
+
+    /// Negative-cache entries expire on the wheel exactly like positive
+    /// ones: visible strictly inside the TTL, reclaimed by the sweep at
+    /// the deadline, and never outliving it.
+    #[test]
+    fn negative_entries_expire_on_the_wheel(
+        ttl_ms in 100u64..60_000,
+        armed_at_ms in 0u64..10_000,
+    ) {
+        let reg = ServiceRegistry::new(RegistryConfig {
+            negative_ttl: Duration::from_millis(ttl_ms),
+            ..RegistryConfig::default()
+        });
+        let armed_at = SimTime::from_millis(armed_at_ms);
+        let deadline = SimTime::from_millis(armed_at_ms + ttl_ms);
+        reg.warm_negative(SdpProtocol::Slp, "ghost", armed_at);
+        prop_assert!(reg.cached_negative(SdpProtocol::Slp, "ghost", armed_at));
+        prop_assert!(
+            reg.cached_negative(SdpProtocol::Slp, "ghost", SimTime::from_millis(armed_at_ms + ttl_ms - 1))
+        );
+        prop_assert_eq!(reg.next_deadline(), Some(deadline));
+        let report = reg.sweep(deadline);
+        prop_assert_eq!(report.negative_expired, 1);
+        prop_assert_eq!(reg.negative_len(), 0, "sweep reclaimed the entry");
+        prop_assert!(!reg.cached_negative(SdpProtocol::Slp, "ghost", deadline));
+    }
+}
+
+/// Two independently constructed units parsing the "same" service type
+/// from their native wire forms intern it to the identical symbol — the
+/// cross-unit agreement the registry's symbol-keyed indexes rely on.
+#[test]
+fn units_intern_identical_symbols_for_equal_types() {
+    let world = World::new(17);
+    let node_a = world.add_node("indiss-a");
+    let node_b = world.add_node("indiss-b");
+    let slp = SlpUnit::new(&node_a, SlpUnitConfig::default()).unwrap();
+    let upnp = UpnpUnit::new(&node_b, UpnpUnitConfig::default()).unwrap();
+
+    let slp_msg = indiss_slp::Message::new(
+        indiss_slp::Header::new(indiss_slp::FunctionId::SrvRqst, 1, "en"),
+        indiss_slp::Body::SrvRqst(indiss_slp::SrvRqst {
+            prlist: String::new(),
+            service_type: "service:Clock".into(), // note the case
+            scopes: "DEFAULT".into(),
+            predicate: String::new(),
+            spi: String::new(),
+        }),
+    );
+    let slp_dgram = Datagram {
+        src: "10.0.0.9:40000".parse().unwrap(),
+        dst: format!("{}:{}", indiss_slp::SLP_MULTICAST_GROUP, indiss_slp::SLP_PORT)
+            .parse()
+            .unwrap(),
+        payload: slp_msg.encode().unwrap(),
+    };
+    let upnp_dgram = Datagram {
+        src: "10.0.0.9:40001".parse().unwrap(),
+        dst: format!("{}:{}", indiss_ssdp::SSDP_MULTICAST_GROUP, indiss_ssdp::SSDP_PORT)
+            .parse()
+            .unwrap(),
+        payload: indiss_ssdp::MSearch::new(indiss_ssdp::SearchTarget::device_urn("clock", 1), 0)
+            .to_bytes(),
+    };
+
+    let ParsedMessage::Request(from_slp) = slp.parse(&world, &slp_dgram) else {
+        panic!("SLP request expected");
+    };
+    let ParsedMessage::Request(from_upnp) = upnp.parse(&world, &upnp_dgram) else {
+        panic!("UPnP request expected");
+    };
+    let a = from_slp.service_type_symbol().expect("typed");
+    let b = from_upnp.service_type_symbol().expect("typed");
+    assert_eq!(a, b, "both units canonicalize to one symbol");
+    assert!(std::ptr::eq(a.as_str(), b.as_str()), "pointer-identical");
+    assert_eq!(a.as_str(), "clock");
+}
+
+/// The registry's cache answers with the very buffer it stored — the
+/// warm path the §4.3 best case rides is copy-free end to end.
+#[test]
+fn registry_round_trip_is_copy_free() {
+    let reg = ServiceRegistry::new(RegistryConfig::default());
+    let response = EventStream::framed(vec![
+        Event::ServiceResponse,
+        Event::ResOk,
+        Event::ServiceType("clock".into()),
+        Event::ResServUrl("soap://10.0.0.2:4004/ctl".into()),
+    ]);
+    reg.warm("clock", response.clone(), SimTime::ZERO);
+    let hit = reg.cached_response("clock", SimTime::ZERO).expect("warm");
+    assert!(hit.shares_buffer(&response));
+
+    // Advert records share their stream too, and re-advertising snapshots
+    // by reference.
+    let advert = EventStream::framed(vec![
+        Event::ServiceAlive,
+        Event::ServiceType("printer".into()),
+        Event::ResServUrl("lpr://10.0.0.9:515".into()),
+    ]);
+    reg.record_advert(SdpProtocol::Slp, &advert, SimTime::ZERO);
+    let adverts = reg.adverts(SimTime::ZERO);
+    assert_eq!(adverts.len(), 1);
+    assert!(adverts[0].1.shares_buffer(&advert));
+}

@@ -96,11 +96,9 @@ fn busy_network_stays_passive() {
     world.run_for(Duration::from_secs(20));
     assert_eq!(indiss.mode(), DiscoveryMode::Passive);
     assert_eq!(indiss.stats().adverts_translated, 0);
-    assert!(
-        indiss.mode_log().iter().all(|(_, m)| *m == DiscoveryMode::Passive),
-        "never flapped: {:?}",
-        indiss.mode_log()
-    );
+    indiss.with_mode_log(|log| {
+        assert!(log.iter().all(|(_, m)| *m == DiscoveryMode::Passive), "never flapped: {log:?}");
+    });
 }
 
 /// The active sweep repeats while the network stays quiet, and byebye
