@@ -1,5 +1,6 @@
 //! Request-storm benchmark: N clients hammering one gateway with mixed
-//! hit/miss/absent-type queries across all three SDPs, plus the pure
+//! hit/miss/absent-type queries across all four SDPs (SLP, UPnP, Jini
+//! and the descriptor-driven DNS-SD protocol), plus the pure
 //! event-pipeline allocation metric the zero-copy refactor is judged by.
 //!
 //! Emits `BENCH_storm.json` for the perf trajectory. Pass `--smoke` for
@@ -24,7 +25,7 @@ fn main() {
     let p50_us = outcome.warm_hit_p50.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN);
     let p99_us = outcome.warm_hit_p99.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN);
 
-    println!("request_storm ({clients} clients x {rounds} rounds, all three SDPs)");
+    println!("request_storm ({clients} clients x {rounds} rounds, all four SDPs)");
     println!("  requests sent                 {}", outcome.requests_sent);
     println!("  warm-hit p50 / p99            {p50_us:.1} us / {p99_us:.1} us");
     println!("  cache hits                    {}", outcome.cache_hits);
@@ -43,6 +44,7 @@ fn main() {
             "{{\n",
             "  \"scenario\": \"request_storm\",\n",
             "  \"smoke\": {smoke},\n",
+            "  \"protocols\": 4,\n",
             "  \"clients\": {clients},\n",
             "  \"rounds\": {rounds},\n",
             "  \"requests_sent\": {requests_sent},\n",

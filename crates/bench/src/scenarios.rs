@@ -524,20 +524,25 @@ fn percentile(sorted: &[Duration], p: f64) -> Option<Duration> {
     Some(sorted[rank - 1])
 }
 
-/// Request storm: `clients` SLP clients (plus one UPnP control point and
-/// one Jini client) hammer a single gateway for `rounds` rounds with a
-/// mix of warm-hit ("clock", answered from the response cache after the
-/// first round), miss ("printer", served by the SLP unit) and
-/// absent-type queries (unique per round, absorbed by the negative
-/// cache). Reports warm-hit p50/p99 latency, the gateway's hit counters
-/// and the allocator traffic of the whole storm.
+/// Request storm: `clients` SLP clients (plus one UPnP control point,
+/// one Jini client and one DNS-SD descriptor-protocol client) hammer a
+/// single four-protocol gateway for `rounds` rounds with a mix of
+/// warm-hit ("clock", answered from the response cache after the first
+/// round), miss ("printer" via the SLP unit, "scanner" via the
+/// descriptor unit's native DNS-SD service) and absent-type queries
+/// (persistent per client, absorbed by the negative cache). Reports
+/// warm-hit p50/p99 latency, the gateway's hit counters and the
+/// allocator traffic of the whole storm.
 pub fn request_storm(seed: u64, clients: usize, rounds: usize) -> StormOutcome {
+    use indiss_core::{DescriptorClient, DescriptorService, SdpDescriptor};
+
     let world = World::new(seed);
     let gateway = world.add_node("gateway");
     let service_host = world.add_node("clock-host");
     let indiss = Indiss::deploy(
         &gateway,
         IndissConfig::all_protocols()
+            .with_descriptor(SdpDescriptor::dns_sd())
             .with_cache_ttl(Duration::from_secs(600))
             .with_negative_ttl(Duration::from_secs(600)),
     )
@@ -548,6 +553,11 @@ pub fn request_storm(seed: u64, clients: usize, rounds: usize) -> StormOutcome {
     sa.register(
         Registration::new("service:printer:lpr://10.0.3.1:515", AttributeList::new()).expect("reg"),
     );
+    // The fourth protocol's native service, generated from the descriptor.
+    let dnssd_host = world.add_node("scanner-host");
+    let dnssd_service =
+        DescriptorService::start(&dnssd_host, SdpDescriptor::dns_sd()).expect("dnssd service");
+    dnssd_service.register("scanner", "scan://10.0.4.1:6566/sane");
     world.run_for(Duration::from_millis(50)); // initial announcements
 
     let uas: Vec<UserAgent> = (0..clients.max(1))
@@ -561,6 +571,9 @@ pub fn request_storm(seed: u64, clients: usize, rounds: usize) -> StormOutcome {
     let jini_node = world.add_node("jini-client");
     let jini = indiss_jini::JiniAgent::start(&jini_node, indiss_jini::JiniConfig::default())
         .expect("jini client");
+    let dnssd_client_node = world.add_node("dnssd-client");
+    let dnssd =
+        DescriptorClient::start(&dnssd_client_node, SdpDescriptor::dns_sd()).expect("dnssd client");
 
     // Round 0 warms the caches (not measured).
     let mut requests_sent = 0usize;
@@ -581,6 +594,14 @@ pub fn request_storm(seed: u64, clients: usize, rounds: usize) -> StormOutcome {
         let (_f, _all) = cp.search(&world, SearchTarget::device_urn("printer", 1));
         requests_sent += 1;
         let _found = jini.lookup("clock");
+        requests_sent += 1;
+        // The DNS-SD client mixes a warm hit, a descriptor-unit-served
+        // miss and a persistent absent type, like the built-in clients.
+        let (_f, _d) = dnssd.query(&world, "clock");
+        let (_f, _d) = dnssd.query(&world, "ghostdnssd");
+        requests_sent += 2;
+        // One SLP client per round crosses into the fourth protocol.
+        let (_f, _d) = uas[0].find_services(&world, "service:scanner", "");
         requests_sent += 1;
         world.run_for(Duration::from_secs(1));
         if round > 0 {

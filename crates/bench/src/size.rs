@@ -139,12 +139,19 @@ pub fn table2() -> std::io::Result<Vec<Table2Row>> {
     let slp_unit = measure_path(&units.join("slp.rs"))?;
     let upnp_unit = measure_path(&units.join("upnp.rs"))?;
     let jini_unit = measure_path(&units.join("jini.rs"))?;
+    let descriptor_unit = measure_path(&units.join("descriptor.rs"))?;
     let units_total = measure_path(&units)?;
+    // The textual `System SDP = { … }` parser is composition tooling:
+    // like the Jini and descriptor extensions, it is listed on its own
+    // row and excluded from the Table 2 "INDISS total" the paper
+    // measured (the paper's prototype configured its core through an
+    // external config mechanism it did not count either).
+    let config_lang = measure_path(&core_src.join("config_lang.rs"))?;
     let core_total = measure_path(&core_src)?;
     let core_framework = SizeMetrics {
-        bytes: core_total.bytes - units_total.bytes,
-        types: core_total.types - units_total.types,
-        ncss: core_total.ncss - units_total.ncss,
+        bytes: core_total.bytes - units_total.bytes - config_lang.bytes,
+        types: core_total.types - units_total.types - config_lang.types,
+        ncss: core_total.ncss - units_total.ncss - config_lang.ncss,
     };
 
     let slp_stack = measure_path(&root.join("crates/slp/src"))?;
@@ -162,6 +169,8 @@ pub fn table2() -> std::io::Result<Vec<Table2Row>> {
         Table2Row { name: "UPnP Unit".into(), metrics: upnp_unit },
         Table2Row { name: "SLP Unit".into(), metrics: slp_unit },
         Table2Row { name: "Jini Unit (extension)".into(), metrics: jini_unit },
+        Table2Row { name: "Descriptor Unit (extension)".into(), metrics: descriptor_unit },
+        Table2Row { name: "Config language (tooling)".into(), metrics: config_lang },
         Table2Row { name: "INDISS total (core + SLP&UPnP units)".into(), metrics: indiss_total },
         Table2Row { name: "SLP stack (OpenSLP role)".into(), metrics: slp_stack },
         Table2Row {

@@ -15,15 +15,27 @@
 //! monitoring its IANA port. Composition happens dynamically at run time
 //! (Fig. 5) — the config only says what *can* be instantiated.
 
+use std::fmt;
+use std::rc::Rc;
 use std::time::Duration;
 
 use crate::adapt::AdaptationPolicy;
+use crate::error::CoreResult;
 use crate::event::SdpProtocol;
 use crate::registry::RegistryConfig;
-use crate::units::{JiniUnitConfig, SlpUnitConfig, UpnpUnitConfig};
+use crate::units::{
+    DescriptorFactory, JiniFactory, JiniUnitConfig, SdpDescriptor, SlpFactory, SlpUnitConfig,
+    UnitFactory, UpnpFactory, UpnpUnitConfig,
+};
 
 /// Specification of one unit to embed.
-#[derive(Debug, Clone)]
+///
+/// The set is open: beyond the three built-in kinds, a protocol enters
+/// the system declaratively through [`UnitSpec::Descriptor`] or — for
+/// hand-written units the workspace does not know about — through
+/// [`UnitSpec::Custom`] with any [`UnitFactory`].
+#[derive(Clone)]
+#[non_exhaustive]
 pub enum UnitSpec {
     /// An SLP unit.
     Slp(SlpUnitConfig),
@@ -31,6 +43,11 @@ pub enum UnitSpec {
     Upnp(UpnpUnitConfig),
     /// A Jini unit.
     Jini(JiniUnitConfig),
+    /// A descriptor-driven unit: the protocol is defined by data
+    /// (paper §3), not a `Unit` implementation.
+    Descriptor(SdpDescriptor),
+    /// An arbitrary unit factory supplied by the embedder.
+    Custom(Rc<dyn UnitFactory>),
 }
 
 impl UnitSpec {
@@ -40,6 +57,35 @@ impl UnitSpec {
             UnitSpec::Slp(_) => SdpProtocol::Slp,
             UnitSpec::Upnp(_) => SdpProtocol::Upnp,
             UnitSpec::Jini(_) => SdpProtocol::Jini,
+            UnitSpec::Descriptor(d) => d.protocol(),
+            UnitSpec::Custom(f) => f.protocol(),
+        }
+    }
+
+    /// The factory the runtime instantiates this spec through — the
+    /// single dispatch point that replaced the runtime's closed `match`
+    /// over unit kinds.
+    pub fn factory(&self) -> Rc<dyn UnitFactory> {
+        match self {
+            UnitSpec::Slp(cfg) => Rc::new(SlpFactory(cfg.clone())),
+            UnitSpec::Upnp(cfg) => Rc::new(UpnpFactory(cfg.clone())),
+            UnitSpec::Jini(cfg) => Rc::new(JiniFactory(cfg.clone())),
+            UnitSpec::Descriptor(d) => Rc::new(DescriptorFactory(d.clone())),
+            UnitSpec::Custom(f) => Rc::clone(f),
+        }
+    }
+}
+
+impl fmt::Debug for UnitSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitSpec::Slp(cfg) => f.debug_tuple("Slp").field(cfg).finish(),
+            UnitSpec::Upnp(cfg) => f.debug_tuple("Upnp").field(cfg).finish(),
+            UnitSpec::Jini(cfg) => f.debug_tuple("Jini").field(cfg).finish(),
+            UnitSpec::Descriptor(d) => f.debug_tuple("Descriptor").field(d).finish(),
+            UnitSpec::Custom(factory) => {
+                f.debug_tuple("Custom").field(&factory.protocol()).finish()
+            }
         }
     }
 }
@@ -101,6 +147,25 @@ impl IndissConfig {
         }
     }
 
+    /// Starts a fluent builder over an empty configuration.
+    pub fn builder() -> IndissConfigBuilder {
+        IndissConfigBuilder { config: IndissConfig::new() }
+    }
+
+    /// Parses the paper's textual `System SDP = { … }` configuration
+    /// language (§3) into a config, descriptor units included. The §3
+    /// example parses verbatim; a non-built-in unit takes a `= { Group =
+    /// …; Query = "…"; Answer = "…"; … }` descriptor block.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CoreError::ConfigSyntax`] for malformed input,
+    /// [`crate::CoreError::BadConfig`] for well-formed input that names
+    /// an impossible system (e.g. a built-in unit on the wrong port).
+    pub fn from_system_sdp(text: &str) -> CoreResult<IndissConfig> {
+        crate::config_lang::parse_system_sdp(text)
+    }
+
     /// Adds an SLP unit with defaults.
     pub fn with_slp(mut self) -> Self {
         self.units.push(UnitSpec::Slp(SlpUnitConfig::default()));
@@ -116,6 +181,12 @@ impl IndissConfig {
     /// Adds a Jini unit with defaults.
     pub fn with_jini(mut self) -> Self {
         self.units.push(UnitSpec::Jini(JiniUnitConfig::default()));
+        self
+    }
+
+    /// Adds a descriptor-driven unit (paper §3: a new SDP from data).
+    pub fn with_descriptor(mut self, descriptor: SdpDescriptor) -> Self {
+        self.units.push(UnitSpec::Descriptor(descriptor));
         self
     }
 
@@ -185,13 +256,21 @@ impl IndissConfig {
     }
 
     /// The paper's prototype configuration: a UPnP unit and an SLP unit.
+    /// A thin wrapper over the builder.
     pub fn slp_upnp() -> Self {
-        IndissConfig::new().with_slp().with_upnp()
+        IndissConfig::builder().slp().upnp().build()
     }
 
-    /// The Fig. 5 configuration: SLP + UPnP + Jini.
+    /// The Fig. 5 configuration: SLP + UPnP + Jini. A thin wrapper over
+    /// the builder.
+    pub fn slp_upnp_jini() -> Self {
+        IndissConfig::builder().slp().upnp().jini().build()
+    }
+
+    /// Alias for [`IndissConfig::slp_upnp_jini`], kept for the evaluation
+    /// harness's vocabulary.
     pub fn all_protocols() -> Self {
-        IndissConfig::new().with_slp().with_upnp().with_jini()
+        IndissConfig::slp_upnp_jini()
     }
 
     /// Protocols covered by the configured units.
@@ -204,6 +283,112 @@ impl Default for IndissConfig {
     /// Defaults to the paper's prototype (SLP + UPnP).
     fn default() -> Self {
         IndissConfig::slp_upnp()
+    }
+}
+
+/// Fluent builder over [`IndissConfig`] — the §3 composition surface:
+/// `IndissConfig::builder().slp().descriptor(dns_sd).lazy().build()`.
+///
+/// The named constructors ([`IndissConfig::slp_upnp`] and friends) are
+/// thin wrappers over this builder.
+#[derive(Debug, Clone)]
+pub struct IndissConfigBuilder {
+    config: IndissConfig,
+}
+
+impl IndissConfigBuilder {
+    /// Adds a unit from an explicit spec.
+    pub fn unit(mut self, spec: UnitSpec) -> Self {
+        self.config.units.push(spec);
+        self
+    }
+
+    /// Adds an SLP unit with defaults.
+    pub fn slp(self) -> Self {
+        self.unit(UnitSpec::Slp(SlpUnitConfig::default()))
+    }
+
+    /// Adds a UPnP unit with defaults.
+    pub fn upnp(self) -> Self {
+        self.unit(UnitSpec::Upnp(UpnpUnitConfig::default()))
+    }
+
+    /// Adds a Jini unit with defaults.
+    pub fn jini(self) -> Self {
+        self.unit(UnitSpec::Jini(JiniUnitConfig::default()))
+    }
+
+    /// Adds a descriptor-driven unit.
+    pub fn descriptor(self, descriptor: SdpDescriptor) -> Self {
+        self.unit(UnitSpec::Descriptor(descriptor))
+    }
+
+    /// Adds a unit built by an arbitrary [`UnitFactory`].
+    pub fn custom(self, factory: Rc<dyn UnitFactory>) -> Self {
+        self.unit(UnitSpec::Custom(factory))
+    }
+
+    /// Instantiates units lazily, on first detection of their protocol
+    /// (Fig. 5's dynamic composition).
+    pub fn lazy(mut self) -> Self {
+        self.config.lazy_units = true;
+        self
+    }
+
+    /// Enables or disables the response cache.
+    pub fn cache(mut self, enabled: bool) -> Self {
+        self.config.enable_cache = enabled;
+        self
+    }
+
+    /// Enables traffic-threshold adaptation.
+    pub fn adaptation(mut self, policy: AdaptationPolicy) -> Self {
+        self.config.adaptation = Some(policy);
+        self
+    }
+
+    /// Sets the multi-bridge suppression window.
+    pub fn suppress_window(mut self, window: Duration) -> Self {
+        self.config.suppress_window = window;
+        self
+    }
+
+    /// Bounds the registry's service-record store.
+    pub fn registry_capacity(mut self, records: usize) -> Self {
+        self.config.registry_capacity = records;
+        self
+    }
+
+    /// Bounds the registry's response cache.
+    pub fn cache_capacity(mut self, responses: usize) -> Self {
+        self.config.cache_capacity = responses;
+        self
+    }
+
+    /// Sets the cache entry TTL.
+    pub fn cache_ttl(mut self, ttl: Duration) -> Self {
+        self.config.cache_ttl = ttl;
+        self
+    }
+
+    /// Sets the fallback TTL for adverts without their own `SDP_RES_TTL`.
+    pub fn advert_ttl(mut self, ttl: Duration) -> Self {
+        self.config.advert_ttl = Some(ttl);
+        self
+    }
+
+    /// Sets the negative-cache ("nothing found") TTL.
+    pub fn negative_ttl(mut self, ttl: Duration) -> Self {
+        self.config.negative_ttl = ttl;
+        self
+    }
+
+    /// Finishes the configuration. Structural validation (at least one
+    /// unit, no duplicate protocols) happens at
+    /// [`crate::Indiss::deploy`], which sees every config regardless of
+    /// how it was built.
+    pub fn build(self) -> IndissConfig {
+        self.config
     }
 }
 

@@ -20,6 +20,8 @@ pub enum CoreError {
     Net(indiss_net::NetError),
     /// The configuration is invalid (e.g. no units).
     BadConfig(&'static str),
+    /// The textual `System SDP = { … }` configuration failed to parse.
+    ConfigSyntax(String),
 }
 
 impl fmt::Display for CoreError {
@@ -35,6 +37,7 @@ impl fmt::Display for CoreError {
             CoreError::MissingEvent(which) => write!(f, "required event missing: {which}"),
             CoreError::Net(e) => write!(f, "network error: {e}"),
             CoreError::BadConfig(why) => write!(f, "invalid configuration: {why}"),
+            CoreError::ConfigSyntax(why) => write!(f, "system config syntax error: {why}"),
         }
     }
 }
@@ -69,6 +72,7 @@ mod tests {
             CoreError::BadEventFraming,
             CoreError::MissingEvent("SDP_SERVICE_TYPE"),
             CoreError::BadConfig("no units"),
+            CoreError::ConfigSyntax("line 3: expected '='".to_owned()),
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -27,10 +27,19 @@ use std::fmt;
 use std::net::SocketAddrV4;
 use std::rc::Rc;
 
+pub use crate::protocol::ProtocolId;
 pub use crate::symbol::Symbol;
 
 /// The discovery protocols INDISS knows about.
+///
+/// The set is **open**: beyond the three built-in SDPs, any protocol
+/// registered through [`ProtocolId::register`] (usually via an
+/// [`crate::SdpDescriptor`]) participates as [`SdpProtocol::Dynamic`] —
+/// a first-class citizen of the monitor, the registry indexes, the
+/// response/negative caches and the bridge statistics, because all of
+/// those key on `SdpProtocol` values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
 pub enum SdpProtocol {
     /// Service Location Protocol (RFC 2608).
     Slp,
@@ -38,25 +47,33 @@ pub enum SdpProtocol {
     Upnp,
     /// Jini (simplified; see `indiss-jini`).
     Jini,
+    /// A dynamically registered protocol, bridged by a descriptor-driven
+    /// unit (paper §3: units named in the `System SDP = { … }` config).
+    Dynamic(ProtocolId),
 }
 
 impl SdpProtocol {
-    /// All protocols, in display order.
+    /// The built-in protocols, in display order. Dynamic protocols are
+    /// enumerable via [`ProtocolId::registered`].
     pub const ALL: [SdpProtocol; 3] = [SdpProtocol::Slp, SdpProtocol::Upnp, SdpProtocol::Jini];
 
-    /// The protocol's IANA UDP port (the monitor's detection key, §2.1).
+    /// The protocol's registered UDP port (the monitor's detection key,
+    /// §2.1) — IANA-assigned for the built-ins, descriptor-declared for
+    /// dynamic protocols.
     pub fn port(self) -> u16 {
         match self {
             SdpProtocol::Slp => indiss_slp::SLP_PORT,
             SdpProtocol::Upnp => indiss_ssdp::SSDP_PORT,
             SdpProtocol::Jini => indiss_jini::JINI_PORT,
+            SdpProtocol::Dynamic(id) => id.port(),
         }
     }
 
     /// The protocol's multicast groups.
     ///
     /// Returns a static slice — this sits on the monitor's per-datagram
-    /// detection path, which must not allocate.
+    /// detection path, which must not allocate. Dynamic protocols hold
+    /// this bound too: their group slice is leaked once at registration.
     pub fn multicast_groups(self) -> &'static [std::net::Ipv4Addr] {
         const SLP_GROUPS: [std::net::Ipv4Addr; 1] = [indiss_slp::SLP_MULTICAST_GROUP];
         const UPNP_GROUPS: [std::net::Ipv4Addr; 1] = [indiss_ssdp::SSDP_MULTICAST_GROUP];
@@ -66,6 +83,7 @@ impl SdpProtocol {
             SdpProtocol::Slp => &SLP_GROUPS,
             SdpProtocol::Upnp => &UPNP_GROUPS,
             SdpProtocol::Jini => &JINI_GROUPS,
+            SdpProtocol::Dynamic(id) => id.multicast_groups(),
         }
     }
 }
@@ -76,6 +94,7 @@ impl fmt::Display for SdpProtocol {
             SdpProtocol::Slp => "SLP",
             SdpProtocol::Upnp => "UPnP",
             SdpProtocol::Jini => "Jini",
+            SdpProtocol::Dynamic(id) => id.name(),
         })
     }
 }
@@ -755,6 +774,20 @@ mod tests {
         assert_eq!(Event::Start.to_string(), "SDP_C_START");
         assert_eq!(Event::UpnpMx(0).to_string(), "SDP_UPNP_MX");
         assert_eq!(SdpProtocol::Upnp.to_string(), "UPnP");
+    }
+
+    /// A dynamic protocol behaves exactly like a built-in one where the
+    /// monitor and the display layer are concerned: port, groups and name
+    /// all come from its registration.
+    #[test]
+    fn dynamic_protocols_carry_their_registration() {
+        let group = std::net::Ipv4Addr::new(239, 4, 4, 4);
+        let id = ProtocolId::register("event-test-proto", 6200, &[group]).unwrap();
+        let p = SdpProtocol::Dynamic(id);
+        assert_eq!(p.port(), 6200);
+        assert_eq!(p.multicast_groups(), &[group]);
+        assert_eq!(p.to_string(), "event-test-proto");
+        assert!(!SdpProtocol::ALL.contains(&p), "ALL stays the built-in set");
     }
 
     /// The stream buffer is the dominant per-message allocation, so

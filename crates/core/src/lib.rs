@@ -13,6 +13,18 @@
 //! * [`SlpUnit`] / [`UpnpUnit`] / [`JiniUnit`] — parser+composer pairs
 //!   that translate whole discovery *processes*, including the UPnP
 //!   unit's recursive description fetch with parser switching (§2.4);
+//! * the **open protocol API** (§3): the set of SDPs is not closed over
+//!   the three built-ins. A [`ProtocolId`] registers any protocol's
+//!   detection tag (port + multicast groups) process-wide and flows
+//!   through every registry index, cache key and statistic as
+//!   [`SdpProtocol::Dynamic`]; an [`SdpDescriptor`] defines a whole
+//!   line-oriented SDP as data (parser table + composer templates) that
+//!   [`DescriptorUnit`] interprets; the runtime instantiates *all* units
+//!   through the object-safe [`UnitFactory`] registry, so custom units
+//!   plug in without touching the runtime; and
+//!   [`IndissConfig::from_system_sdp`] parses the paper's own textual
+//!   `System SDP = { … }` composition language — §3's example verbatim,
+//!   plus descriptor blocks for brand-new protocols;
 //! * [`ServiceRegistry`] — the single source of truth for discovered
 //!   services: canonical [`ServiceRecord`]s indexed by type / origin /
 //!   endpoint, a bounded LRU response cache (the §4.3 warm best case),
@@ -53,28 +65,32 @@
 
 mod adapt;
 mod config;
+mod config_lang;
 mod error;
 mod event;
 mod fsm;
 mod monitor;
+mod protocol;
 mod registry;
 mod runtime;
 mod symbol;
 mod units;
 
 pub use adapt::{AdaptationPolicy, DiscoveryMode};
-pub use config::{IndissConfig, UnitSpec};
+pub use config::{IndissConfig, IndissConfigBuilder, UnitSpec};
 pub use error::{CoreError, CoreResult};
 pub use event::{Event, EventKind, EventStream, EventStreamBuilder, ParserKind, SdpProtocol};
 pub use fsm::{Action, Fsm, FsmBuilder, Guard, Trigger};
 pub use monitor::{DetectionRecord, Monitor};
+pub use protocol::ProtocolId;
 pub use registry::{
     AdvertDisposition, Projection, RegistryConfig, RegistryStats, ServiceRecord, ServiceRegistry,
     SweepReport,
 };
-pub use runtime::{BridgeStats, Indiss};
+pub use runtime::{BridgeHandle, BridgeStats, Indiss};
 pub use symbol::Symbol;
 pub use units::{
-    BridgeRequestFn, JiniUnit, JiniUnitConfig, ParsedMessage, SlpUnit, SlpUnitConfig, Unit,
-    UpnpUnit, UpnpUnitConfig,
+    BridgeRequestFn, DescriptorClient, DescriptorService, DescriptorUnit, JiniUnit, JiniUnitConfig,
+    ParsedMessage, SdpDescriptor, SdpDescriptorBuilder, SlpUnit, SlpUnitConfig, Unit, UnitContext,
+    UnitFactory, UpnpUnit, UpnpUnitConfig,
 };

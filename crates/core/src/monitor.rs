@@ -7,6 +7,11 @@
 //! based on the data content but on the data existence at the specified
 //! UDP/TCP ports inside the corresponding groups"). Raw datagrams are
 //! then forwarded to the appropriate unit's parser (§2.2 step 2).
+//!
+//! Because detection never looks inside a payload, the monitor is
+//! already protocol-open: a [`SdpProtocol::Dynamic`] protocol is watched
+//! exactly like a built-in one, on the port and groups its
+//! [`crate::ProtocolId`] registration declared.
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -286,6 +291,23 @@ mod tests {
         sa.advertise().unwrap();
         world.run_for(Duration::from_secs(1));
         assert_eq!(detections.snapshot(), vec![SdpProtocol::Slp], "detected exactly once");
+    }
+
+    /// Detection of a descriptor-defined protocol works from port
+    /// activity alone, exactly like the built-ins.
+    #[test]
+    fn detects_dynamic_protocol_from_its_registered_port() {
+        let descriptor = crate::units::SdpDescriptor::dns_sd();
+        let protocol = descriptor.protocol();
+        let world = World::new(3);
+        let gw = world.add_node("gateway");
+        let client_host = world.add_node("client");
+        let monitor = Monitor::start(&gw, &[SdpProtocol::Slp, protocol]).unwrap();
+        let client = crate::units::DescriptorClient::start(&client_host, descriptor).unwrap();
+        client.query(&world, "clock");
+        world.run_for(Duration::from_secs(1));
+        assert_eq!(monitor.detected(), vec![protocol]);
+        assert_eq!(monitor.detection(protocol).unwrap().message_count, 1);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Open protocol identities (paper §3).
+//!
+//! The three built-in SDPs are compiled-in variants of
+//! [`crate::SdpProtocol`]; everything else enters the system through a
+//! [`ProtocolId`] — an interned protocol name bound, process-wide, to the
+//! IANA-style "permanent identification tag" the monitor detects by: a
+//! UDP port plus its multicast groups. A `ProtocolId` is a [`Symbol`]
+//! underneath, so it is `Copy`, hashes one machine word, and flows
+//! through every registry index, cache key, suppression key and stats
+//! counter exactly like a built-in protocol does.
+//!
+//! Registration follows the symbol interner's model: the binding table is
+//! process-wide (identity must hold across threads and instances) and
+//! entries live for the process lifetime. Re-registering the same name
+//! with identical parameters is idempotent — descriptors, the config
+//! language and tests can all name the same protocol freely — while a
+//! conflicting re-registration is rejected, because two meanings for one
+//! detection tag would make the monitor's port-based dispatch ambiguous.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::sync::{Mutex, OnceLock};
+
+use crate::error::{CoreError, CoreResult};
+use crate::event::SdpProtocol;
+use crate::symbol::Symbol;
+
+/// The identity of a dynamically registered discovery protocol.
+///
+/// Obtainable only through [`ProtocolId::register`] (or
+/// [`ProtocolId::lookup`] of an already-registered name), so every value
+/// in circulation has a port and multicast-group binding behind it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProtocolId(Symbol);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProtocolInfo {
+    port: u16,
+    groups: &'static [Ipv4Addr],
+}
+
+fn table() -> &'static Mutex<HashMap<Symbol, ProtocolInfo>> {
+    static TABLE: OnceLock<Mutex<HashMap<Symbol, ProtocolInfo>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl ProtocolId {
+    /// Registers (or re-finds) the protocol `name`, detected on `port`
+    /// within `groups`.
+    ///
+    /// Idempotent for identical parameters: the same name registered
+    /// twice with the same port and groups yields the same id.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] when the name or port collides with a
+    /// built-in SDP, when the name is already bound to different
+    /// parameters, or when the port is already owned by another dynamic
+    /// protocol.
+    pub fn register(name: &str, port: u16, groups: &[Ipv4Addr]) -> CoreResult<ProtocolId> {
+        if name.is_empty() {
+            return Err(CoreError::BadConfig("protocol name must not be empty"));
+        }
+        let lower = name.to_ascii_lowercase();
+        if ["slp", "upnp", "jini"].contains(&lower.as_str()) {
+            return Err(CoreError::BadConfig("protocol name is reserved by a built-in SDP"));
+        }
+        if SdpProtocol::ALL.iter().any(|p| p.port() == port) {
+            return Err(CoreError::BadConfig("protocol port is owned by a built-in SDP"));
+        }
+        let mut table = table().lock().expect("protocol table poisoned");
+        // Find an existing binding by string scan — the table is tiny
+        // (one entry per registered protocol) and interning the name
+        // before all checks pass would leak every *failed* registration
+        // into the process-lifetime interner.
+        if let Some((&sym, info)) = table.iter().find(|(sym, _)| sym.as_str() == name) {
+            if info.port == port && info.groups == groups {
+                return Ok(ProtocolId(sym));
+            }
+            return Err(CoreError::BadConfig(
+                "protocol name already registered with different parameters",
+            ));
+        }
+        if table.values().any(|info| info.port == port) {
+            return Err(CoreError::BadConfig(
+                "protocol port already registered to another dynamic protocol",
+            ));
+        }
+        let sym = Symbol::intern(name);
+        let groups: &'static [Ipv4Addr] = Box::leak(groups.to_vec().into_boxed_slice());
+        table.insert(sym, ProtocolInfo { port, groups });
+        Ok(ProtocolId(sym))
+    }
+
+    /// The id registered under `name` (exact match), if any. Probing an
+    /// unregistered name interns nothing (the table is scanned by
+    /// string), so lookups with network-derived names cannot grow the
+    /// interner.
+    pub fn lookup(name: &str) -> Option<ProtocolId> {
+        table()
+            .lock()
+            .expect("protocol table poisoned")
+            .keys()
+            .find(|sym| sym.as_str() == name)
+            .map(|&sym| ProtocolId(sym))
+    }
+
+    /// The protocol's registered name, as given at registration.
+    pub fn name(self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The protocol name as its interned symbol.
+    pub fn symbol(self) -> Symbol {
+        self.0
+    }
+
+    /// The UDP port the monitor detects this protocol on.
+    pub fn port(self) -> u16 {
+        self.info().port
+    }
+
+    /// The multicast groups the monitor joins for this protocol.
+    ///
+    /// Static, like [`SdpProtocol::multicast_groups`]: the slice is
+    /// leaked once at registration so the per-datagram detection path
+    /// never allocates.
+    pub fn multicast_groups(self) -> &'static [Ipv4Addr] {
+        self.info().groups
+    }
+
+    /// All dynamically registered protocols, sorted by name (a
+    /// deterministic debugging/monitoring view).
+    pub fn registered() -> Vec<ProtocolId> {
+        let mut ids: Vec<ProtocolId> = table()
+            .lock()
+            .expect("protocol table poisoned")
+            .keys()
+            .map(|&sym| ProtocolId(sym))
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    fn info(self) -> ProtocolInfo {
+        *table()
+            .lock()
+            .expect("protocol table poisoned")
+            .get(&self.0)
+            .expect("ProtocolId values only exist for registered protocols")
+    }
+}
+
+impl fmt::Debug for ProtocolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProtocolId({:?})", self.0)
+    }
+}
+
+impl fmt::Display for ProtocolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_for_identical_parameters() {
+        let groups = [Ipv4Addr::new(239, 1, 1, 1)];
+        let a = ProtocolId::register("idem-proto", 6100, &groups).unwrap();
+        let b = ProtocolId::register("idem-proto", 6100, &groups).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "idem-proto");
+        assert_eq!(a.port(), 6100);
+        assert_eq!(a.multicast_groups(), &groups);
+        assert_eq!(ProtocolId::lookup("idem-proto"), Some(a));
+    }
+
+    #[test]
+    fn conflicting_reregistration_is_rejected() {
+        let groups = [Ipv4Addr::new(239, 1, 1, 2)];
+        ProtocolId::register("conflict-proto", 6101, &groups).unwrap();
+        assert!(ProtocolId::register("conflict-proto", 6102, &groups).is_err());
+        assert!(
+            ProtocolId::register("conflict-proto", 6101, &[Ipv4Addr::new(239, 9, 9, 9)]).is_err()
+        );
+        // A second protocol cannot squat the same detection port either.
+        assert!(ProtocolId::register("conflict-proto-2", 6101, &groups).is_err());
+    }
+
+    #[test]
+    fn builtin_tags_are_protected() {
+        let groups = [Ipv4Addr::new(239, 1, 1, 3)];
+        for name in ["slp", "SLP", "UPnP", "jini"] {
+            assert!(ProtocolId::register(name, 6103, &groups).is_err(), "{name} reserved");
+        }
+        for port in [427, 1900, 4160] {
+            assert!(ProtocolId::register("port-squatter", port, &groups).is_err(), "{port} owned");
+        }
+        assert!(ProtocolId::register("", 6104, &groups).is_err());
+    }
+
+    #[test]
+    fn unknown_names_do_not_resolve() {
+        assert_eq!(ProtocolId::lookup("never-registered-proto"), None);
+    }
+
+    #[test]
+    fn registered_view_is_sorted_and_contains_new_entries() {
+        let groups = [Ipv4Addr::new(239, 1, 1, 4)];
+        let id = ProtocolId::register("aaa-sorted-proto", 6105, &groups).unwrap();
+        let all = ProtocolId::registered();
+        assert!(all.contains(&id));
+        let names: Vec<&str> = all.iter().map(|p| p.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

@@ -223,12 +223,23 @@ impl RegistryInner {
     }
 
     /// Drops any "nothing found" memory for `canonical_type` (for every
-    /// requesting protocol) — called whenever positive knowledge (an
-    /// advert or response) arrives, so a service appearing right after a
-    /// miss becomes visible immediately.
+    /// requesting protocol, dynamic ones included) — called whenever
+    /// positive knowledge (an advert or response) arrives, so a service
+    /// appearing right after a miss becomes visible immediately. Scans
+    /// the (bounded) negative store rather than enumerating protocols:
+    /// the protocol set is open, the store is not.
     fn clear_negative(&mut self, canonical_type: Symbol) {
-        for origin in SdpProtocol::ALL {
-            self.negative.remove(&(origin, canonical_type));
+        if self.negative.len() == 0 {
+            return;
+        }
+        let stale: Vec<(SdpProtocol, Symbol)> = self
+            .negative
+            .iter()
+            .filter(|((_, t), _)| *t == canonical_type)
+            .map(|(key, _)| *key)
+            .collect();
+        for key in stale {
+            self.negative.remove(&key);
         }
     }
 }

@@ -21,8 +21,8 @@
 //! virtual-time timers so expiry stays deterministic.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::collections::{HashMap, HashSet};
+use std::rc::{Rc, Weak};
 
 use indiss_net::{Completion, Datagram, Node, SimTime, World};
 
@@ -32,7 +32,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::event::{Event, EventStream, SdpProtocol};
 use crate::monitor::Monitor;
 use crate::registry::ServiceRegistry;
-use crate::units::{JiniUnit, ParsedMessage, SlpUnit, Unit, UpnpUnit};
+use crate::units::{ParsedMessage, Unit, UnitContext};
 
 /// Counters exposed for tests and the evaluation harness. The bridge-path
 /// counters are maintained by the runtime; the cache and record counters
@@ -89,16 +89,69 @@ pub struct Indiss {
     monitor: Monitor,
 }
 
+/// A weak re-entry handle into a deployed runtime's bridge, handed to
+/// [`crate::UnitFactory`] builds via [`UnitContext`]: units with their
+/// own listening endpoints (the Jini registrar, custom units) use it to
+/// feed parsed streams back into the request/advert paths.
+///
+/// Weak by design — a unit holding its runtime's bridge handle must not
+/// keep the runtime alive; once the instance is dropped the handle's
+/// methods become no-ops.
+#[derive(Clone)]
+pub struct BridgeHandle {
+    inner: Weak<RefCell<IndissInner>>,
+    monitor: Monitor,
+}
+
+impl BridgeHandle {
+    fn upgrade(&self) -> Option<Indiss> {
+        self.inner.upgrade().map(|inner| Indiss { inner, monitor: self.monitor.clone() })
+    }
+
+    /// Bridges a request stream that arrived at a unit's own endpoint.
+    /// When `reply` is given the response events are handed back on it
+    /// instead of being composed by the origin unit.
+    pub fn bridge_request(
+        &self,
+        world: &World,
+        origin: SdpProtocol,
+        request: EventStream,
+        reply: Option<Completion<EventStream>>,
+    ) {
+        if let Some(instance) = self.upgrade() {
+            instance.bridge_request(world, origin, request, reply);
+        }
+    }
+
+    /// Records an advertisement stream that arrived at a unit's own
+    /// endpoint (and re-advertises it in the active mode).
+    pub fn record_advert(&self, world: &World, origin: SdpProtocol, advert: EventStream) {
+        if let Some(instance) = self.upgrade() {
+            instance.record_advert(world, origin, advert);
+        }
+    }
+}
+
 impl Indiss {
     /// Deploys INDISS on `node` with the given configuration.
     ///
     /// # Errors
     ///
-    /// [`CoreError::BadConfig`] when no units are configured; network
+    /// [`CoreError::BadConfig`] when no units are configured or when two
+    /// units claim the same protocol (a silent first-wins would make the
+    /// losing spec's configuration disappear without a trace); network
     /// errors when the monitor or unit sockets cannot bind.
     pub fn deploy(node: &Node, config: IndissConfig) -> CoreResult<Indiss> {
         if config.units.is_empty() {
             return Err(CoreError::BadConfig("at least one unit is required"));
+        }
+        let mut claimed = HashSet::new();
+        for spec in &config.units {
+            if !claimed.insert(spec.protocol()) {
+                return Err(CoreError::BadConfig(
+                    "duplicate unit: each protocol may be configured at most once",
+                ));
+            }
         }
         let protocols = config.protocols();
         let monitor = Monitor::start(node, &protocols)?;
@@ -222,47 +275,27 @@ impl Indiss {
         }
     }
 
+    /// Instantiates one unit through its [`crate::UnitFactory`] — the
+    /// runtime has no knowledge of unit kinds, so the protocol set stays
+    /// open (built-ins, descriptor-driven units and custom factories all
+    /// take the same path).
     fn instantiate(&self, spec: &UnitSpec) -> CoreResult<()> {
-        let (node, registry) = {
+        let ctx = {
             let inner = self.inner.borrow();
-            (inner.node.clone(), inner.registry.clone())
-        };
-        let monitor = self.monitor.clone();
-        let unit: Rc<dyn Unit> = match spec {
-            UnitSpec::Slp(cfg) => {
-                let u = SlpUnit::new(&node, cfg.clone())?;
-                Rc::new(u)
-            }
-            UnitSpec::Upnp(cfg) => {
-                let u = UpnpUnit::new(&node, cfg.clone())?;
-                // Session sockets open dynamically; have each report to
-                // the monitor's loop filter.
-                let m = monitor.clone();
-                u.set_loop_filter(Rc::new(move |addr| m.ignore_source(addr)));
-                Rc::new(u)
-            }
-            UnitSpec::Jini(cfg) => {
-                let u = JiniUnit::new(&node, cfg.clone())?;
-                // Lookups arriving at the unit's registrar endpoint feed
-                // back into the runtime.
-                let weak = Rc::downgrade(&self.inner);
-                let monitor2 = monitor.clone();
-                u.set_bridge(Rc::new(move |world, stream, reply| {
-                    if let Some(inner) = weak.upgrade() {
-                        let instance = Indiss { inner, monitor: monitor2.clone() };
-                        if stream.is_request() {
-                            instance.bridge_request(world, SdpProtocol::Jini, stream, Some(reply));
-                        } else if stream.is_alive() || stream.is_byebye() {
-                            instance.record_advert(world, SdpProtocol::Jini, stream);
-                        }
-                    }
-                }));
-                Rc::new(u)
+            UnitContext {
+                node: inner.node.clone(),
+                registry: inner.registry.clone(),
+                monitor: self.monitor.clone(),
+                bridge: BridgeHandle {
+                    inner: Rc::downgrade(&self.inner),
+                    monitor: self.monitor.clone(),
+                },
             }
         };
-        unit.bind_registry(&registry);
+        let unit = spec.factory().build(&ctx)?;
+        unit.bind_registry(&ctx.registry);
         for addr in unit.own_sources() {
-            monitor.ignore_source(addr);
+            self.monitor.ignore_source(addr);
         }
         self.inner.borrow_mut().units.insert(spec.protocol(), unit);
         Ok(())
@@ -811,6 +844,49 @@ mod tests {
         let world = World::new(78);
         let node = world.add_node("x");
         assert!(matches!(Indiss::deploy(&node, IndissConfig::new()), Err(CoreError::BadConfig(_))));
+    }
+
+    /// Two specs for the same protocol must be rejected loudly: a silent
+    /// first-wins would make the second spec's configuration vanish.
+    #[test]
+    fn deploy_rejects_duplicate_units_for_one_protocol() {
+        let world = World::new(83);
+        let node = world.add_node("x");
+        let config = IndissConfig::new().with_slp().with_upnp().with_slp();
+        let err = Indiss::deploy(&node, config).unwrap_err();
+        assert!(matches!(err, CoreError::BadConfig(msg) if msg.contains("duplicate")), "{err}");
+        // The builder path hits the same guard.
+        let config = IndissConfig::builder()
+            .descriptor(crate::SdpDescriptor::dns_sd())
+            .descriptor(crate::SdpDescriptor::dns_sd())
+            .build();
+        let err = Indiss::deploy(&node, config).unwrap_err();
+        assert!(matches!(err, CoreError::BadConfig(msg) if msg.contains("duplicate")), "{err}");
+    }
+
+    /// Fig. 5 with a descriptor unit: the monitor watches the
+    /// descriptor's scan port from deploy time, the unit instantiates on
+    /// the first native datagram, and `active_units` reports the dynamic
+    /// protocol like any built-in.
+    #[test]
+    fn lazy_descriptor_unit_instantiates_on_first_traffic() {
+        let descriptor = crate::SdpDescriptor::dns_sd();
+        let protocol = descriptor.protocol();
+        let world = World::new(84);
+        let gw = world.add_node("gateway");
+        let client_node = world.add_node("dnssd-client");
+        let indiss = Indiss::deploy(
+            &gw,
+            IndissConfig::builder().slp().descriptor(descriptor.clone()).lazy().build(),
+        )
+        .unwrap();
+        assert!(indiss.active_units().is_empty(), "nothing instantiated yet");
+
+        let client = crate::DescriptorClient::start(&client_node, descriptor).unwrap();
+        client.query(&world, "clock");
+        world.run_for(Duration::from_secs(1));
+        assert_eq!(indiss.monitor().detected(), vec![protocol], "scan port detected");
+        assert_eq!(indiss.active_units(), vec![protocol], "unit composed dynamically");
     }
 
     /// Adverts heard from the environment land in the shared registry and

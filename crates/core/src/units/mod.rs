@@ -8,23 +8,32 @@
 //! exchanged messages" — driving multi-step native interactions (the UPnP
 //! unit's recursive description fetch of §2.4 being the canonical case).
 
+pub mod descriptor;
 pub mod jini;
 pub mod slp;
 mod upnp;
 
+pub use descriptor::{
+    DescriptorClient, DescriptorService, DescriptorUnit, SdpDescriptor, SdpDescriptorBuilder,
+};
 pub use jini::{BridgeRequestFn, JiniUnit, JiniUnitConfig};
 pub use slp::{SlpUnit, SlpUnitConfig};
 pub use upnp::{UpnpUnit, UpnpUnitConfig};
 
 use std::net::SocketAddrV4;
+use std::rc::Rc;
 
-use indiss_net::{Completion, Datagram, World};
+use indiss_net::{Completion, Datagram, Node, World};
 
+use crate::error::CoreResult;
 use crate::event::{EventStream, SdpProtocol, Symbol};
+use crate::monitor::Monitor;
 use crate::registry::ServiceRegistry;
+use crate::runtime::BridgeHandle;
 
 /// Result of feeding a raw native message to a unit's parser.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ParsedMessage {
     /// A service search request that may be bridged to other SDPs.
     Request(EventStream),
@@ -84,6 +93,128 @@ pub trait Unit {
     /// Source addresses this unit sends from; the runtime registers them
     /// with the monitor's loop filter.
     fn own_sources(&self) -> Vec<SocketAddrV4>;
+}
+
+/// Everything a [`UnitFactory`] may wire a freshly built unit to: the
+/// node it deploys on, the shared registry, the monitor (loop
+/// filtering), and a re-entry handle into the runtime's bridge.
+///
+/// Constructed by the runtime per instantiation; custom factories get
+/// the same capabilities the built-in units use (the UPnP unit's dynamic
+/// session sockets report to the loop filter, the Jini unit's registrar
+/// endpoint feeds lookups back through the bridge).
+pub struct UnitContext {
+    pub(crate) node: Node,
+    pub(crate) registry: ServiceRegistry,
+    pub(crate) monitor: Monitor,
+    pub(crate) bridge: BridgeHandle,
+}
+
+impl UnitContext {
+    /// The node the unit deploys on.
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    /// The runtime's shared service registry.
+    pub fn registry(&self) -> &ServiceRegistry {
+        &self.registry
+    }
+
+    /// The runtime's monitor (e.g. for [`Monitor::ignore_source`] on
+    /// dynamically opened sockets).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// A handle for feeding parsed streams back into the runtime's
+    /// bridge — the hook units with their own listening endpoints use.
+    pub fn bridge(&self) -> &BridgeHandle {
+        &self.bridge
+    }
+}
+
+/// Builds a [`Unit`] for one protocol — the open counterpart of the old
+/// closed `match` over unit kinds in the runtime.
+///
+/// Object-safe: [`crate::IndissConfig`] carries factories (directly via
+/// [`crate::UnitSpec::Custom`], or implied by the built-in and
+/// descriptor specs) and the runtime instantiates through this trait
+/// alone, so adding an SDP never touches `runtime.rs` again.
+pub trait UnitFactory {
+    /// The protocol the built unit will translate.
+    fn protocol(&self) -> SdpProtocol;
+
+    /// Builds (and wires) the unit.
+    ///
+    /// # Errors
+    ///
+    /// Typically network errors from socket binds.
+    fn build(&self, ctx: &UnitContext) -> CoreResult<Rc<dyn Unit>>;
+}
+
+pub(crate) struct SlpFactory(pub(crate) SlpUnitConfig);
+
+impl UnitFactory for SlpFactory {
+    fn protocol(&self) -> SdpProtocol {
+        SdpProtocol::Slp
+    }
+
+    fn build(&self, ctx: &UnitContext) -> CoreResult<Rc<dyn Unit>> {
+        Ok(Rc::new(SlpUnit::new(ctx.node(), self.0.clone())?))
+    }
+}
+
+pub(crate) struct UpnpFactory(pub(crate) UpnpUnitConfig);
+
+impl UnitFactory for UpnpFactory {
+    fn protocol(&self) -> SdpProtocol {
+        SdpProtocol::Upnp
+    }
+
+    fn build(&self, ctx: &UnitContext) -> CoreResult<Rc<dyn Unit>> {
+        let unit = UpnpUnit::new(ctx.node(), self.0.clone())?;
+        // Session sockets open dynamically; have each report to the
+        // monitor's loop filter.
+        let monitor = ctx.monitor().clone();
+        unit.set_loop_filter(Rc::new(move |addr| monitor.ignore_source(addr)));
+        Ok(Rc::new(unit))
+    }
+}
+
+pub(crate) struct JiniFactory(pub(crate) JiniUnitConfig);
+
+impl UnitFactory for JiniFactory {
+    fn protocol(&self) -> SdpProtocol {
+        SdpProtocol::Jini
+    }
+
+    fn build(&self, ctx: &UnitContext) -> CoreResult<Rc<dyn Unit>> {
+        let unit = JiniUnit::new(ctx.node(), self.0.clone())?;
+        // Lookups arriving at the unit's registrar endpoint feed back
+        // into the runtime.
+        let bridge = ctx.bridge().clone();
+        unit.set_bridge(Rc::new(move |world, stream, reply| {
+            if stream.is_request() {
+                bridge.bridge_request(world, SdpProtocol::Jini, stream, Some(reply));
+            } else if stream.is_alive() || stream.is_byebye() {
+                bridge.record_advert(world, SdpProtocol::Jini, stream);
+            }
+        }));
+        Ok(Rc::new(unit))
+    }
+}
+
+pub(crate) struct DescriptorFactory(pub(crate) SdpDescriptor);
+
+impl UnitFactory for DescriptorFactory {
+    fn protocol(&self) -> SdpProtocol {
+        self.0.protocol()
+    }
+
+    fn build(&self, ctx: &UnitContext) -> CoreResult<Rc<dyn Unit>> {
+        Ok(Rc::new(DescriptorUnit::new(ctx.node(), self.0.clone())?))
+    }
 }
 
 /// Extracts the canonical short type name (`clock`, `printer`) from a

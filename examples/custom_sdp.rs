@@ -1,0 +1,76 @@
+//! A fourth SDP from pure data (paper §3).
+//!
+//! The paper's point is that an INDISS instance is *composed*, not
+//! compiled: `System SDP = { Component Unit SLP(port=427); … }`. This
+//! example takes that literally — the whole gateway, including a
+//! DNS-SD-flavoured protocol INDISS has no Rust unit for, is declared in
+//! the textual config language and deployed from it. The new protocol's
+//! clients then discover a UPnP clock, and an SLP client discovers a
+//! service that only ever announced itself in the new protocol.
+//!
+//! Run with: `cargo run --example custom_sdp`
+
+use indiss::core::{DescriptorClient, DescriptorService, Indiss, IndissConfig, SdpDescriptor};
+use indiss::net::World;
+use indiss::slp::{SlpConfig, UserAgent};
+use indiss::upnp::{ClockDevice, UpnpConfig};
+use std::time::Duration;
+
+/// The §3 config, extended with one descriptor unit: a brand-new SDP
+/// declared entirely in text.
+const SYSTEM_SDP: &str = r#"
+System SDP = {
+  Component Monitor = { ScanPort = { 1900; 4160; 427; 5353 } }
+  Component Unit SLP(port=427);
+  Component Unit UPnP(port=1900);
+  Component Unit JINI(port=4160);
+  Component Unit DNS-SD(port=5353) = {
+    Group  = 224.0.0.251;
+    Ttl    = 120;
+    Query  = "DNSSD Q PTR _{type}._tcp.local";
+    Answer = "DNSSD A PTR _{type}._tcp.local SRV {url} TTL {ttl}";
+    Alive  = "DNSSD ANNOUNCE _{type}._tcp.local SRV {url} TTL {ttl}";
+    ByeBye = "DNSSD GOODBYE _{type}._tcp.local SRV {url}";
+  };
+}
+"#;
+
+fn main() {
+    let config = IndissConfig::from_system_sdp(SYSTEM_SDP).expect("the text config parses");
+    println!("parsed `System SDP` config; units: {:?}\n", config.protocols());
+
+    let world = World::new(17);
+    let gateway = world.add_node("gateway");
+    let indiss = Indiss::deploy(&gateway, config).expect("deploys");
+
+    // A native UPnP clock, knowing nothing of DNS-SD…
+    let clock_host = world.add_node("upnp-clock");
+    let _clock = ClockDevice::start(&clock_host, UpnpConfig::default()).expect("clock");
+    // …and a native DNS-SD scanner, knowing nothing of SLP/UPnP/Jini.
+    // Both native DNS-SD peers are generated from the same descriptor.
+    let scanner_host = world.add_node("dnssd-scanner");
+    let scanner =
+        DescriptorService::start(&scanner_host, SdpDescriptor::dns_sd()).expect("scanner");
+    scanner.register("scanner", "scan://10.0.0.7:6566/sane");
+    world.run_for(Duration::from_millis(100));
+
+    // 1. A DNS-SD client discovers the UPnP clock through the gateway.
+    let dnssd_host = world.add_node("dnssd-client");
+    let dnssd = DescriptorClient::start(&dnssd_host, SdpDescriptor::dns_sd()).expect("client");
+    let (first, _all) = dnssd.query(&world, "clock");
+    world.run_for(Duration::from_secs(2));
+    let url = first.take().expect("DNS-SD client must discover the UPnP clock");
+    println!("DNS-SD client found the UPnP clock at {url}");
+
+    // 2. An SLP client discovers the DNS-SD scanner the same way.
+    let slp_host = world.add_node("slp-client");
+    let ua = UserAgent::start(&slp_host, SlpConfig::default()).expect("ua");
+    let (_f, done) = ua.find_services(&world, "service:scanner", "");
+    world.run_for(Duration::from_secs(2));
+    let urls = done.take().expect("SLP discovery round finished").urls;
+    assert!(!urls.is_empty(), "SLP client must discover the DNS-SD scanner");
+    println!("SLP client found the DNS-SD scanner at {}", urls[0].url);
+
+    println!("\nactive units: {:?}", indiss.active_units());
+    println!("stats:        {:?}", indiss.stats());
+}

@@ -24,6 +24,24 @@
 //! * [`core`] — INDISS itself: events, FSMs, units, monitor, the
 //!   service registry and the runtime.
 //!
+//! ## The open protocol API
+//!
+//! The protocol set is open (paper §3): beyond the compiled-in SLP,
+//! UPnP and Jini units, a new SDP can be added **from data alone**. An
+//! [`core::SdpDescriptor`] declares a line-oriented protocol — scan
+//! port, multicast group, parser table and composer templates — and
+//! [`core::DescriptorUnit`] bridges it; its [`core::ProtocolId`]
+//! participates in the registry, the response/negative caches and the
+//! statistics exactly like a built-in protocol. The paper's own textual
+//! composition language works verbatim:
+//! [`core::IndissConfig::from_system_sdp`] parses
+//! `System SDP = { Component Unit SLP(port=427); … }` — including
+//! descriptor blocks for protocols INDISS has never heard of (see
+//! `examples/custom_sdp.rs` for a four-protocol gateway declared in
+//! text). Hand-written units plug in through the object-safe
+//! [`core::UnitFactory`] registry and
+//! [`core::IndissConfig::builder`].
+//!
 //! ## The service registry
 //!
 //! Everything INDISS learns about the network lives in one place: the

@@ -1,7 +1,12 @@
 //! Cross-protocol interoperability matrix: every client kind × every
-//! service kind × every INDISS location the paper's §4.2 enumerates.
+//! service kind × every INDISS location the paper's §4.2 enumerates —
+//! plus the open-protocol rows: a DNS-SD-flavoured fourth SDP defined
+//! *only* as an [`SdpDescriptor`] (no `Unit` implementation) must
+//! round-trip against all three compiled-in protocols.
 
-use indiss::core::{Indiss, IndissConfig};
+use indiss::core::{
+    DescriptorClient, DescriptorService, Indiss, IndissConfig, SdpDescriptor, SdpProtocol,
+};
 use indiss::jini::{JiniAgent, JiniConfig, LookupService, ServiceItem};
 use indiss::net::{Node, World};
 use indiss::slp::{AttributeList, Registration, ServiceAgent, SlpConfig, UserAgent};
@@ -143,6 +148,169 @@ fn upnp_client_sees_jini_service() {
     let (_f, all) = cp.search(&world, SearchTarget::device_urn("thermometer", 1));
     world.run_for(Duration::from_secs(2));
     assert_eq!(all.take().unwrap().len(), 1);
+}
+
+/// The 4-protocol gateway configuration every descriptor test deploys.
+fn four_protocol_config() -> IndissConfig {
+    IndissConfig::builder().slp().upnp().jini().descriptor(SdpDescriptor::dns_sd()).build()
+}
+
+/// DNS-SD client → UPnP service: a protocol that exists only as data
+/// discovers a service behind a hand-written unit.
+#[test]
+fn dnssd_client_sees_upnp_service() {
+    let world = World::new(9);
+    let service_host = world.add_node("upnp-host");
+    let client_host = world.add_node("dnssd-host");
+    let gateway = world.add_node("gateway");
+    let _clock = ClockDevice::start(&service_host, UpnpConfig::default()).unwrap();
+    let _indiss = Indiss::deploy(&gateway, four_protocol_config()).unwrap();
+    let client = DescriptorClient::start(&client_host, SdpDescriptor::dns_sd()).unwrap();
+    let (first, done) = client.query(&world, "clock");
+    world.run_for(Duration::from_secs(2));
+    let url = first.take().expect("answered through INDISS");
+    assert!(url.starts_with("soap://"), "UPnP control endpoint, got {url}");
+    assert_eq!(done.take().unwrap().len(), 1);
+}
+
+/// DNS-SD client → SLP and Jini services, one query each.
+#[test]
+fn dnssd_client_sees_slp_and_jini_services() {
+    let world = World::new(9);
+    let slp_host = world.add_node("slp-host");
+    let reggie_host = world.add_node("reggie");
+    let provider_host = world.add_node("provider");
+    let client_host = world.add_node("dnssd-host");
+    let gateway = world.add_node("gateway");
+    start_slp_clock(&slp_host);
+    let _reggie = LookupService::start(&reggie_host, JiniConfig::default()).unwrap();
+    let provider = JiniAgent::start(&provider_host, JiniConfig::default()).unwrap();
+    provider.register(ServiceItem {
+        service_id: 11,
+        service_type: "thermometer".into(),
+        endpoint: format!("{}:9300", provider_host.addr()),
+        attributes: vec![],
+    });
+    let _indiss = Indiss::deploy(&gateway, four_protocol_config()).unwrap();
+    world.run_for(Duration::from_secs(1));
+
+    let client = DescriptorClient::start(&client_host, SdpDescriptor::dns_sd()).unwrap();
+    let (clock_first, _) = client.query(&world, "clock");
+    world.run_for(Duration::from_secs(2));
+    let url = clock_first.take().expect("SLP clock answered");
+    assert!(url.starts_with("service:clock://"), "SLP service URL, got {url}");
+
+    let (thermo_first, _) = client.query(&world, "thermometer");
+    world.run_for(Duration::from_secs(2));
+    let url = thermo_first.take().expect("Jini thermometer answered");
+    assert!(url.starts_with("jini://"), "Jini endpoint, got {url}");
+}
+
+/// DNS-SD service → SLP, UPnP and Jini clients: the descriptor
+/// protocol's adverts and query answers are visible in all three
+/// directions, and its records land in the registry under the dynamic
+/// origin.
+#[test]
+fn dnssd_service_is_visible_to_all_three_builtin_clients() {
+    let world = World::new(9);
+    let service_host = world.add_node("dnssd-host");
+    let gateway = world.add_node("gateway");
+    let indiss = Indiss::deploy(&gateway, four_protocol_config()).unwrap();
+    let service = DescriptorService::start(&service_host, SdpDescriptor::dns_sd()).unwrap();
+    service.register("scanner", "scan://10.0.0.8:6566/sane");
+    world.run_for(Duration::from_secs(1));
+
+    // The announce was recorded under the dynamic origin protocol.
+    let dnssd = SdpDescriptor::dns_sd().protocol();
+    let registry = indiss.registry();
+    assert_eq!(registry.record_count_by_origin(dnssd, world.now()), 1, "advert recorded");
+    assert!(registry.contains_type("scanner", world.now()));
+
+    // SLP client.
+    let ua = UserAgent::start(&world.add_node("slp-client"), SlpConfig::default()).unwrap();
+    let (_f, done) = ua.find_services(&world, "service:scanner", "");
+    world.run_for(Duration::from_secs(2));
+    let urls = done.take().unwrap().urls;
+    assert_eq!(urls.len(), 1, "SLP sees the DNS-SD scanner");
+    assert!(urls[0].url.starts_with("service:scanner:scan://"), "{}", urls[0].url);
+
+    // UPnP control point.
+    let cp =
+        ControlPoint::start(&world.add_node("upnp-client"), ControlPointConfig::default()).unwrap();
+    let (_f, all) = cp.search(&world, SearchTarget::device_urn("scanner", 1));
+    world.run_for(Duration::from_secs(2));
+    assert_eq!(all.take().unwrap().len(), 1, "UPnP sees the DNS-SD scanner");
+
+    // Jini client.
+    let jini = JiniAgent::start(&world.add_node("jini-client"), JiniConfig::default()).unwrap();
+    let found = jini.lookup("scanner");
+    world.run_for(Duration::from_secs(2));
+    let items = found.take().expect("lookup answered");
+    assert_eq!(items.len(), 1, "Jini sees the DNS-SD scanner");
+    assert!(items[0].endpoint.starts_with("scan://"), "{:?}", items[0]);
+}
+
+/// The dynamic protocol gets the same registry machinery as compiled-in
+/// units: repeat queries hit the response cache, absent types arm the
+/// per-(origin, type) negative cache, and the suppression window holds.
+#[test]
+fn dnssd_requests_use_cache_negative_cache_and_suppression() {
+    let world = World::new(9);
+    let service_host = world.add_node("upnp-host");
+    let client_host = world.add_node("dnssd-host");
+    let gateway = world.add_node("gateway");
+    let _clock = ClockDevice::start(&service_host, UpnpConfig::default()).unwrap();
+    let indiss = Indiss::deploy(
+        &gateway,
+        IndissConfig::builder()
+            .slp()
+            .upnp()
+            .jini()
+            .descriptor(SdpDescriptor::dns_sd())
+            .negative_ttl(Duration::from_secs(60))
+            .build(),
+    )
+    .unwrap();
+    let client = DescriptorClient::start(&client_host, SdpDescriptor::dns_sd()).unwrap();
+
+    // Cold query bridges; the repeat is answered from the cache.
+    let (_f, d) = client.query(&world, "clock");
+    world.run_for(Duration::from_secs(2));
+    assert_eq!(d.take().unwrap().len(), 1);
+    let cold = indiss.stats();
+    assert_eq!(cold.requests_bridged, 1);
+    let (_f, d) = client.query(&world, "clock");
+    world.run_for(Duration::from_secs(2));
+    assert_eq!(d.take().unwrap().len(), 1, "warm answer");
+    let warm = indiss.stats();
+    assert_eq!(warm.cache_hits, cold.cache_hits + 1, "cache hit counted");
+
+    // An absent type fans out once, then the negative cache absorbs the
+    // storm — keyed by the *dynamic* origin protocol.
+    for _ in 0..3 {
+        let (_f, d) = client.query(&world, "toaster");
+        world.run_for(Duration::from_secs(1));
+        assert!(d.take().unwrap().is_empty());
+    }
+    let stats = indiss.stats();
+    assert_eq!(
+        stats.requests_bridged,
+        warm.requests_bridged + 1,
+        "one fan-out for the absent type: {stats:?}"
+    );
+    assert_eq!(stats.negative_hits, 2, "storm absorbed: {stats:?}");
+
+    // The suppression window sees dynamic-origin types too: a burst of
+    // distinct-client queries inside the window is not re-bridged.
+    let burst_client =
+        DescriptorClient::start(&world.add_node("dnssd-burst"), SdpDescriptor::dns_sd()).unwrap();
+    let registry = indiss.registry();
+    assert!(matches!(SdpDescriptor::dns_sd().protocol(), SdpProtocol::Dynamic(_)));
+    registry.mark_bridged("printer", world.now() + Duration::from_secs(5));
+    let (_f, d) = burst_client.query(&world, "printer");
+    world.run_for(Duration::from_secs(1));
+    assert!(d.take().unwrap().is_empty());
+    assert!(indiss.stats().requests_suppressed >= 1, "{:?}", indiss.stats());
 }
 
 /// Two INDISS instances in one network must not amplify traffic into a
