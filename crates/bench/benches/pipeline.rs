@@ -7,7 +7,7 @@
 //! (decode + re-encode without the event layer) is the ablation for the
 //! event-based architecture's overhead.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -129,6 +129,9 @@ fn bench_round_trip_per_protocol(c: &mut Criterion) {
     ]);
 
     let mut group = c.benchmark_group("round_trip");
+    // One bridged request per iteration: the report's throughput line is
+    // directly requests/second.
+    group.throughput(Throughput::Elements(1));
     group.bench_function("slp_parse_translate_compose", |b| {
         b.iter(|| {
             let ParsedMessage::Request(request) = slp_unit.parse(&world, black_box(&slp_dgram))

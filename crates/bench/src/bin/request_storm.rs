@@ -1,12 +1,18 @@
 //! Request-storm benchmark: N clients hammering one gateway with mixed
 //! hit/miss/absent-type queries across all four SDPs (SLP, UPnP, Jini
-//! and the descriptor-driven DNS-SD protocol), plus the pure
-//! event-pipeline allocation metric the zero-copy refactor is judged by.
+//! and the descriptor-driven DNS-SD protocol), the pure event-pipeline
+//! allocation metric the zero-copy refactor is judged by, and the
+//! multi-threaded warm-hit scaling curve the sharded registry is judged
+//! by (1/2/4/8 workers over a 16-shard registry; ≥2× throughput at 4
+//! workers vs 1 is the gate).
 //!
 //! Emits `BENCH_storm.json` for the perf trajectory. Pass `--smoke` for
-//! the small CI configuration.
+//! the small CI configuration and `--workers N` to cap the scaling
+//! curve's largest point.
 
-use indiss_bench::scenarios::{request_storm, warm_hit_pipeline_bytes};
+use std::time::Duration;
+
+use indiss_bench::scenarios::{request_storm, warm_hit_pipeline_bytes, warm_hit_scaling};
 
 /// Bytes of allocator traffic per warm-hit bridged request measured on
 /// the event pipeline *before* the zero-copy refactor (deep-cloned
@@ -16,11 +22,44 @@ use indiss_bench::scenarios::{request_storm, warm_hit_pipeline_bytes};
 const PRE_REFACTOR_PIPELINE_BYTES_PER_REQUEST: u64 = 3399;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let max_workers: usize = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
     let (clients, rounds, pipeline_iters) = if smoke { (4, 6, 5_000) } else { (16, 20, 50_000) };
+    let (scaling_requests, scaling_types, io_wait) = if smoke {
+        (1_200u64, 32, Duration::from_micros(100))
+    } else {
+        (4_000u64, 64, Duration::from_micros(150))
+    };
 
     let pipeline_bytes = warm_hit_pipeline_bytes(pipeline_iters);
     let outcome = request_storm(7, clients, rounds);
+
+    // The payoff curve: the same warm-hit pipeline across worker counts
+    // over the sharded registry (per-request io_wait models the
+    // synchronous reply transmit; see `warm_hit_scaling`).
+    let mut worker_points: Vec<usize> =
+        [1usize, 2, 4, 8].into_iter().filter(|w| *w <= max_workers).collect();
+    if !worker_points.contains(&max_workers) {
+        worker_points.push(max_workers);
+    }
+    let scaling: Vec<indiss_bench::scenarios::ScalingPoint> = worker_points
+        .iter()
+        .map(|&w| warm_hit_scaling(w, scaling_requests, scaling_types, io_wait))
+        .collect();
+    for point in &scaling {
+        assert_eq!(point.cache_hits, point.requests, "scaling storm must be all-warm");
+    }
+    let rps_at = |w: usize| scaling.iter().find(|p| p.workers == w).map(|p| p.throughput_rps);
+    let speedup_4v1 = match (rps_at(1), rps_at(4)) {
+        (Some(one), Some(four)) if one > 0.0 => Some(four / one),
+        _ => None,
+    };
     let ratio = PRE_REFACTOR_PIPELINE_BYTES_PER_REQUEST as f64 / pipeline_bytes.max(1) as f64;
     let p50_us = outcome.warm_hit_p50.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN);
     let p99_us = outcome.warm_hit_p99.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN);
@@ -38,7 +77,37 @@ fn main() {
     println!("  baseline (pre-refactor)       {PRE_REFACTOR_PIPELINE_BYTES_PER_REQUEST} B");
     println!("  current                       {pipeline_bytes} B");
     println!("  reduction                     {ratio:.1}x");
+    println!(
+        "threaded warm-hit scaling ({scaling_requests} reqs x {scaling_types} types, \
+         16 shards, {}us io-wait per request)",
+        io_wait.as_micros()
+    );
+    for point in &scaling {
+        let base = rps_at(1).unwrap_or(point.throughput_rps);
+        println!(
+            "  {:>2} workers                    {:>10.0} req/s  ({:.2}x, {:?})",
+            point.workers,
+            point.throughput_rps,
+            point.throughput_rps / base,
+            point.elapsed,
+        );
+    }
 
+    let scaling_json: Vec<String> = scaling
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "    {{ \"workers\": {}, \"requests\": {}, \"elapsed_us\": {:.0}, ",
+                    "\"throughput_rps\": {:.1} }}"
+                ),
+                p.workers,
+                p.requests,
+                p.elapsed.as_secs_f64() * 1e6,
+                p.throughput_rps,
+            )
+        })
+        .collect();
     let json = format!(
         concat!(
             "{{\n",
@@ -58,7 +127,12 @@ fn main() {
             "  \"storm_bytes_per_request\": {storm_bpr},\n",
             "  \"pipeline_bytes_per_request_baseline\": {baseline},\n",
             "  \"pipeline_bytes_per_request\": {pipeline},\n",
-            "  \"pipeline_reduction_factor\": {ratio:.2}\n",
+            "  \"pipeline_reduction_factor\": {ratio:.2},\n",
+            "  \"scaling_io_wait_us\": {io_wait_us},\n",
+            "  \"scaling_distinct_types\": {scaling_types},\n",
+            "  \"scaling_registry_shards\": 16,\n",
+            "  \"scaling\": [\n{scaling_points}\n  ],\n",
+            "  \"throughput_speedup_4_workers_vs_1\": {speedup}\n",
             "}}\n",
         ),
         smoke = smoke,
@@ -76,6 +150,12 @@ fn main() {
         baseline = PRE_REFACTOR_PIPELINE_BYTES_PER_REQUEST,
         pipeline = pipeline_bytes,
         ratio = ratio,
+        io_wait_us = io_wait.as_micros(),
+        scaling_types = scaling_types,
+        scaling_points = scaling_json.join(",\n"),
+        // `null`, not NaN: NaN is not a JSON token and would make the
+        // uploaded artifact unparseable when the curve stops below 4.
+        speedup = speedup_4v1.map_or("null".to_owned(), |s| format!("{s:.2}")),
     );
     std::fs::write("BENCH_storm.json", &json).expect("write BENCH_storm.json");
     println!("\nwrote BENCH_storm.json");
@@ -85,4 +165,11 @@ fn main() {
         "pipeline regression: {pipeline_bytes} B/request is less than 5x below the \
          {PRE_REFACTOR_PIPELINE_BYTES_PER_REQUEST} B baseline"
     );
+    if let Some(speedup) = speedup_4v1 {
+        assert!(
+            speedup >= 2.0,
+            "scaling regression: 4 workers deliver only {speedup:.2}x the 1-worker \
+             warm-hit throughput (gate: >= 2x)"
+        );
+    }
 }

@@ -147,6 +147,37 @@ mod tests {
             after <= before * 3,
             "cache-hit latency stable under churn: before={before:?} after={after:?}"
         );
+        // The GC'd interner: ~5,100 distinct type names, URLs and USNs
+        // (roughly 300 KB of string data) flowed through the pipeline,
+        // and all their records are gone — the interner must be back
+        // near its pre-churn size, not retaining them for the process
+        // lifetime. The slack covers the steady vocabulary, the bounded
+        // response cache's surviving entries, and symbols other
+        // concurrently running tests keep alive.
+        assert!(
+            outcome.interned_bytes_after <= outcome.interned_bytes_before + 128 * 1024,
+            "interned symbol data must stay bounded under churn: {} -> {} bytes ({} entries \
+             reclaimed by the final collect)",
+            outcome.interned_bytes_before,
+            outcome.interned_bytes_after,
+            outcome.interner_reclaimed,
+        );
+    }
+
+    /// The multi-threaded warm path answers every request from the
+    /// shared sharded registry, from whichever worker owns the type's
+    /// shard (throughput ratios are the `request_storm` binary's
+    /// business — under a loaded test runner only the counts are
+    /// stable).
+    #[test]
+    fn warm_hit_scaling_answers_everything_from_the_cache() {
+        for workers in [1, 4] {
+            let point =
+                scenarios::warm_hit_scaling(workers, 300, 16, std::time::Duration::from_micros(20));
+            assert_eq!(point.workers, workers);
+            assert_eq!(point.cache_hits, 300, "all-warm storm: {point:?}");
+            assert!(point.throughput_rps > 0.0);
+        }
     }
 
     /// The acceptance bar for the zero-copy event pipeline: a warm-hit

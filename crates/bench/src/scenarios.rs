@@ -8,7 +8,7 @@
 use std::net::SocketAddrV4;
 use std::time::Duration;
 
-use indiss_core::{AdaptationPolicy, DiscoveryMode, Indiss, IndissConfig};
+use indiss_core::{AdaptationPolicy, DiscoveryMode, Indiss, IndissConfig, Symbol};
 use indiss_net::{Collector, Completion, SimTime, World};
 use indiss_slp::{
     AttributeList, Registration, ServiceAgent, SlpConfig, UserAgent, SLP_MULTICAST_GROUP, SLP_PORT,
@@ -324,6 +324,16 @@ pub struct ChurnOutcome {
     pub warm_hit_before: Option<Duration>,
     /// Warm (cache-hit) probe latency after the churn.
     pub warm_hit_after: Option<Duration>,
+    /// Bytes of interned symbol data before the flood.
+    pub interned_bytes_before: usize,
+    /// Bytes of interned symbol data after the flood, the final TTL
+    /// reclamation and a [`Symbol::collect`] — the GC'd interner must
+    /// keep this near the pre-churn level instead of retaining every
+    /// network-derived type/USN/URL string the flood minted.
+    pub interned_bytes_after: usize,
+    /// Interner entries the final explicit collection reclaimed (the
+    /// amortized watermark GC reclaims continuously as well).
+    pub interner_reclaimed: usize,
 }
 
 /// Registry churn: floods a gateway INDISS with `services` short-lived
@@ -341,6 +351,7 @@ pub fn registry_churn(seed: u64, services: usize) -> ChurnOutcome {
     use std::rc::Rc;
 
     let record_capacity = 1024;
+    let interned_bytes_before = Symbol::interned_bytes();
     let world = World::new(seed);
     let gateway = world.add_node("gateway");
     let indiss = Indiss::deploy(
@@ -474,17 +485,25 @@ pub fn registry_churn(seed: u64, services: usize) -> ChurnOutcome {
 
     let stats = indiss.stats();
     let peak_records = *peak.borrow();
+    let final_records = registry.record_count();
+    // Every churned record is gone; whatever symbols only they kept
+    // alive are now collectable.
+    let interner_reclaimed = Symbol::collect();
+    let interned_bytes_after = Symbol::interned_bytes();
     ChurnOutcome {
         adverts_sent: services,
         adverts_recorded: stats.adverts_recorded,
         peak_records,
-        final_records: registry.record_count(),
+        final_records,
         record_capacity,
         records_expired: stats.records_expired,
         records_evicted: stats.records_evicted,
         cache_evictions: stats.cache_evictions,
         warm_hit_before,
         warm_hit_after,
+        interned_bytes_before,
+        interned_bytes_after,
+        interner_reclaimed,
     }
 }
 
@@ -725,4 +744,125 @@ pub fn smoke_workload(seed: u64, services: usize) -> usize {
         found.push(u.url);
     }
     found.len()
+}
+
+/// One point of the multi-threaded warm-hit scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Worker threads serving the gateway.
+    pub workers: usize,
+    /// Requests processed.
+    pub requests: u64,
+    /// Wall-clock time from first submission to full drain.
+    pub elapsed: Duration,
+    /// `requests / elapsed`, in requests per second.
+    pub throughput_rps: f64,
+    /// Cache hits observed (must equal `requests`: the storm is all
+    /// warm).
+    pub cache_hits: u64,
+}
+
+/// Multi-threaded warm-hit throughput: `total_requests` pre-encoded SLP
+/// `SrvRqst`s for `distinct_types` warmed types are pushed through a
+/// [`indiss_core::ThreadedGateway`] with `workers` threads, and the
+/// wall-clock drain time is measured.
+///
+/// Each request runs its whole pipeline on the worker owning its type's
+/// registry shard: wire decode + Fig. 4 parse
+/// ([`indiss_core::parse_slp_request`] — the deployed unit's own
+/// parser), the shared warm-path classification (a shard-locked cache
+/// hit), the delivery clone of the shared response buffer, and then
+/// `io_wait` of blocking time standing in for the synchronous socket
+/// round (reply transmit + kernel) a worker pays per request in a real
+/// deployment. With `io_wait` > 0 the curve measures how well workers
+/// overlap that blocking time — the regime a 1-core host can still
+/// demonstrate; with `io_wait == 0` it measures pure CPU scaling of the
+/// sharded warm path, which needs as many physical cores as workers to
+/// show gains. Either way there is no cross-shard coordination: types
+/// spread over all shards, so nothing serializes but the per-shard
+/// locks.
+pub fn warm_hit_scaling(
+    workers: usize,
+    total_requests: u64,
+    distinct_types: usize,
+    io_wait: Duration,
+) -> ScalingPoint {
+    use indiss_core::{
+        parse_slp_request, Event, EventStream, RegistryConfig, ThreadedGateway, WarmDecision,
+    };
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let distinct_types = distinct_types.max(1);
+    let config = RegistryConfig {
+        cache_ttl: Duration::from_secs(3600),
+        shards: 16,
+        ..RegistryConfig::default()
+    };
+    let gateway = ThreadedGateway::new(config, workers);
+    let registry = gateway.registry();
+    let warmed_at = SimTime::ZERO;
+    let now = SimTime::from_secs(1);
+
+    // Pre-encode one native SrvRqst per type and warm its response.
+    let src: SocketAddrV4 = "10.0.0.9:40000".parse().expect("addr");
+    let mut requests: Vec<(usize, Arc<[u8]>)> = Vec::with_capacity(distinct_types);
+    for i in 0..distinct_types {
+        let ty = format!("storm-type-{i}");
+        registry.warm(
+            ty.as_str(),
+            EventStream::framed(vec![
+                Event::ServiceResponse,
+                Event::ResOk,
+                Event::ServiceType(ty.as_str().into()),
+                Event::ResTtl(1800),
+                Event::ResServUrl(format!("soap://10.0.0.2:4004/{ty}/control")),
+            ]),
+            warmed_at,
+        );
+        let msg = indiss_slp::Message::new(
+            indiss_slp::Header::new(indiss_slp::FunctionId::SrvRqst, (i % 60_000) as u16, "en"),
+            indiss_slp::Body::SrvRqst(indiss_slp::SrvRqst {
+                prlist: String::new(),
+                service_type: format!("service:{ty}"),
+                scopes: "DEFAULT".into(),
+                predicate: String::new(),
+                spi: String::new(),
+            }),
+        );
+        let lane = gateway.lane_of(ty.as_str());
+        requests.push((lane, msg.encode().expect("encodable").into()));
+    }
+
+    let core = gateway.core();
+    let hits = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    for r in 0..total_requests {
+        let (lane, payload) = requests[(r as usize) % distinct_types].clone();
+        let core = core.clone();
+        let hits = Arc::clone(&hits);
+        gateway.submit_on_lane(lane, move || {
+            let request =
+                parse_slp_request(&payload, src, true).expect("pre-encoded SrvRqst parses");
+            let decision = core.classify(indiss_core::SdpProtocol::Slp, &request, now);
+            let WarmDecision::CacheHit(response) = decision else {
+                panic!("storm is all-warm, got {decision:?}");
+            };
+            std::hint::black_box(response.clone()); // the deliver step
+            if !io_wait.is_zero() {
+                std::thread::sleep(io_wait); // synchronous reply transmit
+            }
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    gateway.join();
+    let elapsed = started.elapsed().max(Duration::from_nanos(1));
+    ScalingPoint {
+        workers: gateway.workers(),
+        requests: total_requests,
+        elapsed,
+        throughput_rps: total_requests as f64 / elapsed.as_secs_f64(),
+        cache_hits: hits.load(Ordering::Relaxed),
+    }
 }

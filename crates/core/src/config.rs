@@ -128,6 +128,15 @@ pub struct IndissConfig {
     /// every unit. Kept short — arriving adverts also invalidate entries
     /// eagerly, so a freshly appeared service is visible at once.
     pub negative_ttl: Duration,
+    /// Number of independently locked registry shards, routed by
+    /// canonical-type hash. One shard (the default) preserves global LRU
+    /// semantics exactly — what the deterministic simulation pins down;
+    /// more shards let worker threads serve disjoint types in parallel.
+    pub shards: usize,
+    /// Worker threads a [`crate::ThreadedGateway`] built from this
+    /// config runs. The simulated [`crate::Indiss`] runtime ignores it
+    /// (the virtual-time event loop is single-threaded by design).
+    pub workers: usize,
 }
 
 impl IndissConfig {
@@ -144,6 +153,8 @@ impl IndissConfig {
             cache_capacity: 256,
             advert_ttl: Some(Duration::from_secs(1800)),
             negative_ttl: Duration::from_secs(2),
+            shards: 1,
+            workers: 1,
         }
     }
 
@@ -244,6 +255,20 @@ impl IndissConfig {
         self
     }
 
+    /// Splits the registry into `shards` independently locked shards
+    /// (canonical-type-hash routed).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count for [`crate::ThreadedGateway`]s
+    /// built from this config.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
     /// The registry bounds this configuration implies.
     pub fn registry_config(&self) -> RegistryConfig {
         RegistryConfig {
@@ -252,6 +277,7 @@ impl IndissConfig {
             cache_ttl: self.cache_ttl,
             default_advert_ttl: self.advert_ttl,
             negative_ttl: self.negative_ttl,
+            shards: self.shards,
         }
     }
 
@@ -380,6 +406,19 @@ impl IndissConfigBuilder {
     /// Sets the negative-cache ("nothing found") TTL.
     pub fn negative_ttl(mut self, ttl: Duration) -> Self {
         self.config.negative_ttl = ttl;
+        self
+    }
+
+    /// Splits the registry into `shards` independently locked shards.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count for [`crate::ThreadedGateway`]s
+    /// built from this config.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
         self
     }
 

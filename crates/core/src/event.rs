@@ -25,7 +25,7 @@
 
 use std::fmt;
 use std::net::SocketAddrV4;
-use std::rc::Rc;
+use std::sync::Arc;
 
 pub use crate::protocol::ProtocolId;
 pub use crate::symbol::Symbol;
@@ -373,17 +373,20 @@ impl fmt::Display for Event {
 /// Streams are immutable shared buffers: [`Clone`] bumps a reference
 /// count instead of copying events, so handing a stream to the bridge,
 /// the cache and a composer costs three pointer bumps, not three deep
-/// copies. Construction sites that accumulate events incrementally use
-/// [`EventStreamBuilder`].
+/// copies. The buffer handle is an `Arc`, so a stream built on one
+/// runtime worker can be cached, bridged and delivered on another —
+/// `EventStream` is `Send + Sync`, the seam PR 2 prepared for the
+/// multi-threaded runtime. Construction sites that accumulate events
+/// incrementally use [`EventStreamBuilder`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventStream {
-    events: Rc<[Event]>,
+    events: Arc<[Event]>,
 }
 
 impl Default for EventStream {
     /// An empty (unframed) stream; useful only as a placeholder.
     fn default() -> EventStream {
-        EventStream { events: Rc::from(Vec::new()) }
+        EventStream { events: Arc::from(Vec::new()) }
     }
 }
 
@@ -391,10 +394,10 @@ impl EventStream {
     /// Creates a stream already framed with `Start`/`Stop` around `body`.
     ///
     /// The shared buffer is allocated exactly once: the framing iterator
-    /// is `TrustedLen`, so collecting into `Rc<[Event]>` writes the
+    /// is `TrustedLen`, so collecting into `Arc<[Event]>` writes the
     /// events straight into their final allocation.
     pub fn framed(body: Vec<Event>) -> EventStream {
-        let events: Rc<[Event]> =
+        let events: Arc<[Event]> =
             std::iter::once(Event::Start).chain(body).chain(std::iter::once(Event::Stop)).collect();
         EventStream { events }
     }
@@ -418,7 +421,7 @@ impl EventStream {
     /// True when this stream and `other` share one buffer (a cheap-clone
     /// pair). Exposed for tests asserting the zero-copy property.
     pub fn shares_buffer(&self, other: &EventStream) -> bool {
-        Rc::ptr_eq(&self.events, &other.events)
+        Arc::ptr_eq(&self.events, &other.events)
     }
 
     /// All events including the frame.
@@ -452,14 +455,17 @@ impl EventStream {
     /// First `ServiceType` payload as a symbol, if any.
     pub fn service_type_symbol(&self) -> Option<Symbol> {
         self.events.iter().find_map(|e| match e {
-            Event::ServiceType(t) => Some(*t),
+            Event::ServiceType(t) => Some(t.clone()),
             _ => None,
         })
     }
 
     /// First `ServiceType` payload, if any.
     pub fn service_type(&self) -> Option<&str> {
-        self.service_type_symbol().map(Symbol::as_str)
+        self.events.iter().find_map(|e| match e {
+            Event::ServiceType(t) => Some(t.as_str()),
+            _ => None,
+        })
     }
 
     /// First `NetSourceAddr` payload, if any.
@@ -597,7 +603,7 @@ impl EventStreamBuilder {
     /// single allocation (the shared buffer); the scratch vector goes
     /// back to the pool.
     pub fn build(mut self) -> EventStream {
-        let events: Rc<[Event]> = std::iter::once(Event::Start)
+        let events: Arc<[Event]> = std::iter::once(Event::Start)
             .chain(self.body.drain(..))
             .chain(std::iter::once(Event::Stop))
             .collect();

@@ -39,6 +39,41 @@
 //! `indiss-slp`, `indiss-upnp` and `indiss-jini` are *unmodified* — they
 //! simply start seeing services from other middleware.
 //!
+//! # Concurrency architecture
+//!
+//! The gateway scales across cores by sharding its state, not by
+//! locking it globally:
+//!
+//! * **Shard ownership.** [`ServiceRegistry`] splits every store —
+//!   records, response cache, negative cache (plus its by-type
+//!   invalidation index), projections, suppression windows, expiry
+//!   wheel and counters — into [`RegistryConfig::shards`] independently
+//!   locked shards, routed by canonical-type hash. Everything keyed by
+//!   one canonical type lives behind exactly one shard `Mutex`, so the
+//!   warm path (cache hit → deliver) for disjoint types never contends.
+//!   [`ThreadedGateway`] maps shards onto [`WorkerPool`] lanes
+//!   (`shard % workers`), preserving per-type FIFO order while disjoint
+//!   types proceed in parallel.
+//! * **Lock order.** At most one shard lock is ever held at a time.
+//!   Cross-shard views (aggregate counts, full snapshots,
+//!   [`ServiceRegistry::stats`]) lock shards one at a time in ascending
+//!   index order and merge on read; per-shard [`RegistryStats`] blocks
+//!   plus the atomic bridge counters ([`BridgeStats`] is their merged
+//!   snapshot) mean no counter is ever shared between locks — and no
+//!   update is ever lost. Nothing calls back into the registry while
+//!   holding a shard lock, so the system is deadlock-free by
+//!   construction.
+//! * **`Send + Sync` surface.** [`ServiceRegistry`], [`EventStream`]
+//!   (`Arc<[Event]>` buffers), [`Symbol`] (refcounted, GC'd interner),
+//!   [`ProtocolId`], [`ServiceRecord`], [`GatewayCore`],
+//!   [`ThreadedGateway`] and [`WorkerPool`] are all `Send + Sync`
+//!   (compile-asserted in `tests/sharding.rs`). The simulated
+//!   [`Indiss`] runtime deliberately is *not*: it is bound to the
+//!   deterministic single-threaded [`indiss_net::World`] event loop,
+//!   but it drives the same sharded registry and the same warm-path
+//!   decision tree ([`WarmDecision`]) the threaded gateway runs, so the
+//!   simulation tests pin the semantics the workers execute.
+//!
 //! ```
 //! use indiss_core::{Indiss, IndissConfig};
 //! use indiss_net::World;
@@ -69,7 +104,9 @@ mod config_lang;
 mod error;
 mod event;
 mod fsm;
+mod gateway;
 mod monitor;
+mod pool;
 mod protocol;
 mod registry;
 mod runtime;
@@ -81,7 +118,9 @@ pub use config::{IndissConfig, IndissConfigBuilder, UnitSpec};
 pub use error::{CoreError, CoreResult};
 pub use event::{Event, EventKind, EventStream, EventStreamBuilder, ParserKind, SdpProtocol};
 pub use fsm::{Action, Fsm, FsmBuilder, Guard, Trigger};
+pub use gateway::{GatewayCore, ThreadedGateway, WarmDecision};
 pub use monitor::{DetectionRecord, Monitor};
+pub use pool::WorkerPool;
 pub use protocol::ProtocolId;
 pub use registry::{
     AdvertDisposition, Projection, RegistryConfig, RegistryStats, ServiceRecord, ServiceRegistry,
@@ -90,7 +129,7 @@ pub use registry::{
 pub use runtime::{BridgeHandle, BridgeStats, Indiss};
 pub use symbol::Symbol;
 pub use units::{
-    BridgeRequestFn, DescriptorClient, DescriptorService, DescriptorUnit, JiniUnit, JiniUnitConfig,
-    ParsedMessage, SdpDescriptor, SdpDescriptorBuilder, SlpUnit, SlpUnitConfig, Unit, UnitContext,
-    UnitFactory, UpnpUnit, UpnpUnitConfig,
+    parse_slp_request, BridgeRequestFn, DescriptorClient, DescriptorService, DescriptorUnit,
+    JiniUnit, JiniUnitConfig, ParsedMessage, SdpDescriptor, SdpDescriptorBuilder, SlpUnit,
+    SlpUnitConfig, Unit, UnitContext, UnitFactory, UpnpUnit, UpnpUnitConfig,
 };

@@ -4,20 +4,23 @@
 //! [`crate::SdpProtocol`]; everything else enters the system through a
 //! [`ProtocolId`] — an interned protocol name bound, process-wide, to the
 //! IANA-style "permanent identification tag" the monitor detects by: a
-//! UDP port plus its multicast groups. A `ProtocolId` is a [`Symbol`]
-//! underneath, so it is `Copy`, hashes one machine word, and flows
-//! through every registry index, cache key, suppression key and stats
-//! counter exactly like a built-in protocol does.
+//! UDP port plus its multicast groups. A `ProtocolId` is a pointer to its
+//! (leaked, process-lifetime) registration record underneath, so it is
+//! `Copy`, `Send + Sync`, hashes one machine word, reads its port and
+//! groups without locking, and flows through every registry index, cache
+//! key, suppression key and stats counter exactly like a built-in
+//! protocol does.
 //!
-//! Registration follows the symbol interner's model: the binding table is
-//! process-wide (identity must hold across threads and instances) and
-//! entries live for the process lifetime. Re-registering the same name
-//! with identical parameters is idempotent — descriptors, the config
-//! language and tests can all name the same protocol freely — while a
-//! conflicting re-registration is rejected, because two meanings for one
-//! detection tag would make the monitor's port-based dispatch ambiguous.
+//! Registration is process-wide (identity must hold across threads,
+//! worker shards and instances) and entries live for the process
+//! lifetime — unlike general [`Symbol`]s, protocol registrations are a
+//! closed, operator-controlled set, so leaking them is the right
+//! tradeoff. Re-registering the same name with identical parameters is
+//! idempotent — descriptors, the config language and tests can all name
+//! the same protocol freely — while a conflicting re-registration is
+//! rejected, because two meanings for one detection tag would make the
+//! monitor's port-based dispatch ambiguous.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::sync::{Mutex, OnceLock};
@@ -31,18 +34,19 @@ use crate::symbol::Symbol;
 /// Obtainable only through [`ProtocolId::register`] (or
 /// [`ProtocolId::lookup`] of an already-registered name), so every value
 /// in circulation has a port and multicast-group binding behind it.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ProtocolId(Symbol);
+#[derive(Clone, Copy)]
+pub struct ProtocolId(&'static ProtocolInfo);
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug)]
 struct ProtocolInfo {
+    name: &'static str,
     port: u16,
     groups: &'static [Ipv4Addr],
 }
 
-fn table() -> &'static Mutex<HashMap<Symbol, ProtocolInfo>> {
-    static TABLE: OnceLock<Mutex<HashMap<Symbol, ProtocolInfo>>> = OnceLock::new();
-    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+fn table() -> &'static Mutex<Vec<&'static ProtocolInfo>> {
+    static TABLE: OnceLock<Mutex<Vec<&'static ProtocolInfo>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(Vec::new()))
 }
 
 impl ProtocolId {
@@ -71,63 +75,64 @@ impl ProtocolId {
         }
         let mut table = table().lock().expect("protocol table poisoned");
         // Find an existing binding by string scan — the table is tiny
-        // (one entry per registered protocol) and interning the name
-        // before all checks pass would leak every *failed* registration
-        // into the process-lifetime interner.
-        if let Some((&sym, info)) = table.iter().find(|(sym, _)| sym.as_str() == name) {
+        // (one entry per registered protocol), and nothing is leaked for
+        // a registration that fails the checks.
+        if let Some(&info) = table.iter().find(|info| info.name == name) {
             if info.port == port && info.groups == groups {
-                return Ok(ProtocolId(sym));
+                return Ok(ProtocolId(info));
             }
             return Err(CoreError::BadConfig(
                 "protocol name already registered with different parameters",
             ));
         }
-        if table.values().any(|info| info.port == port) {
+        if table.iter().any(|info| info.port == port) {
             return Err(CoreError::BadConfig(
                 "protocol port already registered to another dynamic protocol",
             ));
         }
-        let sym = Symbol::intern(name);
-        let groups: &'static [Ipv4Addr] = Box::leak(groups.to_vec().into_boxed_slice());
-        table.insert(sym, ProtocolInfo { port, groups });
-        Ok(ProtocolId(sym))
+        let info: &'static ProtocolInfo = Box::leak(Box::new(ProtocolInfo {
+            name: Box::leak(name.to_owned().into_boxed_str()),
+            port,
+            groups: Box::leak(groups.to_vec().into_boxed_slice()),
+        }));
+        table.push(info);
+        Ok(ProtocolId(info))
     }
 
     /// The id registered under `name` (exact match), if any. Probing an
-    /// unregistered name interns nothing (the table is scanned by
-    /// string), so lookups with network-derived names cannot grow the
-    /// interner.
+    /// unregistered name allocates nothing permanent, so lookups with
+    /// network-derived names cannot grow the table.
     pub fn lookup(name: &str) -> Option<ProtocolId> {
         table()
             .lock()
             .expect("protocol table poisoned")
-            .keys()
-            .find(|sym| sym.as_str() == name)
-            .map(|&sym| ProtocolId(sym))
+            .iter()
+            .find(|info| info.name == name)
+            .map(|&info| ProtocolId(info))
     }
 
     /// The protocol's registered name, as given at registration.
     pub fn name(self) -> &'static str {
-        self.0.as_str()
+        self.0.name
     }
 
-    /// The protocol name as its interned symbol.
+    /// The protocol name as an interned symbol.
     pub fn symbol(self) -> Symbol {
-        self.0
+        Symbol::intern(self.0.name)
     }
 
     /// The UDP port the monitor detects this protocol on.
     pub fn port(self) -> u16 {
-        self.info().port
+        self.0.port
     }
 
     /// The multicast groups the monitor joins for this protocol.
     ///
     /// Static, like [`SdpProtocol::multicast_groups`]: the slice is
     /// leaked once at registration so the per-datagram detection path
-    /// never allocates.
+    /// never allocates (or locks — the id carries its record).
     pub fn multicast_groups(self) -> &'static [Ipv4Addr] {
-        self.info().groups
+        self.0.groups
     }
 
     /// All dynamically registered protocols, sorted by name (a
@@ -136,25 +141,46 @@ impl ProtocolId {
         let mut ids: Vec<ProtocolId> = table()
             .lock()
             .expect("protocol table poisoned")
-            .keys()
-            .map(|&sym| ProtocolId(sym))
+            .iter()
+            .map(|&i| ProtocolId(i))
             .collect();
         ids.sort();
         ids
     }
+}
 
-    fn info(self) -> ProtocolInfo {
-        *table()
-            .lock()
-            .expect("protocol table poisoned")
-            .get(&self.0)
-            .expect("ProtocolId values only exist for registered protocols")
+impl PartialEq for ProtocolId {
+    fn eq(&self, other: &ProtocolId) -> bool {
+        // One leaked record per registered name, so pointer identity is
+        // name identity.
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl Eq for ProtocolId {}
+
+impl std::hash::Hash for ProtocolId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.0 as *const ProtocolInfo as usize).hash(state);
+    }
+}
+
+impl PartialOrd for ProtocolId {
+    fn partial_cmp(&self, other: &ProtocolId) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ProtocolId {
+    /// Orders by name, keeping sorted views deterministic across runs.
+    fn cmp(&self, other: &ProtocolId) -> std::cmp::Ordering {
+        self.0.name.cmp(other.0.name)
     }
 }
 
 impl fmt::Debug for ProtocolId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ProtocolId({:?})", self.0)
+        write!(f, "ProtocolId({:?})", self.0.name)
     }
 }
 
@@ -219,5 +245,11 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn protocol_ids_are_send_sync_copy() {
+        fn assert_send_sync_copy<T: Send + Sync + Copy>() {}
+        assert_send_sync_copy::<ProtocolId>();
     }
 }

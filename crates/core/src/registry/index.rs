@@ -123,10 +123,6 @@ impl RecordStore {
         self.len
     }
 
-    pub(crate) fn capacity(&self) -> usize {
-        self.capacity
-    }
-
     /// The generation counter of `slot` (bumped whenever the slot's
     /// occupant changes or is refreshed, so stale expiry-wheel entries can
     /// be recognized).
@@ -294,10 +290,6 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     pub(crate) fn len(&self) -> usize {
         self.len
-    }
-
-    pub(crate) fn capacity(&self) -> usize {
-        self.capacity
     }
 
     pub(crate) fn generation(&self, slot: usize) -> u64 {

@@ -14,7 +14,8 @@
 //!   surfaced through [`crate::BridgeStats`];
 //! * a **negative cache** of "nothing found" outcomes per canonical
 //!   type, with a short TTL, so request storms for absent types stop
-//!   fanning out to every unit;
+//!   fanning out to every unit — indexed by type, so an arriving advert
+//!   invalidates in O(matching entries);
 //! * the **suppression window** that breaks multi-bridge translation
 //!   ping-pong;
 //! * per-protocol **bridge projections** ([`Projection`]) — the synthetic
@@ -22,41 +23,60 @@
 //!   URL + USN, SLP attribute lists, Jini service ids) so every unit
 //!   shares one view instead of private copies.
 //!
+//! # Sharding and concurrency
+//!
+//! The registry is split into [`RegistryConfig::shards`] independently
+//! locked shards, routed by canonical-type hash: each shard owns its own
+//! record store, response cache, negative cache, projections,
+//! suppression map, expiry wheel and [`RegistryStats`]. Requests for
+//! disjoint canonical types therefore proceed in parallel with no
+//! cross-shard coordination on the warm path — the property the
+//! multi-threaded runtime's worker pool exploits. `ServiceRegistry` is a
+//! cheap `Arc` handle and is `Send + Sync`; cross-shard views (full
+//! snapshots, aggregate counts, [`ServiceRegistry::stats`]) lock shards
+//! one at a time in ascending index order and merge on read, so there is
+//! never a nested lock and never a lost update. The default of one shard
+//! preserves the exact single-store semantics (including global LRU
+//! order) that the deterministic simulation tests pin down.
+//!
 //! Every type- and identity-keyed map is keyed on interned [`Symbol`]s,
 //! so the hot lookups hash one machine word, and cached event streams
 //! are shared buffers — answering from the cache is a reference-count
 //! bump, not a deep copy.
 //!
-//! All stores are capacity-bounded and TTL-bounded. Expiry is exact and
-//! deterministic: deadlines live on an [`expiry`] wheel keyed by
-//! [`SimTime`], reads apply lazy expiry checks, and the runtime schedules
-//! virtual-time sweep timers at the wheel's next deadline, so a seeded
-//! simulation replays identically and memory stays bounded under churn.
+//! All stores are capacity-bounded (bounds split evenly across shards)
+//! and TTL-bounded. Expiry is exact and deterministic: deadlines live on
+//! a per-shard [`expiry`] wheel keyed by [`SimTime`], reads apply lazy
+//! expiry checks, and the runtime schedules virtual-time sweep timers at
+//! the earliest deadline across shards, so a seeded simulation replays
+//! identically and memory stays bounded under churn.
 
 mod expiry;
 mod index;
 mod record;
+mod shard;
 
 pub use record::ServiceRecord;
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::hash::RandomState;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use indiss_net::SimTime;
 
 use crate::event::{EventStream, SdpProtocol, Symbol};
-use expiry::{ExpiryWheel, Target};
-use index::{InsertOutcome, LruCache, RecordStore};
+use expiry::Target;
+use index::InsertOutcome;
+use shard::{CachedResponse, Shard};
 
 /// Capacity and TTL knobs for the registry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegistryConfig {
     /// Maximum number of service records held (least-recently-updated
-    /// records are evicted beyond this).
+    /// records are evicted beyond this; split evenly across shards).
     pub advert_capacity: usize,
-    /// Maximum number of cached responses (LRU eviction beyond this).
+    /// Maximum number of cached responses (LRU eviction beyond this;
+    /// split evenly across shards).
     pub cache_capacity: usize,
     /// How long cached responses stay valid.
     pub cache_ttl: Duration,
@@ -68,6 +88,11 @@ pub struct RegistryConfig {
     /// stay invisible for long (arriving adverts also invalidate the
     /// entry eagerly).
     pub negative_ttl: Duration,
+    /// Number of independently locked shards the stores are split into,
+    /// routed by canonical-type hash. One shard (the default) preserves
+    /// global LRU semantics exactly; more shards let a worker pool serve
+    /// disjoint types in parallel.
+    pub shards: usize,
 }
 
 impl Default for RegistryConfig {
@@ -78,11 +103,15 @@ impl Default for RegistryConfig {
             cache_ttl: Duration::from_secs(60),
             default_advert_ttl: Some(Duration::from_secs(1800)),
             negative_ttl: Duration::from_secs(2),
+            shards: 1,
         }
     }
 }
 
 /// Counters the registry maintains; folded into [`crate::BridgeStats`].
+/// Maintained per shard and merged on read by
+/// [`ServiceRegistry::stats`], so concurrent workers never contend on
+/// (or lose) a shared counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RegistryStats {
     /// Cache lookups answered from a live entry.
@@ -156,121 +185,40 @@ pub struct SweepReport {
     pub negative_expired: u64,
 }
 
-#[derive(Debug, Clone)]
-struct CachedResponse {
-    response: EventStream,
-    expires: SimTime,
+pub(super) struct RegistryShared {
+    pub(super) config: RegistryConfig,
+    /// Shard router: hashes a canonical-type symbol to a shard index.
+    /// Per-registry (not global) so two registries never share routing
+    /// state; symbols hash by pointer, which is stable for as long as
+    /// the symbol is live — and every key stored in a shard keeps its
+    /// symbol live.
+    pub(super) router: RandomState,
+    pub(super) shards: Box<[Mutex<Shard>]>,
 }
 
-struct RegistryInner {
-    config: RegistryConfig,
-    store: RecordStore,
-    cache: LruCache<Symbol, CachedResponse>,
-    /// "Nothing found" outcomes keyed by (requesting protocol,
-    /// canonical type); the value is the entry's expiry deadline. The
-    /// origin is part of the key because the fan-out set depends on it:
-    /// a miss observed from one protocol says nothing about a fan-out
-    /// that would include that protocol's own unit.
-    negative: LruCache<(SdpProtocol, Symbol), SimTime>,
-    projections: LruCache<(SdpProtocol, Symbol), Projection>,
-    /// Per-canonical-type suppression deadline (multi-bridge loop guard).
-    suppress: HashMap<Symbol, SimTime>,
-    wheel: ExpiryWheel,
-    stats: RegistryStats,
-}
-
-impl RegistryInner {
-    fn target_is_current(&self, target: &Target) -> bool {
-        match *target {
-            Target::Advert { slot, generation } => self.store.generation(slot) == generation,
-            Target::Cache { slot, generation } => self.cache.generation(slot) == generation,
-            Target::Negative { slot, generation } => self.negative.generation(slot) == generation,
-        }
-    }
-
-    fn sweep(&mut self, now: SimTime) -> SweepReport {
-        let mut report = SweepReport::default();
-        for target in self.wheel.pop_due(now) {
-            if !self.target_is_current(&target) {
-                continue; // refreshed or replaced since arming
-            }
-            match target {
-                Target::Advert { slot, .. } => {
-                    if self.store.get_slot(slot).is_some_and(|r| r.is_expired(now))
-                        && self.store.remove_slot(slot).is_some()
-                    {
-                        report.records_expired += 1;
-                    }
-                }
-                Target::Cache { slot, .. } => {
-                    // A current generation means the entry is exactly the
-                    // one this deadline was armed for, so it is due.
-                    if self.cache.remove_slot(slot).is_some() {
-                        report.cache_expired += 1;
-                    }
-                }
-                Target::Negative { slot, .. } => {
-                    if self.negative.remove_slot(slot).is_some() {
-                        report.negative_expired += 1;
-                    }
-                }
-            }
-        }
-        self.suppress.retain(|_, until| *until > now);
-        self.stats.records_expired += report.records_expired;
-        self.stats.cache_expired += report.cache_expired;
-        report
-    }
-
-    /// Drops any "nothing found" memory for `canonical_type` (for every
-    /// requesting protocol, dynamic ones included) — called whenever
-    /// positive knowledge (an advert or response) arrives, so a service
-    /// appearing right after a miss becomes visible immediately. Scans
-    /// the (bounded) negative store rather than enumerating protocols:
-    /// the protocol set is open, the store is not.
-    fn clear_negative(&mut self, canonical_type: Symbol) {
-        if self.negative.len() == 0 {
-            return;
-        }
-        let stale: Vec<(SdpProtocol, Symbol)> = self
-            .negative
-            .iter()
-            .filter(|((_, t), _)| *t == canonical_type)
-            .map(|(key, _)| *key)
-            .collect();
-        for key in stale {
-            self.negative.remove(&key);
-        }
-    }
-}
-
-/// Handle to the shared registry. Cloning is cheap and refers to the same
-/// store (the codebase-wide `Rc<RefCell<…>>` handle idiom).
+/// Handle to the shared registry. Cloning is cheap and refers to the
+/// same store; the handle is `Send + Sync`, so runtime workers on
+/// different threads operate on the same registry concurrently (each
+/// canonical type's state lives behind exactly one shard lock).
 #[derive(Clone)]
 pub struct ServiceRegistry {
-    inner: Rc<RefCell<RegistryInner>>,
+    pub(super) shared: Arc<RegistryShared>,
 }
 
 impl ServiceRegistry {
     /// Creates an empty registry with the given bounds.
     pub fn new(config: RegistryConfig) -> ServiceRegistry {
+        let shard_count = config.shards.max(1);
+        let shards: Box<[Mutex<Shard>]> =
+            (0..shard_count).map(|_| Mutex::new(Shard::new(&config, shard_count))).collect();
         ServiceRegistry {
-            inner: Rc::new(RefCell::new(RegistryInner {
-                store: RecordStore::new(config.advert_capacity),
-                cache: LruCache::new(config.cache_capacity),
-                negative: LruCache::new(config.cache_capacity),
-                projections: LruCache::new(config.advert_capacity),
-                suppress: HashMap::new(),
-                wheel: ExpiryWheel::new(),
-                stats: RegistryStats::default(),
-                config,
-            })),
+            shared: Arc::new(RegistryShared { config, router: RandomState::new(), shards }),
         }
     }
 
     /// The configured bounds.
     pub fn config(&self) -> RegistryConfig {
-        self.inner.borrow().config.clone()
+        self.shared.config.clone()
     }
 
     // ------------------------------------------------------------------
@@ -286,65 +234,85 @@ impl ServiceRegistry {
         stream: &EventStream,
         now: SimTime,
     ) -> AdvertDisposition {
-        let mut inner = self.inner.borrow_mut();
         let Some(key) = record::advert_key(stream) else {
             return AdvertDisposition::Ignored;
         };
         if stream.is_byebye() {
-            return match inner.store.remove(origin, key) {
-                Some(_) => {
-                    inner.stats.records_removed += 1;
-                    AdvertDisposition::Removed
+            // Records live on the shard of their canonical type; a
+            // byebye normally carries the type, so the home shard is hit
+            // first, with a cross-shard fallback for retractions that
+            // only carry an identity.
+            let home = self.shard_index(&stream.service_type_symbol().unwrap_or_default());
+            let others = (0..self.shared.shards.len()).filter(|i| *i != home);
+            for idx in std::iter::once(home).chain(others) {
+                let mut shard = self.lock_shard(idx);
+                if shard.store.remove(origin, key.clone()).is_some() {
+                    shard.stats.records_removed += 1;
+                    return AdvertDisposition::Removed;
                 }
-                None => AdvertDisposition::NotPresent,
-            };
+            }
+            return AdvertDisposition::NotPresent;
         }
-        let default_ttl = inner.config.default_advert_ttl;
+        let default_ttl = self.shared.config.default_advert_ttl;
         let Some(record) = ServiceRecord::from_advert(origin, stream, now, default_ttl) else {
             return AdvertDisposition::Ignored;
         };
-        inner.clear_negative(record.canonical_type_symbol());
+        let type_sym = record.canonical_type_symbol();
         let expires = record.expires_at();
-        let (slot, outcome) = inner.store.upsert(record);
+        let mut shard = self.shard_for(&type_sym);
+        shard.clear_negative(&type_sym);
+        let (slot, outcome) = shard.store.upsert(record);
         if let Some(at) = expires {
-            let generation = inner.store.generation(slot);
-            inner.wheel.arm(at, Target::Advert { slot, generation });
+            let generation = shard.store.generation(slot);
+            shard.wheel.arm(at, Target::Advert { slot, generation });
         }
         match outcome {
             InsertOutcome::Inserted => {
-                inner.stats.records_inserted += 1;
+                shard.stats.records_inserted += 1;
                 AdvertDisposition::Recorded
             }
             InsertOutcome::Refreshed => {
-                inner.stats.records_refreshed += 1;
+                shard.stats.records_refreshed += 1;
                 AdvertDisposition::Refreshed
             }
             InsertOutcome::Evicted(_) => {
-                inner.stats.records_inserted += 1;
-                inner.stats.records_evicted += 1;
+                shard.stats.records_inserted += 1;
+                shard.stats.records_evicted += 1;
                 AdvertDisposition::Recorded
             }
         }
     }
 
-    /// Number of live (non-expired) service records.
+    /// Number of live (non-expired) service records across all shards.
     pub fn record_count(&self) -> usize {
-        self.inner.borrow().store.len()
+        self.fold_shards(0usize, |acc, shard| *acc += shard.store.len())
     }
 
-    /// The live record identified by `(origin, key)`, if any.
+    /// The live record identified by `(origin, key)`, if any. The key is
+    /// an identity, not a canonical type, so this scans the shards (a
+    /// cold-path, test-and-tooling API).
     pub fn record(
         &self,
         origin: SdpProtocol,
         key: impl Into<Symbol>,
         now: SimTime,
     ) -> Option<ServiceRecord> {
-        self.inner.borrow().store.get(origin, key.into()).filter(|r| !r.is_expired(now)).cloned()
+        let key = key.into();
+        for idx in 0..self.shared.shards.len() {
+            let shard = self.lock_shard(idx);
+            if let Some(r) =
+                shard.store.get(origin, key.clone()).filter(|r| !r.is_expired(now)).cloned()
+            {
+                return Some(r);
+            }
+        }
+        None
     }
 
     /// True when a live record of this canonical type exists.
     pub fn contains_type(&self, canonical_type: impl Into<Symbol>, now: SimTime) -> bool {
-        self.inner.borrow().store.of_type(canonical_type.into()).any(|r| !r.is_expired(now))
+        let key = canonical_type.into();
+        self.shard_for(&key).store.of_type(key.clone()).any(|r| !r.is_expired(now))
     }
 
     /// Live records of one canonical type, in insertion order.
@@ -353,10 +321,10 @@ impl ServiceRegistry {
         canonical_type: impl Into<Symbol>,
         now: SimTime,
     ) -> Vec<ServiceRecord> {
-        self.inner
-            .borrow()
+        let key = canonical_type.into();
+        self.shard_for(&key)
             .store
-            .of_type(canonical_type.into())
+            .of_type(key.clone())
             .filter(|r| !r.is_expired(now))
             .cloned()
             .collect()
@@ -364,7 +332,9 @@ impl ServiceRegistry {
 
     /// Number of live records announced by one protocol.
     pub fn record_count_by_origin(&self, origin: SdpProtocol, now: SimTime) -> usize {
-        self.inner.borrow().store.of_origin(origin).filter(|r| !r.is_expired(now)).count()
+        self.fold_shards(0usize, |acc, shard| {
+            *acc += shard.store.of_origin(origin).filter(|r| !r.is_expired(now)).count();
+        })
     }
 
     /// The earliest-registered live record advertising `endpoint`, if
@@ -374,21 +344,30 @@ impl ServiceRegistry {
         endpoint: impl Into<Symbol>,
         now: SimTime,
     ) -> Option<ServiceRecord> {
-        self.inner.borrow().store.by_endpoint(endpoint.into()).find(|r| !r.is_expired(now)).cloned()
+        let key = endpoint.into();
+        self.fold_shards(None::<ServiceRecord>, |best, shard| {
+            for r in shard.store.by_endpoint(key.clone()).filter(|r| !r.is_expired(now)) {
+                if best.as_ref().is_none_or(|b| r.registered_at() < b.registered_at()) {
+                    *best = Some(r.clone());
+                }
+            }
+        })
     }
 
-    /// Every live advert as `(origin, stream)`, in deterministic slab
-    /// order (the active mode re-advertises these). The streams are
-    /// shared buffers — this snapshot copies reference counts, not
-    /// events.
+    /// Every live advert as `(origin, stream)`, in deterministic
+    /// shard-then-slab order (the active mode re-advertises these). The
+    /// streams are shared buffers — this snapshot copies reference
+    /// counts, not events.
     pub fn adverts(&self, now: SimTime) -> Vec<(SdpProtocol, EventStream)> {
-        self.inner
-            .borrow()
-            .store
-            .iter()
-            .filter(|(_, r)| !r.is_expired(now))
-            .map(|(_, r)| (r.origin(), r.advert().clone()))
-            .collect()
+        self.fold_shards(Vec::new(), |acc, shard| {
+            acc.extend(
+                shard
+                    .store
+                    .iter()
+                    .filter(|(_, r)| !r.is_expired(now))
+                    .map(|(_, r)| (r.origin(), r.advert().clone())),
+            );
+        })
     }
 
     // ------------------------------------------------------------------
@@ -400,15 +379,15 @@ impl ServiceRegistry {
     /// also invalidates any negative-cache entry for the type.
     pub fn warm(&self, canonical_type: impl Into<Symbol>, response: EventStream, now: SimTime) {
         let key = canonical_type.into();
-        let mut inner = self.inner.borrow_mut();
-        inner.clear_negative(key);
-        let expires = now + inner.config.cache_ttl;
-        let (slot, evicted) = inner.cache.insert(key, CachedResponse { response, expires });
+        let mut shard = self.shard_for(&key);
+        shard.clear_negative(&key);
+        let expires = now + self.shared.config.cache_ttl;
+        let (slot, evicted) = shard.cache.insert(key, CachedResponse { response, expires });
         if evicted.is_some() {
-            inner.stats.cache_evictions += 1;
+            shard.stats.cache_evictions += 1;
         }
-        let generation = inner.cache.generation(slot);
-        inner.wheel.arm(expires, Target::Cache { slot, generation });
+        let generation = shard.cache.generation(slot);
+        shard.wheel.arm(expires, Target::Cache { slot, generation });
     }
 
     /// Answers a lookup from the cache, counting a hit or a miss. Expired
@@ -420,21 +399,21 @@ impl ServiceRegistry {
         now: SimTime,
     ) -> Option<EventStream> {
         let key = canonical_type.into();
-        let mut inner = self.inner.borrow_mut();
-        match inner.cache.get(&key) {
+        let mut shard = self.shard_for(&key);
+        match shard.cache.get(&key) {
             Some(entry) if entry.expires > now => {
                 let response = entry.response.clone();
-                inner.stats.cache_hits += 1;
+                shard.stats.cache_hits += 1;
                 Some(response)
             }
             Some(_) => {
-                inner.cache.remove(&key);
-                inner.stats.cache_expired += 1;
-                inner.stats.cache_misses += 1;
+                shard.cache.remove(&key);
+                shard.stats.cache_expired += 1;
+                shard.stats.cache_misses += 1;
                 None
             }
             None => {
-                inner.stats.cache_misses += 1;
+                shard.stats.cache_misses += 1;
                 None
             }
         }
@@ -443,18 +422,21 @@ impl ServiceRegistry {
     /// True when a live cache entry exists for this type (does not touch
     /// recency or counters).
     pub fn cache_contains(&self, canonical_type: impl Into<Symbol>, now: SimTime) -> bool {
-        self.inner.borrow().cache.peek(&canonical_type.into()).is_some_and(|c| c.expires > now)
+        let key = canonical_type.into();
+        self.shard_for(&key).cache.peek(&key).is_some_and(|c| c.expires > now)
     }
 
     /// Number of cache entries currently held (live or pending expiry).
     pub fn cache_len(&self) -> usize {
-        self.inner.borrow().cache.len()
+        self.fold_shards(0usize, |acc, shard| *acc += shard.cache.len())
     }
 
-    /// Canonical types with a live cache entry, in deterministic slab
-    /// order.
+    /// Canonical types with a live cache entry, in deterministic
+    /// shard-then-slab order.
     pub fn cached_types(&self, now: SimTime) -> Vec<Symbol> {
-        self.inner.borrow().cache.iter().filter(|(_, c)| c.expires > now).map(|(k, _)| *k).collect()
+        self.fold_shards(Vec::new(), |acc, shard| {
+            acc.extend(shard.cache.iter().filter(|(_, c)| c.expires > now).map(|(k, _)| k.clone()));
+        })
     }
 
     // ------------------------------------------------------------------
@@ -473,13 +455,17 @@ impl ServiceRegistry {
         canonical_type: impl Into<Symbol>,
         now: SimTime,
     ) {
-        let key = (origin, canonical_type.into());
-        let mut inner = self.inner.borrow_mut();
-        let expires = now + inner.config.negative_ttl;
-        let (slot, _evicted) = inner.negative.insert(key, expires);
-        inner.stats.negative_stored += 1;
-        let generation = inner.negative.generation(slot);
-        inner.wheel.arm(expires, Target::Negative { slot, generation });
+        let ty = canonical_type.into();
+        let mut shard = self.shard_for(&ty);
+        let expires = now + self.shared.config.negative_ttl;
+        let (slot, evicted) = shard.negative.insert((origin, ty.clone()), expires);
+        if let Some(((old_origin, old_ty), _)) = evicted {
+            shard.unindex_negative(old_origin, &old_ty);
+        }
+        shard.index_negative(origin, ty);
+        shard.stats.negative_stored += 1;
+        let generation = shard.negative.generation(slot);
+        shard.wheel.arm(expires, Target::Negative { slot, generation });
     }
 
     /// True when a live "nothing found" entry exists for this (origin,
@@ -491,15 +477,17 @@ impl ServiceRegistry {
         canonical_type: impl Into<Symbol>,
         now: SimTime,
     ) -> bool {
-        let key = (origin, canonical_type.into());
-        let mut inner = self.inner.borrow_mut();
-        match inner.negative.get(&key) {
+        let ty = canonical_type.into();
+        let mut shard = self.shard_for(&ty);
+        let key = (origin, ty.clone());
+        match shard.negative.get(&key) {
             Some(expires) if *expires > now => {
-                inner.stats.negative_hits += 1;
+                shard.stats.negative_hits += 1;
                 true
             }
             Some(_) => {
-                inner.negative.remove(&key);
+                shard.negative.remove(&key);
+                shard.unindex_negative(origin, &ty);
                 false
             }
             None => false,
@@ -509,7 +497,7 @@ impl ServiceRegistry {
     /// Number of negative entries currently held (live or pending
     /// expiry).
     pub fn negative_len(&self) -> usize {
-        self.inner.borrow().negative.len()
+        self.fold_shards(0usize, |acc, shard| *acc += shard.negative.len())
     }
 
     // ------------------------------------------------------------------
@@ -519,12 +507,14 @@ impl ServiceRegistry {
     /// True while requests for this type are inside the suppression
     /// window armed by [`ServiceRegistry::mark_bridged`].
     pub fn suppression_active(&self, canonical_type: impl Into<Symbol>, now: SimTime) -> bool {
-        self.inner.borrow().suppress.get(&canonical_type.into()).is_some_and(|until| *until > now)
+        let key = canonical_type.into();
+        self.shard_for(&key).suppress.get(&key).is_some_and(|until| *until > now)
     }
 
     /// Arms the suppression window for this type until `until`.
     pub fn mark_bridged(&self, canonical_type: impl Into<Symbol>, until: SimTime) {
-        self.inner.borrow_mut().suppress.insert(canonical_type.into(), until);
+        let key = canonical_type.into();
+        self.shard_for(&key).suppress.insert(key, until);
     }
 
     // ------------------------------------------------------------------
@@ -533,7 +523,8 @@ impl ServiceRegistry {
 
     /// The projection a unit minted for `(protocol, key)`, if any.
     pub fn projection(&self, protocol: SdpProtocol, key: impl Into<Symbol>) -> Option<Projection> {
-        self.inner.borrow_mut().projections.get(&(protocol, key.into())).cloned()
+        let key = key.into();
+        self.shard_for(&key).projections.get(&(protocol, key.clone())).cloned()
     }
 
     /// Stores (or replaces) the projection for `(protocol, key)`.
@@ -543,7 +534,8 @@ impl ServiceRegistry {
         key: impl Into<Symbol>,
         projection: Projection,
     ) {
-        self.inner.borrow_mut().projections.insert((protocol, key.into()), projection);
+        let key = key.into();
+        self.shard_for(&key).projections.insert((protocol, key.clone()), projection);
     }
 
     // ------------------------------------------------------------------
@@ -551,42 +543,52 @@ impl ServiceRegistry {
     // ------------------------------------------------------------------
 
     /// Drops everything whose TTL elapsed by `now` and prunes stale
-    /// suppression entries. Driven by the runtime's virtual-time sweep
-    /// timer; reads also expire lazily, so calling this is a memory
-    /// bound, not a correctness requirement.
+    /// suppression entries, shard by shard. Driven by the runtime's
+    /// virtual-time sweep timer; reads also expire lazily, so calling
+    /// this is a memory bound, not a correctness requirement.
     pub fn sweep(&self, now: SimTime) -> SweepReport {
-        self.inner.borrow_mut().sweep(now)
-    }
-
-    /// The earliest pending expiry deadline, if any (the runtime schedules
-    /// its next sweep timer here).
-    pub fn next_deadline(&self) -> Option<SimTime> {
-        let mut inner = self.inner.borrow_mut();
-        let RegistryInner { wheel, store, cache, negative, .. } = &mut *inner;
-        wheel.next_deadline(|target| match *target {
-            Target::Advert { slot, generation } => store.generation(slot) == generation,
-            Target::Cache { slot, generation } => cache.generation(slot) == generation,
-            Target::Negative { slot, generation } => negative.generation(slot) == generation,
+        self.fold_shards(SweepReport::default(), |acc, shard| {
+            let report = shard.sweep(now);
+            acc.records_expired += report.records_expired;
+            acc.cache_expired += report.cache_expired;
+            acc.negative_expired += report.negative_expired;
         })
     }
 
-    /// Snapshot of the registry's counters.
+    /// The earliest pending expiry deadline across all shards, if any
+    /// (the runtime schedules its next sweep timer here).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.fold_shards(None::<SimTime>, |acc, shard| {
+            if let Some(d) = shard.next_deadline() {
+                *acc = Some(acc.map_or(d, |cur| cur.min(d)));
+            }
+        })
+    }
+
+    /// Snapshot of the registry's counters, merged across shards.
     pub fn stats(&self) -> RegistryStats {
-        self.inner.borrow().stats
+        self.fold_shards(RegistryStats::default(), |acc, shard| acc.merge(&shard.stats))
     }
 }
 
 impl std::fmt::Debug for ServiceRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.borrow();
+        let (records, cached, negative, armed) =
+            self.fold_shards((0usize, 0usize, 0usize, 0usize), |acc, shard| {
+                acc.0 += shard.store.len();
+                acc.1 += shard.cache.len();
+                acc.2 += shard.negative.len();
+                acc.3 += shard.wheel.armed();
+            });
         f.debug_struct("ServiceRegistry")
-            .field("records", &inner.store.len())
-            .field("record_capacity", &inner.store.capacity())
-            .field("cached_responses", &inner.cache.len())
-            .field("cache_capacity", &inner.cache.capacity())
-            .field("negative_entries", &inner.negative.len())
-            .field("armed_deadlines", &inner.wheel.armed())
-            .field("stats", &inner.stats)
+            .field("shards", &self.shared.shards.len())
+            .field("records", &records)
+            .field("record_capacity", &self.shared.config.advert_capacity)
+            .field("cached_responses", &cached)
+            .field("cache_capacity", &self.shared.config.cache_capacity)
+            .field("negative_entries", &negative)
+            .field("armed_deadlines", &armed)
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -790,6 +792,40 @@ mod tests {
         assert!(!reg.cached_negative(SdpProtocol::Slp, "printer", t), "warm invalidated");
     }
 
+    /// The type index behind advert-driven invalidation stays exact
+    /// through every removal path: hit-side expiry, wheel expiry,
+    /// invalidation and LRU eviction.
+    #[test]
+    fn negative_type_index_tracks_every_removal_path() {
+        let config = RegistryConfig {
+            negative_ttl: Duration::from_secs(2),
+            cache_capacity: 2,
+            ..RegistryConfig::default()
+        };
+        let reg = ServiceRegistry::new(config);
+        let t = SimTime::ZERO;
+        // Two origins remember the same absent type.
+        reg.warm_negative(SdpProtocol::Slp, "ghost", t);
+        reg.warm_negative(SdpProtocol::Upnp, "ghost", t);
+        assert_eq!(reg.negative_len(), 2);
+        // One advert clears both entries through the index.
+        reg.record_advert(SdpProtocol::Jini, &alive("ghost", "jini://g", Some(60)), t);
+        assert_eq!(reg.negative_len(), 0, "index-driven invalidation removed both");
+        assert!(!reg.cached_negative(SdpProtocol::Slp, "ghost", t));
+        assert!(!reg.cached_negative(SdpProtocol::Upnp, "ghost", t));
+        // LRU eviction (capacity 2) unindexes the victim: a later advert
+        // for the evicted type must be a clean no-op, and the survivor
+        // entries must still invalidate correctly.
+        reg.warm_negative(SdpProtocol::Slp, "ga", t);
+        reg.warm_negative(SdpProtocol::Slp, "gb", t);
+        reg.warm_negative(SdpProtocol::Slp, "gc", t); // evicts "ga"
+        assert_eq!(reg.negative_len(), 2);
+        reg.record_advert(SdpProtocol::Slp, &alive("ga", "slp://ga", Some(60)), t);
+        assert_eq!(reg.negative_len(), 2, "evicted entry not double-removed");
+        reg.record_advert(SdpProtocol::Slp, &alive("gb", "slp://gb", Some(60)), t);
+        assert_eq!(reg.negative_len(), 1, "survivor invalidated via index");
+    }
+
     #[test]
     fn suppression_window_expires_with_time() {
         let reg = ServiceRegistry::new(RegistryConfig::default());
@@ -833,5 +869,37 @@ mod tests {
         let order: Vec<SdpProtocol> =
             reg.adverts(SimTime::ZERO).into_iter().map(|(p, _)| p).collect();
         assert_eq!(order, vec![SdpProtocol::Slp, SdpProtocol::Upnp, SdpProtocol::Jini]);
+    }
+
+    /// Sharded mode: every record lands on (and is served from) the
+    /// shard its canonical type hashes to, and cross-shard aggregates
+    /// see everything.
+    #[test]
+    fn sharded_registry_routes_by_canonical_type() {
+        let config = RegistryConfig { shards: 8, ..RegistryConfig::default() };
+        let reg = ServiceRegistry::new(config);
+        assert_eq!(reg.shard_count(), 8);
+        let t = SimTime::ZERO;
+        for i in 0..64 {
+            let ty = format!("type-{i}");
+            let before = reg.shard_record_count(reg.shard_of(ty.as_str()));
+            reg.record_advert(SdpProtocol::Slp, &alive(&ty, &format!("u://{i}"), None), t);
+            assert_eq!(
+                reg.shard_record_count(reg.shard_of(ty.as_str())),
+                before + 1,
+                "record stored on its type's shard"
+            );
+            assert!(reg.contains_type(ty.as_str(), t));
+        }
+        assert_eq!(reg.record_count(), 64);
+        let per_shard: usize = (0..8).map(|i| reg.shard_record_count(i)).sum();
+        assert_eq!(per_shard, 64, "shard counts add up to the aggregate");
+        // A byebye with the type present routes straight to the shard.
+        reg.record_advert(SdpProtocol::Slp, &byebye("type-3", "u://3"), t);
+        assert_eq!(reg.record_count(), 63);
+        assert!(!reg.contains_type("type-3", t));
+        // Stats merge across shards.
+        assert_eq!(reg.stats().records_inserted, 64);
+        assert_eq!(reg.stats().records_removed, 1);
     }
 }

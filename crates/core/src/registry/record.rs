@@ -77,7 +77,7 @@ impl ServiceRecord {
 
     /// The canonical type as an interned symbol (index key).
     pub fn canonical_type_symbol(&self) -> Symbol {
-        self.canonical_type
+        self.canonical_type.clone()
     }
 
     /// Which protocol announced the service.
@@ -93,17 +93,17 @@ impl ServiceRecord {
 
     /// The record key as an interned symbol (index key).
     pub fn key_symbol(&self) -> Symbol {
-        self.key
+        self.key.clone()
     }
 
     /// The service endpoint URL, when the advert carried one.
     pub fn endpoint(&self) -> Option<&str> {
-        self.endpoint.map(Symbol::as_str)
+        self.endpoint.as_ref().map(Symbol::as_str)
     }
 
     /// The endpoint as an interned symbol (index key).
     pub fn endpoint_symbol(&self) -> Option<Symbol> {
-        self.endpoint
+        self.endpoint.clone()
     }
 
     /// Attributes carried by the advert.
@@ -154,7 +154,7 @@ pub fn advert_key(stream: &EventStream) -> Option<Symbol> {
         .events()
         .iter()
         .find_map(|e| match e {
-            Event::UpnpUsn(u) => Some(*u),
+            Event::UpnpUsn(u) => Some(u.clone()),
             _ => None,
         })
         .or_else(|| stream.service_url().map(Symbol::intern))
@@ -209,7 +209,7 @@ mod tests {
             Event::UpnpUsn("uuid:abc::urn:x".into()),
             Event::ResServUrl("soap://h/ctl".into()),
         ]);
-        assert_eq!(advert_key(&stream).map(Symbol::as_str), Some("uuid:abc::urn:x"));
+        assert_eq!(advert_key(&stream).as_ref().map(Symbol::as_str), Some("uuid:abc::urn:x"));
     }
 
     #[test]

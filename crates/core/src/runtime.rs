@@ -22,7 +22,8 @@
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::rc::{Rc, Weak};
+use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
 
 use indiss_net::{Completion, Datagram, Node, SimTime, World};
 
@@ -30,6 +31,7 @@ use crate::adapt::DiscoveryMode;
 use crate::config::{IndissConfig, UnitSpec};
 use crate::error::{CoreError, CoreResult};
 use crate::event::{Event, EventStream, SdpProtocol};
+use crate::gateway::{classify_request, BridgeCounters, WarmDecision};
 use crate::monitor::Monitor;
 use crate::registry::ServiceRegistry;
 use crate::units::{ParsedMessage, Unit, UnitContext};
@@ -72,7 +74,9 @@ struct IndissInner {
     config: IndissConfig,
     units: HashMap<SdpProtocol, Rc<dyn Unit>>,
     registry: ServiceRegistry,
-    stats: BridgeStats,
+    /// Bridge-path counters: atomics shared with the registry snapshot
+    /// path, so `stats()` never needs the runtime lock for counting.
+    counters: Arc<BridgeCounters>,
     mode: DiscoveryMode,
     mode_log: Vec<(SimTime, DiscoveryMode)>,
     /// Virtual time the next registry sweep is armed for, if any.
@@ -81,11 +85,19 @@ struct IndissInner {
 
 /// A deployed INDISS instance.
 ///
+/// The handle is the codebase-wide `Arc<Mutex<…>>` shape (the registry
+/// behind it is the fully `Send + Sync` sharded store); the instance
+/// itself stays bound to its single-threaded simulation [`World`] — the
+/// deterministic event loop is the point of the simulator — while the
+/// warm-path semantics it exercises are exactly the ones
+/// [`crate::ThreadedGateway`] runs across worker threads, via the shared
+/// `classify_request`.
+///
 /// See the crate-level docs for a full example; the one-liner is
 /// `Indiss::deploy(&node, IndissConfig::slp_upnp())`.
 #[derive(Clone)]
 pub struct Indiss {
-    inner: Rc<RefCell<IndissInner>>,
+    inner: Arc<Mutex<IndissInner>>,
     monitor: Monitor,
 }
 
@@ -99,7 +111,7 @@ pub struct Indiss {
 /// methods become no-ops.
 #[derive(Clone)]
 pub struct BridgeHandle {
-    inner: Weak<RefCell<IndissInner>>,
+    inner: Weak<Mutex<IndissInner>>,
     monitor: Monitor,
 }
 
@@ -133,6 +145,10 @@ impl BridgeHandle {
 }
 
 impl Indiss {
+    fn inner(&self) -> MutexGuard<'_, IndissInner> {
+        self.inner.lock().expect("runtime lock poisoned")
+    }
+
     /// Deploys INDISS on `node` with the given configuration.
     ///
     /// # Errors
@@ -156,13 +172,21 @@ impl Indiss {
         let protocols = config.protocols();
         let monitor = Monitor::start(node, &protocols)?;
         let registry = ServiceRegistry::new(config.registry_config());
+        // `IndissInner` is deliberately not `Send`: it holds the
+        // simulation `Node` and `Rc<dyn Unit>`s bound to the
+        // single-threaded virtual-time world. The handle is still
+        // `Arc<Mutex<…>>` so the runtime shape (and `BridgeHandle`'s
+        // `Weak`) matches the threaded architecture it shares state
+        // with; the `Send + Sync` surface proper is the registry,
+        // counters and gateway (see `tests/sharding.rs`).
+        #[allow(clippy::arc_with_non_send_sync)]
         let instance = Indiss {
-            inner: Rc::new(RefCell::new(IndissInner {
+            inner: Arc::new(Mutex::new(IndissInner {
                 node: node.clone(),
                 config: config.clone(),
                 units: HashMap::new(),
                 registry,
-                stats: BridgeStats::default(),
+                counters: Arc::new(BridgeCounters::default()),
                 mode: DiscoveryMode::Passive,
                 mode_log: vec![(node.world().now(), DiscoveryMode::Passive)],
                 sweep_armed: None,
@@ -204,30 +228,22 @@ impl Indiss {
 
     /// The shared service registry behind this instance.
     pub fn registry(&self) -> ServiceRegistry {
-        self.inner.borrow().registry.clone()
+        self.inner().registry.clone()
     }
 
-    /// Bridge statistics so far (bridge-path counters plus the registry's
-    /// cache and record counters).
+    /// Bridge statistics so far (atomic bridge-path counters merged with
+    /// the registry's per-shard cache and record counters).
     pub fn stats(&self) -> BridgeStats {
-        let (mut stats, registry) = {
-            let inner = self.inner.borrow();
-            (inner.stats, inner.registry.clone())
+        let (counters, registry) = {
+            let inner = self.inner();
+            (Arc::clone(&inner.counters), inner.registry.clone())
         };
-        let reg = registry.stats();
-        stats.cache_hits = reg.cache_hits;
-        stats.cache_misses = reg.cache_misses;
-        stats.cache_evictions = reg.cache_evictions;
-        stats.cache_expired = reg.cache_expired;
-        stats.negative_hits = reg.negative_hits;
-        stats.records_expired = reg.records_expired;
-        stats.records_evicted = reg.records_evicted;
-        stats
+        counters.snapshot(&registry)
     }
 
     /// Current interception mode.
     pub fn mode(&self) -> DiscoveryMode {
-        self.inner.borrow().mode
+        self.inner().mode
     }
 
     /// Mode transitions with their timestamps (Fig. 6 evidence), as an
@@ -240,12 +256,12 @@ impl Indiss {
 
     /// Runs `f` over the mode-transition log without cloning it.
     pub fn with_mode_log<R>(&self, f: impl FnOnce(&[(SimTime, DiscoveryMode)]) -> R) -> R {
-        f(&self.inner.borrow().mode_log)
+        f(&self.inner().mode_log)
     }
 
     /// Protocols with an instantiated unit.
     pub fn active_units(&self) -> Vec<SdpProtocol> {
-        let mut ps: Vec<SdpProtocol> = self.inner.borrow().units.keys().copied().collect();
+        let mut ps: Vec<SdpProtocol> = self.inner().units.keys().copied().collect();
         ps.sort_by_key(|p| p.port());
         ps
     }
@@ -254,7 +270,7 @@ impl Indiss {
     /// reproduce the paper's warm best case explicitly).
     pub fn warm_cache(&self, canonical_type: &str, response: EventStream) {
         let (registry, world) = {
-            let inner = self.inner.borrow();
+            let inner = self.inner();
             (inner.registry.clone(), inner.node.world().clone())
         };
         registry.warm(canonical_type, response, world.now());
@@ -263,7 +279,7 @@ impl Indiss {
 
     fn ensure_unit(&self, protocol: SdpProtocol) -> CoreResult<()> {
         let spec = {
-            let inner = self.inner.borrow();
+            let inner = self.inner();
             if inner.units.contains_key(&protocol) {
                 return Ok(());
             }
@@ -281,13 +297,13 @@ impl Indiss {
     /// take the same path).
     fn instantiate(&self, spec: &UnitSpec) -> CoreResult<()> {
         let ctx = {
-            let inner = self.inner.borrow();
+            let inner = self.inner();
             UnitContext {
                 node: inner.node.clone(),
                 registry: inner.registry.clone(),
                 monitor: self.monitor.clone(),
                 bridge: BridgeHandle {
-                    inner: Rc::downgrade(&self.inner),
+                    inner: Arc::downgrade(&self.inner),
                     monitor: self.monitor.clone(),
                 },
             }
@@ -297,7 +313,7 @@ impl Indiss {
         for addr in unit.own_sources() {
             self.monitor.ignore_source(addr);
         }
-        self.inner.borrow_mut().units.insert(spec.protocol(), unit);
+        self.inner().units.insert(spec.protocol(), unit);
         Ok(())
     }
 
@@ -306,10 +322,10 @@ impl Indiss {
     // ------------------------------------------------------------------
 
     fn handle(&self, world: &World, protocol: SdpProtocol, dgram: &Datagram) {
-        if self.inner.borrow().config.lazy_units {
+        if self.inner().config.lazy_units {
             let _ = self.ensure_unit(protocol);
         }
-        let Some(unit) = self.inner.borrow().units.get(&protocol).cloned() else {
+        let Some(unit) = self.inner().units.get(&protocol).cloned() else {
             return;
         };
         match unit.parse(world, dgram) {
@@ -328,9 +344,11 @@ impl Indiss {
 
     /// Bridges a request: registry cache first (positive, then negative),
     /// then fan out to all other units; the first successful response
-    /// wins. When `custom_reply` is given (Jini registrar path), the
-    /// response events are handed back instead of composed by the origin
-    /// unit.
+    /// wins. The cache/negative/suppression decision is
+    /// [`classify_request`] — the same function the multi-threaded
+    /// gateway runs on its workers. When `custom_reply` is given (Jini
+    /// registrar path), the response events are handed back instead of
+    /// composed by the origin unit.
     fn bridge_request(
         &self,
         world: &World,
@@ -339,55 +357,42 @@ impl Indiss {
         custom_reply: Option<Completion<EventStream>>,
     ) {
         let now = world.now();
-        let (registry, units, enable_cache, suppress_window) = {
-            let inner = self.inner.borrow();
+        let (registry, counters, units, enable_cache, suppress_window) = {
+            let inner = self.inner();
             let units: Vec<(SdpProtocol, Rc<dyn Unit>)> = inner
                 .units
                 .iter()
                 .filter(|(p, _)| **p != origin)
                 .map(|(p, u)| (*p, Rc::clone(u)))
                 .collect();
-            (inner.registry.clone(), units, inner.config.enable_cache, inner.config.suppress_window)
+            (
+                inner.registry.clone(),
+                Arc::clone(&inner.counters),
+                units,
+                inner.config.enable_cache,
+                inner.config.suppress_window,
+            )
         };
 
         let stype = request.service_type_symbol();
-        let cached =
-            if enable_cache { stype.and_then(|t| registry.cached_response(t, now)) } else { None };
-        // Negative cache: a recent fan-out for this (origin, type) found
-        // nothing; answer "still nothing" without bothering the units
-        // again.
-        let negative = cached.is_none()
-            && enable_cache
-            && stype.is_some_and(|t| registry.cached_negative(origin, t, now));
-        // Loop protection: a request for a type we just bridged is a
-        // likely echo of our own (or a sibling bridge's) synthesized
-        // traffic; do not re-bridge it unless the cache can answer.
-        let suppressed = cached.is_none()
-            && !negative
-            && stype.is_some_and(|t| registry.suppression_active(t, now));
-        {
-            let mut inner = self.inner.borrow_mut();
-            if suppressed {
-                inner.stats.requests_suppressed += 1;
-            } else if !negative {
-                inner.stats.requests_bridged += 1;
-            }
-        }
-        if !suppressed && !negative {
-            if let Some(t) = stype {
-                registry.mark_bridged(t, now + suppress_window);
-            }
-        }
-
-        if let Some(response) = cached {
+        let decision = classify_request(
+            &registry,
+            &counters,
+            enable_cache,
+            suppress_window,
+            origin,
+            &request,
+            now,
+        );
+        if let WarmDecision::CacheHit(response) = decision {
             self.deliver(world, origin, &request, &response, custom_reply);
             return;
         }
-        if negative || suppressed || units.is_empty() {
+        if decision != WarmDecision::Bridge || units.is_empty() {
             // "Nothing found" is silence on the multicast protocols, but
             // a custom replier (the Jini registrar path) must still be
-            // answered so its client is not left hanging — whichever of
-            // the three short-circuits fired.
+            // answered so its client is not left hanging — whichever
+            // short-circuit fired.
             if let Some(reply) = custom_reply {
                 reply.complete(EventStream::framed(vec![
                     Event::NetType(origin),
@@ -427,11 +432,11 @@ impl Indiss {
         winner.subscribe(move |response| {
             if enable_cache {
                 if response.service_url().is_some() {
-                    if let Some(t) = response.service_type_symbol().or(stype) {
+                    if let Some(t) = response.service_type_symbol().or(stype.clone()) {
                         registry.warm(t, response.clone(), world2.now());
                         this.schedule_sweep(&world2);
                     }
-                } else if let Some(t) = stype {
+                } else if let Some(t) = stype.clone() {
                     // Every unit came back empty: remember the miss so a
                     // request storm for this absent type stops fanning
                     // out (short TTL; adverts invalidate eagerly).
@@ -454,12 +459,12 @@ impl Indiss {
         custom_reply: Option<Completion<EventStream>>,
     ) {
         if response.service_url().is_some() {
-            self.inner.borrow_mut().stats.responses_composed += 1;
+            self.inner().counters.add_responses_composed();
         }
         match custom_reply {
             Some(reply) => reply.complete(response.clone()),
             None => {
-                let unit = self.inner.borrow().units.get(&origin).cloned();
+                let unit = self.inner().units.get(&origin).cloned();
                 if let Some(unit) = unit {
                     unit.compose_response(world, request, response);
                 }
@@ -472,7 +477,7 @@ impl Indiss {
     fn record_advert(&self, world: &World, origin: SdpProtocol, stream: EventStream) {
         let now = world.now();
         let (registry, enable_cache) = {
-            let inner = self.inner.borrow();
+            let inner = self.inner();
             (inner.registry.clone(), inner.config.enable_cache)
         };
         // Only streams with no identity at all are dropped; a byebye for
@@ -484,8 +489,8 @@ impl Indiss {
             return; // no identity to key on
         }
         let active = {
-            let mut inner = self.inner.borrow_mut();
-            inner.stats.adverts_recorded += 1;
+            let inner = self.inner();
+            inner.counters.add_adverts_recorded();
             inner.mode == DiscoveryMode::Active
         };
         // A full advert (with endpoint) warms the cache too.
@@ -502,7 +507,7 @@ impl Indiss {
 
     fn warm_from_response(&self, world: &World, stream: &EventStream) {
         let (registry, enable_cache) = {
-            let inner = self.inner.borrow();
+            let inner = self.inner();
             (inner.registry.clone(), inner.config.enable_cache)
         };
         if !enable_cache || stream.service_url().is_none() {
@@ -519,7 +524,7 @@ impl Indiss {
     /// fetched before it carries an endpoint).
     fn translate_advert(&self, world: &World, origin: SdpProtocol, stream: &EventStream) {
         let (origin_unit, units) = {
-            let inner = self.inner.borrow();
+            let inner = self.inner();
             (
                 inner.units.get(&origin).cloned(),
                 inner
@@ -533,7 +538,7 @@ impl Indiss {
         if units.is_empty() {
             return;
         }
-        self.inner.borrow_mut().stats.adverts_translated += 1;
+        self.inner().counters.add_adverts_translated();
         let enriched: Completion<EventStream> = Completion::new();
         match origin_unit {
             Some(u) => u.enrich_advert(world, stream, enriched.clone()),
@@ -555,12 +560,12 @@ impl Indiss {
     /// earliest pending deadline. Reads expire lazily regardless; the
     /// timer is what reclaims memory deterministically.
     fn schedule_sweep(&self, world: &World) {
-        let registry = self.inner.borrow().registry.clone();
+        let registry = self.inner().registry.clone();
         let Some(deadline) = registry.next_deadline() else {
             return;
         };
         {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner();
             // An earlier (or equal) timer is already pending.
             if inner.sweep_armed.is_some_and(|armed| armed <= deadline) {
                 return;
@@ -573,7 +578,7 @@ impl Indiss {
 
     fn run_sweep(&self, world: &World) {
         let registry = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner();
             inner.sweep_armed = None;
             inner.registry.clone()
         };
@@ -599,7 +604,7 @@ impl Indiss {
         let rate = world.meter_snapshot().rate_between(from, now);
         let new_mode = policy.decide(rate);
         let go_active = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner();
             if new_mode != inner.mode {
                 inner.mode = new_mode;
                 inner.mode_log.push((now, new_mode));
@@ -608,7 +613,7 @@ impl Indiss {
         };
         if go_active {
             // Re-advertise everything we know (periodic while active).
-            let registry = self.inner.borrow().registry.clone();
+            let registry = self.inner().registry.clone();
             for (origin, stream) in registry.adverts(now) {
                 self.translate_advert(world, origin, &stream);
             }
@@ -622,12 +627,13 @@ impl Indiss {
 
 impl std::fmt::Debug for Indiss {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.borrow();
+        let stats = self.stats();
+        let inner = self.inner();
         f.debug_struct("Indiss")
             .field("node", &inner.node.name())
-            .field("units", &self.active_units())
+            .field("units", &inner.units.keys().collect::<Vec<_>>())
             .field("mode", &inner.mode)
-            .field("stats", &inner.stats)
+            .field("stats", &stats)
             .field("registry", &inner.registry)
             .finish()
     }

@@ -3,71 +3,122 @@
 //! Service types, UPnP search targets and USNs, and SLP scope lists are
 //! parsed out of every datagram, cloned into every [`crate::Event`]
 //! stream hop, and used as hash keys throughout the registry. Interning
-//! them collapses all of that to a copyable [`Symbol`]: equal strings
-//! intern to the *same* symbol, so cloning is a pointer copy, equality is
-//! a pointer compare, and hashing hashes one machine word instead of the
-//! string bytes.
+//! them collapses all of that to a cheaply clonable [`Symbol`]: equal
+//! strings intern to the *same* symbol, so cloning is a reference-count
+//! bump, equality is a pointer compare, and hashing hashes one machine
+//! word instead of the string bytes.
 //!
-//! The interner is process-wide (a mutex-guarded table) rather than
-//! thread-local so that symbol identity — and therefore `Eq`/`Hash` —
-//! holds across threads; this pre-paves the ROADMAP's multi-threaded
-//! runtime, where event streams move between shards.
+//! The interner is process-wide so that symbol identity — and therefore
+//! `Eq`/`Hash` — holds across threads: `Symbol` is `Send + Sync`, which
+//! is what lets event streams and registry shards move between the
+//! multi-threaded runtime's workers. The table itself is split into
+//! [`INTERNER_SHARDS`] independently locked shards keyed by a content
+//! hash, so concurrent workers interning on the per-datagram parse path
+//! do not serialize on one mutex.
 //!
-//! **Memory tradeoff.** Interned strings are leaked and live for the
-//! process lifetime. For the steady vocabulary (canonical types, scope
-//! lists, search targets) that is exactly right; but some interned
-//! inputs are network-derived and unbounded over time — fresh USNs from
-//! device churn, endpoint URLs, and the type names of requests that
-//! match nothing. The registry's stores are capacity-bounded, the
-//! interner is not: a long-lived gateway on a hostile or high-churn
-//! network grows it monotonically (at small per-entry cost, observable
-//! via [`Symbol::interned_count`]/[`Symbol::interned_bytes`]). The
-//! ROADMAP tracks the follow-on — an epoch/GC interner that drops
-//! entries no live `Symbol` references — which can land behind this same
-//! API.
+//! # Garbage collection
+//!
+//! Symbols are reference counted (`Arc<str>` underneath). The interner
+//! holds one reference per entry; every live `Symbol` holds another.
+//! [`Symbol::collect`] drops every entry with no live symbol left, so
+//! network-derived identities — fresh USNs under device churn, endpoint
+//! URLs, the type names of requests that match nothing — are reclaimed
+//! once the registry's TTL/capacity bounds let go of them, instead of
+//! leaking for the process lifetime (the PR 2 design this replaces).
+//! Collection also runs automatically, amortized: when a shard grows
+//! past an adaptive watermark, the *next* intern on that shard sweeps it
+//! first. Canonical identity is preserved across collections: an entry
+//! is only reclaimed when no symbol references it, so two live symbols
+//! for equal contents are always pointer-identical.
+//!
+//! [`Symbol::interned_count`]/[`Symbol::interned_bytes`] expose the
+//! table's size for monitoring; the `registry_churn` bench scenario
+//! asserts the bytes stay bounded under advert churn.
 
 use std::collections::HashSet;
 use std::fmt;
-use std::hash::{Hash, Hasher};
-use std::sync::{Mutex, OnceLock};
+use std::hash::{BuildHasher, Hash, Hasher, RandomState};
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// An interned, immutable string. `Copy`, pointer-sized equality and
-/// hashing; derefs to `str` for use anywhere a string slice fits.
-#[derive(Clone, Copy, Eq)]
-pub struct Symbol(&'static str);
+/// Number of independently locked interner shards. A power of two so
+/// shard routing is a mask; 16 keeps contention negligible for any
+/// plausible worker count while costing a few hundred bytes of table.
+const INTERNER_SHARDS: usize = 16;
 
-fn interner() -> &'static Mutex<HashSet<&'static str>> {
-    static INTERNER: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
-    INTERNER.get_or_init(|| Mutex::new(HashSet::new()))
+/// A shard never auto-collects below this many entries (the steady
+/// vocabulary easily fits; sweeping tiny tables is pure overhead).
+const MIN_WATERMARK: usize = 512;
+
+struct InternerShard {
+    table: HashSet<Arc<str>>,
+    /// Auto-GC trigger: when `table.len()` reaches this, the next intern
+    /// sweeps the shard first and re-arms the watermark at twice the
+    /// surviving population (so collection cost is amortized O(1) per
+    /// intern even under adversarial churn).
+    watermark: usize,
 }
+
+struct Interner {
+    shards: [Mutex<InternerShard>; INTERNER_SHARDS],
+    hasher: RandomState,
+}
+
+impl Interner {
+    fn shard_for(&self, s: &str) -> &Mutex<InternerShard> {
+        let idx = self.hasher.hash_one(s) as usize & (INTERNER_SHARDS - 1);
+        &self.shards[idx]
+    }
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| {
+            Mutex::new(InternerShard { table: HashSet::new(), watermark: MIN_WATERMARK })
+        }),
+        hasher: RandomState::new(),
+    })
+}
+
+/// Sweeps one locked shard: drops every entry no live symbol references
+/// (the interner's own reference is the only one left) and re-arms the
+/// watermark. Returns how many entries were reclaimed.
+fn sweep_shard(shard: &mut InternerShard) -> usize {
+    let before = shard.table.len();
+    shard.table.retain(|entry| Arc::strong_count(entry) > 1);
+    shard.watermark = (shard.table.len() * 2).max(MIN_WATERMARK);
+    before - shard.table.len()
+}
+
+/// An interned, immutable string. Cloning bumps a reference count;
+/// equality and hashing are pointer-sized; derefs to `str` for use
+/// anywhere a string slice fits. `Send + Sync`: symbols flow freely
+/// between the runtime's worker threads.
+#[derive(Clone, Eq)]
+pub struct Symbol(Arc<str>);
 
 impl Symbol {
     /// Interns `s`, returning the canonical symbol for its contents.
-    /// Repeated interns of equal strings return identical symbols.
+    /// Repeated interns of equal strings return identical symbols (for
+    /// as long as at least one stays live; see [`Symbol::collect`]).
     pub fn intern(s: &str) -> Symbol {
-        let mut table = interner().lock().expect("interner poisoned");
-        match table.get(s) {
-            Some(&canonical) => Symbol(canonical),
-            None => {
-                let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-                table.insert(leaked);
-                Symbol(leaked)
-            }
+        let mut shard = interner().shard_for(s).lock().expect("interner poisoned");
+        if let Some(canonical) = shard.table.get(s) {
+            return Symbol(Arc::clone(canonical));
         }
+        if shard.table.len() >= shard.watermark {
+            sweep_shard(&mut shard);
+        }
+        let entry: Arc<str> = Arc::from(s);
+        shard.table.insert(Arc::clone(&entry));
+        Symbol(entry)
     }
 
-    /// Interns an owned string, reusing its allocation when the symbol is
-    /// new.
+    /// Interns an owned string. (The allocation cannot be reused — the
+    /// canonical entry is a shared `Arc<str>` — but the owned form is
+    /// kept for API compatibility and call-site convenience.)
     pub fn from_owned(s: String) -> Symbol {
-        let mut table = interner().lock().expect("interner poisoned");
-        match table.get(s.as_str()) {
-            Some(&canonical) => Symbol(canonical),
-            None => {
-                let leaked: &'static str = Box::leak(s.into_boxed_str());
-                table.insert(leaked);
-                Symbol(leaked)
-            }
-        }
+        Symbol::intern(&s)
     }
 
     /// Interns the ASCII-lowercase form of `s`, skipping the lowering
@@ -81,20 +132,50 @@ impl Symbol {
         }
     }
 
-    /// The interned string. `'static`: symbols never expire.
-    pub fn as_str(self) -> &'static str {
-        self.0
+    /// The interned string, borrowed from this symbol.
+    pub fn as_str(&self) -> &str {
+        &self.0
     }
 
-    /// Number of distinct strings interned so far (process-wide).
+    /// Reclaims every interned string no live [`Symbol`] references;
+    /// returns how many entries were dropped. Safe to call at any time
+    /// from any thread — an entry some symbol still points at is never
+    /// touched, so canonical identity is preserved. Collection also
+    /// happens automatically as the table grows; this explicit hook
+    /// exists for tests, benchmarks and quiesce points.
+    pub fn collect() -> usize {
+        interner()
+            .shards
+            .iter()
+            .map(|shard| sweep_shard(&mut shard.lock().expect("interner poisoned")))
+            .sum()
+    }
+
+    /// Number of distinct strings currently interned (process-wide).
     pub fn interned_count() -> usize {
-        interner().lock().expect("interner poisoned").len()
+        interner()
+            .shards
+            .iter()
+            .map(|shard| shard.lock().expect("interner poisoned").table.len())
+            .sum()
     }
 
-    /// Total bytes of interned string data held for the process
-    /// lifetime — the observable cost of the leak-based design.
+    /// Total bytes of interned string data currently held — bounded
+    /// under churn, because unreferenced entries are collected.
     pub fn interned_bytes() -> usize {
-        interner().lock().expect("interner poisoned").iter().map(|s| s.len()).sum()
+        interner()
+            .shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .expect("interner poisoned")
+                    .table
+                    .iter()
+                    .map(|s| s.len())
+                    .sum::<usize>()
+            })
+            .sum()
     }
 }
 
@@ -107,15 +188,15 @@ impl Default for Symbol {
 
 impl PartialEq for Symbol {
     fn eq(&self, other: &Symbol) -> bool {
-        // Interning guarantees one canonical allocation per contents, so
-        // pointer identity is string equality.
-        std::ptr::eq(self.0, other.0)
+        // Interning guarantees one canonical allocation per live
+        // contents, so pointer identity is string equality.
+        Arc::ptr_eq(&self.0, &other.0)
     }
 }
 
 impl Hash for Symbol {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        (self.0.as_ptr() as usize).hash(state);
+        (Arc::as_ptr(&self.0) as *const u8 as usize).hash(state);
     }
 }
 
@@ -129,7 +210,7 @@ impl Ord for Symbol {
     /// Orders by contents (not pointer), keeping sorted views
     /// deterministic across runs.
     fn cmp(&self, other: &Symbol) -> std::cmp::Ordering {
-        self.0.cmp(other.0)
+        self.0.cmp(&other.0)
     }
 }
 
@@ -137,13 +218,13 @@ impl std::ops::Deref for Symbol {
     type Target = str;
 
     fn deref(&self) -> &str {
-        self.0
+        &self.0
     }
 }
 
 impl AsRef<str> for Symbol {
     fn as_ref(&self) -> &str {
-        self.0
+        &self.0
     }
 }
 
@@ -167,25 +248,25 @@ impl From<&String> for Symbol {
 
 impl PartialEq<str> for Symbol {
     fn eq(&self, other: &str) -> bool {
-        self.0 == other
+        &*self.0 == other
     }
 }
 
 impl PartialEq<&str> for Symbol {
     fn eq(&self, other: &&str) -> bool {
-        self.0 == *other
+        &*self.0 == *other
     }
 }
 
 impl fmt::Debug for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt::Debug::fmt(self.0, f)
+        fmt::Debug::fmt(&*self.0, f)
     }
 }
 
 impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.0)
+        f.write_str(&self.0)
     }
 }
 
@@ -194,7 +275,7 @@ mod tests {
     use super::*;
     use std::collections::hash_map::DefaultHasher;
 
-    fn hash_of(sym: Symbol) -> u64 {
+    fn hash_of(sym: &Symbol) -> u64 {
         let mut h = DefaultHasher::new();
         sym.hash(&mut h);
         h.finish()
@@ -207,7 +288,7 @@ mod tests {
         let c = Symbol::from_owned("clock".to_owned());
         assert_eq!(a, b);
         assert_eq!(a, c);
-        assert_eq!(hash_of(a), hash_of(b));
+        assert_eq!(hash_of(&a), hash_of(&b));
         assert!(std::ptr::eq(a.as_str(), b.as_str()), "one canonical allocation");
     }
 
@@ -239,5 +320,67 @@ mod tests {
         let there =
             std::thread::spawn(|| Symbol::intern("cross-thread-type")).join().expect("thread");
         assert_eq!(here, there, "process-wide identity");
+    }
+
+    /// The GC reclaims entries no live symbol references and keeps the
+    /// referenced ones — and a re-intern after collection still yields a
+    /// working canonical symbol.
+    #[test]
+    fn collect_reclaims_dead_symbols_and_keeps_live_ones() {
+        let keep = Symbol::intern("gc-test-keep");
+        {
+            let _transient = Symbol::intern("gc-test-transient");
+        }
+        Symbol::collect();
+        let count_after = {
+            // `keep` must have survived: a fresh intern is identical.
+            let again = Symbol::intern("gc-test-keep");
+            assert_eq!(keep, again);
+            Symbol::interned_count()
+        };
+        // The transient entry is gone: re-interning it grows the table
+        // again (it had really been removed, not merely hidden).
+        let revived = Symbol::intern("gc-test-transient");
+        assert_eq!(revived, "gc-test-transient");
+        assert!(Symbol::interned_count() > count_after - 1, "table live again");
+    }
+
+    /// Churn through many distinct network-derived strings: the table
+    /// stays bounded, both via explicit collection and via the watermark
+    /// auto-GC. One test (not two) on purpose: both phases churn the
+    /// process-wide interner, and running them on concurrent harness
+    /// threads would make each other's byte measurements racy.
+    #[test]
+    fn interner_is_bounded_under_churn() {
+        // Phase 1: explicit collection. Settle the steady vocabulary
+        // first.
+        Symbol::collect();
+        let baseline = Symbol::interned_bytes();
+        for i in 0..20_000 {
+            let _sym = Symbol::intern(&format!("uuid:churn-device-{i}::urn:service:{i}"));
+        }
+        let reclaimed = Symbol::collect();
+        assert!(reclaimed > 0, "churned symbols were collectable");
+        let after = Symbol::interned_bytes();
+        // Other tests may intern a handful of (live) symbols
+        // concurrently, so allow slack — but nothing near the ~800 KB
+        // the 20k churned strings would have leaked.
+        assert!(
+            after < baseline + 200_000,
+            "interner grew from {baseline} to {after} bytes despite collection"
+        );
+        // Phase 2: the watermark auto-GC bounds an unattended interner
+        // too. 50k dead strings of ~16 B would be ≥ 800 KB if leaked;
+        // the sweep must fire many times along the way. (The bound is on
+        // the high-water mark the watermarks allow, not on perfect
+        // emptiness.)
+        for i in 0..50_000 {
+            let _sym = Symbol::intern(&format!("auto-gc-probe-{i}"));
+        }
+        assert!(
+            Symbol::interned_bytes() < 400_000,
+            "auto-GC failed to bound the table: {} bytes",
+            Symbol::interned_bytes()
+        );
     }
 }

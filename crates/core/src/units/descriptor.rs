@@ -685,7 +685,7 @@ impl DescriptorService {
     /// advertisement (when the protocol has an alive vocabulary).
     pub fn register(&self, service_type: &str, url: &str) {
         let canonical = Symbol::intern_lowercase(service_type);
-        self.inner.borrow_mut().registrations.push((canonical, url.to_owned()));
+        self.inner.borrow_mut().registrations.push((canonical.clone(), url.to_owned()));
         let inner = self.inner.borrow();
         if let Some(alive) = &inner.descriptor.alive {
             if let Some(line) =

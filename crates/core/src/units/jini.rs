@@ -333,10 +333,11 @@ impl Unit for JiniUnit {
         let this = self.clone();
         let lookup_done: Completion<Vec<ServiceItem>> = Completion::new();
         let lookup_done2 = lookup_done.clone();
+        let canonical2 = canonical.clone();
         registrar_known.subscribe(move |registrar| {
             this.inner.borrow_mut().pending_lookups.push(lookup_done2.clone());
             this.send(
-                &JiniPacket::Lookup { service_type: canonical.as_str().to_owned() },
+                &JiniPacket::Lookup { service_type: canonical2.as_str().to_owned() },
                 registrar,
             );
         });

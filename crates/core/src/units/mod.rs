@@ -17,7 +17,7 @@ pub use descriptor::{
     DescriptorClient, DescriptorService, DescriptorUnit, SdpDescriptor, SdpDescriptorBuilder,
 };
 pub use jini::{BridgeRequestFn, JiniUnit, JiniUnitConfig};
-pub use slp::{SlpUnit, SlpUnitConfig};
+pub use slp::{parse_slp_request, SlpUnit, SlpUnitConfig};
 pub use upnp::{UpnpUnit, UpnpUnitConfig};
 
 use std::net::SocketAddrV4;

@@ -117,22 +117,10 @@ impl SlpUnit {
         req: &indiss_slp::SrvRqst,
         dgram: &Datagram,
     ) -> ParsedMessage {
-        let canonical = canonical_type_from_slp(&req.service_type);
-        if canonical == "directory-agent" || canonical == "service-agent" {
-            return ParsedMessage::NotRelevant; // infrastructure discovery
+        match srv_rqst_events(header, req, dgram.src, dgram.is_multicast()) {
+            Some(stream) => ParsedMessage::Request(stream),
+            None => ParsedMessage::NotRelevant, // infrastructure discovery
         }
-        let mut body = EventStreamBuilder::with_capacity(10);
-        body.push(Event::NetType(SdpProtocol::Slp));
-        body.push(if dgram.is_multicast() { Event::NetMulticast } else { Event::NetUnicast });
-        body.push(Event::NetSourceAddr(dgram.src));
-        body.push(Event::ServiceRequest);
-        body.push(Event::SlpReqVersion(indiss_slp::SLP_VERSION));
-        body.push(Event::SlpReqScope(req.scopes.as_str().into()));
-        body.push(Event::SlpReqPredicate(req.predicate.clone()));
-        body.push(Event::SlpReqId(header.xid));
-        body.push(Event::ReqLang(header.lang.clone()));
-        body.push(Event::ServiceType(canonical));
-        ParsedMessage::Request(body.build())
     }
 
     fn parse_advert_events(
@@ -206,6 +194,50 @@ impl SlpUnit {
             }),
         );
         Some((msg, slp_url))
+    }
+}
+
+/// The Fig. 4 step-1 translation as a pure function: a decoded SrvRqst
+/// becomes a request event stream (or `None` for SLP infrastructure
+/// discovery, which is never bridged). No unit state is involved, so
+/// this runs on any thread — the multi-threaded gateway benchmark
+/// drives the exact parser the deployed SLP unit uses.
+fn srv_rqst_events(
+    header: &Header,
+    req: &indiss_slp::SrvRqst,
+    src: SocketAddrV4,
+    multicast: bool,
+) -> Option<EventStream> {
+    let canonical = canonical_type_from_slp(&req.service_type);
+    if canonical == "directory-agent" || canonical == "service-agent" {
+        return None;
+    }
+    let mut body = EventStreamBuilder::with_capacity(10);
+    body.push(Event::NetType(SdpProtocol::Slp));
+    body.push(if multicast { Event::NetMulticast } else { Event::NetUnicast });
+    body.push(Event::NetSourceAddr(src));
+    body.push(Event::ServiceRequest);
+    body.push(Event::SlpReqVersion(indiss_slp::SLP_VERSION));
+    body.push(Event::SlpReqScope(req.scopes.as_str().into()));
+    body.push(Event::SlpReqPredicate(req.predicate.clone()));
+    body.push(Event::SlpReqId(header.xid));
+    body.push(Event::ReqLang(header.lang.clone()));
+    body.push(Event::ServiceType(canonical));
+    Some(body.build())
+}
+
+/// Decodes one raw SLP datagram payload and, when it is a bridgeable
+/// SrvRqst, parses it into the request event stream of Fig. 4 step 1 —
+/// the stateless slice of [`SlpUnit::parse`], usable from any thread.
+pub fn parse_slp_request(
+    payload: &[u8],
+    src: SocketAddrV4,
+    multicast: bool,
+) -> Option<EventStream> {
+    let msg = Message::decode(payload).ok()?;
+    match &msg.body {
+        Body::SrvRqst(req) => srv_rqst_events(&msg.header, req, src, multicast),
+        _ => None,
     }
 }
 

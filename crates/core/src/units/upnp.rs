@@ -145,7 +145,7 @@ fn query_fsm() -> Fsm<QueryVars, QueryCmd> {
             "await_search",
             Some(Rc::new(|vars: &mut QueryVars, e: &Event, _: &mut Vec<QueryCmd>| {
                 if let Event::UpnpUsn(u) = e {
-                    vars.usn = Some(*u);
+                    vars.usn = Some(u.clone());
                 }
             })),
         )
@@ -418,7 +418,7 @@ impl Unit for UpnpUnit {
             (inner.config.mx, inner.config.process_deadline, inner.config.parse_delay)
         };
 
-        let session = Rc::new(QuerySession::new(canonical));
+        let session = Rc::new(QuerySession::new(canonical.clone()));
 
         let this = self.clone();
         let reply_for_events = reply.clone();
@@ -728,9 +728,9 @@ fn finish(vars: &QueryVars, reply: &Completion<EventStream>) {
         Event::NetType(SdpProtocol::Upnp),
         Event::ServiceResponse,
         Event::ResOk,
-        Event::ServiceType(vars.canonical),
+        Event::ServiceType(vars.canonical.clone()),
     ];
-    if let Some(usn) = vars.usn {
+    if let Some(usn) = vars.usn.clone() {
         body.push(Event::UpnpUsn(usn));
     }
     body.push(Event::ResTtl(vars.ttl.unwrap_or(1800)));

@@ -8,9 +8,11 @@
 //! macros.
 //!
 //! Measurement is deliberately simple: each benchmark runs a warm-up pass
-//! and then a fixed number of timed samples, reporting the median and
-//! min/max per-iteration time as plain text. There is no statistical
-//! regression analysis, plotting or HTML output.
+//! and then a fixed number of timed samples, reporting the median, mean ±
+//! standard deviation and min/max per-iteration time as plain text — and,
+//! when the group declares a [`Throughput`], the derived rate
+//! (elements or bytes per second). There is no statistical regression
+//! analysis, plotting or HTML output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,9 +48,20 @@ impl Criterion {
             name: name.to_owned(),
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
+            throughput: None,
             _criterion: self,
         }
     }
+}
+
+/// How much work one benchmark iteration performs, for rate reporting
+/// (API-compatible subset of `criterion::Throughput`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each iteration processes this many elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
 }
 
 /// A named group of benchmarks with shared settings.
@@ -56,6 +69,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -72,6 +86,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares how much work one iteration performs; subsequent
+    /// benchmarks in the group report a derived rate line.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Runs one benchmark within the group.
     pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
@@ -79,7 +100,13 @@ impl BenchmarkGroup<'_> {
     {
         let id = name.into();
         let label = format!("{}/{}", self.name, id);
-        run_benchmark(&label, self.sample_size, self.measurement_time, &mut f);
+        run_benchmark_with(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            &mut f,
+        );
         self
     }
 
@@ -89,7 +116,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id);
-        run_benchmark(&label, self.sample_size, self.measurement_time, &mut |b| f(b, input));
+        run_benchmark_with(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
         self
     }
 
@@ -167,6 +200,43 @@ fn run_benchmark<F>(label: &str, sample_size: usize, measurement_time: Duration,
 where
     F: FnMut(&mut Bencher),
 {
+    run_benchmark_with(label, sample_size, measurement_time, None, f);
+}
+
+/// Mean and (sample) standard deviation of per-iteration times, in
+/// seconds. The std dev is the n−1 form; a single sample reports 0.
+fn mean_and_std_dev(samples: &[Duration]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().map(Duration::as_secs_f64).sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|s| (s.as_secs_f64() - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Formats a rate with an SI-style unit prefix.
+fn format_rate(per_second: f64, unit: &str) -> String {
+    if per_second >= 1e9 {
+        format!("{:.3} G{unit}/s", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.3} M{unit}/s", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.3} K{unit}/s", per_second / 1e3)
+    } else {
+        format!("{per_second:.3} {unit}/s")
+    }
+}
+
+fn run_benchmark_with<F>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) where
+    F: FnMut(&mut Bencher),
+{
     let mut bencher =
         Bencher { samples: Vec::new(), iters_per_sample: 1, sample_budget: sample_size };
     let started = Instant::now();
@@ -180,6 +250,7 @@ where
     let median = bencher.samples[bencher.samples.len() / 2];
     let min = bencher.samples[0];
     let max = *bencher.samples.last().expect("non-empty");
+    let (mean, std_dev) = mean_and_std_dev(&bencher.samples);
     println!(
         "{label:<50} median {:>12?}  (min {:>12?}, max {:>12?}, {} samples, took {:?})",
         median,
@@ -188,6 +259,21 @@ where
         bencher.samples.len(),
         started.elapsed(),
     );
+    println!(
+        "{:<50} mean   {:>12?}  ± {:?}",
+        "",
+        Duration::from_secs_f64(mean),
+        Duration::from_secs_f64(std_dev),
+    );
+    if let Some(throughput) = throughput {
+        let (work, unit) = match throughput {
+            Throughput::Elements(n) => (n as f64, "elem"),
+            Throughput::Bytes(n) => (n as f64, "B"),
+        };
+        if mean > 0.0 {
+            println!("{:<50} thrpt  {:>12}", "", format_rate(work / mean, unit));
+        }
+    }
 }
 
 /// Declares a function that runs the listed benchmark functions.
@@ -220,11 +306,31 @@ mod tests {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("shim");
         group.sample_size(3).measurement_time(Duration::from_millis(10));
+        group.throughput(Throughput::Elements(64));
         group.bench_function("addition", |b| b.iter(|| std::hint::black_box(1u64 + 1)));
         group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
             b.iter(|| std::hint::black_box(x * 2))
         });
         group.finish();
+    }
+
+    #[test]
+    fn mean_and_std_dev_match_hand_computation() {
+        let samples = vec![Duration::from_secs(1), Duration::from_secs(2), Duration::from_secs(3)];
+        let (mean, sd) = mean_and_std_dev(&samples);
+        assert!((mean - 2.0).abs() < 1e-12);
+        assert!((sd - 1.0).abs() < 1e-12, "sample std dev of 1,2,3 is 1: {sd}");
+        let (m1, sd1) = mean_and_std_dev(&samples[..1]);
+        assert!((m1 - 1.0).abs() < 1e-12);
+        assert_eq!(sd1, 0.0, "single sample has no spread");
+    }
+
+    #[test]
+    fn rates_format_with_si_prefixes() {
+        assert_eq!(format_rate(12.0, "elem"), "12.000 elem/s");
+        assert_eq!(format_rate(1_500.0, "elem"), "1.500 Kelem/s");
+        assert_eq!(format_rate(2_000_000.0, "B"), "2.000 MB/s");
+        assert_eq!(format_rate(3.2e9, "elem"), "3.200 Gelem/s");
     }
 
     #[test]
