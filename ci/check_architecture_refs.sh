@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Fails when docs/ARCHITECTURE.md (or the README) references a source
+# path that no longer exists — the docs gate that keeps the
+# architecture book honest as modules move.
+#
+# A "reference" is any backtick-quoted repo-relative path starting with
+# crates/, src/, examples/, tests/, docs/ or ci/. Directory references
+# may end with '/'.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in docs/ARCHITECTURE.md README.md; do
+    [ -f "$doc" ] || { echo "missing $doc"; fail=1; continue; }
+    while IFS= read -r path; do
+        if [ ! -e "$path" ]; then
+            echo "dangling reference in $doc: $path"
+            fail=1
+        fi
+    done < <(grep -oE '`(crates|src|examples|tests|docs|ci)/[A-Za-z0-9_./-]+`' "$doc" \
+             | tr -d '\`' | sort -u)
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "architecture docs reference files that do not exist; update the docs"
+    exit 1
+fi
+echo "architecture doc references OK"

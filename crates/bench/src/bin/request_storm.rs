@@ -7,12 +7,16 @@
 //! workers vs 1 is the gate).
 //!
 //! Emits `BENCH_storm.json` for the perf trajectory. Pass `--smoke` for
-//! the small CI configuration and `--workers N` to cap the scaling
-//! curve's largest point.
+//! the small CI configuration, `--workers N` to cap the scaling curve's
+//! largest point, and `--udp` to additionally measure the real-socket
+//! warm-hit round trip over a loopback `UdpTransport` gateway (skipped
+//! with a log line when the environment forbids binding).
 
 use std::time::Duration;
 
-use indiss_bench::scenarios::{request_storm, warm_hit_pipeline_bytes, warm_hit_scaling};
+use indiss_bench::scenarios::{
+    request_storm, udp_warm_hit, warm_hit_pipeline_bytes, warm_hit_scaling,
+};
 
 /// Bytes of allocator traffic per warm-hit bridged request measured on
 /// the event pipeline *before* the zero-copy refactor (deep-cloned
@@ -24,6 +28,7 @@ const PRE_REFACTOR_PIPELINE_BYTES_PER_REQUEST: u64 = 3399;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let udp = args.iter().any(|a| a == "--udp");
     let max_workers: usize = args
         .iter()
         .position(|a| a == "--workers")
@@ -93,6 +98,35 @@ fn main() {
         );
     }
 
+    // Real-socket warm-hit round trip (loopback UdpTransport gateway).
+    let (udp_requests, udp_types) = if smoke { (300u64, 16) } else { (2_000u64, 64) };
+    let udp_outcome = if udp { udp_warm_hit(udp_requests, udp_types, 26_000) } else { None };
+    if udp {
+        match &udp_outcome {
+            Some(o) => {
+                let p50 = o.p50.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN);
+                let p99 = o.p99.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN);
+                println!(
+                    "real-socket warm hits ({} reqs x {} types, loopback UDP, sequential)",
+                    o.requests, udp_types
+                );
+                println!("  replies received              {}", o.replies);
+                println!("  wire round-trip p50 / p99     {p50:.1} us / {p99:.1} us");
+                println!("  sequential throughput         {:.0} req/s", o.throughput_rps);
+                // The storm is all-warm, but UDP on a loaded CI runner
+                // may legitimately lose the odd datagram; gate on
+                // near-lossless, not perfection.
+                assert!(
+                    o.replies * 100 >= o.requests * 95,
+                    "udp storm lost too many replies: {}/{}",
+                    o.replies,
+                    o.requests
+                );
+            }
+            None => println!("real-socket warm hits: SKIPPED (environment forbids loopback bind)"),
+        }
+    }
+
     let scaling_json: Vec<String> = scaling
         .iter()
         .map(|p| {
@@ -108,6 +142,23 @@ fn main() {
             )
         })
         .collect();
+    // The real-socket row: an object when measured, `null` when the
+    // mode was off or the environment forbade binding (so downstream
+    // JSON consumers can distinguish "not run" without parse errors).
+    let udp_json = match &udp_outcome {
+        Some(o) => format!(
+            concat!(
+                "{{ \"requests\": {}, \"replies\": {}, \"wire_p50_us\": {:.2}, ",
+                "\"wire_p99_us\": {:.2}, \"sequential_rps\": {:.1} }}"
+            ),
+            o.requests,
+            o.replies,
+            o.p50.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN),
+            o.p99.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN),
+            o.throughput_rps,
+        ),
+        None => "null".to_owned(),
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -132,7 +183,8 @@ fn main() {
             "  \"scaling_distinct_types\": {scaling_types},\n",
             "  \"scaling_registry_shards\": 16,\n",
             "  \"scaling\": [\n{scaling_points}\n  ],\n",
-            "  \"throughput_speedup_4_workers_vs_1\": {speedup}\n",
+            "  \"throughput_speedup_4_workers_vs_1\": {speedup},\n",
+            "  \"udp_warm_hit\": {udp_row}\n",
             "}}\n",
         ),
         smoke = smoke,
@@ -156,6 +208,7 @@ fn main() {
         // `null`, not NaN: NaN is not a JSON token and would make the
         // uploaded artifact unparseable when the curve stops below 4.
         speedup = speedup_4v1.map_or("null".to_owned(), |s| format!("{s:.2}")),
+        udp_row = udp_json,
     );
     std::fs::write("BENCH_storm.json", &json).expect("write BENCH_storm.json");
     println!("\nwrote BENCH_storm.json");

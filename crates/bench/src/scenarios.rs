@@ -746,6 +746,132 @@ pub fn smoke_workload(seed: u64, services: usize) -> usize {
     found.len()
 }
 
+/// Outcome of the real-socket warm-hit measurement
+/// ([`udp_warm_hit`]).
+#[derive(Debug, Clone)]
+pub struct UdpStormOutcome {
+    /// Requests sent over the loopback socket.
+    pub requests: u64,
+    /// Replies that arrived back on the requester's socket.
+    pub replies: u64,
+    /// p50 of the request → reply round trip, observed on the wire.
+    pub p50: Option<Duration>,
+    /// p99 of the round trip.
+    pub p99: Option<Duration>,
+    /// Requests per second across the whole run (sequential, so this is
+    /// `1 / mean RTT` — a latency summary, not a saturation number).
+    pub throughput_rps: f64,
+}
+
+/// Real-socket warm-hit latency: a [`indiss_core::NetDriver`] gateway on
+/// a loopback [`indiss_net::UdpTransport`] (ports shifted by
+/// `port_offset`), its registry warmed for `distinct_types` types, and a
+/// client socket sending `requests` pre-encoded SLP `SrvRqst`s one at a
+/// time, timing each wire round trip: OS socket → recv thread → worker
+/// lane (decode → parse → classify → compose) → OS socket back.
+///
+/// This is the §4.3 best case measured on actual sockets, the row
+/// recorded next to the simulated curve in `BENCH_storm.json`. Returns
+/// `None` when the environment forbids binding the (offset) ports — the
+/// caller should log the skip, not fail.
+pub fn udp_warm_hit(
+    requests: u64,
+    distinct_types: usize,
+    port_offset: u16,
+) -> Option<UdpStormOutcome> {
+    use indiss_core::{Event, EventStream, NetDriver, SdpProtocol};
+    use std::sync::mpsc;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let distinct_types = distinct_types.max(1);
+    let config = IndissConfig::builder()
+        .slp()
+        .cache_ttl(Duration::from_secs(3600))
+        .shards(16)
+        .workers(4)
+        .transport(indiss_net::TransportKind::Udp)
+        .port_offset(port_offset)
+        .build();
+    let driver = match NetDriver::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("udp_warm_hit: skipped (cannot bind loopback sockets: {e})");
+            return None;
+        }
+    };
+    let slp_addr = driver.channel_addr(SdpProtocol::Slp)?;
+    let now = driver.now();
+    let registry = driver.registry();
+    let mut wires: Vec<Vec<u8>> = Vec::with_capacity(distinct_types);
+    for i in 0..distinct_types {
+        let ty = format!("udpstorm-{i}");
+        registry.warm(
+            ty.as_str(),
+            EventStream::framed(vec![
+                Event::ServiceResponse,
+                Event::ResOk,
+                Event::ServiceType(ty.as_str().into()),
+                Event::ResTtl(1800),
+                Event::ResServUrl(format!("soap://10.0.0.2:4004/{ty}/control")),
+            ]),
+            now,
+        );
+        let msg = indiss_slp::Message::new(
+            indiss_slp::Header::new(
+                indiss_slp::FunctionId::SrvRqst,
+                (i % 60_000) as u16,
+                indiss_slp::DEFAULT_LANG,
+            ),
+            indiss_slp::Body::SrvRqst(indiss_slp::SrvRqst {
+                prlist: String::new(),
+                service_type: format!("service:{ty}"),
+                scopes: "DEFAULT".into(),
+                predicate: String::new(),
+                spi: String::new(),
+            }),
+        );
+        wires.push(msg.encode().expect("encodable"));
+    }
+
+    let (tx, rx) = mpsc::channel::<()>();
+    let transport = driver.transport();
+    let client = transport
+        .bind_client(Arc::new(move |_dgram| {
+            let _ = tx.send(());
+        }))
+        .ok()?;
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(requests as usize);
+    let mut replies = 0u64;
+    let started = Instant::now();
+    for r in 0..requests {
+        // A reply that straggled in after a previous timeout must not
+        // be paired with this request — drain it first so every
+        // recorded latency really times its own round trip.
+        while rx.try_recv().is_ok() {}
+        let wire = &wires[(r as usize) % distinct_types];
+        let sent = Instant::now();
+        if client.send_to(wire, slp_addr).is_err() {
+            continue;
+        }
+        if rx.recv_timeout(Duration::from_secs(2)).is_ok() {
+            latencies.push(sent.elapsed());
+            replies += 1;
+        }
+    }
+    let elapsed = started.elapsed().max(Duration::from_nanos(1));
+    driver.shutdown();
+    latencies.sort();
+    Some(UdpStormOutcome {
+        requests,
+        replies,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        throughput_rps: replies as f64 / elapsed.as_secs_f64(),
+    })
+}
+
 /// One point of the multi-threaded warm-hit scaling curve.
 #[derive(Debug, Clone)]
 pub struct ScalingPoint {

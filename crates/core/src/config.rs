@@ -16,8 +16,11 @@
 //! (Fig. 5) — the config only says what *can* be instantiated.
 
 use std::fmt;
+use std::net::Ipv4Addr;
 use std::rc::Rc;
 use std::time::Duration;
+
+use indiss_net::TransportKind;
 
 use crate::adapt::AdaptationPolicy;
 use crate::error::CoreResult;
@@ -137,6 +140,19 @@ pub struct IndissConfig {
     /// config runs. The simulated [`crate::Indiss`] runtime ignores it
     /// (the virtual-time event loop is single-threaded by design).
     pub workers: usize,
+    /// Which transport a [`crate::NetDriver`] built from this config
+    /// serves: the deterministic in-memory bus (the default) or real
+    /// UDP sockets. The simulated [`crate::Indiss`] runtime ignores it
+    /// (it runs on the virtual-time [`indiss_net::World`]).
+    pub transport: TransportKind,
+    /// Interface the UDP transport binds — loopback by default, so CI
+    /// can run a live gateway without touching the LAN.
+    pub bind: Ipv4Addr,
+    /// Offset added to every protocol port by the UDP transport
+    /// (SLP 427 → 427+offset, …): lets unprivileged processes bind the
+    /// privileged discovery ports and parallel tests avoid colliding.
+    /// Zero (the default) serves the real IANA ports.
+    pub port_offset: u16,
 }
 
 impl IndissConfig {
@@ -155,6 +171,9 @@ impl IndissConfig {
             negative_ttl: Duration::from_secs(2),
             shards: 1,
             workers: 1,
+            transport: TransportKind::Sim,
+            bind: Ipv4Addr::LOCALHOST,
+            port_offset: 0,
         }
     }
 
@@ -266,6 +285,24 @@ impl IndissConfig {
     /// built from this config.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Selects the transport a [`crate::NetDriver`] serves.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Sets the interface the UDP transport binds.
+    pub fn with_bind(mut self, bind: Ipv4Addr) -> Self {
+        self.bind = bind;
+        self
+    }
+
+    /// Shifts every protocol port served by the UDP transport.
+    pub fn with_port_offset(mut self, offset: u16) -> Self {
+        self.port_offset = offset;
         self
     }
 
@@ -419,6 +456,24 @@ impl IndissConfigBuilder {
     /// built from this config.
     pub fn workers(mut self, workers: usize) -> Self {
         self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Selects the transport a [`crate::NetDriver`] serves.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.config.transport = transport;
+        self
+    }
+
+    /// Sets the interface the UDP transport binds.
+    pub fn bind(mut self, bind: Ipv4Addr) -> Self {
+        self.config.bind = bind;
+        self
+    }
+
+    /// Shifts every protocol port served by the UDP transport.
+    pub fn port_offset(mut self, offset: u16) -> Self {
+        self.config.port_offset = offset;
         self
     }
 

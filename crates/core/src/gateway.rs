@@ -150,6 +150,13 @@ impl GatewayCore {
         self.registry.clone()
     }
 
+    /// The shared bridge-path counters (for in-crate request sources —
+    /// the wire front-end — that account composed replies and recorded
+    /// adverts exactly like the simulated runtime does).
+    pub(crate) fn bridge_counters(&self) -> &BridgeCounters {
+        &self.counters
+    }
+
     /// Bridge statistics so far (atomic bridge-path counters merged with
     /// the registry's per-shard counters).
     pub fn stats(&self) -> BridgeStats {

@@ -106,6 +106,7 @@ mod event;
 mod fsm;
 mod gateway;
 mod monitor;
+mod netfront;
 mod pool;
 mod protocol;
 mod registry;
@@ -120,6 +121,10 @@ pub use event::{Event, EventKind, EventStream, EventStreamBuilder, ParserKind, S
 pub use fsm::{Action, Fsm, FsmBuilder, Guard, Trigger};
 pub use gateway::{GatewayCore, ThreadedGateway, WarmDecision};
 pub use monitor::{DetectionRecord, Monitor};
+pub use netfront::{
+    DescriptionFetch, HttpDescriptionFetch, NetDriver, NetDriverBuilder, NetFrontStats,
+    StaticDescriptions,
+};
 pub use pool::WorkerPool;
 pub use protocol::ProtocolId;
 pub use registry::{

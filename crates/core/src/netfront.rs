@@ -1,0 +1,972 @@
+//! The network front-end: the gateway's warm path on real (or
+//! in-memory) sockets.
+//!
+//! [`NetDriver`] is the deployable counterpart of the simulated
+//! [`crate::Indiss`] runtime for the traffic that dominates a gateway's
+//! life: it opens one transport channel per configured protocol —
+//! joining the multicast groups declared by the protocol's detection
+//! tag, exactly as the monitor does in the simulation — and runs the
+//! existing decode → parse → classify → deliver warm path over the
+//! lane-routed [`crate::WorkerPool`] of a [`ThreadedGateway`]:
+//!
+//! * **detection** (paper §2.1) is passive and port-based, through the
+//!   transport seam: a [`DetectionRecord`] per protocol from data
+//!   arrival alone, with Fig. 5's lazy composition honored — under
+//!   `lazy_units`, a protocol's pipeline activates on its first
+//!   datagram ([`NetDriver::active_units`]);
+//! * **requests** are decoded by the same stateless parser tables the
+//!   deployed units use ([`crate::parse_slp_request`] and friends),
+//!   classified by the same [`crate::gateway::classify_request`]
+//!   decision tree, and answered from the registry's response cache
+//!   with natively composed replies written back out the socket that
+//!   heard them — the paper's §4.3 best case, end to end on the wire;
+//! * **advertisements** are recorded in the shared
+//!   [`crate::ServiceRegistry`] (warming the response cache when they
+//!   carry an endpoint); a UPnP `NOTIFY`, which only points at a
+//!   description document, is enriched through a [`DescriptionFetch`]
+//!   — a real HTTP GET over TCP in a live deployment
+//!   ([`HttpDescriptionFetch`]), the §2.4 socket switch on actual
+//!   sockets;
+//! * **responses** observed on the wire warm the cache, as in the
+//!   simulation.
+//!
+//! What the front-end deliberately does *not* do is the cold-path
+//! fan-out: a request the registry cannot answer is counted
+//! ([`NetFrontStats::cold_misses`]) and its suppression window armed,
+//! but driving a foreign protocol's multi-step native query process
+//! remains the unit runtime's job. The warm path is one shared
+//! implementation, so the deterministic simulation keeps pinning the
+//! exact semantics the wire serves.
+//!
+//! Backpressure is bounded per channel: each channel admits at most
+//! [`NetDriver::BACKPRESSURE`] undelivered datagrams into the pool;
+//! beyond that, datagrams are dropped and counted
+//! ([`NetFrontStats::dropped_backpressure`]) — the honest UDP behavior
+//! under overload, applied before the queue can grow without bound.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::SocketAddrV4;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+use indiss_net::{
+    BindSpec, Datagram, SimTime, SimTransport, Transport, TransportKind, TransportSocket,
+    UdpTransport,
+};
+use indiss_upnp::DeviceDescription;
+
+use crate::config::{IndissConfig, UnitSpec};
+use crate::error::{CoreError, CoreResult};
+use crate::event::{EventStream, SdpProtocol};
+use crate::gateway::{GatewayCore, ThreadedGateway, WarmDecision};
+use crate::monitor::DetectionRecord;
+use crate::registry::{AdvertDisposition, ServiceRegistry};
+use crate::runtime::BridgeStats;
+use crate::units::descriptor::SdpDescriptor;
+use crate::units::{slp, upnp, ParsedMessage};
+
+// ---------------------------------------------------------------------
+// Description fetching (the §2.4 socket switch, on real sockets)
+// ---------------------------------------------------------------------
+
+/// Resolves a UPnP `LOCATION:` URL to its description document, so a
+/// `NOTIFY` advert can be enriched with the endpoint and attributes the
+/// other SDPs need. Runs on a worker lane; implementations should bound
+/// their blocking time.
+pub trait DescriptionFetch: Send + Sync {
+    /// Fetches the document at `url`, or `None` on any failure (the
+    /// advert is then recorded unenriched, exactly like a failed fetch
+    /// in the simulation).
+    fn fetch(&self, url: &str) -> Option<String>;
+}
+
+/// A real HTTP GET over `std::net::TcpStream` — the live deployment's
+/// [`DescriptionFetch`]. Timeout-bounded on connect, read and write.
+#[derive(Debug, Clone)]
+pub struct HttpDescriptionFetch {
+    timeout: Duration,
+}
+
+impl Default for HttpDescriptionFetch {
+    fn default() -> Self {
+        HttpDescriptionFetch { timeout: Duration::from_millis(500) }
+    }
+}
+
+impl HttpDescriptionFetch {
+    /// A fetcher with the given per-operation timeout.
+    pub fn with_timeout(timeout: Duration) -> HttpDescriptionFetch {
+        HttpDescriptionFetch { timeout }
+    }
+}
+
+impl DescriptionFetch for HttpDescriptionFetch {
+    fn fetch(&self, url: &str) -> Option<String> {
+        use std::net::ToSocketAddrs;
+        let rest = url.strip_prefix("http://")?;
+        let (host, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        // Hostnames and port-less authorities are both valid in a
+        // LOCATION: header; resolve rather than parse, defaulting to
+        // port 80.
+        let addr = if host.contains(':') {
+            host.to_socket_addrs().ok()?.next()?
+        } else {
+            (host, 80u16).to_socket_addrs().ok()?.next()?
+        };
+        let mut stream = std::net::TcpStream::connect_timeout(&addr, self.timeout).ok()?;
+        stream.set_read_timeout(Some(self.timeout)).ok()?;
+        stream.set_write_timeout(Some(self.timeout)).ok()?;
+        let request = format!("GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n");
+        stream.write_all(request.as_bytes()).ok()?;
+        let mut wire = Vec::new();
+        stream.read_to_end(&mut wire).ok()?;
+        let response = indiss_http::Response::parse(&wire).ok()?;
+        if !response.is_success() {
+            return None;
+        }
+        String::from_utf8(response.body).ok()
+    }
+}
+
+/// A canned [`DescriptionFetch`] for deterministic tests: URL →
+/// document, no sockets.
+#[derive(Debug, Default)]
+pub struct StaticDescriptions {
+    map: Mutex<HashMap<String, String>>,
+}
+
+impl StaticDescriptions {
+    /// An empty table.
+    pub fn new() -> StaticDescriptions {
+        StaticDescriptions::default()
+    }
+
+    /// Maps `url` to `document`.
+    pub fn insert(&self, url: &str, document: &str) {
+        self.map.lock().expect("descriptions poisoned").insert(url.to_owned(), document.to_owned());
+    }
+}
+
+impl DescriptionFetch for StaticDescriptions {
+    fn fetch(&self, url: &str) -> Option<String> {
+        self.map.lock().expect("descriptions poisoned").get(url).cloned()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codecs: the stateless parser/composer tables per protocol
+// ---------------------------------------------------------------------
+
+/// Per-protocol dispatch into the stateless parse/compose functions the
+/// deployed units share with the wire front-end.
+enum WireCodec {
+    Slp,
+    Upnp,
+    /// Boxed: a descriptor carries its compiled templates, which would
+    /// otherwise dominate the enum's size.
+    Descriptor(Box<SdpDescriptor>),
+}
+
+impl WireCodec {
+    fn for_spec(spec: &UnitSpec) -> CoreResult<WireCodec> {
+        match spec {
+            UnitSpec::Slp(_) => Ok(WireCodec::Slp),
+            UnitSpec::Upnp(_) => Ok(WireCodec::Upnp),
+            UnitSpec::Descriptor(d) => Ok(WireCodec::Descriptor(Box::new(d.clone()))),
+            // The Jini discovery plane is TCP-registrar-shaped; its unit
+            // has no stateless datagram codec to share yet.
+            UnitSpec::Jini(_) => Err(CoreError::BadConfig(
+                "the Jini unit has no wire codec; configure SLP, UPnP or descriptor units \
+                 for the network front-end",
+            )),
+            UnitSpec::Custom(_) => Err(CoreError::BadConfig(
+                "custom unit factories are simulation-bound; the network front-end needs a \
+                 built-in or descriptor protocol",
+            )),
+        }
+    }
+
+    fn decode(&self, payload: &[u8], src: SocketAddrV4, multicast: bool) -> ParsedMessage {
+        match self {
+            WireCodec::Slp => slp::decode_slp_wire(payload, src, multicast),
+            WireCodec::Upnp => upnp::decode_ssdp_wire(payload, src),
+            WireCodec::Descriptor(d) => d.decode_wire(payload, src, multicast),
+        }
+    }
+
+    /// Composes the native reply answering `request` with `response`;
+    /// returns the wire bytes and the requester address. UPnP requests
+    /// return `None`: a native SSDP answer points at a synthetic
+    /// description document, which only the unit runtime hosts.
+    fn compose_reply(
+        &self,
+        registry: &ServiceRegistry,
+        request: &EventStream,
+        response: &EventStream,
+    ) -> Option<(Vec<u8>, SocketAddrV4)> {
+        match self {
+            WireCodec::Slp => {
+                let (wire, requester, slp_url) = slp::compose_slp_reply(request, response)?;
+                // Record the attribute projection, as the unit does, so
+                // registry contents match the simulated run.
+                registry.set_projection(
+                    SdpProtocol::Slp,
+                    &slp_url,
+                    crate::registry::Projection {
+                        attrs: response
+                            .response_attrs()
+                            .into_iter()
+                            .map(|(t, v)| (t.to_owned(), v.to_owned()))
+                            .collect(),
+                        ..crate::registry::Projection::default()
+                    },
+                );
+                Some((wire, requester))
+            }
+            WireCodec::Upnp => None,
+            WireCodec::Descriptor(d) => d.compose_answer_wire(request, response),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct FrontCounters {
+    datagrams_received: AtomicU64,
+    dropped_backpressure: AtomicU64,
+    requests_decoded: AtomicU64,
+    replies_sent: AtomicU64,
+    cold_misses: AtomicU64,
+    adverts_seen: AtomicU64,
+    descriptions_fetched: AtomicU64,
+    decode_rejected: AtomicU64,
+}
+
+/// A snapshot of the wire front-end's own counters. Bridge-level
+/// accounting (cache hits, suppression, recorded adverts …) is shared
+/// with the gateway and read via [`NetDriver::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetFrontStats {
+    /// Datagrams the transport delivered to the sinks.
+    pub datagrams_received: u64,
+    /// Datagrams dropped because a channel's bounded in-flight budget
+    /// was full (honest UDP overload behavior).
+    pub dropped_backpressure: u64,
+    /// Request streams decoded from the wire.
+    pub requests_decoded: u64,
+    /// Native replies composed and written back out a socket.
+    pub replies_sent: u64,
+    /// Requests the warm path could not answer (a simulation runtime
+    /// would fan these out to the foreign units).
+    pub cold_misses: u64,
+    /// Advertisement streams decoded from the wire.
+    pub adverts_seen: u64,
+    /// UPnP description documents fetched to enrich adverts.
+    pub descriptions_fetched: u64,
+    /// Datagrams no parser table row matched.
+    pub decode_rejected: u64,
+}
+
+// ---------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------
+
+struct Channel {
+    protocol: SdpProtocol,
+    codec: WireCodec,
+    lane: usize,
+    socket: OnceLock<Arc<dyn TransportSocket>>,
+    in_flight: AtomicUsize,
+    // Detection bookkeeping is per-channel atomics, not a shared map:
+    // the sink runs on each channel's recv thread, and a process-wide
+    // lock there would serialize all channels at the front door.
+    // `first_seen_nanos == 0` means "never" (driver time starts at 1 s).
+    first_seen_nanos: AtomicU64,
+    last_seen_nanos: AtomicU64,
+    message_count: AtomicU64,
+    /// Whether this protocol's pipeline is live (always for eager
+    /// configs; flipped by first traffic under `lazy_units`, Fig. 5).
+    active: std::sync::atomic::AtomicBool,
+}
+
+struct NetDriverInner {
+    gateway: ThreadedGateway,
+    core: GatewayCore,
+    transport: Arc<dyn Transport>,
+    channels: Vec<Arc<Channel>>,
+    epoch: Instant,
+    lazy: bool,
+    counters: FrontCounters,
+    fetcher: Option<Arc<dyn DescriptionFetch>>,
+}
+
+/// Configures and starts a [`NetDriver`]; obtained from
+/// [`NetDriver::builder`].
+pub struct NetDriverBuilder {
+    config: IndissConfig,
+    transport: Option<Arc<dyn Transport>>,
+    fetcher: Option<Arc<dyn DescriptionFetch>>,
+}
+
+impl NetDriverBuilder {
+    /// Runs the driver on an explicit transport (e.g. a [`SimTransport`]
+    /// shared with scripted native peers, or a [`UdpTransport`] with a
+    /// port offset). Without this, the transport comes from
+    /// `config.transport` / `config.port_offset`.
+    pub fn transport(mut self, transport: Arc<dyn Transport>) -> NetDriverBuilder {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Sets the description fetcher UPnP advert enrichment uses. The
+    /// default for a [`TransportKind::Udp`] driver is a real
+    /// [`HttpDescriptionFetch`]; for [`TransportKind::Sim`] there is no
+    /// default (supply [`StaticDescriptions`] for deterministic tests).
+    pub fn describe(mut self, fetcher: Arc<dyn DescriptionFetch>) -> NetDriverBuilder {
+        self.fetcher = Some(fetcher);
+        self
+    }
+
+    /// Binds every channel and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] for configs the wire front cannot serve
+    /// (no units, duplicate protocols, units without a wire codec);
+    /// [`CoreError::Net`] for bind failures — a privileged port without
+    /// the capability, a port already in use.
+    pub fn start(self) -> CoreResult<NetDriver> {
+        NetDriver::start_inner(self.config, self.transport, self.fetcher)
+    }
+}
+
+/// The wire front-end driver. See the module docs; constructed via
+/// [`NetDriver::builder`] or [`NetDriver::start`].
+///
+/// Cheap to clone (all clones drive one gateway); [`NetDriver::shutdown`]
+/// stops the transport's recv threads and drains the worker pool.
+#[derive(Clone)]
+pub struct NetDriver {
+    inner: Arc<NetDriverInner>,
+}
+
+impl NetDriver {
+    /// Per-channel bound on datagrams admitted into the worker pool and
+    /// not yet processed; arrivals beyond it are dropped and counted.
+    pub const BACKPRESSURE: usize = 1024;
+
+    /// Starts a driver for `config` on the transport `config.transport`
+    /// names.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetDriverBuilder::start`].
+    pub fn start(config: IndissConfig) -> CoreResult<NetDriver> {
+        NetDriver::builder(config).start()
+    }
+
+    /// Starts configuring a driver.
+    pub fn builder(config: IndissConfig) -> NetDriverBuilder {
+        NetDriverBuilder { config, transport: None, fetcher: None }
+    }
+
+    fn start_inner(
+        config: IndissConfig,
+        transport: Option<Arc<dyn Transport>>,
+        fetcher: Option<Arc<dyn DescriptionFetch>>,
+    ) -> CoreResult<NetDriver> {
+        if config.units.is_empty() {
+            return Err(CoreError::BadConfig("at least one unit is required"));
+        }
+        let transport: Arc<dyn Transport> = match transport {
+            Some(t) => t,
+            None => match config.transport {
+                TransportKind::Sim => Arc::new(SimTransport::new()),
+                TransportKind::Udp => Arc::new(UdpTransport::new(config.bind, config.port_offset)),
+            },
+        };
+        let fetcher = fetcher.or_else(|| match transport.kind() {
+            TransportKind::Udp => {
+                Some(Arc::new(HttpDescriptionFetch::default()) as Arc<dyn DescriptionFetch>)
+            }
+            TransportKind::Sim => None,
+        });
+
+        let gateway = ThreadedGateway::from_config(&config);
+        let core = gateway.core();
+        let mut channels = Vec::with_capacity(config.units.len());
+        for (lane, spec) in config.units.iter().enumerate() {
+            let protocol = spec.protocol();
+            if channels.iter().any(|c: &Arc<Channel>| c.protocol == protocol) {
+                return Err(CoreError::BadConfig(
+                    "duplicate unit: each protocol may be configured at most once",
+                ));
+            }
+            channels.push(Arc::new(Channel {
+                protocol,
+                codec: WireCodec::for_spec(spec)?,
+                lane,
+                socket: OnceLock::new(),
+                in_flight: AtomicUsize::new(0),
+                first_seen_nanos: AtomicU64::new(0),
+                last_seen_nanos: AtomicU64::new(0),
+                message_count: AtomicU64::new(0),
+                active: std::sync::atomic::AtomicBool::new(!config.lazy_units),
+            }));
+        }
+        let inner = Arc::new(NetDriverInner {
+            gateway,
+            core,
+            transport: Arc::clone(&transport),
+            channels,
+            epoch: Instant::now(),
+            lazy: config.lazy_units,
+            counters: FrontCounters::default(),
+            fetcher,
+        });
+
+        for channel in &inner.channels {
+            let spec = BindSpec {
+                port: channel.protocol.port(),
+                groups: channel.protocol.multicast_groups().to_vec(),
+            };
+            let weak: Weak<NetDriverInner> = Arc::downgrade(&inner);
+            let chan = Arc::clone(channel);
+            let socket = transport.bind(
+                &spec,
+                Arc::new(move |dgram: Datagram| {
+                    if let Some(inner) = weak.upgrade() {
+                        NetDriver::sink(&inner, &chan, dgram);
+                    }
+                }),
+            );
+            let socket = match socket {
+                Ok(s) => s,
+                Err(e) => {
+                    // A partial start must not strand recv threads (or
+                    // keep earlier channels' ports bound): tear down
+                    // what was already bound before reporting.
+                    transport.shutdown();
+                    return Err(e.into());
+                }
+            };
+            channel.socket.set(socket).ok().expect("channel socket set once");
+        }
+        Ok(NetDriver { inner })
+    }
+
+    /// The transport-seam entry point: runs on the transport's delivery
+    /// thread, so it only does detection bookkeeping and the bounded
+    /// hand-off to the worker pool.
+    fn sink(inner: &Arc<NetDriverInner>, channel: &Arc<Channel>, dgram: Datagram) {
+        inner.counters.datagrams_received.fetch_add(1, Ordering::Relaxed);
+        let now = inner.now();
+        // Passive port-based detection (§2.1), through the seam: the
+        // record exists because data arrived, not because anything was
+        // parsed. Per-channel atomics — no lock on the recv path.
+        let nanos = now.as_nanos().max(1);
+        let _ = channel.first_seen_nanos.compare_exchange(
+            0,
+            nanos,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        channel.last_seen_nanos.store(nanos, Ordering::Relaxed);
+        channel.message_count.fetch_add(1, Ordering::Relaxed);
+        if inner.lazy {
+            // Fig. 5's lazy composition: first traffic activates the
+            // protocol's pipeline (idempotent store).
+            channel.active.store(true, Ordering::Relaxed);
+        }
+        // Bounded backpressure into the pool: admission is reserved
+        // here, released when the worker finishes.
+        if channel.in_flight.fetch_add(1, Ordering::AcqRel) >= NetDriver::BACKPRESSURE {
+            channel.in_flight.fetch_sub(1, Ordering::AcqRel);
+            inner.counters.dropped_backpressure.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let inner2 = Arc::clone(inner);
+        let channel2 = Arc::clone(channel);
+        inner.gateway.submit_on_lane(channel.lane, move || {
+            NetDriver::process(&inner2, &channel2, dgram);
+            channel2.in_flight.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+
+    /// The per-datagram pipeline, on the channel's worker lane: decode →
+    /// parse → classify → deliver.
+    fn process(inner: &NetDriverInner, channel: &Channel, dgram: Datagram) {
+        let registry = inner.core.registry();
+        let now = inner.now();
+        match channel.codec.decode(&dgram.payload, dgram.src, dgram.is_multicast()) {
+            ParsedMessage::Request(request) => {
+                inner.counters.requests_decoded.fetch_add(1, Ordering::Relaxed);
+                match inner.core.classify(channel.protocol, &request, now) {
+                    WarmDecision::CacheHit(response) => {
+                        if let Some((wire, requester)) =
+                            channel.codec.compose_reply(&registry, &request, &response)
+                        {
+                            let socket = channel.socket.get().expect("bound before traffic");
+                            if socket.send_to(&wire, requester).is_ok() {
+                                inner.counters.replies_sent.fetch_add(1, Ordering::Relaxed);
+                                inner.core.bridge_counters().add_responses_composed();
+                            }
+                        }
+                    }
+                    // "Nothing found" is silence on multicast SDPs; the
+                    // negative/suppression accounting lives in the
+                    // shared classify path.
+                    WarmDecision::NegativeHit | WarmDecision::Suppressed => {}
+                    WarmDecision::Bridge => {
+                        inner.counters.cold_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            ParsedMessage::Advert(stream) => {
+                inner.counters.adverts_seen.fetch_add(1, Ordering::Relaxed);
+                let stream = inner.maybe_enrich(stream);
+                if registry.record_advert(channel.protocol, &stream, now)
+                    == AdvertDisposition::Ignored
+                {
+                    return; // no identity to key on
+                }
+                inner.core.bridge_counters().add_adverts_recorded();
+                if stream.is_alive() && stream.service_url().is_some() {
+                    if let Some(t) = stream.service_type_symbol() {
+                        registry.warm(t, stream.clone(), now);
+                    }
+                }
+                inner.opportunistic_sweep(&registry, now);
+            }
+            ParsedMessage::Response(stream) => {
+                if stream.service_url().is_some() {
+                    if let Some(t) = stream.service_type_symbol() {
+                        registry.warm(t, stream.clone(), now);
+                        inner.opportunistic_sweep(&registry, now);
+                    }
+                }
+            }
+            ParsedMessage::Handled => {}
+            ParsedMessage::NotRelevant => {
+                inner.counters.decode_rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Wall-clock time mapped onto the registry's [`SimTime`] axis.
+    pub fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    /// The shared registry behind the gateway.
+    pub fn registry(&self) -> ServiceRegistry {
+        self.inner.core.registry()
+    }
+
+    /// Bridge statistics (shared accounting with the gateway: cache and
+    /// negative hits, suppression, recorded adverts, composed replies).
+    pub fn stats(&self) -> BridgeStats {
+        self.inner.core.stats()
+    }
+
+    /// The front-end's own wire-level counters.
+    pub fn front_stats(&self) -> NetFrontStats {
+        let c = &self.inner.counters;
+        NetFrontStats {
+            datagrams_received: c.datagrams_received.load(Ordering::Relaxed),
+            dropped_backpressure: c.dropped_backpressure.load(Ordering::Relaxed),
+            requests_decoded: c.requests_decoded.load(Ordering::Relaxed),
+            replies_sent: c.replies_sent.load(Ordering::Relaxed),
+            cold_misses: c.cold_misses.load(Ordering::Relaxed),
+            adverts_seen: c.adverts_seen.load(Ordering::Relaxed),
+            descriptions_fetched: c.descriptions_fetched.load(Ordering::Relaxed),
+            decode_rejected: c.decode_rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Protocols seen so far, in first-detection order — the monitor's
+    /// §2.1 view, served by the transport seam.
+    pub fn detected(&self) -> Vec<SdpProtocol> {
+        let mut seen: Vec<(u64, SdpProtocol)> = self
+            .inner
+            .channels
+            .iter()
+            .filter_map(|c| {
+                let first = c.first_seen_nanos.load(Ordering::Relaxed);
+                (first != 0).then_some((first, c.protocol))
+            })
+            .collect();
+        seen.sort();
+        seen.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Detection statistics for one protocol.
+    pub fn detection(&self, protocol: SdpProtocol) -> Option<DetectionRecord> {
+        let channel = self.inner.channels.iter().find(|c| c.protocol == protocol)?;
+        let first = channel.first_seen_nanos.load(Ordering::Relaxed);
+        if first == 0 {
+            return None;
+        }
+        Some(DetectionRecord {
+            first_seen: SimTime::from_nanos(first),
+            last_seen: SimTime::from_nanos(channel.last_seen_nanos.load(Ordering::Relaxed)),
+            message_count: channel.message_count.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Protocols with an active pipeline: everything configured when
+    /// eager, first-traffic protocols when `lazy_units` (Fig. 5).
+    pub fn active_units(&self) -> Vec<SdpProtocol> {
+        let mut ps: Vec<SdpProtocol> = self
+            .inner
+            .channels
+            .iter()
+            .filter(|c| c.active.load(Ordering::Relaxed))
+            .map(|c| c.protocol)
+            .collect();
+        ps.sort_by_key(|p| p.port());
+        ps
+    }
+
+    /// The transport this driver serves (e.g. to bind scripted client
+    /// channels on the same bus, or to map protocol ports).
+    pub fn transport(&self) -> Arc<dyn Transport> {
+        Arc::clone(&self.inner.transport)
+    }
+
+    /// The channel socket bound for `protocol`, if configured (exposed
+    /// so harnesses can address the gateway without re-deriving the
+    /// mapped port).
+    pub fn channel_addr(&self, protocol: SdpProtocol) -> Option<SocketAddrV4> {
+        self.inner
+            .channels
+            .iter()
+            .find(|c| c.protocol == protocol)
+            .and_then(|c| c.socket.get())
+            .map(|s| s.local_addr())
+    }
+
+    /// Blocks until every admitted datagram has been processed.
+    pub fn join(&self) {
+        self.inner.gateway.join();
+    }
+
+    /// Stops the transport's recv threads and drains the pool.
+    pub fn shutdown(&self) {
+        self.inner.transport.shutdown();
+        self.inner.gateway.join();
+    }
+}
+
+impl NetDriverInner {
+    fn now(&self) -> SimTime {
+        // Offset by one virtual second so "time zero" artifacts (e.g. a
+        // suppression window armed exactly at epoch) cannot occur.
+        let nanos = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        SimTime::from_nanos(nanos.saturating_add(1_000_000_000))
+    }
+
+    /// Enriches a UPnP advert that only points at a description (no
+    /// endpoint) by fetching and parsing the document — the §2.4
+    /// recursive process on the advert path.
+    fn maybe_enrich(&self, stream: EventStream) -> EventStream {
+        if !stream.is_alive() || stream.service_url().is_some() {
+            return stream;
+        }
+        let Some(fetcher) = &self.fetcher else {
+            return stream;
+        };
+        let location = stream.events().iter().find_map(|e| match e {
+            crate::event::Event::UpnpDeviceUrlDesc(url) => Some(url.clone()),
+            _ => None,
+        });
+        let Some(location) = location else {
+            return stream;
+        };
+        let Some(desc) =
+            fetcher.fetch(&location).and_then(|xml| DeviceDescription::from_xml(&xml).ok())
+        else {
+            return stream;
+        };
+        self.counters.descriptions_fetched.fetch_add(1, Ordering::Relaxed);
+        upnp::enrich_advert_with_description(&stream, &desc, &location)
+    }
+
+    /// Runs a registry sweep when a TTL deadline has passed — the
+    /// wall-clock analogue of the simulation's virtual-time sweep
+    /// timers (reads expire lazily regardless; this reclaims memory).
+    fn opportunistic_sweep(&self, registry: &ServiceRegistry, now: SimTime) {
+        if registry.next_deadline().is_some_and(|d| d <= now) {
+            registry.sweep(now);
+        }
+    }
+}
+
+impl std::fmt::Debug for NetDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetDriver")
+            .field("transport", &self.inner.transport.kind())
+            .field("protocols", &self.inner.channels.iter().map(|c| c.protocol).collect::<Vec<_>>())
+            .field("front_stats", &self.front_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndissConfig;
+    use crate::event::Event;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn slp_request(service_type: &str, xid: u16) -> Vec<u8> {
+        indiss_slp::Message::new(
+            indiss_slp::Header::new(indiss_slp::FunctionId::SrvRqst, xid, "en"),
+            indiss_slp::Body::SrvRqst(indiss_slp::SrvRqst {
+                prlist: String::new(),
+                service_type: service_type.to_owned(),
+                scopes: "DEFAULT".into(),
+                predicate: String::new(),
+                spi: String::new(),
+            }),
+        )
+        .encode()
+        .expect("encodable")
+    }
+
+    fn client_on(
+        transport: &Arc<dyn Transport>,
+    ) -> (Arc<dyn TransportSocket>, mpsc::Receiver<Datagram>) {
+        let (tx, rx) = mpsc::channel();
+        let socket = transport
+            .bind_client(Arc::new(move |d| {
+                let _ = tx.send(d);
+            }))
+            .expect("client bind");
+        (socket, rx)
+    }
+
+    /// A warm SLP request over the sim bus is answered with a composed
+    /// SrvRply on the requester's socket — the §4.3 best case end to
+    /// end through the transport seam.
+    #[test]
+    fn warm_slp_request_is_answered_on_the_wire() {
+        let driver = NetDriver::builder(IndissConfig::slp_upnp()).start().expect("driver");
+        let transport = driver.transport();
+        driver.registry().warm(
+            "clock",
+            EventStream::framed(vec![
+                Event::ServiceResponse,
+                Event::ResOk,
+                Event::ServiceType("clock".into()),
+                Event::ResTtl(1800),
+                Event::ResServUrl("soap://10.0.0.2:4004/service/timer/control".into()),
+            ]),
+            driver.now(),
+        );
+        let (client, replies) = client_on(&transport);
+        let slp_addr = driver.channel_addr(SdpProtocol::Slp).expect("slp channel");
+        client.send_to(&slp_request("service:clock", 0xBEEF), slp_addr).expect("send");
+        driver.join();
+        let reply = replies.recv_timeout(Duration::from_secs(2)).expect("reply on the wire");
+        let msg = indiss_slp::Message::decode(&reply.payload).expect("valid SLP");
+        assert_eq!(msg.header.xid, 0xBEEF);
+        match msg.body {
+            indiss_slp::Body::SrvRply(rply) => {
+                assert_eq!(
+                    rply.urls[0].url,
+                    "service:clock:soap://10.0.0.2:4004/service/timer/control"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = driver.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.responses_composed, 1);
+        assert_eq!(driver.front_stats().replies_sent, 1);
+        driver.shutdown();
+    }
+
+    /// An SLP SrvReg advert heard on the wire lands in the registry,
+    /// warms the cache, and the next request is answered — and a cold
+    /// request is counted as a miss, not answered.
+    #[test]
+    fn adverts_warm_and_cold_requests_count() {
+        let driver = NetDriver::builder(IndissConfig::slp_upnp()).start().expect("driver");
+        let transport = driver.transport();
+        let (client, replies) = client_on(&transport);
+        let slp_addr = driver.channel_addr(SdpProtocol::Slp).expect("slp channel");
+
+        // Cold: nothing known.
+        client.send_to(&slp_request("service:printer", 1), slp_addr).expect("send");
+        driver.join();
+        assert_eq!(driver.front_stats().cold_misses, 1);
+        assert!(replies.try_recv().is_err(), "cold request is silence");
+
+        // Advert → record + warm.
+        let reg = indiss_slp::Message::new(
+            indiss_slp::Header::new(indiss_slp::FunctionId::SrvReg, 2, "en"),
+            indiss_slp::Body::SrvReg(indiss_slp::SrvReg {
+                entry: indiss_slp::UrlEntry::new("service:printer:lpr://10.0.3.1:515", 1800),
+                service_type: "service:printer".into(),
+                scopes: "DEFAULT".into(),
+                attrs: "(location=office)".into(),
+            }),
+        )
+        .encode()
+        .expect("encodable");
+        client.send_to(&reg, slp_addr).expect("send");
+        driver.join();
+        assert!(driver.registry().contains_type("printer", driver.now()));
+        assert_eq!(driver.stats().adverts_recorded, 1);
+
+        client.send_to(&slp_request("service:printer", 3), slp_addr).expect("send");
+        driver.join();
+        let reply = replies.recv_timeout(Duration::from_secs(2)).expect("warm reply");
+        assert!(indiss_slp::Message::decode(&reply.payload).is_ok());
+        driver.shutdown();
+    }
+
+    /// Passive port detection through the seam, with Fig. 5 lazy
+    /// activation: nothing active until traffic arrives.
+    #[test]
+    fn detection_and_lazy_activation_through_the_seam() {
+        let descriptor = SdpDescriptor::dns_sd();
+        let config = IndissConfig::builder().slp().descriptor(descriptor.clone()).lazy().build();
+        let driver = NetDriver::builder(config).start().expect("driver");
+        let transport = driver.transport();
+        assert!(driver.detected().is_empty());
+        assert!(driver.active_units().is_empty(), "lazy: nothing active yet");
+
+        let (client, _replies) = client_on(&transport);
+        let dnssd_addr = driver.channel_addr(descriptor.protocol()).expect("channel");
+        client.send_to(b"DNSSD Q PTR _clock._tcp.local", dnssd_addr).expect("send");
+        driver.join();
+        assert_eq!(driver.detected(), vec![descriptor.protocol()]);
+        assert_eq!(driver.active_units(), vec![descriptor.protocol()]);
+        assert_eq!(driver.detection(descriptor.protocol()).expect("record").message_count, 1);
+        driver.shutdown();
+    }
+
+    /// A descriptor protocol's warm path composes its native answer
+    /// line from the same template table the unit uses.
+    #[test]
+    fn descriptor_protocol_answers_natively() {
+        let descriptor = SdpDescriptor::dns_sd();
+        let config = IndissConfig::builder().descriptor(descriptor.clone()).build();
+        let driver = NetDriver::builder(config).start().expect("driver");
+        driver.registry().warm(
+            "scanner",
+            EventStream::framed(vec![
+                Event::ServiceResponse,
+                Event::ResOk,
+                Event::ServiceType("scanner".into()),
+                Event::ResTtl(120),
+                Event::ResServUrl("scan://10.0.4.1:6566/sane".into()),
+            ]),
+            driver.now(),
+        );
+        let transport = driver.transport();
+        let (client, replies) = client_on(&transport);
+        let addr = driver.channel_addr(descriptor.protocol()).expect("channel");
+        client.send_to(b"DNSSD Q PTR _scanner._tcp.local", addr).expect("send");
+        driver.join();
+        let reply = replies.recv_timeout(Duration::from_secs(2)).expect("native answer");
+        assert_eq!(
+            String::from_utf8(reply.payload).expect("utf8"),
+            "DNSSD A PTR _scanner._tcp.local SRV scan://10.0.4.1:6566/sane TTL 120"
+        );
+        driver.shutdown();
+    }
+
+    /// A UPnP NOTIFY that only points at a description document is
+    /// enriched through the DescriptionFetch seam and warms the cache
+    /// with the real control endpoint.
+    #[test]
+    fn upnp_notify_enriched_via_description_fetch() {
+        let descriptions = Arc::new(StaticDescriptions::new());
+        let desc = DeviceDescription {
+            device_type: "urn:schemas-upnp-org:device:clock:1".into(),
+            friendly_name: "CyberGarage Clock Device".into(),
+            manufacturer: "CyberGarage".into(),
+            manufacturer_url: "http://www.cybergarage.org".into(),
+            model_description: "CyberUPnP Clock Device".into(),
+            model_name: "Clock".into(),
+            model_number: "1.0".into(),
+            model_url: "http://www.cybergarage.org".into(),
+            udn: "uuid:ClockDevice".into(),
+            services: vec![indiss_upnp::ServiceDescription::conventional("timer", 1)],
+        };
+        descriptions.insert("http://10.0.0.2:4004/description.xml", &desc.to_xml());
+
+        let driver = NetDriver::builder(IndissConfig::slp_upnp())
+            .describe(descriptions)
+            .start()
+            .expect("driver");
+        let transport = driver.transport();
+        let (client, replies) = client_on(&transport);
+        let notify = indiss_ssdp::Notify {
+            nt: indiss_ssdp::SearchTarget::device_urn("clock", 1),
+            nts: indiss_ssdp::NotifySubType::Alive,
+            usn: "uuid:ClockDevice::urn:schemas-upnp-org:device:clock:1".into(),
+            location: Some("http://10.0.0.2:4004/description.xml".into()),
+            server: "test/1.0".into(),
+            max_age: 1800,
+        };
+        let upnp_addr = driver.channel_addr(SdpProtocol::Upnp).expect("upnp channel");
+        client.send_to(&notify.to_bytes(), upnp_addr).expect("send");
+        driver.join();
+        assert_eq!(driver.front_stats().descriptions_fetched, 1);
+        assert!(driver.registry().contains_type("clock", driver.now()));
+
+        // The enriched advert warmed the cache: an SLP request is now a
+        // warm hit answered with the *control* endpoint from the
+        // description, not the description URL.
+        let slp_addr = driver.channel_addr(SdpProtocol::Slp).expect("slp channel");
+        client.send_to(&slp_request("service:clock", 7), slp_addr).expect("send");
+        driver.join();
+        let reply = replies.recv_timeout(Duration::from_secs(2)).expect("bridged reply");
+        let msg = indiss_slp::Message::decode(&reply.payload).expect("valid SLP");
+        match msg.body {
+            indiss_slp::Body::SrvRply(rply) => {
+                assert_eq!(
+                    rply.urls[0].url,
+                    "service:clock:soap://10.0.0.2:4004/service/timer/control"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        driver.shutdown();
+    }
+
+    #[test]
+    fn jini_and_empty_configs_are_rejected() {
+        assert!(matches!(NetDriver::start(IndissConfig::new()), Err(CoreError::BadConfig(_))));
+        assert!(matches!(
+            NetDriver::start(IndissConfig::new().with_jini()),
+            Err(CoreError::BadConfig(_))
+        ));
+        assert!(matches!(
+            NetDriver::start(IndissConfig::new().with_slp().with_slp()),
+            Err(CoreError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn driver_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetDriver>();
+        assert_send_sync::<NetFrontStats>();
+        assert_send_sync::<StaticDescriptions>();
+        assert_send_sync::<HttpDescriptionFetch>();
+    }
+}

@@ -34,6 +34,31 @@
 //! [`Symbol::interned_count`]/[`Symbol::interned_bytes`] expose the
 //! table's size for monitoring; the `registry_churn` bench scenario
 //! asserts the bytes stay bounded under advert churn.
+//!
+//! ## Concurrency audit (sweep vs. concurrent intern)
+//!
+//! The UDP front-end's recv threads intern network-derived strings
+//! while any thread may call [`Symbol::collect`]. This is safe by two
+//! invariants, both enforced structurally:
+//!
+//! 1. **Every intern happens under its shard's lock**, including the
+//!    clone that hands the caller its reference — so by the time the
+//!    lock is released, any symbol that escaped the interner holds a
+//!    reference the sweep can observe.
+//! 2. **The sweep reclaims by refcount, not by content**: under the
+//!    same shard lock, it drops exactly the entries whose only
+//!    remaining reference is the interner's own
+//!    (`Arc::strong_count == 1`). An entry some live symbol still
+//!    points at is never touched, so canonical identity (equal
+//!    contents ⇒ pointer-identical symbols) holds at every instant,
+//!    even mid-sweep. A symbol whose last clone is being dropped
+//!    concurrently is at worst kept one extra round — never freed
+//!    early.
+//!
+//! The regression test
+//! `tests/sharding.rs::interner_collect_races_with_recv_thread_interning`
+//! runs recv-thread-shaped intern churn against a `collect()` loop and
+//! asserts the identity invariant throughout.
 
 use std::collections::HashSet;
 use std::fmt;

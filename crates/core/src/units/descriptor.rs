@@ -378,6 +378,90 @@ impl SdpDescriptor {
     fn message_line(payload: &[u8]) -> Option<&str> {
         std::str::from_utf8(payload).ok()?.lines().next().map(str::trim_end)
     }
+
+    /// The stateless parser table of this descriptor: one raw payload →
+    /// events, first matching row wins (request → alive → byebye →
+    /// answer). Both [`DescriptorUnit::parse`] and the wire front-end's
+    /// [`crate::netfront::NetDriver`] go through this single function,
+    /// so simulated and real-socket pipelines translate identically by
+    /// construction.
+    pub(crate) fn decode_wire(
+        &self,
+        payload: &[u8],
+        src: SocketAddrV4,
+        multicast: bool,
+    ) -> ParsedMessage {
+        let Some(line) = SdpDescriptor::message_line(payload) else {
+            return ParsedMessage::NotRelevant;
+        };
+        if let Some(caps) = self.query.capture(line) {
+            if let Some(ty) = caps.ty {
+                let mut body = EventStreamBuilder::with_capacity(5);
+                body.push(Event::NetType(self.protocol()))
+                    .push(if multicast { Event::NetMulticast } else { Event::NetUnicast })
+                    .push(Event::NetSourceAddr(src))
+                    .push(Event::ServiceRequest)
+                    .push(Event::ServiceType(Symbol::intern_lowercase(&ty)));
+                return ParsedMessage::Request(body.build());
+            }
+        }
+        for (template, alive) in [(self.alive.as_ref(), true), (self.byebye.as_ref(), false)] {
+            let Some(caps) = template.and_then(|t| t.capture(line)) else {
+                continue;
+            };
+            let Some(ty) = caps.ty else { continue };
+            let mut body = EventStreamBuilder::with_capacity(7);
+            body.push(Event::NetType(self.protocol()))
+                .push(Event::NetMulticast)
+                .push(Event::NetSourceAddr(src))
+                .push(if alive { Event::ServiceAlive } else { Event::ServiceByeBye })
+                .push(Event::ServiceType(Symbol::intern_lowercase(&ty)));
+            if let Some(url) = caps.url {
+                body.push(Event::ResServUrl(url));
+            }
+            if alive {
+                body.push(Event::ResTtl(caps.ttl.unwrap_or(self.default_ttl)));
+            }
+            return ParsedMessage::Advert(body.build());
+        }
+        if let Some(caps) = self.answer.capture(line) {
+            if let (Some(ty), Some(url)) = (caps.ty, caps.url) {
+                let mut body = EventStreamBuilder::with_capacity(6);
+                body.push(Event::NetType(self.protocol()))
+                    .push(Event::ServiceResponse)
+                    .push(Event::ResOk)
+                    .push(Event::ServiceType(Symbol::intern_lowercase(&ty)))
+                    .push(Event::ResTtl(caps.ttl.unwrap_or(self.default_ttl)))
+                    .push(Event::ResServUrl(url));
+                return ParsedMessage::Response(body.build());
+            }
+        }
+        ParsedMessage::NotRelevant
+    }
+
+    /// Composes the answer line for `request` carrying `response`'s
+    /// endpoint, plus the requester to send it to. Pure: the composer
+    /// half [`DescriptorUnit::compose_response`] and the wire front-end
+    /// share.
+    pub(crate) fn compose_answer_wire(
+        &self,
+        request: &EventStream,
+        response: &EventStream,
+    ) -> Option<(Vec<u8>, SocketAddrV4)> {
+        let url = response.service_url()?;
+        let requester = request.source_addr()?;
+        let canonical = request.service_type()?;
+        let ttl = response
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                Event::ResTtl(t) => Some(*t),
+                _ => None,
+            })
+            .unwrap_or(self.default_ttl);
+        let line = self.answer.render(Some(canonical), Some(url), ttl)?;
+        Some((line.into_bytes(), requester))
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -480,60 +564,7 @@ impl Unit for DescriptorUnit {
 
     fn parse(&self, _world: &World, dgram: &Datagram) -> ParsedMessage {
         let inner = self.inner.borrow();
-        let d = &inner.descriptor;
-        let Some(line) = SdpDescriptor::message_line(&dgram.payload) else {
-            return ParsedMessage::NotRelevant;
-        };
-        // Parser table: first matching row wins, in request → alive →
-        // byebye → answer order.
-        if let Some(caps) = d.query.capture(line) {
-            if let Some(ty) = caps.ty {
-                let mut body = EventStreamBuilder::with_capacity(5);
-                body.push(Event::NetType(d.protocol()))
-                    .push(if dgram.is_multicast() {
-                        Event::NetMulticast
-                    } else {
-                        Event::NetUnicast
-                    })
-                    .push(Event::NetSourceAddr(dgram.src))
-                    .push(Event::ServiceRequest)
-                    .push(Event::ServiceType(Symbol::intern_lowercase(&ty)));
-                return ParsedMessage::Request(body.build());
-            }
-        }
-        for (template, alive) in [(d.alive.as_ref(), true), (d.byebye.as_ref(), false)].into_iter()
-        {
-            let Some(caps) = template.and_then(|t| t.capture(line)) else {
-                continue;
-            };
-            let Some(ty) = caps.ty else { continue };
-            let mut body = EventStreamBuilder::with_capacity(7);
-            body.push(Event::NetType(d.protocol()))
-                .push(Event::NetMulticast)
-                .push(Event::NetSourceAddr(dgram.src))
-                .push(if alive { Event::ServiceAlive } else { Event::ServiceByeBye })
-                .push(Event::ServiceType(Symbol::intern_lowercase(&ty)));
-            if let Some(url) = caps.url {
-                body.push(Event::ResServUrl(url));
-            }
-            if alive {
-                body.push(Event::ResTtl(caps.ttl.unwrap_or(d.default_ttl)));
-            }
-            return ParsedMessage::Advert(body.build());
-        }
-        if let Some(caps) = d.answer.capture(line) {
-            if let (Some(ty), Some(url)) = (caps.ty, caps.url) {
-                let mut body = EventStreamBuilder::with_capacity(6);
-                body.push(Event::NetType(d.protocol()))
-                    .push(Event::ServiceResponse)
-                    .push(Event::ResOk)
-                    .push(Event::ServiceType(Symbol::intern_lowercase(&ty)))
-                    .push(Event::ResTtl(caps.ttl.unwrap_or(d.default_ttl)))
-                    .push(Event::ResServUrl(url));
-                return ParsedMessage::Response(body.build());
-            }
-        }
-        ParsedMessage::NotRelevant
+        inner.descriptor.decode_wire(&dgram.payload, dgram.src, dgram.is_multicast())
     }
 
     fn execute_query(&self, world: &World, request: &EventStream, reply: Completion<EventStream>) {
@@ -578,32 +609,18 @@ impl Unit for DescriptorUnit {
     }
 
     fn compose_response(&self, world: &World, request: &EventStream, response: &EventStream) {
-        let Some(url) = response.service_url() else {
-            return; // nothing found: silence, like the multicast SDPs
-        };
-        let Some(requester) = request.source_addr() else {
-            return;
-        };
-        let Some(canonical) = request.service_type() else {
-            return;
-        };
-        let (line, delay, socket) = {
+        let (wire, requester, delay, socket) = {
             let inner = self.inner.borrow();
-            let ttl = response
-                .events()
-                .iter()
-                .find_map(|e| match e {
-                    Event::ResTtl(t) => Some(*t),
-                    _ => None,
-                })
-                .unwrap_or(inner.descriptor.default_ttl);
-            let Some(line) = inner.descriptor.answer.render(Some(canonical), Some(url), ttl) else {
+            // Nothing found (or an uncomposable stream): silence, like
+            // the multicast SDPs.
+            let Some((wire, requester)) = inner.descriptor.compose_answer_wire(request, response)
+            else {
                 return;
             };
-            (line, inner.descriptor.translation_delay, inner.socket.clone())
+            (wire, requester, inner.descriptor.translation_delay, inner.socket.clone())
         };
         world.schedule_in(delay, move |_| {
-            let _ = socket.send_to(line.as_bytes(), requester);
+            let _ = socket.send_to(&wire, requester);
         });
     }
 

@@ -11,7 +11,7 @@
 pub mod descriptor;
 pub mod jini;
 pub mod slp;
-mod upnp;
+pub(crate) mod upnp;
 
 pub use descriptor::{
     DescriptorClient, DescriptorService, DescriptorUnit, SdpDescriptor, SdpDescriptorBuilder,

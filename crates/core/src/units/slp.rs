@@ -109,51 +109,6 @@ impl SlpUnit {
     // Parser side: native SLP message → events
     // -------------------------------------------------------------------
 
-    /// Parses a SrvRqst into the exact event sequence of the paper's
-    /// Fig. 4 step 1.
-    fn parse_srv_rqst(
-        &self,
-        header: &Header,
-        req: &indiss_slp::SrvRqst,
-        dgram: &Datagram,
-    ) -> ParsedMessage {
-        match srv_rqst_events(header, req, dgram.src, dgram.is_multicast()) {
-            Some(stream) => ParsedMessage::Request(stream),
-            None => ParsedMessage::NotRelevant, // infrastructure discovery
-        }
-    }
-
-    fn parse_advert_events(
-        &self,
-        alive: bool,
-        url: &str,
-        attrs: &str,
-        ttl: u16,
-        dgram: &Datagram,
-    ) -> ParsedMessage {
-        let canonical = canonical_type_from_slp(url);
-        let mut body = vec![
-            Event::NetType(SdpProtocol::Slp),
-            Event::NetMulticast,
-            Event::NetSourceAddr(dgram.src),
-            if alive { Event::ServiceAlive } else { Event::ServiceByeBye },
-            Event::ServiceType(canonical),
-            Event::ResServUrl(url.to_owned()),
-            Event::ResTtl(u32::from(ttl)),
-        ];
-        if let Ok(list) = AttributeList::parse(attrs) {
-            for attr in list.iter() {
-                for value in &attr.values {
-                    body.push(Event::ResAttr {
-                        tag: attr.tag.as_str().into(),
-                        value: value.as_str().into(),
-                    });
-                }
-            }
-        }
-        ParsedMessage::Advert(EventStream::framed(body))
-    }
-
     // -------------------------------------------------------------------
     // Composer side: events → native SLP messages
     // -------------------------------------------------------------------
@@ -239,6 +194,110 @@ pub fn parse_slp_request(
         Body::SrvRqst(req) => srv_rqst_events(&msg.header, req, src, multicast),
         _ => None,
     }
+}
+
+/// The advert-side translation as a pure function: an SLP registration /
+/// deregistration / SA advertisement becomes an advert event stream.
+fn slp_advert_events(
+    alive: bool,
+    url: &str,
+    attrs: &str,
+    ttl: u16,
+    src: SocketAddrV4,
+) -> ParsedMessage {
+    let canonical = canonical_type_from_slp(url);
+    let mut body = vec![
+        Event::NetType(SdpProtocol::Slp),
+        Event::NetMulticast,
+        Event::NetSourceAddr(src),
+        if alive { Event::ServiceAlive } else { Event::ServiceByeBye },
+        Event::ServiceType(canonical),
+        Event::ResServUrl(url.to_owned()),
+        Event::ResTtl(u32::from(ttl)),
+    ];
+    if let Ok(list) = AttributeList::parse(attrs) {
+        for attr in list.iter() {
+            for value in &attr.values {
+                body.push(Event::ResAttr {
+                    tag: attr.tag.as_str().into(),
+                    value: value.as_str().into(),
+                });
+            }
+        }
+    }
+    ParsedMessage::Advert(EventStream::framed(body))
+}
+
+/// The stateless SLP parser table: one decoded message → events. Both
+/// [`SlpUnit::parse`] (which additionally answers `AttrRqst`s from the
+/// shared registry) and the wire front-end's
+/// [`crate::netfront::NetDriver`] go through this single function, so
+/// the simulated and the real-socket pipelines translate identically by
+/// construction. `AttrRqst` is `NotRelevant` here — answering it needs
+/// unit state.
+pub(crate) fn slp_message_events(
+    msg: &Message,
+    src: SocketAddrV4,
+    multicast: bool,
+) -> ParsedMessage {
+    match &msg.body {
+        Body::SrvRqst(req) => match srv_rqst_events(&msg.header, req, src, multicast) {
+            Some(stream) => ParsedMessage::Request(stream),
+            None => ParsedMessage::NotRelevant, // infrastructure discovery
+        },
+        Body::SaAdvert(advert) => {
+            // SAAdverts announce an agent, not a concrete service; use
+            // the embedded attributes when they carry a service URL.
+            if let Some(url) = AttributeList::parse(&advert.attrs)
+                .ok()
+                .and_then(|a| a.get("service-url").map(str::to_owned))
+            {
+                slp_advert_events(true, &url, &advert.attrs, 1800, src)
+            } else {
+                ParsedMessage::Handled
+            }
+        }
+        Body::SrvReg(reg) => {
+            slp_advert_events(true, &reg.entry.url, &reg.attrs, reg.entry.lifetime, src)
+        }
+        Body::SrvDeReg(dereg) => slp_advert_events(false, &dereg.entry.url, "", 0, src),
+        Body::SrvRply(rply) if rply.error == 0 => {
+            // Observed on the wire (warm the runtime cache).
+            let mut body =
+                vec![Event::NetType(SdpProtocol::Slp), Event::ServiceResponse, Event::ResOk];
+            if let Some(entry) = rply.urls.first() {
+                body.push(Event::ServiceType(canonical_type_from_slp(&entry.url)));
+                body.push(Event::ResTtl(u32::from(entry.lifetime)));
+                body.push(Event::ResServUrl(entry.url.clone()));
+            }
+            ParsedMessage::Response(EventStream::framed(body))
+        }
+        _ => ParsedMessage::NotRelevant,
+    }
+}
+
+/// Decodes one raw SLP payload through the full stateless parser table
+/// ([`slp_message_events`]): requests, adverts and observed responses.
+pub(crate) fn decode_slp_wire(payload: &[u8], src: SocketAddrV4, multicast: bool) -> ParsedMessage {
+    match Message::decode(payload) {
+        Ok(msg) => slp_message_events(&msg, src, multicast),
+        Err(_) => ParsedMessage::NotRelevant,
+    }
+}
+
+/// Composes the wire bytes of the SrvRply answering `request` with
+/// `response`, plus the requester to send them to and the mapped SLP
+/// URL (for recording the attribute projection). Pure: this is the
+/// composer half the real-socket front-end shares with [`SlpUnit`].
+pub(crate) fn compose_slp_reply(
+    request: &EventStream,
+    response: &EventStream,
+) -> Option<(Vec<u8>, SocketAddrV4, String)> {
+    // Nothing found: multicast etiquette is silence.
+    response.service_url()?;
+    let requester = request.source_addr()?;
+    let (msg, slp_url) = SlpUnit::build_srv_rply(request, response)?;
+    Some((msg.encode().ok()?, requester, slp_url))
 }
 
 /// Maps a protocol-neutral endpoint URL to an SLP service URL, exactly as
@@ -346,64 +405,27 @@ impl Unit for SlpUnit {
             Ok(m) => m,
             Err(SlpError::BadVersion(_)) | Err(_) => return ParsedMessage::NotRelevant,
         };
-        match &msg.body {
-            Body::SrvRqst(req) => self.parse_srv_rqst(&msg.header, req, dgram),
-            Body::SaAdvert(advert) => {
-                // SAAdverts announce an agent, not a concrete service; use
-                // the embedded attributes when they carry a service URL.
-                if let Some(url) = AttributeList::parse(&advert.attrs)
-                    .ok()
-                    .and_then(|a| a.get("service-url").map(str::to_owned))
-                {
-                    self.parse_advert_events(true, &url, &advert.attrs, 1800, dgram)
-                } else {
-                    ParsedMessage::Handled
+        // The one stateful row of the parser table: attribute requests
+        // for services this unit bridged are answered from the shared
+        // registry's projections. Everything else is the stateless
+        // table shared with the wire front-end.
+        if let Body::AttrRqst(req) = &msg.body {
+            let answer = self.bridged_attributes(&req.url);
+            return if let Some(attrs) = answer {
+                let reply = Message::new(
+                    Header::new(indiss_slp::FunctionId::AttrRply, msg.header.xid, &msg.header.lang),
+                    Body::AttrRply(indiss_slp::AttrRply { error: 0, attrs: attrs.to_string() }),
+                );
+                let socket = self.inner.borrow().socket.clone();
+                if let Ok(wire) = reply.encode() {
+                    let _ = socket.send_to(&wire, dgram.src);
                 }
-            }
-            Body::SrvReg(reg) => self.parse_advert_events(
-                true,
-                &reg.entry.url,
-                &reg.attrs,
-                reg.entry.lifetime,
-                dgram,
-            ),
-            Body::SrvDeReg(dereg) => {
-                self.parse_advert_events(false, &dereg.entry.url, "", 0, dgram)
-            }
-            Body::AttrRqst(req) => {
-                // Answer attribute requests for services we bridged.
-                let answer = self.bridged_attributes(&req.url);
-                if let Some(attrs) = answer {
-                    let reply = Message::new(
-                        Header::new(
-                            indiss_slp::FunctionId::AttrRply,
-                            msg.header.xid,
-                            &msg.header.lang,
-                        ),
-                        Body::AttrRply(indiss_slp::AttrRply { error: 0, attrs: attrs.to_string() }),
-                    );
-                    let socket = self.inner.borrow().socket.clone();
-                    if let Ok(wire) = reply.encode() {
-                        let _ = socket.send_to(&wire, dgram.src);
-                    }
-                    ParsedMessage::Handled
-                } else {
-                    ParsedMessage::NotRelevant
-                }
-            }
-            Body::SrvRply(rply) if rply.error == 0 => {
-                // Observed on the wire (warm the runtime cache).
-                let mut body =
-                    vec![Event::NetType(SdpProtocol::Slp), Event::ServiceResponse, Event::ResOk];
-                if let Some(entry) = rply.urls.first() {
-                    body.push(Event::ServiceType(canonical_type_from_slp(&entry.url)));
-                    body.push(Event::ResTtl(u32::from(entry.lifetime)));
-                    body.push(Event::ResServUrl(entry.url.clone()));
-                }
-                ParsedMessage::Response(EventStream::framed(body))
-            }
-            _ => ParsedMessage::NotRelevant,
+                ParsedMessage::Handled
+            } else {
+                ParsedMessage::NotRelevant
+            };
         }
+        slp_message_events(&msg, dgram.src, dgram.is_multicast())
     }
 
     fn execute_query(&self, world: &World, request: &EventStream, reply: Completion<EventStream>) {

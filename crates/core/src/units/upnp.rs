@@ -313,6 +313,75 @@ impl UpnpUnit {
     }
 }
 
+/// The stateless SSDP parser table: one raw datagram → events. Both
+/// [`UpnpUnit::parse`] and the wire front-end's
+/// [`crate::netfront::NetDriver`] go through this single function, so
+/// the simulated and the real-socket pipelines translate UPnP traffic
+/// identically by construction.
+pub(crate) fn decode_ssdp_wire(payload: &[u8], src: SocketAddrV4) -> ParsedMessage {
+    let Ok(msg) = SsdpMessage::parse(payload) else {
+        return ParsedMessage::NotRelevant;
+    };
+    match msg {
+        SsdpMessage::MSearch(search) => {
+            let Some(canonical) = canonical_type_from_target(&search.st) else {
+                return ParsedMessage::NotRelevant; // ssdp:all etc: not bridged
+            };
+            let body = vec![
+                Event::NetType(SdpProtocol::Upnp),
+                Event::NetMulticast,
+                Event::NetSourceAddr(src),
+                Event::ServiceRequest,
+                Event::UpnpMx(search.mx),
+                Event::UpnpSt(search.st.to_string().into()),
+                Event::ServiceType(canonical),
+            ];
+            ParsedMessage::Request(EventStream::framed(body))
+        }
+        SsdpMessage::Notify(n) => {
+            let Some(canonical) = canonical_type_from_target(&n.nt) else {
+                return ParsedMessage::Handled; // rootdevice/uuid NTs: redundant
+            };
+            let mut body = vec![
+                Event::NetType(SdpProtocol::Upnp),
+                Event::NetMulticast,
+                Event::NetSourceAddr(src),
+                match n.nts {
+                    NotifySubType::Alive | NotifySubType::Update => Event::ServiceAlive,
+                    NotifySubType::ByeBye => Event::ServiceByeBye,
+                },
+                Event::ServiceType(canonical),
+                Event::UpnpUsn(n.usn.as_str().into()),
+                Event::ResTtl(n.max_age),
+            ];
+            if let Some(loc) = &n.location {
+                body.push(Event::UpnpDeviceUrlDesc(loc.clone()));
+            }
+            ParsedMessage::Advert(EventStream::framed(body))
+        }
+        SsdpMessage::Response(resp) => {
+            ParsedMessage::Response(UpnpUnit::response_events(&resp, src))
+        }
+    }
+}
+
+/// Derives the advert stream a fetched description enriches `advert`
+/// into: the original advert's body plus the description's attributes,
+/// `SDP_RES_OK` and the control-URL endpoint — the §2.4 recursive
+/// process as a pure function over an already-fetched document, shared
+/// by the simulated unit and the wire front-end's description fetcher.
+pub(crate) fn enrich_advert_with_description(
+    advert: &EventStream,
+    desc: &DeviceDescription,
+    location: &str,
+) -> EventStream {
+    let mut body = advert.to_builder();
+    body.push(Event::ParserSwitch(ParserKind::Xml));
+    push_description_attrs(desc, &mut body);
+    body.push(Event::ResServUrl(description_endpoint(desc, location)));
+    body.build()
+}
+
 /// Pushes one `ResAttr` per non-empty description attribute.
 fn push_description_attrs(desc: &DeviceDescription, body: &mut EventStreamBuilder) {
     for (tag, value) in desc.attribute_pairs() {
@@ -358,50 +427,7 @@ impl Unit for UpnpUnit {
     }
 
     fn parse(&self, _world: &World, dgram: &Datagram) -> ParsedMessage {
-        let Ok(msg) = SsdpMessage::parse(&dgram.payload) else {
-            return ParsedMessage::NotRelevant;
-        };
-        match msg {
-            SsdpMessage::MSearch(search) => {
-                let Some(canonical) = canonical_type_from_target(&search.st) else {
-                    return ParsedMessage::NotRelevant; // ssdp:all etc: not bridged
-                };
-                let body = vec![
-                    Event::NetType(SdpProtocol::Upnp),
-                    Event::NetMulticast,
-                    Event::NetSourceAddr(dgram.src),
-                    Event::ServiceRequest,
-                    Event::UpnpMx(search.mx),
-                    Event::UpnpSt(search.st.to_string().into()),
-                    Event::ServiceType(canonical),
-                ];
-                ParsedMessage::Request(EventStream::framed(body))
-            }
-            SsdpMessage::Notify(n) => {
-                let Some(canonical) = canonical_type_from_target(&n.nt) else {
-                    return ParsedMessage::Handled; // rootdevice/uuid NTs: redundant
-                };
-                let mut body = vec![
-                    Event::NetType(SdpProtocol::Upnp),
-                    Event::NetMulticast,
-                    Event::NetSourceAddr(dgram.src),
-                    match n.nts {
-                        NotifySubType::Alive | NotifySubType::Update => Event::ServiceAlive,
-                        NotifySubType::ByeBye => Event::ServiceByeBye,
-                    },
-                    Event::ServiceType(canonical),
-                    Event::UpnpUsn(n.usn.as_str().into()),
-                    Event::ResTtl(n.max_age),
-                ];
-                if let Some(loc) = &n.location {
-                    body.push(Event::UpnpDeviceUrlDesc(loc.clone()));
-                }
-                ParsedMessage::Advert(EventStream::framed(body))
-            }
-            SsdpMessage::Response(resp) => {
-                ParsedMessage::Response(Self::response_events(&resp, dgram.src))
-            }
-        }
+        decode_ssdp_wire(&dgram.payload, dgram.src)
     }
 
     fn execute_query(&self, world: &World, request: &EventStream, reply: Completion<EventStream>) {
@@ -595,11 +621,7 @@ impl Unit for UpnpUnit {
                 return;
             };
             world2.schedule_in(parse_delay, move |_| {
-                let mut body = base.to_builder();
-                body.push(Event::ParserSwitch(ParserKind::Xml));
-                push_description_attrs(&desc, &mut body);
-                body.push(Event::ResServUrl(description_endpoint(&desc, &location)));
-                done.complete(body.build());
+                done.complete(enrich_advert_with_description(&base, &desc, &location));
             });
         });
     }

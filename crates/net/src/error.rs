@@ -55,6 +55,14 @@ pub enum NetError {
     },
     /// Port 0 is not a valid concrete port in the simulator.
     InvalidPort,
+    /// An operating-system I/O error from the real-socket transport
+    /// (`std::io::Error` flattened to keep this type `Clone + Eq`).
+    Io {
+        /// The socket operation that failed (`bind`, `send_to`, …).
+        op: &'static str,
+        /// The OS error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -76,6 +84,7 @@ impl fmt::Display for NetError {
             NetError::UnknownNode { node } => write!(f, "unknown node {node}"),
             NetError::NodeDown { node } => write!(f, "node {node} is down"),
             NetError::InvalidPort => write!(f, "port 0 is not valid"),
+            NetError::Io { op, message } => write!(f, "io error during {op}: {message}"),
         }
     }
 }

@@ -57,16 +57,20 @@ mod node;
 mod tcp;
 mod time;
 mod trace;
+mod transport;
 mod udp;
 mod world;
 
 pub use completion::{Collector, Completion};
 pub use error::{NetError, NetResult};
 pub use latency::LinkConfig;
-pub use meter::{MeterRecord, TrafficMeter, Transport};
+pub use meter::{MeterRecord, MeterTransport, TrafficMeter};
 pub use node::{Node, NodeId};
 pub use tcp::{TcpListener, TcpListenerId, TcpStream, TcpStreamId};
 pub use time::SimTime;
 pub use trace::{PacketTrace, TraceEntry, TraceOutcome};
+pub use transport::{
+    BindSpec, SimTransport, Transport, TransportKind, TransportSink, TransportSocket, UdpTransport,
+};
 pub use udp::{Datagram, UdpSocket, UdpSocketId};
 pub use world::{World, WorldConfig};

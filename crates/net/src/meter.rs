@@ -13,9 +13,9 @@ use std::net::SocketAddrV4;
 
 use crate::time::SimTime;
 
-/// Transport of a metered packet.
+/// Transport protocol of a metered packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Transport {
+pub enum MeterTransport {
     /// UDP datagram (unicast or multicast).
     Udp,
     /// One TCP segment's worth of application payload.
@@ -27,8 +27,8 @@ pub enum Transport {
 pub struct MeterRecord {
     /// Delivery time.
     pub at: SimTime,
-    /// Transport used.
-    pub transport: Transport,
+    /// Transport protocol used.
+    pub transport: MeterTransport,
     /// Source address.
     pub src: SocketAddrV4,
     /// Destination address (the multicast group for group traffic).
@@ -118,7 +118,7 @@ mod tests {
     fn rec(at_ms: u64, len: usize, port: u16, multicast: bool) -> MeterRecord {
         MeterRecord {
             at: SimTime::from_millis(at_ms),
-            transport: Transport::Udp,
+            transport: MeterTransport::Udp,
             src: SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 1), 5000),
             dst: SocketAddrV4::new(
                 if multicast {

@@ -8,7 +8,7 @@
 use std::fmt;
 use std::net::SocketAddrV4;
 
-use crate::meter::Transport;
+use crate::meter::MeterTransport;
 use crate::time::SimTime;
 
 /// Outcome of one traced packet.
@@ -29,8 +29,8 @@ pub enum TraceOutcome {
 pub struct TraceEntry {
     /// Send time (the delivery time is send time plus link delay).
     pub at: SimTime,
-    /// Transport used.
-    pub transport: Transport,
+    /// Transport protocol used.
+    pub transport: MeterTransport,
     /// Source address.
     pub src: SocketAddrV4,
     /// Destination address (group address for multicast).
@@ -117,7 +117,7 @@ mod tests {
     fn entry(port: u16, outcome: TraceOutcome) -> TraceEntry {
         TraceEntry {
             at: SimTime::from_millis(1),
-            transport: Transport::Udp,
+            transport: MeterTransport::Udp,
             src: SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 1), 40000),
             dst: SocketAddrV4::new(Ipv4Addr::new(239, 255, 255, 253), port),
             len: 32,

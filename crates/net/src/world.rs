@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::error::{NetError, NetResult};
 use crate::latency::LinkConfig;
-use crate::meter::{MeterRecord, TrafficMeter, Transport};
+use crate::meter::{MeterRecord, MeterTransport, TrafficMeter};
 use crate::node::{Node, NodeId};
 use crate::tcp::{TcpListener, TcpListenerId, TcpStream, TcpStreamId};
 use crate::time::SimTime;
@@ -170,7 +170,7 @@ impl WorldInner {
 
     fn trace_packet(
         &mut self,
-        transport: Transport,
+        transport: MeterTransport,
         src: SocketAddrV4,
         dst: SocketAddrV4,
         payload: &[u8],
@@ -192,7 +192,7 @@ impl WorldInner {
 
     fn meter_packet(
         &mut self,
-        transport: Transport,
+        transport: MeterTransport,
         src: SocketAddrV4,
         dst: SocketAddrV4,
         len: usize,
@@ -581,16 +581,22 @@ impl World {
             let outcome =
                 if members.is_empty() { TraceOutcome::NoListener } else { TraceOutcome::Delivered };
             let now = inner.now;
-            inner.trace_packet(Transport::Udp, src_addr, dst, payload, outcome);
+            inner.trace_packet(MeterTransport::Udp, src_addr, dst, payload, outcome);
             // One packet on the wire regardless of member count; meter it
             // once if it crosses the network at all.
             if members.iter().any(|(_, n)| *n != src_node) {
-                inner.meter_packet(Transport::Udp, src_addr, dst, payload.len(), true, now);
+                inner.meter_packet(MeterTransport::Udp, src_addr, dst, payload.len(), true, now);
             }
             for (sid, member_node) in members {
                 let link = inner.link_for(src_node, member_node);
                 if link.sample_loss(&mut inner.rng) {
-                    inner.trace_packet(Transport::Udp, src_addr, dst, payload, TraceOutcome::Lost);
+                    inner.trace_packet(
+                        MeterTransport::Udp,
+                        src_addr,
+                        dst,
+                        payload,
+                        TraceOutcome::Lost,
+                    );
                     continue;
                 }
                 let delay = link.sample_delay(payload.len(), &mut inner.rng);
@@ -608,11 +614,17 @@ impl World {
 
         // Unicast.
         let Some(&dst_node) = inner.addr_to_node.get(dst.ip()) else {
-            inner.trace_packet(Transport::Udp, src_addr, dst, payload, TraceOutcome::NoListener);
+            inner.trace_packet(
+                MeterTransport::Udp,
+                src_addr,
+                dst,
+                payload,
+                TraceOutcome::NoListener,
+            );
             return Ok(()); // UDP is fire-and-forget: unreachable hosts drop silently.
         };
         if !inner.nodes[dst_node.index() as usize].up {
-            inner.trace_packet(Transport::Udp, src_addr, dst, payload, TraceOutcome::NodeDown);
+            inner.trace_packet(MeterTransport::Udp, src_addr, dst, payload, TraceOutcome::NodeDown);
             return Ok(());
         }
         // All sockets on the destination port. With SO_REUSEADDR-style
@@ -630,18 +642,24 @@ impl World {
             .map(|(sid, _)| sid)
             .collect();
         if targets.is_empty() {
-            inner.trace_packet(Transport::Udp, src_addr, dst, payload, TraceOutcome::NoListener);
+            inner.trace_packet(
+                MeterTransport::Udp,
+                src_addr,
+                dst,
+                payload,
+                TraceOutcome::NoListener,
+            );
             return Ok(());
         }
         let link = inner.link_for(src_node, dst_node);
         if link.sample_loss(&mut inner.rng) {
-            inner.trace_packet(Transport::Udp, src_addr, dst, payload, TraceOutcome::Lost);
+            inner.trace_packet(MeterTransport::Udp, src_addr, dst, payload, TraceOutcome::Lost);
             return Ok(());
         }
         let now = inner.now;
-        inner.trace_packet(Transport::Udp, src_addr, dst, payload, TraceOutcome::Delivered);
+        inner.trace_packet(MeterTransport::Udp, src_addr, dst, payload, TraceOutcome::Delivered);
         if dst_node != src_node {
-            inner.meter_packet(Transport::Udp, src_addr, dst, payload.len(), false, now);
+            inner.meter_packet(MeterTransport::Udp, src_addr, dst, payload.len(), false, now);
         }
         let delay = link.sample_delay(payload.len(), &mut inner.rng);
         let at = now + delay;
@@ -801,9 +819,9 @@ impl World {
         }
         let link = inner.link_for(src_node, peer_node);
         let now = inner.now;
-        inner.trace_packet(Transport::Tcp, src_addr, dst_addr, bytes, TraceOutcome::Delivered);
+        inner.trace_packet(MeterTransport::Tcp, src_addr, dst_addr, bytes, TraceOutcome::Delivered);
         if peer_node != src_node {
-            inner.meter_packet(Transport::Tcp, src_addr, dst_addr, bytes.len(), false, now);
+            inner.meter_packet(MeterTransport::Tcp, src_addr, dst_addr, bytes.len(), false, now);
         }
         let delay = link.sample_delay(bytes.len(), &mut inner.rng);
         let mut at = now + delay;

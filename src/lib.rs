@@ -55,6 +55,22 @@
 //! it via [`core::IndissConfig`]'s `with_registry_capacity`,
 //! `with_cache_capacity`, `with_advert_ttl` and `with_cache_ttl`.
 //!
+//! ## Running live: the network front-end
+//!
+//! The simulation is the measurement instrument; the same gateway also
+//! runs on real sockets. [`core::NetDriver`] serves the decode → parse
+//! → classify → deliver warm path over a transport seam
+//! ([`net::Transport`]): [`net::SimTransport`] is a deterministic
+//! in-memory bus, [`net::UdpTransport`] is real `std::net` UDP with
+//! per-channel recv threads, loopback-confined by default. Passive
+//! port detection, Fig. 5 lazy unit activation, registry-backed warm
+//! hits, bounded backpressure and real HTTP-over-TCP UPnP description
+//! fetches all work on the wire; one scripted scenario produces
+//! byte-identical composed messages on either transport (pinned by
+//! `crates/core/tests/netfront.rs`). Try it:
+//! `cargo run --example gateway -- --udp`. The architecture book at
+//! `docs/ARCHITECTURE.md` walks every layer.
+//!
 //! ## Quickstart: the paper's §2.4 scenario
 //!
 //! An SLP client finds a UPnP clock through a transparently deployed
