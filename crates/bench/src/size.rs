@@ -165,6 +165,7 @@ const SUPERSET_ROWS: &[(&str, &[&str])] = &[
             "registry/index.rs",
             "registry/expiry.rs",
             "registry/shard.rs",
+            "registry/epoch.rs",
         ],
     ),
     ("Symbol interner (production)", &["symbol.rs"]),
@@ -261,6 +262,16 @@ pub fn table2() -> std::io::Result<Vec<Table2Row>> {
             metrics: measure_files(&core_src, files)?,
         });
     }
+    // The batched I/O engine lives in the net crate (deployment
+    // substrate, not core), so it is a superset row measured directly
+    // rather than a claimed core file.
+    let net_src = root.join("crates/net/src");
+    rows.push(Table2Row {
+        name: "Batched I/O engine (net: reactor + syscalls + transport)".into(),
+        metrics: measure_path(&net_src.join("sys.rs"))?
+            + measure_path(&net_src.join("reactor.rs"))?
+            + measure_path(&net_src.join("batched.rs"))?,
+    });
     rows.push(Table2Row {
         name: "INDISS total (paper-scope core + SLP&UPnP units)".into(),
         metrics: indiss_total,

@@ -53,6 +53,12 @@ impl BridgeCounters {
         self.responses_composed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Bulk variant for batched reply flushes (one atomic add per
+    /// flushed batch instead of one per reply).
+    pub(crate) fn add_responses_composed_n(&self, n: u64) {
+        self.responses_composed.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn add_adverts_recorded(&self) {
         self.adverts_recorded.fetch_add(1, Ordering::Relaxed);
     }

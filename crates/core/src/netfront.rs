@@ -38,11 +38,23 @@
 //! implementation, so the deterministic simulation keeps pinning the
 //! exact semantics the wire serves.
 //!
-//! Backpressure is bounded per channel: each channel admits at most
+//! Datagrams arrive in *batches* through [`Transport::bind_batched`]
+//! (one `Vec<Datagram>` per reactor wakeup on a batching transport such
+//! as [`indiss_net::BatchedTransport`]; singleton batches elsewhere),
+//! and each admitted batch becomes one worker-pool job — so a
+//! 32-datagram wakeup pays one enqueue, one admission, and one reply
+//! flush
+//! ([`TransportSocket::send_batch`]) instead of 32 of each.
+//!
+//! Backpressure is bounded **per worker lane**, the queue that can
+//! actually grow: each lane (`channel lane % workers`) admits at most
 //! [`NetDriver::BACKPRESSURE`] undelivered datagrams into the pool;
-//! beyond that, datagrams are dropped and counted
+//! beyond that, the tail of the batch is dropped and every dropped
+//! datagram counted exactly once
 //! ([`NetFrontStats::dropped_backpressure`]) — the honest UDP behavior
-//! under overload, applied before the queue can grow without bound.
+//! under overload, applied before the queue can grow without bound. A
+//! per-channel bound would let two channels sharing one worker queue
+//! 2× the intended budget on it.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -273,6 +285,19 @@ pub struct NetFrontStats {
     pub descriptions_fetched: u64,
     /// Datagrams no parser table row matched.
     pub decode_rejected: u64,
+    /// Reactor wakeups (epoll returns with ≥1 ready channel, or recv
+    /// returns on the fallback threads). Zero on transports without a
+    /// batching engine — see [`Transport::io_stats`].
+    pub reactor_wakeups: u64,
+    /// Histogram of datagrams drained per recv batch: buckets
+    /// `[≤1, 2–7, 8–31, 32+]`.
+    pub recv_batch_hist: [u64; 4],
+    /// Batched reply flushes (`sendmmsg` calls, or one per logical
+    /// flush on the fallback path).
+    pub batch_sends_flushed: u64,
+    /// Reads that found the socket drained (`EAGAIN`) — the reactor's
+    /// edge-triggered loop terminator.
+    pub recv_eagain: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -284,10 +309,11 @@ struct Channel {
     codec: WireCodec,
     lane: usize,
     socket: OnceLock<Arc<dyn TransportSocket>>,
-    in_flight: AtomicUsize,
     // Detection bookkeeping is per-channel atomics, not a shared map:
-    // the sink runs on each channel's recv thread, and a process-wide
-    // lock there would serialize all channels at the front door.
+    // the sink runs on the transport's delivery thread, and a
+    // process-wide lock there would serialize all channels at the front
+    // door. (Backpressure budgets live per worker lane on the driver —
+    // see `NetDriverInner::lane_in_flight`.)
     // `first_seen_nanos == 0` means "never" (driver time starts at 1 s).
     first_seen_nanos: AtomicU64,
     last_seen_nanos: AtomicU64,
@@ -302,10 +328,20 @@ struct NetDriverInner {
     core: GatewayCore,
     transport: Arc<dyn Transport>,
     channels: Vec<Arc<Channel>>,
+    /// In-flight datagram budget per *worker lane* (index
+    /// `channel.lane % len`): the worker queues are what backpressure
+    /// actually bounds, and two channels can share one worker.
+    lane_in_flight: Box<[AtomicUsize]>,
     epoch: Instant,
     lazy: bool,
     counters: FrontCounters,
     fetcher: Option<Arc<dyn DescriptionFetch>>,
+}
+
+impl NetDriverInner {
+    fn lane_slot(&self, lane: usize) -> &AtomicUsize {
+        &self.lane_in_flight[lane % self.lane_in_flight.len()]
+    }
 }
 
 /// Configures and starts a [`NetDriver`]; obtained from
@@ -348,6 +384,21 @@ impl NetDriverBuilder {
     }
 }
 
+/// Reserves up to `want` slots of a lane's in-flight budget, returning
+/// how many were admitted (the rest is the caller's to drop and count).
+/// Optimistic reserve-then-correct: one `fetch_add`, and a `fetch_sub`
+/// refund only on the contended overflow path. Concurrent callers can
+/// transiently observe the counter above `limit`, but admissions never
+/// exceed it — the refund precedes the caller acting on the admission.
+fn admit(in_flight: &AtomicUsize, limit: usize, want: usize) -> usize {
+    let prev = in_flight.fetch_add(want, Ordering::AcqRel);
+    let admitted = limit.saturating_sub(prev).min(want);
+    if admitted < want {
+        in_flight.fetch_sub(want - admitted, Ordering::AcqRel);
+    }
+    admitted
+}
+
 /// The wire front-end driver. See the module docs; constructed via
 /// [`NetDriver::builder`] or [`NetDriver::start`].
 ///
@@ -359,8 +410,9 @@ pub struct NetDriver {
 }
 
 impl NetDriver {
-    /// Per-channel bound on datagrams admitted into the worker pool and
-    /// not yet processed; arrivals beyond it are dropped and counted.
+    /// Per-*lane* bound on datagrams admitted into the worker pool and
+    /// not yet processed; arrivals beyond it are dropped (tail of the
+    /// offending batch first) and counted, exactly once per datagram.
     pub const BACKPRESSURE: usize = 1024;
 
     /// Starts a driver for `config` on the transport `config.transport`
@@ -415,18 +467,19 @@ impl NetDriver {
                 codec: WireCodec::for_spec(spec)?,
                 lane,
                 socket: OnceLock::new(),
-                in_flight: AtomicUsize::new(0),
                 first_seen_nanos: AtomicU64::new(0),
                 last_seen_nanos: AtomicU64::new(0),
                 message_count: AtomicU64::new(0),
                 active: std::sync::atomic::AtomicBool::new(!config.lazy_units),
             }));
         }
+        let workers = gateway.workers();
         let inner = Arc::new(NetDriverInner {
             gateway,
             core,
             transport: Arc::clone(&transport),
             channels,
+            lane_in_flight: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
             epoch: Instant::now(),
             lazy: config.lazy_units,
             counters: FrontCounters::default(),
@@ -440,11 +493,11 @@ impl NetDriver {
             };
             let weak: Weak<NetDriverInner> = Arc::downgrade(&inner);
             let chan = Arc::clone(channel);
-            let socket = transport.bind(
+            let socket = transport.bind_batched(
                 &spec,
-                Arc::new(move |dgram: Datagram| {
+                Arc::new(move |batch: Vec<Datagram>| {
                     if let Some(inner) = weak.upgrade() {
-                        NetDriver::sink(&inner, &chan, dgram);
+                        NetDriver::sink_batch(&inner, &chan, batch);
                     }
                 }),
             );
@@ -464,10 +517,15 @@ impl NetDriver {
     }
 
     /// The transport-seam entry point: runs on the transport's delivery
-    /// thread, so it only does detection bookkeeping and the bounded
-    /// hand-off to the worker pool.
-    fn sink(inner: &Arc<NetDriverInner>, channel: &Arc<Channel>, dgram: Datagram) {
-        inner.counters.datagrams_received.fetch_add(1, Ordering::Relaxed);
+    /// thread (one call per reactor wakeup on a batching transport), so
+    /// it only does detection bookkeeping and the bounded hand-off of
+    /// the whole batch — one pool job — to the worker lane.
+    fn sink_batch(inner: &Arc<NetDriverInner>, channel: &Arc<Channel>, mut batch: Vec<Datagram>) {
+        if batch.is_empty() {
+            return;
+        }
+        let arrived = batch.len();
+        inner.counters.datagrams_received.fetch_add(arrived as u64, Ordering::Relaxed);
         let now = inner.now();
         // Passive port-based detection (§2.1), through the seam: the
         // record exists because data arrived, not because anything was
@@ -480,30 +538,64 @@ impl NetDriver {
             Ordering::Relaxed,
         );
         channel.last_seen_nanos.store(nanos, Ordering::Relaxed);
-        channel.message_count.fetch_add(1, Ordering::Relaxed);
+        channel.message_count.fetch_add(arrived as u64, Ordering::Relaxed);
         if inner.lazy {
             // Fig. 5's lazy composition: first traffic activates the
             // protocol's pipeline (idempotent store).
             channel.active.store(true, Ordering::Relaxed);
         }
-        // Bounded backpressure into the pool: admission is reserved
-        // here, released when the worker finishes.
-        if channel.in_flight.fetch_add(1, Ordering::AcqRel) >= NetDriver::BACKPRESSURE {
-            channel.in_flight.fetch_sub(1, Ordering::AcqRel);
-            inner.counters.dropped_backpressure.fetch_add(1, Ordering::Relaxed);
+        // Bounded backpressure into the pool, per worker lane: the
+        // batch's admission is reserved here, released when the worker
+        // finishes it. The unadmitted tail is dropped, each datagram
+        // counted exactly once.
+        let admitted = admit(inner.lane_slot(channel.lane), NetDriver::BACKPRESSURE, arrived);
+        if admitted < arrived {
+            inner
+                .counters
+                .dropped_backpressure
+                .fetch_add((arrived - admitted) as u64, Ordering::Relaxed);
+            batch.truncate(admitted);
+        }
+        if batch.is_empty() {
             return;
         }
         let inner2 = Arc::clone(inner);
         let channel2 = Arc::clone(channel);
         inner.gateway.submit_on_lane(channel.lane, move || {
-            NetDriver::process(&inner2, &channel2, dgram);
-            channel2.in_flight.fetch_sub(1, Ordering::AcqRel);
+            let release = batch.len();
+            NetDriver::process_batch(&inner2, &channel2, batch);
+            inner2.lane_slot(channel2.lane).fetch_sub(release, Ordering::AcqRel);
         });
     }
 
-    /// The per-datagram pipeline, on the channel's worker lane: decode →
-    /// parse → classify → deliver.
-    fn process(inner: &NetDriverInner, channel: &Channel, dgram: Datagram) {
+    /// The per-batch pipeline, on the channel's worker lane: decode →
+    /// parse → classify each datagram, collecting composed replies, then
+    /// flush them in one [`TransportSocket::send_batch`] call.
+    fn process_batch(inner: &NetDriverInner, channel: &Channel, batch: Vec<Datagram>) {
+        let mut replies: Vec<(Vec<u8>, SocketAddrV4)> = Vec::new();
+        for dgram in batch {
+            NetDriver::process(inner, channel, dgram, &mut replies);
+        }
+        if replies.is_empty() {
+            return;
+        }
+        let socket = channel.socket.get().expect("bound before traffic");
+        let sent = socket.send_batch(&replies);
+        if sent > 0 {
+            inner.counters.replies_sent.fetch_add(sent as u64, Ordering::Relaxed);
+            inner.core.bridge_counters().add_responses_composed_n(sent as u64);
+        }
+    }
+
+    /// The per-datagram pipeline: decode → parse → classify → deliver.
+    /// Composed replies are pushed onto `replies` for the caller's
+    /// batched flush (accounting happens there, after the send).
+    fn process(
+        inner: &NetDriverInner,
+        channel: &Channel,
+        dgram: Datagram,
+        replies: &mut Vec<(Vec<u8>, SocketAddrV4)>,
+    ) {
         let registry = inner.core.registry();
         let now = inner.now();
         match channel.codec.decode(&dgram.payload, dgram.src, dgram.is_multicast()) {
@@ -514,11 +606,7 @@ impl NetDriver {
                         if let Some((wire, requester)) =
                             channel.codec.compose_reply(&registry, &request, &response)
                         {
-                            let socket = channel.socket.get().expect("bound before traffic");
-                            if socket.send_to(&wire, requester).is_ok() {
-                                inner.counters.replies_sent.fetch_add(1, Ordering::Relaxed);
-                                inner.core.bridge_counters().add_responses_composed();
-                            }
+                            replies.push((wire, requester));
                         }
                     }
                     // "Nothing found" is silence on multicast SDPs; the
@@ -577,9 +665,12 @@ impl NetDriver {
         self.inner.core.stats()
     }
 
-    /// The front-end's own wire-level counters.
+    /// The front-end's own wire-level counters, merged with the
+    /// transport's reactor/batch-I/O counters (zeros on transports
+    /// without a batching engine).
     pub fn front_stats(&self) -> NetFrontStats {
         let c = &self.inner.counters;
+        let io = self.inner.transport.io_stats().unwrap_or_default();
         NetFrontStats {
             datagrams_received: c.datagrams_received.load(Ordering::Relaxed),
             dropped_backpressure: c.dropped_backpressure.load(Ordering::Relaxed),
@@ -589,6 +680,10 @@ impl NetDriver {
             adverts_seen: c.adverts_seen.load(Ordering::Relaxed),
             descriptions_fetched: c.descriptions_fetched.load(Ordering::Relaxed),
             decode_rejected: c.decode_rejected.load(Ordering::Relaxed),
+            reactor_wakeups: io.reactor_wakeups,
+            recv_batch_hist: io.recv_batch_hist,
+            batch_sends_flushed: io.batch_sends_flushed,
+            recv_eagain: io.recv_eagain,
         }
     }
 
@@ -959,6 +1054,96 @@ mod tests {
             NetDriver::start(IndissConfig::new().with_slp().with_slp()),
             Err(CoreError::BadConfig(_))
         ));
+    }
+
+    #[test]
+    fn admit_reserves_and_refunds_exactly() {
+        let slot = AtomicUsize::new(0);
+        // Under budget: everything admitted, counter tracks it.
+        assert_eq!(admit(&slot, 10, 6), 6);
+        assert_eq!(slot.load(Ordering::Relaxed), 6);
+        // Partial overflow: only the remaining budget admitted, the
+        // refused tail refunded (counter lands exactly on the limit).
+        assert_eq!(admit(&slot, 10, 6), 4);
+        assert_eq!(slot.load(Ordering::Relaxed), 10);
+        // At the limit: nothing admitted, counter unchanged.
+        assert_eq!(admit(&slot, 10, 3), 0);
+        assert_eq!(slot.load(Ordering::Relaxed), 10);
+        // Release makes room again.
+        slot.fetch_sub(7, Ordering::Relaxed);
+        assert_eq!(admit(&slot, 10, 9), 7);
+        assert_eq!(slot.load(Ordering::Relaxed), 10);
+    }
+
+    /// Satellite regression: the backpressure budget is per worker
+    /// *lane*, shared by every channel the lane serves, and overflow
+    /// under batch ingestion drops the batch tail with each dropped
+    /// datagram counted exactly once — no double counts, no misses.
+    #[test]
+    fn backpressure_bounds_the_lane_and_counts_drops_exactly_once() {
+        // One worker ⇒ both channels (lanes 0 and 1) share lane slot 0.
+        let driver = NetDriver::builder(IndissConfig::slp_upnp()).start().expect("driver");
+        assert_eq!(driver.inner.lane_in_flight.len(), 1);
+        let slp = Arc::clone(&driver.inner.channels[0]);
+        let upnp = Arc::clone(&driver.inner.channels[1]);
+
+        // Stall the only worker so admissions accumulate.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (stalled_tx, stalled_rx) = mpsc::channel::<()>();
+        driver.inner.gateway.submit_on_lane(0, move || {
+            stalled_tx.send(()).expect("test alive");
+            release_rx.recv().expect("released");
+        });
+        stalled_rx.recv_timeout(Duration::from_secs(2)).expect("worker stalled");
+
+        let batch = |n: usize| -> Vec<Datagram> {
+            let addr = SocketAddrV4::new(std::net::Ipv4Addr::LOCALHOST, 9999);
+            (0..n).map(|_| Datagram { src: addr, dst: addr, payload: b"junk".to_vec() }).collect()
+        };
+        // 600 on the SLP channel: all admitted.
+        NetDriver::sink_batch(&driver.inner, &slp, batch(600));
+        assert_eq!(driver.front_stats().dropped_backpressure, 0);
+        // 600 more on the *UPnP* channel: the shared lane budget has
+        // only 424 slots left — the 176-datagram tail drops, each
+        // counted once.
+        NetDriver::sink_batch(&driver.inner, &upnp, batch(600));
+        let stats = driver.front_stats();
+        assert_eq!(stats.datagrams_received, 1200);
+        assert_eq!(stats.dropped_backpressure, 176);
+        assert_eq!(driver.inner.lane_in_flight[0].load(Ordering::Relaxed), NetDriver::BACKPRESSURE);
+
+        // Release the worker; every admitted datagram processes and the
+        // budget frees completely.
+        release_tx.send(()).expect("worker alive");
+        driver.join();
+        assert_eq!(driver.inner.lane_in_flight[0].load(Ordering::Relaxed), 0);
+        let stats = driver.front_stats();
+        assert_eq!(stats.dropped_backpressure, 176, "drops are not re-counted");
+        // The junk payloads decoded to nothing, once per admitted
+        // datagram.
+        assert_eq!(stats.decode_rejected, 1024);
+        // With the budget free, a fresh batch is admitted in full.
+        NetDriver::sink_batch(&driver.inner, &slp, batch(100));
+        driver.join();
+        let stats = driver.front_stats();
+        assert_eq!(stats.datagrams_received, 1300);
+        assert_eq!(stats.dropped_backpressure, 176);
+        assert_eq!(stats.decode_rejected, 1124);
+        driver.shutdown();
+    }
+
+    /// On a transport without a batching engine the reactor counters
+    /// read as zeros — present, not absent, so dashboards need no
+    /// special case.
+    #[test]
+    fn sim_transport_reports_zero_reactor_stats() {
+        let driver = NetDriver::builder(IndissConfig::slp_upnp()).start().expect("driver");
+        let stats = driver.front_stats();
+        assert_eq!(stats.reactor_wakeups, 0);
+        assert_eq!(stats.recv_batch_hist, [0; 4]);
+        assert_eq!(stats.batch_sends_flushed, 0);
+        assert_eq!(stats.recv_eagain, 0);
+        driver.shutdown();
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //! discovery literature scales by, mapped onto canonical-type shards.
 //!
 //! The pool is deliberately small and dependency-free: `std::thread` +
-//! `std::sync::mpsc` channels, a pending-job counter with a condvar for
-//! [`WorkerPool::join`], and channel closure on drop to stop the
-//! workers. No work stealing — stealing would break the per-shard
-//! ordering guarantee the registry's lock routing relies on for
-//! fairness, and shard hashing already balances lanes.
+//! `std::sync::mpsc` channels, an *atomic* pending-job counter (the
+//! per-job hot path is two uncontended atomic ops; the condvar and its
+//! mutex are touched only when a [`WorkerPool::join`] is actually
+//! parked), and channel closure on drop to stop the workers. No work
+//! stealing — stealing would break the per-shard ordering guarantee the
+//! registry's lock routing relies on for fairness, and shard hashing
+//! already balances lanes.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
@@ -24,7 +26,14 @@ use std::thread::JoinHandle;
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Pending {
-    count: Mutex<u64>,
+    /// Submitted-but-unfinished jobs. Incremented before enqueue,
+    /// decremented after the job runs; `join` parks on the condvar only
+    /// while this is nonzero.
+    count: AtomicU64,
+    /// Mutex the condvar parks on. Held empty-handed: the counter is
+    /// the state, the lock only orders "waiter checks count" against
+    /// "worker notifies" so the last decrement's wakeup cannot be lost.
+    gate: Mutex<()>,
     done: Condvar,
     /// Jobs that panicked (the unwind is caught so the worker — and
     /// [`WorkerPool::join`] — survive; `join` re-raises the failure).
@@ -46,7 +55,8 @@ impl WorkerPool {
     pub fn new(workers: usize) -> WorkerPool {
         let workers = workers.max(1);
         let pending = Arc::new(Pending {
-            count: Mutex::new(0),
+            count: AtomicU64::new(0),
+            gate: Mutex::new(()),
             done: Condvar::new(),
             panicked: AtomicU64::new(0),
         });
@@ -68,9 +78,13 @@ impl WorkerPool {
                         if outcome.is_err() {
                             pending.panicked.fetch_add(1, Ordering::Relaxed);
                         }
-                        let mut count = pending.count.lock().expect("pool counter poisoned");
-                        *count -= 1;
-                        if *count == 0 {
+                        // Last decrement wakes any parked `join`. Taking
+                        // the gate (briefly, empty-handed) before the
+                        // notify is what makes the wakeup race-free: a
+                        // joiner holds it from its count check until it
+                        // parks, so the notify cannot slip in between.
+                        if pending.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            drop(pending.gate.lock().expect("pool gate poisoned"));
                             pending.done.notify_all();
                         }
                     }
@@ -90,10 +104,7 @@ impl WorkerPool {
     /// thread). Jobs on one lane run in submission order; jobs on lanes
     /// owned by different workers run concurrently.
     pub fn submit(&self, lane: usize, job: impl FnOnce() + Send + 'static) {
-        {
-            let mut count = self.pending.count.lock().expect("pool counter poisoned");
-            *count += 1;
-        }
+        self.pending.count.fetch_add(1, Ordering::AcqRel);
         let worker = lane % self.senders.len();
         // The receiver lives for the pool's lifetime, so the only send
         // failure is a worker that panicked; surface that loudly.
@@ -107,11 +118,12 @@ impl WorkerPool {
     /// Panics if any job panicked since the pool was created — a
     /// caught-and-counted failure must not read as success.
     pub fn join(&self) {
-        let mut count = self.pending.count.lock().expect("pool counter poisoned");
-        while *count > 0 {
-            count = self.pending.done.wait(count).expect("pool counter poisoned");
+        if self.pending.count.load(Ordering::Acquire) > 0 {
+            let mut gate = self.pending.gate.lock().expect("pool gate poisoned");
+            while self.pending.count.load(Ordering::Acquire) > 0 {
+                gate = self.pending.done.wait(gate).expect("pool gate poisoned");
+            }
         }
-        drop(count);
         let panicked = self.pending.panicked.load(Ordering::Relaxed);
         assert!(panicked == 0, "{panicked} worker job(s) panicked (see stderr for payloads)");
     }

@@ -1,0 +1,177 @@
+//! Epoch-published shard snapshots: the zero-lock warm-hit read path.
+//!
+//! The locked [`super::shard::Shard`] remains the single source of
+//! truth; this module makes the *read-mostly* fraction of the warm path
+//! lock-free. Every shard owns an [`EpochPtr`] — a hand-rolled
+//! `ArcSwap`: writers rebuild an immutable [`ShardSnapshot`] of the
+//! response cache **while still holding the shard lock** (so snapshots
+//! publish in mutation order) and store it behind a monotonically
+//! increasing epoch counter. Readers do one atomic epoch load; when it
+//! matches their thread-local copy they upgrade a cached [`Weak`] and
+//! serve the hit with **zero lock acquisitions** — an atomic load, a
+//! refcount bump, a hash lookup, and two relaxed atomic stores (the
+//! hit counter and the suppression re-arm). Only when the epoch moved
+//! (a write happened) does a reader briefly take the publish mutex to
+//! refresh its thread-local copy.
+//!
+//! Reads are never torn: a snapshot is immutable once published, so a
+//! concurrent reader observes the registry exactly as it was before or
+//! after a write, never mid-write. The thread-local cache holds `Weak`
+//! references precisely so it cannot extend a snapshot's lifetime —
+//! when a writer publishes epoch *n+1*, epoch *n*'s buffers (and their
+//! interned symbols) free as soon as in-flight readers finish.
+//!
+//! Semantics relative to the locked path (documented divergences):
+//!
+//! * **Counters are exact**: fast hits count into [`EpochPtr`]'s atomic
+//!   and are folded into [`super::RegistryStats::cache_hits`] on read.
+//! * **Suppression re-arms exactly**: cache entries snapshot a shared
+//!   [`SuppressCell`] (an atomic deadline) that the locked path reads
+//!   through the same `Arc`, so a fast hit arms the same window the
+//!   locked hit would.
+//! * **LRU recency is *not* refreshed** by a fast hit — the one
+//!   observable relaxation. A type answered purely from snapshots can
+//!   be evicted as if it were idle. Re-warming (which every miss path
+//!   does) restores recency; the deterministic sim tests that pin LRU
+//!   order run under capacity and are unaffected.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+use indiss_net::SimTime;
+
+use crate::event::{EventStream, Symbol};
+use crate::gateway::WarmDecision;
+
+/// Shared suppression deadline for one canonical type, in [`SimTime`]
+/// nanoseconds (`0` = never armed). Lives in the shard's suppression
+/// map *and* in every snapshot entry for the type, so lock-free hits
+/// and locked decisions re-arm one cell.
+pub(crate) type SuppressCell = Arc<AtomicU64>;
+
+/// One response-cache entry as the snapshot saw it.
+pub(crate) struct SnapEntry {
+    pub(crate) response: EventStream,
+    pub(crate) expires: SimTime,
+    pub(crate) suppress: SuppressCell,
+}
+
+/// Immutable copy of one shard's response cache at publish time.
+/// Response buffers are shared (`EventStream` clones are refcount
+/// bumps), so building one is O(entries), not O(bytes).
+#[derive(Default)]
+pub(crate) struct ShardSnapshot {
+    pub(crate) cache: HashMap<Symbol, SnapEntry>,
+}
+
+/// Registry identities for the thread-local snapshot cache: a global
+/// counter, never reused, so a dead registry's cache slots can never
+/// alias a new registry's (no ABA via recycled addresses).
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_registry_id() -> u64 {
+    NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// `(registry id, shard) → (epoch, snapshot)` slots for [`SNAP_CACHE`].
+type SnapCacheMap = HashMap<(u64, usize), (u64, Weak<ShardSnapshot>)>;
+
+thread_local! {
+    /// Per-thread `(registry id, shard) → (epoch, snapshot)` cache.
+    /// `Weak`, so this cache never keeps a superseded snapshot (or a
+    /// dropped registry's interned symbols) alive.
+    static SNAP_CACHE: RefCell<SnapCacheMap> = RefCell::new(HashMap::new());
+}
+
+/// Bound on the thread-local cache: far above any realistic
+/// `registries × shards` working set; hitting it clears stale slots.
+const SNAP_CACHE_MAX: usize = 512;
+
+/// One shard's publish point. See the module docs for the protocol.
+pub(crate) struct EpochPtr {
+    /// Bumped on every publish; readers compare against their cached
+    /// epoch before touching anything else.
+    epoch: AtomicU64,
+    /// The current `(epoch, snapshot)` pair. A leaf lock: taken by
+    /// writers already holding their shard lock, and by readers only
+    /// on an epoch change. Never held while acquiring any other lock.
+    current: Mutex<(u64, Arc<ShardSnapshot>)>,
+    /// Cache hits served lock-free; folded into the shard's
+    /// `cache_hits` on every stats read.
+    pub(crate) fast_hits: AtomicU64,
+}
+
+impl EpochPtr {
+    pub(crate) fn new() -> EpochPtr {
+        EpochPtr {
+            epoch: AtomicU64::new(1),
+            current: Mutex::new((1, Arc::new(ShardSnapshot::default()))),
+            fast_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes a freshly built snapshot. Callers hold the shard lock,
+    /// which serializes publishes into mutation order; the epoch store
+    /// is `Release` so a reader that observes the new epoch also
+    /// observes the new snapshot behind the mutex.
+    pub(crate) fn publish(&self, snapshot: ShardSnapshot) {
+        let mut current = self.current.lock().expect("epoch slot poisoned");
+        let next = current.0 + 1;
+        *current = (next, Arc::new(snapshot));
+        self.epoch.store(next, Ordering::Release);
+    }
+
+    /// The lock-free warm-hit attempt: `Some(CacheHit)` when the
+    /// current snapshot holds a live entry for `ty` (counting the hit
+    /// and re-arming suppression exactly as the locked path would);
+    /// `None` means "fall back to the locked path" — a miss, an
+    /// expired snapshot entry, or caching disabled upstream.
+    pub(crate) fn try_fast_hit(
+        &self,
+        registry_id: u64,
+        shard_idx: usize,
+        ty: &Symbol,
+        now: SimTime,
+        suppress_until: SimTime,
+    ) -> Option<WarmDecision> {
+        let snapshot = self.load(registry_id, shard_idx)?;
+        let entry = snapshot.cache.get(ty)?;
+        if entry.expires <= now {
+            return None; // lazily expired: let the locked path reap it
+        }
+        entry.suppress.store(suppress_until.as_nanos(), Ordering::Relaxed);
+        self.fast_hits.fetch_add(1, Ordering::Relaxed);
+        Some(WarmDecision::CacheHit(entry.response.clone()))
+    }
+
+    /// Current snapshot via the thread-local cache; takes the publish
+    /// mutex only when the epoch moved since this thread last looked.
+    fn load(&self, registry_id: u64, shard_idx: usize) -> Option<Arc<ShardSnapshot>> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let key = (registry_id, shard_idx);
+        let cached = SNAP_CACHE.with(|cache| {
+            cache
+                .borrow()
+                .get(&key)
+                .filter(|(seen, _)| *seen == epoch)
+                .and_then(|(_, weak)| weak.upgrade())
+        });
+        if let Some(snapshot) = cached {
+            return Some(snapshot);
+        }
+        let (fresh_epoch, snapshot) = {
+            let current = self.current.lock().ok()?;
+            (current.0, Arc::clone(&current.1))
+        };
+        SNAP_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if cache.len() >= SNAP_CACHE_MAX {
+                cache.clear();
+            }
+            cache.insert(key, (fresh_epoch, Arc::downgrade(&snapshot)));
+        });
+        Some(snapshot)
+    }
+}

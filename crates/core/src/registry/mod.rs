@@ -51,6 +51,7 @@
 //! the earliest deadline across shards, so a seeded simulation replays
 //! identically and memory stays bounded under churn.
 
+pub(crate) mod epoch;
 mod expiry;
 mod index;
 mod record;
@@ -59,12 +60,14 @@ mod shard;
 pub use record::ServiceRecord;
 
 use std::hash::RandomState;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use indiss_net::SimTime;
 
 use crate::event::{EventStream, SdpProtocol, Symbol};
+use epoch::EpochPtr;
 use expiry::Target;
 use index::InsertOutcome;
 use shard::{CachedResponse, Shard};
@@ -187,6 +190,9 @@ pub struct SweepReport {
 
 pub(super) struct RegistryShared {
     pub(super) config: RegistryConfig,
+    /// Process-unique identity (see [`epoch::next_registry_id`]) keying
+    /// the per-thread snapshot caches of the lock-free read path.
+    pub(super) id: u64,
     /// Shard router: hashes a canonical-type symbol to a shard index.
     /// Per-registry (not global) so two registries never share routing
     /// state; symbols hash by pointer, which is stable for as long as
@@ -194,6 +200,10 @@ pub(super) struct RegistryShared {
     /// symbol live.
     pub(super) router: RandomState,
     pub(super) shards: Box<[Mutex<Shard>]>,
+    /// One epoch-published snapshot per shard (same indexing as
+    /// `shards`): the lock-free warm-hit read path. Writers republish
+    /// under the matching shard lock; see [`epoch`].
+    pub(super) epochs: Box<[EpochPtr]>,
 }
 
 /// Handle to the shared registry. Cloning is cheap and refers to the
@@ -211,8 +221,15 @@ impl ServiceRegistry {
         let shard_count = config.shards.max(1);
         let shards: Box<[Mutex<Shard>]> =
             (0..shard_count).map(|_| Mutex::new(Shard::new(&config, shard_count))).collect();
+        let epochs: Box<[EpochPtr]> = (0..shard_count).map(|_| EpochPtr::new()).collect();
         ServiceRegistry {
-            shared: Arc::new(RegistryShared { config, router: RandomState::new(), shards }),
+            shared: Arc::new(RegistryShared {
+                config,
+                id: epoch::next_registry_id(),
+                router: RandomState::new(),
+                shards,
+                epochs,
+            }),
         }
     }
 
@@ -379,7 +396,8 @@ impl ServiceRegistry {
     /// also invalidates any negative-cache entry for the type.
     pub fn warm(&self, canonical_type: impl Into<Symbol>, response: EventStream, now: SimTime) {
         let key = canonical_type.into();
-        let mut shard = self.shard_for(&key);
+        let idx = self.shard_index(&key);
+        let mut shard = self.lock_shard(idx);
         shard.clear_negative(&key);
         let expires = now + self.shared.config.cache_ttl;
         let (slot, evicted) = shard.cache.insert(key, CachedResponse { response, expires });
@@ -388,6 +406,10 @@ impl ServiceRegistry {
         }
         let generation = shard.cache.generation(slot);
         shard.wheel.arm(expires, Target::Cache { slot, generation });
+        // Publish while still holding the shard lock, so snapshots go
+        // out in mutation order and lock-free readers see this entry
+        // (and the LRU victim's absence) from here on.
+        self.shared.epochs[idx].publish(shard.build_snapshot());
     }
 
     /// Answers a lookup from the cache, counting a hit or a miss. Expired
@@ -508,13 +530,13 @@ impl ServiceRegistry {
     /// window armed by [`ServiceRegistry::mark_bridged`].
     pub fn suppression_active(&self, canonical_type: impl Into<Symbol>, now: SimTime) -> bool {
         let key = canonical_type.into();
-        self.shard_for(&key).suppress.get(&key).is_some_and(|until| *until > now)
+        self.shard_for(&key).suppression_active_at(&key, now)
     }
 
     /// Arms the suppression window for this type until `until`.
     pub fn mark_bridged(&self, canonical_type: impl Into<Symbol>, until: SimTime) {
         let key = canonical_type.into();
-        self.shard_for(&key).suppress.insert(key, until);
+        self.shard_for(&key).arm_suppression(key, until);
     }
 
     // ------------------------------------------------------------------
@@ -547,12 +569,20 @@ impl ServiceRegistry {
     /// virtual-time sweep timer; reads also expire lazily, so calling
     /// this is a memory bound, not a correctness requirement.
     pub fn sweep(&self, now: SimTime) -> SweepReport {
-        self.fold_shards(SweepReport::default(), |acc, shard| {
+        let mut acc = SweepReport::default();
+        for idx in 0..self.shared.shards.len() {
+            let mut shard = self.lock_shard(idx);
             let report = shard.sweep(now);
             acc.records_expired += report.records_expired;
             acc.cache_expired += report.cache_expired;
             acc.negative_expired += report.negative_expired;
-        })
+            // Republish under the lock: the sweep may have reaped cache
+            // entries and pruned suppression cells, and the rebuild
+            // re-creates cells for every still-cached type, so stale
+            // snapshots stop being served and memory is released.
+            self.shared.epochs[idx].publish(shard.build_snapshot());
+        }
+        acc
     }
 
     /// The earliest pending expiry deadline across all shards, if any
@@ -566,8 +596,16 @@ impl ServiceRegistry {
     }
 
     /// Snapshot of the registry's counters, merged across shards.
+    /// Cache hits served lock-free (the epoch-snapshot fast path) are
+    /// folded into `cache_hits` here, so totals are exact regardless of
+    /// which path answered.
     pub fn stats(&self) -> RegistryStats {
-        self.fold_shards(RegistryStats::default(), |acc, shard| acc.merge(&shard.stats))
+        let mut merged = RegistryStats::default();
+        for idx in 0..self.shared.shards.len() {
+            merged.merge(&self.lock_shard(idx).stats);
+            merged.cache_hits += self.shared.epochs[idx].fast_hits.load(Ordering::Relaxed);
+        }
+        merged
     }
 }
 

@@ -14,11 +14,13 @@ use indiss_net::SimTime;
 
 use crate::event::{EventStream, SdpProtocol, Symbol};
 use crate::gateway::WarmDecision;
+use crate::registry::epoch::{ShardSnapshot, SnapEntry, SuppressCell};
 use crate::registry::expiry::{ExpiryWheel, Target};
 use crate::registry::index::{LruCache, RecordStore};
 use crate::registry::{Projection, RegistryConfig, RegistryStats, ServiceRegistry, SweepReport};
 use std::hash::BuildHasher;
-use std::sync::MutexGuard;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, MutexGuard};
 
 #[derive(Debug, Clone)]
 pub(crate) struct CachedResponse {
@@ -60,8 +62,12 @@ pub(crate) struct Shard {
     /// exactly the matching entries instead of scanning the store.
     pub(crate) negative_by_type: HashMap<Symbol, Vec<SdpProtocol>>,
     pub(crate) projections: LruCache<(SdpProtocol, Symbol), Projection>,
-    /// Per-canonical-type suppression deadline (multi-bridge loop guard).
-    pub(crate) suppress: HashMap<Symbol, SimTime>,
+    /// Per-canonical-type suppression deadline (multi-bridge loop
+    /// guard). The deadline lives in a shared atomic cell
+    /// ([`SuppressCell`], nanoseconds) because published snapshots
+    /// clone the cell: a lock-free cache hit re-arms the same window
+    /// the locked path reads.
+    pub(crate) suppress: HashMap<Symbol, SuppressCell>,
     pub(crate) wheel: ExpiryWheel,
     pub(crate) stats: RegistryStats,
 }
@@ -136,10 +142,44 @@ impl Shard {
                 }
             }
         }
-        self.suppress.retain(|_, until| *until > now);
+        let now_nanos = now.as_nanos();
+        self.suppress.retain(|_, until| until.load(Ordering::Relaxed) > now_nanos);
         self.stats.records_expired += report.records_expired;
         self.stats.cache_expired += report.cache_expired;
         report
+    }
+
+    /// Arms (or re-arms) the suppression window for `ty` until `until`,
+    /// reusing the type's shared cell so published snapshots stay wired
+    /// to it.
+    pub(crate) fn arm_suppression(&mut self, ty: Symbol, until: SimTime) {
+        self.suppress.entry(ty).or_default().store(until.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// True while `ty` is inside its suppression window at `now`.
+    pub(crate) fn suppression_active_at(&self, ty: &Symbol, now: SimTime) -> bool {
+        self.suppress.get(ty).is_some_and(|until| until.load(Ordering::Relaxed) > now.as_nanos())
+    }
+
+    /// Builds the immutable snapshot the epoch pointer publishes: every
+    /// cached response plus its type's suppression cell (created here
+    /// if the type was never suppressed, so a lock-free hit always has
+    /// a cell to arm).
+    pub(crate) fn build_snapshot(&mut self) -> ShardSnapshot {
+        let Shard { cache, suppress, .. } = self;
+        let mut snapshot = HashMap::with_capacity(cache.len());
+        for (key, entry) in cache.iter() {
+            let cell = Arc::clone(suppress.entry(key.clone()).or_default());
+            snapshot.insert(
+                key.clone(),
+                SnapEntry {
+                    response: entry.response.clone(),
+                    expires: entry.expires,
+                    suppress: cell,
+                },
+            );
+        }
+        ShardSnapshot { cache: snapshot }
     }
 
     /// Drops any "nothing found" memory for `canonical_type` (for every
@@ -194,13 +234,16 @@ impl ServiceRegistry {
     }
 
     /// Counter snapshot of one shard (the aggregate view is
-    /// [`ServiceRegistry::stats`]).
+    /// [`ServiceRegistry::stats`]). Cache hits served by the shard's
+    /// lock-free snapshot path are folded into `cache_hits`.
     ///
     /// # Panics
     ///
     /// Panics when `shard` is out of range.
     pub fn shard_stats(&self, shard: usize) -> RegistryStats {
-        self.lock_shard(shard).stats
+        let mut stats = self.lock_shard(shard).stats;
+        stats.cache_hits += self.shared.epochs[shard].fast_hits.load(Ordering::Relaxed);
+        stats
     }
 
     pub(crate) fn shard_index(&self, sym: &Symbol) -> usize {
@@ -239,6 +282,13 @@ impl ServiceRegistry {
     /// `suppression_active` → `mark_bridged` calls would, including
     /// every counter side effect, but atomically. `None` for the type
     /// always bridges (there is nothing to cache or suppress by).
+    ///
+    /// A fresh cache hit is first attempted **lock-free** against the
+    /// shard's epoch-published snapshot (see [`crate::registry::epoch`]):
+    /// same decision, same counter total, same suppression re-arm, zero
+    /// lock acquisitions. Everything else — misses, expired entries,
+    /// negative hits, suppression decisions — falls through to the
+    /// locked path below, whose semantics are unchanged.
     pub(crate) fn warm_path(
         &self,
         origin: SdpProtocol,
@@ -250,7 +300,15 @@ impl ServiceRegistry {
         let Some(ty) = canonical_type else {
             return WarmDecision::Bridge;
         };
-        let mut shard = self.shard_for(&ty);
+        let idx = self.shard_index(&ty);
+        if enable_cache {
+            if let Some(hit) =
+                self.shared.epochs[idx].try_fast_hit(self.shared.id, idx, &ty, now, suppress_until)
+            {
+                return hit;
+            }
+        }
+        let mut shard = self.lock_shard(idx);
         if enable_cache {
             match shard.cache.get(&ty) {
                 Some(entry) if entry.expires > now => {
@@ -258,7 +316,7 @@ impl ServiceRegistry {
                     shard.stats.cache_hits += 1;
                     // A cache-answered request still (re-)arms the
                     // window: the answer we just sent is about to echo.
-                    shard.suppress.insert(ty, suppress_until);
+                    shard.arm_suppression(ty, suppress_until);
                     return WarmDecision::CacheHit(response);
                 }
                 Some(_) => {
@@ -281,10 +339,10 @@ impl ServiceRegistry {
                 None => {}
             }
         }
-        if shard.suppress.get(&ty).is_some_and(|until| *until > now) {
+        if shard.suppression_active_at(&ty, now) {
             return WarmDecision::Suppressed;
         }
-        shard.suppress.insert(ty, suppress_until);
+        shard.arm_suppression(ty, suppress_until);
         WarmDecision::Bridge
     }
 }

@@ -301,6 +301,202 @@ fn threaded_gateway_counts_are_exact_under_concurrency() {
     assert_eq!(stats.requests_bridged, expected, "cache hits count as bridged requests");
 }
 
+fn versioned_response(ty: &str, version: u32) -> EventStream {
+    EventStream::framed(vec![
+        Event::ServiceResponse,
+        Event::ResOk,
+        Event::ServiceType(ty.into()),
+        Event::ResServUrl(format!("soap://host/{ty}/v{version}")),
+    ])
+}
+
+fn request(ty: &str) -> EventStream {
+    EventStream::framed(vec![Event::ServiceRequest, Event::ServiceType(ty.into())])
+}
+
+/// Extracts the `v{n}` version a [`versioned_response`] carried, after
+/// asserting the stream is well-formed for `ty` — a torn snapshot read
+/// would surface here as a mismatched type or a mangled URL.
+fn response_version(ty: &str, stream: &EventStream) -> u32 {
+    let url = stream
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            Event::ResServUrl(url) => Some(url.clone()),
+            _ => None,
+        })
+        .expect("cache hit carries a service URL");
+    let prefix = format!("soap://host/{ty}/v");
+    let version = url
+        .strip_prefix(&prefix)
+        .unwrap_or_else(|| panic!("URL {url} is not a version of type {ty}"));
+    version.parse().unwrap_or_else(|_| panic!("URL {url} carries a malformed version"))
+}
+
+proptest! {
+    /// (d) The epoch-snapshot fast path is linear with the writes: after
+    /// every warm, a read through the warm path (which serves the
+    /// epoch-published snapshot when it can) observes exactly the
+    /// post-write state — the freshly written version, never a stale or
+    /// torn one — and a 4-shard registry answers byte-identically to an
+    /// unsharded one across the whole interleaving, with identical
+    /// merged stats (the fast-hit counters fold in without loss).
+    #[test]
+    fn epoch_snapshot_reads_observe_pre_or_post_write_state(
+        ops in proptest::collection::vec((0usize..6, 1u32..50), 1..60),
+    ) {
+        let one = ThreadedGateway::new(
+            RegistryConfig { shards: 1, cache_ttl: Duration::from_secs(3600), ..RegistryConfig::default() },
+            1,
+        );
+        let four = ThreadedGateway::new(
+            RegistryConfig { shards: 4, cache_ttl: Duration::from_secs(3600), ..RegistryConfig::default() },
+            1,
+        );
+        let t = SimTime::from_secs(1);
+        let mut latest: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+        for (ty_idx, version) in ops {
+            let ty = format!("epoch-{ty_idx}");
+            one.registry().warm(ty.as_str(), versioned_response(&ty, version), t);
+            four.registry().warm(ty.as_str(), versioned_response(&ty, version), t);
+            latest.insert(ty_idx, version);
+            // Read back *every* warmed type, on both registries: repeat
+            // reads of unchanged types exercise the thread-local epoch
+            // cache (same epoch ⇒ zero-lock hit), the just-written type
+            // exercises the refresh path.
+            for (idx, expect) in &latest {
+                let ty = format!("epoch-{idx}");
+                for gw in [&one, &four] {
+                    match gw.classify_now(SdpProtocol::Slp, &request(&ty), t) {
+                        WarmDecision::CacheHit(stream) => {
+                            prop_assert_eq!(response_version(&ty, &stream), *expect);
+                        }
+                        other => prop_assert!(false, "warm type must hit the cache, got {:?}", other),
+                    }
+                }
+            }
+        }
+        // Sharding (and the fast path's per-shard hit counters) must not
+        // change the merged accounting.
+        let s1 = one.stats();
+        let s4 = four.stats();
+        prop_assert_eq!(s1.cache_hits, s4.cache_hits);
+        prop_assert_eq!(s1.requests_bridged, s4.requests_bridged);
+        prop_assert_eq!(s1.cache_misses, s4.cache_misses);
+    }
+}
+
+/// (e) Multi-thread churn over the epoch fast path: writers republish
+/// versioned responses while readers classify concurrently. Every
+/// observed hit must be a *complete* published version (never torn),
+/// versions must be monotonic per reader (snapshots only move forward),
+/// and the merged stats — locked-path counters plus the fast-hit
+/// atomics — must account for exactly the decisions the readers saw,
+/// the same bookkeeping contract `shards = 1` has always pinned.
+#[test]
+fn concurrent_epoch_churn_is_monotonic_with_exact_merged_stats() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const TYPES: usize = 8;
+    const VERSIONS: u32 = 300;
+    const READERS: usize = 3;
+    let gw = Arc::new(ThreadedGateway::new(
+        RegistryConfig {
+            shards: 8,
+            cache_ttl: Duration::from_secs(3600),
+            ..RegistryConfig::default()
+        },
+        1,
+    ));
+    let t = SimTime::from_secs(1);
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut writers = Vec::new();
+    for w in 0..2 {
+        let gw = Arc::clone(&gw);
+        writers.push(std::thread::spawn(move || {
+            let reg = gw.registry();
+            for version in 1..=VERSIONS {
+                for ty_idx in (w..TYPES).step_by(2) {
+                    let ty = format!("churn-epoch-{ty_idx}");
+                    reg.warm(ty.as_str(), versioned_response(&ty, version), t);
+                }
+            }
+        }));
+    }
+
+    // Readers tally their own decisions so the merged stats can be
+    // checked for exactness afterwards.
+    #[derive(Default)]
+    struct Seen {
+        hits: u64,
+        bridged: u64,
+        suppressed: u64,
+    }
+    let mut readers = Vec::new();
+    for _ in 0..READERS {
+        let gw = Arc::clone(&gw);
+        let done = Arc::clone(&done);
+        readers.push(std::thread::spawn(move || {
+            let core = gw.core();
+            let mut seen = Seen::default();
+            let mut floor = [0u32; TYPES];
+            loop {
+                let finished = done.load(Ordering::Acquire);
+                for (ty_idx, floor) in floor.iter_mut().enumerate() {
+                    let ty = format!("churn-epoch-{ty_idx}");
+                    match core.classify(SdpProtocol::Slp, &request(&ty), t) {
+                        WarmDecision::CacheHit(stream) => {
+                            let v = response_version(&ty, &stream);
+                            assert!(
+                                v >= *floor,
+                                "snapshot went backwards on {ty}: {v} after {floor}"
+                            );
+                            assert!(v <= VERSIONS, "unwritten version observed");
+                            *floor = v;
+                            seen.hits += 1;
+                            seen.bridged += 1; // cache hits count as bridged
+                        }
+                        WarmDecision::Bridge => seen.bridged += 1,
+                        WarmDecision::Suppressed => seen.suppressed += 1,
+                        WarmDecision::NegativeHit => panic!("no negative entries in play"),
+                    }
+                }
+                if finished {
+                    // One full post-join pass ran: every type must now
+                    // read at its final published version.
+                    for (ty_idx, floor) in floor.iter().enumerate() {
+                        assert_eq!(
+                            *floor, VERSIONS,
+                            "churn-epoch-{ty_idx} must settle at the last write"
+                        );
+                    }
+                    return seen;
+                }
+            }
+        }));
+    }
+
+    for w in writers {
+        w.join().expect("writer thread");
+    }
+    done.store(true, Ordering::Release);
+    let mut hits = 0u64;
+    let mut bridged = 0u64;
+    let mut suppressed = 0u64;
+    for r in readers {
+        let seen = r.join().expect("reader thread");
+        hits += seen.hits;
+        bridged += seen.bridged;
+        suppressed += seen.suppressed;
+    }
+    assert!(hits > 0, "readers observed warm traffic");
+    let stats = gw.stats();
+    assert_eq!(stats.cache_hits, hits, "every fast/locked hit counted exactly once: {stats:?}");
+    assert_eq!(stats.requests_bridged, bridged, "bridged accounting exact: {stats:?}");
+    assert_eq!(stats.requests_suppressed, suppressed, "suppression accounting exact: {stats:?}");
+}
+
 /// Satellite audit for the UDP front-end: `Symbol::collect()` (and the
 /// amortized watermark sweep) must be safe against recv threads
 /// interning concurrently. The invariant under audit: an entry is only

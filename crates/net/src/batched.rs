@@ -1,0 +1,441 @@
+//! `BatchedTransport`: the reactor-backed real-socket transport.
+//!
+//! Same seam, same loopback confinement, same port-offset rules as
+//! [`crate::UdpTransport`] — but instead of one blocking recv thread
+//! per channel, every channel registers its nonblocking socket with a
+//! single [`crate::reactor`] thread that drains readiness in
+//! `recvmmsg` batches, and replies flush through `sendmmsg`
+//! ([`TransportSocket::send_batch`]). On non-Linux targets, or when the
+//! `epoll` feature is disabled, the same type degrades to a portable
+//! one-at-a-time fallback: a recv thread per channel (exactly the
+//! [`crate::UdpTransport`] shape) delivering singleton batches and
+//! counting them into the same [`IoStats`], so callers observe one
+//! behavior contract on every platform.
+
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::{NetError, NetResult};
+use crate::transport::{
+    BindSpec, IoCounters, IoStats, Transport, TransportBatchSink, TransportKind, TransportSink,
+    TransportSocket,
+};
+use crate::udp::Datagram;
+
+#[cfg(all(target_os = "linux", feature = "epoll"))]
+use crate::reactor::Reactor;
+#[cfg(all(target_os = "linux", feature = "epoll"))]
+use crate::sys;
+
+/// How long a fallback recv thread blocks per `recv_from` before
+/// re-checking the shutdown flag (mirrors `UdpTransport`).
+#[cfg(not(all(target_os = "linux", feature = "epoll")))]
+const RECV_POLL: std::time::Duration = std::time::Duration::from_millis(25);
+
+struct BatchedShared {
+    /// Shared with the reactor (or every fallback recv thread) so
+    /// dropping the last transport handle stops them even without an
+    /// explicit `shutdown()` call.
+    stop: Arc<AtomicBool>,
+    counters: Arc<IoCounters>,
+    #[cfg(all(target_os = "linux", feature = "epoll"))]
+    reactor: Mutex<Option<Reactor>>,
+    #[cfg(not(all(target_os = "linux", feature = "epoll")))]
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for BatchedShared {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The batched real-socket transport. See the module docs.
+#[derive(Clone)]
+pub struct BatchedTransport {
+    bind_ip: Ipv4Addr,
+    port_offset: u16,
+    shared: Arc<BatchedShared>,
+}
+
+impl BatchedTransport {
+    /// A loopback-confined batched transport with no port offset.
+    pub fn loopback() -> BatchedTransport {
+        BatchedTransport::with_offset(0)
+    }
+
+    /// A loopback-confined batched transport whose protocol ports are
+    /// shifted by `offset` (same rules as
+    /// [`crate::UdpTransport::with_offset`]).
+    pub fn with_offset(offset: u16) -> BatchedTransport {
+        BatchedTransport::new(Ipv4Addr::LOCALHOST, offset)
+    }
+
+    /// A batched transport bound to `bind_ip` with protocol ports
+    /// shifted by `offset`.
+    pub fn new(bind_ip: Ipv4Addr, offset: u16) -> BatchedTransport {
+        BatchedTransport {
+            bind_ip,
+            port_offset: offset,
+            shared: Arc::new(BatchedShared {
+                stop: Arc::new(AtomicBool::new(false)),
+                counters: Arc::new(IoCounters::default()),
+                #[cfg(all(target_os = "linux", feature = "epoll"))]
+                reactor: Mutex::new(None),
+                #[cfg(not(all(target_os = "linux", feature = "epoll")))]
+                threads: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Binds the std socket and joins groups — identical policy to
+    /// `UdpTransport::bind_socket` up to the recv mechanism.
+    fn bind_std(
+        &self,
+        port: u16,
+        groups: &[Ipv4Addr],
+    ) -> NetResult<(Arc<std::net::UdpSocket>, SocketAddrV4, bool)> {
+        let io_err =
+            |op: &'static str| move |e: std::io::Error| NetError::Io { op, message: e.to_string() };
+        let socket = std::net::UdpSocket::bind((self.bind_ip, port)).map_err(io_err("bind"))?;
+        let local = match socket.local_addr().map_err(io_err("local_addr"))? {
+            SocketAddr::V4(a) => a,
+            SocketAddr::V6(a) => SocketAddrV4::new(Ipv4Addr::LOCALHOST, a.port()),
+        };
+        let mut joined_all = true;
+        for group in groups {
+            if socket.join_multicast_v4(group, &self.bind_ip).is_err() {
+                joined_all = false;
+            }
+        }
+        Ok((Arc::new(socket), local, joined_all))
+    }
+
+    #[cfg(all(target_os = "linux", feature = "epoll"))]
+    fn attach(
+        &self,
+        socket: Arc<std::net::UdpSocket>,
+        local: SocketAddrV4,
+        sink: TransportBatchSink,
+        _label: &str,
+    ) -> NetResult<()> {
+        let io_err =
+            |op: &'static str| move |e: std::io::Error| NetError::Io { op, message: e.to_string() };
+        let mut guard = self.shared.reactor.lock().expect("reactor slot poisoned");
+        if guard.is_none() {
+            *guard = Some(
+                Reactor::spawn(Arc::clone(&self.shared.stop), Arc::clone(&self.shared.counters))
+                    .map_err(io_err("reactor"))?,
+            );
+        }
+        guard
+            .as_ref()
+            .expect("reactor just spawned")
+            .register(socket, local, sink)
+            .map_err(io_err("register"))
+    }
+
+    /// Portable fallback: one blocking recv thread per channel (the
+    /// `UdpTransport` shape) delivering singleton batches and counting
+    /// them into the shared [`IoCounters`].
+    #[cfg(not(all(target_os = "linux", feature = "epoll")))]
+    fn attach(
+        &self,
+        socket: Arc<std::net::UdpSocket>,
+        local: SocketAddrV4,
+        sink: TransportBatchSink,
+        label: &str,
+    ) -> NetResult<()> {
+        let io_err =
+            |op: &'static str| move |e: std::io::Error| NetError::Io { op, message: e.to_string() };
+        socket.set_read_timeout(Some(RECV_POLL)).map_err(io_err("set_read_timeout"))?;
+        let stop = Arc::clone(&self.shared.stop);
+        let counters = Arc::clone(&self.shared.counters);
+        let handle = std::thread::Builder::new()
+            .name(format!("indiss-batched-{label}"))
+            .spawn(move || {
+                let mut buf = vec![0u8; 8192];
+                while !stop.load(Ordering::Relaxed) {
+                    match socket.recv_from(&mut buf) {
+                        Ok((len, SocketAddr::V4(src))) => {
+                            counters.wakeups.fetch_add(1, Ordering::Relaxed);
+                            counters.record_recv_batch(1);
+                            sink(vec![Datagram { src, dst: local, payload: buf[..len].to_vec() }]);
+                        }
+                        Ok((_, SocketAddr::V6(_))) => {} // v4-only seam
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock
+                                    | std::io::ErrorKind::TimedOut
+                                    | std::io::ErrorKind::Interrupted
+                            ) => {}
+                        Err(_) => break, // socket torn down
+                    }
+                }
+            })
+            .map_err(io_err("spawn"))?;
+        self.shared.threads.lock().expect("batched thread list poisoned").push(handle);
+        Ok(())
+    }
+
+    fn bind_socket_batched(
+        &self,
+        port: u16,
+        groups: &[Ipv4Addr],
+        sink: TransportBatchSink,
+        label: &str,
+    ) -> NetResult<Arc<dyn TransportSocket>> {
+        let (socket, local, joined_all) = self.bind_std(port, groups)?;
+        self.attach(Arc::clone(&socket), local, sink, label)?;
+        Ok(Arc::new(BatchedSocketHandle {
+            socket,
+            local,
+            joined_all,
+            counters: Arc::clone(&self.shared.counters),
+        }))
+    }
+}
+
+struct BatchedSocketHandle {
+    socket: Arc<std::net::UdpSocket>,
+    local: SocketAddrV4,
+    joined_all: bool,
+    counters: Arc<IoCounters>,
+}
+
+impl TransportSocket for BatchedSocketHandle {
+    fn send_to(&self, payload: &[u8], dst: SocketAddrV4) -> NetResult<usize> {
+        // The socket is nonblocking under the reactor; a full send
+        // queue surfaces as WouldBlock, which for UDP means "dropped" —
+        // report it as sent 0 bytes worth of error like any send fault.
+        self.socket
+            .send_to(payload, SocketAddr::V4(dst))
+            .map_err(|e| NetError::Io { op: "send_to", message: e.to_string() })
+    }
+
+    fn local_addr(&self) -> SocketAddrV4 {
+        self.local
+    }
+
+    fn multicast_ready(&self) -> bool {
+        self.joined_all
+    }
+
+    /// One `sendmmsg` flush per call on the native path.
+    #[cfg(all(target_os = "linux", feature = "epoll"))]
+    fn send_batch(&self, batch: &[(Vec<u8>, SocketAddrV4)]) -> usize {
+        use std::os::fd::AsRawFd;
+        let mut sent = 0;
+        let mut remaining = batch;
+        while !remaining.is_empty() {
+            self.counters.batch_flushes.fetch_add(1, Ordering::Relaxed);
+            match sys::send_batch(self.socket.as_raw_fd(), remaining) {
+                Ok(0) => break,
+                Ok(n) => {
+                    sent += n;
+                    remaining = &remaining[n..];
+                }
+                Err(e) if sys::is_would_block(&e) => {
+                    // Kernel send queue full: yield once, then give the
+                    // rest up — UDP replies are droppable by contract.
+                    std::thread::yield_now();
+                    if let Ok(n) = sys::send_batch(self.socket.as_raw_fd(), remaining) {
+                        sent += n;
+                    }
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        sent
+    }
+
+    /// Fallback: a logical flush is one pass over the batch.
+    #[cfg(not(all(target_os = "linux", feature = "epoll")))]
+    fn send_batch(&self, batch: &[(Vec<u8>, SocketAddrV4)]) -> usize {
+        self.counters.batch_flushes.fetch_add(1, Ordering::Relaxed);
+        batch.iter().filter(|(payload, dst)| self.send_to(payload, *dst).is_ok()).count()
+    }
+}
+
+impl Transport for BatchedTransport {
+    fn kind(&self) -> TransportKind {
+        // Same wire contract as `UdpTransport` — real loopback sockets
+        // with offset ports — so callers that branch on kind (fetchers,
+        // bench metadata) treat it identically.
+        TransportKind::Udp
+    }
+
+    fn bind(&self, spec: &BindSpec, sink: TransportSink) -> NetResult<Arc<dyn TransportSocket>> {
+        self.bind_batched(
+            spec,
+            Arc::new(move |batch: Vec<Datagram>| {
+                for dgram in batch {
+                    sink(dgram);
+                }
+            }),
+        )
+    }
+
+    fn bind_batched(
+        &self,
+        spec: &BindSpec,
+        sink: TransportBatchSink,
+    ) -> NetResult<Arc<dyn TransportSocket>> {
+        let port = self.map_port(spec.port);
+        self.bind_socket_batched(port, &spec.groups, sink, &port.to_string())
+    }
+
+    fn bind_client(&self, sink: TransportSink) -> NetResult<Arc<dyn TransportSocket>> {
+        self.bind_client_batched(Arc::new(move |batch: Vec<Datagram>| {
+            for dgram in batch {
+                sink(dgram);
+            }
+        }))
+    }
+
+    fn bind_client_batched(&self, sink: TransportBatchSink) -> NetResult<Arc<dyn TransportSocket>> {
+        self.bind_socket_batched(0, &[], sink, "client")
+    }
+
+    fn map_port(&self, port: u16) -> u16 {
+        port.wrapping_add(self.port_offset)
+    }
+
+    fn io_stats(&self) -> Option<IoStats> {
+        Some(self.shared.counters.snapshot())
+    }
+
+    fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        #[cfg(all(target_os = "linux", feature = "epoll"))]
+        {
+            if let Some(reactor) = self.shared.reactor.lock().expect("reactor slot poisoned").take()
+            {
+                reactor.shutdown();
+            }
+        }
+        #[cfg(not(all(target_os = "linux", feature = "epoll")))]
+        {
+            let threads: Vec<_> = std::mem::take(
+                &mut *self.shared.threads.lock().expect("batched thread list poisoned"),
+            );
+            for handle in threads {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn batch_sink() -> (TransportBatchSink, mpsc::Receiver<Vec<Datagram>>) {
+        let (tx, rx) = mpsc::channel();
+        let sink: TransportBatchSink = Arc::new(move |batch| {
+            let _ = tx.send(batch);
+        });
+        (sink, rx)
+    }
+
+    /// The batched transport round-trips datagrams over real loopback
+    /// sockets and reports reactor activity in `io_stats`. Skipped (not
+    /// failed) when the environment forbids binding.
+    #[test]
+    fn batched_round_trips_and_counts_batches() {
+        let transport = BatchedTransport::with_offset(23_500);
+        let (sink, rx) = batch_sink();
+        let server = match transport.bind_batched(&BindSpec { port: 427, groups: vec![] }, sink) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skipping batched_round_trips_and_counts_batches: {e}");
+                return;
+            }
+        };
+        assert_eq!(server.local_addr().port(), 23_927, "offset applied");
+        let (client_sink, client_rx) = batch_sink();
+        let client = transport.bind_client_batched(client_sink).unwrap();
+
+        let burst = 12usize;
+        let msgs: Vec<(Vec<u8>, SocketAddrV4)> = (0..burst)
+            .map(|i| (format!("SRVRQST {i}").into_bytes(), server.local_addr()))
+            .collect();
+        let sent = client.send_batch(&msgs);
+        assert_eq!(sent, burst, "loopback accepts the whole burst");
+
+        let mut heard = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while heard.len() < burst && std::time::Instant::now() < deadline {
+            if let Ok(batch) = rx.recv_timeout(Duration::from_millis(200)) {
+                heard.extend(batch);
+            }
+        }
+        assert_eq!(heard.len(), burst, "server heard the full burst");
+        assert!(heard.iter().all(|d| d.src == client.local_addr()));
+
+        // Reply path back through send_batch.
+        let replies: Vec<(Vec<u8>, SocketAddrV4)> =
+            heard.iter().map(|d| (b"SRVRPLY".to_vec(), d.src)).collect();
+        assert_eq!(server.send_batch(&replies), burst);
+        let mut got = 0;
+        while got < burst && std::time::Instant::now() < deadline {
+            if let Ok(batch) = client_rx.recv_timeout(Duration::from_millis(200)) {
+                got += batch.len();
+            }
+        }
+        assert_eq!(got, burst, "client heard every reply");
+
+        let stats = transport.io_stats().expect("batched transport reports io stats");
+        assert!(stats.reactor_wakeups >= 1, "at least one wakeup: {stats:?}");
+        let batched: u64 = stats.recv_batches();
+        assert!(batched >= 1, "at least one recv batch recorded: {stats:?}");
+        assert!(stats.batch_sends_flushed >= 2, "both send_batch calls flushed: {stats:?}");
+        transport.shutdown();
+    }
+
+    /// Dropping without `shutdown()` must stop the reactor (or the
+    /// fallback threads) and release the bound ports.
+    #[test]
+    fn batched_drop_without_shutdown_releases_ports() {
+        let offset = 23_600;
+        {
+            let transport = BatchedTransport::with_offset(offset);
+            if transport
+                .bind_batched(&BindSpec { port: 600, groups: vec![] }, Arc::new(|_| {}))
+                .is_err()
+            {
+                eprintln!(
+                    "skipping batched_drop_without_shutdown_releases_ports: no loopback bind"
+                );
+                return;
+            }
+            // Dropped here with no shutdown() call.
+        }
+        let retry = BatchedTransport::with_offset(offset);
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            match retry.bind_batched(&BindSpec { port: 600, groups: vec![] }, Arc::new(|_| {})) {
+                Ok(_) => break,
+                Err(e) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "port never released after drop-without-shutdown: {e}"
+                    );
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+        retry.shutdown();
+    }
+
+    #[test]
+    fn batched_transport_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BatchedTransport>();
+    }
+}

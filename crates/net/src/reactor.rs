@@ -1,0 +1,172 @@
+//! The batched I/O reactor: one thread, one epoll fd, every channel.
+//!
+//! Replaces the thread-per-channel blocking-recv model for the real
+//! wire: channels register their nonblocking socket with the reactor's
+//! epoll instance (edge-triggered), and a single `indiss-reactor`
+//! thread drains readiness with `recvmmsg` into a pooled buffer slab —
+//! up to [`RECV_BATCH`] datagrams per syscall, looping until `EAGAIN`
+//! — then hands each batch to the channel's sink in one call. Replies
+//! flow the other way without touching the reactor: workers flush them
+//! with `sendmmsg` directly on the socket ([`crate::sys::send_batch`]),
+//! so the reactor thread is receive-only and never blocks on sends.
+//!
+//! Shutdown mirrors [`crate::UdpTransport`]: `epoll_wait` uses a short
+//! timeout ([`WAIT_POLL_MS`]) and re-checks a stop flag, so dropping
+//! the transport without `shutdown()` still stops the thread within
+//! one poll interval.
+
+use std::collections::HashMap;
+use std::net::SocketAddrV4;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::sys;
+use crate::transport::{IoCounters, TransportBatchSink};
+use crate::udp::Datagram;
+
+/// Max datagrams drained per `recvmmsg` call (the slab size).
+pub(crate) const RECV_BATCH: usize = 64;
+/// Per-datagram buffer size; SDP discovery messages are far below an
+/// Ethernet MTU, but descriptor payloads can approach it.
+const RECV_BUF: usize = 2048;
+/// `epoll_wait` timeout between stop-flag checks.
+const WAIT_POLL_MS: i32 = 25;
+/// Kernel queue size requested per socket: a loopback flood at 100k+
+/// datagrams/s overruns the ~208 KiB default between wakeups.
+pub(crate) const SOCKET_BUF: usize = 1 << 21;
+
+struct ReactorChannel {
+    socket: Arc<std::net::UdpSocket>,
+    local: SocketAddrV4,
+    sink: TransportBatchSink,
+}
+
+struct ReactorShared {
+    stop: Arc<AtomicBool>,
+    channels: Mutex<HashMap<u64, Arc<ReactorChannel>>>,
+    /// Fds queued for registration; picked up at the top of each loop
+    /// iteration so `epoll_ctl(ADD)` races nothing.
+    pending: Mutex<Vec<RawFd>>,
+    counters: Arc<IoCounters>,
+}
+
+/// Handle to the reactor thread. Registering a channel makes its
+/// socket's readiness drive batch deliveries to the channel's sink.
+pub(crate) struct Reactor {
+    shared: Arc<ReactorShared>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Reactor {
+    /// Spawns the reactor thread. `stop` is shared with the owning
+    /// transport so its `Drop` can halt the thread without a handle.
+    pub(crate) fn spawn(
+        stop: Arc<AtomicBool>,
+        counters: Arc<IoCounters>,
+    ) -> std::io::Result<Reactor> {
+        let shared = Arc::new(ReactorShared {
+            stop,
+            channels: Mutex::new(HashMap::new()),
+            pending: Mutex::new(Vec::new()),
+            counters,
+        });
+        let epoll = sys::Epoll::new(64)?;
+        let run_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("indiss-reactor".into())
+            .spawn(move || run(&run_shared, epoll))?;
+        Ok(Reactor { shared, thread: Mutex::new(Some(thread)) })
+    }
+
+    /// Registers a nonblocking socket: batches of datagrams received on
+    /// it are delivered to `sink` on the reactor thread.
+    pub(crate) fn register(
+        &self,
+        socket: Arc<std::net::UdpSocket>,
+        local: SocketAddrV4,
+        sink: TransportBatchSink,
+    ) -> std::io::Result<()> {
+        socket.set_nonblocking(true)?;
+        let _ = sys::set_buffer_sizes(socket.as_raw_fd(), SOCKET_BUF);
+        let fd = socket.as_raw_fd();
+        self.shared
+            .channels
+            .lock()
+            .expect("reactor channels poisoned")
+            .insert(fd as u64, Arc::new(ReactorChannel { socket, local, sink }));
+        self.shared.pending.lock().expect("reactor pending poisoned").push(fd);
+        Ok(())
+    }
+
+    /// Raises the stop flag and joins the reactor thread. Idempotent.
+    pub(crate) fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.thread.lock().expect("reactor thread poisoned").take() {
+            let _ = handle.join();
+        }
+        // Sockets close when the channel map (and its Arcs) drop.
+        self.shared.channels.lock().expect("reactor channels poisoned").clear();
+    }
+}
+
+/// The reactor loop: poll, then for each ready channel drain
+/// `recvmmsg` batches until `EAGAIN`, delivering one sink call per
+/// batch.
+fn run(shared: &ReactorShared, mut epoll: sys::Epoll) {
+    let mut slab = sys::BatchIo::new(RECV_BATCH, RECV_BUF);
+    let counters = &shared.counters;
+    while !shared.stop.load(Ordering::Relaxed) {
+        for fd in shared.pending.lock().expect("reactor pending poisoned").drain(..) {
+            let _ = epoll.add_edge_in(fd, fd as u64);
+        }
+        let tokens: Vec<u64> = match epoll.wait(WAIT_POLL_MS) {
+            Ok(tokens) => tokens.to_vec(),
+            Err(_) => break,
+        };
+        if tokens.is_empty() {
+            continue; // timeout: re-check stop flag
+        }
+        counters.wakeups.fetch_add(1, Ordering::Relaxed);
+        for token in tokens {
+            let channel = {
+                let map = shared.channels.lock().expect("reactor channels poisoned");
+                match map.get(&token) {
+                    Some(c) => Arc::clone(c),
+                    None => continue,
+                }
+            };
+            drain_channel(&channel, &mut slab, counters);
+        }
+    }
+}
+
+/// Edge-triggered drain: keep calling `recvmmsg` until the queue is
+/// empty (`EAGAIN`) or a short batch signals it soon will be.
+fn drain_channel(channel: &ReactorChannel, slab: &mut sys::BatchIo, counters: &IoCounters) {
+    let fd = channel.socket.as_raw_fd();
+    loop {
+        match slab.recv(fd) {
+            Ok(0) => break,
+            Ok(n) => {
+                let mut batch = Vec::with_capacity(n);
+                for i in 0..n {
+                    let (src, payload) = slab.datagram(i);
+                    batch.push(Datagram { src, dst: channel.local, payload: payload.to_vec() });
+                }
+                counters.record_recv_batch(n as u64);
+                (channel.sink)(batch);
+                if n < RECV_BATCH {
+                    // Short batch: the queue is (nearly) drained; one
+                    // more recvmmsg would most likely just cost EAGAIN.
+                    break;
+                }
+            }
+            Err(e) if sys::is_would_block(&e) => {
+                counters.recv_eagain.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(_) => break, // socket torn down
+        }
+    }
+}

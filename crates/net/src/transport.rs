@@ -28,7 +28,7 @@
 
 use std::collections::VecDeque;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -52,6 +52,72 @@ pub enum TransportKind {
 /// it must be cheap: hand the datagram off (e.g. enqueue it on a worker
 /// lane) and return.
 pub type TransportSink = Arc<dyn Fn(Datagram) + Send + Sync + 'static>;
+
+/// Callback receiving a *batch* of datagrams a bound channel heard in
+/// one reactor wakeup. For [`crate::BatchedTransport`] a batch is up to
+/// one `recvmmsg`'s worth; transports without native batching deliver
+/// singleton batches through the [`Transport::bind_batched`] default.
+pub type TransportBatchSink = Arc<dyn Fn(Vec<Datagram>) + Send + Sync + 'static>;
+
+/// Reactor/batch-I/O observability counters, snapshot by
+/// [`Transport::io_stats`]. Transports without a reactor report zeros
+/// (the [`Transport::io_stats`] default returns `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Reactor wakeups that found at least one ready channel.
+    pub reactor_wakeups: u64,
+    /// Histogram of datagrams drained per `recvmmsg` batch:
+    /// `[1, 2–7, 8–31, 32+]`.
+    pub recv_batch_hist: [u64; 4],
+    /// `sendmmsg` flushes issued (or logical flushes on the fallback).
+    pub batch_sends_flushed: u64,
+    /// `EAGAIN` results that terminated an edge-drain loop.
+    pub recv_eagain: u64,
+}
+
+impl IoStats {
+    /// Total recv batches across all histogram buckets.
+    pub fn recv_batches(&self) -> u64 {
+        self.recv_batch_hist.iter().sum()
+    }
+}
+
+/// Shared atomic backing for [`IoStats`]; written by the reactor (or
+/// the fallback recv threads) and snapshot on demand.
+#[derive(Default)]
+pub(crate) struct IoCounters {
+    pub(crate) wakeups: AtomicU64,
+    pub(crate) recv_batch_hist: [AtomicU64; 4],
+    pub(crate) batch_flushes: AtomicU64,
+    pub(crate) recv_eagain: AtomicU64,
+}
+
+impl IoCounters {
+    /// Buckets a recv batch of `n` datagrams into the histogram.
+    pub(crate) fn record_recv_batch(&self, n: u64) {
+        let idx = match n {
+            0..=1 => 0,
+            2..=7 => 1,
+            8..=31 => 2,
+            _ => 3,
+        };
+        self.recv_batch_hist[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> IoStats {
+        IoStats {
+            reactor_wakeups: self.wakeups.load(Ordering::Relaxed),
+            recv_batch_hist: [
+                self.recv_batch_hist[0].load(Ordering::Relaxed),
+                self.recv_batch_hist[1].load(Ordering::Relaxed),
+                self.recv_batch_hist[2].load(Ordering::Relaxed),
+                self.recv_batch_hist[3].load(Ordering::Relaxed),
+            ],
+            batch_sends_flushed: self.batch_flushes.load(Ordering::Relaxed),
+            recv_eagain: self.recv_eagain.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// What to bind: a protocol's detection tag.
 #[derive(Debug, Clone)]
@@ -91,6 +157,13 @@ pub trait TransportSocket: Send + Sync {
     fn multicast_ready(&self) -> bool {
         true
     }
+
+    /// Sends a batch of replies, returning how many went out. The
+    /// default loops [`TransportSocket::send_to`]; the batched
+    /// transport overrides it with one `sendmmsg` flush per call.
+    fn send_batch(&self, batch: &[(Vec<u8>, SocketAddrV4)]) -> usize {
+        batch.iter().filter(|(payload, dst)| self.send_to(payload, *dst).is_ok()).count()
+    }
 }
 
 /// A source of bound channels — the seam between the gateway front-end
@@ -117,12 +190,46 @@ pub trait Transport: Send + Sync {
     /// Bind failures, as for [`Transport::bind`].
     fn bind_client(&self, sink: TransportSink) -> NetResult<Arc<dyn TransportSocket>>;
 
+    /// Binds a channel like [`Transport::bind`], but delivers datagrams
+    /// in batches: everything drained in one reactor wakeup arrives in
+    /// a single sink call, so the caller can amortize per-batch work
+    /// (one worker-lane job per batch instead of per datagram). The
+    /// default wraps [`Transport::bind`] with singleton batches, which
+    /// keeps [`SimTransport`]'s deterministic FIFO semantics unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, as for [`Transport::bind`].
+    fn bind_batched(
+        &self,
+        spec: &BindSpec,
+        sink: TransportBatchSink,
+    ) -> NetResult<Arc<dyn TransportSocket>> {
+        self.bind(spec, Arc::new(move |dgram| sink(vec![dgram])))
+    }
+
+    /// Client-side twin of [`Transport::bind_batched`]: an ephemeral
+    /// port whose received datagrams arrive in batches.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, as for [`Transport::bind_client`].
+    fn bind_client_batched(&self, sink: TransportBatchSink) -> NetResult<Arc<dyn TransportSocket>> {
+        self.bind_client(Arc::new(move |dgram| sink(vec![dgram])))
+    }
+
     /// Maps a protocol's registered port to the port this transport
     /// actually serves it on (identity except for [`UdpTransport`]'s
     /// port offset). Use for every protocol-port destination; never for
     /// source addresses taken from received datagrams.
     fn map_port(&self, port: u16) -> u16 {
         port
+    }
+
+    /// Snapshot of reactor/batch-I/O counters, when this transport has
+    /// them. `None` for transports without a batching engine.
+    fn io_stats(&self) -> Option<IoStats> {
+        None
     }
 
     /// Stops every recv thread and closes every channel. Idempotent.
