@@ -13,12 +13,17 @@
 //! (one-in-flight latency plus a pipelined throughput phase) and the
 //! batched I/O engine's saturation storm over a `BatchedTransport`
 //! (≥100k warm hits/s on loopback is the full-mode gate). Both skip
-//! with a log line when the environment forbids binding.
+//! with a log line when the environment forbids binding. Pass
+//! `--hostile` for the hostile-world row: a fault-injected sim gateway
+//! (10% drop + 10% reorder both directions) gated on ≥80% warm-hit
+//! delivery through the client's retransmit state machine and on a
+//! bit-identical same-seed replay.
 
 use std::time::Duration;
 
 use indiss_bench::scenarios::{
-    request_storm, udp_batched_storm, udp_warm_hit, warm_hit_pipeline_bytes, warm_hit_scaling,
+    hostile_world, request_storm, udp_batched_storm, udp_warm_hit, warm_hit_pipeline_bytes,
+    warm_hit_scaling,
 };
 
 /// Bytes of allocator traffic per warm-hit bridged request measured on
@@ -32,6 +37,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let udp = args.iter().any(|a| a == "--udp");
+    let hostile = args.iter().any(|a| a == "--hostile");
     let max_workers: usize = args
         .iter()
         .position(|a| a == "--workers")
@@ -190,6 +196,54 @@ fn main() {
         }
     }
 
+    // The hostile-world row: the robustness layer's payoff gate. A
+    // fault-injected sim gateway (10% drop + 10% reorder, both
+    // directions) must still deliver >= 80% of warm hits through the
+    // client's retransmit state machine, and the same seed must replay
+    // the identical fault stream bit for bit.
+    let (hostile_requests, hostile_types) = if smoke { (48u64, 8) } else { (160u64, 8) };
+    let hostile_outcome = if hostile {
+        let first = hostile_world(1905, hostile_requests, hostile_types);
+        let replay = hostile_world(1905, hostile_requests, hostile_types);
+        println!(
+            "hostile-world storm ({} reqs x {} types, 10% drop + 10% reorder both ways)",
+            first.requests, hostile_types
+        );
+        println!(
+            "  delivered                     {} / {}  ({:.1}%)",
+            first.delivered,
+            first.requests,
+            first.delivery_rate * 100.0
+        );
+        println!("  retransmits issued            {}", first.retransmits);
+        println!("  datagrams heard               {}", first.datagrams_heard);
+        println!(
+            "  faults injected               drop {} / reorder {}",
+            first.faults.dropped, first.faults.reordered
+        );
+        println!("  replay digest                 {:#018X}", first.digest);
+        assert!(
+            first.delivery_rate >= 0.80,
+            "hostile-world regression: {:.1}% warm-hit delivery under 10% loss + reorder \
+             (gate: >= 80%)",
+            first.delivery_rate * 100.0
+        );
+        assert_eq!(
+            (first.digest, first.datagrams_heard, first.faults),
+            (replay.digest, replay.datagrams_heard, replay.faults),
+            "hostile-world replay diverged: the fault plan must be a pure function of its seed"
+        );
+        assert!(first.faults.dropped > 0, "hostile plan must actually drop: {:?}", first.faults);
+        assert!(
+            first.faults.reordered > 0,
+            "hostile plan must actually reorder: {:?}",
+            first.faults
+        );
+        Some(first)
+    } else {
+        None
+    };
+
     let scaling_json: Vec<String> = scaling
         .iter()
         .map(|p| {
@@ -249,6 +303,24 @@ fn main() {
         ),
         None => "null".to_owned(),
     };
+    let hostile_json = match &hostile_outcome {
+        Some(o) => format!(
+            concat!(
+                "{{ \"requests\": {}, \"delivered\": {}, \"delivery_rate\": {:.4}, ",
+                "\"retransmits\": {}, \"datagrams_heard\": {}, \"digest\": \"{:#018X}\", ",
+                "\"faults_dropped\": {}, \"faults_reordered\": {} }}"
+            ),
+            o.requests,
+            o.delivered,
+            o.delivery_rate,
+            o.retransmits,
+            o.datagrams_heard,
+            o.digest,
+            o.faults.dropped,
+            o.faults.reordered,
+        ),
+        None => "null".to_owned(),
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -276,7 +348,8 @@ fn main() {
             "  \"throughput_speedup_4_workers_vs_1\": {speedup},\n",
             "  \"throughput_speedup_8_workers_vs_4\": {speedup8},\n",
             "  \"udp_warm_hit\": {udp_row},\n",
-            "  \"udp_batched\": {batched_row}\n",
+            "  \"udp_batched\": {batched_row},\n",
+            "  \"hostile_world\": {hostile_row}\n",
             "}}\n",
         ),
         smoke = smoke,
@@ -303,6 +376,7 @@ fn main() {
         speedup8 = speedup_8v4.map_or("null".to_owned(), |s| format!("{s:.2}")),
         udp_row = udp_json,
         batched_row = batched_json,
+        hostile_row = hostile_json,
     );
     std::fs::write("BENCH_storm.json", &json).expect("write BENCH_storm.json");
     println!("\nwrote BENCH_storm.json");

@@ -1240,3 +1240,168 @@ pub fn warm_hit_scaling(
         cache_hits: hits.load(Ordering::Relaxed),
     }
 }
+
+/// Outcome of the hostile-world storm ([`hostile_world`]): a
+/// fault-injected gateway run plus everything the `--hostile` gate
+/// compares across same-seed replays.
+#[derive(Debug, Clone)]
+pub struct HostileOutcome {
+    /// Distinct warm-hit requests the client tried to complete.
+    pub requests: u64,
+    /// Requests for which at least one matching reply arrived within
+    /// the retransmit budget.
+    pub delivered: u64,
+    /// `delivered / requests` — the ≥ 80 % gate under 10 % loss + 10 %
+    /// reorder in both directions.
+    pub delivery_rate: f64,
+    /// Retransmissions the client's per-query state machine issued.
+    pub retransmits: u64,
+    /// Total datagrams the client lane delivered (replies, duplicates
+    /// and reorder-flushed stragglers included).
+    pub datagrams_heard: u64,
+    /// FNV-1a fold over every heard payload in arrival order: the
+    /// replay fingerprint two same-seed runs must agree on.
+    pub digest: u64,
+    /// The injected-fault counters, which must also replay exactly.
+    pub faults: indiss_net::FaultStats,
+}
+
+/// The hostile-world storm: a warm [`indiss_core::NetDriver`] gateway
+/// behind a [`indiss_net::FaultTransport`] running
+/// [`indiss_net::FaultPlan::hostile`] (10 % drop + 10 % swap-with-next
+/// reorder on every lane, requests and replies alike), hammered by a
+/// client whose per-query retransmit state machine mirrors the
+/// runtime's [`indiss_core::BridgeStats`] tracker: send, wait
+/// `timeout`, retransmit up to `retries` times, give up.
+///
+/// Everything is deterministic by construction — the fault plan draws
+/// from `(seed, lane, arrival index)` and the client runs strictly one
+/// request in flight — so two calls with the same `seed` must return
+/// the same [`HostileOutcome::digest`] and the same fault counters;
+/// the wall-clock timeout only fires when a fault actually swallowed
+/// or stalled a datagram, never as a race against the warm path's
+/// microsecond processing.
+pub fn hostile_world(seed: u64, requests: u64, distinct_types: usize) -> HostileOutcome {
+    use indiss_core::{Event, EventStream, NetDriver, SdpProtocol};
+    use indiss_net::{Datagram, FaultPlan, FaultTransport, SimTransport, Transport};
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    // Generous against scheduler noise, small against total runtime:
+    // a warm hit over SimTransport completes in microseconds, so a
+    // timeout only ever means a dropped/stashed datagram.
+    const ATTEMPT_TIMEOUT: Duration = Duration::from_millis(100);
+    const RETRIES: u32 = 3;
+
+    let distinct_types = distinct_types.max(1);
+    let transport: Arc<dyn Transport> =
+        Arc::new(FaultTransport::wrap(Arc::new(SimTransport::new()), FaultPlan::hostile(seed)));
+    let driver = NetDriver::builder(
+        IndissConfig::builder().slp().cache_ttl(Duration::from_secs(3600)).build(),
+    )
+    .transport(Arc::clone(&transport))
+    .start()
+    .expect("sim-backed driver always starts");
+    let slp_addr = driver.channel_addr(SdpProtocol::Slp).expect("slp channel");
+    let now = driver.now();
+    let registry = driver.registry();
+    let mut wires: Vec<Vec<u8>> = Vec::with_capacity(distinct_types);
+    for i in 0..distinct_types {
+        let ty = format!("hostile-{i}");
+        registry.warm(
+            ty.as_str(),
+            EventStream::framed(vec![
+                Event::ServiceResponse,
+                Event::ResOk,
+                Event::ServiceType(ty.as_str().into()),
+                Event::ResTtl(1800),
+                Event::ResServUrl(format!("soap://10.0.0.2:4004/{ty}/control")),
+            ]),
+            now,
+        );
+        wires.push(
+            indiss_slp::Message::new(
+                indiss_slp::Header::new(
+                    indiss_slp::FunctionId::SrvRqst,
+                    0, // rewritten per request below
+                    indiss_slp::DEFAULT_LANG,
+                ),
+                indiss_slp::Body::SrvRqst(indiss_slp::SrvRqst {
+                    prlist: String::new(),
+                    service_type: format!("service:{ty}"),
+                    scopes: "DEFAULT".into(),
+                    predicate: String::new(),
+                    spi: String::new(),
+                }),
+            )
+            .encode()
+            .expect("encodable"),
+        );
+    }
+
+    let (tx, rx) = mpsc::channel::<Datagram>();
+    let client = transport
+        .bind_client(Arc::new(move |d: Datagram| {
+            let _ = tx.send(d);
+        }))
+        .expect("sim client always binds");
+
+    let mut digest = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
+    let mut fold = |payload: &[u8]| {
+        for &b in payload {
+            digest = (digest ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        digest = (digest ^ 0xFF).wrapping_mul(0x0000_0100_0000_01B3); // frame separator
+    };
+    let mut delivered = 0u64;
+    let mut retransmits = 0u64;
+    let mut heard = 0u64;
+    for r in 0..requests {
+        let xid = (r % 60_000) as u16;
+        let mut wire = wires[(r as usize) % distinct_types].clone();
+        // XID lives at header bytes 10..12 (RFC 2608 layout).
+        wire[10..12].copy_from_slice(&xid.to_be_bytes());
+        let mut got_reply = false;
+        'attempts: for attempt in 0..=RETRIES {
+            if attempt > 0 {
+                retransmits += 1;
+            }
+            if client.send_to(&wire, slp_addr).is_err() {
+                continue;
+            }
+            let deadline = std::time::Instant::now() + ATTEMPT_TIMEOUT;
+            loop {
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                let Ok(dgram) = rx.recv_timeout(left) else { break };
+                heard += 1;
+                fold(&dgram.payload);
+                let is_mine =
+                    indiss_slp::Message::decode(&dgram.payload).is_ok_and(|m| m.header.xid == xid);
+                if is_mine {
+                    got_reply = true;
+                    break 'attempts;
+                }
+            }
+        }
+        if got_reply {
+            delivered += 1;
+        }
+    }
+    // Let reorder-stashed stragglers from the tail flush into the
+    // digest, so the fingerprint covers the whole fault stream.
+    while let Ok(dgram) = rx.recv_timeout(ATTEMPT_TIMEOUT) {
+        heard += 1;
+        fold(&dgram.payload);
+    }
+    let faults = transport.io_stats().expect("fault transport reports").faults;
+    driver.shutdown();
+    HostileOutcome {
+        requests,
+        delivered,
+        delivery_rate: delivered as f64 / requests.max(1) as f64,
+        retransmits,
+        datagrams_heard: heard,
+        digest,
+        faults,
+    }
+}

@@ -153,6 +153,17 @@ pub struct IndissConfig {
     /// privileged discovery ports and parallel tests avoid colliding.
     /// Zero (the default) serves the real IANA ports.
     pub port_offset: u16,
+    /// How long a bridged cold-path query waits for the first unit
+    /// answer before the runtime retries the fan-out. Each retry
+    /// doubles the wait (capped at 8× the initial timeout), with a
+    /// small deterministic jitter so synchronized gateways do not
+    /// retransmit in lockstep.
+    pub query_timeout: Duration,
+    /// How many times an unanswered fan-out is retried before the
+    /// runtime degrades gracefully (a stale registry answer when one
+    /// exists, a negative reply otherwise). Zero disables retries:
+    /// the deadline then only bounds how long the requester waits.
+    pub query_retries: u32,
 }
 
 impl IndissConfig {
@@ -174,6 +185,8 @@ impl IndissConfig {
             transport: TransportKind::Sim,
             bind: Ipv4Addr::LOCALHOST,
             port_offset: 0,
+            query_timeout: Duration::from_millis(500),
+            query_retries: 2,
         }
     }
 
@@ -303,6 +316,20 @@ impl IndissConfig {
     /// Shifts every protocol port served by the UDP transport.
     pub fn with_port_offset(mut self, offset: u16) -> Self {
         self.port_offset = offset;
+        self
+    }
+
+    /// Sets the cold-path query timeout (the per-attempt deadline the
+    /// retry state machine arms).
+    pub fn with_query_timeout(mut self, timeout: Duration) -> Self {
+        self.query_timeout = timeout;
+        self
+    }
+
+    /// Sets how many times an unanswered fan-out is retried before
+    /// degrading.
+    pub fn with_query_retries(mut self, retries: u32) -> Self {
+        self.query_retries = retries;
         self
     }
 
@@ -474,6 +501,20 @@ impl IndissConfigBuilder {
     /// Shifts every protocol port served by the UDP transport.
     pub fn port_offset(mut self, offset: u16) -> Self {
         self.config.port_offset = offset;
+        self
+    }
+
+    /// Sets the cold-path query timeout (the per-attempt deadline the
+    /// retry state machine arms).
+    pub fn query_timeout(mut self, timeout: Duration) -> Self {
+        self.config.query_timeout = timeout;
+        self
+    }
+
+    /// Sets how many times an unanswered fan-out is retried before
+    /// degrading.
+    pub fn query_retries(mut self, retries: u32) -> Self {
+        self.config.query_retries = retries;
         self
     }
 

@@ -42,6 +42,9 @@ pub struct BridgeCounters {
     pub(crate) adverts_recorded: AtomicU64,
     pub(crate) adverts_translated: AtomicU64,
     pub(crate) requests_suppressed: AtomicU64,
+    pub(crate) queries_retried: AtomicU64,
+    pub(crate) queries_exhausted: AtomicU64,
+    pub(crate) stale_served: AtomicU64,
 }
 
 impl BridgeCounters {
@@ -71,6 +74,18 @@ impl BridgeCounters {
         self.requests_suppressed.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_queries_retried(&self) {
+        self.queries_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_queries_exhausted(&self) {
+        self.queries_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_stale_served(&self) {
+        self.stale_served.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Folds these counters with `registry`'s per-shard counters into
     /// the public [`BridgeStats`] snapshot.
     pub(crate) fn snapshot(&self, registry: &ServiceRegistry) -> BridgeStats {
@@ -81,6 +96,9 @@ impl BridgeCounters {
             adverts_recorded: self.adverts_recorded.load(Ordering::Relaxed),
             adverts_translated: self.adverts_translated.load(Ordering::Relaxed),
             requests_suppressed: self.requests_suppressed.load(Ordering::Relaxed),
+            queries_retried: self.queries_retried.load(Ordering::Relaxed),
+            queries_exhausted: self.queries_exhausted.load(Ordering::Relaxed),
+            stale_served: self.stale_served.load(Ordering::Relaxed),
             cache_hits: reg.cache_hits,
             cache_misses: reg.cache_misses,
             cache_evictions: reg.cache_evictions,

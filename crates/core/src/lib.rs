@@ -104,6 +104,8 @@ mod config_lang;
 mod error;
 mod event;
 mod fsm;
+#[cfg(test)]
+mod fuzz_tests;
 mod gateway;
 mod monitor;
 mod netfront;
@@ -112,6 +114,7 @@ mod protocol;
 mod registry;
 mod runtime;
 mod symbol;
+mod tracker;
 mod units;
 
 pub use adapt::{AdaptationPolicy, DiscoveryMode};

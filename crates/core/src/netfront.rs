@@ -64,8 +64,8 @@ use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use indiss_net::{
-    BindSpec, Datagram, SimTime, SimTransport, Transport, TransportKind, TransportSocket,
-    UdpTransport,
+    BindSpec, Datagram, FaultStats, SimTime, SimTransport, Transport, TransportKind,
+    TransportSocket, UdpTransport,
 };
 use indiss_upnp::DeviceDescription;
 
@@ -260,6 +260,7 @@ struct FrontCounters {
     adverts_seen: AtomicU64,
     descriptions_fetched: AtomicU64,
     decode_rejected: AtomicU64,
+    multicast_join_misses: AtomicU64,
 }
 
 /// A snapshot of the wire front-end's own counters. Bridge-level
@@ -298,6 +299,15 @@ pub struct NetFrontStats {
     /// Reads that found the socket drained (`EAGAIN`) — the reactor's
     /// edge-triggered loop terminator.
     pub recv_eagain: u64,
+    /// Channels whose socket bound but could not join its protocol's
+    /// multicast groups ([`TransportSocket::multicast_ready`] false):
+    /// the channel still serves unicast, but passively detecting that
+    /// protocol's multicast chatter will not work. Counted (and logged)
+    /// once per channel at bind time.
+    pub multicast_join_misses: u64,
+    /// Faults an [`indiss_net::FaultTransport`] in front of this driver
+    /// injected (all-zero when no fault layer is armed).
+    pub faults: FaultStats,
 }
 
 // ---------------------------------------------------------------------
@@ -511,6 +521,20 @@ impl NetDriver {
                     return Err(e.into());
                 }
             };
+            if !spec.groups.is_empty() && !socket.multicast_ready() {
+                // Once per channel, at bind time: the socket serves
+                // unicast, but this protocol's multicast detection is
+                // blind — worth a counter *and* a line in the log,
+                // because the symptom (a silent channel) shows up far
+                // from the cause (a host without multicast routes).
+                inner.counters.multicast_join_misses.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "indiss-net-front: channel {:?} bound {} but joined no multicast group; \
+                     passive detection of multicast traffic is disabled for it",
+                    channel.protocol,
+                    socket.local_addr(),
+                );
+            }
             channel.socket.set(socket).ok().expect("channel socket set once");
         }
         Ok(NetDriver { inner })
@@ -684,6 +708,8 @@ impl NetDriver {
             recv_batch_hist: io.recv_batch_hist,
             batch_sends_flushed: io.batch_sends_flushed,
             recv_eagain: io.recv_eagain,
+            multicast_join_misses: c.multicast_join_misses.load(Ordering::Relaxed),
+            faults: io.faults,
         }
     }
 
@@ -1143,6 +1169,8 @@ mod tests {
         assert_eq!(stats.recv_batch_hist, [0; 4]);
         assert_eq!(stats.batch_sends_flushed, 0);
         assert_eq!(stats.recv_eagain, 0);
+        assert_eq!(stats.faults.total(), 0, "no fault layer armed");
+        assert_eq!(stats.multicast_join_misses, 0, "sim sockets always join");
         driver.shutdown();
     }
 

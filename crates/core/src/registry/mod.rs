@@ -66,7 +66,7 @@ use std::time::Duration;
 
 use indiss_net::SimTime;
 
-use crate::event::{EventStream, SdpProtocol, Symbol};
+use crate::event::{Event, EventStream, SdpProtocol, Symbol};
 use epoch::EpochPtr;
 use expiry::Target;
 use index::InsertOutcome;
@@ -439,6 +439,33 @@ impl ServiceRegistry {
                 None
             }
         }
+    }
+
+    /// Degraded-mode read: the best *stale* answer the registry still
+    /// holds for this type, TTLs ignored. Prefers the cached response
+    /// (even one past its TTL, as long as no sweep reclaimed it) and
+    /// falls back to synthesizing a response from the most recently
+    /// refreshed service record of the type, expired or not. The
+    /// synthesized stream carries a short TTL so a requester does not
+    /// hold stale knowledge long. Touches no counters and no LRU
+    /// recency — the retry state machine accounts the degradation
+    /// itself ([`crate::BridgeStats::stale_served`]).
+    pub fn stale_response(&self, canonical_type: impl Into<Symbol>) -> Option<EventStream> {
+        const STALE_TTL_SECS: u32 = 30;
+        let key = canonical_type.into();
+        let shard = self.shard_for(&key);
+        if let Some(entry) = shard.cache.peek(&key) {
+            return Some(entry.response.clone());
+        }
+        let record = shard.store.of_type(key.clone()).max_by_key(|r| r.refreshed_at())?;
+        let mut body = vec![
+            Event::ServiceResponse,
+            Event::ResOk,
+            Event::ServiceType(record.canonical_type_symbol()),
+            Event::ResTtl(STALE_TTL_SECS),
+        ];
+        body.push(Event::ResServUrl(record.endpoint()?.to_owned()));
+        Some(EventStream::framed(body))
     }
 
     /// True when a live cache entry exists for this type (does not touch

@@ -20,7 +20,6 @@
 //! shared [`ServiceRegistry`]; the runtime drives its TTL sweeps from
 //! virtual-time timers so expiry stays deterministic.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::{Arc, Mutex, MutexGuard, Weak};
@@ -63,6 +62,16 @@ pub struct BridgeStats {
     /// Requests dropped by the suppression window (multi-bridge loop
     /// protection).
     pub requests_suppressed: u64,
+    /// Fan-out attempts re-issued because the per-query deadline fired
+    /// with no unit answer (each retry of one query counts once).
+    pub queries_retried: u64,
+    /// Queries that exhausted every retry without a unit answer and
+    /// were degraded (a stale registry answer or a negative reply).
+    pub queries_exhausted: u64,
+    /// Exhausted queries answered from stale registry knowledge
+    /// ([`crate::ServiceRegistry::stale_response`]) instead of a
+    /// negative reply.
+    pub stale_served: u64,
     /// Service records dropped because their TTL elapsed.
     pub records_expired: u64,
     /// Service records evicted by the registry capacity bound.
@@ -357,7 +366,15 @@ impl Indiss {
         custom_reply: Option<Completion<EventStream>>,
     ) {
         let now = world.now();
-        let (registry, counters, units, enable_cache, suppress_window) = {
+        let (
+            registry,
+            counters,
+            units,
+            enable_cache,
+            suppress_window,
+            query_timeout,
+            query_retries,
+        ) = {
             let inner = self.inner();
             let units: Vec<(SdpProtocol, Rc<dyn Unit>)> = inner
                 .units
@@ -371,6 +388,8 @@ impl Indiss {
                 units,
                 inner.config.enable_cache,
                 inner.config.suppress_window,
+                inner.config.query_timeout,
+                inner.config.query_retries,
             )
         };
 
@@ -403,29 +422,23 @@ impl Indiss {
             return;
         }
 
-        // The winner: first response stream carrying a service URL.
+        // The winner: first response stream carrying a service URL. The
+        // fan-out itself — with its per-attempt deadline, bounded
+        // retries and graceful degradation — is the QueryTracker's
+        // state machine; this subscriber is the query's single exit.
         let winner: Completion<EventStream> = Completion::new();
-        let expected = units.len();
-        let failures = Rc::new(RefCell::new(0usize));
-        for (_, unit) in units {
-            let reply: Completion<EventStream> = Completion::new();
-            unit.execute_query(world, &request, reply.clone());
-            let winner2 = winner.clone();
-            let failures2 = Rc::clone(&failures);
-            reply.subscribe(move |response| {
-                if response.service_url().is_some() {
-                    winner2.complete(response);
-                } else {
-                    let mut f = failures2.borrow_mut();
-                    *f += 1;
-                    if *f == expected {
-                        // All units failed: deliver the error stream so
-                        // custom repliers (Jini) can answer "nothing".
-                        winner2.complete(response);
-                    }
-                }
-            });
-        }
+        let tracker = crate::tracker::QueryTracker::new(
+            origin,
+            request.clone(),
+            stype.clone(),
+            units,
+            registry.clone(),
+            Arc::clone(&counters),
+            winner.clone(),
+            query_timeout,
+            query_retries,
+        );
+        tracker.start(world);
 
         let this = self.clone();
         let world2 = world.clone();
@@ -924,5 +937,124 @@ mod tests {
         // the store bounded rather than waiting out the TTL here — the
         // dedicated registry tests cover exact expiry timing.
         assert!(registry.record_count() <= registry.config().advert_capacity);
+    }
+
+    /// A unit whose native query process never answers — the simulated
+    /// stand-in for a hostile network that eats every query or reply.
+    struct SilentUnit;
+
+    impl Unit for SilentUnit {
+        fn protocol(&self) -> SdpProtocol {
+            SdpProtocol::Upnp
+        }
+        fn parse(&self, _world: &World, _dgram: &Datagram) -> ParsedMessage {
+            ParsedMessage::NotRelevant
+        }
+        fn execute_query(
+            &self,
+            _world: &World,
+            _request: &EventStream,
+            _reply: Completion<EventStream>,
+        ) {
+            // Swallow the query; the reply completion is dropped
+            // uncompleted, exactly like a lost datagram.
+        }
+        fn compose_response(&self, _world: &World, _request: &EventStream, _resp: &EventStream) {}
+        fn compose_advert(&self, _world: &World, _advert: &EventStream) {}
+        fn own_sources(&self) -> Vec<std::net::SocketAddrV4> {
+            Vec::new()
+        }
+    }
+
+    struct SilentFactory;
+
+    impl crate::units::UnitFactory for SilentFactory {
+        fn protocol(&self) -> SdpProtocol {
+            SdpProtocol::Upnp
+        }
+        fn build(&self, _ctx: &crate::units::UnitContext) -> CoreResult<Rc<dyn Unit>> {
+            Ok(Rc::new(SilentUnit))
+        }
+    }
+
+    fn hostile_config(timeout: Duration, retries: u32) -> IndissConfig {
+        IndissConfig::builder()
+            .slp()
+            .custom(Rc::new(SilentFactory))
+            .query_timeout(timeout)
+            .query_retries(retries)
+            // One tracker per test request: keep SLP retransmissions of
+            // the same round inside the suppression window.
+            .suppress_window(Duration::from_secs(5))
+            .build()
+    }
+
+    /// The QueryTracker's unhappy path end to end: a fan-out whose only
+    /// foreign unit never answers is retried with backoff, exhausts its
+    /// budget, and — with nothing stale to fall back on — terminates
+    /// with a negative answer instead of hanging. Every stage counted.
+    #[test]
+    fn silent_fanout_is_retried_then_degrades_to_a_negative_answer() {
+        let world = World::new(90);
+        let gw = world.add_node("gateway");
+        let client_node = world.add_node("slp-client");
+        let indiss = Indiss::deploy(&gw, hostile_config(Duration::from_millis(50), 2)).unwrap();
+        let ua = UserAgent::start(&client_node, SlpConfig::default()).unwrap();
+
+        let (_first, done) = ua.find_services(&world, "service:ghost", "");
+        world.run_for(Duration::from_secs(3));
+        assert!(done.take().expect("round terminated").urls.is_empty());
+        let stats = indiss.stats();
+        assert_eq!(stats.requests_bridged, 1, "{stats:?}");
+        assert_eq!(stats.queries_retried, 2, "both retries spent: {stats:?}");
+        assert_eq!(stats.queries_exhausted, 1, "{stats:?}");
+        assert_eq!(stats.stale_served, 0, "nothing stale to serve: {stats:?}");
+        // The degraded (negative) outcome still armed the negative
+        // cache (swept later, once its TTL lapsed), so a storm during
+        // the outage stops fanning out.
+        assert!(indiss.registry().stats().negative_stored >= 1, "negative memory armed");
+    }
+
+    /// Graceful degradation with stale knowledge: when retries exhaust
+    /// but an expired registry record for the type survives, the query
+    /// is answered from it — and the answer re-warms the cache so the
+    /// next request is a warm hit, not another retry ladder.
+    #[test]
+    fn exhausted_query_serves_a_stale_record() {
+        let world = World::new(91);
+        let gw = world.add_node("gateway");
+        let client_node = world.add_node("slp-client");
+        let indiss = Indiss::deploy(&gw, hostile_config(Duration::from_millis(50), 1)).unwrap();
+        let ua = UserAgent::start(&client_node, SlpConfig::default()).unwrap();
+
+        // A clock was known once; its record's one-second TTL lapses
+        // long before the request (no sweep runs, so the stale record
+        // survives in the store).
+        indiss.registry().record_advert(
+            SdpProtocol::Upnp,
+            &EventStream::framed(vec![
+                Event::ServiceAlive,
+                Event::ServiceType("clock".into()),
+                Event::ResServUrl("soap://10.0.0.2:4004/service/timer/control".into()),
+                Event::ResTtl(1),
+            ]),
+            world.now(),
+        );
+        world.run_for(Duration::from_secs(2));
+        assert!(!indiss.registry().contains_type("clock", world.now()), "record is stale");
+
+        let (_first, done) = ua.find_services(&world, "service:clock", "");
+        world.run_for(Duration::from_secs(3));
+        let outcome = done.take().expect("round terminated");
+        assert_eq!(outcome.urls.len(), 1, "stale answer delivered");
+        assert!(outcome.urls[0].url.ends_with("/service/timer/control"));
+        let stats = indiss.stats();
+        assert_eq!(stats.queries_exhausted, 1, "{stats:?}");
+        assert_eq!(stats.stale_served, 1, "{stats:?}");
+        assert_eq!(stats.responses_composed, 1, "{stats:?}");
+        assert!(
+            indiss.registry().cache_contains("clock", world.now()),
+            "serve-stale re-warmed the cache"
+        );
     }
 }

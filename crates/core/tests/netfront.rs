@@ -186,10 +186,11 @@ fn sim_and_udp_runs_are_byte_identical() {
 
 /// The same parity bar for the batched I/O engine: substituting
 /// [`BatchedTransport`] (reactor + `recvmmsg`/`sendmmsg` where
-/// available) under the same script must change *nothing* observable —
-/// byte-identical composed messages, identical registry and bridge
-/// state — while its reactor counters prove the batching engine
-/// actually carried the traffic.
+/// available, portable thread-per-channel fallback under
+/// `--no-default-features`) under the same script must change
+/// *nothing* observable — byte-identical composed messages, identical
+/// registry and bridge state — while its counters prove the selected
+/// engine actually carried the traffic.
 #[test]
 fn batched_transport_run_is_byte_identical_too() {
     let sim = run_script(Arc::new(SimTransport::new()));
@@ -203,13 +204,22 @@ fn batched_transport_run_is_byte_identical_too() {
     assert_eq!(sim, batched, "batched engine leaked into semantics");
 
     // The engine's own counters (surfaced through the same seam as
-    // NetFrontStats): the script's datagrams arrived via reactor
-    // wakeups and batch receives, and both composed replies were
-    // flushed through `send_batch`.
+    // NetFrontStats). The `io_stats()` surface is identical in both
+    // builds; which counters move tells us which engine ran.
     let io = transport.io_stats().expect("batched transport has IO stats");
-    assert!(io.reactor_wakeups >= 1, "no reactor wakeups recorded: {io:?}");
+    assert!(io.reactor_wakeups >= 1, "no engine wakeups recorded: {io:?}");
     assert!(io.recv_batches() >= 3, "script traffic should span ≥3 recv batches: {io:?}");
     assert!(io.batch_sends_flushed >= 2, "two replies ⇒ ≥2 batch flushes: {io:?}");
+    assert_eq!(io.faults.total(), 0, "no fault injector in the parity script: {io:?}");
+    // The portable fallback delivers strictly singleton batches, so any
+    // entry in a larger histogram bucket means the feature gate leaked
+    // native batching into the `--no-default-features` build.
+    #[cfg(not(feature = "epoll"))]
+    assert_eq!(
+        io.recv_batch_hist[1..],
+        [0, 0, 0],
+        "fallback receives one datagram at a time: {io:?}"
+    );
 }
 
 /// Passive port-detection of a *descriptor* protocol from live packets

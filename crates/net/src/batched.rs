@@ -48,6 +48,16 @@ struct BatchedShared {
 impl Drop for BatchedShared {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        // On the reactor path a full shutdown is safe here (the reactor
+        // thread holds no Arc to this block) and prompt: the wake
+        // eventfd kicks `epoll_wait` instead of waiting out its
+        // timeout. Fallback recv threads only watch the flag.
+        #[cfg(all(target_os = "linux", feature = "epoll"))]
+        if let Ok(mut guard) = self.reactor.lock() {
+            if let Some(reactor) = guard.take() {
+                reactor.shutdown();
+            }
+        }
     }
 }
 
@@ -431,6 +441,30 @@ mod tests {
             }
         }
         retry.shutdown();
+    }
+
+    /// Shutdown must not wait out the reactor's poll timeout: the wake
+    /// eventfd (or the fallback threads' short recv timeout) bounds the
+    /// join far below the 500 ms `epoll_wait` tick.
+    #[test]
+    fn shutdown_joins_well_under_the_poll_tick() {
+        let transport = BatchedTransport::with_offset(23_700);
+        if transport
+            .bind_batched(&BindSpec { port: 427, groups: vec![] }, Arc::new(|_| {}))
+            .is_err()
+        {
+            eprintln!("skipping shutdown_joins_well_under_the_poll_tick: no loopback bind");
+            return;
+        }
+        // Let the reactor (or fallback thread) settle into its wait.
+        std::thread::sleep(Duration::from_millis(50));
+        let started = std::time::Instant::now();
+        transport.shutdown();
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(250),
+            "shutdown waited out the poll tick: {elapsed:?}"
+        );
     }
 
     #[test]

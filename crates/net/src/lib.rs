@@ -56,6 +56,7 @@
 mod batched;
 mod completion;
 mod error;
+mod fault;
 mod latency;
 mod meter;
 mod node;
@@ -73,6 +74,7 @@ mod world;
 pub use batched::BatchedTransport;
 pub use completion::{Collector, Completion};
 pub use error::{NetError, NetResult};
+pub use fault::{FaultPlan, FaultTransport};
 pub use latency::LinkConfig;
 pub use meter::{MeterRecord, MeterTransport, TrafficMeter};
 pub use node::{Node, NodeId};
@@ -80,8 +82,8 @@ pub use tcp::{TcpListener, TcpListenerId, TcpStream, TcpStreamId};
 pub use time::SimTime;
 pub use trace::{PacketTrace, TraceEntry, TraceOutcome};
 pub use transport::{
-    BindSpec, IoStats, SimTransport, Transport, TransportBatchSink, TransportKind, TransportSink,
-    TransportSocket, UdpTransport,
+    BindSpec, FaultStats, IoStats, SimTransport, Transport, TransportBatchSink, TransportKind,
+    TransportSink, TransportSocket, UdpTransport,
 };
 pub use udp::{Datagram, UdpSocket, UdpSocketId};
 pub use world::{World, WorldConfig};

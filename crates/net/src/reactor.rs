@@ -10,10 +10,11 @@
 //! with `sendmmsg` directly on the socket ([`crate::sys::send_batch`]),
 //! so the reactor thread is receive-only and never blocks on sends.
 //!
-//! Shutdown mirrors [`crate::UdpTransport`]: `epoll_wait` uses a short
-//! timeout ([`WAIT_POLL_MS`]) and re-checks a stop flag, so dropping
-//! the transport without `shutdown()` still stops the thread within
-//! one poll interval.
+//! Shutdown is explicit: an [`sys::EventFd`] registered alongside the
+//! sockets lets [`Reactor::shutdown`] (and channel registration) wake
+//! `epoll_wait` immediately, so `drop` joins in microseconds instead
+//! of waiting out a poll tick. The [`WAIT_POLL_MS`] timeout remains
+//! only as a belt-and-braces re-check of the stop flag.
 
 use std::collections::HashMap;
 use std::net::SocketAddrV4;
@@ -30,8 +31,12 @@ pub(crate) const RECV_BATCH: usize = 64;
 /// Per-datagram buffer size; SDP discovery messages are far below an
 /// Ethernet MTU, but descriptor payloads can approach it.
 const RECV_BUF: usize = 2048;
-/// `epoll_wait` timeout between stop-flag checks.
-const WAIT_POLL_MS: i32 = 25;
+/// `epoll_wait` timeout between stop-flag checks. Long, because the
+/// wake eventfd — not this timeout — is what makes shutdown and
+/// registration prompt; the timeout only bounds a lost wakeup.
+const WAIT_POLL_MS: i32 = 500;
+/// Reserved epoll token of the wake eventfd (no socket fd can be it).
+const WAKE_TOKEN: u64 = u64::MAX;
 /// Kernel queue size requested per socket: a loopback flood at 100k+
 /// datagrams/s overruns the ~208 KiB default between wakeups.
 pub(crate) const SOCKET_BUF: usize = 1 << 21;
@@ -49,6 +54,8 @@ struct ReactorShared {
     /// iteration so `epoll_ctl(ADD)` races nothing.
     pending: Mutex<Vec<RawFd>>,
     counters: Arc<IoCounters>,
+    /// Wakes `epoll_wait` from any thread (shutdown, registration).
+    wake: sys::EventFd,
 }
 
 /// Handle to the reactor thread. Registering a channel makes its
@@ -65,13 +72,16 @@ impl Reactor {
         stop: Arc<AtomicBool>,
         counters: Arc<IoCounters>,
     ) -> std::io::Result<Reactor> {
+        let wake = sys::EventFd::new()?;
+        let epoll = sys::Epoll::new(64)?;
+        epoll.add_edge_in(wake.raw(), WAKE_TOKEN)?;
         let shared = Arc::new(ReactorShared {
             stop,
             channels: Mutex::new(HashMap::new()),
             pending: Mutex::new(Vec::new()),
             counters,
+            wake,
         });
-        let epoll = sys::Epoll::new(64)?;
         let run_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
             .name("indiss-reactor".into())
@@ -96,12 +106,17 @@ impl Reactor {
             .expect("reactor channels poisoned")
             .insert(fd as u64, Arc::new(ReactorChannel { socket, local, sink }));
         self.shared.pending.lock().expect("reactor pending poisoned").push(fd);
+        // Wake the loop so the new channel is polled immediately
+        // instead of after the current epoll_wait times out.
+        self.shared.wake.signal();
         Ok(())
     }
 
-    /// Raises the stop flag and joins the reactor thread. Idempotent.
+    /// Raises the stop flag, wakes the loop and joins the reactor
+    /// thread. Idempotent.
     pub(crate) fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.wake.signal();
         if let Some(handle) = self.thread.lock().expect("reactor thread poisoned").take() {
             let _ = handle.join();
         }
@@ -127,8 +142,19 @@ fn run(shared: &ReactorShared, mut epoll: sys::Epoll) {
         if tokens.is_empty() {
             continue; // timeout: re-check stop flag
         }
+        if tokens.contains(&WAKE_TOKEN) {
+            // Reset the counter so the next signal's edge fires; the
+            // stop flag / pending list carry the actual message.
+            shared.wake.drain();
+        }
+        if tokens.iter().all(|&t| t == WAKE_TOKEN) {
+            continue; // pure wake: no socket readiness to drain
+        }
         counters.wakeups.fetch_add(1, Ordering::Relaxed);
         for token in tokens {
+            if token == WAKE_TOKEN {
+                continue;
+            }
             let channel = {
                 let map = shared.channels.lock().expect("reactor channels poisoned");
                 match map.get(&token) {

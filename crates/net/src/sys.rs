@@ -91,8 +91,14 @@ struct SockAddrIn {
     sin_zero: [u8; 8],
 }
 
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
 extern "C" {
     fn epoll_create1(flags: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
     fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
     fn close(fd: c_int) -> c_int;
@@ -188,6 +194,50 @@ impl Epoll {
 }
 
 impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+// -- eventfd ----------------------------------------------------------
+
+/// A kernel event counter the reactor registers alongside its sockets,
+/// so a [`EventFd::signal`] from any thread wakes `epoll_wait`
+/// immediately — shutdown and channel registration no longer wait out
+/// the poll timeout.
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// A nonblocking, close-on-exec eventfd with a zero counter.
+    pub fn new() -> io::Result<EventFd> {
+        let fd = check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }, "eventfd")?;
+        Ok(EventFd { fd })
+    }
+
+    /// The raw fd, for epoll registration.
+    pub fn raw(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Adds 1 to the counter, marking the fd readable. Best-effort:
+    /// a full counter (u64::MAX-1 pending signals) still wakes.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        let _ = unsafe { write(self.fd, (&one as *const u64).cast::<c_void>(), 8) };
+    }
+
+    /// Resets the counter so the edge can fire again. Best-effort.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        let _ = unsafe { read(self.fd, (&mut buf as *mut u64).cast::<c_void>(), 8) };
+    }
+}
+
+impl Drop for EventFd {
     fn drop(&mut self) {
         unsafe {
             close(self.fd);

@@ -59,6 +59,37 @@ pub type TransportSink = Arc<dyn Fn(Datagram) + Send + Sync + 'static>;
 /// singleton batches through the [`Transport::bind_batched`] default.
 pub type TransportBatchSink = Arc<dyn Fn(Vec<Datagram>) + Send + Sync + 'static>;
 
+/// Injected-fault counters, one per fault class a
+/// [`crate::FaultTransport`] plan can apply. All-zero on transports
+/// without an armed fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Datagrams silently discarded by the drop probability.
+    pub dropped: u64,
+    /// Extra copies delivered by the duplicate probability.
+    pub duplicated: u64,
+    /// Datagrams held back one arrival (swap-with-next reordering).
+    pub reordered: u64,
+    /// Datagrams delivered with injected byte corruption.
+    pub corrupted: u64,
+    /// Datagrams held back behind later arrivals (injected delay).
+    pub delayed: u64,
+    /// Datagrams discarded inside a scheduled partition window.
+    pub partitioned: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults across every class.
+    pub fn total(&self) -> u64 {
+        self.dropped
+            + self.duplicated
+            + self.reordered
+            + self.corrupted
+            + self.delayed
+            + self.partitioned
+    }
+}
+
 /// Reactor/batch-I/O observability counters, snapshot by
 /// [`Transport::io_stats`]. Transports without a reactor report zeros
 /// (the [`Transport::io_stats`] default returns `None`).
@@ -73,6 +104,9 @@ pub struct IoStats {
     pub batch_sends_flushed: u64,
     /// `EAGAIN` results that terminated an edge-drain loop.
     pub recv_eagain: u64,
+    /// Faults injected by an armed [`crate::FaultTransport`] plan
+    /// (all-zero when no fault plan wraps this transport).
+    pub faults: FaultStats,
 }
 
 impl IoStats {
@@ -115,6 +149,7 @@ impl IoCounters {
             ],
             batch_sends_flushed: self.batch_flushes.load(Ordering::Relaxed),
             recv_eagain: self.recv_eagain.load(Ordering::Relaxed),
+            faults: FaultStats::default(),
         }
     }
 }

@@ -364,7 +364,10 @@ impl Message {
                 let naming_authority = if len == 0xFFFF {
                     None
                 } else {
-                    let mut bytes = Vec::with_capacity(len as usize);
+                    // Cap the preallocation: `len` is attacker-supplied
+                    // and may exceed the actual datagram; the loop below
+                    // still bails on truncation.
+                    let mut bytes = Vec::with_capacity((len as usize).min(64));
                     for _ in 0..len {
                         bytes.push(r.u8()?);
                     }
