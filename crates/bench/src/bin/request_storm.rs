@@ -17,13 +17,16 @@
 //! `--hostile` for the hostile-world row: a fault-injected sim gateway
 //! (10% drop + 10% reorder both directions) gated on ≥80% warm-hit
 //! delivery through the client's retransmit state machine and on a
-//! bit-identical same-seed replay.
+//! bit-identical same-seed replay. Pass `--mesh` for the federated-mesh
+//! row: a full gateway mesh gossiping over one sim bus, gated on
+//! two-round digest convergence, on every foreign record being served
+//! as a warm remote cache hit, and on an identical same-seed replay.
 
 use std::time::Duration;
 
 use indiss_bench::scenarios::{
-    hostile_world, request_storm, udp_batched_storm, udp_warm_hit, warm_hit_pipeline_bytes,
-    warm_hit_scaling,
+    hostile_world, mesh_convergence, request_storm, udp_batched_storm, udp_warm_hit,
+    warm_hit_pipeline_bytes, warm_hit_scaling,
 };
 
 /// Bytes of allocator traffic per warm-hit bridged request measured on
@@ -38,6 +41,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let udp = args.iter().any(|a| a == "--udp");
     let hostile = args.iter().any(|a| a == "--hostile");
+    let mesh = args.iter().any(|a| a == "--mesh");
     let max_workers: usize = args
         .iter()
         .position(|a| a == "--workers")
@@ -244,6 +248,49 @@ fn main() {
         None
     };
 
+    // The mesh row: the federated-gateway convergence gate. A full
+    // mesh over one sim bus must agree on a single registry digest
+    // within two gossip rounds, serve every foreign record as a warm
+    // *remote* cache hit (no re-fan-out), and replay identically from
+    // the same seed.
+    let (mesh_gateways, mesh_records) = if smoke { (5usize, 10u64) } else { (10usize, 40u64) };
+    let mesh_outcome = if mesh {
+        let first = mesh_convergence(1905, mesh_gateways, mesh_records);
+        let replay = mesh_convergence(1905, mesh_gateways, mesh_records);
+        println!(
+            "mesh convergence ({} gateways full mesh, {} records round-robin)",
+            first.gateways, first.records
+        );
+        println!("  rounds to converge            {}", first.rounds_to_converge);
+        println!(
+            "  remote hits                   {} / {}",
+            first.remote_hits, first.expected_remote_hits
+        );
+        println!("  records applied mesh-wide     {}", first.records_applied);
+        println!("  registry digest               {:#018X}", first.digest);
+        assert!(first.converged, "mesh failed to converge within the round cap");
+        assert!(
+            first.rounds_to_converge <= 2,
+            "mesh convergence regression: {} rounds to one digest (gate: <= 2 on a quiet bus)",
+            first.rounds_to_converge
+        );
+        assert_eq!(
+            first.remote_hits, first.expected_remote_hits,
+            "every foreign record must be a warm remote hit"
+        );
+        assert_eq!(
+            first.records_applied, first.expected_remote_hits,
+            "each foreign record applies exactly once per gateway"
+        );
+        assert_eq!(
+            first, replay,
+            "mesh replay diverged: the scenario must be a pure function of its seed"
+        );
+        Some(first)
+    } else {
+        None
+    };
+
     let scaling_json: Vec<String> = scaling
         .iter()
         .map(|p| {
@@ -321,6 +368,23 @@ fn main() {
         ),
         None => "null".to_owned(),
     };
+    let mesh_json = match &mesh_outcome {
+        Some(o) => format!(
+            concat!(
+                "{{ \"gateways\": {}, \"records\": {}, \"rounds_to_converge\": {}, ",
+                "\"remote_hits\": {}, \"expected_remote_hits\": {}, ",
+                "\"records_applied\": {}, \"digest\": \"{:#018X}\" }}"
+            ),
+            o.gateways,
+            o.records,
+            o.rounds_to_converge,
+            o.remote_hits,
+            o.expected_remote_hits,
+            o.records_applied,
+            o.digest,
+        ),
+        None => "null".to_owned(),
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -349,7 +413,8 @@ fn main() {
             "  \"throughput_speedup_8_workers_vs_4\": {speedup8},\n",
             "  \"udp_warm_hit\": {udp_row},\n",
             "  \"udp_batched\": {batched_row},\n",
-            "  \"hostile_world\": {hostile_row}\n",
+            "  \"hostile_world\": {hostile_row},\n",
+            "  \"mesh_convergence\": {mesh_row}\n",
             "}}\n",
         ),
         smoke = smoke,
@@ -377,6 +442,7 @@ fn main() {
         udp_row = udp_json,
         batched_row = batched_json,
         hostile_row = hostile_json,
+        mesh_row = mesh_json,
     );
     std::fs::write("BENCH_storm.json", &json).expect("write BENCH_storm.json");
     println!("\nwrote BENCH_storm.json");

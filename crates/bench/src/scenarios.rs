@@ -1405,3 +1405,121 @@ pub fn hostile_world(seed: u64, requests: u64, distinct_types: usize) -> Hostile
         faults,
     }
 }
+
+/// Outcome of the federated-mesh convergence storm
+/// ([`mesh_convergence`]): how many gossip rounds a full mesh of
+/// gateways needed to agree on one registry content digest, and whether
+/// every foreign record became a locally served *remote* cache hit.
+/// Derives `Eq` so the `--mesh` gate can compare two same-seed runs
+/// whole.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshOutcome {
+    /// Gateways in the full mesh.
+    pub gateways: usize,
+    /// Service records registered (spread round-robin across origins).
+    pub records: u64,
+    /// Gossip rounds until every content digest agreed.
+    pub rounds_to_converge: u64,
+    /// Whether the mesh converged within the round cap at all.
+    pub converged: bool,
+    /// Foreign-type requests answered from a local warmed cache.
+    pub remote_hits: u64,
+    /// `records * (gateways - 1)` — every record, at every non-origin.
+    pub expected_remote_hits: u64,
+    /// Total records applied mesh-wide (must equal the expected hits:
+    /// each foreign record lands exactly once per gateway).
+    pub records_applied: u64,
+    /// The shared registry content digest all gateways agreed on.
+    pub digest: u64,
+}
+
+/// The mesh convergence storm: `gateways` nodes in a full mesh over one
+/// deterministic [`indiss_net::SimTransport`] bus, `records` services
+/// registered round-robin across them, anti-entropy digest gossip until
+/// every [`indiss_core::ServiceRegistry::content_digest`] agrees.
+///
+/// The scenario is a pure function of its arguments — `seed` only
+/// flavours the service names so the digest is seed-dependent — and the
+/// `--mesh` gate runs it twice to pin that down.
+pub fn mesh_convergence(seed: u64, gateways: usize, records: u64) -> MeshOutcome {
+    use indiss_core::{
+        Event, EventStream, MeshConfig, MeshNode, RegistryConfig, SdpProtocol, ServiceRegistry,
+    };
+    use indiss_net::{SimTransport, Transport};
+    use std::sync::Arc;
+
+    let gateways = gateways.max(2);
+    let bus: Arc<dyn Transport> = Arc::new(SimTransport::new());
+    let ports: Vec<u16> = (0..gateways as u16).map(|i| 7100 + i).collect();
+    let nodes: Vec<(ServiceRegistry, MeshNode)> = ports
+        .iter()
+        .map(|&port| {
+            let registry =
+                ServiceRegistry::new(RegistryConfig { shards: 4, ..RegistryConfig::default() });
+            let mesh = MeshNode::new(
+                registry.clone(),
+                Arc::clone(&bus),
+                MeshConfig { port, peers: ports.clone(), ..MeshConfig::default() },
+            );
+            mesh.start().expect("sim mesh always binds");
+            (registry, mesh)
+        })
+        .collect();
+
+    let t0 = SimTime::from_secs(1);
+    let type_name = |r: u64| format!("mesh-{seed:08x}-{r}");
+    for r in 0..records {
+        let origin = (r as usize) % gateways;
+        let ty = type_name(r);
+        let advert = EventStream::framed(vec![
+            Event::ServiceAlive,
+            Event::ServiceType(ty.as_str().into()),
+            Event::ResServUrl(format!("slp://10.0.0.{origin}/{ty}")),
+            Event::ResTtl(3600),
+        ]);
+        nodes[origin].0.record_advert(SdpProtocol::Slp, &advert, t0);
+    }
+
+    // Gossip until every content digest agrees. The cap sits well above
+    // the expected two rounds so a convergence regression fails the
+    // gate loudly instead of spinning.
+    let mut rounds_to_converge = 0u64;
+    let mut converged = false;
+    for round in 1..=8u64 {
+        let now = SimTime::from_secs(round);
+        for (_, mesh) in &nodes {
+            mesh.run_round(now);
+        }
+        rounds_to_converge = round;
+        let d0 = nodes[0].0.content_digest(now);
+        if nodes.iter().all(|(reg, _)| reg.content_digest(now) == d0) {
+            converged = true;
+            break;
+        }
+    }
+
+    // Every gateway must now answer every *foreign* type from its own
+    // warmed cache — a remote hit, served without re-fan-out.
+    let probe_at = SimTime::from_secs(rounds_to_converge);
+    let mut remote_hits = 0u64;
+    for r in 0..records {
+        let origin = (r as usize) % gateways;
+        let ty = type_name(r);
+        for (g, (reg, _)) in nodes.iter().enumerate() {
+            if g != origin && reg.cached_response(ty.as_str(), probe_at).is_some() {
+                remote_hits += 1;
+            }
+        }
+    }
+
+    MeshOutcome {
+        gateways,
+        records,
+        rounds_to_converge,
+        converged,
+        remote_hits,
+        expected_remote_hits: records * (gateways as u64 - 1),
+        records_applied: nodes.iter().map(|(_, m)| m.stats().records_applied).sum(),
+        digest: nodes[0].0.content_digest(probe_at),
+    }
+}

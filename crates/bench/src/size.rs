@@ -178,6 +178,7 @@ const SUPERSET_ROWS: &[(&str, &[&str])] = &[
     // its committed corpus) — claimed here so the completeness gate sees
     // it, measured alongside the tracker it hardens.
     ("Robustness layer (hostile worlds)", &["tracker.rs", "fuzz_tests.rs"]),
+    ("Federated mesh (gateway-to-gateway)", &["mesh/mod.rs", "mesh/wire.rs", "mesh/custody.rs"]),
 ];
 
 fn measure_files(core_src: &Path, files: &[&str]) -> std::io::Result<SizeMetrics> {

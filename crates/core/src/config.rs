@@ -25,6 +25,7 @@ use indiss_net::TransportKind;
 use crate::adapt::AdaptationPolicy;
 use crate::error::CoreResult;
 use crate::event::SdpProtocol;
+use crate::mesh::MeshConfig;
 use crate::registry::RegistryConfig;
 use crate::units::{
     DescriptorFactory, JiniFactory, JiniUnitConfig, SdpDescriptor, SlpFactory, SlpUnitConfig,
@@ -164,6 +165,17 @@ pub struct IndissConfig {
     /// exists, a negative reply otherwise). Zero disables retries:
     /// the deadline then only bounds how long the requester waits.
     pub query_retries: u32,
+    /// This gateway's own mesh peer port. `None` (the default) leaves
+    /// the federated mesh plane off; `Some(port)` makes
+    /// [`IndissConfig::mesh_config`] yield a [`MeshConfig`] a
+    /// [`crate::MeshNode`] can be started from.
+    pub peer_port: Option<u16>,
+    /// Peer gateways (by their mesh peer ports) to gossip with.
+    pub peers: Vec<u16>,
+    /// Virtual time between mesh gossip rounds.
+    pub gossip_interval: Duration,
+    /// Most adverts held in store-and-forward custody per down peer.
+    pub custody_capacity: usize,
 }
 
 impl IndissConfig {
@@ -187,6 +199,10 @@ impl IndissConfig {
             port_offset: 0,
             query_timeout: Duration::from_millis(500),
             query_retries: 2,
+            peer_port: None,
+            peers: Vec::new(),
+            gossip_interval: MeshConfig::default().gossip_interval,
+            custody_capacity: MeshConfig::default().custody_capacity,
         }
     }
 
@@ -331,6 +347,40 @@ impl IndissConfig {
     pub fn with_query_retries(mut self, retries: u32) -> Self {
         self.query_retries = retries;
         self
+    }
+
+    /// Joins the federated mesh: this gateway binds `port` as its peer
+    /// identity and gossips with `peers`.
+    pub fn with_mesh(mut self, port: u16, peers: impl Into<Vec<u16>>) -> Self {
+        self.peer_port = Some(port);
+        self.peers = peers.into();
+        self
+    }
+
+    /// Sets the virtual time between mesh gossip rounds.
+    pub fn with_gossip_interval(mut self, interval: Duration) -> Self {
+        self.gossip_interval = interval;
+        self
+    }
+
+    /// Bounds the per-down-peer store-and-forward custody queue.
+    pub fn with_custody_capacity(mut self, adverts: usize) -> Self {
+        self.custody_capacity = adverts;
+        self
+    }
+
+    /// The mesh plane this configuration implies: `None` until
+    /// [`IndissConfig::with_mesh`] (or a config-language `Peers` block)
+    /// named a peer port.
+    pub fn mesh_config(&self) -> Option<MeshConfig> {
+        let port = self.peer_port?;
+        Some(MeshConfig {
+            port,
+            peers: self.peers.clone(),
+            gossip_interval: self.gossip_interval,
+            custody_capacity: self.custody_capacity,
+            ..MeshConfig::default()
+        })
     }
 
     /// The registry bounds this configuration implies.
@@ -518,6 +568,25 @@ impl IndissConfigBuilder {
         self
     }
 
+    /// Joins the federated mesh (see [`IndissConfig::with_mesh`]).
+    pub fn mesh(mut self, port: u16, peers: impl Into<Vec<u16>>) -> Self {
+        self.config.peer_port = Some(port);
+        self.config.peers = peers.into();
+        self
+    }
+
+    /// Sets the virtual time between mesh gossip rounds.
+    pub fn gossip_interval(mut self, interval: Duration) -> Self {
+        self.config.gossip_interval = interval;
+        self
+    }
+
+    /// Bounds the per-down-peer store-and-forward custody queue.
+    pub fn custody_capacity(mut self, adverts: usize) -> Self {
+        self.config.custody_capacity = adverts;
+        self
+    }
+
     /// Finishes the configuration. Structural validation (at least one
     /// unit, no duplicate protocols) happens at
     /// [`crate::Indiss::deploy`], which sees every config regardless of
@@ -543,6 +612,26 @@ mod tests {
         assert_eq!(cfg.protocols(), vec![SdpProtocol::Slp, SdpProtocol::Upnp]);
         assert!(cfg.enable_cache);
         assert!(cfg.adaptation.is_none());
+    }
+
+    #[test]
+    fn mesh_config_is_off_until_a_peer_port_is_named() {
+        assert!(IndissConfig::slp_upnp().mesh_config().is_none());
+        let cfg = IndissConfig::slp_upnp().with_mesh(7100, vec![7101, 7102]);
+        let mesh = cfg.mesh_config().expect("mesh on");
+        assert_eq!(mesh.port, 7100);
+        assert_eq!(mesh.peers, vec![7101, 7102]);
+        assert_eq!(mesh.gossip_interval, MeshConfig::default().gossip_interval);
+        let tuned = IndissConfig::builder()
+            .slp()
+            .mesh(7100, vec![7101])
+            .gossip_interval(Duration::from_millis(250))
+            .custody_capacity(8)
+            .build()
+            .mesh_config()
+            .expect("mesh on");
+        assert_eq!(tuned.gossip_interval, Duration::from_millis(250));
+        assert_eq!(tuned.custody_capacity, 8);
     }
 
     #[test]

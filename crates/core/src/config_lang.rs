@@ -266,6 +266,30 @@ fn parse_monitor(p: &mut Parser) -> CoreResult<Vec<u16>> {
     Ok(ports)
 }
 
+/// Parses the `Peers = { p; p; … }` federation block: the first port is
+/// this gateway's own mesh identity, the rest are the peers it gossips
+/// with.
+fn parse_peers(p: &mut Parser) -> CoreResult<(u16, Vec<u16>)> {
+    p.expect_punct('=')?;
+    p.expect_punct('{')?;
+    let mut ports = Vec::new();
+    while !p.eat_punct('}') {
+        ports.push(p.expect_port()?);
+        if !p.eat_punct(';') && !p.eat_punct(',') {
+            p.expect_punct('}')?;
+            break;
+        }
+    }
+    p.eat_punct(';');
+    let mut ports = ports.into_iter();
+    let own = ports.next().ok_or_else(|| {
+        CoreError::ConfigSyntax(
+            "a Peers block needs at least this gateway's own peer port".to_owned(),
+        )
+    })?;
+    Ok((own, ports.collect()))
+}
+
 /// Parses the `{ Key = value; … }` body of a descriptor unit.
 fn parse_descriptor_block(p: &mut Parser, name: &str, port: u16) -> CoreResult<SdpDescriptor> {
     p.expect_punct('{')?;
@@ -368,6 +392,12 @@ pub(crate) fn parse_system_sdp(text: &str) -> CoreResult<IndissConfig> {
     let mut config = IndissConfig::new();
     let mut scan_ports: Vec<u16> = Vec::new();
     while !p.eat_punct('}') {
+        if p.peek_keyword("Peers") {
+            p.at += 1;
+            let (own, peers) = parse_peers(&mut p)?;
+            config = config.with_mesh(own, peers);
+            continue;
+        }
         p.expect_keyword("Component")?;
         if p.peek_keyword("Monitor") {
             p.at += 1;
@@ -480,6 +510,24 @@ mod tests {
                 .is_err(),
             "bad IPv4"
         );
+    }
+
+    #[test]
+    fn peers_block_joins_the_mesh() {
+        let text = "System SDP = {\n\
+             Peers = { 7100; 7101; 7102 }\n\
+             Component Unit SLP(port=427); }";
+        let config = parse_system_sdp(text).expect("peers block parses");
+        let mesh = config.mesh_config().expect("mesh on");
+        assert_eq!(mesh.port, 7100, "first port is this gateway's own identity");
+        assert_eq!(mesh.peers, vec![7101, 7102]);
+        // Without a Peers block the mesh plane stays off.
+        let solo = parse_system_sdp("System SDP = { Component Unit SLP(port=427); }").unwrap();
+        assert!(solo.mesh_config().is_none());
+        // An empty block names no identity.
+        let err = parse_system_sdp("System SDP = { Peers = { } Component Unit SLP(port=427); }")
+            .unwrap_err();
+        assert!(err.to_string().contains("own peer port"), "{err}");
     }
 
     #[test]

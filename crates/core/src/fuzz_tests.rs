@@ -24,8 +24,14 @@
 
 use std::net::{Ipv4Addr, SocketAddrV4};
 
+use crate::mesh::wire as mesh_wire;
 use crate::symbol::Symbol;
 use crate::units::{slp, upnp, SdpDescriptor};
+
+/// The mesh key the fuzz loop decodes with — matches the key the mesh
+/// frame seeds below are signed with, so mutated frames reach the body
+/// parsers through the signed path too.
+const MESH_KEY: u64 = 0x1D15_5000_0000_4EED;
 
 /// Deterministic 64-bit generator (SplitMix64): tiny, seedable, and
 /// with no global state — iteration `n` of a given seed is always the
@@ -130,6 +136,41 @@ fn seeds() -> Vec<Vec<u8>> {
         }
         .encode(),
         indiss_jini::JiniPacket::Lookup { service_type: "clock".into() }.encode(),
+        mesh_wire::encode_frame(
+            &mesh_wire::Frame::Digest { from: 7100, round: 3, versions: vec![0, 4, 17, 9] },
+            MESH_KEY,
+        ),
+        mesh_wire::encode_frame(
+            &mesh_wire::Frame::Records {
+                from: 7100,
+                shard: 1,
+                version: 4,
+                records: vec![
+                    mesh_wire::WireRecord {
+                        origin: mesh_wire::WireOrigin::Builtin(crate::event::SdpProtocol::Upnp),
+                        canonical_type: "clock".into(),
+                        key: "uuid:FuzzClock::urn:clock".into(),
+                        url: Some("soap://10.66.0.2:4004/ctl".into()),
+                        ttl_secs: Some(1800),
+                    },
+                    mesh_wire::WireRecord {
+                        origin: mesh_wire::WireOrigin::Dynamic {
+                            name: "dns-sd".into(),
+                            port: 5353,
+                        },
+                        canonical_type: "printer".into(),
+                        key: "printer".into(),
+                        url: None,
+                        ttl_secs: None,
+                    },
+                ],
+            },
+            MESH_KEY,
+        ),
+        mesh_wire::encode_frame(
+            &mesh_wire::Frame::Pull { from: 7101, round: 3, shards: vec![1, 2, 3] },
+            MESH_KEY,
+        ),
     ];
     // A maximal-ish datagram keeps the mutators honest about length
     // handling without slowing the loop.
@@ -208,6 +249,11 @@ fn decode_all(descriptor: &SdpDescriptor, payload: &[u8]) {
     let _ = indiss_slp::Message::decode(payload);
     let _ = indiss_ssdp::SsdpMessage::parse(payload);
     let _ = indiss_jini::JiniPacket::decode(payload);
+    // Mesh peer frames: the signed path (signature verification plus
+    // body decode) and the unchecked body parsers, which mutated
+    // signatures would otherwise shield from coverage.
+    let _ = mesh_wire::decode_frame(payload, MESH_KEY);
+    let _ = mesh_wire::decode_unchecked(payload);
 }
 
 /// The fuzz loop. `FUZZ_ITERS` (default 10 000) scales the walk;
@@ -333,6 +379,66 @@ mod corpus {
         let mut long_query = b"DNSSD Q PTR ".to_vec();
         long_query.extend(std::iter::repeat_n(b'x', 1400));
         decode_all(&descriptor, &long_query);
+    }
+
+    /// A mesh Records frame claiming the maximum record count with no
+    /// bytes behind it: the count floor must refuse before any
+    /// preallocation, through both the signed and unchecked paths.
+    #[test]
+    fn mesh_record_count_abuse() {
+        // Body: from(2) + shard(2) + version(8) + count(2) = 14 bytes,
+        // count says 512 records follow; none do.
+        let mut wire = b"IMSH".to_vec();
+        wire.push(1); // wire version
+        wire.push(3); // Records
+        wire.extend_from_slice(&[0u8; 8]); // bogus signature
+        wire.extend_from_slice(&7100u16.to_le_bytes());
+        wire.extend_from_slice(&0u16.to_le_bytes());
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.extend_from_slice(&512u16.to_le_bytes());
+        assert!(mesh_wire::decode_unchecked(&wire).is_err(), "count lie must not decode");
+        decode_all(&SdpDescriptor::dns_sd(), &wire);
+    }
+
+    /// A signed mesh frame truncated at every length, and with every
+    /// byte corrupted one at a time: decode must reject (the signature
+    /// catches the flips) and never panic.
+    #[test]
+    fn mesh_frame_truncation_and_flips() {
+        let descriptor = SdpDescriptor::dns_sd();
+        let good = mesh_wire::encode_frame(
+            &mesh_wire::Frame::Digest { from: 7100, round: 1, versions: vec![2, 2] },
+            MESH_KEY,
+        );
+        for len in 0..good.len() {
+            assert!(mesh_wire::decode_frame(&good[..len], MESH_KEY).is_err());
+            decode_all(&descriptor, &good[..len]);
+        }
+        for at in 0..good.len() {
+            let mut bad = good.clone();
+            bad[at] ^= 0xFF;
+            assert!(mesh_wire::decode_frame(&bad, MESH_KEY).is_err());
+            decode_all(&descriptor, &bad);
+        }
+    }
+
+    /// Non-UTF-8 bytes inside a mesh record string: rejected as
+    /// `BadString`, never sliced on a char boundary.
+    #[test]
+    fn mesh_non_utf8_record_strings() {
+        // Relay body: from(2) + count(2) + one record whose type string
+        // claims 4 bytes of invalid UTF-8.
+        let mut wire = b"IMSH".to_vec();
+        wire.push(1);
+        wire.push(5); // Relay
+        wire.extend_from_slice(&[0u8; 8]);
+        wire.extend_from_slice(&7100u16.to_le_bytes());
+        wire.extend_from_slice(&1u16.to_le_bytes());
+        wire.push(0); // origin: SLP
+        wire.extend_from_slice(&4u16.to_le_bytes());
+        wire.extend_from_slice(&[0xC3, 0x28, 0xFF, 0xFE]);
+        assert!(mesh_wire::decode_unchecked(&wire).is_err(), "invalid UTF-8 must not decode");
+        decode_all(&SdpDescriptor::dns_sd(), &wire);
     }
 
     /// An SLP URL entry whose lifetime/URL-length fields lie about the

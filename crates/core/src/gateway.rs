@@ -100,6 +100,7 @@ impl BridgeCounters {
             queries_exhausted: self.queries_exhausted.load(Ordering::Relaxed),
             stale_served: self.stale_served.load(Ordering::Relaxed),
             cache_hits: reg.cache_hits,
+            remote_cache_hits: reg.remote_cache_hits,
             cache_misses: reg.cache_misses,
             cache_evictions: reg.cache_evictions,
             cache_expired: reg.cache_expired,

@@ -107,6 +107,7 @@ mod fsm;
 #[cfg(test)]
 mod fuzz_tests;
 mod gateway;
+mod mesh;
 mod monitor;
 mod netfront;
 mod pool;
@@ -123,6 +124,7 @@ pub use error::{CoreError, CoreResult};
 pub use event::{Event, EventKind, EventStream, EventStreamBuilder, ParserKind, SdpProtocol};
 pub use fsm::{Action, Fsm, FsmBuilder, Guard, Trigger};
 pub use gateway::{GatewayCore, ThreadedGateway, WarmDecision};
+pub use mesh::{MeshConfig, MeshNode, MeshStats};
 pub use monitor::{DetectionRecord, Monitor};
 pub use netfront::{
     DescriptionFetch, HttpDescriptionFetch, NetDriver, NetDriverBuilder, NetFrontStats,
@@ -131,8 +133,8 @@ pub use netfront::{
 pub use pool::WorkerPool;
 pub use protocol::ProtocolId;
 pub use registry::{
-    AdvertDisposition, Projection, RegistryConfig, RegistryStats, ServiceRecord, ServiceRegistry,
-    SweepReport,
+    AdvertDisposition, PeerId, Projection, RecordOrigin, RegistryConfig, RegistryStats,
+    RemoteDisposition, ServiceRecord, ServiceRegistry, SweepReport,
 };
 pub use runtime::{BridgeHandle, BridgeStats, Indiss};
 pub use symbol::Symbol;

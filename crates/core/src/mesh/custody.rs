@@ -1,0 +1,132 @@
+//! Store-and-forward custody: bounded per-peer queues of adverts held
+//! for a partitioned peer and replayed when it reconnects.
+//!
+//! When the mesh marks a peer down (its digests go unanswered), the
+//! local gateway starts holding every advert it publishes in that
+//! peer's custody queue. The queue is bounded two ways:
+//!
+//! * **capacity** — beyond `capacity` entries the oldest is dropped
+//!   (and counted), so an extended partition cannot grow memory;
+//! * **deadline** — each entry carries `now + custody_ttl`; entries
+//!   whose deadline passes before the peer returns are expired (and
+//!   counted) by the mesh's timer tick.
+//!
+//! Because the TTL is a constant and enqueues happen in time order,
+//! deadlines are monotonic front-to-back — expiry and overflow are both
+//! pop-from-the-front, which is what lets the mesh treat the queue as
+//! one more deadline source on its scheduling wheel (the earliest
+//! deadline is always `front()`).
+
+use std::collections::VecDeque;
+
+use indiss_net::SimTime;
+
+use crate::registry::ServiceRecord;
+
+/// One advert held for a partitioned peer.
+#[derive(Debug, Clone)]
+pub(crate) struct CustodyEntry {
+    /// The record as it stood at publish time, origin included (its own
+    /// `expires_at` still applies at replay: a record that died in
+    /// custody is not replayed).
+    pub record: ServiceRecord,
+    /// When custody of this entry lapses.
+    pub deadline: SimTime,
+}
+
+/// A bounded FIFO of adverts held for one partitioned peer.
+#[derive(Debug, Default)]
+pub(crate) struct CustodyQueue {
+    entries: VecDeque<CustodyEntry>,
+}
+
+impl CustodyQueue {
+    /// Holds an advert, evicting the oldest entry when `capacity` is
+    /// reached. Returns `true` when an entry was dropped to make room.
+    pub fn push(&mut self, record: ServiceRecord, deadline: SimTime, capacity: usize) -> bool {
+        let mut dropped = false;
+        if capacity == 0 {
+            return true;
+        }
+        while self.entries.len() >= capacity {
+            self.entries.pop_front();
+            dropped = true;
+        }
+        self.entries.push_back(CustodyEntry { record, deadline });
+        dropped
+    }
+
+    /// Drops entries whose custody deadline has passed, returning how
+    /// many lapsed. Deadlines are monotonic, so this only ever looks at
+    /// the front.
+    pub fn expire(&mut self, now: SimTime) -> u64 {
+        let mut lapsed = 0;
+        while self.entries.front().is_some_and(|e| e.deadline <= now) {
+            self.entries.pop_front();
+            lapsed += 1;
+        }
+        lapsed
+    }
+
+    /// The earliest custody deadline, when the queue is non-empty.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.entries.front().map(|e| e.deadline)
+    }
+
+    /// Takes every held entry (oldest first) for replay.
+    pub fn drain(&mut self) -> Vec<CustodyEntry> {
+        self.entries.drain(..).collect()
+    }
+
+    /// Number of adverts currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventStream, SdpProtocol};
+
+    fn record(ty: &str) -> ServiceRecord {
+        let stream = EventStream::framed(vec![
+            Event::ServiceAlive,
+            Event::ServiceType(ty.into()),
+            Event::ResServUrl(format!("slp://{ty}")),
+        ]);
+        ServiceRecord::from_advert(SdpProtocol::Slp, &stream, SimTime::ZERO, None).expect("keyed")
+    }
+
+    #[test]
+    fn overflow_drops_oldest_first() {
+        let mut q = CustodyQueue::default();
+        assert!(!q.push(record("a"), SimTime::from_secs(10), 2));
+        assert!(!q.push(record("b"), SimTime::from_secs(11), 2));
+        assert!(q.push(record("c"), SimTime::from_secs(12), 2), "a dropped");
+        let held: Vec<String> =
+            q.drain().into_iter().map(|e| e.record.canonical_type().to_owned()).collect();
+        assert_eq!(held, vec!["b".to_owned(), "c".to_owned()]);
+    }
+
+    #[test]
+    fn expiry_pops_due_entries_from_the_front() {
+        let mut q = CustodyQueue::default();
+        q.push(record("a"), SimTime::from_secs(10), 8);
+        q.push(record("b"), SimTime::from_secs(20), 8);
+        assert_eq!(q.next_deadline(), Some(SimTime::from_secs(10)));
+        assert_eq!(q.expire(SimTime::from_secs(9)), 0);
+        assert_eq!(q.expire(SimTime::from_secs(10)), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_deadline(), Some(SimTime::from_secs(20)));
+        assert_eq!(q.expire(SimTime::from_secs(60)), 1);
+        assert_eq!(q.next_deadline(), None);
+    }
+
+    #[test]
+    fn zero_capacity_holds_nothing() {
+        let mut q = CustodyQueue::default();
+        assert!(q.push(record("a"), SimTime::from_secs(1), 0));
+        assert_eq!(q.len(), 0);
+    }
+}

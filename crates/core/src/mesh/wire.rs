@@ -1,0 +1,605 @@
+//! The peer wire codec: compact signed frames gateways exchange.
+//!
+//! Five frame kinds ride the peer channel:
+//!
+//! * [`Frame::Digest`] — the anti-entropy opener: the sender's
+//!   per-shard content-version vector (see
+//!   [`crate::ServiceRegistry::shard_versions`]).
+//! * [`Frame::Pull`] — the receiver's diff: which of the sender's
+//!   shards it wants, because the digest showed versions newer than
+//!   what it last pulled.
+//! * [`Frame::Records`] — one shard's live records, with the version
+//!   the snapshot was taken at.
+//! * [`Frame::Ack`] — "nothing new": the digest matched what was
+//!   already pulled. Ends a converged round in one frame each way.
+//! * [`Frame::Relay`] — store-and-forward replay of custody records
+//!   after a partition heals.
+//!
+//! # Layout
+//!
+//! Every frame is `[magic "IMSH" | version | type | sig(8, LE) | body]`.
+//! The signature is a keyed FNV-1a over the type byte and body with the
+//! mesh's shared secret mixed in (SplitMix64 finalizer) — an integrity
+//! check that rejects stray/corrupt datagrams and frames from meshes
+//! keyed differently; it is not confidentiality. All multi-byte
+//! integers are little-endian; strings are length-prefixed UTF-8.
+//!
+//! # Robustness
+//!
+//! Decoding is length-checked everywhere, caps every count and string
+//! length, and never panics on arbitrary input — the deterministic
+//! mutation fuzzer (`fuzz_tests`) drives both [`decode_frame`] and the
+//! signature-skipping [`decode_unchecked`] entry points.
+
+use crate::event::SdpProtocol;
+
+/// Frame magic: "INDISS mesh".
+pub(crate) const MAGIC: [u8; 4] = *b"IMSH";
+/// Wire version this codec speaks.
+pub(crate) const WIRE_VERSION: u8 = 1;
+/// Header length: magic + version + type + signature.
+const HEADER_LEN: usize = 4 + 1 + 1 + 8;
+/// Longest accepted string (canonical types, keys, URLs).
+const MAX_STR: usize = 1024;
+/// Most records accepted in one `Records`/`Relay` frame.
+pub(crate) const MAX_RECORDS: usize = 512;
+/// Most shards accepted in a version vector or pull list.
+const MAX_SHARDS: usize = 256;
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes mid-field.
+    Truncated,
+    /// The first four bytes are not `IMSH`.
+    BadMagic,
+    /// A wire version this codec does not speak.
+    BadVersion,
+    /// An unknown frame type byte.
+    BadType,
+    /// The keyed signature did not verify.
+    BadSig,
+    /// A count exceeded its cap.
+    Oversize,
+    /// A string was not valid UTF-8.
+    BadString,
+    /// Trailing bytes after a complete body.
+    TrailingBytes,
+}
+
+/// A record's origin protocol as carried on the wire. Built-in SDPs
+/// travel as a tag; dynamically registered protocols travel by
+/// `(name, port)` and are resolved against the receiver's protocol
+/// table at apply time — the wire never registers protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOrigin {
+    /// One of the three built-in SDPs.
+    Builtin(SdpProtocol),
+    /// A descriptor-driven protocol, by registered name and port.
+    Dynamic {
+        /// The protocol's registered name.
+        name: String,
+        /// The protocol's registered port.
+        port: u16,
+    },
+}
+
+/// One service record as gossiped: the canonical identity triple plus
+/// endpoint and remaining TTL. Attributes and protocol-specific advert
+/// framing do not travel — peers re-derive what they need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRecord {
+    /// Which protocol announced the service on its home segment.
+    pub origin: WireOrigin,
+    /// Canonical short type (`clock`, `printer`).
+    pub canonical_type: String,
+    /// The identity the record is keyed by (USN, URL or type).
+    pub key: String,
+    /// The service endpoint URL, when known.
+    pub url: Option<String>,
+    /// Remaining TTL in whole seconds (rounded up); `None` = immortal.
+    pub ttl_secs: Option<u32>,
+}
+
+/// A decoded peer frame. `from` is always the sender's well-known peer
+/// port — the mesh-wide peer identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Anti-entropy digest: the sender's per-shard version vector.
+    Digest {
+        /// Sender's peer port.
+        from: u16,
+        /// Sender's gossip round counter.
+        round: u64,
+        /// Per-shard content versions, shard 0 first.
+        versions: Vec<u64>,
+    },
+    /// Diff reply: pull these (sender-relative) shards.
+    Pull {
+        /// Sender's peer port.
+        from: u16,
+        /// Echo of the digest's round.
+        round: u64,
+        /// Shard indexes to pull, in the *digest sender's* numbering.
+        shards: Vec<u16>,
+    },
+    /// One shard's live records at the given version.
+    Records {
+        /// Sender's peer port.
+        from: u16,
+        /// Which of the sender's shards this is.
+        shard: u16,
+        /// The shard's content version when snapshotted.
+        version: u64,
+        /// The shard's live records.
+        records: Vec<WireRecord>,
+    },
+    /// Digest acknowledged, nothing to pull.
+    Ack {
+        /// Sender's peer port.
+        from: u16,
+        /// Echo of the digest's round.
+        round: u64,
+    },
+    /// Custody replay after a partition healed.
+    Relay {
+        /// Sender's peer port.
+        from: u16,
+        /// The records held in custody, oldest first.
+        records: Vec<WireRecord>,
+    },
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Digest { .. } => 1,
+            Frame::Pull { .. } => 2,
+            Frame::Records { .. } => 3,
+            Frame::Ack { .. } => 4,
+            Frame::Relay { .. } => 5,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signing
+// ---------------------------------------------------------------------
+
+/// SplitMix64 finalizer: whitens the shared secret so related keys do
+/// not produce related signatures.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Keyed FNV-1a over the frame type byte and body.
+fn sign(key: u64, frame_type: u8, body: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ mix(key);
+    for &b in std::iter::once(&frame_type).chain(body) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix(h)
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes a string, silently truncating at [`MAX_STR`] bytes (on a
+/// UTF-8 boundary) so local state can never build an undecodable frame.
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let mut end = s.len().min(MAX_STR);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    let bytes = &s.as_bytes()[..end];
+    put_u16(out, bytes.len() as u16);
+    out.extend_from_slice(bytes);
+}
+
+fn put_record(out: &mut Vec<u8>, r: &WireRecord) {
+    match &r.origin {
+        WireOrigin::Builtin(SdpProtocol::Slp) => out.push(0),
+        WireOrigin::Builtin(SdpProtocol::Upnp) => out.push(1),
+        WireOrigin::Builtin(SdpProtocol::Jini) => out.push(2),
+        WireOrigin::Builtin(SdpProtocol::Dynamic(id)) => {
+            out.push(3);
+            put_str(out, id.name());
+            put_u16(out, id.port());
+        }
+        WireOrigin::Dynamic { name, port } => {
+            out.push(3);
+            put_str(out, name);
+            put_u16(out, *port);
+        }
+    }
+    put_str(out, &r.canonical_type);
+    put_str(out, &r.key);
+    match &r.url {
+        Some(url) => {
+            out.push(1);
+            put_str(out, url);
+        }
+        None => out.push(0),
+    }
+    match r.ttl_secs {
+        Some(ttl) => {
+            out.push(1);
+            put_u32(out, ttl);
+        }
+        None => out.push(0),
+    }
+}
+
+/// Encodes and signs a frame with the mesh's shared secret.
+pub(crate) fn encode_frame(frame: &Frame, key: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    match frame {
+        Frame::Digest { from, round, versions } => {
+            put_u16(&mut body, *from);
+            put_u64(&mut body, *round);
+            put_u16(&mut body, versions.len().min(MAX_SHARDS) as u16);
+            for v in versions.iter().take(MAX_SHARDS) {
+                put_u64(&mut body, *v);
+            }
+        }
+        Frame::Pull { from, round, shards } => {
+            put_u16(&mut body, *from);
+            put_u64(&mut body, *round);
+            put_u16(&mut body, shards.len().min(MAX_SHARDS) as u16);
+            for s in shards.iter().take(MAX_SHARDS) {
+                put_u16(&mut body, *s);
+            }
+        }
+        Frame::Records { from, shard, version, records } => {
+            put_u16(&mut body, *from);
+            put_u16(&mut body, *shard);
+            put_u64(&mut body, *version);
+            put_u16(&mut body, records.len().min(MAX_RECORDS) as u16);
+            for r in records.iter().take(MAX_RECORDS) {
+                put_record(&mut body, r);
+            }
+        }
+        Frame::Ack { from, round } => {
+            put_u16(&mut body, *from);
+            put_u64(&mut body, *round);
+        }
+        Frame::Relay { from, records } => {
+            put_u16(&mut body, *from);
+            put_u16(&mut body, records.len().min(MAX_RECORDS) as u16);
+            for r in records.iter().take(MAX_RECORDS) {
+                put_record(&mut body, r);
+            }
+        }
+    }
+    let frame_type = frame.type_byte();
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(frame_type);
+    put_u64(&mut out, sign(key, frame_type, &body));
+    out.extend_from_slice(&body);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// A bounds-checked cursor over a frame body.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, at: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = usize::from(self.u16()?);
+        if len > MAX_STR {
+            return Err(WireError::Oversize);
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadString)
+    }
+
+    /// A count field, capped, with a floor on bytes each element must
+    /// occupy so hostile counts can never pre-allocate beyond the
+    /// datagram's own length.
+    fn count(&mut self, cap: usize, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = usize::from(self.u16()?);
+        if n > cap {
+            return Err(WireError::Oversize);
+        }
+        if n * min_elem_bytes > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn record(&mut self) -> Result<WireRecord, WireError> {
+        let origin = match self.u8()? {
+            0 => WireOrigin::Builtin(SdpProtocol::Slp),
+            1 => WireOrigin::Builtin(SdpProtocol::Upnp),
+            2 => WireOrigin::Builtin(SdpProtocol::Jini),
+            3 => {
+                let name = self.string()?;
+                let port = self.u16()?;
+                WireOrigin::Dynamic { name, port }
+            }
+            _ => return Err(WireError::BadType),
+        };
+        let canonical_type = self.string()?;
+        let key = self.string()?;
+        let url = match self.u8()? {
+            0 => None,
+            1 => Some(self.string()?),
+            _ => return Err(WireError::BadType),
+        };
+        let ttl_secs = match self.u8()? {
+            0 => None,
+            1 => Some(self.u32()?),
+            _ => return Err(WireError::BadType),
+        };
+        Ok(WireRecord { origin, canonical_type, key, url, ttl_secs })
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(())
+    }
+}
+
+fn decode_body(frame_type: u8, body: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader::new(body);
+    let frame = match frame_type {
+        1 => {
+            let from = r.u16()?;
+            let round = r.u64()?;
+            let n = r.count(MAX_SHARDS, 8)?;
+            let mut versions = Vec::with_capacity(n);
+            for _ in 0..n {
+                versions.push(r.u64()?);
+            }
+            Frame::Digest { from, round, versions }
+        }
+        2 => {
+            let from = r.u16()?;
+            let round = r.u64()?;
+            let n = r.count(MAX_SHARDS, 2)?;
+            let mut shards = Vec::with_capacity(n);
+            for _ in 0..n {
+                shards.push(r.u16()?);
+            }
+            Frame::Pull { from, round, shards }
+        }
+        3 => {
+            let from = r.u16()?;
+            let shard = r.u16()?;
+            let version = r.u64()?;
+            // A record is at least origin tag + 2 empty strings +
+            // 2 absent options = 1 + 2 + 2 + 1 + 1 bytes.
+            let n = r.count(MAX_RECORDS, 7)?;
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(r.record()?);
+            }
+            Frame::Records { from, shard, version, records }
+        }
+        4 => {
+            let from = r.u16()?;
+            let round = r.u64()?;
+            Frame::Ack { from, round }
+        }
+        5 => {
+            let from = r.u16()?;
+            let n = r.count(MAX_RECORDS, 7)?;
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(r.record()?);
+            }
+            Frame::Relay { from, records }
+        }
+        _ => return Err(WireError::BadType),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+fn split_header(bytes: &[u8]) -> Result<(u8, u64, &[u8]), WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if bytes[4] != WIRE_VERSION {
+        return Err(WireError::BadVersion);
+    }
+    let frame_type = bytes[5];
+    let sig = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes"));
+    Ok((frame_type, sig, &bytes[HEADER_LEN..]))
+}
+
+/// Decodes and verifies a signed peer frame.
+///
+/// # Errors
+///
+/// Any [`WireError`]: framing, cap, UTF-8 or signature failures.
+pub(crate) fn decode_frame(bytes: &[u8], key: u64) -> Result<Frame, WireError> {
+    let (frame_type, sig, body) = split_header(bytes)?;
+    if sig != sign(key, frame_type, body) {
+        return Err(WireError::BadSig);
+    }
+    decode_body(frame_type, body)
+}
+
+/// Decodes a frame *without* verifying its signature — the fuzzer's
+/// second entry point, so mutation coverage reaches the body parsers
+/// that a wrong signature would otherwise shield.
+///
+/// # Errors
+///
+/// Any [`WireError`] except [`WireError::BadSig`].
+#[cfg(test)]
+pub(crate) fn decode_unchecked(bytes: &[u8]) -> Result<Frame, WireError> {
+    let (frame_type, _, body) = split_header(bytes)?;
+    decode_body(frame_type, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: u64 = 0x1D15_5000_5EC2_E700;
+
+    fn sample_record() -> WireRecord {
+        WireRecord {
+            origin: WireOrigin::Builtin(SdpProtocol::Upnp),
+            canonical_type: "clock".into(),
+            key: "uuid:abc::urn:clock".into(),
+            url: Some("soap://10.0.0.2:4005/ctl".into()),
+            ttl_secs: Some(60),
+        }
+    }
+
+    #[test]
+    fn all_frames_round_trip() {
+        let frames = [
+            Frame::Digest { from: 7100, round: 3, versions: vec![0, 4, 17] },
+            Frame::Pull { from: 7101, round: 3, shards: vec![1, 2] },
+            Frame::Records { from: 7100, shard: 1, version: 4, records: vec![sample_record()] },
+            Frame::Ack { from: 7101, round: 3 },
+            Frame::Relay {
+                from: 7102,
+                records: vec![
+                    sample_record(),
+                    WireRecord {
+                        origin: WireOrigin::Dynamic { name: "dns-sd".into(), port: 5353 },
+                        canonical_type: "printer".into(),
+                        key: "printer".into(),
+                        url: None,
+                        ttl_secs: None,
+                    },
+                ],
+            },
+        ];
+        for frame in frames {
+            let bytes = encode_frame(&frame, KEY);
+            assert_eq!(decode_frame(&bytes, KEY).expect("round trip"), frame);
+            assert_eq!(decode_unchecked(&bytes).expect("unchecked"), frame);
+        }
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let bytes = encode_frame(&Frame::Ack { from: 1, round: 9 }, KEY);
+        assert_eq!(decode_frame(&bytes, KEY ^ 1), Err(WireError::BadSig));
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected_not_panicked_on() {
+        let good = encode_frame(
+            &Frame::Records { from: 7100, shard: 0, version: 1, records: vec![sample_record()] },
+            KEY,
+        );
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xFF;
+            // Every single-byte corruption must fail cleanly (the sig
+            // catches all of them) and must never panic.
+            assert!(decode_frame(&bad, KEY).is_err(), "flip at {i} accepted");
+            let _ = decode_unchecked(&bad);
+        }
+        for len in 0..good.len() {
+            assert!(decode_frame(&good[..len], KEY).is_err(), "truncation at {len} accepted");
+            let _ = decode_unchecked(&good[..len]);
+        }
+    }
+
+    #[test]
+    fn hostile_count_cannot_overallocate() {
+        // A Records frame claiming MAX_RECORDS entries but carrying no
+        // bytes for them is refused by the count floor.
+        let mut body = Vec::new();
+        put_u16(&mut body, 7100);
+        put_u16(&mut body, 0);
+        put_u64(&mut body, 1);
+        put_u16(&mut body, MAX_RECORDS as u16);
+        assert_eq!(decode_body(3, &body), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_frame(&Frame::Ack { from: 1, round: 2 }, KEY);
+        bytes.push(0);
+        assert_eq!(decode_unchecked(&bytes), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn oversize_strings_are_truncated_on_encode_and_capped_on_decode() {
+        let long = "x".repeat(MAX_STR + 100);
+        let record = WireRecord {
+            origin: WireOrigin::Builtin(SdpProtocol::Slp),
+            canonical_type: long.clone(),
+            key: long,
+            url: None,
+            ttl_secs: None,
+        };
+        let bytes = encode_frame(&Frame::Relay { from: 1, records: vec![record] }, KEY);
+        let Frame::Relay { records, .. } = decode_frame(&bytes, KEY).expect("decodes") else {
+            panic!("wrong frame");
+        };
+        assert_eq!(records[0].canonical_type.len(), MAX_STR);
+    }
+}

@@ -57,7 +57,7 @@ mod index;
 mod record;
 mod shard;
 
-pub use record::ServiceRecord;
+pub use record::{PeerId, RecordOrigin, ServiceRecord};
 
 use std::hash::RandomState;
 use std::sync::atomic::Ordering;
@@ -119,6 +119,10 @@ impl Default for RegistryConfig {
 pub struct RegistryStats {
     /// Cache lookups answered from a live entry.
     pub cache_hits: u64,
+    /// Of those hits, how many were served from responses learned from
+    /// a mesh peer ([`ServiceRegistry::warm_remote`]) rather than from
+    /// this gateway's own bridged traffic.
+    pub remote_cache_hits: u64,
     /// Cache lookups that found nothing usable.
     pub cache_misses: u64,
     /// Cache entries evicted by the LRU capacity bound.
@@ -156,6 +160,22 @@ pub enum AdvertDisposition {
     /// meaningful to forward.
     NotPresent,
     /// The stream carried no usable identity; nothing stored.
+    Ignored,
+}
+
+/// What [`ServiceRegistry::record_remote`] did with a record pulled
+/// from a mesh peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteDisposition {
+    /// A new record was stored with remote provenance.
+    Applied,
+    /// An existing record was refreshed (the pulled copy was newer).
+    Refreshed,
+    /// An equivalent live record already exists; nothing changed and
+    /// the shard's content version did not advance (this is what stops
+    /// two peers from bumping each other's versions forever).
+    Stale,
+    /// The record carried no usable identity; nothing stored.
     Ignored,
 }
 
@@ -265,6 +285,7 @@ impl ServiceRegistry {
                 let mut shard = self.lock_shard(idx);
                 if shard.store.remove(origin, key.clone()).is_some() {
                     shard.stats.records_removed += 1;
+                    shard.content_version += 1;
                     return AdvertDisposition::Removed;
                 }
             }
@@ -286,16 +307,83 @@ impl ServiceRegistry {
         match outcome {
             InsertOutcome::Inserted => {
                 shard.stats.records_inserted += 1;
+                shard.content_version += 1;
                 AdvertDisposition::Recorded
             }
             InsertOutcome::Refreshed => {
                 shard.stats.records_refreshed += 1;
+                shard.content_version += 1;
                 AdvertDisposition::Refreshed
             }
             InsertOutcome::Evicted(_) => {
                 shard.stats.records_inserted += 1;
                 shard.stats.records_evicted += 1;
+                // Two record mutations: the victim left, the new one
+                // landed.
+                shard.content_version += 2;
                 AdvertDisposition::Recorded
+            }
+        }
+    }
+
+    /// Applies a record pulled from mesh peer `peer` during gossip: the
+    /// alive stream is normalized exactly like a local advert, stamped
+    /// [`RecordOrigin::Remote`], and upserted — *unless* an equivalent
+    /// live record (same endpoint and canonical type, at least as late
+    /// an expiry) already exists, in which case nothing changes and the
+    /// shard's content version does not advance. The equivalence check
+    /// is what makes anti-entropy converge: once two peers hold the
+    /// same records, pulls stop mutating and digests stop advancing.
+    pub fn record_remote(
+        &self,
+        origin: SdpProtocol,
+        stream: &EventStream,
+        peer: PeerId,
+        now: SimTime,
+    ) -> RemoteDisposition {
+        let default_ttl = self.shared.config.default_advert_ttl;
+        let Some(mut record) = ServiceRecord::from_advert(origin, stream, now, default_ttl) else {
+            return RemoteDisposition::Ignored;
+        };
+        record.set_provenance(RecordOrigin::Remote(peer));
+        let type_sym = record.canonical_type_symbol();
+        let expires = record.expires_at();
+        let mut shard = self.shard_for(&type_sym);
+        if let Some(existing) = shard.store.get(origin, record.key_symbol()) {
+            let covered = !existing.is_expired(now)
+                && existing.endpoint() == record.endpoint()
+                && existing.canonical_type() == record.canonical_type()
+                && match (existing.expires_at(), record.expires_at()) {
+                    (None, _) => true,
+                    (Some(theirs), Some(ours)) => theirs >= ours,
+                    (Some(_), None) => false,
+                };
+            if covered {
+                return RemoteDisposition::Stale;
+            }
+        }
+        shard.clear_negative(&type_sym);
+        let (slot, outcome) = shard.store.upsert(record);
+        if let Some(at) = expires {
+            let generation = shard.store.generation(slot);
+            shard.wheel.arm(at, Target::Advert { slot, generation });
+        }
+        match outcome {
+            InsertOutcome::Inserted => {
+                shard.stats.records_inserted += 1;
+                shard.content_version += 1;
+                RemoteDisposition::Applied
+            }
+            InsertOutcome::Refreshed => {
+                shard.stats.records_refreshed += 1;
+                shard.content_version += 1;
+                RemoteDisposition::Refreshed
+            }
+            InsertOutcome::Evicted(_) => {
+                shard.stats.records_inserted += 1;
+                shard.stats.records_evicted += 1;
+                shard.content_version += 2;
+                RemoteDisposition::Applied
             }
         }
     }
@@ -395,12 +483,29 @@ impl ServiceRegistry {
     /// entry expires after the configured cache TTL). Positive knowledge
     /// also invalidates any negative-cache entry for the type.
     pub fn warm(&self, canonical_type: impl Into<Symbol>, response: EventStream, now: SimTime) {
-        let key = canonical_type.into();
+        self.warm_entry(canonical_type.into(), response, now, false);
+    }
+
+    /// Stores a response synthesized from knowledge a mesh peer pushed
+    /// or we pulled during gossip. Identical to [`ServiceRegistry::warm`]
+    /// except the entry is attributed as remote: hits on it count in
+    /// [`RegistryStats::remote_cache_hits`] (on top of `cache_hits`),
+    /// so `BridgeStats` can split local from remote warm serving.
+    pub fn warm_remote(
+        &self,
+        canonical_type: impl Into<Symbol>,
+        response: EventStream,
+        now: SimTime,
+    ) {
+        self.warm_entry(canonical_type.into(), response, now, true);
+    }
+
+    fn warm_entry(&self, key: Symbol, response: EventStream, now: SimTime, remote: bool) {
         let idx = self.shard_index(&key);
         let mut shard = self.lock_shard(idx);
         shard.clear_negative(&key);
         let expires = now + self.shared.config.cache_ttl;
-        let (slot, evicted) = shard.cache.insert(key, CachedResponse { response, expires });
+        let (slot, evicted) = shard.cache.insert(key, CachedResponse { response, expires, remote });
         if evicted.is_some() {
             shard.stats.cache_evictions += 1;
         }
@@ -425,7 +530,11 @@ impl ServiceRegistry {
         match shard.cache.get(&key) {
             Some(entry) if entry.expires > now => {
                 let response = entry.response.clone();
+                let remote = entry.remote;
                 shard.stats.cache_hits += 1;
+                if remote {
+                    shard.stats.remote_cache_hits += 1;
+                }
                 Some(response)
             }
             Some(_) => {
@@ -620,6 +729,83 @@ impl ServiceRegistry {
                 *acc = Some(acc.map_or(d, |cur| cur.min(d)));
             }
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Mesh digests
+    // ------------------------------------------------------------------
+
+    /// The per-shard content-version vector the mesh gossips as its
+    /// registry digest. Reads one counter per shard — never walks a
+    /// record store — so building a digest is O(shards) regardless of
+    /// how many records are held. Versions advance exactly once per
+    /// record mutation (insert, refresh, eviction, removal, expiry).
+    pub fn shard_versions(&self) -> Vec<u64> {
+        self.fold_shards(Vec::with_capacity(self.shard_count()), |acc, shard| {
+            acc.push(shard.content_version);
+        })
+    }
+
+    /// One shard's content version (see [`ServiceRegistry::shard_versions`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn content_version(&self, shard: usize) -> u64 {
+        self.lock_shard(shard).content_version
+    }
+
+    /// Order-independent digest of the live record *content* (origin,
+    /// canonical type, key, endpoint): two registries that hold the
+    /// same services hash identically regardless of shard routing,
+    /// insertion order or record provenance. A cold-path walk — tests
+    /// and convergence gates use it; the gossip hot path uses
+    /// [`ServiceRegistry::shard_versions`] instead.
+    pub fn content_digest(&self, now: SimTime) -> u64 {
+        fn fnv(h: &mut u64, bytes: &[u8]) {
+            for b in bytes {
+                *h ^= u64::from(*b);
+                *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            // Field separator so ("ab", "c") and ("a", "bc") differ.
+            *h ^= 0xFF;
+            *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.fold_shards(0u64, |acc, shard| {
+            for (_, record) in shard.store.iter().filter(|(_, r)| !r.is_expired(now)) {
+                let mut h = 0xCBF2_9CE4_8422_2325u64;
+                match record.origin() {
+                    SdpProtocol::Slp => fnv(&mut h, b"slp"),
+                    SdpProtocol::Upnp => fnv(&mut h, b"upnp"),
+                    SdpProtocol::Jini => fnv(&mut h, b"jini"),
+                    SdpProtocol::Dynamic(id) => {
+                        fnv(&mut h, id.name().as_bytes());
+                        fnv(&mut h, &id.port().to_le_bytes());
+                    }
+                }
+                fnv(&mut h, record.canonical_type().as_bytes());
+                fnv(&mut h, record.key().as_bytes());
+                fnv(&mut h, record.endpoint().unwrap_or("").as_bytes());
+                // Commutative combine: the digest must not depend on
+                // iteration order, which differs per registry.
+                *acc = acc.wrapping_add(h | 1);
+            }
+        })
+    }
+
+    /// Live records currently stored on one shard, in slab order (the
+    /// mesh serves pull requests from this).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub(crate) fn shard_records(&self, shard: usize, now: SimTime) -> Vec<ServiceRecord> {
+        self.lock_shard(shard)
+            .store
+            .iter()
+            .filter(|(_, r)| !r.is_expired(now))
+            .map(|(_, r)| r.clone())
+            .collect()
     }
 
     /// Snapshot of the registry's counters, merged across shards.
@@ -966,5 +1152,119 @@ mod tests {
         // Stats merge across shards.
         assert_eq!(reg.stats().records_inserted, 64);
         assert_eq!(reg.stats().records_removed, 1);
+    }
+
+    /// Satellite: the per-shard content version advances exactly once per
+    /// record mutation — insert, refresh, removal, sweep expiry — and
+    /// twice for an eviction-plus-insert (two records changed). Cache and
+    /// negative-cache traffic never moves it.
+    #[test]
+    fn content_version_advances_exactly_once_per_mutation() {
+        let reg = ServiceRegistry::new(RegistryConfig::default());
+        let t = SimTime::from_secs(1);
+        assert_eq!(reg.shard_versions(), vec![0]);
+        reg.record_advert(SdpProtocol::Slp, &alive("clock", "slp://a", Some(60)), t);
+        assert_eq!(reg.content_version(0), 1, "insert bumps once");
+        reg.record_advert(SdpProtocol::Slp, &alive("clock", "slp://a", Some(60)), t);
+        assert_eq!(reg.content_version(0), 2, "refresh bumps once");
+        reg.warm("clock", response("clock"), t);
+        reg.cached_response("clock", t);
+        reg.warm_negative(SdpProtocol::Upnp, "toaster", t);
+        assert_eq!(reg.content_version(0), 2, "cache traffic is not a record mutation");
+        reg.record_advert(SdpProtocol::Slp, &byebye("clock", "slp://a"), t);
+        assert_eq!(reg.content_version(0), 3, "byebye removal bumps once");
+        reg.record_advert(SdpProtocol::Slp, &byebye("clock", "slp://a"), t);
+        assert_eq!(reg.content_version(0), 3, "byebye of an absent record is not a mutation");
+        reg.record_advert(SdpProtocol::Upnp, &alive("fax", "soap://f", Some(5)), t);
+        assert_eq!(reg.content_version(0), 4);
+        reg.sweep(SimTime::from_secs(10));
+        assert_eq!(reg.content_version(0), 5, "sweep expiry bumps once per record");
+        reg.sweep(SimTime::from_secs(20));
+        assert_eq!(reg.content_version(0), 5, "empty sweep is not a mutation");
+    }
+
+    #[test]
+    fn content_version_counts_eviction_as_two_mutations() {
+        let config = RegistryConfig { advert_capacity: 1, ..RegistryConfig::default() };
+        let reg = ServiceRegistry::new(config);
+        reg.record_advert(SdpProtocol::Slp, &alive("a", "u://a", None), SimTime::ZERO);
+        assert_eq!(reg.content_version(0), 1);
+        reg.record_advert(SdpProtocol::Slp, &alive("b", "u://b", None), SimTime::ZERO);
+        assert_eq!(reg.content_version(0), 3, "victim left (+1), newcomer landed (+1)");
+    }
+
+    #[test]
+    fn record_remote_applies_refreshes_and_stales() {
+        let reg = ServiceRegistry::new(RegistryConfig::default());
+        let t = SimTime::from_secs(1);
+        let peer = PeerId(7101);
+        let stream = alive("clock", "slp://a", Some(60));
+        assert_eq!(
+            reg.record_remote(SdpProtocol::Slp, &stream, peer, t),
+            RemoteDisposition::Applied
+        );
+        assert_eq!(reg.content_version(0), 1);
+        let rec = reg.record(SdpProtocol::Slp, "slp://a", t).expect("landed");
+        assert_eq!(rec.provenance(), RecordOrigin::Remote(peer), "remote records are attributed");
+        // The identical advert back again (e.g. gossiped by a second
+        // peer) is equivalent — no mutation, no version churn.
+        assert_eq!(
+            reg.record_remote(SdpProtocol::Slp, &stream, PeerId(7102), t),
+            RemoteDisposition::Stale
+        );
+        assert_eq!(reg.content_version(0), 1, "stale pull does not bump the version");
+        // A longer-lived copy of the same service is real news.
+        let longer = alive("clock", "slp://a", Some(600));
+        assert_eq!(
+            reg.record_remote(SdpProtocol::Slp, &longer, peer, t),
+            RemoteDisposition::Refreshed
+        );
+        assert_eq!(reg.content_version(0), 2);
+        // An unkeyed stream cannot land.
+        let unkeyed = EventStream::framed(vec![Event::ServiceAlive]);
+        assert_eq!(
+            reg.record_remote(SdpProtocol::Slp, &unkeyed, peer, t),
+            RemoteDisposition::Ignored
+        );
+    }
+
+    #[test]
+    fn remote_warm_hits_are_counted_and_stay_off_the_snapshot() {
+        let reg = ServiceRegistry::new(RegistryConfig::default());
+        let t = SimTime::ZERO;
+        reg.warm_remote("clock", response("clock"), t);
+        reg.warm("fax", response("fax"), t);
+        assert!(reg.cached_response("clock", t).is_some());
+        assert!(reg.cached_response("fax", t).is_some());
+        let stats = reg.stats();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.remote_cache_hits, 1, "only the remote-warmed entry counts");
+    }
+
+    #[test]
+    fn content_digest_is_order_and_shard_independent() {
+        let a = ServiceRegistry::new(RegistryConfig::default());
+        let b = ServiceRegistry::new(RegistryConfig { shards: 4, ..RegistryConfig::default() });
+        let t = SimTime::ZERO;
+        for i in 0..8 {
+            a.record_advert(
+                SdpProtocol::Slp,
+                &alive(&format!("t{i}"), &format!("u://{i}"), None),
+                t,
+            );
+        }
+        for i in (0..8).rev() {
+            // Reverse insertion order, remote provenance, different shard
+            // count — the content digest must still agree.
+            b.record_remote(
+                SdpProtocol::Slp,
+                &alive(&format!("t{i}"), &format!("u://{i}"), None),
+                PeerId(9),
+                t,
+            );
+        }
+        assert_eq!(a.content_digest(t), b.content_digest(t));
+        a.record_advert(SdpProtocol::Slp, &alive("extra", "u://x", None), t);
+        assert_ne!(a.content_digest(t), b.content_digest(t), "digest sees new content");
     }
 }

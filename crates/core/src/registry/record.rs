@@ -7,6 +7,38 @@ use indiss_net::SimTime;
 
 use crate::event::{Event, EventStream, SdpProtocol, Symbol};
 
+/// Identity of a peer gateway in the federated mesh (its peer-channel
+/// UDP port, which doubles as the mesh-wide address through the
+/// transport seam).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeerId(pub u16);
+
+impl std::fmt::Display for PeerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer:{}", self.0)
+    }
+}
+
+/// Where the registry learned a record: from SDP traffic on this
+/// gateway's own segment, or pulled from a peer gateway during mesh
+/// gossip. Remote records answer warm requests from the local cache
+/// without re-fanning-out, and statistics distinguish the two.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum RecordOrigin {
+    /// Learned from SDP traffic on the local segment.
+    #[default]
+    Local,
+    /// Pulled from the given peer gateway during anti-entropy gossip.
+    Remote(PeerId),
+}
+
+impl RecordOrigin {
+    /// True when the record was learned from a mesh peer.
+    pub fn is_remote(&self) -> bool {
+        matches!(self, RecordOrigin::Remote(_))
+    }
+}
+
 /// One discovered service, as the registry stores it.
 ///
 /// A record is built from an advertisement (or response) event stream and
@@ -26,6 +58,7 @@ pub struct ServiceRecord {
     endpoint: Option<Symbol>,
     attrs: Vec<(String, String)>,
     advert: EventStream,
+    provenance: RecordOrigin,
     registered_at: SimTime,
     refreshed_at: SimTime,
     expires_at: Option<SimTime>,
@@ -64,6 +97,7 @@ impl ServiceRecord {
                 .map(|(t, v)| (t.to_owned(), v.to_owned()))
                 .collect(),
             advert: stream.clone(),
+            provenance: RecordOrigin::Local,
             registered_at: now,
             refreshed_at: now,
             expires_at: ttl.map(|t| now.saturating_add(t)),
@@ -114,6 +148,18 @@ impl ServiceRecord {
     /// The original advert stream (for re-advertising into other SDPs).
     pub fn advert(&self) -> &EventStream {
         &self.advert
+    }
+
+    /// Where the registry learned this record: locally observed SDP
+    /// traffic, or a mesh peer during gossip.
+    pub fn provenance(&self) -> RecordOrigin {
+        self.provenance
+    }
+
+    /// Stamps where the record was learned (the mesh's pull-apply path
+    /// marks records it lands with [`RecordOrigin::Remote`]).
+    pub fn set_provenance(&mut self, provenance: RecordOrigin) {
+        self.provenance = provenance;
     }
 
     /// When the record was first registered.
@@ -235,6 +281,17 @@ mod tests {
         assert!(
             ServiceRecord::from_advert(SdpProtocol::Jini, &stream, SimTime::ZERO, None).is_none()
         );
+    }
+
+    #[test]
+    fn provenance_defaults_local_and_is_stampable() {
+        let mut r = ServiceRecord::from_advert(SdpProtocol::Slp, &alive(None), SimTime::ZERO, None)
+            .expect("keyed");
+        assert_eq!(r.provenance(), RecordOrigin::Local);
+        assert!(!r.provenance().is_remote());
+        r.set_provenance(RecordOrigin::Remote(PeerId(7101)));
+        assert_eq!(r.provenance(), RecordOrigin::Remote(PeerId(7101)));
+        assert!(r.provenance().is_remote());
     }
 
     #[test]

@@ -26,6 +26,11 @@ use std::sync::{Arc, MutexGuard};
 pub(crate) struct CachedResponse {
     pub(crate) response: EventStream,
     pub(crate) expires: SimTime,
+    /// True when the response was synthesized from knowledge pulled
+    /// from a mesh peer: hits on it count as remote cache hits, and the
+    /// entry is kept off the lock-free snapshot so that accounting
+    /// stays exact (see [`Shard::build_snapshot`]).
+    pub(crate) remote: bool,
 }
 
 /// Merge-on-read for the per-shard counter blocks: the aggregate
@@ -33,6 +38,7 @@ pub(crate) struct CachedResponse {
 impl RegistryStats {
     pub(crate) fn merge(&mut self, other: &RegistryStats) {
         self.cache_hits += other.cache_hits;
+        self.remote_cache_hits += other.remote_cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
         self.cache_expired += other.cache_expired;
@@ -70,6 +76,12 @@ pub(crate) struct Shard {
     pub(crate) suppress: HashMap<Symbol, SuppressCell>,
     pub(crate) wheel: ExpiryWheel,
     pub(crate) stats: RegistryStats,
+    /// Monotone content version of the shard's *record store*: bumped
+    /// exactly once per record mutation (insert, refresh, capacity
+    /// eviction, byebye removal, TTL expiry). Mesh digests are built
+    /// from these counters alone, so computing a digest never walks the
+    /// store on the hot path.
+    pub(crate) content_version: u64,
 }
 
 impl Shard {
@@ -84,6 +96,7 @@ impl Shard {
             suppress: HashMap::new(),
             wheel: ExpiryWheel::new(),
             stats: RegistryStats::default(),
+            content_version: 0,
         }
     }
 
@@ -125,6 +138,7 @@ impl Shard {
                         && self.store.remove_slot(slot).is_some()
                     {
                         report.records_expired += 1;
+                        self.content_version += 1;
                     }
                 }
                 Target::Cache { slot, .. } => {
@@ -164,11 +178,14 @@ impl Shard {
     /// Builds the immutable snapshot the epoch pointer publishes: every
     /// cached response plus its type's suppression cell (created here
     /// if the type was never suppressed, so a lock-free hit always has
-    /// a cell to arm).
+    /// a cell to arm). Remote-attributed entries are deliberately left
+    /// out: a remote hit must take the locked path so the per-shard
+    /// `remote_cache_hits` counter stays exact (the fast path only has
+    /// one atomic, folded into plain `cache_hits`).
     pub(crate) fn build_snapshot(&mut self) -> ShardSnapshot {
         let Shard { cache, suppress, .. } = self;
         let mut snapshot = HashMap::with_capacity(cache.len());
-        for (key, entry) in cache.iter() {
+        for (key, entry) in cache.iter().filter(|(_, entry)| !entry.remote) {
             let cell = Arc::clone(suppress.entry(key.clone()).or_default());
             snapshot.insert(
                 key.clone(),
@@ -313,7 +330,11 @@ impl ServiceRegistry {
             match shard.cache.get(&ty) {
                 Some(entry) if entry.expires > now => {
                     let response = entry.response.clone();
+                    let remote = entry.remote;
                     shard.stats.cache_hits += 1;
+                    if remote {
+                        shard.stats.remote_cache_hits += 1;
+                    }
                     // A cache-answered request still (re-)arms the
                     // window: the answer we just sent is about to echo.
                     shard.arm_suppression(ty, suppress_until);

@@ -46,6 +46,10 @@ pub struct BridgeStats {
     pub responses_composed: u64,
     /// Requests answered from the response cache.
     pub cache_hits: u64,
+    /// The subset of `cache_hits` served from entries warmed by mesh
+    /// gossip ([`crate::RecordOrigin::Remote`]) rather than local SDP
+    /// traffic — the federated plane's "remote hit" counter.
+    pub remote_cache_hits: u64,
     /// Cache lookups that found nothing usable.
     pub cache_misses: u64,
     /// Requests answered "nothing found" by the negative cache, without

@@ -1,0 +1,306 @@
+//! Integration tests of the federated gateway mesh: anti-entropy digest
+//! gossip over a shared [`SimTransport`] bus, remote-hit serving with
+//! origin attribution, and store-and-forward custody across a seeded
+//! partition. Every scenario here is deterministic — same-seed reruns
+//! must reproduce identical [`MeshStats`] and registry content digests,
+//! which the tests check by running each scenario twice.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use indiss_core::{
+    Event, EventStream, MeshConfig, MeshNode, MeshStats, PeerId, RecordOrigin, RegistryConfig,
+    SdpProtocol, ServiceRegistry,
+};
+use indiss_net::{FaultPlan, FaultTransport, SimTime, SimTransport, Transport};
+
+fn alive(ty: &str, url: &str, ttl: u32) -> EventStream {
+    EventStream::framed(vec![
+        Event::ServiceAlive,
+        Event::ServiceType(ty.into()),
+        Event::ResServUrl(url.into()),
+        Event::ResTtl(ttl),
+    ])
+}
+
+struct Gateway {
+    registry: ServiceRegistry,
+    mesh: MeshNode,
+}
+
+fn gateway(
+    transport: Arc<dyn Transport>,
+    template: &MeshConfig,
+    port: u16,
+    shards: usize,
+) -> Gateway {
+    let registry = ServiceRegistry::new(RegistryConfig { shards, ..RegistryConfig::default() });
+    let mesh = MeshNode::new(registry.clone(), transport, MeshConfig { port, ..template.clone() });
+    mesh.start().expect("mesh binds its peer channel");
+    Gateway { registry, mesh }
+}
+
+/// One full ten-gateway convergence scenario; returns every node's
+/// mesh counters and registry content digest so the caller can compare
+/// two same-seed runs for exact equality.
+fn run_ten_gateway_convergence() -> (Vec<MeshStats>, Vec<u64>) {
+    let bus: Arc<dyn Transport> = Arc::new(SimTransport::new());
+    let ports: Vec<u16> = (0..10).map(|i| 7100 + i).collect();
+    let template = MeshConfig { peers: ports.clone(), ..MeshConfig::default() };
+    let gateways: Vec<Gateway> =
+        ports.iter().map(|&p| gateway(Arc::clone(&bus), &template, p, 4)).collect();
+
+    // One service appears at gateway 0 only.
+    let t1 = SimTime::from_secs(1);
+    gateways[0].registry.record_advert(
+        SdpProtocol::Slp,
+        &alive("clock", "slp://printer/clock", 600),
+        t1,
+    );
+
+    // Round 1 spreads the record (digest -> pull -> records chains);
+    // round 2 settles to pure digest/ack exchanges.
+    for round in 1..=2u64 {
+        let now = SimTime::from_secs(round);
+        for gw in &gateways {
+            gw.mesh.run_round(now);
+        }
+    }
+
+    let t3 = SimTime::from_secs(3);
+
+    // Every node converged to the same registry content.
+    let digests: Vec<u64> = gateways.iter().map(|gw| gw.registry.content_digest(t3)).collect();
+    assert!(digests.iter().all(|&d| d == digests[0]), "all digests equal: {digests:?}");
+
+    // The record itself: local at gateway 0, attributed to gateway 0
+    // everywhere else.
+    let origin_record = gateways[0]
+        .registry
+        .record(SdpProtocol::Slp, "slp://printer/clock", t3)
+        .expect("origin keeps its record");
+    assert_eq!(origin_record.provenance(), RecordOrigin::Local);
+    for gw in &gateways[1..] {
+        assert_eq!(gw.registry.record_count(), 1);
+        let record = gw
+            .registry
+            .record(SdpProtocol::Slp, "slp://printer/clock", t3)
+            .expect("gossip landed the record");
+        assert_eq!(record.provenance(), RecordOrigin::Remote(PeerId(7100)));
+
+        // The apply warmed the response cache, so a request for the
+        // type is served locally as a *remote* hit — no re-fan-out.
+        assert!(gw.registry.cached_response("clock", t3).is_some(), "warm remote hit");
+        let stats = gw.registry.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.remote_cache_hits, 1, "the hit is attributed to the mesh");
+    }
+
+    // Exact mesh counters. Round 1: every node pulls every other node
+    // exactly once (the one record, applied on first receipt and stale
+    // on the 8 echoes); round 2 is all acks.
+    let stats: Vec<MeshStats> = gateways.iter().map(|gw| gw.mesh.stats()).collect();
+    for (i, s) in stats.iter().enumerate() {
+        let applied = u64::from(i != 0);
+        let expected = MeshStats {
+            rounds_run: 2,
+            digests_sent: 18,
+            digests_received: 18,
+            digests_rejected: 0,
+            acks_sent: 9,
+            acks_received: 9,
+            pulls_sent: 9,
+            pulls_received: 9,
+            records_sent: 9,
+            records_received: 9,
+            records_applied: applied,
+            records_stale: 9 - applied,
+            frames_rejected: 0,
+            custody_enqueued: 0,
+            custody_dropped: 0,
+            custody_expired: 0,
+            custody_replayed: 0,
+            peers_down: 0,
+            peers_reconnected: 0,
+        };
+        assert_eq!(*s, expected, "gateway {i} counters");
+    }
+
+    (stats, digests)
+}
+
+/// A record registered at gateway 0 is served as a warm remote hit at
+/// all 9 peers after gossip convergence, and a same-seed rerun
+/// reproduces identical `MeshStats` and registry digests.
+#[test]
+fn ten_gateways_converge_to_warm_remote_hits() {
+    let first = run_ten_gateway_convergence();
+    let second = run_ten_gateway_convergence();
+    assert_eq!(first, second, "same-seed replay is identical");
+}
+
+/// The three-gateway partition scenario: gateway C's ingress is severed
+/// for a scheduled arrival-index window, A publishes adverts while C is
+/// down (custody, bounded), and C converges only after the window ends
+/// via custody replay. Returns counters and digests for replay checks.
+fn run_partition_scenario(seed: u64) -> (Vec<MeshStats>, Vec<u64>) {
+    let bus: Arc<dyn Transport> = Arc::new(SimTransport::new());
+    // Only C binds through the fault layer: its ingress lane discards
+    // arrivals 8..28 (rounds 3-6 — four arrivals per round: two peer
+    // digests plus two acks answering C's own digests). C's egress is
+    // untouched, so C keeps sending digests nobody can answer — which
+    // is exactly why digests must not count as proof of liveness.
+    let mut plan = FaultPlan::quiet(seed);
+    plan.partitions = vec![(8, 24)];
+    let faulted: Arc<dyn Transport> = Arc::new(FaultTransport::wrap(Arc::clone(&bus), plan));
+
+    let ports = vec![7100u16, 7101, 7102];
+    let template =
+        MeshConfig { peers: ports.clone(), custody_capacity: 2, ..MeshConfig::default() };
+    let a = gateway(Arc::clone(&bus), &template, 7100, 2);
+    let b = gateway(Arc::clone(&bus), &template, 7101, 2);
+    let c = gateway(faulted, &template, 7102, 2);
+
+    let round = |n: u64| {
+        let now = SimTime::from_secs(n);
+        a.mesh.run_round(now);
+        b.mesh.run_round(now);
+        c.mesh.run_round(now);
+    };
+
+    // Rounds 1-2: healthy (arrivals 0..8 on C's lane). Rounds 3-4: C
+    // hears nothing; its silence raises miss counts at A and B.
+    for n in 1..=4 {
+        round(n);
+    }
+    assert!(!a.mesh.peer_down(7102), "not down before down_after misses");
+
+    // Round 5: the second unanswered digest marks C down everywhere —
+    // and C, hearing no responses either, marks both peers down.
+    round(5);
+    assert!(a.mesh.peer_down(7102));
+    assert!(b.mesh.peer_down(7102));
+    assert!(c.mesh.peer_down(7100) && c.mesh.peer_down(7101));
+
+    // Three services appear at A while C is cut. Custody holds two
+    // (the bound), dropping the oldest and counting the drop. B is up
+    // and learns them over plain gossip next round.
+    let t5 = SimTime::from_secs(5);
+    for (ty, url) in [("svc-a", "slp://a/1"), ("svc-b", "slp://a/2"), ("svc-c", "slp://a/3")] {
+        let advert = alive(ty, url, 600);
+        a.registry.record_advert(SdpProtocol::Slp, &advert, t5);
+        a.mesh.publish(SdpProtocol::Slp, &advert, t5);
+    }
+    assert_eq!(a.mesh.custody_len(7102), 2, "bounded custody");
+    let mid = a.mesh.stats();
+    assert_eq!(mid.custody_enqueued, 3);
+    assert_eq!(mid.custody_dropped, 1, "oldest dropped and counted");
+
+    // Round 6: B pulls the three records; C still hears nothing.
+    round(6);
+    assert_eq!(b.registry.record_count(), 3, "the live peer converges during the cut");
+    assert_eq!(c.registry.record_count(), 0, "the cut peer cannot converge yet");
+
+    // Rounds 7-8: the window has ended. C answers A's digest with a
+    // pull; that response revives C at A, which replays custody as a
+    // RELAY frame ahead of the pull answer. One more round settles
+    // every version vector back to acks.
+    round(7);
+    round(8);
+
+    let t9 = SimTime::from_secs(9);
+    assert_eq!(c.registry.record_count(), 3, "reconnect converged the cut peer");
+    let digests = vec![
+        a.registry.content_digest(t9),
+        b.registry.content_digest(t9),
+        c.registry.content_digest(t9),
+    ];
+    assert!(digests.iter().all(|&d| d == digests[0]), "all digests equal: {digests:?}");
+
+    // Attribution: everything C holds came from A, both the relayed
+    // pair and the custody-dropped record that plain anti-entropy
+    // backfilled on the same reconnect.
+    for url in ["slp://a/1", "slp://a/2", "slp://a/3"] {
+        let record = c.registry.record(SdpProtocol::Slp, url, t9).expect("record landed");
+        assert_eq!(record.provenance(), RecordOrigin::Remote(PeerId(7100)));
+    }
+
+    // The applies warmed C's cache: requests are remote hits.
+    for ty in ["svc-a", "svc-b", "svc-c"] {
+        assert!(c.registry.cached_response(ty, t9).is_some(), "warm remote hit for {ty}");
+    }
+    assert_eq!(c.registry.stats().remote_cache_hits, 3);
+
+    let (sa, sb, sc) = (a.mesh.stats(), b.mesh.stats(), c.mesh.stats());
+
+    // A held custody for C and replayed the two surviving entries.
+    assert_eq!(
+        (sa.custody_enqueued, sa.custody_dropped, sa.custody_expired, sa.custody_replayed),
+        (3, 1, 0, 2)
+    );
+    assert_eq!((sa.peers_down, sa.peers_reconnected), (1, 1));
+
+    // B never held custody (the records were remote there) but saw the
+    // same down/reconnect transition, and applied all three records.
+    assert_eq!(
+        (sb.custody_enqueued, sb.custody_dropped, sb.custody_expired, sb.custody_replayed),
+        (0, 0, 0, 0)
+    );
+    assert_eq!((sb.peers_down, sb.peers_reconnected), (1, 1));
+    assert_eq!(sb.records_applied, 3);
+
+    // C lost both peers to the cut, recovered both, and applied the
+    // three records exactly once each (relay first, echoes stale).
+    assert_eq!((sc.peers_down, sc.peers_reconnected), (2, 2));
+    assert_eq!(sc.records_applied, 3);
+    assert_eq!(sc.custody_enqueued, 0);
+    assert_eq!(sc.frames_rejected, 0);
+
+    (vec![sa, sb, sc], digests)
+}
+
+/// Under a seeded partition the cut peer converges only after reconnect
+/// via custody replay, and the whole run — counters and digests — is
+/// reproducible from the same seed.
+#[test]
+fn partitioned_peer_converges_via_custody_replay() {
+    let first = run_partition_scenario(7);
+    let second = run_partition_scenario(7);
+    assert_eq!(first, second, "same-seed replay is identical");
+}
+
+/// Custody entries lapse unsent when the peer stays gone past the
+/// custody TTL, and the lapse deadline is surfaced through
+/// [`MeshNode::next_deadline`] so a driving timer wakes up for it.
+#[test]
+fn custody_entries_lapse_unsent_when_the_peer_stays_gone() {
+    let bus: Arc<dyn Transport> = Arc::new(SimTransport::new());
+    let template = MeshConfig {
+        peers: vec![7300, 7301],
+        gossip_interval: Duration::from_secs(10),
+        custody_ttl: Duration::from_secs(2),
+        ..MeshConfig::default()
+    };
+    // Peer 7301 never binds: every digest goes unanswered.
+    let a = gateway(Arc::clone(&bus), &template, 7300, 1);
+    for n in 1..=3 {
+        a.mesh.run_round(SimTime::from_secs(n));
+    }
+    assert!(a.mesh.peer_down(7301), "down after two unanswered digests");
+
+    let t3 = SimTime::from_secs(3);
+    let advert = alive("printer", "slp://p/1", 600);
+    a.registry.record_advert(SdpProtocol::Slp, &advert, t3);
+    a.mesh.publish(SdpProtocol::Slp, &advert, t3);
+    assert_eq!(a.mesh.custody_len(7301), 1);
+
+    // The custody deadline (t=5) is earlier than the next round (t=13).
+    assert_eq!(a.mesh.next_deadline(), Some(SimTime::from_secs(5)));
+
+    a.mesh.tick(SimTime::from_secs(6));
+    assert_eq!(a.mesh.custody_len(7301), 0);
+    let stats = a.mesh.stats();
+    assert_eq!(stats.custody_expired, 1, "lapsed unsent");
+    assert_eq!(stats.custody_replayed, 0);
+    assert_eq!(stats.rounds_run, 3, "the tick was before the next round");
+}

@@ -60,6 +60,7 @@ mod fault;
 mod latency;
 mod meter;
 mod node;
+mod peer;
 #[cfg(all(target_os = "linux", feature = "epoll"))]
 mod reactor;
 #[cfg(all(target_os = "linux", feature = "epoll"))]
@@ -78,6 +79,7 @@ pub use fault::{FaultPlan, FaultTransport};
 pub use latency::LinkConfig;
 pub use meter::{MeterRecord, MeterTransport, TrafficMeter};
 pub use node::{Node, NodeId};
+pub use peer::PeerChannel;
 pub use tcp::{TcpListener, TcpListenerId, TcpStream, TcpStreamId};
 pub use time::SimTime;
 pub use trace::{PacketTrace, TraceEntry, TraceOutcome};
