@@ -168,7 +168,10 @@ pub struct IndissConfig {
     /// This gateway's own mesh peer port. `None` (the default) leaves
     /// the federated mesh plane off; `Some(port)` makes
     /// [`IndissConfig::mesh_config`] yield a [`MeshConfig`] a
-    /// [`crate::MeshNode`] can be started from.
+    /// [`crate::MeshNode`] can be started from — and makes the config
+    /// deployable only through `Indiss::deploy_mesh`, which does that
+    /// wiring (plain `Indiss::deploy` refuses it rather than leaving
+    /// the federation silently inert).
     pub peer_port: Option<u16>,
     /// Peer gateways (by their mesh peer ports) to gossip with.
     pub peers: Vec<u16>,
@@ -350,7 +353,8 @@ impl IndissConfig {
     }
 
     /// Joins the federated mesh: this gateway binds `port` as its peer
-    /// identity and gossips with `peers`.
+    /// identity and gossips with `peers`. Deploy the result through
+    /// `Indiss::deploy_mesh` with the transport the gateways share.
     pub fn with_mesh(mut self, port: u16, peers: impl Into<Vec<u16>>) -> Self {
         self.peer_port = Some(port);
         self.peers = peers.into();

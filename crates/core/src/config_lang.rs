@@ -268,7 +268,10 @@ fn parse_monitor(p: &mut Parser) -> CoreResult<Vec<u16>> {
 
 /// Parses the `Peers = { p; p; … }` federation block: the first port is
 /// this gateway's own mesh identity, the rest are the peers it gossips
-/// with.
+/// with. A config carrying this block deploys through
+/// `Indiss::deploy_mesh` (which starts the mesh plane on the shared
+/// peer bus); plain `Indiss::deploy` refuses it so a declared
+/// federation can never end up silently inert.
 fn parse_peers(p: &mut Parser) -> CoreResult<(u16, Vec<u16>)> {
     p.expect_punct('=')?;
     p.expect_punct('{')?;

@@ -128,8 +128,10 @@ pub struct MeshStats {
     pub digests_sent: u64,
     /// Digest frames received.
     pub digests_received: u64,
-    /// Digests refused (shard-count changed mid-flight).
-    pub digests_rejected: u64,
+    /// Digests whose shard count differed from the peer's earlier
+    /// digests (the peer restarted with a different registry layout);
+    /// pull state was reset and the peer re-synced from scratch.
+    pub digest_resyncs: u64,
     /// "Nothing to pull" replies sent.
     pub acks_sent: u64,
     /// "Nothing to pull" replies received.
@@ -262,6 +264,14 @@ impl MeshNode {
     pub fn start(&self) -> CoreResult<()> {
         if self.shared.channel.get().is_some() {
             return Err(CoreError::BadConfig("mesh already started"));
+        }
+        // A digest frame carries at most MAX_SHARDS versions; refusing
+        // a larger registry here beats silently gossiping a truncated
+        // vector (records on the dropped shards would never propagate).
+        if self.shared.registry.shard_count() > wire::MAX_SHARDS {
+            return Err(CoreError::BadConfig(
+                "the mesh digest wire carries at most 256 shards; lower RegistryConfig::shards",
+            ));
         }
         let weak: Weak<MeshShared> = Arc::downgrade(&self.shared);
         let sink = Arc::new(move |dgram: Datagram| {
@@ -460,12 +470,15 @@ impl MeshShared {
                 inner.stats.digests_received += 1;
                 let peer = &mut inner.peers[peer_idx];
                 if peer.pulled.len() != versions.len() {
-                    if peer.pulled.is_empty() {
-                        peer.pulled = vec![0; versions.len()];
-                    } else {
-                        inner.stats.digests_rejected += 1;
-                        return outgoing;
+                    // A changed shard count means the peer restarted
+                    // with a different registry layout: treat it as a
+                    // new incarnation — reset pull state and re-sync
+                    // from scratch rather than refusing the peer
+                    // forever.
+                    if !peer.pulled.is_empty() {
+                        inner.stats.digest_resyncs += 1;
                     }
+                    peer.pulled = vec![0; versions.len()];
                 }
                 let shards: Vec<u16> = versions
                     .iter()
@@ -598,7 +611,13 @@ impl MeshShared {
 }
 
 /// Freezes a live record for the wire, converting its absolute expiry
-/// back to a remaining TTL (rounded up). `None` when already dead.
+/// back to a remaining TTL in whole seconds, rounded **up** so a record
+/// never dies early in transit. The receiver's rebuilt expiry can
+/// therefore sit up to one second past the sender's; the registry's
+/// remote equivalence check absorbs exactly that quantum
+/// ([`ServiceRegistry::record_remote`]), which is what keeps
+/// anti-entropy converging on fractional-second round times. `None`
+/// when already dead.
 fn record_to_wire(record: &ServiceRecord, now: SimTime) -> Option<WireRecord> {
     if record.is_expired(now) {
         return None;
@@ -667,4 +686,50 @@ fn response_stream(record: &WireRecord) -> EventStream {
         events.push(Event::ResTtl(ttl));
     }
     EventStream::framed(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use indiss_net::SimTransport;
+
+    fn node(shards: usize) -> MeshNode {
+        let registry = ServiceRegistry::new(RegistryConfig { shards, ..RegistryConfig::default() });
+        MeshNode::new(
+            registry,
+            Arc::new(SimTransport::new()),
+            MeshConfig { port: 7100, peers: vec![7101], ..MeshConfig::default() },
+        )
+    }
+
+    /// A peer that restarts with a different shard count is a new
+    /// incarnation: its pull state resets and it re-syncs from scratch
+    /// instead of being rejected forever.
+    #[test]
+    fn shard_count_change_resets_pull_state_instead_of_rejecting() {
+        let node = node(1);
+        let now = SimTime::from_secs(1);
+        let digest = |versions: Vec<u64>| Frame::Digest { from: 7101, round: 1, versions };
+
+        let mut inner = node.shared.lock();
+        let out = node.shared.handle_frame(&mut inner, digest(vec![3, 3]), now);
+        assert_eq!(out.len(), 1, "first digest answered");
+        assert_eq!(inner.peers[0].pulled.len(), 2, "pull state sized from the digest");
+
+        let out = node.shared.handle_frame(&mut inner, digest(vec![1, 0, 0, 2]), now);
+        assert_eq!(out.len(), 1, "the resized digest is still answered");
+        assert_eq!(inner.peers[0].pulled.len(), 4, "pull state resized to the new layout");
+        assert_eq!(inner.stats.digest_resyncs, 1);
+        assert_eq!(inner.stats.digests_received, 2);
+    }
+
+    /// A registry sharded beyond what a digest frame carries is refused
+    /// at startup instead of silently gossiping a truncated vector.
+    #[test]
+    fn start_rejects_more_shards_than_the_digest_wire_carries() {
+        let oversharded = node(wire::MAX_SHARDS + 1);
+        assert!(matches!(oversharded.start(), Err(CoreError::BadConfig(_))));
+        assert!(node(wire::MAX_SHARDS).start().is_ok(), "the cap itself is fine");
+    }
 }

@@ -43,8 +43,11 @@ const HEADER_LEN: usize = 4 + 1 + 1 + 8;
 const MAX_STR: usize = 1024;
 /// Most records accepted in one `Records`/`Relay` frame.
 pub(crate) const MAX_RECORDS: usize = 512;
-/// Most shards accepted in a version vector or pull list.
-const MAX_SHARDS: usize = 256;
+/// Most shards accepted in a version vector or pull list. Mesh startup
+/// refuses registries sharded beyond this ([`crate::MeshNode::start`]),
+/// so the encode-side clamps below can never silently drop a live
+/// shard.
+pub(crate) const MAX_SHARDS: usize = 256;
 
 /// Why a frame failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -179,6 +179,16 @@ pub enum RemoteDisposition {
     Ignored,
 }
 
+/// Slack [`ServiceRegistry::record_remote`]'s equivalence check grants
+/// a rebuilt expiry. The mesh wire carries remaining TTL in whole
+/// seconds rounded *up* (so a record never dies early in transit),
+/// which means a receiver re-deriving `now + ttl` can land up to one
+/// second past the sender's true expiry without carrying any news.
+/// Treating that window as covered is what lets anti-entropy reach its
+/// digest/ack fixpoint on fractional-second round times; a genuine
+/// refresh extends a record by its full TTL, far beyond this slack.
+const REMOTE_EXPIRY_SLACK: Duration = Duration::from_secs(1);
+
 /// Synthetic artifacts a unit minted for a bridged foreign service,
 /// shared through the registry so every layer sees one copy.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -329,11 +339,13 @@ impl ServiceRegistry {
     /// Applies a record pulled from mesh peer `peer` during gossip: the
     /// alive stream is normalized exactly like a local advert, stamped
     /// [`RecordOrigin::Remote`], and upserted — *unless* an equivalent
-    /// live record (same endpoint and canonical type, at least as late
-    /// an expiry) already exists, in which case nothing changes and the
-    /// shard's content version does not advance. The equivalence check
-    /// is what makes anti-entropy converge: once two peers hold the
-    /// same records, pulls stop mutating and digests stop advancing.
+    /// live record (same endpoint and canonical type, an expiry no more
+    /// than `REMOTE_EXPIRY_SLACK` — the wire's TTL rounding quantum —
+    /// earlier) already exists, in which
+    /// case nothing changes and the shard's content version does not
+    /// advance. The equivalence check is what makes anti-entropy
+    /// converge: once two peers hold the same records, pulls stop
+    /// mutating and digests stop advancing.
     pub fn record_remote(
         &self,
         origin: SdpProtocol,
@@ -355,7 +367,9 @@ impl ServiceRegistry {
                 && existing.canonical_type() == record.canonical_type()
                 && match (existing.expires_at(), record.expires_at()) {
                     (None, _) => true,
-                    (Some(theirs), Some(ours)) => theirs >= ours,
+                    (Some(theirs), Some(ours)) => {
+                        theirs.saturating_add(REMOTE_EXPIRY_SLACK) >= ours
+                    }
                     (Some(_), None) => false,
                 };
             if covered {
@@ -1226,6 +1240,38 @@ mod tests {
             reg.record_remote(SdpProtocol::Slp, &unkeyed, peer, t),
             RemoteDisposition::Ignored
         );
+    }
+
+    /// Regression for the anti-entropy fixpoint: the mesh wire carries
+    /// remaining TTL in whole seconds rounded up, so an echoed record
+    /// rebuilds with an expiry up to one second past the original. That
+    /// window must read as covered (`Stale`, no version churn) — or two
+    /// peers whose expiries are not whole seconds away from the gossip
+    /// ticks re-pull each other forever and TTLs creep every round.
+    #[test]
+    fn record_remote_tolerates_the_wire_ttl_quantum() {
+        let reg = ServiceRegistry::new(RegistryConfig::default());
+        let peer = PeerId(7101);
+        // The original lands at t=1.25 s with a 60 s TTL: expiry 61.25 s.
+        let t = SimTime::from_nanos(1_250_000_000);
+        reg.record_remote(SdpProtocol::Slp, &alive("clock", "slp://a", Some(60)), peer, t);
+        assert_eq!(reg.content_version(0), 1);
+        // The echo rebuilt from the wire at t=2 s: ceil(59.25) = 60 s,
+        // expiry 62 s — 0.75 s past the original, inside the quantum.
+        let echo = alive("clock", "slp://a", Some(60));
+        assert_eq!(
+            reg.record_remote(SdpProtocol::Slp, &echo, peer, SimTime::from_secs(2)),
+            RemoteDisposition::Stale,
+            "wire rounding is not news"
+        );
+        assert_eq!(reg.content_version(0), 1, "no version churn from the quantum");
+        // A genuinely refreshed record (the full TTL again, well past
+        // the slack) is still real news.
+        assert_eq!(
+            reg.record_remote(SdpProtocol::Slp, &echo, peer, SimTime::from_secs(30)),
+            RemoteDisposition::Refreshed
+        );
+        assert_eq!(reg.content_version(0), 2);
     }
 
     #[test]

@@ -24,13 +24,14 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::{Arc, Mutex, MutexGuard, Weak};
 
-use indiss_net::{Completion, Datagram, Node, SimTime, World};
+use indiss_net::{Completion, Datagram, Node, SimTime, Transport, World};
 
 use crate::adapt::DiscoveryMode;
 use crate::config::{IndissConfig, UnitSpec};
 use crate::error::{CoreError, CoreResult};
 use crate::event::{Event, EventStream, SdpProtocol};
 use crate::gateway::{classify_request, BridgeCounters, WarmDecision};
+use crate::mesh::MeshNode;
 use crate::monitor::Monitor;
 use crate::registry::ServiceRegistry;
 use crate::units::{ParsedMessage, Unit, UnitContext};
@@ -94,6 +95,12 @@ struct IndissInner {
     mode_log: Vec<(SimTime, DiscoveryMode)>,
     /// Virtual time the next registry sweep is armed for, if any.
     sweep_armed: Option<SimTime>,
+    /// The federated mesh plane, when deployed via
+    /// [`Indiss::deploy_mesh`]. Gossip rounds and custody expiry are
+    /// driven by virtual-time timers (`schedule_mesh_tick`).
+    mesh: Option<MeshNode>,
+    /// Virtual time the next mesh tick is armed for, if any.
+    mesh_tick_armed: Option<SimTime>,
 }
 
 /// A deployed INDISS instance.
@@ -166,11 +173,58 @@ impl Indiss {
     ///
     /// # Errors
     ///
-    /// [`CoreError::BadConfig`] when no units are configured or when two
+    /// [`CoreError::BadConfig`] when no units are configured, when two
     /// units claim the same protocol (a silent first-wins would make the
-    /// losing spec's configuration disappear without a trace); network
-    /// errors when the monitor or unit sockets cannot bind.
+    /// losing spec's configuration disappear without a trace), or when
+    /// the config names mesh peers — a `Peers = { … }` block or
+    /// [`IndissConfig::with_mesh`] deploys through
+    /// [`Indiss::deploy_mesh`], so a configured federation can never be
+    /// silently dropped; network errors when the monitor or unit sockets
+    /// cannot bind.
     pub fn deploy(node: &Node, config: IndissConfig) -> CoreResult<Indiss> {
+        if config.mesh_config().is_some() {
+            return Err(CoreError::BadConfig(
+                "the config names mesh peers; use Indiss::deploy_mesh with the \
+                 transport the gateways share as their peer bus",
+            ));
+        }
+        Indiss::deploy_inner(node, config)
+    }
+
+    /// Deploys INDISS *and* its federated mesh plane: everything
+    /// [`Indiss::deploy`] does, plus a [`MeshNode`] built from the
+    /// config's [`IndissConfig::mesh_config`] (a config-language
+    /// `Peers = { … }` block or [`IndissConfig::with_mesh`]) is started
+    /// on `peer_bus` — the transport every gateway of one mesh must
+    /// share. Gossip rounds and custody expiry run on the node's
+    /// virtual-time world, and locally recorded adverts are offered to
+    /// the mesh for store-and-forward custody automatically.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Indiss::deploy`] rejects, plus
+    /// [`CoreError::BadConfig`] when the config names no mesh peers (or
+    /// shards the registry beyond what the digest wire carries) and
+    /// [`CoreError::Net`] when the peer channel cannot bind.
+    pub fn deploy_mesh(
+        node: &Node,
+        config: IndissConfig,
+        peer_bus: Arc<dyn Transport>,
+    ) -> CoreResult<Indiss> {
+        let Some(mesh_config) = config.mesh_config() else {
+            return Err(CoreError::BadConfig(
+                "deploy_mesh needs mesh peers (a Peers block or with_mesh)",
+            ));
+        };
+        let instance = Indiss::deploy_inner(node, config)?;
+        let mesh = MeshNode::new(instance.registry(), peer_bus, mesh_config);
+        mesh.start()?;
+        instance.inner().mesh = Some(mesh);
+        instance.schedule_mesh_tick(node.world());
+        Ok(instance)
+    }
+
+    fn deploy_inner(node: &Node, config: IndissConfig) -> CoreResult<Indiss> {
         if config.units.is_empty() {
             return Err(CoreError::BadConfig("at least one unit is required"));
         }
@@ -203,6 +257,8 @@ impl Indiss {
                 mode: DiscoveryMode::Passive,
                 mode_log: vec![(node.world().now(), DiscoveryMode::Passive)],
                 sweep_armed: None,
+                mesh: None,
+                mesh_tick_armed: None,
             })),
             monitor: monitor.clone(),
         };
@@ -242,6 +298,12 @@ impl Indiss {
     /// The shared service registry behind this instance.
     pub fn registry(&self) -> ServiceRegistry {
         self.inner().registry.clone()
+    }
+
+    /// The federated mesh plane, when this instance was deployed via
+    /// [`Indiss::deploy_mesh`].
+    pub fn mesh(&self) -> Option<MeshNode> {
+        self.inner().mesh.clone()
     }
 
     /// Bridge statistics so far (atomic bridge-path counters merged with
@@ -516,6 +578,17 @@ impl Indiss {
                 registry.warm(t, stream.clone(), now);
             }
         }
+        // Offer the advert to the mesh plane: up peers learn it from
+        // the next digest via the version bump the record just caused,
+        // down peers get it held in custody for replay on reconnect
+        // (whose lapse deadline may move the next mesh tick earlier).
+        if stream.is_alive() {
+            let mesh = self.inner().mesh.clone();
+            if let Some(mesh) = mesh {
+                mesh.publish(origin, &stream, now);
+                self.schedule_mesh_tick(world);
+            }
+        }
         self.schedule_sweep(world);
         if active {
             self.translate_advert(world, origin, &stream);
@@ -601,6 +674,48 @@ impl Indiss {
         };
         registry.sweep(world.now());
         self.schedule_sweep(world);
+    }
+
+    // ------------------------------------------------------------------
+    // Mesh gossip ticks
+    // ------------------------------------------------------------------
+
+    /// Arms (or re-arms) the virtual-time mesh timer at the mesh plane's
+    /// next deadline (gossip round or custody lapse). Mirrors
+    /// [`Self::schedule_sweep`]: an earlier pending timer wins.
+    fn schedule_mesh_tick(&self, world: &World) {
+        let deadline = {
+            let inner = self.inner();
+            let Some(mesh) = inner.mesh.as_ref() else {
+                return;
+            };
+            mesh.next_deadline()
+        };
+        let Some(deadline) = deadline else { return };
+        {
+            let mut inner = self.inner();
+            if inner.mesh_tick_armed.is_some_and(|armed| armed <= deadline) {
+                return;
+            }
+            inner.mesh_tick_armed = Some(deadline);
+        }
+        let this = self.clone();
+        world.schedule_at(deadline, move |w| this.run_mesh_tick(w));
+    }
+
+    fn run_mesh_tick(&self, world: &World) {
+        // Clone the mesh handle out so the runtime lock is released
+        // before tick sends frames (a SimTransport peer may deliver
+        // synchronously and call back into this runtime's registry).
+        let mesh = {
+            let mut inner = self.inner();
+            inner.mesh_tick_armed = None;
+            inner.mesh.clone()
+        };
+        if let Some(mesh) = mesh {
+            mesh.tick(world.now());
+        }
+        self.schedule_mesh_tick(world);
     }
 
     // ------------------------------------------------------------------
@@ -941,6 +1056,60 @@ mod tests {
         // the store bounded rather than waiting out the TTL here — the
         // dedicated registry tests cover exact expiry timing.
         assert!(registry.record_count() <= registry.config().advert_capacity);
+    }
+
+    /// A mesh-bearing config must go through [`Indiss::deploy_mesh`] —
+    /// plain `deploy` refuses it loudly rather than leaving the
+    /// federation silently inert — and once deployed, virtual-time
+    /// gossip ticks federate the gateways with no manual round driving.
+    #[test]
+    fn deployed_gateways_federate_over_the_peer_bus() {
+        let world = World::new(85);
+        let node_a = world.add_node("gw-a");
+        let node_b = world.add_node("gw-b");
+        let bus: Arc<dyn Transport> = Arc::new(indiss_net::SimTransport::new());
+
+        let cfg_a = IndissConfig::slp_upnp().with_mesh(7100, vec![7101]);
+        let cfg_b = IndissConfig::slp_upnp().with_mesh(7101, vec![7100]);
+
+        let err = Indiss::deploy(&node_a, cfg_a.clone()).unwrap_err();
+        assert!(matches!(err, CoreError::BadConfig(msg) if msg.contains("deploy_mesh")), "{err}");
+        let err =
+            Indiss::deploy_mesh(&node_a, IndissConfig::slp_upnp(), Arc::clone(&bus)).unwrap_err();
+        assert!(matches!(err, CoreError::BadConfig(msg) if msg.contains("peers")), "{err}");
+
+        let a = Indiss::deploy_mesh(&node_a, cfg_a, Arc::clone(&bus)).unwrap();
+        let b = Indiss::deploy_mesh(&node_b, cfg_b, Arc::clone(&bus)).unwrap();
+
+        // Feed the advert through the runtime path (so the mesh custody
+        // hook runs), not through a simulated device — every sim node
+        // shares one multicast segment, so a real device's NOTIFY would
+        // reach gateway B natively and prove nothing about the mesh.
+        let advert = EventStream::framed(vec![
+            crate::Event::ServiceAlive,
+            crate::Event::ServiceType("clock".into()),
+            crate::Event::ResServUrl("slp://gw-a/clock".into()),
+            crate::Event::ResTtl(600),
+        ]);
+        a.record_advert(&world, SdpProtocol::Slp, advert);
+
+        // Four default gossip intervals: a digest → pull → records
+        // round plus settling digest/ack rounds, all timer-driven.
+        world.run_for(Duration::from_secs(2));
+
+        let record = b
+            .registry()
+            .record(SdpProtocol::Slp, "slp://gw-a/clock", world.now())
+            .expect("gossip landed the record at the peer");
+        assert_eq!(record.provenance(), crate::RecordOrigin::Remote(crate::PeerId(7100)));
+        assert!(
+            b.registry().cached_response("clock", world.now()).is_some(),
+            "the apply warmed the peer's cache for remote hits"
+        );
+        let stats = b.mesh().expect("mesh deployed").stats();
+        assert!(stats.rounds_run >= 2, "virtual-time ticks drove gossip: {stats:?}");
+        assert_eq!(stats.records_applied, 1, "{stats:?}");
+        assert!(a.mesh().unwrap().stats().rounds_run >= 2, "both gateways tick independently");
     }
 
     /// A unit whose native query process never answers — the simulated

@@ -106,7 +106,7 @@ fn run_ten_gateway_convergence() -> (Vec<MeshStats>, Vec<u64>) {
             rounds_run: 2,
             digests_sent: 18,
             digests_received: 18,
-            digests_rejected: 0,
+            digest_resyncs: 0,
             acks_sent: 9,
             acks_received: 9,
             pulls_sent: 9,
@@ -137,6 +137,52 @@ fn ten_gateways_converge_to_warm_remote_hits() {
     let first = run_ten_gateway_convergence();
     let second = run_ten_gateway_convergence();
     assert_eq!(first, second, "same-seed replay is identical");
+}
+
+/// Regression: remaining TTL travels in whole seconds rounded up, so a
+/// receiver rebuilds an expiry slightly later than the sender's. The
+/// registry's remote equivalence check must absorb that quantum, or two
+/// gateways whose round times are not whole seconds (the default gossip
+/// interval is 500 ms!) re-pull each other forever — no digest/ack
+/// fixpoint, and every record's expiry creeps forward each round so
+/// TTL'd records never die while gossip runs.
+#[test]
+fn fractional_round_times_reach_the_digest_ack_fixpoint() {
+    let bus: Arc<dyn Transport> = Arc::new(SimTransport::new());
+    let template = MeshConfig { peers: vec![7100, 7101], ..MeshConfig::default() };
+    let a = gateway(Arc::clone(&bus), &template, 7100, 1);
+    let b = gateway(Arc::clone(&bus), &template, 7101, 1);
+
+    // A 600 s record lands at a fractional instant: its expiry is never
+    // a whole number of seconds away from any 500 ms round tick.
+    a.registry.record_advert(
+        SdpProtocol::Slp,
+        &alive("clock", "slp://a/clock", 600),
+        SimTime::from_nanos(250_000_000),
+    );
+
+    // Six rounds at the default 500 ms cadence.
+    for n in 1..=6u64 {
+        let now = SimTime::from_nanos(n * 500_000_000);
+        a.mesh.run_round(now);
+        b.mesh.run_round(now);
+    }
+
+    // Round 1 spreads the record (and echoes it back to A); every later
+    // round must settle to a pure digest/ack exchange with no record
+    // churn — the wire's whole-second TTL rounding is not news.
+    let (sa, sb) = (a.mesh.stats(), b.mesh.stats());
+    assert_eq!((sa.pulls_sent, sa.records_applied, sa.records_stale), (1, 0, 1), "{sa:?}");
+    assert_eq!((sb.pulls_sent, sb.records_applied, sb.records_stale), (1, 1, 0), "{sb:?}");
+    assert_eq!(sa.acks_sent, 5, "rounds 2-6 are acks at A: {sa:?}");
+    assert_eq!(sb.acks_sent, 5, "rounds 2-6 are acks at B: {sb:?}");
+
+    // And the expiry did not creep: the record still dies on schedule.
+    let alive_at = SimTime::from_secs(599);
+    assert!(b.registry.record(SdpProtocol::Slp, "slp://a/clock", alive_at).is_some());
+    let late = SimTime::from_secs(602);
+    assert!(a.registry.record(SdpProtocol::Slp, "slp://a/clock", late).is_none());
+    assert!(b.registry.record(SdpProtocol::Slp, "slp://a/clock", late).is_none());
 }
 
 /// The three-gateway partition scenario: gateway C's ingress is severed
