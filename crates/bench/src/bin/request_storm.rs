@@ -21,6 +21,11 @@
 //! row: a full gateway mesh gossiping over one sim bus, gated on
 //! two-round digest convergence, on every foreign record being served
 //! as a warm remote cache hit, and on an identical same-seed replay.
+//! Pass `--worlds` for the scenario matrix: every declarative `World`
+//! (churn at ≥1000 nodes, mobility under a scheduled link cut,
+//! adversarial injection, million-record soak) runs twice and is gated
+//! on a bit-identical replay digest; in full mode the worlds'
+//! declared `Assert MinDeliveryPct` floors are enforced as well.
 
 use std::time::Duration;
 
@@ -28,6 +33,7 @@ use indiss_bench::scenarios::{
     hostile_world, mesh_convergence, request_storm, udp_batched_storm, udp_warm_hit,
     warm_hit_pipeline_bytes, warm_hit_scaling,
 };
+use indiss_bench::worlds;
 
 /// Bytes of allocator traffic per warm-hit bridged request measured on
 /// the event pipeline *before* the zero-copy refactor (deep-cloned
@@ -42,6 +48,7 @@ fn main() {
     let udp = args.iter().any(|a| a == "--udp");
     let hostile = args.iter().any(|a| a == "--hostile");
     let mesh = args.iter().any(|a| a == "--mesh");
+    let run_worlds = args.iter().any(|a| a == "--worlds");
     let max_workers: usize = args
         .iter()
         .position(|a| a == "--workers")
@@ -291,6 +298,44 @@ fn main() {
         None
     };
 
+    // The scenario matrix: every declarative hostile world, run twice.
+    // The replay-digest gate is the whole point — a world is a pure
+    // function of its seed, so the second run must reproduce the first
+    // bit for bit. Delivery floors are declared in the worlds' own
+    // `Assert` blocks and enforced in full mode only (smoke durations
+    // are too short for the floors to be meaningful).
+    let world_outcomes = if run_worlds {
+        let matrix = worlds::matrix(smoke);
+        let mut rows = Vec::with_capacity(matrix.len());
+        println!("scenario matrix ({} worlds, each run twice)", matrix.len());
+        for w in &matrix {
+            let first = worlds::run_world(w.name, &w.spec, !smoke);
+            let replay = worlds::run_world(w.name, &w.spec, !smoke);
+            assert_eq!(
+                first.digest, replay.digest,
+                "world '{}' replay diverged: a world must be a pure function of its seed",
+                w.name
+            );
+            assert_eq!(first.probes_delivered, replay.probes_delivered);
+            assert_eq!(first.faults, replay.faults);
+            println!(
+                "  {:<20} {:>5} nodes  delivery {:>5.1}%  converged in {:>2} rounds  \
+                 faults {:>5}  digest {:#018X}",
+                first.name,
+                first.nodes,
+                first.delivery_pct,
+                first.convergence_rounds,
+                first.faults.total(),
+                first.digest,
+            );
+            assert!(first.converged, "world '{}' failed to converge", w.name);
+            rows.push(first);
+        }
+        rows
+    } else {
+        Vec::new()
+    };
+
     let scaling_json: Vec<String> = scaling
         .iter()
         .map(|p| {
@@ -385,6 +430,49 @@ fn main() {
         ),
         None => "null".to_owned(),
     };
+    let worlds_json = if world_outcomes.is_empty() {
+        "null".to_owned()
+    } else {
+        let rows: Vec<String> = world_outcomes
+            .iter()
+            .map(|o| {
+                format!(
+                    concat!(
+                        "    {{ \"world\": \"{}\", \"nodes\": {}, \"gateways\": {}, ",
+                        "\"services\": {}, \"ticks\": {}, \"adverts\": {}, ",
+                        "\"probes_issued\": {}, \"probes_delivered\": {}, ",
+                        "\"delivery_pct\": {:.2}, \"convergence_rounds\": {}, ",
+                        "\"injected\": {}, \"frames_rejected\": {}, ",
+                        "\"faults_total\": {}, \"faults_time_partitioned\": {}, ",
+                        "\"peak_records\": {}, \"peak_custody\": {}, ",
+                        "\"peak_tracker\": {}, \"soak_records\": {}, ",
+                        "\"within_memory_budget\": {}, \"replay_digest\": \"{:#018X}\" }}"
+                    ),
+                    o.name,
+                    o.nodes,
+                    o.gateways,
+                    o.services,
+                    o.ticks,
+                    o.adverts_sent,
+                    o.probes_issued,
+                    o.probes_delivered,
+                    o.delivery_pct,
+                    o.convergence_rounds,
+                    o.injected,
+                    o.frames_rejected,
+                    o.faults.total(),
+                    o.faults.time_partitioned,
+                    o.peak_records,
+                    o.peak_custody,
+                    o.peak_tracker,
+                    o.soak_records,
+                    o.within_memory_budget,
+                    o.digest,
+                )
+            })
+            .collect();
+        format!("[\n{}\n  ]", rows.join(",\n"))
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -414,7 +502,8 @@ fn main() {
             "  \"udp_warm_hit\": {udp_row},\n",
             "  \"udp_batched\": {batched_row},\n",
             "  \"hostile_world\": {hostile_row},\n",
-            "  \"mesh_convergence\": {mesh_row}\n",
+            "  \"mesh_convergence\": {mesh_row},\n",
+            "  \"scenario_matrix\": {worlds_rows}\n",
             "}}\n",
         ),
         smoke = smoke,
@@ -443,6 +532,7 @@ fn main() {
         batched_row = batched_json,
         hostile_row = hostile_json,
         mesh_row = mesh_json,
+        worlds_rows = worlds_json,
     );
     std::fs::write("BENCH_storm.json", &json).expect("write BENCH_storm.json");
     println!("\nwrote BENCH_storm.json");

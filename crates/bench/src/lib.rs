@@ -21,6 +21,7 @@ pub mod alloc;
 pub mod scenarios;
 pub mod size;
 pub mod stats;
+pub mod worlds;
 
 /// Byte accounting for every binary and test in this crate; see
 /// [`alloc`].
@@ -155,7 +156,7 @@ mod tests {
         // response cache's surviving entries, and symbols other
         // concurrently running tests keep alive.
         assert!(
-            outcome.interned_bytes_after <= outcome.interned_bytes_before + 128 * 1024,
+            outcome.memory.within_budget(),
             "interned symbol data must stay bounded under churn: {} -> {} bytes ({} entries \
              reclaimed by the final collect)",
             outcome.interned_bytes_before,

@@ -8,7 +8,7 @@
 use std::net::SocketAddrV4;
 use std::time::Duration;
 
-use indiss_core::{AdaptationPolicy, DiscoveryMode, Indiss, IndissConfig, Symbol};
+use indiss_core::{AdaptationPolicy, DiscoveryMode, Indiss, IndissConfig};
 use indiss_net::{Collector, Completion, SimTime, World};
 use indiss_slp::{
     AttributeList, Registration, ServiceAgent, SlpConfig, UserAgent, SLP_MULTICAST_GROUP, SLP_PORT,
@@ -334,6 +334,10 @@ pub struct ChurnOutcome {
     /// Interner entries the final explicit collection reclaimed (the
     /// amortized watermark GC reclaims continuously as well).
     pub interner_reclaimed: usize,
+    /// The bounded-memory verdict, settled through the same
+    /// [`indiss_core::MemoryBudget`] helper the scenario engine's soak
+    /// mode uses (one definition of "bounded", shared by both).
+    pub memory: indiss_core::MemorySettlement,
 }
 
 /// Registry churn: floods a gateway INDISS with `services` short-lived
@@ -351,7 +355,10 @@ pub fn registry_churn(seed: u64, services: usize) -> ChurnOutcome {
     use std::rc::Rc;
 
     let record_capacity = 1024;
-    let interned_bytes_before = Symbol::interned_bytes();
+    // The slack covers the steady vocabulary, the bounded response
+    // cache's surviving entries, and symbols concurrently running
+    // tests keep alive.
+    let budget = indiss_core::MemoryBudget::capture(128 * 1024);
     let world = World::new(seed);
     let gateway = world.add_node("gateway");
     let indiss = Indiss::deploy(
@@ -488,8 +495,7 @@ pub fn registry_churn(seed: u64, services: usize) -> ChurnOutcome {
     let final_records = registry.record_count();
     // Every churned record is gone; whatever symbols only they kept
     // alive are now collectable.
-    let interner_reclaimed = Symbol::collect();
-    let interned_bytes_after = Symbol::interned_bytes();
+    let memory = budget.settle();
     ChurnOutcome {
         adverts_sent: services,
         adverts_recorded: stats.adverts_recorded,
@@ -501,9 +507,10 @@ pub fn registry_churn(seed: u64, services: usize) -> ChurnOutcome {
         cache_evictions: stats.cache_evictions,
         warm_hit_before,
         warm_hit_after,
-        interned_bytes_before,
-        interned_bytes_after,
-        interner_reclaimed,
+        interned_bytes_before: memory.interned_before,
+        interned_bytes_after: memory.interned_after,
+        interner_reclaimed: memory.reclaimed_entries,
+        memory,
     }
 }
 

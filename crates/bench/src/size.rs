@@ -177,7 +177,7 @@ const SUPERSET_ROWS: &[(&str, &[&str])] = &[
     // `fuzz_tests.rs` is `#[cfg(test)]`-only (the decoder fuzz walk and
     // its committed corpus) — claimed here so the completeness gate sees
     // it, measured alongside the tracker it hardens.
-    ("Robustness layer (hostile worlds)", &["tracker.rs", "fuzz_tests.rs"]),
+    ("Robustness layer (hostile worlds)", &["tracker.rs", "fuzz_tests.rs", "scenario.rs"]),
     ("Federated mesh (gateway-to-gateway)", &["mesh/mod.rs", "mesh/wire.rs", "mesh/custody.rs"]),
 ];
 

@@ -179,6 +179,13 @@ pub struct IndissConfig {
     pub gossip_interval: Duration,
     /// Most adverts held in store-and-forward custody per down peer.
     pub custody_capacity: usize,
+    /// A declarative hostile world parsed from a `World = { … }` block
+    /// in the §3 config text, if one was declared. The deployable
+    /// runtime ignores it; the scenario engine
+    /// (`crates/bench/src/worlds.rs`) compiles it into a seeded
+    /// deterministic run. Always pre-validated by
+    /// [`crate::WorldSpec::validate`].
+    pub world: Option<crate::scenario::WorldSpec>,
 }
 
 impl IndissConfig {
@@ -206,6 +213,7 @@ impl IndissConfig {
             peers: Vec::new(),
             gossip_interval: MeshConfig::default().gossip_interval,
             custody_capacity: MeshConfig::default().custody_capacity,
+            world: None,
         }
     }
 

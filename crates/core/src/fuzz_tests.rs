@@ -24,7 +24,9 @@
 
 use std::net::{Ipv4Addr, SocketAddrV4};
 
+use crate::config::IndissConfig;
 use crate::mesh::wire as mesh_wire;
+use crate::scenario::MutationSource;
 use crate::symbol::Symbol;
 use crate::units::{slp, upnp, SdpDescriptor};
 
@@ -32,25 +34,6 @@ use crate::units::{slp, upnp, SdpDescriptor};
 /// frame seeds below are signed with, so mutated frames reach the body
 /// parsers through the signed path too.
 const MESH_KEY: u64 = 0x1D15_5000_0000_4EED;
-
-/// Deterministic 64-bit generator (SplitMix64): tiny, seedable, and
-/// with no global state — iteration `n` of a given seed is always the
-/// same input, which is the whole reproducibility story.
-struct SplitMix64(u64);
-
-impl SplitMix64 {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n.max(1) as u64) as usize
-    }
-}
 
 fn src() -> SocketAddrV4 {
     SocketAddrV4::new(Ipv4Addr::new(10, 66, 0, 99), 41_000)
@@ -178,61 +161,50 @@ fn seeds() -> Vec<Vec<u8>> {
     out
 }
 
-/// One fuzz input: either raw byte soup or a structured mutation of a
-/// seed. The strategy mix is weighted toward mutations — random bytes
-/// mostly die in the first length check, mutated valid frames reach
-/// the deep branches.
-fn generate(rng: &mut SplitMix64, corpus: &[Vec<u8>]) -> Vec<u8> {
-    match rng.below(8) {
-        // Raw soup, length 0..=96: exercises the headers.
-        0 => {
-            let len = rng.below(97);
-            (0..len).map(|_| rng.next() as u8).collect()
-        }
-        // Truncation: valid prefix of a seed.
-        1 => {
-            let seed = &corpus[rng.below(corpus.len())];
-            seed[..rng.below(seed.len() + 1)].to_vec()
-        }
-        // Extension: a seed plus trailing garbage.
-        2 => {
-            let mut v = corpus[rng.below(corpus.len())].clone();
-            for _ in 0..rng.below(32) {
-                v.push(rng.next() as u8);
-            }
-            v
-        }
-        // Splice: head of one seed, tail of another.
-        3 => {
-            let a = &corpus[rng.below(corpus.len())];
-            let b = &corpus[rng.below(corpus.len())];
-            let mut v = a[..rng.below(a.len() + 1)].to_vec();
-            v.extend_from_slice(&b[rng.below(b.len() + 1)..]);
-            v
-        }
-        // Length-field abuse: overwrite two adjacent bytes with an
-        // extreme big-endian value (0xFFFF / 0x8000 / small).
-        4 => {
-            let mut v = corpus[rng.below(corpus.len())].clone();
-            if v.len() >= 2 {
-                let at = rng.below(v.len() - 1);
-                let val: u16 = [0xFFFF, 0x8000, 0x7FFF, 0x0001][rng.below(4)];
-                v[at..at + 2].copy_from_slice(&val.to_be_bytes());
-            }
-            v
-        }
-        // Bit flips: 1..=8 single-bit corruptions.
-        _ => {
-            let mut v = corpus[rng.below(corpus.len())].clone();
-            if !v.is_empty() {
-                for _ in 0..=rng.below(8) {
-                    let at = rng.below(v.len());
-                    v[at] ^= 1 << rng.below(8);
-                }
-            }
-            v
-        }
-    }
+/// Valid `System SDP = { … }` texts — the corpus the config-language
+/// fuzz walk mutates. Includes `World` blocks with every key, numeric
+/// extremes at the validation boundaries, and the paper's own example,
+/// so splices land just past the "well-formed" edge where parser bugs
+/// live.
+fn config_seeds() -> Vec<Vec<u8>> {
+    [
+        "System SDP = {\n\
+         Component Monitor = { ScanPort = { 1900; 4160; 427 } }\n\
+         Component Unit SLP(port=427);\n\
+         Component Unit UPnP(port=1900);\n\
+         Component Unit JINI(port=4160); }",
+        "System SDP = {\n\
+         Peers = { 7100; 7101; 7102 }\n\
+         Component Unit SLP(port=427);\n\
+         World = {\n\
+           Seed = 42; Gateways = 4; Services = 1200;\n\
+           DurationSecs = 30; TickMillis = 500;\n\
+           ChurnArrivalsPerTick = 40; ChurnDeparturesPerTick = 30;\n\
+           AdvertTtlSecs = 8; InjectPerTick = 5; SoakRecords = 1000000;\n\
+           Fault = { DropPct = 10; CorruptPct = 5; DelayPct = 5; ReorderPct = 5; DuplicatePct = 3 };\n\
+           Cut = { Gateway = 1; FromSecs = 2; ToSecs = 5 };\n\
+           Move = { Service = 7; From = 0; To = 2; AtSecs = 10 };\n\
+           Assert = { MaxInternedBytes = 262144; MinDeliveryPct = 80;\n\
+                      MaxRegistryRecords = 4096; MaxCustody = 64; MaxTrackerEntries = 512 };\n\
+         }; }",
+        "System SDP = {\n\
+         Component Unit DNS-SD(port=5353) = {\n\
+           Group  = 224.0.0.251;\n\
+           Ttl    = 120;\n\
+           Query  = \"DNSSD Q PTR _{type}._tcp.local\";\n\
+           Answer = \"DNSSD A PTR _{type}._tcp.local SRV {url} TTL {ttl}\";\n\
+         }; }",
+        // Numbers parked on the validation boundaries — one bit flip or
+        // splice away from every off-by-one.
+        "System SDP = { World = { Gateways = 64; Services = 2000000; DurationSecs = 3600;\n\
+           TickMillis = 10000; SoakRecords = 10000000; InjectPerTick = 1000;\n\
+           Fault = { DropPct = 100 }; }; }",
+        "System SDP = { World = { Seed = 18446744073709551615; Gateways = 2; Services = 1;\n\
+           DurationSecs = 1; TickMillis = 1; AdvertTtlSecs = 86400; }; }",
+    ]
+    .iter()
+    .map(|text| text.as_bytes().to_vec())
+    .collect()
 }
 
 /// Every decoder sees every input — including each other's traffic
@@ -258,20 +230,21 @@ fn decode_all(descriptor: &SdpDescriptor, payload: &[u8]) {
 
 /// The fuzz loop. `FUZZ_ITERS` (default 10 000) scales the walk;
 /// failures print the offending iteration and input so they can be
-/// frozen into [`corpus`].
+/// frozen into [`corpus`]. Inputs come from
+/// [`crate::scenario::MutationSource`] — the same generator the
+/// scenario engine's live adversarial injector draws from.
 #[test]
 fn fuzz_all_wire_decoders() {
     let iters: u64 =
         std::env::var("FUZZ_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(10_000);
-    let corpus = seeds();
     let descriptor = SdpDescriptor::dns_sd();
     // Pre-fuzz live-symbol footprint, for the growth bound below.
     Symbol::collect();
     let baseline = Symbol::interned_bytes();
 
-    let mut rng = SplitMix64(0x1D15_5F00_D5EE_D001);
+    let mut source = MutationSource::new(0x1D15_5F00_D5EE_D001, seeds());
     for i in 0..iters {
-        let payload = generate(&mut rng, &corpus);
+        let payload = source.next_input();
         let guard = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             decode_all(&descriptor, &payload);
         }));
@@ -290,6 +263,45 @@ fn fuzz_all_wire_decoders() {
     assert!(
         after < baseline + 64 * 1024,
         "interner retained fuzz garbage: {baseline} -> {after} bytes"
+    );
+}
+
+/// The scenario/`World` parser as a fuzz entry point: config soup,
+/// line splices between valid system texts, and numeric-field abuse
+/// (the boundary-value seeds above, mutated). The parser must reject
+/// or accept — never panic, and never hand back a `World` that fails
+/// its own validation (a parsed world is safe to *run* by contract).
+#[test]
+fn fuzz_config_language() {
+    let iters: u64 = std::env::var("FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(4_000, |n: u64| (n / 2).max(1_000));
+    Symbol::collect();
+    let baseline = Symbol::interned_bytes();
+
+    let mut source = MutationSource::new(0x1D15_5F00_D5EE_D002, config_seeds());
+    for i in 0..iters {
+        let payload = source.next_input();
+        let text = String::from_utf8_lossy(&payload).into_owned();
+        let guard = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Ok(config) = IndissConfig::from_system_sdp(&text) {
+                if let Some(world) = config.world {
+                    world.validate().expect("parsed worlds are pre-validated");
+                }
+            }
+        }));
+        if let Err(panic) = guard {
+            eprintln!("config fuzz crasher at iteration {i}: {text:?}");
+            std::panic::resume_unwind(panic);
+        }
+    }
+
+    Symbol::collect();
+    let after = Symbol::interned_bytes();
+    assert!(
+        after < baseline + 64 * 1024,
+        "config parsing retained interner garbage: {baseline} -> {after} bytes"
     );
 }
 
@@ -439,6 +451,71 @@ mod corpus {
         wire.extend_from_slice(&[0xC3, 0x28, 0xFF, 0xFE]);
         assert!(mesh_wire::decode_unchecked(&wire).is_err(), "invalid UTF-8 must not decode");
         decode_all(&SdpDescriptor::dns_sd(), &wire);
+    }
+
+    /// Config-language inputs the fuzz walk is prone to producing:
+    /// each must come back as a clean `Err`, never a panic. The
+    /// numeric-abuse lines pin the lexer's checked `u64` parse, the
+    /// `u32` narrowing in the `World` parser, and `validate()` as the
+    /// last line of defence for in-range-but-absurd values.
+    #[test]
+    fn config_numeric_field_abuse() {
+        for text in [
+            // Lexer-level overflow: too many digits for u64.
+            "System SDP = { World = { Seed = 99999999999999999999999999 }; }",
+            // Field-level overflow: fits u64, not u32.
+            "System SDP = { World = { Gateways = 4294967296 }; }",
+            "System SDP = { World = { TickMillis = 18446744073709551615 }; }",
+            // In-range but absurd: validate() must refuse to hand these
+            // to the engine.
+            "System SDP = { World = { Gateways = 63000 }; }",
+            "System SDP = { World = { SoakRecords = 18446744073709551615 }; }",
+            "System SDP = { World = { InjectPerTick = 1000000 }; }",
+            // A port that is also a World field width.
+            "System SDP = { Peers = { 4294967295 } }",
+        ] {
+            assert!(
+                IndissConfig::from_system_sdp(text).is_err(),
+                "numeric abuse must be rejected: {text}"
+            );
+        }
+    }
+
+    /// Structural config soup: splices, truncations and repetitions of
+    /// valid blocks. Accept or reject — never panic, and any accepted
+    /// `World` is validated.
+    #[test]
+    fn config_soup_and_splices() {
+        for text in [
+            // A World block truncated mid-key, mid-number, mid-block.
+            "System SDP = { World = { Ga",
+            "System SDP = { World = { Gateways = 4",
+            "System SDP = { World = { Fault = { DropPct = ",
+            // The Monitor block spliced into a World block.
+            "System SDP = { World = { ScanPort = { 1900; 427 } }; }",
+            // A World block where a unit should be.
+            "System SDP = { Component Unit World(port=1); }",
+            // Two World blocks: last one wins, no panic.
+            "System SDP = { World = { Seed = 1 }; World = { Seed = 2 }; \
+             Component Unit SLP(port=427); }",
+            // Unterminated string from a spliced descriptor.
+            "System SDP = { Component Unit X(port=6400) = { Query = \"LP? {type}",
+            // Deep brace nesting with no content.
+            "System SDP = { World = { { { { { } } } } }; }",
+        ] {
+            if let Ok(config) = IndissConfig::from_system_sdp(text) {
+                if let Some(world) = config.world {
+                    world.validate().expect("accepted worlds validate");
+                }
+            }
+        }
+        // The two-World splice specifically: last block wins.
+        let config = IndissConfig::from_system_sdp(
+            "System SDP = { World = { Seed = 1 }; World = { Seed = 2 }; \
+             Component Unit SLP(port=427); }",
+        )
+        .expect("repeated World blocks parse");
+        assert_eq!(config.world.expect("world kept").seed, 2);
     }
 
     /// An SLP URL entry whose lifetime/URL-length fields lie about the

@@ -114,6 +114,7 @@ mod pool;
 mod protocol;
 mod registry;
 mod runtime;
+mod scenario;
 mod symbol;
 mod tracker;
 mod units;
@@ -137,6 +138,10 @@ pub use registry::{
     RemoteDisposition, ServiceRecord, ServiceRegistry, SweepReport,
 };
 pub use runtime::{BridgeHandle, BridgeStats, Indiss};
+pub use scenario::{
+    LinkCut, MemoryBudget, MemorySettlement, MobilityMove, MutationSource, ScenarioRng,
+    WorldAsserts, WorldFault, WorldSpec,
+};
 pub use symbol::Symbol;
 pub use units::{
     parse_slp_request, BridgeRequestFn, DescriptorClient, DescriptorService, DescriptorUnit,

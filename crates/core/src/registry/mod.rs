@@ -59,7 +59,6 @@ mod shard;
 
 pub use record::{PeerId, RecordOrigin, ServiceRecord};
 
-use std::hash::RandomState;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -223,12 +222,6 @@ pub(super) struct RegistryShared {
     /// Process-unique identity (see [`epoch::next_registry_id`]) keying
     /// the per-thread snapshot caches of the lock-free read path.
     pub(super) id: u64,
-    /// Shard router: hashes a canonical-type symbol to a shard index.
-    /// Per-registry (not global) so two registries never share routing
-    /// state; symbols hash by pointer, which is stable for as long as
-    /// the symbol is live — and every key stored in a shard keeps its
-    /// symbol live.
-    pub(super) router: RandomState,
     pub(super) shards: Box<[Mutex<Shard>]>,
     /// One epoch-published snapshot per shard (same indexing as
     /// `shards`): the lock-free warm-hit read path. Writers republish
@@ -256,7 +249,6 @@ impl ServiceRegistry {
             shared: Arc::new(RegistryShared {
                 config,
                 id: epoch::next_registry_id(),
-                router: RandomState::new(),
                 shards,
                 epochs,
             }),

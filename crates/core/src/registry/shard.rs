@@ -18,7 +18,6 @@ use crate::registry::epoch::{ShardSnapshot, SnapEntry, SuppressCell};
 use crate::registry::expiry::{ExpiryWheel, Target};
 use crate::registry::index::{LruCache, RecordStore};
 use crate::registry::{Projection, RegistryConfig, RegistryStats, ServiceRegistry, SweepReport};
-use std::hash::BuildHasher;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, MutexGuard};
 
@@ -267,7 +266,16 @@ impl ServiceRegistry {
         if self.shared.shards.len() == 1 {
             return 0;
         }
-        self.shared.router.hash_one(sym) as usize % self.shared.shards.len()
+        // Stable FNV-1a over the type name. Routing must be a pure
+        // function of the record's contents — not of interner
+        // allocation addresses or a per-instance random key — so that
+        // same-seed scenario replays batch identically and federated
+        // peers agree on which shard a record lives in.
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in sym.as_str().as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h as usize % self.shared.shards.len()
     }
 
     pub(crate) fn lock_shard(&self, idx: usize) -> MutexGuard<'_, Shard> {

@@ -315,6 +315,107 @@ fn partitioned_peer_converges_via_custody_replay() {
     assert_eq!(first, second, "same-seed replay is identical");
 }
 
+/// One mobility-handover scenario: a service originates at gateway 0,
+/// converges across the mesh, then re-homes to gateway 2 (the PR 9
+/// `Move` script shape) and re-originates there with a fresh TTL.
+/// Returns final counters and digests for same-seed replay checks.
+fn run_mobility_handover() -> (Vec<MeshStats>, Vec<u64>) {
+    let bus: Arc<dyn Transport> = Arc::new(SimTransport::new());
+    let ports = vec![7200u16, 7201, 7202];
+    let template = MeshConfig { peers: ports.clone(), ..MeshConfig::default() };
+    let gws: Vec<Gateway> =
+        ports.iter().map(|&p| gateway(Arc::clone(&bus), &template, p, 2)).collect();
+    let round = |n: u64| {
+        let now = SimTime::from_secs(n);
+        for gw in &gws {
+            gw.mesh.run_round(now);
+        }
+    };
+
+    // t=1: the service lives at gateway 0, on a short lease (the old
+    // home's record must not be what keeps the service alive later).
+    let t1 = SimTime::from_secs(1);
+    gws[0].registry.record_advert(SdpProtocol::Slp, &alive("clock", "slp://clock/ctl", 10), t1);
+    round(1);
+    round(2);
+    let t2 = SimTime::from_secs(2);
+    for (i, gw) in gws.iter().enumerate() {
+        assert_eq!(gw.registry.record_count(), 1, "gateway {i} converged");
+        let record = gw.registry.record(SdpProtocol::Slp, "slp://clock/ctl", t2).expect("landed");
+        let expected =
+            if i == 0 { RecordOrigin::Local } else { RecordOrigin::Remote(PeerId(7200)) };
+        assert_eq!(record.provenance(), expected, "gateway {i} attribution before the move");
+    }
+
+    // t=3: the service re-homes to gateway 2 and re-originates with a
+    // fresh 600 s lease — same identity, new gateway, new lifetime.
+    let t3 = SimTime::from_secs(3);
+    gws[2].registry.record_advert(SdpProtocol::Slp, &alive("clock", "slp://clock/ctl", 600), t3);
+    let moved = gws[2].registry.record(SdpProtocol::Slp, "slp://clock/ctl", t3).expect("rehomed");
+    assert_eq!(moved.provenance(), RecordOrigin::Local, "re-origination owns the record");
+
+    // Rounds 3-6: the handover spreads (gateway 0's stale copy is
+    // superseded, not kept) and the version vectors settle.
+    for n in 3..=6 {
+        round(n);
+    }
+    let t6 = SimTime::from_secs(6);
+    let digests: Vec<u64> = gws.iter().map(|gw| gw.registry.content_digest(t6)).collect();
+    assert!(digests.iter().all(|&d| d == digests[0]), "all digests equal: {digests:?}");
+    for (i, gw) in gws.iter().enumerate() {
+        assert_eq!(gw.registry.record_count(), 1, "one live record, no doubled identity");
+        let record = gw.registry.record(SdpProtocol::Slp, "slp://clock/ctl", t6).expect("alive");
+        let expected =
+            if i == 2 { RecordOrigin::Local } else { RecordOrigin::Remote(PeerId(7202)) };
+        assert_eq!(record.provenance(), expected, "gateway {i} re-attributed to the new home");
+    }
+
+    // Fixpoint: two more rounds must be pure digest/ack exchanges — no
+    // pulls, no record transfers, no re-advertising ping-pong between
+    // the old and new home.
+    let settled: Vec<MeshStats> = gws.iter().map(|gw| gw.mesh.stats()).collect();
+    round(7);
+    round(8);
+    let after: Vec<MeshStats> = gws.iter().map(|gw| gw.mesh.stats()).collect();
+    for (i, (s, a)) in settled.iter().zip(&after).enumerate() {
+        assert_eq!(a.pulls_sent, s.pulls_sent, "gateway {i} pulls again after fixpoint");
+        assert_eq!(a.records_sent, s.records_sent, "gateway {i} re-ships records");
+        assert_eq!(a.records_applied, s.records_applied, "gateway {i} re-applies");
+        assert_eq!(a.acks_sent, s.acks_sent + 4, "rounds 7-8 are all acks at gateway {i}");
+    }
+
+    // The old home's 10 s lease is long gone at t=20; the service lives
+    // on the new home's lease — and dies on its schedule, everywhere.
+    let t20 = SimTime::from_secs(20);
+    for (i, gw) in gws.iter().enumerate() {
+        assert!(
+            gw.registry.record(SdpProtocol::Slp, "slp://clock/ctl", t20).is_some(),
+            "gateway {i} outlives the old lease on the new one"
+        );
+    }
+    let t700 = SimTime::from_secs(700);
+    for (i, gw) in gws.iter().enumerate() {
+        assert!(
+            gw.registry.record(SdpProtocol::Slp, "slp://clock/ctl", t700).is_none(),
+            "gateway {i} expires the moved record on the new lease"
+        );
+    }
+
+    (after, digests)
+}
+
+/// A service re-originating at a new gateway converges to a single
+/// live record: the old home re-attributes to the new one, version
+/// vectors reach fixpoint (no ping-pong re-advertising), the record
+/// outlives the old lease on the new one, and a same-seed rerun is
+/// identical.
+#[test]
+fn mobility_handover_converges_to_a_single_live_record() {
+    let first = run_mobility_handover();
+    let second = run_mobility_handover();
+    assert_eq!(first, second, "same-seed replay is identical");
+}
+
 /// Custody entries lapse unsent when the peer stays gone past the
 /// custody TTL, and the lapse deadline is surfaced through
 /// [`MeshNode::next_deadline`] so a driving timer wakes up for it.

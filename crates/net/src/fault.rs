@@ -37,6 +37,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::error::NetResult;
+use crate::time::SimTime;
 use crate::transport::{
     BindSpec, FaultStats, IoStats, Transport, TransportBatchSink, TransportKind, TransportSink,
     TransportSocket,
@@ -67,6 +68,17 @@ pub struct FaultPlan {
     /// of the per-lane arrival index: everything arriving inside a
     /// window is discarded, as if the network split.
     pub partitions: Vec<(u64, u64)>,
+    /// Scheduled partition windows in *virtual time*, as half-open
+    /// `[start, end)` instants: everything arriving while the
+    /// transport's virtual clock sits inside a window is discarded.
+    /// The clock only moves when the driving side calls
+    /// [`FaultTransport::set_now`] — mobility scripts use this to cut a
+    /// gateway for a scripted interval ("cut B from t=2s to t=5s"),
+    /// and because the clock is virtual the outcome stays a pure
+    /// function of `(seed, lane, window)`, never of wall-clock timing.
+    /// The fixed per-arrival draw budget is consumed before the window
+    /// check, so lanes stay aligned with an uncut replay.
+    pub time_partitions: Vec<(SimTime, SimTime)>,
 }
 
 impl FaultPlan {
@@ -85,6 +97,10 @@ impl FaultPlan {
     fn in_partition(&self, index: u64) -> bool {
         self.partitions.iter().any(|&(start, end)| index >= start && index < end)
     }
+
+    fn in_time_partition(&self, now: SimTime) -> bool {
+        self.time_partitions.iter().any(|&(start, end)| now >= start && now < end)
+    }
 }
 
 #[derive(Default)]
@@ -95,6 +111,7 @@ struct FaultCounters {
     corrupted: AtomicU64,
     delayed: AtomicU64,
     partitioned: AtomicU64,
+    time_partitioned: AtomicU64,
 }
 
 impl FaultCounters {
@@ -106,6 +123,7 @@ impl FaultCounters {
             corrupted: self.corrupted.load(Ordering::Relaxed),
             delayed: self.delayed.load(Ordering::Relaxed),
             partitioned: self.partitioned.load(Ordering::Relaxed),
+            time_partitioned: self.time_partitioned.load(Ordering::Relaxed),
         }
     }
 }
@@ -146,6 +164,10 @@ pub struct FaultTransport {
     inner: Arc<dyn Transport>,
     plan: FaultPlan,
     counters: Arc<FaultCounters>,
+    /// Latest virtual time observed from the driving side (see
+    /// [`FaultTransport::set_now`]); datagram handlers read it for the
+    /// time-window partition check. Shared by every sink closure.
+    now_nanos: Arc<AtomicU64>,
     /// Client lanes key by bind order so the key is identical across
     /// transports (ephemeral port numbers are not).
     client_seq: AtomicU64,
@@ -159,6 +181,7 @@ impl FaultTransport {
             inner,
             plan,
             counters: Arc::new(FaultCounters::default()),
+            now_nanos: Arc::new(AtomicU64::new(0)),
             client_seq: AtomicU64::new(0),
         }
     }
@@ -167,6 +190,16 @@ impl FaultTransport {
     /// [`Transport::io_stats`]).
     pub fn fault_stats(&self) -> FaultStats {
         self.counters.snapshot()
+    }
+
+    /// Advances the transport's virtual clock (monotonic — a stale
+    /// caller never moves it backwards). Only
+    /// [`FaultPlan::time_partitions`] reads the clock; a plan without
+    /// time windows never needs this called. Drive it from the same
+    /// virtual-time loop that schedules the traffic and the partition
+    /// outcome is deterministic by construction.
+    pub fn set_now(&self, now: SimTime) {
+        self.now_nanos.fetch_max(now.as_nanos(), Ordering::Relaxed);
     }
 
     fn lane(&self, key: u64) -> Arc<Lane> {
@@ -201,6 +234,13 @@ impl FaultTransport {
         if plan.in_partition(index) {
             counters.partitioned.fetch_add(1, Ordering::Relaxed);
             return;
+        }
+        if !plan.time_partitions.is_empty() {
+            let now = SimTime::from_nanos(self.now_nanos.load(Ordering::Relaxed));
+            if plan.in_time_partition(now) {
+                counters.time_partitioned.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
         }
         if chance(d_drop, plan.drop) {
             counters.dropped.fetch_add(1, Ordering::Relaxed);
@@ -266,6 +306,7 @@ impl FaultTransport {
             inner: Arc::clone(&self.inner),
             plan: self.plan.clone(),
             counters: Arc::clone(&self.counters),
+            now_nanos: Arc::clone(&self.now_nanos),
             client_seq: AtomicU64::new(0),
         }
     }
@@ -413,6 +454,80 @@ mod tests {
         assert_eq!(stats.partitioned, 10);
         assert_eq!(heard.len(), 20);
         assert!(heard.iter().all(|p| p[0] < 10 || p[0] >= 20));
+    }
+
+    #[test]
+    fn time_partition_window_discards_by_virtual_clock() {
+        let plan = FaultPlan {
+            seed: 4,
+            time_partitions: vec![(SimTime::from_secs(2), SimTime::from_secs(5))],
+            ..FaultPlan::default()
+        };
+        let faulty = FaultTransport::wrap(Arc::new(SimTransport::new()), plan);
+        let heard = Arc::new(Mutex::new(Vec::new()));
+        let heard2 = Arc::clone(&heard);
+        let server = faulty
+            .bind(
+                &BindSpec { port: 4427, groups: vec![] },
+                Arc::new(move |d: Datagram| heard2.lock().unwrap().push(d.payload)),
+            )
+            .unwrap();
+        let client = faulty.bind_client(Arc::new(|_| {})).unwrap();
+        // One datagram per virtual second 0..10: seconds 2, 3 and 4 sit
+        // inside the cut window.
+        for sec in 0u64..10 {
+            faulty.set_now(SimTime::from_secs(sec));
+            client.send_to(&[sec as u8], server.local_addr()).unwrap();
+        }
+        let stats = faulty.fault_stats();
+        assert_eq!(stats.time_partitioned, 3);
+        assert_eq!(stats.partitioned, 0, "the index-window counter is separate");
+        let heard = heard.lock().unwrap().clone();
+        assert_eq!(heard.len(), 7);
+        assert!(heard.iter().all(|p| p[0] < 2 || p[0] >= 5), "window cut exactly [2s, 5s)");
+    }
+
+    #[test]
+    fn time_partition_replays_identically_and_keeps_lanes_aligned() {
+        let run = |cut: bool| -> (Vec<Vec<u8>>, FaultStats) {
+            let mut plan = FaultPlan::hostile(77);
+            if cut {
+                plan.time_partitions = vec![(SimTime::from_millis(100), SimTime::from_millis(200))];
+            }
+            let faulty = FaultTransport::wrap(Arc::new(SimTransport::new()), plan);
+            let heard = Arc::new(Mutex::new(Vec::new()));
+            let heard2 = Arc::clone(&heard);
+            let server = faulty
+                .bind(
+                    &BindSpec { port: 4427, groups: vec![] },
+                    Arc::new(move |d: Datagram| heard2.lock().unwrap().push(d.payload)),
+                )
+                .unwrap();
+            let client = faulty.bind_client(Arc::new(|_| {})).unwrap();
+            for i in 0u64..300 {
+                faulty.set_now(SimTime::from_millis(i));
+                client.send_to(&[i as u8, (i >> 8) as u8], server.local_addr()).unwrap();
+            }
+            let delivered = heard.lock().unwrap().clone();
+            (delivered, faulty.fault_stats())
+        };
+        let (a, stats_a) = run(true);
+        let (b, stats_b) = run(true);
+        assert_eq!(a, b, "same seed + same window = same world");
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.time_partitioned > 0, "the window discarded arrivals: {stats_a:?}");
+        // The fixed draw budget is spent before the window check, so an
+        // uncut run makes the same per-arrival decisions outside the
+        // window — the cut is surgical, not a lane reshuffle.
+        let (uncut, stats_uncut) = run(false);
+        assert_eq!(stats_uncut.time_partitioned, 0);
+        assert!(uncut.len() > a.len(), "lifting the cut can only add deliveries");
+        let cut_set: std::collections::HashSet<&Vec<u8>> = a.iter().collect();
+        let uncut_set: std::collections::HashSet<&Vec<u8>> = uncut.iter().collect();
+        assert!(
+            cut_set.is_subset(&uncut_set),
+            "every payload surviving the cut also survives the uncut replay"
+        );
     }
 
     #[test]

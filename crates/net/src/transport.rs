@@ -76,6 +76,9 @@ pub struct FaultStats {
     pub delayed: u64,
     /// Datagrams discarded inside a scheduled partition window.
     pub partitioned: u64,
+    /// Datagrams discarded inside a scheduled *virtual-time* partition
+    /// window (see `FaultPlan::time_partitions`).
+    pub time_partitioned: u64,
 }
 
 impl FaultStats {
@@ -87,6 +90,7 @@ impl FaultStats {
             + self.corrupted
             + self.delayed
             + self.partitioned
+            + self.time_partitioned
     }
 }
 
