@@ -26,12 +26,18 @@
 //! adversarial injection, million-record soak) runs twice and is gated
 //! on a bit-identical replay digest; in full mode the worlds'
 //! declared `Assert MinDeliveryPct` floors are enforced as well.
+//! Pass `--trace` for the observability row: the warm-hit storm runs
+//! with the span tracer off and on (interleaved, best-of-N), gated on
+//! tracing-on throughput ≥95% of tracing-off; the traced run's
+//! Chrome/Perfetto export is validated (well-formed, timestamps
+//! non-decreasing) and written to `trace.json`, and a same-seed world
+//! pair must export byte-identical traces.
 
 use std::time::Duration;
 
 use indiss_bench::scenarios::{
-    hostile_world, mesh_convergence, request_storm, udp_batched_storm, udp_warm_hit,
-    warm_hit_pipeline_bytes, warm_hit_scaling,
+    hostile_world, mesh_convergence, request_storm, trace_overhead, udp_batched_storm,
+    udp_warm_hit, warm_hit_pipeline_bytes, warm_hit_scaling,
 };
 use indiss_bench::worlds;
 
@@ -49,6 +55,7 @@ fn main() {
     let hostile = args.iter().any(|a| a == "--hostile");
     let mesh = args.iter().any(|a| a == "--mesh");
     let run_worlds = args.iter().any(|a| a == "--worlds");
+    let trace = args.iter().any(|a| a == "--trace");
     let max_workers: usize = args
         .iter()
         .position(|a| a == "--workers")
@@ -336,6 +343,53 @@ fn main() {
         Vec::new()
     };
 
+    // The observability row: tracing-on vs tracing-off warm-hit
+    // throughput (the layer's zero-allocation claim, measured), plus
+    // the exported trace validated and — via a same-seed world pair —
+    // proven byte-identical on replay.
+    let (trace_requests, trace_rounds) = if smoke { (30_000u64, 5) } else { (120_000u64, 3) };
+    let trace_outcome = if trace {
+        let o = trace_overhead(max_workers.min(4), trace_requests, trace_rounds);
+        println!(
+            "tracing overhead ({} reqs, {} workers, best of {} interleaved off/on pairs)",
+            o.requests,
+            max_workers.min(4),
+            trace_rounds
+        );
+        println!("  tracing off                   {:>10.0} req/s", o.baseline_rps);
+        println!("  tracing on                    {:>10.0} req/s", o.traced_rps);
+        println!("  on/off ratio                  {:.3}  (gate: >= 0.95)", o.ratio);
+        println!(
+            "  spans recorded / dropped      {} / {}  ({} exported events)",
+            o.spans_recorded, o.spans_dropped, o.trace_events
+        );
+        std::fs::write("trace.json", &o.trace_json).expect("write trace.json");
+        println!("  wrote trace.json ({} bytes, validated)", o.trace_json.len());
+        assert!(
+            o.ratio >= 0.95,
+            "observability regression: tracing-on warm-hit throughput is only {:.1}% of \
+             tracing-off (gate: >= 95%)",
+            o.ratio * 100.0
+        );
+
+        // Replay-identical export: the same seeded world must produce
+        // the same trace.json byte for byte.
+        let matrix = worlds::matrix(true);
+        let baseline = matrix.iter().find(|w| w.name == "baseline_quiet").expect("baseline world");
+        let first = worlds::run_world(baseline.name, &baseline.spec, false);
+        let replay = worlds::run_world(baseline.name, &baseline.spec, false);
+        assert_eq!(
+            first.trace_json, replay.trace_json,
+            "trace export diverged across same-seed world replays"
+        );
+        let world_events = indiss_core::validate_chrome_trace(&first.trace_json)
+            .expect("world trace export validates");
+        println!("  sim world export              {} events, byte-identical replay", world_events);
+        Some(o)
+    } else {
+        None
+    };
+
     let scaling_json: Vec<String> = scaling
         .iter()
         .map(|p| {
@@ -430,6 +484,23 @@ fn main() {
         ),
         None => "null".to_owned(),
     };
+    let trace_json_row = match &trace_outcome {
+        Some(o) => format!(
+            concat!(
+                "{{ \"requests\": {}, \"baseline_rps\": {:.1}, \"traced_rps\": {:.1}, ",
+                "\"ratio\": {:.4}, \"spans_recorded\": {}, \"spans_dropped\": {}, ",
+                "\"trace_events\": {} }}"
+            ),
+            o.requests,
+            o.baseline_rps,
+            o.traced_rps,
+            o.ratio,
+            o.spans_recorded,
+            o.spans_dropped,
+            o.trace_events,
+        ),
+        None => "null".to_owned(),
+    };
     let worlds_json = if world_outcomes.is_empty() {
         "null".to_owned()
     } else {
@@ -503,6 +574,7 @@ fn main() {
             "  \"udp_batched\": {batched_row},\n",
             "  \"hostile_world\": {hostile_row},\n",
             "  \"mesh_convergence\": {mesh_row},\n",
+            "  \"trace_overhead\": {trace_row},\n",
             "  \"scenario_matrix\": {worlds_rows}\n",
             "}}\n",
         ),
@@ -532,6 +604,7 @@ fn main() {
         batched_row = batched_json,
         hostile_row = hostile_json,
         mesh_row = mesh_json,
+        trace_row = trace_json_row,
         worlds_rows = worlds_json,
     );
     std::fs::write("BENCH_storm.json", &json).expect("write BENCH_storm.json");

@@ -327,7 +327,7 @@ pub struct ChurnOutcome {
     /// Bytes of interned symbol data before the flood.
     pub interned_bytes_before: usize,
     /// Bytes of interned symbol data after the flood, the final TTL
-    /// reclamation and a [`Symbol::collect`] — the GC'd interner must
+    /// reclamation and a [`indiss_core::Symbol::collect`] — the GC'd interner must
     /// keep this near the pre-churn level instead of retaining every
     /// network-derived type/USN/URL string the flood minted.
     pub interned_bytes_after: usize,
@@ -1146,8 +1146,29 @@ pub fn warm_hit_scaling(
     distinct_types: usize,
     io_wait: Duration,
 ) -> ScalingPoint {
+    warm_hit_point(
+        workers,
+        total_requests,
+        distinct_types,
+        io_wait,
+        indiss_core::Tracer::disabled(),
+    )
+}
+
+/// The [`warm_hit_scaling`] measurement with an explicit span recorder:
+/// the pipeline records the same `decode`/`classify`/`deliver` spans,
+/// per-protocol end-to-end histogram samples and per-chunk `job` spans
+/// the wire front-end does, so a tracing-on vs tracing-off pair of runs
+/// measures exactly the observability layer's hot-path cost.
+fn warm_hit_point(
+    workers: usize,
+    total_requests: u64,
+    distinct_types: usize,
+    io_wait: Duration,
+    tracer: indiss_core::Tracer,
+) -> ScalingPoint {
     use indiss_core::{
-        parse_slp_request, Event, EventStream, RegistryConfig, ThreadedGateway, WarmDecision,
+        parse_slp_request, Event, EventStream, Phase, RegistryConfig, ThreadedGateway, WarmDecision,
     };
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
@@ -1159,7 +1180,7 @@ pub fn warm_hit_scaling(
         shards: 16,
         ..RegistryConfig::default()
     };
-    let gateway = ThreadedGateway::new(config, workers);
+    let gateway = ThreadedGateway::with_tracer(config, workers, tracer.clone());
     let registry = gateway.registry();
     let warmed_at = SimTime::ZERO;
     let now = SimTime::from_secs(1);
@@ -1206,17 +1227,38 @@ pub fn warm_hit_scaling(
     let submit_chunk = |lane: usize, chunk: Vec<Arc<[u8]>>| {
         let core = core.clone();
         let hits = Arc::clone(&hits);
+        let tracer = tracer.clone();
         gateway.submit_on_lane(lane, move || {
-            for payload in chunk {
+            // Same sampling contract as the wire front-end: the first
+            // request of each chunk gets per-phase spans plus the
+            // per-protocol end-to-end sample; the rest pay only an
+            // untaken branch (no clock reads).
+            for (i, payload) in chunk.into_iter().enumerate() {
+                let trace_phases = i == 0;
+                let e2e_start = if trace_phases { tracer.stamp() } else { SimTime::ZERO };
                 let request =
                     parse_slp_request(&payload, src, true).expect("pre-encoded SrvRqst parses");
+                if trace_phases {
+                    tracer.record(lane, Phase::Decode, e2e_start);
+                }
+                let classify_start = if trace_phases { tracer.stamp() } else { SimTime::ZERO };
                 let decision = core.classify(indiss_core::SdpProtocol::Slp, &request, now);
+                if trace_phases {
+                    tracer.record(lane, Phase::Classify, classify_start);
+                }
                 let WarmDecision::CacheHit(response) = decision else {
                     panic!("storm is all-warm, got {decision:?}");
                 };
+                let deliver_start = if trace_phases { tracer.stamp() } else { SimTime::ZERO };
                 std::hint::black_box(response.clone()); // the deliver step
+                if trace_phases {
+                    tracer.record(lane, Phase::Deliver, deliver_start);
+                }
                 if !io_wait.is_zero() {
                     std::thread::sleep(io_wait); // synchronous reply transmit
+                }
+                if trace_phases {
+                    tracer.record_protocol(lane, 427, e2e_start, tracer.stamp());
                 }
                 hits.fetch_add(1, Ordering::Relaxed);
             }
@@ -1245,6 +1287,92 @@ pub fn warm_hit_scaling(
         elapsed,
         throughput_rps: total_requests as f64 / elapsed.as_secs_f64(),
         cache_hits: hits.load(Ordering::Relaxed),
+    }
+}
+
+/// Outcome of the tracing-overhead measurement ([`trace_overhead`]):
+/// tracing-off vs tracing-on warm-hit throughput plus the exported
+/// trace, so one row both gates the hot-path cost and proves the
+/// export pipeline works end to end.
+#[derive(Debug, Clone)]
+pub struct TraceOverheadOutcome {
+    /// Requests each measured run pushed through the gateway.
+    pub requests: u64,
+    /// Best-of-N warm-hit throughput with the tracer disabled.
+    pub baseline_rps: f64,
+    /// Best-of-N warm-hit throughput with the tracer recording
+    /// decode/classify/deliver/job spans and per-protocol histograms.
+    pub traced_rps: f64,
+    /// `traced_rps / baseline_rps` — the CI gate demands ≥ 0.95.
+    pub ratio: f64,
+    /// Spans the traced runs recorded (ring capacity bounds what is
+    /// *kept*; this counts what was written).
+    pub spans_recorded: u64,
+    /// Spans overwritten by ring wrap during the traced runs.
+    pub spans_dropped: u64,
+    /// Events in the exported trace (validated by
+    /// [`indiss_core::validate_chrome_trace`]).
+    pub trace_events: usize,
+    /// The exported Chrome/Perfetto `trace.json` from the last traced
+    /// run.
+    pub trace_json: String,
+}
+
+/// Measures what span recording costs on the warm path: the same
+/// chunked all-warm storm as [`warm_hit_scaling`], run `rounds` times
+/// with tracing off and `rounds` times with tracing on (interleaved
+/// off/on to share thermal/scheduler drift), best wall-clock of each
+/// side compared. The traced side's export is validated before the
+/// outcome is returned, so a "fast" tracer that records garbage cannot
+/// pass the gate.
+pub fn trace_overhead(workers: usize, total_requests: u64, rounds: usize) -> TraceOverheadOutcome {
+    use indiss_core::validate_chrome_trace;
+
+    let rounds = rounds.max(1);
+    const TYPES: usize = 64;
+    let mut baseline_rps = 0f64;
+    let mut traced_rps = 0f64;
+    let mut spans_recorded = 0u64;
+    let mut spans_dropped = 0u64;
+    let mut trace_json = String::new();
+    for _ in 0..rounds {
+        let off = warm_hit_point(
+            workers,
+            total_requests,
+            TYPES,
+            Duration::ZERO,
+            indiss_core::Tracer::disabled(),
+        );
+        assert_eq!(off.cache_hits, total_requests, "storm is all-warm");
+        baseline_rps = baseline_rps.max(off.throughput_rps);
+
+        // Ring capacity is sized well below the span volume on purpose:
+        // the measured cost includes steady-state overwrite, the mode a
+        // long-lived gateway actually runs in.
+        let tracer = indiss_core::Tracer::new(
+            4096,
+            workers.max(1),
+            &[427],
+            std::sync::Arc::new(indiss_core::WallClock::new()),
+        );
+        let on = warm_hit_point(workers, total_requests, TYPES, Duration::ZERO, tracer.clone());
+        assert_eq!(on.cache_hits, total_requests, "storm is all-warm");
+        traced_rps = traced_rps.max(on.throughput_rps);
+        spans_recorded = tracer.spans_recorded();
+        spans_dropped = tracer.spans_dropped();
+        trace_json = indiss_core::chrome_trace_json(&tracer.snapshot());
+    }
+    let trace_events = validate_chrome_trace(&trace_json).expect("exported trace validates");
+    assert!(trace_events > 0, "the traced storm recorded spans");
+    TraceOverheadOutcome {
+        requests: total_requests,
+        baseline_rps,
+        traced_rps,
+        ratio: traced_rps / baseline_rps.max(f64::MIN_POSITIVE),
+        spans_recorded,
+        spans_dropped,
+        trace_events,
+        trace_json,
     }
 }
 

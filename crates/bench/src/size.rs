@@ -179,6 +179,10 @@ const SUPERSET_ROWS: &[(&str, &[&str])] = &[
     // it, measured alongside the tracker it hardens.
     ("Robustness layer (hostile worlds)", &["tracker.rs", "fuzz_tests.rs", "scenario.rs"]),
     ("Federated mesh (gateway-to-gateway)", &["mesh/mod.rs", "mesh/wire.rs", "mesh/custody.rs"]),
+    (
+        "Observability (spans + histograms + stats endpoint)",
+        &["obs/mod.rs", "obs/trace.rs", "obs/hist.rs", "obs/export.rs"],
+    ),
 ];
 
 fn measure_files(core_src: &Path, files: &[&str]) -> std::io::Result<SizeMetrics> {

@@ -34,8 +34,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use indiss_core::{
-    Event, EventStream, IndissConfig, MemoryBudget, MeshConfig, MeshNode, MutationSource,
-    RegistryConfig, ScenarioRng, SdpProtocol, ServiceRegistry, Symbol, WorldSpec,
+    chrome_trace_json, Event, EventStream, IndissConfig, MemoryBudget, MeshConfig, MeshNode,
+    MutationSource, RegistryConfig, ScenarioRng, SdpProtocol, ServiceRegistry, SimClock, Symbol,
+    Tracer, WorldSpec,
 };
 use indiss_net::{
     Datagram, FaultStats, FaultTransport, SimTime, SimTransport, Transport, TransportSocket,
@@ -129,6 +130,11 @@ pub struct WorldOutcome {
     /// counts, probe outcomes, final digests, mesh and fault counters.
     /// Two same-seed runs must agree on this exactly.
     pub digest: u64,
+    /// Chrome/Perfetto trace of the run's gossip-round spans, exported
+    /// from a virtual-time [`Tracer`] attached to every mesh node.
+    /// Entirely a function of the spec: two same-seed runs must agree
+    /// on this **byte for byte** (the replay gate alongside `digest`).
+    pub trace_json: String,
 }
 
 /// One in-flight delivery probe: which service, where it is being
@@ -412,6 +418,12 @@ fn run_world_sim(name: &str, spec: &WorldSpec) -> WorldOutcome {
             Arc::new(FaultTransport::wrap(Arc::clone(&bus) as Arc<dyn Transport>, plan))
         })
         .collect();
+    // One tracer shared by every mesh node: gossip rounds land as
+    // zero-width virtual-time spans (lane = mesh port), so the exported
+    // trace is a pure function of the spec — the byte-identical replay
+    // gate rides on the same property the digest does. One ring keeps
+    // export order exactly the single-threaded sim's write order.
+    let tracer = Tracer::new(8192, 1, &[], Arc::new(SimClock::new()));
     let nodes: Vec<(ServiceRegistry, MeshNode)> = (0..gateways)
         .map(|g| {
             let registry =
@@ -421,6 +433,7 @@ fn run_world_sim(name: &str, spec: &WorldSpec) -> WorldOutcome {
                 Arc::clone(&lanes[g]) as Arc<dyn Transport>,
                 MeshConfig { port: ports[g], peers: ports.clone(), ..MeshConfig::default() },
             );
+            mesh.set_tracer(tracer.clone());
             mesh.start().expect("sim mesh always binds");
             (registry, mesh)
         })
@@ -631,6 +644,7 @@ fn run_world_sim(name: &str, spec: &WorldSpec) -> WorldOutcome {
         interned_after: 0,
         within_memory_budget: true,
         digest: engine.digest.0,
+        trace_json: chrome_trace_json(&tracer.snapshot()),
     }
 }
 
@@ -788,6 +802,19 @@ mod tests {
         assert!(a.converged, "the quiet world converges: {a:?}");
         assert!(a.probes_issued > 0);
         assert!(a.delivery_pct >= 80.0, "quiet world delivers: {a:?}");
+    }
+
+    #[test]
+    fn baseline_world_trace_export_is_replay_identical() {
+        let worlds = matrix(true);
+        let baseline = worlds.iter().find(|w| w.name == "baseline_quiet").expect("baseline");
+        let a = run_world(baseline.name, &baseline.spec, false);
+        let b = run_world(baseline.name, &baseline.spec, false);
+        assert!(!a.trace_json.is_empty());
+        assert_eq!(a.trace_json, b.trace_json, "same seed, byte-identical trace export");
+        let events = indiss_core::validate_chrome_trace(&a.trace_json)
+            .expect("exported trace parses as Chrome trace JSON");
+        assert!(events > 0, "the mesh ran gossip rounds, so spans were recorded");
     }
 
     #[test]

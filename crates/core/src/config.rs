@@ -186,6 +186,19 @@ pub struct IndissConfig {
     /// deterministic run. Always pre-validated by
     /// [`crate::WorldSpec::validate`].
     pub world: Option<crate::scenario::WorldSpec>,
+    /// Whether the runtimes record pipeline trace spans and latency
+    /// histograms ([`crate::Tracer`]). Off by default: a disabled
+    /// tracer costs one branch per record site.
+    pub trace: bool,
+    /// Capacity of each per-lane span ring when tracing is on. The ring
+    /// overwrites its oldest span (counted in `spans_dropped`) rather
+    /// than growing or blocking.
+    pub trace_capacity: usize,
+    /// Port for the scrapeable plaintext stats endpoint
+    /// ([`crate::StatsServer`], `GET /metrics` on loopback). `None`
+    /// (the default) serves no endpoint; `Some(0)` binds an ephemeral
+    /// port (tests read the real one from `NetDriver::stats_addr`).
+    pub stats_port: Option<u16>,
 }
 
 impl IndissConfig {
@@ -214,6 +227,9 @@ impl IndissConfig {
             gossip_interval: MeshConfig::default().gossip_interval,
             custody_capacity: MeshConfig::default().custody_capacity,
             world: None,
+            trace: false,
+            trace_capacity: 4096,
+            stats_port: None,
         }
     }
 
@@ -378,6 +394,26 @@ impl IndissConfig {
     /// Bounds the per-down-peer store-and-forward custody queue.
     pub fn with_custody_capacity(mut self, adverts: usize) -> Self {
         self.custody_capacity = adverts;
+        self
+    }
+
+    /// Turns on pipeline trace spans and latency histograms.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Sets the per-lane span-ring capacity (implies nothing about
+    /// enablement; pair with [`IndissConfig::with_trace`]).
+    pub fn with_trace_capacity(mut self, spans: usize) -> Self {
+        self.trace_capacity = spans;
+        self
+    }
+
+    /// Serves the plaintext stats endpoint on `127.0.0.1:port`
+    /// (0 = ephemeral).
+    pub fn with_stats_port(mut self, port: u16) -> Self {
+        self.stats_port = Some(port);
         self
     }
 
@@ -599,6 +635,25 @@ impl IndissConfigBuilder {
         self
     }
 
+    /// Turns on pipeline trace spans and latency histograms.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.config.trace = enabled;
+        self
+    }
+
+    /// Sets the per-lane span-ring capacity.
+    pub fn trace_capacity(mut self, spans: usize) -> Self {
+        self.config.trace_capacity = spans;
+        self
+    }
+
+    /// Serves the plaintext stats endpoint on `127.0.0.1:port`
+    /// (0 = ephemeral).
+    pub fn stats_port(mut self, port: u16) -> Self {
+        self.config.stats_port = Some(port);
+        self
+    }
+
     /// Finishes the configuration. Structural validation (at least one
     /// unit, no duplicate protocols) happens at
     /// [`crate::Indiss::deploy`], which sees every config regardless of
@@ -624,6 +679,23 @@ mod tests {
         assert_eq!(cfg.protocols(), vec![SdpProtocol::Slp, SdpProtocol::Upnp]);
         assert!(cfg.enable_cache);
         assert!(cfg.adaptation.is_none());
+    }
+
+    #[test]
+    fn trace_knobs_default_off_and_flow_through_both_builders() {
+        let cfg = IndissConfig::slp_upnp();
+        assert!(!cfg.trace);
+        assert_eq!(cfg.trace_capacity, 4096);
+        assert!(cfg.stats_port.is_none());
+        let on = IndissConfig::slp_upnp().with_trace().with_trace_capacity(64).with_stats_port(0);
+        assert!(on.trace);
+        assert_eq!(on.trace_capacity, 64);
+        assert_eq!(on.stats_port, Some(0));
+        let built =
+            IndissConfig::builder().slp().trace(true).trace_capacity(128).stats_port(9900).build();
+        assert!(built.trace);
+        assert_eq!(built.trace_capacity, 128);
+        assert_eq!(built.stats_port, Some(9900));
     }
 
     #[test]

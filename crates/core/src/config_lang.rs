@@ -513,6 +513,51 @@ fn parse_world(p: &mut Parser) -> CoreResult<WorldSpec> {
     Ok(spec)
 }
 
+/// Parses the `Trace = { Enabled = 1; Capacity = 4096; StatsPort = 9900 }`
+/// observability block. Every key is optional: `Enabled` (0/1) turns
+/// span recording on, `Capacity` sizes each per-lane span ring, and
+/// `StatsPort` serves the plaintext stats endpoint (0 = ephemeral).
+fn parse_trace(p: &mut Parser, config: &mut IndissConfig) -> CoreResult<()> {
+    p.expect_punct('=')?;
+    p.expect_punct('{')?;
+    while !p.eat_punct('}') {
+        let key = p.expect_ident()?;
+        p.expect_punct('=')?;
+        match key.to_ascii_lowercase().as_str() {
+            "enabled" => {
+                let v = p.expect_number()?;
+                if v > 1 {
+                    return Err(CoreError::ConfigSyntax(format!(
+                        "Trace Enabled must be 0 or 1, not {v}"
+                    )));
+                }
+                config.trace = v == 1;
+            }
+            "capacity" => {
+                let v = p.expect_number()?;
+                let v = usize::try_from(v).ok().filter(|v| (1..=1 << 24).contains(v));
+                config.trace_capacity = v.ok_or_else(|| {
+                    CoreError::ConfigSyntax(
+                        "Trace Capacity must be between 1 and 16777216 spans".to_owned(),
+                    )
+                })?;
+            }
+            "statsport" => config.stats_port = Some(p.expect_port()?),
+            other => {
+                return Err(CoreError::ConfigSyntax(format!(
+                    "unknown Trace key '{other}' (Enabled, Capacity, StatsPort)"
+                )));
+            }
+        }
+        if !p.eat_punct(';') && !p.eat_punct(',') {
+            p.expect_punct('}')?;
+            break;
+        }
+    }
+    p.eat_punct(';');
+    Ok(())
+}
+
 /// Parses the `{ Key = value; … }` body of a descriptor unit.
 fn parse_descriptor_block(p: &mut Parser, name: &str, port: u16) -> CoreResult<SdpDescriptor> {
     p.expect_punct('{')?;
@@ -624,6 +669,11 @@ pub(crate) fn parse_system_sdp(text: &str) -> CoreResult<IndissConfig> {
         if p.peek_keyword("World") {
             p.at += 1;
             config.world = Some(parse_world(&mut p)?);
+            continue;
+        }
+        if p.peek_keyword("Trace") {
+            p.at += 1;
+            parse_trace(&mut p, &mut config)?;
             continue;
         }
         p.expect_keyword("Component")?;
@@ -756,6 +806,32 @@ mod tests {
         let err = parse_system_sdp("System SDP = { Peers = { } Component Unit SLP(port=427); }")
             .unwrap_err();
         assert!(err.to_string().contains("own peer port"), "{err}");
+    }
+
+    #[test]
+    fn trace_block_wires_the_observability_knobs() {
+        let text = "System SDP = {\n\
+             Trace = { Enabled = 1; Capacity = 512; StatsPort = 9900 }\n\
+             Component Unit SLP(port=427); }";
+        let config = parse_system_sdp(text).expect("trace block parses");
+        assert!(config.trace);
+        assert_eq!(config.trace_capacity, 512);
+        assert_eq!(config.stats_port, Some(9900));
+        // Defaults: no block leaves everything off.
+        let solo = parse_system_sdp("System SDP = { Component Unit SLP(port=427); }").unwrap();
+        assert!(!solo.trace);
+        assert!(solo.stats_port.is_none());
+        // Abuse is syntax, not silent clamping.
+        for bad in [
+            "System SDP = { Trace = { Enabled = 2 } Component Unit SLP(port=427); }",
+            "System SDP = { Trace = { Capacity = 0 } Component Unit SLP(port=427); }",
+            "System SDP = { Trace = { Capacity = 99999999999 } Component Unit SLP(port=427); }",
+            "System SDP = { Trace = { StatsPort = 99999 } Component Unit SLP(port=427); }",
+            "System SDP = { Trace = { Blorp = 1 } Component Unit SLP(port=427); }",
+        ] {
+            let err = parse_system_sdp(bad).unwrap_err();
+            assert!(matches!(err, CoreError::ConfigSyntax(_)), "{bad}: {err}");
+        }
     }
 
     #[test]

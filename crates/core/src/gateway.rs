@@ -26,6 +26,7 @@ use indiss_net::SimTime;
 
 use crate::config::IndissConfig;
 use crate::event::{EventStream, SdpProtocol};
+use crate::obs::{Tracer, WallClock};
 use crate::pool::WorkerPool;
 use crate::registry::{RegistryConfig, ServiceRegistry};
 use crate::runtime::BridgeStats;
@@ -166,6 +167,7 @@ pub struct GatewayCore {
     counters: Arc<BridgeCounters>,
     enable_cache: bool,
     suppress_window: Duration,
+    tracer: Tracer,
 }
 
 impl GatewayCore {
@@ -188,8 +190,20 @@ impl GatewayCore {
         self.counters.snapshot(&self.registry)
     }
 
+    /// The gateway's span recorder (a disabled no-op unless the config
+    /// asked for tracing). Request sources — the wire front-end, the
+    /// benches — clone this handle to stamp their own pipeline phases
+    /// onto the same rings.
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
     /// Classifies `request` on the calling thread — the warm-path
-    /// decision tree shared with [`crate::Indiss`].
+    /// decision tree shared with [`crate::Indiss`]. Deliberately does
+    /// not stamp a span itself: request sources own the clock reads and
+    /// record sampled `classify` spans around this call (see
+    /// [`crate::NetDriver`]), keeping the uninstrumented path free of
+    /// tracing cost.
     pub fn classify(
         &self,
         origin: SdpProtocol,
@@ -238,28 +252,45 @@ impl ThreadedGateway {
     /// enforced — fewer shards than workers merely idles the excess
     /// workers.
     pub fn new(config: RegistryConfig, workers: usize) -> ThreadedGateway {
+        ThreadedGateway::with_tracer(config, workers, Tracer::disabled())
+    }
+
+    /// Creates a gateway whose pipeline records spans into `tracer`:
+    /// worker jobs, classifications and whatever the request source
+    /// stamps through [`GatewayCore::tracer`].
+    pub fn with_tracer(config: RegistryConfig, workers: usize, tracer: Tracer) -> ThreadedGateway {
         ThreadedGateway {
             core: GatewayCore {
                 registry: ServiceRegistry::new(config),
                 counters: Arc::new(BridgeCounters::default()),
                 enable_cache: true,
                 suppress_window: Duration::from_millis(600),
+                tracer: tracer.clone(),
             },
-            pool: WorkerPool::new(workers),
+            pool: WorkerPool::with_tracer(workers, tracer),
         }
     }
 
     /// Creates a gateway from an [`IndissConfig`], honoring its
-    /// `shards`, `workers`, cache and suppression knobs.
+    /// `shards`, `workers`, cache, suppression and tracing knobs (a
+    /// `trace = true` config gets one span ring per worker, stamped
+    /// from a monotonic wall clock).
     pub fn from_config(config: &IndissConfig) -> ThreadedGateway {
+        let tracer = if config.trace {
+            let ports: Vec<u16> = config.protocols().iter().map(|p| p.port()).collect();
+            Tracer::new(config.trace_capacity, config.workers, &ports, Arc::new(WallClock::new()))
+        } else {
+            Tracer::disabled()
+        };
         ThreadedGateway {
             core: GatewayCore {
                 registry: ServiceRegistry::new(config.registry_config()),
                 counters: Arc::new(BridgeCounters::default()),
                 enable_cache: config.enable_cache,
                 suppress_window: config.suppress_window,
+                tracer: tracer.clone(),
             },
-            pool: WorkerPool::new(config.workers),
+            pool: WorkerPool::with_tracer(config.workers, tracer),
         }
     }
 

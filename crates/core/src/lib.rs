@@ -110,6 +110,7 @@ mod gateway;
 mod mesh;
 mod monitor;
 mod netfront;
+mod obs;
 mod pool;
 mod protocol;
 mod registry;
@@ -130,6 +131,12 @@ pub use monitor::{DetectionRecord, Monitor};
 pub use netfront::{
     DescriptionFetch, HttpDescriptionFetch, NetDriver, NetDriverBuilder, NetFrontStats,
     StaticDescriptions,
+};
+pub use obs::{
+    bucket_floor, bucket_of, chrome_trace_json, render_bridge_stats, render_interner_gauges,
+    render_mesh_stats, render_netfront_stats, render_registry_stats, render_tracer,
+    validate_chrome_trace, AtomicHistogram, Clock, LatencyHistogram, Phase, SimClock, SpanSnapshot,
+    StatsServer, Tracer, WallClock, HIST_BUCKETS, PHASES,
 };
 pub use pool::WorkerPool;
 pub use protocol::ProtocolId;

@@ -76,6 +76,7 @@ use indiss_net::{Datagram, PeerChannel, SimTime, Transport};
 
 use crate::error::{CoreError, CoreResult};
 use crate::event::{Event, EventStream, SdpProtocol};
+use crate::obs::{Phase, Tracer};
 use crate::protocol::ProtocolId;
 use crate::registry::{PeerId, RemoteDisposition, ServiceRecord, ServiceRegistry};
 use custody::CustodyQueue;
@@ -199,6 +200,9 @@ struct MeshShared {
     /// Latest virtual time observed from the driving side
     /// (`tick`/`run_round`/`publish`); datagram handlers read it.
     now_nanos: AtomicU64,
+    /// Optional span recorder; gossip rounds land as zero-width
+    /// [`Phase::Gossip`] spans at virtual time, lane = mesh port.
+    tracer: OnceLock<Tracer>,
     inner: Mutex<MeshInner>,
 }
 
@@ -244,6 +248,7 @@ impl MeshNode {
                 transport,
                 channel: OnceLock::new(),
                 now_nanos: AtomicU64::new(0),
+                tracer: OnceLock::new(),
                 inner: Mutex::new(MeshInner {
                     round: 0,
                     next_round_at: SimTime::ZERO,
@@ -287,6 +292,15 @@ impl MeshNode {
     /// The mesh configuration this node runs with.
     pub fn config(&self) -> &MeshConfig {
         &self.shared.config
+    }
+
+    /// Attaches `tracer`: each gossip round records a zero-width
+    /// [`Phase::Gossip`] span at its virtual time with the node's mesh
+    /// port as the lane. First attachment wins; later calls are ignored
+    /// (the mesh keeps single-writer rings by routing one port to one
+    /// lane).
+    pub fn set_tracer(&self, tracer: Tracer) {
+        let _ = self.shared.tracer.set(tracer);
     }
 
     /// Runs one gossip round now: accounts the previous round's
@@ -404,6 +418,9 @@ impl MeshShared {
     /// The round opener; runs under the mesh lock, returns frames to
     /// send after unlock.
     fn start_round(&self, inner: &mut MeshInner, now: SimTime) -> Vec<(u16, Vec<u8>)> {
+        if let Some(tracer) = self.tracer.get() {
+            tracer.record_at(usize::from(self.config.port), Phase::Gossip, now, now);
+        }
         inner.round += 1;
         inner.next_round_at = now.saturating_add(self.config.gossip_interval);
         inner.stats.rounds_run += 1;

@@ -74,6 +74,10 @@ use crate::error::{CoreError, CoreResult};
 use crate::event::{EventStream, SdpProtocol};
 use crate::gateway::{GatewayCore, ThreadedGateway, WarmDecision};
 use crate::monitor::DetectionRecord;
+use crate::obs::{
+    render_bridge_stats, render_interner_gauges, render_netfront_stats, render_registry_stats,
+    render_tracer, Phase, StatsServer, Tracer,
+};
 use crate::registry::{AdvertDisposition, ServiceRegistry};
 use crate::runtime::BridgeStats;
 use crate::units::descriptor::SdpDescriptor;
@@ -346,6 +350,13 @@ struct NetDriverInner {
     lazy: bool,
     counters: FrontCounters,
     fetcher: Option<Arc<dyn DescriptionFetch>>,
+    /// The gateway's span recorder (disabled unless
+    /// [`IndissConfig::trace`]); shared with the pool and the classify
+    /// path so one snapshot covers the whole pipeline.
+    tracer: Tracer,
+    /// The scrape endpoint, when [`IndissConfig::stats_port`] asked for
+    /// one. Stopped on [`NetDriver::shutdown`] and on drop.
+    stats_server: Mutex<Option<StatsServer>>,
 }
 
 impl NetDriverInner {
@@ -464,6 +475,7 @@ impl NetDriver {
 
         let gateway = ThreadedGateway::from_config(&config);
         let core = gateway.core();
+        let tracer = core.tracer();
         let mut channels = Vec::with_capacity(config.units.len());
         for (lane, spec) in config.units.iter().enumerate() {
             let protocol = spec.protocol();
@@ -494,6 +506,8 @@ impl NetDriver {
             lazy: config.lazy_units,
             counters: FrontCounters::default(),
             fetcher,
+            tracer,
+            stats_server: Mutex::new(None),
         });
 
         for channel in &inner.channels {
@@ -536,6 +550,32 @@ impl NetDriver {
                 );
             }
             channel.socket.set(socket).ok().expect("channel socket set once");
+        }
+        if let Some(port) = config.stats_port {
+            let weak: Weak<NetDriverInner> = Arc::downgrade(&inner);
+            let render: Arc<dyn Fn() -> String + Send + Sync> = Arc::new(move || {
+                let Some(inner) = weak.upgrade() else {
+                    return String::new();
+                };
+                let driver = NetDriver { inner };
+                let mut out = String::new();
+                render_bridge_stats(&mut out, &driver.stats());
+                render_netfront_stats(&mut out, &driver.front_stats());
+                render_registry_stats(&mut out, &driver.registry().stats());
+                render_interner_gauges(&mut out);
+                render_tracer(&mut out, &driver.inner.tracer);
+                out
+            });
+            let server = match StatsServer::start(port, render) {
+                Ok(s) => s,
+                Err(e) => {
+                    // Same teardown discipline as a channel bind failure:
+                    // no recv thread survives a partial start.
+                    transport.shutdown();
+                    return Err(e);
+                }
+            };
+            *inner.stats_server.lock().expect("stats server lock") = Some(server);
         }
         Ok(NetDriver { inner })
     }
@@ -597,14 +637,23 @@ impl NetDriver {
     /// flush them in one [`TransportSocket::send_batch`] call.
     fn process_batch(inner: &NetDriverInner, channel: &Channel, batch: Vec<Datagram>) {
         let mut replies: Vec<(Vec<u8>, SocketAddrV4)> = Vec::new();
-        for dgram in batch {
-            NetDriver::process(inner, channel, dgram, &mut replies);
+        // Tracing is sampled one datagram per batch: the first datagram
+        // gets per-phase spans plus the end-to-end histogram sample,
+        // the rest pay only an untaken branch. The batch is the natural
+        // stride — adaptive batching shrinks it to 1 under light load
+        // (every datagram traced) and grows it under pressure, so the
+        // sampling rate backs off exactly when clock reads would hurt
+        // (the CI smoke gate pins the tracing-on overhead).
+        for (i, dgram) in batch.into_iter().enumerate() {
+            NetDriver::process(inner, channel, dgram, &mut replies, i == 0);
         }
         if replies.is_empty() {
             return;
         }
         let socket = channel.socket.get().expect("bound before traffic");
+        let reply_start = inner.tracer.stamp();
         let sent = socket.send_batch(&replies);
+        inner.tracer.record(channel.lane, Phase::Reply, reply_start);
         if sent > 0 {
             inner.counters.replies_sent.fetch_add(sent as u64, Ordering::Relaxed);
             inner.core.bridge_counters().add_responses_composed_n(sent as u64);
@@ -613,24 +662,49 @@ impl NetDriver {
 
     /// The per-datagram pipeline: decode → parse → classify → deliver.
     /// Composed replies are pushed onto `replies` for the caller's
-    /// batched flush (accounting happens there, after the send).
+    /// batched flush (accounting happens there, after the send). When
+    /// `trace_phases` is set (first datagram of a batch) each phase is
+    /// stamped into the span ring and the datagram feeds the
+    /// per-protocol end-to-end histogram; unsampled datagrams pay no
+    /// clock reads at all.
     fn process(
         inner: &NetDriverInner,
         channel: &Channel,
         dgram: Datagram,
         replies: &mut Vec<(Vec<u8>, SocketAddrV4)>,
+        trace_phases: bool,
     ) {
         let registry = inner.core.registry();
         let now = inner.now();
-        match channel.codec.decode(&dgram.payload, dgram.src, dgram.is_multicast()) {
+        // Span bookkeeping: `stamp()` is `SimTime::ZERO` and every
+        // `record*` a single branch while tracing is off, so the hot
+        // path pays nothing measurable (the CI smoke gate pins the
+        // tracing-ON overhead too).
+        let e2e_start = if trace_phases { inner.tracer.stamp() } else { SimTime::ZERO };
+        let decoded = channel.codec.decode(&dgram.payload, dgram.src, dgram.is_multicast());
+        if trace_phases {
+            inner.tracer.record(channel.lane, Phase::Decode, e2e_start);
+        }
+        match decoded {
             ParsedMessage::Request(request) => {
                 inner.counters.requests_decoded.fetch_add(1, Ordering::Relaxed);
-                match inner.core.classify(channel.protocol, &request, now) {
+                let classify_start =
+                    if trace_phases { inner.tracer.stamp() } else { SimTime::ZERO };
+                let decision = inner.core.classify(channel.protocol, &request, now);
+                if trace_phases {
+                    inner.tracer.record(channel.lane, Phase::Classify, classify_start);
+                }
+                match decision {
                     WarmDecision::CacheHit(response) => {
+                        let deliver_start =
+                            if trace_phases { inner.tracer.stamp() } else { SimTime::ZERO };
                         if let Some((wire, requester)) =
                             channel.codec.compose_reply(&registry, &request, &response)
                         {
                             replies.push((wire, requester));
+                        }
+                        if trace_phases {
+                            inner.tracer.record(channel.lane, Phase::Deliver, deliver_start);
                         }
                     }
                     // "Nothing found" is silence on multicast SDPs; the
@@ -645,18 +719,19 @@ impl NetDriver {
             ParsedMessage::Advert(stream) => {
                 inner.counters.adverts_seen.fetch_add(1, Ordering::Relaxed);
                 let stream = inner.maybe_enrich(stream);
+                // Adverts with no identity to key on are ignored; the
+                // rest are recorded (and warm the cache when alive).
                 if registry.record_advert(channel.protocol, &stream, now)
-                    == AdvertDisposition::Ignored
+                    != AdvertDisposition::Ignored
                 {
-                    return; // no identity to key on
-                }
-                inner.core.bridge_counters().add_adverts_recorded();
-                if stream.is_alive() && stream.service_url().is_some() {
-                    if let Some(t) = stream.service_type_symbol() {
-                        registry.warm(t, stream.clone(), now);
+                    inner.core.bridge_counters().add_adverts_recorded();
+                    if stream.is_alive() && stream.service_url().is_some() {
+                        if let Some(t) = stream.service_type_symbol() {
+                            registry.warm(t, stream.clone(), now);
+                        }
                     }
+                    inner.opportunistic_sweep(&registry, now);
                 }
-                inner.opportunistic_sweep(&registry, now);
             }
             ParsedMessage::Response(stream) => {
                 if stream.service_url().is_some() {
@@ -670,6 +745,12 @@ impl NetDriver {
             ParsedMessage::NotRelevant => {
                 inner.counters.decode_rejected.fetch_add(1, Ordering::Relaxed);
             }
+        }
+        // End-to-end datagram latency, bucketed per protocol port on
+        // this lane's ring (no cross-worker histogram contention).
+        if trace_phases {
+            let e2e_end = inner.tracer.stamp();
+            inner.tracer.record_protocol(channel.lane, channel.protocol.port(), e2e_start, e2e_end);
         }
     }
 
@@ -775,13 +856,31 @@ impl NetDriver {
             .map(|s| s.local_addr())
     }
 
+    /// The gateway's pipeline span recorder — disabled (all no-ops)
+    /// unless the config set [`IndissConfig::trace`].
+    pub fn tracer(&self) -> Tracer {
+        self.inner.tracer.clone()
+    }
+
+    /// The scrape endpoint's bound address, when
+    /// [`IndissConfig::stats_port`] asked for one (the real port even
+    /// when configured with port 0).
+    pub fn stats_addr(&self) -> Option<std::net::SocketAddr> {
+        self.inner.stats_server.lock().expect("stats server lock").as_ref().map(StatsServer::addr)
+    }
+
     /// Blocks until every admitted datagram has been processed.
     pub fn join(&self) {
         self.inner.gateway.join();
     }
 
-    /// Stops the transport's recv threads and drains the pool.
+    /// Stops the transport's recv threads, drains the pool and stops
+    /// the stats endpoint (when one was configured).
     pub fn shutdown(&self) {
+        if let Some(mut server) = self.inner.stats_server.lock().expect("stats server lock").take()
+        {
+            server.stop();
+        }
         self.inner.transport.shutdown();
         self.inner.gateway.join();
     }

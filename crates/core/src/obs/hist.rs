@@ -1,0 +1,214 @@
+//! Fixed-bucket latency histograms for the hot path.
+//!
+//! The recording side is [`AtomicHistogram`]: 64 log₂-spaced buckets of
+//! `AtomicU64` counters — bucket *i* covers `[2^i, 2^(i+1))` nanoseconds
+//! (bucket 0 absorbs 0 and 1 ns, the top bucket is open-ended) — so a
+//! record is one shift-class computation plus one relaxed atomic add,
+//! with no allocation and no lock. One instance lives per worker lane;
+//! scrapes merge the lanes into a plain [`LatencyHistogram`] value.
+//!
+//! Merging is elementwise addition, which makes it associative,
+//! commutative and lossless — properties the `obs.rs` integration suite
+//! pins with the proptest shim, because the scrape path depends on them
+//! (lanes can be merged in any order, any grouping, and no count may
+//! vanish).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets. 64 covers every expressible `u64` nanosecond
+/// duration: bucket 63 holds everything from ~292 years up.
+pub const HIST_BUCKETS: usize = 64;
+
+/// The bucket index a duration of `nanos` lands in.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` ns, except bucket 0 which also
+/// absorbs a zero duration (sim-time spans whose virtual clock did not
+/// advance). Every `u64` lands in exactly one bucket.
+pub fn bucket_of(nanos: u64) -> usize {
+    // 0 and 1 both land in bucket 0; otherwise floor(log2(nanos)).
+    (63 - nanos.max(1).leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `i` in nanoseconds.
+pub fn bucket_floor(i: usize) -> u64 {
+    debug_assert!(i < HIST_BUCKETS);
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// A merged, plain-value latency histogram: what a scrape reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; HIST_BUCKETS],
+    sum_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { counts: [0; HIST_BUCKETS], sum_nanos: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (the merge identity).
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one duration. The value side is used by tests and the
+    /// merge property suite; the hot path records through
+    /// [`AtomicHistogram::record`].
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[bucket_of(nanos)] += 1;
+        self.sum_nanos = self.sum_nanos.wrapping_add(nanos);
+    }
+
+    /// Folds `other` into `self` by elementwise addition.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine = mine.wrapping_add(*theirs);
+        }
+        self.sum_nanos = self.sum_nanos.wrapping_add(other.sum_nanos);
+    }
+
+    /// Total number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().fold(0u64, |acc, c| acc.wrapping_add(*c))
+    }
+
+    /// Sum of all recorded durations, in nanoseconds (wrapping).
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos
+    }
+
+    /// Per-bucket counts, bucket `i` covering `[2^i, 2^(i+1))` ns.
+    pub fn counts(&self) -> &[u64; HIST_BUCKETS] {
+        &self.counts
+    }
+
+    /// The smallest duration `d` such that at least `q` (in `[0, 1]`) of
+    /// the recorded samples are `< 2^(bucket(d)+1)` — i.e. the upper
+    /// edge of the quantile's bucket, the usual HDR-style estimate.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen = seen.wrapping_add(*c);
+            if seen >= rank {
+                return if i + 1 >= HIST_BUCKETS { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// The lock-free recording side: one per worker lane.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: [AtomicU64; HIST_BUCKETS],
+    sum_nanos: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> AtomicHistogram {
+        AtomicHistogram::default()
+    }
+
+    /// Records one duration: one relaxed add, no allocation.
+    pub fn record(&self, nanos: u64) {
+        self.counts[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Reads the current counts into a plain value for merging.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for (slot, counter) in out.counts.iter_mut().zip(self.counts.iter()) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        out.sum_nanos = self.sum_nanos.load(Ordering::Relaxed);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_spaced_and_exhaustive() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        // Boundaries are monotone: every floor is ≥ the previous.
+        for i in 1..HIST_BUCKETS {
+            assert!(bucket_floor(i) > bucket_floor(i - 1), "bucket {i}");
+        }
+        // Floors are fixed points: a floor value lands in its own bucket.
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(i)), i, "floor of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn merge_is_lossless() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for n in [0u64, 1, 7, 4096, 1 << 40] {
+            a.record(n);
+            b.record(n * 3 + 1);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), a.count() + b.count());
+        assert_eq!(merged.sum_nanos(), a.sum_nanos().wrapping_add(b.sum_nanos()));
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_value_side() {
+        let atomic = AtomicHistogram::new();
+        let mut value = LatencyHistogram::new();
+        for n in [0u64, 5, 5, 900, 1_000_000, u64::MAX] {
+            atomic.record(n);
+            value.record(n);
+        }
+        assert_eq!(atomic.snapshot(), value);
+    }
+
+    #[test]
+    fn quantile_upper_bound_brackets_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(1_000); // bucket 9: [512, 1024)
+        }
+        for _ in 0..10 {
+            h.record(1 << 20); // bucket 20
+        }
+        assert_eq!(h.quantile_upper_bound(0.5), 1023);
+        assert_eq!(h.quantile_upper_bound(0.99), (1 << 21) - 1);
+        assert_eq!(LatencyHistogram::new().quantile_upper_bound(0.5), 0);
+    }
+}

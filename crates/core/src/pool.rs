@@ -23,6 +23,8 @@ use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use crate::obs::{Phase, Tracer};
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Pending {
@@ -53,6 +55,14 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawns `workers` threads (minimum 1).
     pub fn new(workers: usize) -> WorkerPool {
+        WorkerPool::with_tracer(workers, Tracer::disabled())
+    }
+
+    /// Spawns `workers` threads whose job executions are recorded as
+    /// `job` spans in `tracer` (worker index = span lane, so each ring
+    /// keeps its single-writer discipline). A disabled tracer costs one
+    /// branch per job.
+    pub fn with_tracer(workers: usize, tracer: Tracer) -> WorkerPool {
         let workers = workers.max(1);
         let pending = Arc::new(Pending {
             count: AtomicU64::new(0),
@@ -66,15 +76,18 @@ impl WorkerPool {
             let (tx, rx) = mpsc::channel::<Job>();
             senders.push(tx);
             let pending = Arc::clone(&pending);
+            let tracer = tracer.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("indiss-worker-{i}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
+                        let span_start = tracer.stamp();
                         // Catch unwinds so one bad job can neither kill
                         // the worker (stranding its lane) nor skip the
                         // pending-counter decrement (deadlocking
                         // `join`); the failure is re-raised there.
                         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        tracer.record(i, Phase::Job, span_start);
                         if outcome.is_err() {
                             pending.panicked.fetch_add(1, Ordering::Relaxed);
                         }
@@ -211,6 +224,21 @@ mod tests {
         let joined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.join()));
         assert!(joined.is_err(), "join re-raises the job failure");
         assert_eq!(ran.load(Ordering::Relaxed), 1, "later jobs on the lane still ran");
+    }
+
+    #[test]
+    fn traced_pool_records_one_job_span_per_job() {
+        let tracer = Tracer::new(64, 2, &[], Arc::new(crate::obs::WallClock::new()));
+        let pool = WorkerPool::with_tracer(2, tracer.clone());
+        for lane in 0..10 {
+            pool.submit(lane, || {});
+        }
+        pool.join();
+        assert_eq!(tracer.spans_recorded(), 10);
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 10);
+        assert!(spans.iter().all(|s| s.phase == Phase::Job));
+        assert!(spans.iter().all(|s| s.end >= s.start));
     }
 
     #[test]

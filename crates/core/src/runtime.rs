@@ -33,6 +33,7 @@ use crate::event::{Event, EventStream, SdpProtocol};
 use crate::gateway::{classify_request, BridgeCounters, WarmDecision};
 use crate::mesh::MeshNode;
 use crate::monitor::Monitor;
+use crate::obs::{Phase, SimClock, Tracer};
 use crate::registry::ServiceRegistry;
 use crate::units::{ParsedMessage, Unit, UnitContext};
 
@@ -101,6 +102,11 @@ struct IndissInner {
     mesh: Option<MeshNode>,
     /// Virtual time the next mesh tick is armed for, if any.
     mesh_tick_armed: Option<SimTime>,
+    /// Pipeline span recorder ([`crate::IndissConfig::trace`]). In the
+    /// simulated runtime every span is recorded at explicit virtual
+    /// times (`record_at`), so same-seed replays export byte-identical
+    /// traces.
+    tracer: Tracer,
 }
 
 /// A deployed INDISS instance.
@@ -218,6 +224,7 @@ impl Indiss {
         };
         let instance = Indiss::deploy_inner(node, config)?;
         let mesh = MeshNode::new(instance.registry(), peer_bus, mesh_config);
+        mesh.set_tracer(instance.tracer());
         mesh.start()?;
         instance.inner().mesh = Some(mesh);
         instance.schedule_mesh_tick(node.world());
@@ -239,6 +246,15 @@ impl Indiss {
         let protocols = config.protocols();
         let monitor = Monitor::start(node, &protocols)?;
         let registry = ServiceRegistry::new(config.registry_config());
+        let tracer = if config.trace {
+            // One ring: the simulated runtime is single-threaded, so one
+            // writer covers every lane, and one ring keeps the exported
+            // span order exactly the (virtual-time) write order.
+            let ports: Vec<u16> = protocols.iter().map(|p| p.port()).collect();
+            Tracer::new(config.trace_capacity, 1, &ports, Arc::new(SimClock::new()))
+        } else {
+            Tracer::disabled()
+        };
         // `IndissInner` is deliberately not `Send`: it holds the
         // simulation `Node` and `Rc<dyn Unit>`s bound to the
         // single-threaded virtual-time world. The handle is still
@@ -259,6 +275,7 @@ impl Indiss {
                 sweep_armed: None,
                 mesh: None,
                 mesh_tick_armed: None,
+                tracer,
             })),
             monitor: monitor.clone(),
         };
@@ -304,6 +321,14 @@ impl Indiss {
     /// [`Indiss::deploy_mesh`].
     pub fn mesh(&self) -> Option<MeshNode> {
         self.inner().mesh.clone()
+    }
+
+    /// The pipeline span recorder. Disabled (and free) unless the
+    /// config set [`crate::IndissConfig::trace`]; enabled, it holds the
+    /// virtual-time spans a test or harness exports with
+    /// [`crate::chrome_trace_json`].
+    pub fn tracer(&self) -> Tracer {
+        self.inner().tracer.clone()
     }
 
     /// Bridge statistics so far (atomic bridge-path counters merged with
@@ -400,10 +425,20 @@ impl Indiss {
         if self.inner().config.lazy_units {
             let _ = self.ensure_unit(protocol);
         }
-        let Some(unit) = self.inner().units.get(&protocol).cloned() else {
+        let Some((unit, tracer)) = ({
+            let inner = self.inner();
+            inner.units.get(&protocol).cloned().map(|u| (u, inner.tracer.clone()))
+        }) else {
             return;
         };
-        match unit.parse(world, dgram) {
+        let parsed = unit.parse(world, dgram);
+        if tracer.enabled() {
+            // Virtual time does not advance inside a synchronous parse,
+            // so the span is zero-width at the datagram's arrival time.
+            let now = world.now();
+            tracer.record_at(0, Phase::Parse, now, now);
+        }
+        match parsed {
             ParsedMessage::Request(stream) => {
                 self.bridge_request(world, protocol, stream, None);
             }
@@ -440,6 +475,7 @@ impl Indiss {
             suppress_window,
             query_timeout,
             query_retries,
+            tracer,
         ) = {
             let inner = self.inner();
             let units: Vec<(SdpProtocol, Rc<dyn Unit>)> = inner
@@ -456,6 +492,7 @@ impl Indiss {
                 inner.config.suppress_window,
                 inner.config.query_timeout,
                 inner.config.query_retries,
+                inner.tracer.clone(),
             )
         };
 
@@ -503,6 +540,7 @@ impl Indiss {
             winner.clone(),
             query_timeout,
             query_retries,
+            tracer,
         );
         tracker.start(world);
 
@@ -537,8 +575,16 @@ impl Indiss {
         response: &EventStream,
         custom_reply: Option<Completion<EventStream>>,
     ) {
-        if response.service_url().is_some() {
-            self.inner().counters.add_responses_composed();
+        let tracer = {
+            let inner = self.inner();
+            if response.service_url().is_some() {
+                inner.counters.add_responses_composed();
+            }
+            inner.tracer.clone()
+        };
+        if tracer.enabled() {
+            let now = world.now();
+            tracer.record_at(0, Phase::Deliver, now, now);
         }
         match custom_reply {
             Some(reply) => reply.complete(response.clone()),

@@ -47,6 +47,7 @@ use indiss_net::{Completion, World};
 
 use crate::event::{Event, EventStream, SdpProtocol};
 use crate::gateway::BridgeCounters;
+use crate::obs::{Phase, Tracer};
 use crate::registry::ServiceRegistry;
 use crate::symbol::Symbol;
 use crate::units::Unit;
@@ -71,6 +72,10 @@ pub(crate) struct QueryTracker {
     winner: Completion<EventStream>,
     timeout: Duration,
     retries: u32,
+    /// Span recorder: each retry lands as a zero-width
+    /// [`Phase::Retry`] span at the deadline's virtual time, lane =
+    /// the type's registry shard (matching the classify span's lane).
+    tracer: Tracer,
 }
 
 impl QueryTracker {
@@ -85,6 +90,7 @@ impl QueryTracker {
         winner: Completion<EventStream>,
         timeout: Duration,
         retries: u32,
+        tracer: Tracer,
     ) -> Rc<QueryTracker> {
         Rc::new(QueryTracker {
             origin,
@@ -96,6 +102,7 @@ impl QueryTracker {
             winner,
             timeout,
             retries,
+            tracer,
         })
     }
 
@@ -140,6 +147,11 @@ impl QueryTracker {
         }
         if index < self.retries {
             self.counters.add_queries_retried();
+            if self.tracer.enabled() {
+                let lane = self.stype.clone().map_or(0, |t| self.registry.shard_of(t));
+                let now = world.now();
+                self.tracer.record_at(lane, Phase::Retry, now, now);
+            }
             self.attempt(world, index + 1);
             return;
         }
@@ -205,6 +217,7 @@ mod tests {
             Completion::new(),
             Duration::from_millis(timeout_ms),
             2,
+            Tracer::disabled(),
         )
     }
 
